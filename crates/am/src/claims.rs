@@ -1,0 +1,210 @@
+//! Claims and terms (§VII).
+//!
+//! > "A Requester would need to accept the terms by providing necessary
+//! > claims that can be evaluated by the AM. For example, a User could
+//! > require a payment confirmation from a Requester before access to a
+//! > resource is granted."
+//!
+//! A [`ClaimIssuer`] (e.g. a simulated payment provider, DESIGN.md §5)
+//! signs claims; the AM holds a [`ClaimVerifier`] with the set of issuers
+//! it trusts and converts presented claim tokens into
+//! [`ucam_policy::Claim`]s for policy evaluation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ucam_crypto::SigningKey;
+use ucam_policy::Claim;
+
+/// An error verifying a presented claim token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimError {
+    /// Structurally malformed claim token.
+    Malformed,
+    /// The claimed issuer is not trusted by this AM.
+    UntrustedIssuer(String),
+    /// The signature does not verify under the issuer's key.
+    BadSignature,
+}
+
+impl fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaimError::Malformed => f.write_str("malformed claim token"),
+            ClaimError::UntrustedIssuer(i) => write!(f, "untrusted claim issuer: {i}"),
+            ClaimError::BadSignature => f.write_str("claim signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+/// A party that issues signed claims (payment provider, terms service, …).
+///
+/// # Example
+///
+/// ```
+/// use ucam_am::claims::{ClaimIssuer, ClaimVerifier};
+///
+/// let payments = ClaimIssuer::new("payments.example");
+/// let token = payments.issue("payment", "ref-829;eur=5");
+///
+/// let mut verifier = ClaimVerifier::new();
+/// verifier.trust(&payments);
+/// let claim = verifier.verify(&token)?;
+/// assert_eq!(claim.kind, "payment");
+/// assert_eq!(claim.issuer, "payments.example");
+/// # Ok::<(), ucam_am::claims::ClaimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClaimIssuer {
+    name: String,
+    key: SigningKey,
+}
+
+impl ClaimIssuer {
+    /// Creates an issuer with a fresh signing key.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        ClaimIssuer {
+            name: name.to_owned(),
+            key: SigningKey::generate(),
+        }
+    }
+
+    /// Returns the issuer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issues a signed claim token of `kind` with `value`.
+    ///
+    /// The token format is `issuer|sealed(kind\nvalue)` — the issuer name
+    /// travels in clear so the verifier can select the right key.
+    #[must_use]
+    pub fn issue(&self, kind: &str, value: &str) -> String {
+        let payload = format!("{kind}\n{value}");
+        format!("{}|{}", self.name, self.key.seal(payload.as_bytes()))
+    }
+}
+
+/// Verifies claim tokens against a set of trusted issuers.
+#[derive(Debug, Clone, Default)]
+pub struct ClaimVerifier {
+    trusted: HashMap<String, SigningKey>,
+}
+
+impl ClaimVerifier {
+    /// Creates a verifier trusting nobody.
+    #[must_use]
+    pub fn new() -> Self {
+        ClaimVerifier::default()
+    }
+
+    /// Adds `issuer` to the trusted set (shares its verification key, the
+    /// simulated analogue of an out-of-band trust setup).
+    pub fn trust(&mut self, issuer: &ClaimIssuer) {
+        self.trusted.insert(issuer.name.clone(), issuer.key.clone());
+    }
+
+    /// Returns the number of trusted issuers.
+    #[must_use]
+    pub fn trusted_count(&self) -> usize {
+        self.trusted.len()
+    }
+
+    /// Verifies one claim token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaimError`] for malformed tokens, untrusted issuers, or
+    /// bad signatures.
+    pub fn verify(&self, token: &str) -> Result<Claim, ClaimError> {
+        let (issuer, sealed) = token.split_once('|').ok_or(ClaimError::Malformed)?;
+        let key = self
+            .trusted
+            .get(issuer)
+            .ok_or_else(|| ClaimError::UntrustedIssuer(issuer.to_owned()))?;
+        let payload = key.open(sealed).map_err(|_| ClaimError::BadSignature)?;
+        let text = String::from_utf8(payload).map_err(|_| ClaimError::Malformed)?;
+        let (kind, value) = text.split_once('\n').ok_or(ClaimError::Malformed)?;
+        Ok(Claim::new(kind, value, issuer))
+    }
+
+    /// Verifies a batch of claim tokens, returning the claims that
+    /// verified and silently dropping those that did not (the policy
+    /// engine will then report the unmet requirements).
+    #[must_use]
+    pub fn verify_all(&self, tokens: &[String]) -> Vec<Claim> {
+        tokens.iter().filter_map(|t| self.verify(t).ok()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_verify() {
+        let issuer = ClaimIssuer::new("payments.example");
+        let mut verifier = ClaimVerifier::new();
+        verifier.trust(&issuer);
+        let claim = verifier.verify(&issuer.issue("payment", "ref-1")).unwrap();
+        assert_eq!(claim, Claim::new("payment", "ref-1", "payments.example"));
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let issuer = ClaimIssuer::new("shady.example");
+        let verifier = ClaimVerifier::new();
+        assert_eq!(
+            verifier.verify(&issuer.issue("payment", "x")),
+            Err(ClaimError::UntrustedIssuer("shady.example".into()))
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let real = ClaimIssuer::new("payments.example");
+        let fake = ClaimIssuer::new("payments.example"); // same name, other key
+        let mut verifier = ClaimVerifier::new();
+        verifier.trust(&real);
+        assert_eq!(
+            verifier.verify(&fake.issue("payment", "x")),
+            Err(ClaimError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let verifier = ClaimVerifier::new();
+        assert_eq!(verifier.verify("no-pipe"), Err(ClaimError::Malformed));
+    }
+
+    #[test]
+    fn claim_value_with_newline_is_split_correctly() {
+        let issuer = ClaimIssuer::new("p");
+        let mut verifier = ClaimVerifier::new();
+        verifier.trust(&issuer);
+        // Values containing '\n' keep everything after the first separator.
+        let claim = verifier.verify(&issuer.issue("k", "a\nb")).unwrap();
+        assert_eq!(claim.value, "a\nb");
+    }
+
+    #[test]
+    fn verify_all_filters_bad_tokens() {
+        let issuer = ClaimIssuer::new("p");
+        let mut verifier = ClaimVerifier::new();
+        verifier.trust(&issuer);
+        let tokens = vec![
+            issuer.issue("payment", "ok"),
+            "garbage".to_owned(),
+            ClaimIssuer::new("q").issue("payment", "untrusted"),
+        ];
+        let claims = verifier.verify_all(&tokens);
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].value, "ok");
+        assert_eq!(verifier.trusted_count(), 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Asynchronous real-time consent (§V.D).
+//!
+//! > "an AM may send a request for such consent by sending an e-mail or SMS
+//! > message to a User and will not issue an authorization token to the
+//! > Requester before such consent is received. This, however, requires the
+//! > interaction between a Requester and an Authorization Manager to be
+//! > asynchronous."
+//!
+//! [`ConsentQueue`] tracks pending consent requests; [`NotificationOutbox`]
+//! is the simulated e-mail/SMS channel (DESIGN.md §5 substitution). The
+//! Requester polls the AM and receives the token once the owner grants.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ucam_policy::{Action, ResourceRef};
+
+/// Delivery channel of a consent notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Simulated e-mail.
+    Email,
+    /// Simulated SMS.
+    Sms,
+}
+
+/// A message sent to a user over a simulated out-of-band channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// Recipient user id.
+    pub to_user: String,
+    /// Channel used.
+    pub channel: Channel,
+    /// Message body.
+    pub message: String,
+    /// Send time (simulated ms).
+    pub at_ms: u64,
+}
+
+/// The simulated e-mail/SMS outbox.
+#[derive(Debug, Clone, Default)]
+pub struct NotificationOutbox {
+    sent: Vec<Notification>,
+}
+
+impl NotificationOutbox {
+    /// Creates an empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        NotificationOutbox::default()
+    }
+
+    /// Sends (records) a notification.
+    pub fn send(&mut self, notification: Notification) {
+        self.sent.push(notification);
+    }
+
+    /// All notifications sent so far.
+    #[must_use]
+    pub fn sent(&self) -> &[Notification] {
+        &self.sent
+    }
+
+    /// Notifications addressed to `user`.
+    #[must_use]
+    pub fn for_user(&self, user: &str) -> Vec<&Notification> {
+        self.sent.iter().filter(|n| n.to_user == user).collect()
+    }
+}
+
+/// Lifecycle state of a consent request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsentState {
+    /// Waiting for the owner.
+    Pending,
+    /// The owner granted access.
+    Granted,
+    /// The owner refused.
+    Denied,
+    /// The owner never answered within the configured window.
+    Expired,
+}
+
+/// One pending/settled consent request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsentRequest {
+    /// Unique id the Requester polls with.
+    pub id: String,
+    /// The resource owner who must decide.
+    pub owner: String,
+    /// The requesting application.
+    pub requester: String,
+    /// The human subject behind the requester, if known.
+    pub subject: Option<String>,
+    /// The resource access is requested for.
+    pub resource: ResourceRef,
+    /// The requested action.
+    pub action: Action,
+    /// Creation time (simulated ms).
+    pub created_at_ms: u64,
+    /// Current state.
+    pub state: ConsentState,
+}
+
+/// An error operating on the consent queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsentError {
+    /// No consent request with this id.
+    UnknownRequest(String),
+    /// The request was already settled (granted or denied).
+    AlreadySettled,
+}
+
+impl fmt::Display for ConsentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsentError::UnknownRequest(id) => write!(f, "unknown consent request: {id}"),
+            ConsentError::AlreadySettled => f.write_str("consent request already settled"),
+        }
+    }
+}
+
+impl std::error::Error for ConsentError {}
+
+/// The AM's queue of consent requests.
+///
+/// # Example
+///
+/// ```
+/// use ucam_am::consent::{ConsentQueue, ConsentState};
+/// use ucam_policy::{Action, ResourceRef};
+///
+/// let mut queue = ConsentQueue::new();
+/// let id = queue.open(
+///     "bob",
+///     "requester:editor",
+///     Some("alice"),
+///     ResourceRef::new("webpics.example", "photo-1"),
+///     Action::Read,
+///     0,
+/// );
+/// assert_eq!(queue.state(&id), Some(ConsentState::Pending));
+/// queue.grant(&id)?;
+/// assert_eq!(queue.state(&id), Some(ConsentState::Granted));
+/// # Ok::<(), ucam_am::consent::ConsentError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConsentQueue {
+    requests: HashMap<String, ConsentRequest>,
+    next_id: u64,
+}
+
+impl ConsentQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        ConsentQueue::default()
+    }
+
+    /// Opens a consent request, returning its id. An identical pending
+    /// request (same owner, requester, subject, resource, action) is reused
+    /// so repeated polling does not flood the owner with notifications.
+    pub fn open(
+        &mut self,
+        owner: &str,
+        requester: &str,
+        subject: Option<&str>,
+        resource: ResourceRef,
+        action: Action,
+        now_ms: u64,
+    ) -> String {
+        let existing = self.requests.values().find(|r| {
+            r.state == ConsentState::Pending
+                && r.owner == owner
+                && r.requester == requester
+                && r.subject.as_deref() == subject
+                && r.resource == resource
+                && r.action == action
+        });
+        if let Some(r) = existing {
+            return r.id.clone();
+        }
+        self.next_id += 1;
+        let id = format!("consent-{}", self.next_id);
+        self.requests.insert(
+            id.clone(),
+            ConsentRequest {
+                id: id.clone(),
+                owner: owner.to_owned(),
+                requester: requester.to_owned(),
+                subject: subject.map(str::to_owned),
+                resource,
+                action,
+                created_at_ms: now_ms,
+                state: ConsentState::Pending,
+            },
+        );
+        id
+    }
+
+    /// Grants a pending request.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsentError::UnknownRequest`] or [`ConsentError::AlreadySettled`].
+    pub fn grant(&mut self, id: &str) -> Result<(), ConsentError> {
+        self.settle(id, ConsentState::Granted)
+    }
+
+    /// Denies a pending request.
+    ///
+    /// # Errors
+    ///
+    /// [`ConsentError::UnknownRequest`] or [`ConsentError::AlreadySettled`].
+    pub fn deny(&mut self, id: &str) -> Result<(), ConsentError> {
+        self.settle(id, ConsentState::Denied)
+    }
+
+    fn settle(&mut self, id: &str, state: ConsentState) -> Result<(), ConsentError> {
+        let request = self
+            .requests
+            .get_mut(id)
+            .ok_or_else(|| ConsentError::UnknownRequest(id.to_owned()))?;
+        if request.state != ConsentState::Pending {
+            return Err(ConsentError::AlreadySettled);
+        }
+        request.state = state;
+        Ok(())
+    }
+
+    /// Returns the state of a request.
+    #[must_use]
+    pub fn state(&self, id: &str) -> Option<ConsentState> {
+        self.requests.get(id).map(|r| r.state)
+    }
+
+    /// Returns the full request record.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&ConsentRequest> {
+        self.requests.get(id)
+    }
+
+    /// All pending requests awaiting `owner`'s decision, oldest first.
+    #[must_use]
+    pub fn pending_for(&self, owner: &str) -> Vec<&ConsentRequest> {
+        let mut pending: Vec<&ConsentRequest> = self
+            .requests
+            .values()
+            .filter(|r| r.owner == owner && r.state == ConsentState::Pending)
+            .collect();
+        pending.sort_by_key(|r| (r.created_at_ms, r.id.clone()));
+        pending
+    }
+
+    /// Expires every pending request older than `ttl_ms` at time `now_ms`.
+    /// Returns how many were expired. The AM runs this lazily before
+    /// answering polls, so an unanswered request cannot park forever.
+    pub fn expire_pending(&mut self, now_ms: u64, ttl_ms: u64) -> usize {
+        let mut expired = 0;
+        for request in self.requests.values_mut() {
+            if request.state == ConsentState::Pending
+                && now_ms.saturating_sub(request.created_at_ms) >= ttl_ms
+            {
+                request.state = ConsentState::Expired;
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Returns `true` when an identical settled-granted request exists for
+    /// (requester, subject, resource, action) — the PDP consults this when
+    /// re-evaluating after the owner acted.
+    #[must_use]
+    pub fn is_granted(
+        &self,
+        requester: &str,
+        subject: Option<&str>,
+        resource: &ResourceRef,
+        action: &Action,
+    ) -> bool {
+        self.requests.values().any(|r| {
+            r.state == ConsentState::Granted
+                && r.requester == requester
+                && r.subject.as_deref() == subject
+                && &r.resource == resource
+                && &r.action == action
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photo() -> ResourceRef {
+        ResourceRef::new("webpics.example", "photo-1")
+    }
+
+    #[test]
+    fn open_grant_poll() {
+        let mut q = ConsentQueue::new();
+        let id = q.open("bob", "req", Some("alice"), photo(), Action::Read, 7);
+        assert_eq!(q.state(&id), Some(ConsentState::Pending));
+        assert_eq!(q.get(&id).unwrap().created_at_ms, 7);
+        q.grant(&id).unwrap();
+        assert_eq!(q.state(&id), Some(ConsentState::Granted));
+        assert!(q.is_granted("req", Some("alice"), &photo(), &Action::Read));
+    }
+
+    #[test]
+    fn deny_settles() {
+        let mut q = ConsentQueue::new();
+        let id = q.open("bob", "req", None, photo(), Action::Read, 0);
+        q.deny(&id).unwrap();
+        assert_eq!(q.state(&id), Some(ConsentState::Denied));
+        assert!(!q.is_granted("req", None, &photo(), &Action::Read));
+    }
+
+    #[test]
+    fn settle_twice_errors() {
+        let mut q = ConsentQueue::new();
+        let id = q.open("bob", "req", None, photo(), Action::Read, 0);
+        q.grant(&id).unwrap();
+        assert_eq!(q.grant(&id), Err(ConsentError::AlreadySettled));
+        assert_eq!(q.deny(&id), Err(ConsentError::AlreadySettled));
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let mut q = ConsentQueue::new();
+        assert!(matches!(
+            q.grant("ghost"),
+            Err(ConsentError::UnknownRequest(_))
+        ));
+        assert_eq!(q.state("ghost"), None);
+    }
+
+    #[test]
+    fn duplicate_pending_reused() {
+        let mut q = ConsentQueue::new();
+        let id1 = q.open("bob", "req", None, photo(), Action::Read, 0);
+        let id2 = q.open("bob", "req", None, photo(), Action::Read, 5);
+        assert_eq!(id1, id2, "identical pending request is reused");
+        // After settling, a new open creates a fresh request.
+        q.deny(&id1).unwrap();
+        let id3 = q.open("bob", "req", None, photo(), Action::Read, 10);
+        assert_ne!(id1, id3);
+    }
+
+    #[test]
+    fn different_requests_not_deduped() {
+        let mut q = ConsentQueue::new();
+        let id1 = q.open("bob", "req", None, photo(), Action::Read, 0);
+        let id2 = q.open("bob", "req", None, photo(), Action::Write, 0);
+        let id3 = q.open("bob", "other-req", None, photo(), Action::Read, 0);
+        assert_ne!(id1, id2);
+        assert_ne!(id1, id3);
+    }
+
+    #[test]
+    fn pending_for_sorted_by_age() {
+        let mut q = ConsentQueue::new();
+        q.open("bob", "r1", None, photo(), Action::Read, 10);
+        q.open("bob", "r2", None, photo(), Action::Read, 5);
+        q.open("alice", "r3", None, photo(), Action::Read, 1);
+        let pending = q.pending_for("bob");
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].requester, "r2");
+        assert_eq!(pending[1].requester, "r1");
+    }
+
+    #[test]
+    fn pending_requests_expire() {
+        let mut q = ConsentQueue::new();
+        let old = q.open("bob", "r1", None, photo(), Action::Read, 0);
+        let fresh = q.open("bob", "r2", None, photo(), Action::Read, 900);
+        assert_eq!(q.expire_pending(1000, 500), 1);
+        assert_eq!(q.state(&old), Some(ConsentState::Expired));
+        assert_eq!(q.state(&fresh), Some(ConsentState::Pending));
+        // Expired requests cannot be settled.
+        assert_eq!(q.grant(&old), Err(ConsentError::AlreadySettled));
+        // And they are not deduplication targets: a retry opens fresh.
+        let retry = q.open("bob", "r1", None, photo(), Action::Read, 1001);
+        assert_ne!(retry, old);
+        // Settled requests never expire.
+        q.grant(&fresh).unwrap();
+        assert_eq!(q.expire_pending(10_000, 1), 1); // only `retry`
+        assert_eq!(q.state(&fresh), Some(ConsentState::Granted));
+    }
+
+    #[test]
+    fn outbox_records_and_filters() {
+        let mut outbox = NotificationOutbox::new();
+        outbox.send(Notification {
+            to_user: "bob".into(),
+            channel: Channel::Email,
+            message: "consent requested".into(),
+            at_ms: 1,
+        });
+        outbox.send(Notification {
+            to_user: "alice".into(),
+            channel: Channel::Sms,
+            message: "hi".into(),
+            at_ms: 2,
+        });
+        assert_eq!(outbox.sent().len(), 2);
+        assert_eq!(outbox.for_user("bob").len(), 1);
+        assert_eq!(outbox.for_user("bob")[0].channel, Channel::Email);
+    }
+}

@@ -1,0 +1,1263 @@
+//! The Authorization Manager (AM) — the paper's central component.
+//!
+//! "An Authorization Manager allows a User to define access control
+//! policies for their online resources in a uniform way irrespective of the
+//! Web application that hosts those resources. This component makes access
+//! control decisions based on these policies. It provides functionality of
+//! a policy administration point (PAP) and a policy decision point (PDP)…
+//! An AM also acts as a token service that, following evaluation of access
+//! requests, issues authorization tokens to Requesters." (§V.A.2)
+//!
+//! [`AuthorizationManager`] offers both a **native Rust API** (used by the
+//! simulation and benchmarks) and a **Web interface** ([`ucam_webenv::WebApp`])
+//! exposing the protocol endpoints of Figs. 3–6 plus the REST policy API of
+//! §VI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use ucam_policy::{
+    AccessRequest, Action, Claim, ClaimRequirement, EngineDecision, EvalContext, Outcome,
+    PolicyEngine, ResourceRef,
+};
+use ucam_webenv::identity::IdentityVerifier;
+use ucam_webenv::{Request, Response, SimClock, SimNet, Status, Url, WebApp};
+
+use crate::audit::{AuditEntry, AuditEvent, AuditLog};
+use crate::claims::{ClaimIssuer, ClaimVerifier};
+use crate::consent::{Channel, ConsentQueue, ConsentState, Notification, NotificationOutbox};
+use crate::pap::{Account, ExportFormat};
+use crate::tokens::{AuthzGrant, HostGrant, TokenError, TokenService};
+use crate::trust::{Delegation, TrustError, TrustRegistry};
+
+/// An error from the AM's native API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmError {
+    /// No account exists for this user.
+    UnknownUser(String),
+    /// Trust-registry failure.
+    Trust(TrustError),
+    /// Token validation failure.
+    Token(TokenError),
+    /// The actor is neither the owner nor an appointed custodian.
+    NotAuthorized {
+        /// Who attempted the administration.
+        actor: String,
+        /// Whose account it was.
+        owner: String,
+    },
+}
+
+impl fmt::Display for AmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmError::UnknownUser(u) => write!(f, "unknown user: {u}"),
+            AmError::Trust(e) => write!(f, "trust: {e}"),
+            AmError::Token(e) => write!(f, "token: {e}"),
+            AmError::NotAuthorized { actor, owner } => {
+                write!(
+                    f,
+                    "{actor} is not authorized to administer {owner}'s account"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AmError {}
+
+impl From<TrustError> for AmError {
+    fn from(e: TrustError) -> Self {
+        AmError::Trust(e)
+    }
+}
+
+impl From<TokenError> for AmError {
+    fn from(e: TokenError) -> Self {
+        AmError::Token(e)
+    }
+}
+
+/// A request for an authorization token (Fig. 5), as received on the AM's
+/// `/authorize` endpoint or through the native API.
+#[derive(Debug, Clone)]
+pub struct AuthorizeRequest {
+    /// Host storing the resource.
+    pub host: String,
+    /// Resource owner whose policies apply.
+    pub owner: String,
+    /// Host-local resource id.
+    pub resource_id: String,
+    /// Requested action.
+    pub action: Action,
+    /// Requesting application/browser label.
+    pub requester: String,
+    /// Authenticated human subject (already verified), if any.
+    pub subject: Option<String>,
+    /// Sealed claim tokens presented by the requester (§VII).
+    pub claim_tokens: Vec<String>,
+}
+
+impl AuthorizeRequest {
+    /// Creates a bare request; extend with struct-update syntax.
+    #[must_use]
+    pub fn new(
+        host: &str,
+        owner: &str,
+        resource_id: &str,
+        action: Action,
+        requester: &str,
+    ) -> Self {
+        AuthorizeRequest {
+            host: host.to_owned(),
+            owner: owner.to_owned(),
+            resource_id: resource_id.to_owned(),
+            action,
+            requester: requester.to_owned(),
+            subject: None,
+            claim_tokens: Vec::new(),
+        }
+    }
+
+    /// Sets the authenticated subject.
+    #[must_use]
+    pub fn with_subject(mut self, subject: &str) -> Self {
+        self.subject = Some(subject.to_owned());
+        self
+    }
+
+    /// Attaches a claim token.
+    #[must_use]
+    pub fn with_claim_token(mut self, token: &str) -> Self {
+        self.claim_tokens.push(token.to_owned());
+        self
+    }
+}
+
+/// The result of an authorization-token request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthorizeOutcome {
+    /// A token was issued.
+    Token {
+        /// The sealed authorization token.
+        token: String,
+        /// The grant embedded in it.
+        grant: AuthzGrant,
+    },
+    /// The request was denied.
+    Denied(String),
+    /// The owner's real-time consent is pending (§V.D); poll with the id.
+    PendingConsent {
+        /// The consent request id.
+        consent_id: String,
+    },
+    /// The requester must present these claims first (§VII).
+    NeedsClaims(Vec<ClaimRequirement>),
+}
+
+/// A Host's access-control decision query (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct DecisionQuery {
+    /// The host access token sealing the delegation.
+    pub host_token: String,
+    /// The authorization token the Requester presented.
+    pub authz_token: String,
+    /// The resource actually being accessed.
+    pub resource_id: String,
+    /// The action actually being performed.
+    pub action: Action,
+    /// The requester presenting the token.
+    pub requester: String,
+}
+
+/// The AM's answer to a decision query: "The decision can be either
+/// 'permit' or 'deny'" (§V.B.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Access granted; the Host may cache this for `cacheable_ms`.
+    Permit {
+        /// User-controlled cache lifetime (0 = do not cache).
+        cacheable_ms: u64,
+    },
+    /// Access denied.
+    Deny {
+        /// Why (for the audit trail; Hosts only relay "denied").
+        reason: String,
+    },
+}
+
+impl Decision {
+    /// Returns `true` for permits.
+    #[must_use]
+    pub fn is_permit(&self) -> bool {
+        matches!(self, Decision::Permit { .. })
+    }
+}
+
+/// Default consent-request lifetime: one simulated day (§V.D's
+/// asynchronous window must end eventually).
+pub const DEFAULT_CONSENT_TTL_MS: u64 = 24 * 60 * 60 * 1000;
+
+/// Mutable state behind the AM's lock.
+struct AmState {
+    consent_ttl_ms: u64,
+    accounts: HashMap<String, Account>,
+    trust: TrustRegistry,
+    consent: ConsentQueue,
+    outbox: NotificationOutbox,
+    audit: AuditLog,
+    claim_verifier: ClaimVerifier,
+    /// (requester, subject, resource, action) -> granted uses so far.
+    use_counts: HashMap<(String, Option<String>, ResourceRef, Action), u32>,
+    /// Claims verified at token-issuance time, reused at decision time.
+    satisfied_claims: HashMap<(String, ResourceRef), Vec<Claim>>,
+    idp: Option<IdentityVerifier>,
+}
+
+impl Default for AmState {
+    fn default() -> Self {
+        AmState {
+            consent_ttl_ms: DEFAULT_CONSENT_TTL_MS,
+            accounts: HashMap::default(),
+            trust: TrustRegistry::default(),
+            consent: ConsentQueue::default(),
+            outbox: NotificationOutbox::default(),
+            audit: AuditLog::default(),
+            claim_verifier: ClaimVerifier::default(),
+            use_counts: HashMap::default(),
+            satisfied_claims: HashMap::default(),
+            idp: None,
+        }
+    }
+}
+
+/// The Authorization Manager application. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use ucam_am::{AuthorizationManager, AuthorizeRequest, AuthorizeOutcome};
+/// use ucam_policy::prelude::*;
+/// use ucam_webenv::SimClock;
+///
+/// let am = AuthorizationManager::new("am.example", SimClock::new());
+/// am.register_user("bob");
+/// let (_, _host_token) = am.establish_delegation("webpics.example", "bob")?;
+///
+/// // Bob permits everyone to read photo-1.
+/// am.pap("bob", |account| {
+///     let id = account.create_policy(
+///         "public-read",
+///         PolicyBody::Rules(RulePolicy::new().with_rule(
+///             Rule::permit().for_subject(Subject::Public).for_action(Action::Read),
+///         )),
+///     );
+///     account.link_specific(ResourceRef::new("webpics.example", "photo-1"), &id).unwrap();
+/// })?;
+///
+/// let outcome = am.authorize(&AuthorizeRequest::new(
+///     "webpics.example", "bob", "photo-1", Action::Read, "requester:anyone",
+/// ));
+/// assert!(matches!(outcome, AuthorizeOutcome::Token { .. }));
+/// # Ok::<(), ucam_am::AmError>(())
+/// ```
+pub struct AuthorizationManager {
+    authority: String,
+    clock: SimClock,
+    tokens: TokenService,
+    state: RwLock<AmState>,
+}
+
+impl fmt::Debug for AuthorizationManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuthorizationManager")
+            .field("authority", &self.authority)
+            .field("accounts", &self.state.read().accounts.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuthorizationManager {
+    /// Creates an AM addressed as `authority` on the given clock.
+    #[must_use]
+    pub fn new(authority: &str, clock: SimClock) -> Self {
+        AuthorizationManager {
+            authority: authority.to_owned(),
+            tokens: TokenService::new(clock.clone()),
+            clock,
+            state: RwLock::new(AmState::default()),
+        }
+    }
+
+    /// Overrides the authorization-token TTL (benchmark knob).
+    #[must_use]
+    pub fn with_token_ttl_ms(mut self, ttl_ms: u64) -> Self {
+        self.tokens = self.tokens.with_ttl_ms(ttl_ms);
+        self
+    }
+
+    /// Returns the AM's simulated clock handle.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Creates an (empty) account for `user`; idempotent.
+    pub fn register_user(&self, user: &str) {
+        self.state
+            .write()
+            .accounts
+            .entry(user.to_owned())
+            .or_insert_with(|| Account::new(user));
+    }
+
+    /// Configures the identity provider whose assertions this AM accepts.
+    pub fn set_identity_verifier(&self, verifier: IdentityVerifier) {
+        self.state.write().idp = Some(verifier);
+    }
+
+    /// Adds a claim issuer to the trusted set (§VII).
+    pub fn trust_claim_issuer(&self, issuer: &ClaimIssuer) {
+        self.state.write().claim_verifier.trust(issuer);
+    }
+
+    // -- delegation (Fig. 3) ------------------------------------------------
+
+    /// Establishes the Host↔AM trust relationship for `user`'s resources on
+    /// `host`, returning the delegation record and the host access token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnknownUser`] when the user has no account.
+    pub fn establish_delegation(
+        &self,
+        host: &str,
+        user: &str,
+    ) -> Result<(Delegation, String), AmError> {
+        let now = self.clock.now_ms();
+        let mut state = self.state.write();
+        if !state.accounts.contains_key(user) {
+            return Err(AmError::UnknownUser(user.to_owned()));
+        }
+        let delegation = state.trust.establish(host, user, now);
+        let token = self.tokens.mint_host_token(host, user, &delegation.id);
+        state.audit.record(
+            AuditEntry::new(now, user, AuditEvent::Delegation { established: true }).at_host(host),
+        );
+        Ok((delegation, token))
+    }
+
+    /// Revokes a delegation by id; the matching host token becomes useless.
+    pub fn revoke_delegation(&self, user: &str, delegation_id: &str) -> bool {
+        let now = self.clock.now_ms();
+        let mut state = self.state.write();
+        let revoked = state.trust.revoke(delegation_id);
+        if revoked {
+            state.audit.record(AuditEntry::new(
+                now,
+                user,
+                AuditEvent::Delegation { established: false },
+            ));
+        }
+        revoked
+    }
+
+    /// Validates a host token *and* checks the delegation it seals is still
+    /// the active one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::Token`] or [`AmError::Trust`].
+    pub fn check_host_token(&self, token: &str) -> Result<HostGrant, AmError> {
+        let grant = self.tokens.validate_host_token(token)?;
+        let state = self.state.read();
+        state
+            .trust
+            .check_id(&grant.host, &grant.user, &grant.delegation_id)?;
+        Ok(grant)
+    }
+
+    // -- PAP access ----------------------------------------------------------
+
+    /// Runs `f` with mutable access to `user`'s PAP account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnknownUser`] when the user has no account.
+    pub fn pap<R>(&self, user: &str, f: impl FnOnce(&mut Account) -> R) -> Result<R, AmError> {
+        let mut state = self.state.write();
+        let account = state
+            .accounts
+            .get_mut(user)
+            .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
+        Ok(f(account))
+    }
+
+    /// Runs `f` with mutable access to `owner`'s PAP account on behalf of
+    /// `actor` — allowed for the owner themselves or an appointed
+    /// Custodian (§V.D extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnknownUser`] when the owner has no account and
+    /// [`AmError::NotAuthorized`] when `actor` is neither the owner nor a
+    /// custodian.
+    pub fn pap_as<R>(
+        &self,
+        actor: &str,
+        owner: &str,
+        f: impl FnOnce(&mut Account) -> R,
+    ) -> Result<R, AmError> {
+        let mut state = self.state.write();
+        let account = state
+            .accounts
+            .get_mut(owner)
+            .ok_or_else(|| AmError::UnknownUser(owner.to_owned()))?;
+        if !account.may_administer(actor) {
+            return Err(AmError::NotAuthorized {
+                actor: actor.to_owned(),
+                owner: owner.to_owned(),
+            });
+        }
+        Ok(f(account))
+    }
+
+    /// Runs `f` with shared access to `user`'s PAP account.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnknownUser`] when the user has no account.
+    pub fn pap_ref<R>(&self, user: &str, f: impl FnOnce(&Account) -> R) -> Result<R, AmError> {
+        let state = self.state.read();
+        let account = state
+            .accounts
+            .get(user)
+            .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
+        Ok(f(account))
+    }
+
+    // -- token issuance (Fig. 5) ----------------------------------------------
+
+    /// Evaluates an access request and, if policy allows, issues an
+    /// authorization token bound to it (§V.B.3).
+    pub fn authorize(&self, request: &AuthorizeRequest) -> AuthorizeOutcome {
+        let now = self.clock.now_ms();
+        let resource = ResourceRef::new(&request.host, &request.resource_id);
+        let mut state = self.state.write();
+
+        if state.trust.check(&request.host, &request.owner).is_err() {
+            return AuthorizeOutcome::Denied(format!(
+                "host {} has not delegated access control for user {}",
+                request.host, request.owner
+            ));
+        }
+        let AmState {
+            accounts,
+            consent,
+            outbox,
+            audit,
+            claim_verifier,
+            use_counts,
+            satisfied_claims,
+            ..
+        } = &mut *state;
+        let Some(account) = accounts.get(&request.owner) else {
+            return AuthorizeOutcome::Denied(format!("unknown owner {}", request.owner));
+        };
+
+        let access = build_access_request(
+            &request.host,
+            &request.resource_id,
+            &request.action,
+            request.subject.as_deref(),
+            &request.requester,
+        );
+        let consent_granted = consent.is_granted(
+            &request.requester,
+            request.subject.as_deref(),
+            &resource,
+            &request.action,
+        );
+        let mut claims = claim_verifier.verify_all(&request.claim_tokens);
+        if let Some(previous) = satisfied_claims.get(&(request.requester.clone(), resource.clone()))
+        {
+            claims.extend(previous.iter().cloned());
+        }
+        let prior_uses = use_counts
+            .get(&(
+                request.requester.clone(),
+                request.subject.clone(),
+                resource.clone(),
+                request.action.clone(),
+            ))
+            .copied()
+            .unwrap_or(0);
+
+        let oracle = account.group_oracle();
+        let mut ctx = EvalContext::new(&access, now)
+            .with_groups(&oracle)
+            .with_claims(&claims)
+            .with_prior_uses(prior_uses);
+        if consent_granted {
+            ctx = ctx.with_consent();
+        }
+        let decision = PolicyEngine::evaluate(account.policies(), &ctx);
+
+        match decision.outcome {
+            Outcome::Permit => {
+                if !claims.is_empty() {
+                    satisfied_claims.insert((request.requester.clone(), resource.clone()), claims);
+                }
+                let grant = self.tokens.grant(
+                    decision.realm.as_deref(),
+                    &request.resource_id,
+                    &request.host,
+                    &request.requester,
+                    request.subject.as_deref(),
+                    &request.owner,
+                );
+                let token = self.tokens.mint_authz_token(&grant);
+                audit.record(audit_token_entry(now, request, &resource, true, &decision));
+                AuthorizeOutcome::Token { token, grant }
+            }
+            Outcome::RequiresConsent => {
+                let consent_id = consent.open(
+                    &request.owner,
+                    &request.requester,
+                    request.subject.as_deref(),
+                    resource.clone(),
+                    request.action.clone(),
+                    now,
+                );
+                // "an AM may send a request for such consent by sending an
+                // e-mail or SMS message to a User" (§V.D).
+                outbox.send(Notification {
+                    to_user: request.owner.clone(),
+                    channel: Channel::Email,
+                    message: format!(
+                        "{} requests {} on {} — approve at https://{}/consent",
+                        request.requester, request.action, resource, self.authority
+                    ),
+                    at_ms: now,
+                });
+                audit.record(AuditEntry::new(
+                    now,
+                    &request.owner,
+                    AuditEvent::Consent {
+                        consent_id: consent_id.clone(),
+                        what: "opened".into(),
+                    },
+                ));
+                AuthorizeOutcome::PendingConsent { consent_id }
+            }
+            Outcome::RequiresClaims(ref requirements) => {
+                AuthorizeOutcome::NeedsClaims(requirements.clone())
+            }
+            Outcome::Deny(ref reason) => {
+                let reason = reason.to_string();
+                audit.record(audit_token_entry(now, request, &resource, false, &decision));
+                AuthorizeOutcome::Denied(reason)
+            }
+            Outcome::NotApplicable => {
+                audit.record(audit_token_entry(now, request, &resource, false, &decision));
+                AuthorizeOutcome::Denied("no applicable policy".to_owned())
+            }
+        }
+    }
+
+    // -- decision queries (Fig. 6) ---------------------------------------------
+
+    /// Answers a Host's access-control decision query (§V.B.5): validates
+    /// the host token and the authorization token's binding, re-evaluates
+    /// the applicable policies, and returns permit/deny plus the
+    /// user-controlled cache lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError`] when either token fails validation — protocol
+    /// errors, as opposed to policy "deny" decisions which are returned as
+    /// [`Decision::Deny`].
+    pub fn decide(&self, query: &DecisionQuery) -> Result<Decision, AmError> {
+        let now = self.clock.now_ms();
+        let host_grant = self.tokens.validate_host_token(&query.host_token)?;
+        {
+            let state = self.state.read();
+            state.trust.check_id(
+                &host_grant.host,
+                &host_grant.user,
+                &host_grant.delegation_id,
+            )?;
+        }
+        let grant = self.tokens.validate_authz_token(
+            &query.authz_token,
+            &host_grant.host,
+            &query.resource_id,
+            &query.requester,
+        )?;
+        if grant.owner != host_grant.user {
+            return Err(AmError::Token(TokenError::BindingMismatch(format!(
+                "token owner {} does not match delegation user {}",
+                grant.owner, host_grant.user
+            ))));
+        }
+
+        let resource = ResourceRef::new(&host_grant.host, &query.resource_id);
+        let mut state = self.state.write();
+        let AmState {
+            accounts,
+            consent,
+            audit,
+            use_counts,
+            satisfied_claims,
+            ..
+        } = &mut *state;
+        let Some(account) = accounts.get(&grant.owner) else {
+            return Err(AmError::UnknownUser(grant.owner.clone()));
+        };
+
+        let access = build_access_request(
+            &host_grant.host,
+            &query.resource_id,
+            &query.action,
+            grant.subject.as_deref(),
+            &query.requester,
+        );
+        let consent_granted = consent.is_granted(
+            &query.requester,
+            grant.subject.as_deref(),
+            &resource,
+            &query.action,
+        );
+        let claims = satisfied_claims
+            .get(&(query.requester.clone(), resource.clone()))
+            .cloned()
+            .unwrap_or_default();
+        let use_key = (
+            query.requester.clone(),
+            grant.subject.clone(),
+            resource.clone(),
+            query.action.clone(),
+        );
+        let prior_uses = use_counts.get(&use_key).copied().unwrap_or(0);
+
+        let oracle = account.group_oracle();
+        let mut ctx = EvalContext::new(&access, now)
+            .with_groups(&oracle)
+            .with_claims(&claims)
+            .with_prior_uses(prior_uses);
+        if consent_granted {
+            ctx = ctx.with_consent();
+        }
+        let engine_decision = PolicyEngine::evaluate(account.policies(), &ctx);
+
+        let mut entry = AuditEntry::new(
+            now,
+            &grant.owner,
+            AuditEvent::Decision {
+                outcome: engine_decision.outcome.clone(),
+            },
+        )
+        .on_resource(resource)
+        .by_requester(&query.requester, grant.subject.as_deref())
+        .for_action(query.action.clone());
+        entry = entry.with_policies(contributing_policies(&engine_decision));
+        audit.record(entry);
+
+        match engine_decision.outcome {
+            Outcome::Permit => {
+                *use_counts.entry(use_key).or_insert(0) += 1;
+                Ok(Decision::Permit {
+                    cacheable_ms: account.cache_ttl_ms(),
+                })
+            }
+            other => Ok(Decision::Deny {
+                reason: other.to_string(),
+            }),
+        }
+    }
+
+    // -- account portability ----------------------------------------------------
+
+    /// Exports `user`'s entire administrative state (policies, bindings,
+    /// groups, RT credentials, custodians, preferences) as JSON — the
+    /// lever behind the paper's OpenID-style freedom to *switch* AMs
+    /// (§V.A.2: "a particular Authorization Manager is chosen and can be
+    /// controlled by a User").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmError::UnknownUser`] when the user has no account.
+    pub fn export_account(&self, user: &str) -> Result<String, AmError> {
+        self.pap_ref(user, |account| {
+            serde_json::to_string_pretty(account).expect("account serialization is infallible")
+        })
+    }
+
+    /// Imports an account snapshot (from [`AuthorizationManager::export_account`]
+    /// at another AM), creating or replacing the local account for the
+    /// snapshot's owner. Delegations are **not** imported: trust must be
+    /// re-established with each Host against the new AM (fresh host
+    /// tokens), exactly as the protocol requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse failure as a string when the snapshot is invalid.
+    pub fn import_account(&self, snapshot: &str) -> Result<String, String> {
+        let account: Account = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
+        let user = account.user().to_owned();
+        self.state.write().accounts.insert(user.clone(), account);
+        Ok(user)
+    }
+
+    // -- consent (§V.D) --------------------------------------------------------
+
+    /// Sets how long consent requests stay pending before expiring.
+    pub fn set_consent_ttl_ms(&self, ttl_ms: u64) {
+        self.state.write().consent_ttl_ms = ttl_ms;
+    }
+
+    /// Lazily expires overdue pending consent requests.
+    fn sweep_consent(&self) {
+        let now = self.clock.now_ms();
+        let mut state = self.state.write();
+        let ttl = state.consent_ttl_ms;
+        state.consent.expire_pending(now, ttl);
+    }
+
+    /// Pending consent requests for `owner`.
+    #[must_use]
+    pub fn pending_consents(&self, owner: &str) -> Vec<String> {
+        self.sweep_consent();
+        self.state
+            .read()
+            .consent
+            .pending_for(owner)
+            .into_iter()
+            .map(|r| r.id.clone())
+            .collect()
+    }
+
+    /// The owner grants a pending consent request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`crate::consent::ConsentError`] as a string.
+    pub fn grant_consent(&self, id: &str) -> Result<(), String> {
+        let now = self.clock.now_ms();
+        let mut state = self.state.write();
+        let owner = state
+            .consent
+            .get(id)
+            .map(|r| r.owner.clone())
+            .unwrap_or_default();
+        state.consent.grant(id).map_err(|e| e.to_string())?;
+        state.audit.record(AuditEntry::new(
+            now,
+            &owner,
+            AuditEvent::Consent {
+                consent_id: id.to_owned(),
+                what: "granted".into(),
+            },
+        ));
+        Ok(())
+    }
+
+    /// The owner denies a pending consent request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`crate::consent::ConsentError`] as a string.
+    pub fn deny_consent(&self, id: &str) -> Result<(), String> {
+        let now = self.clock.now_ms();
+        let mut state = self.state.write();
+        let owner = state
+            .consent
+            .get(id)
+            .map(|r| r.owner.clone())
+            .unwrap_or_default();
+        state.consent.deny(id).map_err(|e| e.to_string())?;
+        state.audit.record(AuditEntry::new(
+            now,
+            &owner,
+            AuditEvent::Consent {
+                consent_id: id.to_owned(),
+                what: "denied".into(),
+            },
+        ));
+        Ok(())
+    }
+
+    /// Returns the state of a consent request (after expiring overdue
+    /// pending ones).
+    #[must_use]
+    pub fn consent_state(&self, id: &str) -> Option<ConsentState> {
+        self.sweep_consent();
+        self.state.read().consent.state(id)
+    }
+
+    // -- observability -----------------------------------------------------------
+
+    /// Runs `f` over the audit log (R4's consolidated view).
+    pub fn audit<R>(&self, f: impl FnOnce(&AuditLog) -> R) -> R {
+        f(&self.state.read().audit)
+    }
+
+    /// Runs `f` over the notification outbox (simulated e-mail/SMS).
+    pub fn outbox<R>(&self, f: impl FnOnce(&NotificationOutbox) -> R) -> R {
+        f(&self.state.read().outbox)
+    }
+
+    /// Verifies an identity assertion against the configured IdP, if any.
+    #[must_use]
+    pub fn verify_subject(&self, token: &str) -> Option<String> {
+        let state = self.state.read();
+        state.idp.as_ref()?.verify(token).ok()
+    }
+}
+
+fn build_access_request(
+    host: &str,
+    resource_id: &str,
+    action: &Action,
+    subject: Option<&str>,
+    requester: &str,
+) -> AccessRequest {
+    let mut access = AccessRequest::new(host, resource_id, action.clone()).via_app(requester);
+    if let Some(subject) = subject {
+        access = access.by_user(subject);
+    }
+    access
+}
+
+fn contributing_policies(decision: &EngineDecision) -> Vec<ucam_policy::PolicyId> {
+    decision
+        .general_policy
+        .iter()
+        .chain(decision.specific_policy.iter())
+        .cloned()
+        .collect()
+}
+
+fn audit_token_entry(
+    now: u64,
+    request: &AuthorizeRequest,
+    resource: &ResourceRef,
+    issued: bool,
+    decision: &EngineDecision,
+) -> AuditEntry {
+    AuditEntry::new(now, &request.owner, AuditEvent::TokenRequested { issued })
+        .on_resource(resource.clone())
+        .by_requester(&request.requester, request.subject.as_deref())
+        .for_action(request.action.clone())
+        .with_policies(contributing_policies(decision))
+}
+
+// ---------------------------------------------------------------------------
+// Web interface
+// ---------------------------------------------------------------------------
+
+impl WebApp for AuthorizationManager {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        match req.url.path() {
+            // Fig. 3: the User (browser) confirms the delegation; the AM
+            // issues the host access token and redirects back to the Host.
+            "/delegate" => self.web_delegate(req),
+            // Fig. 4: the User links policies to resources.
+            "/compose" => self.web_compose(req),
+            // Fig. 5: a Requester asks for an authorization token.
+            "/authorize" => self.web_authorize(req),
+            "/authorize/status" => self.web_authorize_status(req),
+            // Fig. 6: a Host queries for a decision.
+            "/decision" => self.web_decision(req),
+            // §VI REST policy interface.
+            "/policies/export" => self.web_export(req),
+            "/policies/import" => self.web_import(req),
+            // Account portability (switching AMs, R1).
+            "/account/export" => match req.param("owner") {
+                Some(owner) => {
+                    let owner = owner.to_owned();
+                    if let Err(resp) = self.require_user(req, &owner, true) {
+                        return resp;
+                    }
+                    match self.export_account(&owner) {
+                        Ok(snapshot) => Response::ok().with_body(snapshot),
+                        Err(e) => Response::bad_request(&e.to_string()),
+                    }
+                }
+                None => Response::bad_request("owner required"),
+            },
+            "/account/import" => match self.import_account(&req.body) {
+                Ok(owner) => Response::with_status(Status::Created).with_body(owner),
+                Err(e) => Response::bad_request(&e),
+            },
+            // R4's consolidated audit view.
+            "/audit/view" => self.web_audit_view(req),
+            // Principal-group management (the R3 single management tool).
+            "/groups/add" => self.web_group_edit(req, true),
+            "/groups/remove" => self.web_group_edit(req, false),
+            // §V.D consent UI.
+            "/consent/pending" => self.web_consent_pending(req),
+            "/consent/grant" => self.web_consent_settle(req, true),
+            "/consent/deny" => self.web_consent_settle(req, false),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+impl AuthorizationManager {
+    /// Resolves the authenticated user behind a browser request (identity
+    /// assertion in the `subject_token` parameter or `ident` cookie).
+    /// Returns `None` when no IdP is configured — authentication is then
+    /// out of scope, as in the paper's base protocol (§V.B).
+    fn web_subject(&self, req: &Request) -> Option<Result<String, Response>> {
+        let has_idp = self.state.read().idp.is_some();
+        if !has_idp {
+            return None;
+        }
+        let token = req
+            .param("subject_token")
+            .map(str::to_owned)
+            .or_else(|| req.cookie("ident").map(str::to_owned));
+        Some(match token.and_then(|t| self.verify_subject(&t)) {
+            Some(user) => Ok(user),
+            None => Err(Response::with_status(Status::Unauthorized)
+                .with_body("log in to your authorization manager first")),
+        })
+    }
+
+    /// Requires the browser to be authenticated as `expected` (or as one
+    /// of their custodians, when `allow_custodian` is set). Passes
+    /// everything when no IdP is configured.
+    fn require_user(
+        &self,
+        req: &Request,
+        expected: &str,
+        allow_custodian: bool,
+    ) -> Result<(), Response> {
+        match self.web_subject(req) {
+            None => Ok(()),
+            Some(Err(resp)) => Err(resp),
+            Some(Ok(actor)) => {
+                if actor == expected {
+                    return Ok(());
+                }
+                if allow_custodian {
+                    let authorized = self
+                        .pap_ref(expected, |account| account.may_administer(&actor))
+                        .unwrap_or(false);
+                    if authorized {
+                        return Ok(());
+                    }
+                }
+                Err(Response::forbidden(&format!(
+                    "{actor} may not act for {expected}"
+                )))
+            }
+        }
+    }
+
+    fn web_delegate(&self, req: &Request) -> Response {
+        let (host, user) = match (req.param("host"), req.param("user")) {
+            (Some(h), Some(u)) => (h.to_owned(), u.to_owned()),
+            _ => return Response::bad_request("host and user required"),
+        };
+        // Fig. 3: the User "is redirected from the Host to AM to confirm"
+        // — only the authenticated user may confirm their own delegation.
+        if let Err(resp) = self.require_user(req, &user, false) {
+            return resp;
+        }
+        match self.establish_delegation(&host, &user) {
+            Ok((delegation, token)) => match req.param("return") {
+                Some(ret) => match ret.parse::<Url>() {
+                    Ok(url) => Response::redirect(
+                        &url.with_query("host_token", &token)
+                            .with_query("delegation_id", &delegation.id),
+                    ),
+                    Err(_) => Response::bad_request("invalid return url"),
+                },
+                None => Response::ok().with_body(token),
+            },
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
+    }
+
+    fn web_compose(&self, req: &Request) -> Response {
+        let owner = match req.param("owner") {
+            Some(o) => o.to_owned(),
+            None => return Response::bad_request("owner required"),
+        };
+        // Policy composition is for the owner or an appointed custodian.
+        if let Err(resp) = self.require_user(req, &owner, true) {
+            return resp;
+        }
+        let (host, resource_id) = match (req.param("host"), req.param("resource")) {
+            (Some(h), Some(r)) => (h.to_owned(), r.to_owned()),
+            _ => return Response::bad_request("host and resource required"),
+        };
+        let resource = ResourceRef::new(&host, &resource_id);
+
+        let result = self.pap(&owner, |account| {
+            if let Some(realm) = req.param("realm") {
+                account.assign_realm(resource.clone(), realm);
+                if let Some(general) = req.param("general") {
+                    account
+                        .link_general(realm, &ucam_policy::PolicyId::from(general))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            if let Some(policy) = req.param("policy") {
+                account
+                    .link_specific(resource.clone(), &ucam_policy::PolicyId::from(policy))
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok::<(), String>(())
+        });
+        match result {
+            Ok(Ok(())) => match req.param("return").map(str::parse::<Url>) {
+                Some(Ok(url)) => Response::redirect(&url.with_query("linked", "1")),
+                Some(Err(_)) => Response::bad_request("invalid return url"),
+                None => Response::ok().with_body("policy linked"),
+            },
+            Ok(Err(msg)) => Response::bad_request(&msg),
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
+    }
+
+    fn web_authorize(&self, req: &Request) -> Response {
+        let (host, owner, resource) =
+            match (req.param("host"), req.param("owner"), req.param("resource")) {
+                (Some(h), Some(o), Some(r)) => (h.to_owned(), o.to_owned(), r.to_owned()),
+                _ => return Response::bad_request("host, owner, resource required"),
+            };
+        let requester = match req.param("requester") {
+            Some(r) => r.to_owned(),
+            None => return Response::bad_request("requester required"),
+        };
+        let action = parse_action(req.param("action"));
+        let mut authz = AuthorizeRequest::new(&host, &owner, &resource, action, &requester);
+        if let Some(token) = req.param("subject_token") {
+            match self.verify_subject(token) {
+                Some(subject) => authz.subject = Some(subject),
+                None => {
+                    return Response::with_status(Status::Unauthorized)
+                        .with_body("invalid identity assertion")
+                }
+            }
+        }
+        if let Some(claims) = req.param("claims") {
+            authz.claim_tokens = claims.split(',').map(str::to_owned).collect();
+        }
+
+        match self.authorize(&authz) {
+            AuthorizeOutcome::Token { token, .. } => {
+                match req.param("return").map(str::parse::<Url>) {
+                    Some(Ok(url)) => Response::redirect(&url.with_query("authz_token", &token)),
+                    Some(Err(_)) => Response::bad_request("invalid return url"),
+                    None => Response::ok().with_body(token),
+                }
+            }
+            AuthorizeOutcome::Denied(reason) => Response::forbidden(&reason),
+            AuthorizeOutcome::PendingConsent { consent_id } => {
+                Response::with_status(Status::Accepted).with_body(consent_id)
+            }
+            AuthorizeOutcome::NeedsClaims(requirements) => {
+                let kinds: Vec<&str> = requirements.iter().map(|r| r.kind.as_str()).collect();
+                Response::with_status(Status::PaymentRequired)
+                    .with_body(format!("claims required: {}", kinds.join(",")))
+            }
+        }
+    }
+
+    fn web_authorize_status(&self, req: &Request) -> Response {
+        match req.param("id").and_then(|id| self.consent_state(id)) {
+            Some(ConsentState::Pending) => Response::ok().with_body("pending"),
+            Some(ConsentState::Granted) => Response::ok().with_body("granted"),
+            Some(ConsentState::Denied) => Response::ok().with_body("denied"),
+            Some(ConsentState::Expired) => Response::ok().with_body("expired"),
+            None => Response::not_found("consent request"),
+        }
+    }
+
+    fn web_decision(&self, req: &Request) -> Response {
+        let query = match (
+            req.param("host_token"),
+            req.param("token"),
+            req.param("resource"),
+            req.param("requester"),
+        ) {
+            (Some(ht), Some(t), Some(r), Some(rq)) => DecisionQuery {
+                host_token: ht.to_owned(),
+                authz_token: t.to_owned(),
+                resource_id: r.to_owned(),
+                action: parse_action(req.param("action")),
+                requester: rq.to_owned(),
+            },
+            _ => return Response::bad_request("host_token, token, resource, requester required"),
+        };
+        match self.decide(&query) {
+            Ok(Decision::Permit { cacheable_ms }) => Response::ok().with_body(format!(
+                "{{\"decision\":\"permit\",\"cacheable_ms\":{cacheable_ms}}}"
+            )),
+            Ok(Decision::Deny { reason }) => Response::ok().with_body(format!(
+                "{{\"decision\":\"deny\",\"reason\":{}}}",
+                serde_json::to_string(&reason).unwrap_or_else(|_| "\"\"".into())
+            )),
+            Err(e) => Response::with_status(Status::Unauthorized).with_body(e.to_string()),
+        }
+    }
+
+    fn web_export(&self, req: &Request) -> Response {
+        let owner = match req.param("owner") {
+            Some(o) => o.to_owned(),
+            None => return Response::bad_request("owner required"),
+        };
+        if let Err(resp) = self.require_user(req, &owner, true) {
+            return resp;
+        }
+        let format = match ExportFormat::from_name(req.param("format").unwrap_or("json")) {
+            Some(f) => f,
+            None => return Response::bad_request("format must be json or xml"),
+        };
+        match self.pap_ref(&owner, |account| account.export_policies(format)) {
+            Ok(body) => Response::ok().with_body(body),
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
+    }
+
+    fn web_import(&self, req: &Request) -> Response {
+        let owner = match req.param("owner") {
+            Some(o) => o.to_owned(),
+            None => return Response::bad_request("owner required"),
+        };
+        if let Err(resp) = self.require_user(req, &owner, true) {
+            return resp;
+        }
+        let format = match ExportFormat::from_name(req.param("format").unwrap_or("json")) {
+            Some(f) => f,
+            None => return Response::bad_request("format must be json or xml"),
+        };
+        let body = req.body.clone();
+        match self.pap(&owner, move |account| {
+            account.import_policies(format, &body)
+        }) {
+            Ok(Ok(count)) => Response::ok().with_body(format!("imported {count}")),
+            Ok(Err(e)) => Response::bad_request(&e.to_string()),
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
+    }
+
+    /// Renders the owner's consolidated audit view: every decision across
+    /// every host, newest last, optionally filtered by requester.
+    fn web_audit_view(&self, req: &Request) -> Response {
+        let owner = match req.param("owner") {
+            Some(o) => o.to_owned(),
+            None => return Response::bad_request("owner required"),
+        };
+        if let Err(resp) = self.require_user(req, &owner, true) {
+            return resp;
+        }
+        let filter = req.param("requester").map(str::to_owned);
+        let body = self.audit(|log| {
+            let mut lines = Vec::new();
+            for entry in log.for_owner(&owner) {
+                if let Some(requester) = &filter {
+                    if entry.requester.as_deref() != Some(requester.as_str()) {
+                        continue;
+                    }
+                }
+                if let AuditEvent::Decision { outcome } = &entry.event {
+                    lines.push(format!(
+                        "t={}ms {} {} {} by {} -> {}",
+                        entry.at_ms,
+                        entry.host.as_deref().unwrap_or("?"),
+                        entry
+                            .resource
+                            .as_ref()
+                            .map(|r| r.id.as_str())
+                            .unwrap_or("?"),
+                        entry
+                            .action
+                            .as_ref()
+                            .map(|a| a.to_string())
+                            .unwrap_or_default(),
+                        entry.requester.as_deref().unwrap_or("?"),
+                        outcome,
+                    ));
+                }
+            }
+            lines.join("\n")
+        });
+        Response::ok().with_body(body)
+    }
+
+    fn web_group_edit(&self, req: &Request, add: bool) -> Response {
+        let (owner, group, member) =
+            match (req.param("owner"), req.param("group"), req.param("member")) {
+                (Some(o), Some(g), Some(m)) => (o.to_owned(), g.to_owned(), m.to_owned()),
+                _ => return Response::bad_request("owner, group, member required"),
+            };
+        if let Err(resp) = self.require_user(req, &owner, true) {
+            return resp;
+        }
+        let result = self.pap(&owner, |account| {
+            if add {
+                account.add_group_member(&group, &member);
+                true
+            } else {
+                account.remove_group_member(&group, &member)
+            }
+        });
+        match result {
+            Ok(true) => Response::ok().with_body("group updated"),
+            Ok(false) => Response::not_found("group member"),
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
+    }
+
+    fn web_consent_pending(&self, req: &Request) -> Response {
+        match req.param("owner") {
+            Some(owner) => Response::ok().with_body(self.pending_consents(owner).join(",")),
+            None => Response::bad_request("owner required"),
+        }
+    }
+
+    fn web_consent_settle(&self, req: &Request, grant: bool) -> Response {
+        let id = match req.param("id") {
+            Some(id) => id,
+            None => return Response::bad_request("id required"),
+        };
+        // Only the owner of the consent request may settle it.
+        let owner = self.state.read().consent.get(id).map(|r| r.owner.clone());
+        if let Some(owner) = owner {
+            if let Err(resp) = self.require_user(req, &owner, true) {
+                return resp;
+            }
+        }
+        let result = if grant {
+            self.grant_consent(id)
+        } else {
+            self.deny_consent(id)
+        };
+        match result {
+            Ok(()) => Response::ok().with_body("settled"),
+            Err(e) => Response::bad_request(&e),
+        }
+    }
+}
+
+fn parse_action(param: Option<&str>) -> Action {
+    match param {
+        None | Some("read") => Action::Read,
+        Some("write") => Action::Write,
+        Some("delete") => Action::Delete,
+        Some("list") => Action::List,
+        Some("share") => Action::Share,
+        Some(custom) => Action::Custom(custom.to_owned()),
+    }
+}

@@ -1,0 +1,545 @@
+//! The Policy Administration Point — one [`Account`] per user.
+//!
+//! The AM "provides functionality of a policy administration point (PAP)"
+//! (§V.A.2): creating, updating, deleting and reading policies, linking
+//! them to resources and realms, and managing principal groups. Policies
+//! "can be exported from and imported into the datastore via a RESTful
+//! interface in JSON or XML formats" (§VI).
+//!
+//! Every administrative mutation increments an operation counter — the
+//! unit in which §II/§III measure user effort (experiment E8).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ucam_policy::engine::PolicySetError;
+use ucam_policy::groups::GroupLookup;
+use ucam_policy::json;
+use ucam_policy::rt::{Credential, RoleRef, RtStore};
+use ucam_policy::xml;
+use ucam_policy::{GroupStore, Policy, PolicyBody, PolicyId, PolicySet, ResourceRef};
+
+/// Default decision-cache TTL granted to Hosts (one simulated minute).
+pub const DEFAULT_CACHE_TTL_MS: u64 = 60 * 1000;
+
+/// An error in a PAP operation.
+#[derive(Debug)]
+pub enum PapError {
+    /// Underlying policy-set error (unknown/duplicate ids).
+    Set(PolicySetError),
+    /// Import payload failed to parse.
+    BadImport(String),
+}
+
+impl fmt::Display for PapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PapError::Set(e) => write!(f, "policy store: {e}"),
+            PapError::BadImport(m) => write!(f, "import failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PapError {}
+
+impl From<PolicySetError> for PapError {
+    fn from(e: PolicySetError) -> Self {
+        PapError::Set(e)
+    }
+}
+
+/// Import/export formats supported by the REST interface (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// JSON (policies only).
+    Json,
+    /// XML (policies only).
+    Xml,
+}
+
+impl ExportFormat {
+    /// Parses `"json"` / `"xml"`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(ExportFormat::Json),
+            "xml" => Some(ExportFormat::Xml),
+            _ => None,
+        }
+    }
+}
+
+/// One user's administrative state at the AM: their policies, bindings,
+/// groups, and preferences.
+///
+/// # Example
+///
+/// ```
+/// use ucam_am::pap::Account;
+/// use ucam_policy::prelude::*;
+///
+/// let mut account = Account::new("bob");
+/// let id = account.create_policy(
+///     "friends-read",
+///     PolicyBody::Rules(RulePolicy::new().with_rule(
+///         Rule::permit().for_subject(Subject::Group("friends".into())).for_action(Action::Read),
+///     )),
+/// );
+/// account.add_group_member("friends", "alice");
+/// let photo = ResourceRef::new("webpics.example", "photo-1");
+/// account.link_specific(photo, &id)?;
+/// assert_eq!(account.admin_ops(), 3);
+/// # Ok::<(), ucam_am::pap::PapError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Account {
+    user: String,
+    policies: PolicySet,
+    groups: GroupStore,
+    next_policy_id: u64,
+    admin_ops: u64,
+    cache_ttl_ms: u64,
+    custodians: Vec<String>,
+    rt: RtStore,
+}
+
+/// The combined group oracle of an account: explicit [`GroupStore`]
+/// membership first, then derived RT₀ role membership (bare names resolve
+/// as the owner's roles, qualified `entity.role` names as written).
+#[derive(Debug, Clone, Copy)]
+pub struct AccountGroups<'a> {
+    owner: &'a str,
+    groups: &'a GroupStore,
+    rt: &'a RtStore,
+}
+
+impl GroupLookup for AccountGroups<'_> {
+    fn is_member(&self, group: &str, user: &str) -> bool {
+        if self.groups.contains(group, user) {
+            return true;
+        }
+        let role = RoleRef::parse(group).unwrap_or_else(|| RoleRef::new(self.owner, group));
+        self.rt.is_member(&role, user)
+    }
+}
+
+impl Account {
+    /// Creates an empty account for `user`.
+    #[must_use]
+    pub fn new(user: &str) -> Self {
+        Account {
+            user: user.to_owned(),
+            policies: PolicySet::new(),
+            groups: GroupStore::new(),
+            next_policy_id: 0,
+            admin_ops: 0,
+            cache_ttl_ms: DEFAULT_CACHE_TTL_MS,
+            custodians: Vec::new(),
+            rt: RtStore::new(),
+        }
+    }
+
+    /// Adds an RT₀ credential (§VII's second candidate policy framework);
+    /// derived role membership feeds group clauses via
+    /// [`Account::group_oracle`].
+    pub fn add_rt_credential(&mut self, credential: Credential) {
+        self.admin_ops += 1;
+        self.rt.add(credential);
+    }
+
+    /// Removes an RT₀ credential.
+    pub fn remove_rt_credential(&mut self, credential: &Credential) -> bool {
+        self.admin_ops += 1;
+        self.rt.remove(credential)
+    }
+
+    /// The account's RT credential store.
+    #[must_use]
+    pub fn rt(&self) -> &RtStore {
+        &self.rt
+    }
+
+    /// Returns the combined group oracle (explicit groups + RT roles) used
+    /// during policy evaluation.
+    #[must_use]
+    pub fn group_oracle(&self) -> AccountGroups<'_> {
+        AccountGroups {
+            owner: &self.user,
+            groups: &self.groups,
+            rt: &self.rt,
+        }
+    }
+
+    /// Appoints a **Custodian** (§V.D extension): "a User may only be
+    /// concerned with managing resources and a different entity, a
+    /// Custodian, may be responsible for composing access control policies
+    /// for a User's Web resources."
+    pub fn add_custodian(&mut self, custodian: &str) {
+        self.admin_ops += 1;
+        if !self.custodians.iter().any(|c| c == custodian) {
+            self.custodians.push(custodian.to_owned());
+        }
+    }
+
+    /// Removes a custodian. Returns `true` when one was removed.
+    pub fn remove_custodian(&mut self, custodian: &str) -> bool {
+        self.admin_ops += 1;
+        let before = self.custodians.len();
+        self.custodians.retain(|c| c != custodian);
+        self.custodians.len() != before
+    }
+
+    /// Returns `true` when `actor` may administer this account: the owner
+    /// themselves or an appointed custodian.
+    #[must_use]
+    pub fn may_administer(&self, actor: &str) -> bool {
+        actor == self.user || self.custodians.iter().any(|c| c == actor)
+    }
+
+    /// The owning user.
+    #[must_use]
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The user's policy set (engine input).
+    #[must_use]
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// The user's principal groups (engine input).
+    #[must_use]
+    pub fn groups(&self) -> &GroupStore {
+        &self.groups
+    }
+
+    /// Administrative operations performed so far (E8's unit of effort).
+    #[must_use]
+    pub fn admin_ops(&self) -> u64 {
+        self.admin_ops
+    }
+
+    /// The decision-cache TTL this user grants to Hosts; `0` disables
+    /// caching ("The AM may provide a User with mechanisms to control
+    /// caching of access control decisions", §V.B.5).
+    #[must_use]
+    pub fn cache_ttl_ms(&self) -> u64 {
+        self.cache_ttl_ms
+    }
+
+    /// Sets the decision-cache TTL.
+    pub fn set_cache_ttl_ms(&mut self, ttl_ms: u64) {
+        self.admin_ops += 1;
+        self.cache_ttl_ms = ttl_ms;
+    }
+
+    // -- policy CRUD ------------------------------------------------------
+
+    /// Creates a policy, assigning a unique id.
+    pub fn create_policy(&mut self, name: &str, body: PolicyBody) -> PolicyId {
+        self.admin_ops += 1;
+        self.next_policy_id += 1;
+        let id = PolicyId::from(format!("p-{}", self.next_policy_id));
+        self.policies.upsert(Policy {
+            id: id.clone(),
+            name: name.to_owned(),
+            body,
+        });
+        id
+    }
+
+    /// Replaces an existing policy's name/body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PapError::Set`] when the id is unknown.
+    pub fn update_policy(
+        &mut self,
+        id: &PolicyId,
+        name: &str,
+        body: PolicyBody,
+    ) -> Result<(), PapError> {
+        if self.policies.get(id).is_none() {
+            return Err(PolicySetError::UnknownPolicy(id.clone()).into());
+        }
+        self.admin_ops += 1;
+        self.policies.upsert(Policy {
+            id: id.clone(),
+            name: name.to_owned(),
+            body,
+        });
+        Ok(())
+    }
+
+    /// Deletes a policy (and its bindings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PapError::Set`] when the id is unknown.
+    pub fn delete_policy(&mut self, id: &PolicyId) -> Result<Policy, PapError> {
+        self.admin_ops += 1;
+        Ok(self.policies.remove(id)?)
+    }
+
+    /// Reads a policy.
+    #[must_use]
+    pub fn policy(&self, id: &PolicyId) -> Option<&Policy> {
+        self.policies.get(id)
+    }
+
+    /// Lists all policies.
+    #[must_use]
+    pub fn list_policies(&self) -> Vec<&Policy> {
+        self.policies.iter().collect()
+    }
+
+    // -- linking ----------------------------------------------------------
+
+    /// Puts a resource into a realm (resource group).
+    pub fn assign_realm(&mut self, resource: ResourceRef, realm: &str) {
+        self.admin_ops += 1;
+        self.policies.assign_realm(resource, realm);
+    }
+
+    /// Links a **general** policy to a realm (§VI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PapError::Set`] when the policy id is unknown.
+    pub fn link_general(&mut self, realm: &str, policy: &PolicyId) -> Result<(), PapError> {
+        self.admin_ops += 1;
+        Ok(self.policies.bind_general(realm, policy)?)
+    }
+
+    /// Links a **specific** policy to a resource (§VI).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PapError::Set`] when the policy id is unknown.
+    pub fn link_specific(
+        &mut self,
+        resource: ResourceRef,
+        policy: &PolicyId,
+    ) -> Result<(), PapError> {
+        self.admin_ops += 1;
+        Ok(self.policies.bind_specific(resource, policy)?)
+    }
+
+    /// Removes the general link of a realm.
+    pub fn unlink_general(&mut self, realm: &str) -> Option<PolicyId> {
+        self.admin_ops += 1;
+        self.policies.unbind_general(realm)
+    }
+
+    /// Removes the specific link of a resource.
+    pub fn unlink_specific(&mut self, resource: &ResourceRef) -> Option<PolicyId> {
+        self.admin_ops += 1;
+        self.policies.unbind_specific(resource)
+    }
+
+    // -- groups -----------------------------------------------------------
+
+    /// Adds a member to a principal group (creating it if needed).
+    pub fn add_group_member(&mut self, group: &str, user: &str) {
+        self.admin_ops += 1;
+        self.groups.add_member(group, user);
+    }
+
+    /// Removes a member from a group.
+    pub fn remove_group_member(&mut self, group: &str, user: &str) -> bool {
+        self.admin_ops += 1;
+        self.groups.remove_member(group, user)
+    }
+
+    // -- import / export ----------------------------------------------------
+
+    /// Exports all policies in the requested format.
+    #[must_use]
+    pub fn export_policies(&self, format: ExportFormat) -> String {
+        let policies: Vec<Policy> = self.policies.iter().cloned().collect();
+        match format {
+            ExportFormat::Json => {
+                serde_json::to_string_pretty(&policies).expect("policy export is infallible")
+            }
+            ExportFormat::Xml => xml::policies_to_xml(&policies),
+        }
+    }
+
+    /// Imports policies from a JSON or XML document, upserting by id.
+    /// Returns how many policies were imported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PapError::BadImport`] for malformed payloads.
+    pub fn import_policies(
+        &mut self,
+        format: ExportFormat,
+        payload: &str,
+    ) -> Result<usize, PapError> {
+        let policies: Vec<Policy> = match format {
+            ExportFormat::Json => {
+                serde_json::from_str(payload).map_err(|e| PapError::BadImport(e.to_string()))?
+            }
+            ExportFormat::Xml => {
+                xml::policies_from_xml(payload).map_err(|e| PapError::BadImport(e.to_string()))?
+            }
+        };
+        self.admin_ops += 1;
+        let count = policies.len();
+        for policy in policies {
+            self.policies.upsert(policy);
+        }
+        Ok(count)
+    }
+
+    /// Exports one policy as JSON (single-policy REST read).
+    #[must_use]
+    pub fn export_policy_json(&self, id: &PolicyId) -> Option<String> {
+        self.policies.get(id).map(json::policy_to_json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_policy::{AclMatrix, Action, Rule, RulePolicy, Subject};
+
+    fn rules_body() -> PolicyBody {
+        PolicyBody::Rules(
+            RulePolicy::new().with_rule(
+                Rule::permit()
+                    .for_subject(Subject::Public)
+                    .for_action(Action::Read),
+            ),
+        )
+    }
+
+    #[test]
+    fn create_assigns_sequential_ids() {
+        let mut a = Account::new("bob");
+        let id1 = a.create_policy("one", rules_body());
+        let id2 = a.create_policy("two", rules_body());
+        assert_eq!(id1.as_str(), "p-1");
+        assert_eq!(id2.as_str(), "p-2");
+        assert_eq!(a.list_policies().len(), 2);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut a = Account::new("bob");
+        let id = a.create_policy("one", rules_body());
+        a.update_policy(&id, "renamed", PolicyBody::Matrix(AclMatrix::new()))
+            .unwrap();
+        assert_eq!(a.policy(&id).unwrap().name, "renamed");
+        assert_eq!(a.policy(&id).unwrap().language(), "matrix");
+        let removed = a.delete_policy(&id).unwrap();
+        assert_eq!(removed.name, "renamed");
+        assert!(a.policy(&id).is_none());
+    }
+
+    #[test]
+    fn update_unknown_errors() {
+        let mut a = Account::new("bob");
+        assert!(a
+            .update_policy(&PolicyId::from("ghost"), "x", rules_body())
+            .is_err());
+        assert!(a.delete_policy(&PolicyId::from("ghost")).is_err());
+    }
+
+    #[test]
+    fn linking_and_realms() {
+        let mut a = Account::new("bob");
+        let id = a.create_policy("general", rules_body());
+        let r = ResourceRef::new("h", "r1");
+        a.assign_realm(r.clone(), "album");
+        a.link_general("album", &id).unwrap();
+        a.link_specific(r.clone(), &id).unwrap();
+        assert_eq!(a.policies().realm_of(&r), Some("album"));
+        assert_eq!(a.unlink_general("album"), Some(id.clone()));
+        assert_eq!(a.unlink_specific(&r), Some(id));
+    }
+
+    #[test]
+    fn link_unknown_policy_errors() {
+        let mut a = Account::new("bob");
+        assert!(a.link_general("realm", &PolicyId::from("ghost")).is_err());
+        assert!(a
+            .link_specific(ResourceRef::new("h", "r"), &PolicyId::from("ghost"))
+            .is_err());
+    }
+
+    #[test]
+    fn admin_ops_counted() {
+        let mut a = Account::new("bob");
+        assert_eq!(a.admin_ops(), 0);
+        let id = a.create_policy("p", rules_body()); // 1
+        a.add_group_member("friends", "alice"); // 2
+        a.assign_realm(ResourceRef::new("h", "r"), "realm"); // 3
+        a.link_general("realm", &id).unwrap(); // 4
+        a.set_cache_ttl_ms(0); // 5
+        assert_eq!(a.admin_ops(), 5);
+    }
+
+    #[test]
+    fn groups_roundtrip() {
+        let mut a = Account::new("bob");
+        a.add_group_member("friends", "alice");
+        assert!(a.groups().contains("friends", "alice"));
+        assert!(a.remove_group_member("friends", "alice"));
+        assert!(!a.groups().contains("friends", "alice"));
+    }
+
+    #[test]
+    fn json_export_import_roundtrip() {
+        let mut a = Account::new("bob");
+        a.create_policy("one", rules_body());
+        a.create_policy("two", PolicyBody::Matrix(AclMatrix::new()));
+        let exported = a.export_policies(ExportFormat::Json);
+
+        let mut b = Account::new("carol");
+        let n = b.import_policies(ExportFormat::Json, &exported).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(b.list_policies().len(), 2);
+    }
+
+    #[test]
+    fn xml_export_import_roundtrip() {
+        let mut a = Account::new("bob");
+        a.create_policy("one", rules_body());
+        let exported = a.export_policies(ExportFormat::Xml);
+        assert!(exported.contains("<policies>"));
+
+        let mut b = Account::new("carol");
+        assert_eq!(b.import_policies(ExportFormat::Xml, &exported).unwrap(), 1);
+    }
+
+    #[test]
+    fn bad_import_errors() {
+        let mut a = Account::new("bob");
+        assert!(a.import_policies(ExportFormat::Json, "{oops").is_err());
+        assert!(a.import_policies(ExportFormat::Xml, "<broken").is_err());
+    }
+
+    #[test]
+    fn export_single_policy() {
+        let mut a = Account::new("bob");
+        let id = a.create_policy("one", rules_body());
+        assert!(a.export_policy_json(&id).unwrap().contains("one"));
+        assert!(a.export_policy_json(&PolicyId::from("ghost")).is_none());
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(ExportFormat::from_name("json"), Some(ExportFormat::Json));
+        assert_eq!(ExportFormat::from_name("xml"), Some(ExportFormat::Xml));
+        assert_eq!(ExportFormat::from_name("yaml"), None);
+    }
+
+    #[test]
+    fn default_cache_ttl() {
+        let a = Account::new("bob");
+        assert_eq!(a.cache_ttl_ms(), DEFAULT_CACHE_TTL_MS);
+    }
+}

@@ -1,0 +1,837 @@
+//! Tests of the Authorization Manager's native API and Web interface.
+
+use std::sync::Arc;
+
+use ucam_am::claims::ClaimIssuer;
+use ucam_am::consent::ConsentState;
+use ucam_am::{AuthorizationManager, AuthorizeOutcome, AuthorizeRequest, Decision, DecisionQuery};
+use ucam_policy::prelude::*;
+use ucam_webenv::identity::IdentityProvider;
+use ucam_webenv::{Method, Request, SimClock, SimNet, Status};
+
+const HOST: &str = "webpics.example";
+const PHOTO: &str = "photo-1";
+
+fn am_with_bob() -> (AuthorizationManager, String) {
+    let am = AuthorizationManager::new("am.example", SimClock::new());
+    am.register_user("bob");
+    let (_, host_token) = am.establish_delegation(HOST, "bob").unwrap();
+    (am, host_token)
+}
+
+fn friends_read_policy(am: &AuthorizationManager) {
+    am.pap("bob", |account| {
+        account.add_group_member("friends", "alice");
+        let id = account.create_policy(
+            "friends-read",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Group("friends".into()))
+                        .for_action(Action::Read),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+}
+
+fn alice_request() -> AuthorizeRequest {
+    AuthorizeRequest::new(HOST, "bob", PHOTO, Action::Read, "requester:editor")
+        .with_subject("alice")
+}
+
+#[test]
+fn authorize_then_decide_permit() {
+    let (am, host_token) = am_with_bob();
+    friends_read_policy(&am);
+
+    let outcome = am.authorize(&alice_request());
+    let AuthorizeOutcome::Token { token, grant } = outcome else {
+        panic!("expected token, got {outcome:?}");
+    };
+    assert_eq!(grant.owner, "bob");
+    assert_eq!(grant.subject.as_deref(), Some("alice"));
+
+    let decision = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:editor".into(),
+        })
+        .unwrap();
+    assert!(decision.is_permit());
+}
+
+#[test]
+fn authorize_denies_strangers() {
+    let (am, _) = am_with_bob();
+    friends_read_policy(&am);
+    let req = AuthorizeRequest::new(HOST, "bob", PHOTO, Action::Read, "requester:editor")
+        .with_subject("mallory");
+    assert!(matches!(am.authorize(&req), AuthorizeOutcome::Denied(_)));
+}
+
+#[test]
+fn authorize_denies_without_delegation() {
+    let am = AuthorizationManager::new("am.example", SimClock::new());
+    am.register_user("bob");
+    friends_read_policy(&am);
+    let outcome = am.authorize(&alice_request());
+    let AuthorizeOutcome::Denied(reason) = outcome else {
+        panic!("expected denial, got {outcome:?}");
+    };
+    assert!(reason.contains("not delegated"), "{reason}");
+}
+
+#[test]
+fn decide_rejects_revoked_delegation() {
+    let (am, host_token) = am_with_bob();
+    friends_read_policy(&am);
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token");
+    };
+    // Bob withdraws the delegation; the cached host token must die with it.
+    let delegation_id = am.check_host_token(&host_token).unwrap().delegation_id;
+    assert!(am.revoke_delegation("bob", &delegation_id));
+    let err = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:editor".into(),
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("revoked"), "{err}");
+}
+
+#[test]
+fn decide_rejects_token_for_other_resource() {
+    let (am, host_token) = am_with_bob();
+    friends_read_policy(&am);
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token");
+    };
+    let err = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: "photo-2".into(),
+            action: Action::Read,
+            requester: "requester:editor".into(),
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("binding"), "{err}");
+}
+
+#[test]
+fn decide_denies_wrong_action_even_with_valid_token() {
+    let (am, host_token) = am_with_bob();
+    friends_read_policy(&am);
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token");
+    };
+    // The token was minted for Read; a Write decision query re-evaluates
+    // policies and must come back "deny" (policy covers Read only).
+    let decision = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Write,
+            requester: "requester:editor".into(),
+        })
+        .unwrap();
+    assert!(matches!(decision, Decision::Deny { .. }));
+}
+
+#[test]
+fn consent_flow_end_to_end() {
+    let (am, host_token) = am_with_bob();
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "consent-gate",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::User("alice".into()))
+                        .for_action(Action::Read)
+                        .with_condition(Condition::RequiresConsent),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+
+    // First attempt parks the request pending consent…
+    let AuthorizeOutcome::PendingConsent { consent_id } = am.authorize(&alice_request()) else {
+        panic!("expected pending consent");
+    };
+    assert_eq!(am.consent_state(&consent_id), Some(ConsentState::Pending));
+    // …and notifies Bob out-of-band (simulated e-mail, §V.D).
+    let notified = am.outbox(|outbox| outbox.for_user("bob").len());
+    assert_eq!(notified, 1);
+
+    // Polling again does not duplicate the request.
+    let AuthorizeOutcome::PendingConsent { consent_id: again } = am.authorize(&alice_request())
+    else {
+        panic!("expected still pending");
+    };
+    assert_eq!(again, consent_id);
+
+    // Bob grants; the requester's next attempt yields a token.
+    am.grant_consent(&consent_id).unwrap();
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token after consent");
+    };
+    let decision = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:editor".into(),
+        })
+        .unwrap();
+    assert!(decision.is_permit());
+}
+
+#[test]
+fn consent_denied_blocks() {
+    let (am, _) = am_with_bob();
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "consent-gate",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::User("alice".into()))
+                        .with_condition(Condition::RequiresConsent),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+
+    let AuthorizeOutcome::PendingConsent { consent_id } = am.authorize(&alice_request()) else {
+        panic!("expected pending consent");
+    };
+    am.deny_consent(&consent_id).unwrap();
+    // A retry opens a *new* pending request rather than granting.
+    let outcome = am.authorize(&alice_request());
+    assert!(matches!(outcome, AuthorizeOutcome::PendingConsent { .. }));
+}
+
+#[test]
+fn claims_flow_payment_gate() {
+    let (am, host_token) = am_with_bob();
+    let payments = ClaimIssuer::new("payments.example");
+    am.trust_claim_issuer(&payments);
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "paid-download",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Public)
+                        .for_action(Action::Read)
+                        .with_condition(Condition::RequiresClaims(vec![
+                            ClaimRequirement::from_issuer("payment", "payments.example"),
+                        ])),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+
+    // Without a payment claim: the AM names its terms.
+    let bare = AuthorizeRequest::new(HOST, "bob", PHOTO, Action::Read, "requester:buyer");
+    let AuthorizeOutcome::NeedsClaims(required) = am.authorize(&bare) else {
+        panic!("expected claims requirement");
+    };
+    assert_eq!(required[0].kind, "payment");
+
+    // A claim from an untrusted issuer does not help.
+    let forged = ClaimIssuer::new("payments.example"); // different key!
+    let outcome = am.authorize(
+        &bare
+            .clone()
+            .with_claim_token(&forged.issue("payment", "fake-ref")),
+    );
+    assert!(matches!(outcome, AuthorizeOutcome::NeedsClaims(_)));
+
+    // The real payment confirmation unlocks the resource.
+    let paid = bare.with_claim_token(&payments.issue("payment", "ref-829"));
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&paid) else {
+        panic!("expected token after payment");
+    };
+    // And the decision query still permits (claims were cached at the AM).
+    let decision = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:buyer".into(),
+        })
+        .unwrap();
+    assert!(decision.is_permit());
+}
+
+#[test]
+fn max_uses_enforced_across_decisions() {
+    let (am, host_token) = am_with_bob();
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "two-uses",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::User("alice".into()))
+                        .with_condition(Condition::MaxUses(2)),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token");
+    };
+    let query = DecisionQuery {
+        host_token,
+        authz_token: token,
+        resource_id: PHOTO.into(),
+        action: Action::Read,
+        requester: "requester:editor".into(),
+    };
+    assert!(am.decide(&query).unwrap().is_permit());
+    assert!(am.decide(&query).unwrap().is_permit());
+    // Third use exceeds MaxUses(2).
+    assert!(matches!(am.decide(&query).unwrap(), Decision::Deny { .. }));
+}
+
+#[test]
+fn audit_correlates_across_hosts() {
+    let am = AuthorizationManager::new("am.example", SimClock::new());
+    am.register_user("bob");
+    let (_, t1) = am.establish_delegation("webpics.example", "bob").unwrap();
+    let (_, t2) = am.establish_delegation("webdocs.example", "bob").unwrap();
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "public",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Public)
+                        .for_action(Action::Read),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new("webpics.example", "r1"), &id)
+            .unwrap();
+        account
+            .link_specific(ResourceRef::new("webdocs.example", "r2"), &id)
+            .unwrap();
+    })
+    .unwrap();
+
+    for (host, res, ht) in [
+        ("webpics.example", "r1", &t1),
+        ("webdocs.example", "r2", &t2),
+    ] {
+        let req = AuthorizeRequest::new(host, "bob", res, Action::Read, "requester:crawler");
+        let AuthorizeOutcome::Token { token, .. } = am.authorize(&req) else {
+            panic!("expected token");
+        };
+        am.decide(&DecisionQuery {
+            host_token: ht.clone(),
+            authz_token: token,
+            resource_id: res.into(),
+            action: Action::Read,
+            requester: "requester:crawler".into(),
+        })
+        .unwrap();
+    }
+
+    // One central query correlates the requester across both hosts (C4).
+    am.audit(|log| {
+        let correlated = log.correlate_requester("requester:crawler");
+        assert_eq!(correlated.len(), 4); // 2 token requests + 2 decisions
+        assert_eq!(
+            log.hosts_seen("bob"),
+            vec!["webdocs.example".to_owned(), "webpics.example".to_owned()]
+        );
+        assert_eq!(log.decision_counts("bob"), (2, 0));
+    });
+}
+
+#[test]
+fn pap_errors_for_unknown_user() {
+    let am = AuthorizationManager::new("am.example", SimClock::new());
+    assert!(am.pap("ghost", |_| ()).is_err());
+    assert!(am.pap_ref("ghost", |_| ()).is_err());
+    assert!(am.establish_delegation("h", "ghost").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Web interface
+// ---------------------------------------------------------------------------
+
+fn web_setup() -> (SimNet, Arc<AuthorizationManager>, String) {
+    let net = SimNet::new();
+    let am = Arc::new(AuthorizationManager::new("am.example", net.clock().clone()));
+    am.register_user("bob");
+    let (_, host_token) = am.establish_delegation(HOST, "bob").unwrap();
+    friends_read_policy(&am);
+    net.register(am.clone());
+    (net, am, host_token)
+}
+
+#[test]
+fn web_delegate_redirects_with_token() {
+    let (net, am, _) = web_setup();
+    let resp = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/delegate")
+            .with_param("host", "webdocs.example")
+            .with_param("user", "bob")
+            .with_param("return", "https://webdocs.example/delegation/done"),
+    );
+    assert_eq!(resp.status, Status::Found);
+    let location = resp.location().unwrap();
+    assert_eq!(location.authority(), "webdocs.example");
+    let token = location.query("host_token").unwrap();
+    assert_eq!(am.check_host_token(token).unwrap().host, "webdocs.example");
+}
+
+#[test]
+fn web_authorize_issues_token_and_decision_permits() {
+    let (net, am, host_token2) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("alice", "pw");
+    let assertion = idp.login("alice", "pw").unwrap();
+    // The AM must be told to trust this IdP.
+    am.set_identity_verifier(idp.verifier());
+
+    let resp = net.dispatch(
+        "requester:editor",
+        Request::new(Method::Post, "https://am.example/authorize")
+            .with_param("host", HOST)
+            .with_param("owner", "bob")
+            .with_param("resource", PHOTO)
+            .with_param("action", "read")
+            .with_param("requester", "requester:editor")
+            .with_param("subject_token", &assertion.token),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    let token = resp.body.clone();
+
+    let resp = net.dispatch(
+        HOST,
+        Request::new(Method::Post, "https://am.example/decision")
+            .with_param("host_token", &host_token2)
+            .with_param("token", &token)
+            .with_param("resource", PHOTO)
+            .with_param("action", "read")
+            .with_param("requester", "requester:editor"),
+    );
+    assert_eq!(resp.status, Status::Ok);
+    assert!(resp.body.contains("\"permit\""), "{}", resp.body);
+}
+
+#[test]
+fn web_authorize_rejects_bad_identity_assertion() {
+    let (net, am, _) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    am.set_identity_verifier(idp.verifier());
+    let resp = net.dispatch(
+        "requester:editor",
+        Request::new(Method::Post, "https://am.example/authorize")
+            .with_param("host", HOST)
+            .with_param("owner", "bob")
+            .with_param("resource", PHOTO)
+            .with_param("requester", "requester:editor")
+            .with_param("subject_token", "forged.token"),
+    );
+    assert_eq!(resp.status, Status::Unauthorized);
+}
+
+#[test]
+fn web_policy_export_import_roundtrip() {
+    let (net, _, _) = web_setup();
+    let exported = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/policies/export")
+            .with_param("owner", "bob")
+            .with_param("format", "xml"),
+    );
+    assert_eq!(exported.status, Status::Ok);
+    assert!(exported.body.contains("<policies>"));
+
+    let imported = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am.example/policies/import")
+            .with_param("owner", "bob")
+            .with_param("format", "xml")
+            .with_body(exported.body),
+    );
+    assert_eq!(imported.status, Status::Ok);
+    assert!(imported.body.contains("imported 1"), "{}", imported.body);
+}
+
+#[test]
+fn web_decision_rejects_forged_tokens() {
+    let (net, _, host_token) = web_setup();
+    let resp = net.dispatch(
+        HOST,
+        Request::new(Method::Post, "https://am.example/decision")
+            .with_param("host_token", &host_token)
+            .with_param("token", "forged.token")
+            .with_param("resource", PHOTO)
+            .with_param("requester", "requester:editor"),
+    );
+    assert_eq!(resp.status, Status::Unauthorized);
+}
+
+#[test]
+fn web_unknown_route_404() {
+    let (net, _, _) = web_setup();
+    let resp = net.dispatch("x", Request::new(Method::Get, "https://am.example/nope"));
+    assert_eq!(resp.status, Status::NotFound);
+}
+
+#[test]
+fn web_owner_routes_require_authentication_when_idp_configured() {
+    let (net, am, _) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("bob", "pw");
+    idp.register_user("mallory", "pw");
+    am.set_identity_verifier(idp.verifier());
+
+    // Anonymous delegation confirmation: 401.
+    let resp = net.dispatch(
+        "browser:anon",
+        Request::new(Method::Get, "https://am.example/delegate")
+            .with_param("host", "webdocs.example")
+            .with_param("user", "bob"),
+    );
+    assert_eq!(resp.status, Status::Unauthorized);
+
+    // Mallory confirming *Bob's* delegation: 403.
+    let mallory = idp.login("mallory", "pw").unwrap().token;
+    let resp = net.dispatch(
+        "browser:mallory",
+        Request::new(Method::Get, "https://am.example/delegate")
+            .with_param("host", "webdocs.example")
+            .with_param("user", "bob")
+            .with_param("subject_token", &mallory),
+    );
+    assert_eq!(resp.status, Status::Forbidden);
+
+    // Mallory exporting Bob's policies: 403.
+    let resp = net.dispatch(
+        "browser:mallory",
+        Request::new(Method::Get, "https://am.example/policies/export")
+            .with_param("owner", "bob")
+            .with_param("subject_token", &mallory),
+    );
+    assert_eq!(resp.status, Status::Forbidden);
+
+    // Bob himself: fine.
+    let bob = idp.login("bob", "pw").unwrap().token;
+    let resp = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/delegate")
+            .with_param("host", "webdocs.example")
+            .with_param("user", "bob")
+            .with_param("subject_token", &bob),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+}
+
+#[test]
+fn web_audit_view_renders_decisions() {
+    let (net, am, host_token) = web_setup();
+    // Produce a decision.
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(
+        &AuthorizeRequest::new(HOST, "bob", PHOTO, Action::Read, "requester:editor")
+            .with_subject("alice"),
+    ) else {
+        panic!("expected token");
+    };
+    am.decide(&DecisionQuery {
+        host_token,
+        authz_token: token,
+        resource_id: PHOTO.into(),
+        action: Action::Read,
+        requester: "requester:editor".into(),
+    })
+    .unwrap();
+
+    let view = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/audit/view").with_param("owner", "bob"),
+    );
+    assert_eq!(view.status, Status::Ok);
+    assert!(view.body.contains(PHOTO), "{}", view.body);
+    assert!(view.body.contains("permit"), "{}", view.body);
+
+    // Filtered by requester: still present for the editor, absent for a
+    // requester that never appeared.
+    let filtered = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/audit/view")
+            .with_param("owner", "bob")
+            .with_param("requester", "requester:nobody"),
+    );
+    assert!(filtered.body.is_empty(), "{}", filtered.body);
+}
+
+#[test]
+fn web_group_management_roundtrip() {
+    let (net, am, host_token) = web_setup();
+    // Add dave to friends over the wire; he immediately gains access
+    // through the existing friends-read policy.
+    let add = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am.example/groups/add")
+            .with_param("owner", "bob")
+            .with_param("group", "friends")
+            .with_param("member", "dave"),
+    );
+    assert_eq!(add.status, Status::Ok, "{}", add.body);
+    am.pap_ref("bob", |account| {
+        assert!(account.groups().contains("friends", "dave"));
+    })
+    .unwrap();
+
+    let outcome = am.authorize(
+        &AuthorizeRequest::new(HOST, "bob", PHOTO, Action::Read, "requester:dave-agent")
+            .with_subject("dave"),
+    );
+    let AuthorizeOutcome::Token { token, .. } = outcome else {
+        panic!("dave should be authorized after group add: {outcome:?}");
+    };
+    assert!(am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token,
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:dave-agent".into(),
+        })
+        .unwrap()
+        .is_permit());
+
+    // Remove him again.
+    let remove = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am.example/groups/remove")
+            .with_param("owner", "bob")
+            .with_param("group", "friends")
+            .with_param("member", "dave"),
+    );
+    assert_eq!(remove.status, Status::Ok);
+    // Removing a non-member 404s.
+    let again = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am.example/groups/remove")
+            .with_param("owner", "bob")
+            .with_param("group", "friends")
+            .with_param("member", "dave"),
+    );
+    assert_eq!(again.status, Status::NotFound);
+}
+
+#[test]
+fn web_compose_allows_custodian() {
+    let (net, am, _) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("chris", "pw");
+    am.set_identity_verifier(idp.verifier());
+    am.pap("bob", |account| account.add_custodian("chris"))
+        .unwrap();
+    let pid = am
+        .pap("bob", |account| {
+            account.create_policy(
+                "by-custodian",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Public)
+                            .for_action(Action::Read),
+                    ),
+                ),
+            )
+        })
+        .unwrap();
+
+    let chris = idp.login("chris", "pw").unwrap().token;
+    let resp = net.dispatch(
+        "browser:chris",
+        Request::new(Method::Get, "https://am.example/compose")
+            .with_param("owner", "bob")
+            .with_param("host", HOST)
+            .with_param("resource", "photo-77")
+            .with_param("policy", pid.as_str())
+            .with_param("subject_token", &chris),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+}
+
+#[test]
+fn web_consent_settle_restricted_to_owner() {
+    let (net, am, _) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("bob", "pw");
+    idp.register_user("mallory", "pw");
+    am.set_identity_verifier(idp.verifier());
+    // Gate a resource behind consent and park a request.
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "gate",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Public)
+                        .for_action(Action::Read)
+                        .with_condition(Condition::RequiresConsent),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, "guarded"), &id)
+            .unwrap();
+    })
+    .unwrap();
+    let outcome = am.authorize(&AuthorizeRequest::new(
+        HOST,
+        "bob",
+        "guarded",
+        Action::Read,
+        "requester:x",
+    ));
+    let AuthorizeOutcome::PendingConsent { consent_id } = outcome else {
+        panic!("expected pending consent");
+    };
+
+    // Mallory cannot grant Bob's consent request.
+    let mallory = idp.login("mallory", "pw").unwrap().token;
+    let resp = net.dispatch(
+        "browser:mallory",
+        Request::new(Method::Post, "https://am.example/consent/grant")
+            .with_param("id", &consent_id)
+            .with_param("subject_token", &mallory),
+    );
+    assert_eq!(resp.status, Status::Forbidden);
+
+    // Bob can.
+    let bob = idp.login("bob", "pw").unwrap().token;
+    let resp = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am.example/consent/grant")
+            .with_param("id", &consent_id)
+            .with_param("subject_token", &bob),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+}
+
+#[test]
+fn web_account_export_import_roundtrip() {
+    let (net, _, _) = web_setup();
+    let exported = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/account/export").with_param("owner", "bob"),
+    );
+    assert_eq!(exported.status, Status::Ok);
+    assert!(exported.body.contains("friends-read"));
+
+    // Import the snapshot at a second AM registered on the same net.
+    let other = Arc::new(AuthorizationManager::new(
+        "am2.example",
+        net.clock().clone(),
+    ));
+    net.register(other.clone());
+    let imported = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am2.example/account/import").with_body(exported.body),
+    );
+    assert_eq!(imported.status.code(), 201, "{}", imported.body);
+    assert_eq!(imported.body, "bob");
+    other
+        .pap_ref("bob", |account| {
+            assert_eq!(account.list_policies().len(), 1);
+        })
+        .unwrap();
+
+    // Garbage import is rejected.
+    let bad = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://am2.example/account/import").with_body("{nope"),
+    );
+    assert_eq!(bad.status, Status::BadRequest);
+    // Unknown owner export is rejected.
+    let missing = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/account/export").with_param("owner", "ghost"),
+    );
+    assert_eq!(missing.status, Status::BadRequest);
+}
+
+#[test]
+fn web_compose_links_policy() {
+    let (net, am, _) = web_setup();
+    // Create a policy to link.
+    let pid = am
+        .pap("bob", |account| {
+            account.create_policy(
+                "extra",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Public)
+                            .for_action(Action::Read),
+                    ),
+                ),
+            )
+        })
+        .unwrap();
+    let resp = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Get, "https://am.example/compose")
+            .with_param("owner", "bob")
+            .with_param("host", HOST)
+            .with_param("resource", "photo-9")
+            .with_param("realm", "trip")
+            .with_param("general", pid.as_str())
+            .with_param("policy", pid.as_str())
+            .with_param("return", "https://webpics.example/photos/photo-9"),
+    );
+    assert_eq!(resp.status, Status::Found, "{}", resp.body);
+    am.pap_ref("bob", |account| {
+        let r = ResourceRef::new(HOST, "photo-9");
+        assert_eq!(account.policies().realm_of(&r), Some("trip"));
+        assert_eq!(account.policies().specific_binding(&r), Some(&pid));
+    })
+    .unwrap();
+}

@@ -1,0 +1,358 @@
+//! The UMA authorization-state variant (§VIII).
+//!
+//! "in UMA a Requester does not obtain a token from AM but rather
+//! establishes an **authorization state** for a particular realm at a
+//! particular Host. This state is then checked by a Host when it queries
+//! AM for an access control decision."
+//!
+//! So, compared with the paper's token-push protocol: the requester holds
+//! nothing; the AM remembers (requester, resource) states; the Host asks
+//! the AM about the state on access. Message pattern on the first access
+//! is the same length as the token protocol (±1), which is exactly what
+//! experiment E9 verifies.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ucam_policy::{AccessRequest, Action, EvalContext, Outcome, RulePolicy};
+use ucam_webenv::{Method, Request, Response, SimNet, Status, Url, WebApp};
+
+use crate::FlowCosts;
+
+/// The state-holding Authorization Manager.
+pub struct StateAm {
+    authority: String,
+    policy: RwLock<RulePolicy>,
+    /// Established (requester, resource) authorization states.
+    states: RwLock<HashSet<(String, String)>>,
+}
+
+impl std::fmt::Debug for StateAm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateAm")
+            .field("authority", &self.authority)
+            .field("states", &self.states.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StateAm {
+    /// Creates the AM with a deny-all policy.
+    #[must_use]
+    pub fn new(authority: &str) -> Arc<Self> {
+        Arc::new(StateAm {
+            authority: authority.to_owned(),
+            policy: RwLock::new(RulePolicy::new()),
+            states: RwLock::new(HashSet::new()),
+        })
+    }
+
+    /// Installs the owner's policy.
+    pub fn set_policy(&self, policy: RulePolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// Drops an authorization state (revocation) — note this takes effect
+    /// at the **AM**, and the Host sees it on its next state check; no
+    /// token needs to expire.
+    pub fn revoke_state(&self, requester: &str, resource: &str) -> bool {
+        self.states
+            .write()
+            .remove(&(requester.to_owned(), resource.to_owned()))
+    }
+}
+
+impl WebApp for StateAm {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        match req.url.path() {
+            // The requester, redirected by the host, establishes state.
+            "/state/register" => {
+                let (requester, resource) = match (req.param("requester"), req.param("resource")) {
+                    (Some(rq), Some(r)) => (rq.to_owned(), r.to_owned()),
+                    _ => return Response::bad_request("requester and resource required"),
+                };
+                let access = AccessRequest::new("state-host.example", &resource, Action::Read)
+                    .via_app(&requester);
+                let outcome = self.policy.read().evaluate(&EvalContext::new(&access, 0));
+                if outcome != Outcome::Permit {
+                    return Response::forbidden("denied by policy");
+                }
+                self.states.write().insert((requester, resource));
+                match req.param("return").map(str::parse::<Url>) {
+                    Some(Ok(url)) => Response::redirect(&url.with_query("state", "established")),
+                    _ => Response::ok().with_body("state established"),
+                }
+            }
+            // The host checks the state when deciding.
+            "/state/check" => {
+                let (requester, resource) = match (req.param("requester"), req.param("resource")) {
+                    (Some(rq), Some(r)) => (rq.to_owned(), r.to_owned()),
+                    _ => return Response::bad_request("requester and resource required"),
+                };
+                if self.states.read().contains(&(requester, resource)) {
+                    Response::ok().with_body("permit")
+                } else {
+                    Response::ok().with_body("deny")
+                }
+            }
+            other => Response::not_found(other),
+        }
+    }
+}
+
+/// The Host in the authorization-state model: holds no tokens from the
+/// requester, queries the AM's state, optionally caches the answer.
+pub struct StateHost {
+    authority: String,
+    am: String,
+    resources: RwLock<HashMap<String, String>>,
+    /// (requester, resource) pairs known-permitted (the local cache).
+    cache: RwLock<HashSet<(String, String)>>,
+    cache_enabled: RwLock<bool>,
+}
+
+impl std::fmt::Debug for StateHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateHost")
+            .field("authority", &self.authority)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StateHost {
+    /// Creates the host, delegating to the AM at `am`.
+    #[must_use]
+    pub fn new(authority: &str, am: &str) -> Arc<Self> {
+        Arc::new(StateHost {
+            authority: authority.to_owned(),
+            am: am.to_owned(),
+            resources: RwLock::new(HashMap::new()),
+            cache: RwLock::new(HashSet::new()),
+            cache_enabled: RwLock::new(true),
+        })
+    }
+
+    /// Stores a resource.
+    pub fn put_resource(&self, id: &str, content: &str) {
+        self.resources
+            .write()
+            .insert(id.to_owned(), content.to_owned());
+    }
+
+    /// Toggles the state cache (for the E9 ablation).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        *self.cache_enabled.write() = enabled;
+        if !enabled {
+            self.cache.write().clear();
+        }
+    }
+}
+
+impl WebApp for StateHost {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+        let Some(id) = req.url.path().strip_prefix("/resource/") else {
+            return Response::not_found(req.url.path());
+        };
+        let requester = req.header("x-requester").unwrap_or("anonymous").to_owned();
+        let key = (requester.clone(), id.to_owned());
+
+        if !self.resources.read().contains_key(id) {
+            return Response::not_found(id);
+        }
+
+        // Cached state?
+        if *self.cache_enabled.read() && self.cache.read().contains(&key) {
+            return Response::ok().with_body(self.resources.read()[id].clone());
+        }
+
+        // Does the requester claim to have established state? The first
+        // visit carries no marker: redirect to the AM to establish it.
+        if req.param("state").is_none() {
+            let register = Url::new(&self.am, "/state/register")
+                .with_query("requester", &requester)
+                .with_query("resource", id)
+                .with_query("return", &req.url.to_string());
+            return Response::redirect(&register);
+        }
+
+        // Check the state at the AM (the UMA decision query).
+        let check = net.dispatch(
+            &self.authority,
+            Request::new(Method::Post, &format!("https://{}/state/check", self.am))
+                .with_param("requester", &requester)
+                .with_param("resource", id),
+        );
+        if check.status.is_success() && check.body == "permit" {
+            if *self.cache_enabled.read() {
+                self.cache.write().insert(key);
+            }
+            Response::ok().with_body(self.resources.read()[id].clone())
+        } else {
+            Response::forbidden("no authorization state established")
+        }
+    }
+}
+
+/// Runs the state flow (host redirect → register at AM → back to host →
+/// host checks state) plus a subsequent access.
+#[must_use]
+pub fn measure(net: &SimNet, cache_enabled: bool) -> FlowCosts {
+    use ucam_policy::{Rule, Subject};
+
+    let am = StateAm::new("state-am.example");
+    am.set_policy(
+        RulePolicy::new()
+            .with_rule(Rule::permit().for_subject(Subject::App("client.example".into()))),
+    );
+    let host = StateHost::new("state-host.example", "state-am.example");
+    host.put_resource("photo-1", "pixels");
+    host.set_cache_enabled(cache_enabled);
+    net.register(am);
+    net.register(host);
+
+    net.reset_stats();
+    // 1. First attempt: redirected to the AM.
+    let attempt = net.dispatch(
+        "client.example",
+        Request::new(Method::Get, "https://state-host.example/resource/photo-1")
+            .with_header("x-requester", "client.example"),
+    );
+    assert_eq!(attempt.status, Status::Found);
+    // 2. Establish state at the AM; it redirects back.
+    let register = net.dispatch(
+        "client.example",
+        Request::to_url(Method::Get, attempt.location().unwrap()),
+    );
+    assert_eq!(register.status, Status::Found);
+    // 3. Return to the host (now marked state=established); the host
+    //    checks the state at the AM (nested round trip).
+    let first = net.dispatch(
+        "client.example",
+        Request::to_url(Method::Get, register.location().unwrap())
+            .with_header("x-requester", "client.example"),
+    );
+    assert!(first.status.is_success(), "{}", first.body);
+    let first_access = net.stats().round_trips;
+
+    net.reset_stats();
+    let again = net.dispatch(
+        "client.example",
+        Request::new(Method::Get, "https://state-host.example/resource/photo-1")
+            .with_header("x-requester", "client.example")
+            .with_param("state", "established"),
+    );
+    assert!(again.status.is_success());
+    let subsequent = net.stats().round_trips;
+
+    FlowCosts {
+        name: if cache_enabled {
+            "uma-authz-state"
+        } else {
+            "uma-authz-state-nocache"
+        },
+        first_access_round_trips: first_access,
+        subsequent_access_round_trips: subsequent,
+        user_present_required: false,
+        central_decision_point: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_policy::{Rule, Subject};
+
+    #[test]
+    fn flow_costs_with_cache() {
+        let net = SimNet::new();
+        let costs = measure(&net, true);
+        // host + register + (host + nested check) = 4 round trips.
+        assert_eq!(costs.first_access_round_trips, 4);
+        assert_eq!(costs.subsequent_access_round_trips, 1);
+        assert!(costs.central_decision_point);
+    }
+
+    #[test]
+    fn flow_costs_without_cache() {
+        let net = SimNet::new();
+        let costs = measure(&net, false);
+        assert_eq!(costs.first_access_round_trips, 4);
+        // Every access re-checks at the AM: 2 round trips.
+        assert_eq!(costs.subsequent_access_round_trips, 2);
+    }
+
+    #[test]
+    fn denied_requester_cannot_register_state() {
+        let net = SimNet::new();
+        let am = StateAm::new("am.example");
+        net.register(am);
+        let resp = net.dispatch(
+            "evil.example",
+            Request::new(Method::Get, "https://am.example/state/register")
+                .with_param("requester", "evil.example")
+                .with_param("resource", "r"),
+        );
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn revocation_at_am_takes_effect_on_next_check() {
+        let net = SimNet::new();
+        let am = StateAm::new("am.example");
+        am.set_policy(
+            RulePolicy::new().with_rule(Rule::permit().for_subject(Subject::App("c".into()))),
+        );
+        let host = StateHost::new("h.example", "am.example");
+        host.put_resource("r", "content");
+        host.set_cache_enabled(false); // force a check per access
+        net.register(am.clone());
+        net.register(host);
+
+        net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://am.example/state/register")
+                .with_param("requester", "c")
+                .with_param("resource", "r"),
+        );
+        let ok = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://h.example/resource/r")
+                .with_header("x-requester", "c")
+                .with_param("state", "established"),
+        );
+        assert_eq!(ok.status, Status::Ok);
+
+        assert!(am.revoke_state("c", "r"));
+        let denied = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://h.example/resource/r")
+                .with_header("x-requester", "c")
+                .with_param("state", "established"),
+        );
+        assert_eq!(denied.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn state_check_without_registration_denies() {
+        let net = SimNet::new();
+        let am = StateAm::new("am.example");
+        net.register(am);
+        let resp = net.dispatch(
+            "h",
+            Request::new(Method::Post, "https://am.example/state/check")
+                .with_param("requester", "c")
+                .with_param("resource", "r"),
+        );
+        assert_eq!(resp.body, "deny");
+    }
+}

@@ -1,0 +1,48 @@
+//! Comparator protocols for the UCAM experiments.
+//!
+//! §III of the paper analyses the **status quo** (per-application "siloed"
+//! access control) and §VIII positions the proposal against **OAuth 1.0a**,
+//! **OAuth WRAP**, and the **UMA** protocol's authorization-state model.
+//! This crate implements all four on the same simulated substrate so that
+//! experiments E8 and E9 can compare message counts, user-presence
+//! requirements, and administration effort like-for-like:
+//!
+//! * [`siloed`] — every Host keeps its own ACLs and sharing UI; sharing
+//!   with N people across M hosts costs ~N·M administrative operations,
+//! * [`oauth10a`] — the three-legged flow where "OAuth requires a person
+//!   to be present when authorizing an access request",
+//! * [`wrap`] — "an Authorization Server issues Access Tokens … there is
+//!   no direct communication between the application hosting resources and
+//!   the Authorization Server. It is the hosting application that makes an
+//!   access control decision based on the provided token",
+//! * [`authz_state`] — "in UMA a Requester does not obtain a token from AM
+//!   but rather establishes an authorization state for a particular realm
+//!   at a particular Host. This state is then checked by a Host when it
+//!   queries AM for an access control decision."
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authz_state;
+pub mod oauth10a;
+pub mod siloed;
+pub mod wrap;
+
+/// Like-for-like costs of one protocol variant, measured on the simulated
+/// network (experiment E9's row schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowCosts {
+    /// Variant name as reported in the table.
+    pub name: &'static str,
+    /// Round trips for the *first* access to a protected resource
+    /// (including any authorization sub-flow).
+    pub first_access_round_trips: u64,
+    /// Round trips for each *subsequent* access (§V.B.6).
+    pub subsequent_access_round_trips: u64,
+    /// Whether the resource owner must be present (synchronously) to
+    /// approve the access.
+    pub user_present_required: bool,
+    /// Whether access decisions flow through a user-chosen central
+    /// decision point (the property S4/R4 demands).
+    pub central_decision_point: bool,
+}

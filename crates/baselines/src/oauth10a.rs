@@ -1,0 +1,275 @@
+//! OAuth 1.0a-style three-legged authorization (§VIII).
+//!
+//! "OAuth allows a Web user, referred to as Resource Owner, to share
+//! resources hosted by one Web application to be accessed by another Web
+//! application … OAuth requires a person to be present when authorizing an
+//! access request. Access control policies are hosted at multiple Servers."
+//!
+//! The Server plays both resource host and token issuer; the Consumer
+//! (client) runs the classic temporary-credential dance; the Resource
+//! Owner's browser must approve interactively.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ucam_crypto::random_token;
+use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+
+use crate::FlowCosts;
+
+#[derive(Debug, Default)]
+struct ServerState {
+    /// request token -> approved?
+    request_tokens: HashMap<String, bool>,
+    /// valid access tokens.
+    access_tokens: HashMap<String, String>, // token -> consumer
+    /// stored resources.
+    resources: HashMap<String, String>,
+}
+
+/// The OAuth 1.0a Server: hosts resources *and* issues tokens (there is no
+/// separate, user-chosen authorization component — that is the point of
+/// the comparison).
+#[derive(Debug)]
+pub struct OAuthServer {
+    authority: String,
+    state: RwLock<ServerState>,
+}
+
+impl OAuthServer {
+    /// Creates a server at `authority`.
+    #[must_use]
+    pub fn new(authority: &str) -> Arc<Self> {
+        Arc::new(OAuthServer {
+            authority: authority.to_owned(),
+            state: RwLock::new(ServerState::default()),
+        })
+    }
+
+    /// Stores a resource.
+    pub fn put_resource(&self, id: &str, content: &str) {
+        self.state
+            .write()
+            .resources
+            .insert(id.to_owned(), content.to_owned());
+    }
+}
+
+impl WebApp for OAuthServer {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        match req.url.path() {
+            // Leg 1: the Consumer obtains temporary credentials.
+            "/oauth/request_token" => {
+                let token = random_token(8);
+                self.state
+                    .write()
+                    .request_tokens
+                    .insert(token.clone(), false);
+                Response::ok().with_body(token)
+            }
+            // Leg 2: the Resource Owner (browser, interactive!) approves.
+            "/oauth/authorize" => {
+                let Some(token) = req.param("oauth_token") else {
+                    return Response::bad_request("oauth_token required");
+                };
+                let mut state = self.state.write();
+                match state.request_tokens.get_mut(token) {
+                    Some(approved) => {
+                        *approved = true;
+                        Response::ok().with_body("approved")
+                    }
+                    None => Response::not_found("request token"),
+                }
+            }
+            // Leg 3: the Consumer exchanges the approved request token.
+            "/oauth/access_token" => {
+                let (token, consumer) = match (req.param("oauth_token"), req.param("consumer")) {
+                    (Some(t), Some(c)) => (t.to_owned(), c.to_owned()),
+                    _ => return Response::bad_request("oauth_token and consumer required"),
+                };
+                let mut state = self.state.write();
+                match state.request_tokens.get(&token) {
+                    Some(true) => {
+                        state.request_tokens.remove(&token);
+                        let access = random_token(8);
+                        state.access_tokens.insert(access.clone(), consumer);
+                        Response::ok().with_body(access)
+                    }
+                    Some(false) => Response::with_status(Status::Unauthorized)
+                        .with_body("request token not yet approved"),
+                    None => Response::not_found("request token"),
+                }
+            }
+            path if path.starts_with("/resource/") => {
+                let id = path.trim_start_matches("/resource/");
+                let state = self.state.read();
+                let authorized = req
+                    .bearer_token()
+                    .is_some_and(|t| state.access_tokens.contains_key(t));
+                if !authorized {
+                    return Response::with_status(Status::Unauthorized)
+                        .with_body("access token required");
+                }
+                match state.resources.get(id) {
+                    Some(content) => Response::ok().with_body(content.clone()),
+                    None => Response::not_found(id),
+                }
+            }
+            other => Response::not_found(other),
+        }
+    }
+}
+
+/// Runs the full three-legged flow plus one subsequent access and reports
+/// the measured costs.
+#[must_use]
+pub fn measure(net: &SimNet) -> FlowCosts {
+    let server = OAuthServer::new("oauth-server.example");
+    server.put_resource("photo-1", "pixels");
+    net.register(server);
+
+    net.reset_stats();
+    // Leg 1: consumer obtains a request token.
+    let rt = net.dispatch(
+        "consumer.example",
+        Request::new(
+            Method::Post,
+            "https://oauth-server.example/oauth/request_token",
+        ),
+    );
+    assert!(rt.status.is_success());
+    // Leg 2: the resource owner approves interactively (user present!).
+    let approve = net.dispatch(
+        "browser:owner",
+        Request::new(Method::Get, "https://oauth-server.example/oauth/authorize")
+            .with_param("oauth_token", &rt.body),
+    );
+    assert!(approve.status.is_success());
+    // Leg 3: exchange for an access token.
+    let at = net.dispatch(
+        "consumer.example",
+        Request::new(
+            Method::Post,
+            "https://oauth-server.example/oauth/access_token",
+        )
+        .with_param("oauth_token", &rt.body)
+        .with_param("consumer", "consumer.example"),
+    );
+    assert!(at.status.is_success());
+    // First real access.
+    let first = net.dispatch(
+        "consumer.example",
+        Request::new(Method::Get, "https://oauth-server.example/resource/photo-1")
+            .with_bearer(&at.body),
+    );
+    assert!(first.status.is_success());
+    let first_access = net.stats().round_trips;
+
+    net.reset_stats();
+    let again = net.dispatch(
+        "consumer.example",
+        Request::new(Method::Get, "https://oauth-server.example/resource/photo-1")
+            .with_bearer(&at.body),
+    );
+    assert!(again.status.is_success());
+    let subsequent = net.stats().round_trips;
+
+    FlowCosts {
+        name: "oauth-1.0a",
+        first_access_round_trips: first_access,
+        subsequent_access_round_trips: subsequent,
+        user_present_required: true,
+        central_decision_point: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_flow_costs() {
+        let net = SimNet::new();
+        let costs = measure(&net);
+        assert_eq!(costs.first_access_round_trips, 4);
+        assert_eq!(costs.subsequent_access_round_trips, 1);
+        assert!(costs.user_present_required);
+        assert!(!costs.central_decision_point);
+    }
+
+    #[test]
+    fn unapproved_token_cannot_be_exchanged() {
+        let net = SimNet::new();
+        let server = OAuthServer::new("s.example");
+        net.register(server);
+        let rt = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://s.example/oauth/request_token"),
+        );
+        let at = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://s.example/oauth/access_token")
+                .with_param("oauth_token", &rt.body)
+                .with_param("consumer", "c"),
+        );
+        assert_eq!(at.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn resource_requires_valid_token() {
+        let net = SimNet::new();
+        let server = OAuthServer::new("s.example");
+        server.put_resource("r", "content");
+        net.register(server);
+        let bare = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://s.example/resource/r"),
+        );
+        assert_eq!(bare.status, Status::Unauthorized);
+        let forged = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://s.example/resource/r").with_bearer("fake"),
+        );
+        assert_eq!(forged.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn request_token_replay_rejected() {
+        let net = SimNet::new();
+        let costs_net = SimNet::new();
+        let _ = costs_net; // silence
+        let server = OAuthServer::new("s.example");
+        server.put_resource("r", "content");
+        net.register(server);
+        let rt = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://s.example/oauth/request_token"),
+        );
+        net.dispatch(
+            "browser:owner",
+            Request::new(Method::Get, "https://s.example/oauth/authorize")
+                .with_param("oauth_token", &rt.body),
+        );
+        let first = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://s.example/oauth/access_token")
+                .with_param("oauth_token", &rt.body)
+                .with_param("consumer", "c"),
+        );
+        assert!(first.status.is_success());
+        // The request token is consumed.
+        let replay = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://s.example/oauth/access_token")
+                .with_param("oauth_token", &rt.body)
+                .with_param("consumer", "c"),
+        );
+        assert_eq!(replay.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,313 @@
+//! OAuth WRAP-style authorization (§VIII).
+//!
+//! "the OAuth Web Resource Authorization Profile (WRAP) allows for
+//! externalizing access control functionality from Web applications to one
+//! or more components called Authorization Servers. An Authorization
+//! Server issues Access Tokens to Client applications which must present
+//! this token when requesting access to a Protected Resource. In OAuth
+//! WRAP there is **no direct communication** between the application
+//! hosting resources and the Authorization Server. It is the **hosting
+//! application that makes an access control decision** based on the
+//! provided token."
+//!
+//! Concretely: the AS signs self-contained tokens with a key it shares
+//! with the host out-of-band; the host validates tokens locally and never
+//! queries the AS at access time.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ucam_crypto::SigningKey;
+use ucam_policy::{AccessRequest, Action, EvalContext, Outcome, RulePolicy};
+use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+
+use crate::FlowCosts;
+
+/// The WRAP Authorization Server: evaluates a policy and mints signed,
+/// self-contained access tokens.
+pub struct WrapAuthServer {
+    authority: String,
+    key: SigningKey,
+    policy: RwLock<RulePolicy>,
+}
+
+impl std::fmt::Debug for WrapAuthServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WrapAuthServer")
+            .field("authority", &self.authority)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WrapAuthServer {
+    /// Creates an AS at `authority` with an empty (deny-all) policy.
+    #[must_use]
+    pub fn new(authority: &str) -> Arc<Self> {
+        Arc::new(WrapAuthServer {
+            authority: authority.to_owned(),
+            key: SigningKey::generate(),
+            policy: RwLock::new(RulePolicy::new()),
+        })
+    }
+
+    /// Installs the owner's policy at the AS.
+    pub fn set_policy(&self, policy: RulePolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// The verification key a host receives out-of-band. (In real WRAP
+    /// this is a shared secret / PKI relationship.)
+    #[must_use]
+    pub fn verification_key(&self) -> SigningKey {
+        self.key.clone()
+    }
+}
+
+impl WebApp for WrapAuthServer {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        if req.url.path() != "/wrap/token" {
+            return Response::not_found(req.url.path());
+        }
+        let (requester, resource, subject) = (
+            req.param("requester").unwrap_or("anonymous").to_owned(),
+            match req.param("resource") {
+                Some(r) => r.to_owned(),
+                None => return Response::bad_request("resource required"),
+            },
+            req.param("subject").map(str::to_owned),
+        );
+        let mut access =
+            AccessRequest::new("wrap-host.example", &resource, Action::Read).via_app(&requester);
+        if let Some(s) = &subject {
+            access = access.by_user(s);
+        }
+        let outcome = self.policy.read().evaluate(&EvalContext::new(&access, 0));
+        if outcome != Outcome::Permit {
+            return Response::forbidden("denied by authorization server policy");
+        }
+        let payload = format!("res={resource};req={requester}");
+        Response::ok().with_body(self.key.seal(payload.as_bytes()))
+    }
+}
+
+/// The WRAP protected-resource host: validates tokens **locally**.
+pub struct WrapHost {
+    authority: String,
+    verify_key: SigningKey,
+    resources: RwLock<std::collections::HashMap<String, String>>,
+}
+
+impl std::fmt::Debug for WrapHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WrapHost")
+            .field("authority", &self.authority)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WrapHost {
+    /// Creates a host trusting tokens signed by `verify_key`.
+    #[must_use]
+    pub fn new(authority: &str, verify_key: SigningKey) -> Arc<Self> {
+        Arc::new(WrapHost {
+            authority: authority.to_owned(),
+            verify_key,
+            resources: RwLock::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// Stores a resource.
+    pub fn put_resource(&self, id: &str, content: &str) {
+        self.resources
+            .write()
+            .insert(id.to_owned(), content.to_owned());
+    }
+}
+
+impl WebApp for WrapHost {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        let Some(id) = req.url.path().strip_prefix("/resource/") else {
+            return Response::not_found(req.url.path());
+        };
+        // Local validation: no call to the AS (the defining WRAP property).
+        let valid = req.bearer_token().is_some_and(|token| {
+            self.verify_key
+                .open(token)
+                .ok()
+                .and_then(|payload| String::from_utf8(payload).ok())
+                .is_some_and(|text| text.contains(&format!("res={id}")))
+        });
+        if !valid {
+            return Response::with_status(Status::Unauthorized).with_body("token required");
+        }
+        match self.resources.read().get(id) {
+            Some(content) => Response::ok().with_body(content.clone()),
+            None => Response::not_found(id),
+        }
+    }
+}
+
+/// Runs the WRAP flow (discover 401 → AS token → access) and a subsequent
+/// access, reporting measured costs.
+#[must_use]
+pub fn measure(net: &SimNet) -> FlowCosts {
+    use ucam_policy::{Rule, Subject};
+
+    let auth_server = WrapAuthServer::new("wrap-as.example");
+    auth_server.set_policy(
+        RulePolicy::new()
+            .with_rule(Rule::permit().for_subject(Subject::App("client.example".into()))),
+    );
+    let host = WrapHost::new("wrap-host.example", auth_server.verification_key());
+    host.put_resource("photo-1", "pixels");
+    net.register(auth_server);
+    net.register(host);
+
+    net.reset_stats();
+    // 1. Client tries the resource, discovers it is protected.
+    let bare = net.dispatch(
+        "client.example",
+        Request::new(Method::Get, "https://wrap-host.example/resource/photo-1"),
+    );
+    assert_eq!(bare.status, Status::Unauthorized);
+    // 2. Client obtains a token from the AS.
+    let token = net.dispatch(
+        "client.example",
+        Request::new(Method::Post, "https://wrap-as.example/wrap/token")
+            .with_param("requester", "client.example")
+            .with_param("resource", "photo-1"),
+    );
+    assert!(token.status.is_success());
+    // 3. Access with the token; the host validates locally.
+    let first = net.dispatch(
+        "client.example",
+        Request::new(Method::Get, "https://wrap-host.example/resource/photo-1")
+            .with_bearer(&token.body),
+    );
+    assert!(first.status.is_success());
+    let first_access = net.stats().round_trips;
+
+    net.reset_stats();
+    let again = net.dispatch(
+        "client.example",
+        Request::new(Method::Get, "https://wrap-host.example/resource/photo-1")
+            .with_bearer(&token.body),
+    );
+    assert!(again.status.is_success());
+    let subsequent = net.stats().round_trips;
+
+    FlowCosts {
+        name: "oauth-wrap",
+        first_access_round_trips: first_access,
+        subsequent_access_round_trips: subsequent,
+        user_present_required: false,
+        // The AS is chosen per deployment, not by the user, and the host
+        // never consults it at decision time.
+        central_decision_point: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_policy::{Rule, Subject};
+
+    #[test]
+    fn flow_costs() {
+        let net = SimNet::new();
+        let costs = measure(&net);
+        assert_eq!(costs.first_access_round_trips, 3);
+        assert_eq!(costs.subsequent_access_round_trips, 1);
+        assert!(!costs.user_present_required);
+    }
+
+    #[test]
+    fn host_validates_locally_without_as() {
+        // The AS can disappear after issuing; access still works — showing
+        // there is no host->AS communication (and no revocation path).
+        let net = SimNet::new();
+        let auth_server = WrapAuthServer::new("as.example");
+        auth_server.set_policy(
+            RulePolicy::new().with_rule(Rule::permit().for_subject(Subject::App("c".into()))),
+        );
+        let host = WrapHost::new("h.example", auth_server.verification_key());
+        host.put_resource("r", "content");
+        net.register(auth_server);
+        net.register(host);
+        let token = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://as.example/wrap/token")
+                .with_param("requester", "c")
+                .with_param("resource", "r"),
+        );
+        net.set_offline("as.example", true);
+        let resp = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://h.example/resource/r").with_bearer(&token.body),
+        );
+        assert_eq!(resp.status, Status::Ok, "host decided without the AS");
+    }
+
+    #[test]
+    fn token_bound_to_resource() {
+        let net = SimNet::new();
+        let auth_server = WrapAuthServer::new("as.example");
+        auth_server.set_policy(
+            RulePolicy::new().with_rule(Rule::permit().for_subject(Subject::App("c".into()))),
+        );
+        let host = WrapHost::new("h.example", auth_server.verification_key());
+        host.put_resource("r1", "one");
+        host.put_resource("r2", "two");
+        net.register(auth_server);
+        net.register(host);
+        let token = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://as.example/wrap/token")
+                .with_param("requester", "c")
+                .with_param("resource", "r1"),
+        );
+        let cross = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://h.example/resource/r2").with_bearer(&token.body),
+        );
+        assert_eq!(cross.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn as_denies_by_policy() {
+        let net = SimNet::new();
+        let auth_server = WrapAuthServer::new("as.example");
+        net.register(auth_server);
+        let resp = net.dispatch(
+            "c",
+            Request::new(Method::Post, "https://as.example/wrap/token")
+                .with_param("requester", "c")
+                .with_param("resource", "r"),
+        );
+        assert_eq!(resp.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let net = SimNet::new();
+        let real = WrapAuthServer::new("as.example");
+        let host = WrapHost::new("h.example", real.verification_key());
+        host.put_resource("r", "content");
+        net.register(host);
+        let forged = SigningKey::generate().seal(b"res=r;req=c");
+        let resp = net.dispatch(
+            "c",
+            Request::new(Method::Get, "https://h.example/resource/r").with_bearer(&forged),
+        );
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+}

@@ -1,0 +1,52 @@
+//! E8 — §II/§III vs §V.C: administration effort of sharing with N friends
+//! across M hosts, siloed vs centralized, plus the regenerated table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ucam_baselines::siloed::SiloedWorld;
+use ucam_policy::Action;
+use ucam_sim::experiments::costs;
+
+fn print_table() {
+    eprintln!("\n{}", costs::e8_table(&[1, 2, 5, 10, 20], &[1, 3, 5], 4));
+}
+
+fn bench_siloed_sharing(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e8/siloed_share_all");
+    for friends in [1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(friends), &friends, |b, &n| {
+            b.iter_batched(
+                || SiloedWorld::new(3, 4),
+                |mut world| {
+                    for i in 0..n {
+                        world.share_all_with(&format!("friend-{i}"), &Action::Read);
+                    }
+                    world.effort().total()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_centralized_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/centralized_share_all");
+    for friends in [1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(friends), &friends, |b, &n| {
+            b.iter(|| {
+                let rows = costs::e8_admin_effort(&[n], &[3], 4);
+                rows[0].centralized_ops
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_siloed_sharing, bench_centralized_sharing
+);
+criterion_main!(benches);

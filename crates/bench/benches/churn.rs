@@ -1,0 +1,52 @@
+//! Soak bench: the randomized sharing-churn simulation — grants,
+//! revocations and accesses against the full protocol stack, with
+//! ground-truth checking on every access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ucam_sim::churn::{run, ChurnConfig};
+
+fn print_report() {
+    let report = run(&ChurnConfig {
+        steps: 1000,
+        ..ChurnConfig::default()
+    });
+    eprintln!(
+        "\n[churn] 1000-step soak: {} accesses ({} granted / {} denied), \
+         {} grants, {} revocations, {} round trips, {} violations\n",
+        report.accesses,
+        report.granted,
+        report.denied,
+        report.grants,
+        report.revocations,
+        report.round_trips,
+        report.violations
+    );
+    assert_eq!(report.violations, 0);
+}
+
+fn bench_churn(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("churn/steps");
+    for steps in [100usize, 500] {
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let report = run(&ChurnConfig {
+                    steps,
+                    ..ChurnConfig::default()
+                });
+                assert_eq!(report.violations, 0);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_churn
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E12/E13 — the consent and claims gates (§V.D, §VII) and the central
+//! audit correlation (C4), with their regenerated tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ucam_am::audit::{AuditEntry, AuditEvent, AuditLog};
+use ucam_policy::{Action, Outcome, ResourceRef};
+use ucam_sim::experiments::extensions;
+use ucam_sim::world::HOSTS;
+
+fn print_tables() {
+    eprintln!("\n{}", extensions::e12_table());
+    eprintln!("{}", extensions::e13_table(3));
+}
+
+fn bench_consent_flow(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("e12/full_gate_comparison", |b| {
+        b.iter(extensions::e12_extensions);
+    });
+}
+
+fn bench_consent_queue_ops(c: &mut Criterion) {
+    use ucam_am::consent::ConsentQueue;
+    c.bench_function("e12/consent_open_grant", |b| {
+        b.iter_batched(
+            ConsentQueue::new,
+            |mut queue| {
+                let id = queue.open(
+                    "bob",
+                    "req",
+                    Some("alice"),
+                    ResourceRef::new("h", "r"),
+                    Action::Read,
+                    0,
+                );
+                queue.grant(&id).unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn synthetic_log(entries: usize) -> AuditLog {
+    let mut log = AuditLog::new();
+    for i in 0..entries {
+        let requester = format!("requester:r{}", i % 50);
+        let host = HOSTS[i % HOSTS.len()];
+        log.record(
+            AuditEntry::new(
+                i as u64,
+                "bob",
+                AuditEvent::Decision {
+                    outcome: Outcome::Permit,
+                },
+            )
+            .on_resource(ResourceRef::new(host, &format!("res-{i}")))
+            .by_requester(&requester, None)
+            .for_action(Action::Read),
+        );
+    }
+    log
+}
+
+fn bench_audit_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13/audit_correlate");
+    for entries in [1_000usize, 10_000, 100_000] {
+        let log = synthetic_log(entries);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &log, |b, log| {
+            b.iter(|| {
+                log.correlate_requester(std::hint::black_box("requester:r7"))
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_consent_flow, bench_consent_queue_ops, bench_audit_correlation
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E14 — §III.2: policy migration between hosts. Translation throughput
+//! and the regenerated re-compose / translate / centralized table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ucam_policy::translate::{matrix_to_rules, rules_to_matrix, translate, Language};
+use ucam_policy::{AclMatrix, Action, Policy, Rule, RulePolicy, Subject};
+use ucam_sim::experiments::prototype;
+
+fn print_table() {
+    eprintln!("\n{}", prototype::e14_table(20, 10));
+}
+
+fn translatable_rules(n: usize) -> RulePolicy {
+    let mut rules = RulePolicy::new();
+    for i in 0..n {
+        rules.push(
+            Rule::permit()
+                .for_subject(Subject::User(format!("friend-{i}")))
+                .for_action(Action::Read)
+                .for_action(Action::List),
+        );
+    }
+    rules
+}
+
+fn bench_translation(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e14/translate");
+    for n in [10usize, 100, 1000] {
+        let rules = translatable_rules(n);
+        let matrix: AclMatrix = rules_to_matrix(&rules).expect("translatable corpus");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("rules_to_matrix", n),
+            &rules,
+            |b, rules| {
+                b.iter(|| rules_to_matrix(std::hint::black_box(rules)).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matrix_to_rules", n),
+            &matrix,
+            |b, matrix| {
+                b.iter(|| matrix_to_rules(std::hint::black_box(matrix)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policy_level_translate(c: &mut Criterion) {
+    let policy = Policy::rules("p", translatable_rules(100));
+    c.bench_function("e14/translate_policy_100_rules", |b| {
+        b.iter(|| translate(std::hint::black_box(&policy), Language::Matrix).unwrap());
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_translation, bench_policy_level_translate
+);
+criterion_main!(benches);

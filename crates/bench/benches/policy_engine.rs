@@ -1,0 +1,51 @@
+//! E10 — §VI: the two-stage general+specific policy engine. Evaluation
+//! throughput as the policy set and realm structure scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ucam_sim::experiments::prototype::{e10_engine_workload, run_engine_workload};
+
+fn print_distribution() {
+    let workload = e10_engine_workload(1000, 10, 10_000, 42);
+    let (permits, denies) = run_engine_workload(&workload);
+    eprintln!(
+        "\n[E10] engine decision distribution over 10k requests, 1k resources, 10 realms: \
+         {permits} permits / {denies} denies\n"
+    );
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    print_distribution();
+    let mut group = c.benchmark_group("e10/engine_eval");
+    for resources in [100usize, 1_000, 10_000] {
+        let workload = e10_engine_workload(resources, resources / 10 + 1, 1_000, 42);
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resources),
+            &workload,
+            |b, workload| {
+                b.iter(|| run_engine_workload(std::hint::black_box(workload)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    use ucam_policy::{EvalContext, PolicyEngine};
+    let workload = e10_engine_workload(1_000, 100, 1, 7);
+    let request = &workload.requests[0];
+    c.bench_function("e10/single_two_stage_eval", |b| {
+        b.iter(|| {
+            let ctx = EvalContext::new(request, 0).with_groups(&workload.groups);
+            PolicyEngine::evaluate(std::hint::black_box(&workload.set), &ctx)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_engine_scaling, bench_single_evaluation
+);
+criterion_main!(benches);

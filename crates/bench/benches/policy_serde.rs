@@ -1,0 +1,62 @@
+//! E11 — §VI: JSON/XML policy import-export throughput and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ucam_policy::xml;
+use ucam_sim::experiments::prototype::{e11_policy_corpus, e11_serde_roundtrip};
+
+fn print_sizes() {
+    eprintln!("\n[E11] export payload sizes (mixed matrix/rule corpus):");
+    eprintln!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "policies", "json bytes", "xml bytes", "lossless"
+    );
+    for n in [10usize, 100, 1000] {
+        let result = e11_serde_roundtrip(n, 42);
+        eprintln!(
+            "{:>10} {:>12} {:>12} {:>10}",
+            result.policies, result.json_bytes, result.xml_bytes, result.lossless
+        );
+    }
+    eprintln!();
+}
+
+fn bench_serde(c: &mut Criterion) {
+    print_sizes();
+    let mut group = c.benchmark_group("e11/policy_serde");
+    for n in [10usize, 100, 1000] {
+        let corpus = e11_policy_corpus(n, 42);
+        let json = serde_json_export(&corpus);
+        let xml_doc = xml::policies_to_xml(&corpus);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("json_export", n), &corpus, |b, corpus| {
+            b.iter(|| serde_json_export(std::hint::black_box(corpus)));
+        });
+        group.bench_with_input(BenchmarkId::new("json_import", n), &json, |b, json| {
+            b.iter(|| {
+                let policies: Vec<ucam_policy::Policy> =
+                    serde_json::from_str(std::hint::black_box(json)).unwrap();
+                policies
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("xml_export", n), &corpus, |b, corpus| {
+            b.iter(|| xml::policies_to_xml(std::hint::black_box(corpus)));
+        });
+        group.bench_with_input(BenchmarkId::new("xml_import", n), &xml_doc, |b, doc| {
+            b.iter(|| xml::policies_from_xml(std::hint::black_box(doc)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn serde_json_export(corpus: &[ucam_policy::Policy]) -> String {
+    serde_json::to_string(corpus).expect("export is infallible")
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_serde
+);
+criterion_main!(benches);

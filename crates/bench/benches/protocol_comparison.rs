@@ -1,0 +1,47 @@
+//! E9 — §VIII: first-access cost of every protocol variant on the same
+//! substrate, plus the regenerated comparison table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ucam_baselines::{authz_state, oauth10a, wrap};
+use ucam_sim::experiments::costs;
+use ucam_sim::world::HOSTS;
+use ucam_webenv::SimNet;
+
+fn print_table() {
+    eprintln!("\n{}", costs::e9_table());
+    eprintln!("{}", costs::e15_table());
+}
+
+fn bench_variants(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e9/first_access");
+
+    group.bench_function("ucam", |b| {
+        b.iter_batched(
+            ucam_bench::shared_world,
+            |mut world| {
+                let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+                assert!(outcome.is_granted());
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("uma_authz_state", |b| {
+        b.iter(|| authz_state::measure(&SimNet::new(), true));
+    });
+    group.bench_function("oauth_wrap", |b| {
+        b.iter(|| wrap::measure(&SimNet::new()));
+    });
+    group.bench_function("oauth_10a", |b| {
+        b.iter(|| oauth10a::measure(&SimNet::new()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E2/E3/E4 — the protocol phases of Fig. 2: wall-clock cost of each phase
+//! plus the regenerated per-phase message-count table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ucam_sim::experiments::figures;
+use ucam_sim::world::{World, HOSTS};
+
+fn print_phase_table() {
+    let (phases, _) = figures::e2_protocol_phases(40);
+    eprintln!("\n[E2] Fig. 2 protocol phases (40 ms per hop):");
+    eprintln!(
+        "{:<32} {:>12} {:>18}",
+        "phase", "round trips", "modelled ms"
+    );
+    for phase in &phases {
+        eprintln!(
+            "{:<32} {:>12} {:>18}",
+            phase.phase, phase.round_trips, phase.modelled_latency_ms
+        );
+    }
+    eprintln!("\n[E2-sweep] per-phase modelled ms across hop latencies:");
+    eprint!("{:>10}", "hop ms");
+    for phase in &phases {
+        eprint!(" {:>28}", phase.phase);
+    }
+    eprintln!();
+    for row in figures::e2_latency_sweep(&[0, 40, 200]) {
+        eprint!("{:>10}", row.per_hop_ms);
+        for ms in &row.phase_ms {
+            eprint!(" {ms:>28}");
+        }
+        eprintln!();
+    }
+    eprintln!();
+}
+
+fn bench_delegation(c: &mut Criterion) {
+    print_phase_table();
+    c.bench_function("e3/fig3_delegation_flow", |b| {
+        b.iter_batched(
+            World::bootstrap,
+            |mut world| world.delegate_host("bob", HOSTS[0]),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    c.bench_function("e4/fig4_compose_flow", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::bootstrap();
+                world.upload_content(1);
+                world.delegate_host("bob", HOSTS[0]);
+                let policy = world
+                    .am
+                    .pap("bob", |account| {
+                        account.create_policy(
+                            "p",
+                            ucam_policy::PolicyBody::Rules(
+                                ucam_policy::RulePolicy::new().with_rule(
+                                    ucam_policy::Rule::permit()
+                                        .for_subject(ucam_policy::Subject::Public)
+                                        .for_action(ucam_policy::Action::Read),
+                                ),
+                            ),
+                        )
+                    })
+                    .expect("bob exists");
+                (world, policy)
+            },
+            |(mut world, policy)| {
+                world.compose_via_redirect("bob", HOSTS[0], "albums/rome/photo-0", &policy)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_full_first_access(c: &mut Criterion) {
+    c.bench_function("e2/full_first_access", |b| {
+        b.iter_batched(
+            ucam_bench::shared_world,
+            |mut world| world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_delegation, bench_compose, bench_full_first_access
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E7 — §V.B.6: subsequent-access ablation across the four cache
+//! configurations, plus the regenerated table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ucam_sim::experiments::costs;
+use ucam_sim::world::HOSTS;
+
+fn print_table() {
+    eprintln!("\n{}", costs::e7_table(40));
+}
+
+fn bench_subsequent_configs(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e7/subsequent_access");
+    for (name, token_reuse, decision_cache) in [
+        ("no_reuse_no_cache", false, false),
+        ("token_reuse_only", true, false),
+        ("decision_cache_only", false, true),
+        ("both_caches", true, true),
+    ] {
+        let mut world = ucam_bench::shared_world();
+        world.set_decision_caches(decision_cache);
+        assert!(world
+            .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+            .is_granted());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                if !token_reuse {
+                    world.client("alice").clear_tokens();
+                }
+                let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+                assert!(outcome.is_granted());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_subsequent_configs
+);
+criterion_main!(benches);

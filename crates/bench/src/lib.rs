@@ -1,0 +1,37 @@
+//! Shared fixtures for the UCAM benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one experiment from
+//! `EXPERIMENTS.md` (E2–E14): it prints the experiment's table once (so
+//! `cargo bench` output contains the reproduced results) and then measures
+//! the hot path with Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ucam_sim::world::World;
+
+/// Builds the standard shared world: content uploaded, all hosts
+/// delegated, friends-read policy composed — the starting point for every
+/// protocol bench.
+#[must_use]
+pub fn shared_world() -> World {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_sim::world::HOSTS;
+
+    #[test]
+    fn shared_world_grants_alice() {
+        let mut world = shared_world();
+        assert!(world
+            .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+            .is_granted());
+    }
+}

@@ -1,0 +1,829 @@
+//! The Host framework: resource storage plus the Policy Enforcement Point.
+//!
+//! "A Host can be any Web application that allows Users to create or upload
+//! and then share data … access control functionality of such an
+//! application is delegated to AM. Therefore, a Host is only concerned with
+//! access control enforcement of decisions that are issued by AM. As such,
+//! a Host acts as a policy enforcement point (PEP)." (§V.A.3)
+//!
+//! [`HostCore`] implements everything a concrete Host application needs:
+//!
+//! * a resource store with owners,
+//! * delegation management — per **user** or per **resource**, possibly to
+//!   different AMs ("gives Users the possibility to delegate access control
+//!   for different resources to different AMs as well", §V.A.3),
+//! * the PEP itself ([`HostCore::enforce`]): redirecting token-less
+//!   requesters to the AM (Fig. 5), validating tokens via decision queries
+//!   (Fig. 6), and the user-controllable **decision cache** (§V.B.5–6),
+//! * a built-in legacy ACL mechanism (the §III status quo, used by the
+//!   baselines and before any delegation is configured),
+//! * a host-local access log (compared against the AM's central audit log
+//!   in experiment E13).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use ucam_policy::{AccessRequest, AclMatrix, Action, EvalContext, Outcome, ResourceRef};
+use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url};
+
+/// A stored Web resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Host-local id (path-like, e.g. `albums/rome/photo-1`).
+    pub id: String,
+    /// Owning user.
+    pub owner: String,
+    /// Content kind (`photo`, `file`, `document`, …).
+    pub kind: String,
+    /// Content bytes.
+    pub data: Vec<u8>,
+    /// Creation time (simulated ms).
+    pub created_at_ms: u64,
+}
+
+/// Where a user's (or resource's) access control is delegated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegationConfig {
+    /// The chosen Authorization Manager's authority.
+    pub am: String,
+    /// The host access token sealing the relationship.
+    pub host_token: String,
+    /// Delegation id at the AM.
+    pub delegation_id: String,
+}
+
+/// One cached permit decision.
+#[derive(Debug, Clone)]
+struct CachedDecision {
+    expires_at_ms: u64,
+}
+
+/// A host-local access-log entry (the per-host view E13 contrasts with the
+/// AM's central audit log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostLogEntry {
+    /// Event time (ms).
+    pub at_ms: u64,
+    /// Requester label.
+    pub requester: String,
+    /// Resource id.
+    pub resource_id: String,
+    /// Action attempted.
+    pub action: Action,
+    /// `true` when access was granted.
+    pub granted: bool,
+    /// How the decision was reached.
+    pub via: DecisionPath,
+}
+
+/// How the PEP reached its verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionPath {
+    /// Fresh decision query to the AM (Fig. 6).
+    AmQuery,
+    /// Served from the decision cache (§V.B.6).
+    Cache,
+    /// Evaluated by the built-in legacy ACLs (§III status quo).
+    LegacyAcl,
+    /// Requester had no token: redirected to the AM (Fig. 5).
+    RedirectedToAm,
+    /// Rejected without consulting anything (bad token, AM unreachable…).
+    Refused,
+}
+
+/// PEP counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PepStats {
+    /// Decision queries sent to AMs.
+    pub am_queries: u64,
+    /// Permits served from the decision cache.
+    pub cache_hits: u64,
+    /// Redirects of token-less requesters to an AM.
+    pub redirects: u64,
+    /// Accesses decided by legacy ACLs.
+    pub legacy_checks: u64,
+}
+
+/// What the PEP tells the application to do with a request.
+#[derive(Debug, Clone)]
+pub enum Enforcement {
+    /// Serve the resource.
+    Grant,
+    /// Send this response instead (redirect to AM, 401, 403, 404, 503…).
+    Block(Response),
+}
+
+impl Enforcement {
+    /// Returns `true` for [`Enforcement::Grant`].
+    #[must_use]
+    pub fn is_grant(&self) -> bool {
+        matches!(self, Enforcement::Grant)
+    }
+}
+
+/// An error from host-side storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// No such resource.
+    NotFound(String),
+    /// A resource with this id already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::NotFound(id) => write!(f, "no such resource: {id}"),
+            HostError::AlreadyExists(id) => write!(f, "resource already exists: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+#[derive(Default)]
+struct HostState {
+    resources: BTreeMap<String, Resource>,
+    /// user -> delegation for all their resources on this host.
+    user_delegations: HashMap<String, DelegationConfig>,
+    /// resource id -> delegation override (different AM per resource).
+    resource_delegations: HashMap<String, DelegationConfig>,
+    /// (requester, resource, action) -> cached permit.
+    decision_cache: HashMap<(String, String, Action), CachedDecision>,
+    /// resource id -> built-in ACL (legacy mechanism).
+    legacy_acls: HashMap<String, AclMatrix>,
+    log: Vec<HostLogEntry>,
+    stats: PepStats,
+    cache_enabled: bool,
+}
+
+/// The Host framework core. Concrete applications (WebPics, WebStorage,
+/// WebDocs) embed one and add their domain routes on top.
+///
+/// # Example
+///
+/// ```
+/// use ucam_host::core::HostCore;
+/// use ucam_webenv::SimClock;
+///
+/// let host = HostCore::new("webpics.example", SimClock::new());
+/// host.put_resource("photo-1", "bob", "photo", b"...".to_vec()).unwrap();
+/// assert_eq!(host.resource("photo-1").unwrap().owner, "bob");
+/// ```
+pub struct HostCore {
+    authority: String,
+    clock: SimClock,
+    state: RwLock<HostState>,
+}
+
+impl fmt::Debug for HostCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostCore")
+            .field("authority", &self.authority)
+            .field("resources", &self.state.read().resources.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HostCore {
+    /// Creates an empty host addressed as `authority`, with the decision
+    /// cache enabled.
+    #[must_use]
+    pub fn new(authority: &str, clock: SimClock) -> Self {
+        let state = HostState {
+            cache_enabled: true,
+            ..HostState::default()
+        };
+        HostCore {
+            authority: authority.to_owned(),
+            clock,
+            state: RwLock::new(state),
+        }
+    }
+
+    /// The host's authority.
+    #[must_use]
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// Enables or disables the decision cache (E7 ablation knob).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        let mut state = self.state.write();
+        state.cache_enabled = enabled;
+        if !enabled {
+            state.decision_cache.clear();
+        }
+    }
+
+    /// Drops all cached decisions (e.g. after the user edited policies).
+    pub fn flush_decision_cache(&self) {
+        self.state.write().decision_cache.clear();
+    }
+
+    /// Returns the PEP counters.
+    #[must_use]
+    pub fn stats(&self) -> PepStats {
+        self.state.read().stats
+    }
+
+    /// Zeroes the PEP counters.
+    pub fn reset_stats(&self) {
+        self.state.write().stats = PepStats::default();
+    }
+
+    /// Returns a snapshot of the host-local access log.
+    #[must_use]
+    pub fn log(&self) -> Vec<HostLogEntry> {
+        self.state.read().log.clone()
+    }
+
+    // -- resource store ------------------------------------------------------
+
+    /// Stores a new resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::AlreadyExists`] when the id is taken.
+    pub fn put_resource(
+        &self,
+        id: &str,
+        owner: &str,
+        kind: &str,
+        data: Vec<u8>,
+    ) -> Result<(), HostError> {
+        let mut state = self.state.write();
+        if state.resources.contains_key(id) {
+            return Err(HostError::AlreadyExists(id.to_owned()));
+        }
+        state.resources.insert(
+            id.to_owned(),
+            Resource {
+                id: id.to_owned(),
+                owner: owner.to_owned(),
+                kind: kind.to_owned(),
+                data,
+                created_at_ms: self.clock.now_ms(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Replaces a resource's content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::NotFound`] when absent.
+    pub fn update_resource(&self, id: &str, data: Vec<u8>) -> Result<(), HostError> {
+        let mut state = self.state.write();
+        let resource = state
+            .resources
+            .get_mut(id)
+            .ok_or_else(|| HostError::NotFound(id.to_owned()))?;
+        resource.data = data;
+        Ok(())
+    }
+
+    /// Reads a resource.
+    #[must_use]
+    pub fn resource(&self, id: &str) -> Option<Resource> {
+        self.state.read().resources.get(id).cloned()
+    }
+
+    /// Deletes a resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostError::NotFound`] when absent.
+    pub fn delete_resource(&self, id: &str) -> Result<Resource, HostError> {
+        self.state
+            .write()
+            .resources
+            .remove(id)
+            .ok_or_else(|| HostError::NotFound(id.to_owned()))
+    }
+
+    /// Lists resources owned by `owner` (sorted by id).
+    #[must_use]
+    pub fn resources_of(&self, owner: &str) -> Vec<Resource> {
+        self.state
+            .read()
+            .resources
+            .values()
+            .filter(|r| r.owner == owner)
+            .cloned()
+            .collect()
+    }
+
+    /// Lists resource ids with the given id prefix (directory listing).
+    #[must_use]
+    pub fn ids_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.state
+            .read()
+            .resources
+            .keys()
+            .filter(|id| id.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    // -- delegation management (Fig. 3) ---------------------------------------
+
+    /// Records that `user` delegated access control (for all their
+    /// resources here) to the AM in `config`.
+    pub fn set_user_delegation(&self, user: &str, config: DelegationConfig) {
+        self.state
+            .write()
+            .user_delegations
+            .insert(user.to_owned(), config);
+    }
+
+    /// Records a per-resource delegation override (possibly a different AM
+    /// than the user-level one, §V.A.3).
+    pub fn set_resource_delegation(&self, resource_id: &str, config: DelegationConfig) {
+        self.state
+            .write()
+            .resource_delegations
+            .insert(resource_id.to_owned(), config);
+    }
+
+    /// Removes `user`'s delegation (back to built-in access control).
+    pub fn clear_user_delegation(&self, user: &str) -> Option<DelegationConfig> {
+        self.state.write().user_delegations.remove(user)
+    }
+
+    /// The delegation governing `resource_id` owned by `owner`:
+    /// resource-level override first, then user-level.
+    #[must_use]
+    pub fn delegation_for(&self, resource_id: &str, owner: &str) -> Option<DelegationConfig> {
+        let state = self.state.read();
+        state
+            .resource_delegations
+            .get(resource_id)
+            .or_else(|| state.user_delegations.get(owner))
+            .cloned()
+    }
+
+    // -- legacy built-in ACLs (§III) -------------------------------------------
+
+    /// Sets the built-in ACL for a resource (the pre-delegation mechanism;
+    /// "Both Hosts have a built-in access control functionality", §VI).
+    pub fn set_legacy_acl(&self, resource_id: &str, acl: AclMatrix) {
+        self.state
+            .write()
+            .legacy_acls
+            .insert(resource_id.to_owned(), acl);
+    }
+
+    /// Reads the built-in ACL for a resource.
+    #[must_use]
+    pub fn legacy_acl(&self, resource_id: &str) -> Option<AclMatrix> {
+        self.state.read().legacy_acls.get(resource_id).cloned()
+    }
+
+    // -- the PEP ---------------------------------------------------------------
+
+    /// Enforces access control for one request against `resource_id`.
+    ///
+    /// * Owner sessions (`subject == Some(owner)`) are always granted —
+    ///   users manage their own resources through the Host UI.
+    /// * Delegated resources follow the paper's protocol: token-less
+    ///   requesters are redirected to the AM (Fig. 5); token-bearing ones
+    ///   are checked against the decision cache and, on a miss, through an
+    ///   AM decision query (Fig. 6).
+    /// * Undelegated resources fall back to the built-in legacy ACLs.
+    #[allow(clippy::too_many_arguments)] // the PEP consumes the full request tuple
+    pub fn enforce(
+        &self,
+        net: &SimNet,
+        requester: &str,
+        subject: Option<&str>,
+        resource_id: &str,
+        action: &Action,
+        bearer: Option<&str>,
+        return_url: &Url,
+    ) -> Enforcement {
+        let now = self.clock.now_ms();
+        let Some(resource) = self.resource(resource_id) else {
+            return Enforcement::Block(Response::not_found(resource_id));
+        };
+
+        // The owner manages their own data.
+        if subject == Some(resource.owner.as_str()) {
+            return Enforcement::Grant;
+        }
+
+        match self.delegation_for(resource_id, &resource.owner) {
+            Some(delegation) => self.enforce_delegated(
+                net,
+                &delegation,
+                &resource,
+                requester,
+                resource_id,
+                action,
+                bearer,
+                return_url,
+                now,
+            ),
+            None => self.enforce_legacy(subject, requester, &resource, action, now),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enforce_delegated(
+        &self,
+        net: &SimNet,
+        delegation: &DelegationConfig,
+        resource: &Resource,
+        requester: &str,
+        resource_id: &str,
+        action: &Action,
+        bearer: Option<&str>,
+        return_url: &Url,
+        now: u64,
+    ) -> Enforcement {
+        let Some(token) = bearer else {
+            // Fig. 5: "a Host redirects a Requester to the AM along with
+            // information about the Host and the resource".
+            self.record(
+                now,
+                requester,
+                resource_id,
+                action,
+                false,
+                DecisionPath::RedirectedToAm,
+            );
+            self.bump(|s| s.redirects += 1);
+            let authorize = Url::new(&delegation.am, "/authorize")
+                .with_query("host", &self.authority)
+                .with_query("owner", &resource.owner)
+                .with_query("resource", resource_id)
+                .with_query("action", &action.to_string())
+                .with_query("requester", requester)
+                .with_query("return", &return_url.to_string());
+            return Enforcement::Block(
+                Response::redirect(&authorize)
+                    .with_header("www-authenticate", "Bearer realm=\"ucam\""),
+            );
+        };
+
+        // §V.B.6: consult the cached decision first.
+        let cache_key = (requester.to_owned(), resource_id.to_owned(), action.clone());
+        {
+            let state = self.state.read();
+            if state.cache_enabled {
+                if let Some(cached) = state.decision_cache.get(&cache_key) {
+                    if cached.expires_at_ms > now {
+                        drop(state);
+                        self.bump(|s| s.cache_hits += 1);
+                        self.record(
+                            now,
+                            requester,
+                            resource_id,
+                            action,
+                            true,
+                            DecisionPath::Cache,
+                        );
+                        return Enforcement::Grant;
+                    }
+                }
+            }
+        }
+
+        // Fig. 6: decision query to the AM.
+        self.bump(|s| s.am_queries += 1);
+        let query = Request::new(Method::Post, &format!("https://{}/decision", delegation.am))
+            .with_param("host_token", &delegation.host_token)
+            .with_param("token", token)
+            .with_param("resource", resource_id)
+            .with_param("action", &action.to_string())
+            .with_param("requester", requester);
+        let resp = net.dispatch(&self.authority, query);
+
+        match resp.status {
+            Status::Ok if resp.body.contains("\"permit\"") => {
+                let cacheable_ms = parse_cacheable_ms(&resp.body);
+                if cacheable_ms > 0 && self.state.read().cache_enabled {
+                    self.state.write().decision_cache.insert(
+                        cache_key,
+                        CachedDecision {
+                            expires_at_ms: now + cacheable_ms,
+                        },
+                    );
+                }
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    true,
+                    DecisionPath::AmQuery,
+                );
+                Enforcement::Grant
+            }
+            Status::Ok => {
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::AmQuery,
+                );
+                Enforcement::Block(Response::forbidden(
+                    "access denied by authorization manager",
+                ))
+            }
+            Status::Unauthorized => {
+                // Bad/expired token: requester must obtain a fresh one.
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::Refused,
+                );
+                Enforcement::Block(
+                    Response::with_status(Status::Unauthorized)
+                        .with_body("authorization token rejected; re-authorize"),
+                )
+            }
+            _ => {
+                // Fail closed when the AM is unreachable.
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::Refused,
+                );
+                Enforcement::Block(
+                    Response::with_status(Status::Unavailable)
+                        .with_body("authorization manager unreachable; access denied"),
+                )
+            }
+        }
+    }
+
+    fn enforce_legacy(
+        &self,
+        subject: Option<&str>,
+        requester: &str,
+        resource: &Resource,
+        action: &Action,
+        now: u64,
+    ) -> Enforcement {
+        self.bump(|s| s.legacy_checks += 1);
+        let acl = self.legacy_acl(&resource.id).unwrap_or_default();
+        let mut access =
+            AccessRequest::new(&self.authority, &resource.id, action.clone()).via_app(requester);
+        if let Some(subject) = subject {
+            access = access.by_user(subject);
+        }
+        let ctx = EvalContext::new(&access, now);
+        let granted = acl.evaluate(&ctx) == Outcome::Permit;
+        self.record(
+            now,
+            requester,
+            &resource.id,
+            action,
+            granted,
+            DecisionPath::LegacyAcl,
+        );
+        if granted {
+            Enforcement::Grant
+        } else {
+            Enforcement::Block(Response::forbidden("access denied by host access control"))
+        }
+    }
+
+    fn record(
+        &self,
+        at_ms: u64,
+        requester: &str,
+        resource_id: &str,
+        action: &Action,
+        granted: bool,
+        via: DecisionPath,
+    ) {
+        self.state.write().log.push(HostLogEntry {
+            at_ms,
+            requester: requester.to_owned(),
+            resource_id: resource_id.to_owned(),
+            action: action.clone(),
+            granted,
+            via,
+        });
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut PepStats)) {
+        f(&mut self.state.write().stats);
+    }
+
+    /// Builds the global reference for a resource on this host.
+    #[must_use]
+    pub fn resource_ref(&self, resource_id: &str) -> ResourceRef {
+        ResourceRef::new(&self.authority, resource_id)
+    }
+}
+
+/// Extracts `cacheable_ms` from a decision response body.
+fn parse_cacheable_ms(body: &str) -> u64 {
+    body.split("\"cacheable_ms\":")
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_policy::Subject;
+
+    fn host() -> HostCore {
+        let host = HostCore::new("h.example", SimClock::new());
+        host.put_resource("r1", "bob", "file", b"data".to_vec())
+            .unwrap();
+        host
+    }
+
+    #[test]
+    fn resource_crud() {
+        let h = host();
+        assert_eq!(h.resource("r1").unwrap().data, b"data");
+        assert!(matches!(
+            h.put_resource("r1", "bob", "file", vec![]),
+            Err(HostError::AlreadyExists(_))
+        ));
+        h.update_resource("r1", b"new".to_vec()).unwrap();
+        assert_eq!(h.resource("r1").unwrap().data, b"new");
+        assert_eq!(h.resources_of("bob").len(), 1);
+        assert!(h.resources_of("alice").is_empty());
+        h.delete_resource("r1").unwrap();
+        assert!(matches!(
+            h.delete_resource("r1"),
+            Err(HostError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let h = HostCore::new("h.example", SimClock::new());
+        h.put_resource("dir/a", "bob", "file", vec![]).unwrap();
+        h.put_resource("dir/b", "bob", "file", vec![]).unwrap();
+        h.put_resource("other/c", "bob", "file", vec![]).unwrap();
+        assert_eq!(h.ids_with_prefix("dir/"), vec!["dir/a", "dir/b"]);
+    }
+
+    #[test]
+    fn owner_always_granted() {
+        let h = host();
+        let net = SimNet::new();
+        let url = Url::new("h.example", "/r1");
+        let result = h.enforce(
+            &net,
+            "browser:bob",
+            Some("bob"),
+            "r1",
+            &Action::Delete,
+            None,
+            &url,
+        );
+        assert!(result.is_grant());
+    }
+
+    #[test]
+    fn missing_resource_blocks_404() {
+        let h = host();
+        let net = SimNet::new();
+        let url = Url::new("h.example", "/ghost");
+        match h.enforce(&net, "x", None, "ghost", &Action::Read, None, &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::NotFound),
+            Enforcement::Grant => panic!("must not grant a missing resource"),
+        }
+    }
+
+    #[test]
+    fn undelegated_falls_back_to_legacy_acl() {
+        let h = host();
+        let net = SimNet::new();
+        let url = Url::new("h.example", "/r1");
+        // Default-deny without an ACL.
+        match h.enforce(&net, "req", Some("alice"), "r1", &Action::Read, None, &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Forbidden),
+            Enforcement::Grant => panic!("expected deny"),
+        }
+        // Grant Alice read via the built-in mechanism.
+        h.set_legacy_acl(
+            "r1",
+            AclMatrix::new().allow(Subject::User("alice".into()), Action::Read),
+        );
+        assert!(h
+            .enforce(&net, "req", Some("alice"), "r1", &Action::Read, None, &url)
+            .is_grant());
+        assert_eq!(h.stats().legacy_checks, 2);
+        assert_eq!(h.log().len(), 2);
+    }
+
+    #[test]
+    fn delegated_without_token_redirects_to_am() {
+        let h = host();
+        h.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token: "ht".into(),
+                delegation_id: "d-1".into(),
+            },
+        );
+        let net = SimNet::new();
+        let url = Url::new("h.example", "/r1").with_query("x", "1");
+        match h.enforce(&net, "requester:app", None, "r1", &Action::Read, None, &url) {
+            Enforcement::Block(resp) => {
+                assert_eq!(resp.status, Status::Found);
+                let loc = resp.location().unwrap();
+                assert_eq!(loc.authority(), "am.example");
+                assert_eq!(loc.path(), "/authorize");
+                assert_eq!(loc.query("owner"), Some("bob"));
+                assert_eq!(loc.query("resource"), Some("r1"));
+                assert_eq!(loc.query("requester"), Some("requester:app"));
+                assert!(loc.query("return").unwrap().contains("h.example"));
+            }
+            Enforcement::Grant => panic!("expected redirect"),
+        }
+        assert_eq!(h.stats().redirects, 1);
+    }
+
+    #[test]
+    fn resource_delegation_overrides_user_delegation() {
+        let h = host();
+        h.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am-a.example".into(),
+                host_token: "t".into(),
+                delegation_id: "d".into(),
+            },
+        );
+        h.set_resource_delegation(
+            "r1",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "t2".into(),
+                delegation_id: "d2".into(),
+            },
+        );
+        assert_eq!(h.delegation_for("r1", "bob").unwrap().am, "am-b.example");
+        assert_eq!(h.delegation_for("r2", "bob").unwrap().am, "am-a.example");
+        h.clear_user_delegation("bob");
+        assert_eq!(h.delegation_for("r2", "bob"), None);
+    }
+
+    #[test]
+    fn am_unreachable_fails_closed() {
+        let h = host();
+        h.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "ghost-am.example".into(),
+                host_token: "ht".into(),
+                delegation_id: "d-1".into(),
+            },
+        );
+        let net = SimNet::new(); // no AM registered
+        let url = Url::new("h.example", "/r1");
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("token"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unavailable),
+            Enforcement::Grant => panic!("must fail closed"),
+        }
+    }
+
+    #[test]
+    fn parse_cacheable_ms_variants() {
+        assert_eq!(
+            parse_cacheable_ms("{\"decision\":\"permit\",\"cacheable_ms\":60000}"),
+            60000
+        );
+        assert_eq!(
+            parse_cacheable_ms("{\"decision\":\"permit\",\"cacheable_ms\":0}"),
+            0
+        );
+        assert_eq!(parse_cacheable_ms("{\"decision\":\"deny\"}"), 0);
+    }
+
+    #[test]
+    fn cache_toggle_clears() {
+        let h = host();
+        h.set_cache_enabled(false);
+        assert_eq!(h.stats().cache_hits, 0);
+        h.set_cache_enabled(true);
+        h.flush_decision_cache();
+    }
+}

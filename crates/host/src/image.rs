@@ -1,0 +1,343 @@
+//! A tiny raster-image substrate for the WebPics gallery.
+//!
+//! The paper's prototype gallery "allows users to edit their photos
+//! (resize, rotate, crop, etc.)" and "also acts as a Web-based photo
+//! editing tool" (§VI). This module supplies the pixel operations those
+//! endpoints exercise — enough image processing that the editing code paths
+//! are real, without pulling in an image codec.
+
+use std::fmt;
+
+/// A grayscale raster image (one byte per pixel, row-major).
+///
+/// # Example
+///
+/// ```
+/// use ucam_host::image::Image;
+///
+/// let img = Image::gradient(4, 2);
+/// let rotated = img.rotate90();
+/// assert_eq!((rotated.width(), rotated.height()), (2, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+}
+
+/// An error constructing or transforming an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Pixel buffer length does not equal `width * height`.
+    SizeMismatch {
+        /// Expected buffer length.
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// A crop rectangle exceeds the image bounds.
+    CropOutOfBounds,
+    /// A zero width or height was supplied.
+    EmptyDimension,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::SizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer holds {actual} bytes, expected {expected}")
+            }
+            ImageError::CropOutOfBounds => f.write_str("crop rectangle exceeds image bounds"),
+            ImageError::EmptyDimension => f.write_str("image dimensions must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl Image {
+    /// Builds an image from raw pixels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::SizeMismatch`] or [`ImageError::EmptyDimension`].
+    pub fn from_pixels(width: u32, height: u32, pixels: Vec<u8>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyDimension);
+        }
+        let expected = (width as usize) * (height as usize);
+        if pixels.len() != expected {
+            return Err(ImageError::SizeMismatch {
+                expected,
+                actual: pixels.len(),
+            });
+        }
+        Ok(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// A deterministic test image (diagonal gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    #[must_use]
+    pub fn gradient(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be non-zero");
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(((x + y) % 256) as u8);
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw pixel bytes (row-major).
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// The pixel at (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Rotates 90° clockwise.
+    #[must_use]
+    pub fn rotate90(&self) -> Image {
+        let mut out = vec![0u8; self.pixels.len()];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                // (x, y) -> (height-1-y, x) in the rotated image.
+                let nx = self.height - 1 - y;
+                let ny = x;
+                out[(ny * self.height + nx) as usize] = self.pixel(x, y);
+            }
+        }
+        Image {
+            width: self.height,
+            height: self.width,
+            pixels: out,
+        }
+    }
+
+    /// Crops the rectangle at (x, y) with the given size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::CropOutOfBounds`] or [`ImageError::EmptyDimension`].
+    pub fn crop(&self, x: u32, y: u32, width: u32, height: u32) -> Result<Image, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyDimension);
+        }
+        if x.saturating_add(width) > self.width || y.saturating_add(height) > self.height {
+            return Err(ImageError::CropOutOfBounds);
+        }
+        let mut pixels = Vec::with_capacity((width * height) as usize);
+        for row in y..y + height {
+            for col in x..x + width {
+                pixels.push(self.pixel(col, row));
+            }
+        }
+        Ok(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Resizes with nearest-neighbour sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EmptyDimension`] for a zero target size.
+    pub fn resize(&self, width: u32, height: u32) -> Result<Image, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyDimension);
+        }
+        let mut pixels = Vec::with_capacity((width as usize) * (height as usize));
+        for y in 0..height {
+            for x in 0..width {
+                let sx = (u64::from(x) * u64::from(self.width) / u64::from(width)) as u32;
+                let sy = (u64::from(y) * u64::from(self.height) / u64::from(height)) as u32;
+                pixels.push(self.pixel(sx, sy));
+            }
+        }
+        Ok(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Serializes to a simple binary format (the gallery's storage format).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.pixels.len());
+        out.extend_from_slice(&self.width.to_be_bytes());
+        out.extend_from_slice(&self.height.to_be_bytes());
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Deserializes from [`Image::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::SizeMismatch`] for truncated or padded input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Image, ImageError> {
+        if bytes.len() < 8 {
+            return Err(ImageError::SizeMismatch {
+                expected: 8,
+                actual: bytes.len(),
+            });
+        }
+        let width = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let height = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        Image::from_pixels(width, height, bytes[8..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Image::from_pixels(2, 2, vec![0; 4]).is_ok());
+        assert!(matches!(
+            Image::from_pixels(2, 2, vec![0; 3]),
+            Err(ImageError::SizeMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
+        assert!(matches!(
+            Image::from_pixels(0, 2, vec![]),
+            Err(ImageError::EmptyDimension)
+        ));
+    }
+
+    #[test]
+    fn rotate90_moves_pixels_correctly() {
+        // 2x1 image [a b] becomes 1x2 [a; b] ... rotated clockwise:
+        // [a b] -> [a]
+        //          [b]
+        let img = Image::from_pixels(2, 1, vec![10, 20]).unwrap();
+        let rot = img.rotate90();
+        assert_eq!((rot.width(), rot.height()), (1, 2));
+        assert_eq!(rot.pixel(0, 0), 10);
+        assert_eq!(rot.pixel(0, 1), 20);
+    }
+
+    #[test]
+    fn four_rotations_are_identity() {
+        let img = Image::gradient(7, 3);
+        let back = img.rotate90().rotate90().rotate90().rotate90();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn crop_extracts_subrectangle() {
+        let img = Image::gradient(4, 4);
+        let crop = img.crop(1, 2, 2, 2).unwrap();
+        assert_eq!((crop.width(), crop.height()), (2, 2));
+        assert_eq!(crop.pixel(0, 0), img.pixel(1, 2));
+        assert_eq!(crop.pixel(1, 1), img.pixel(2, 3));
+    }
+
+    #[test]
+    fn crop_bounds_checked() {
+        let img = Image::gradient(4, 4);
+        assert!(matches!(
+            img.crop(3, 3, 2, 2),
+            Err(ImageError::CropOutOfBounds)
+        ));
+        assert!(matches!(
+            img.crop(0, 0, 0, 1),
+            Err(ImageError::EmptyDimension)
+        ));
+        // Overflow-safe.
+        assert!(matches!(
+            img.crop(u32::MAX, 0, 2, 2),
+            Err(ImageError::CropOutOfBounds)
+        ));
+    }
+
+    #[test]
+    fn resize_identity_and_downscale() {
+        let img = Image::gradient(8, 8);
+        assert_eq!(img.resize(8, 8).unwrap(), img);
+        let small = img.resize(4, 4).unwrap();
+        assert_eq!((small.width(), small.height()), (4, 4));
+        // Nearest-neighbour picks source pixel (0,0) for target (0,0).
+        assert_eq!(small.pixel(0, 0), img.pixel(0, 0));
+    }
+
+    #[test]
+    fn resize_upscale() {
+        let img = Image::from_pixels(2, 1, vec![0, 255]).unwrap();
+        let big = img.resize(4, 1).unwrap();
+        assert_eq!(big.pixels(), &[0, 0, 255, 255]);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let img = Image::gradient(5, 9);
+        let back = Image::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Image::from_bytes(&[1, 2, 3]).is_err());
+        assert!(Image::from_bytes(&[0, 0, 0, 2, 0, 0, 0, 2, 1]).is_err()); // 2x2 needs 4 px
+    }
+
+    proptest! {
+        #[test]
+        fn rotate_preserves_pixel_multiset(w in 1u32..12, h in 1u32..12) {
+            let img = Image::gradient(w, h);
+            let mut a = img.pixels().to_vec();
+            let mut b = img.rotate90().pixels().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn bytes_roundtrip_any_size(w in 1u32..16, h in 1u32..16) {
+            let img = Image::gradient(w, h);
+            prop_assert_eq!(Image::from_bytes(&img.to_bytes()).unwrap(), img);
+        }
+    }
+}

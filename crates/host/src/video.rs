@@ -1,0 +1,327 @@
+//! A tiny video substrate for the WebVideos host.
+//!
+//! The §II scenario has Bob uploading "video clips" to an online video
+//! service. A [`Video`] is a frame sequence over the [`Image`] raster
+//! substrate with the editing operations a video host exposes: clipping a
+//! frame range, extracting thumbnails, and concatenation.
+
+use std::fmt;
+
+use crate::image::{Image, ImageError};
+
+/// An error constructing or transforming a video.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VideoError {
+    /// No frames supplied.
+    Empty,
+    /// Frames disagree on dimensions.
+    MixedDimensions {
+        /// Dimensions of frame 0.
+        expected: (u32, u32),
+        /// Index of the offending frame.
+        frame: usize,
+    },
+    /// A clip range exceeds the frame count or is inverted.
+    BadRange {
+        /// Requested start (inclusive).
+        start: usize,
+        /// Requested end (exclusive).
+        end: usize,
+        /// Actual frame count.
+        frames: usize,
+    },
+    /// Underlying image problem (decode failures).
+    Image(ImageError),
+    /// The byte stream is not a valid serialized video.
+    Malformed,
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::Empty => f.write_str("video needs at least one frame"),
+            VideoError::MixedDimensions { expected, frame } => write!(
+                f,
+                "frame {frame} does not match video dimensions {}x{}",
+                expected.0, expected.1
+            ),
+            VideoError::BadRange { start, end, frames } => {
+                write!(f, "clip range {start}..{end} invalid for {frames} frames")
+            }
+            VideoError::Image(e) => write!(f, "frame error: {e}"),
+            VideoError::Malformed => f.write_str("malformed video byte stream"),
+        }
+    }
+}
+
+impl std::error::Error for VideoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VideoError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImageError> for VideoError {
+    fn from(e: ImageError) -> Self {
+        VideoError::Image(e)
+    }
+}
+
+/// A constant-dimension frame sequence.
+///
+/// # Example
+///
+/// ```
+/// use ucam_host::video::Video;
+///
+/// let video = Video::test_pattern(4, 4, 10);
+/// assert_eq!(video.frame_count(), 10);
+/// let clip = video.clip(2, 5)?;
+/// assert_eq!(clip.frame_count(), 3);
+/// # Ok::<(), ucam_host::video::VideoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Video {
+    frames: Vec<Image>,
+}
+
+impl Video {
+    /// Builds a video from frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::Empty`] or [`VideoError::MixedDimensions`].
+    pub fn from_frames(frames: Vec<Image>) -> Result<Self, VideoError> {
+        let first = frames.first().ok_or(VideoError::Empty)?;
+        let expected = (first.width(), first.height());
+        for (index, frame) in frames.iter().enumerate() {
+            if (frame.width(), frame.height()) != expected {
+                return Err(VideoError::MixedDimensions {
+                    expected,
+                    frame: index,
+                });
+            }
+        }
+        Ok(Video { frames })
+    }
+
+    /// A deterministic test clip: `n` gradient frames with a per-frame
+    /// brightness shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension or `n` is zero.
+    #[must_use]
+    pub fn test_pattern(width: u32, height: u32, n: usize) -> Self {
+        assert!(n > 0, "need at least one frame");
+        let frames = (0..n)
+            .map(|i| {
+                let base = Image::gradient(width, height);
+                let pixels = base
+                    .pixels()
+                    .iter()
+                    .map(|p| p.wrapping_add((i * 16) as u8))
+                    .collect();
+                Image::from_pixels(width, height, pixels).expect("gradient dims are valid")
+            })
+            .collect();
+        Video { frames }
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frame dimensions (width, height).
+    #[must_use]
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.frames[0].width(), self.frames[0].height())
+    }
+
+    /// Returns frame `index`.
+    #[must_use]
+    pub fn frame(&self, index: usize) -> Option<&Image> {
+        self.frames.get(index)
+    }
+
+    /// Extracts frames `start..end` as a new clip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::BadRange`] for inverted or out-of-bounds
+    /// ranges (an empty result is also a bad range).
+    pub fn clip(&self, start: usize, end: usize) -> Result<Video, VideoError> {
+        if start >= end || end > self.frames.len() {
+            return Err(VideoError::BadRange {
+                start,
+                end,
+                frames: self.frames.len(),
+            });
+        }
+        Ok(Video {
+            frames: self.frames[start..end].to_vec(),
+        })
+    }
+
+    /// The poster thumbnail: frame 0 resized to the given size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::Image`] for a zero target size.
+    pub fn thumbnail(&self, width: u32, height: u32) -> Result<Image, VideoError> {
+        Ok(self.frames[0].resize(width, height)?)
+    }
+
+    /// Appends another clip (dimensions must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::MixedDimensions`] on mismatch.
+    pub fn concat(&self, other: &Video) -> Result<Video, VideoError> {
+        if self.dimensions() != other.dimensions() {
+            return Err(VideoError::MixedDimensions {
+                expected: self.dimensions(),
+                frame: self.frames.len(),
+            });
+        }
+        let mut frames = self.frames.clone();
+        frames.extend(other.frames.iter().cloned());
+        Ok(Video { frames })
+    }
+
+    /// Serializes: `u32 frame-count` then each frame via
+    /// [`Image::to_bytes`] (frames are fixed-size, so no per-frame length).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.frames.len() as u32).to_be_bytes());
+        for frame in &self.frames {
+            out.extend_from_slice(&frame.to_bytes());
+        }
+        out
+    }
+
+    /// Deserializes [`Video::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::Malformed`] for truncated or padded input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Video, VideoError> {
+        if bytes.len() < 4 {
+            return Err(VideoError::Malformed);
+        }
+        let count = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        if count == 0 {
+            return Err(VideoError::Empty);
+        }
+        let rest = &bytes[4..];
+        if rest.len() < 8 {
+            return Err(VideoError::Malformed);
+        }
+        // Frame size comes from the first frame's header.
+        let width = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let height = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+        let frame_bytes = 8 + width * height;
+        if frame_bytes == 8 || rest.len() != frame_bytes * count {
+            return Err(VideoError::Malformed);
+        }
+        let mut frames = Vec::with_capacity(count);
+        for chunk in rest.chunks_exact(frame_bytes) {
+            frames.push(Image::from_bytes(chunk)?);
+        }
+        Video::from_frames(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(Video::from_frames(vec![]), Err(VideoError::Empty)));
+        let mixed = vec![Image::gradient(2, 2), Image::gradient(3, 2)];
+        assert!(matches!(
+            Video::from_frames(mixed),
+            Err(VideoError::MixedDimensions { frame: 1, .. })
+        ));
+        let ok = Video::from_frames(vec![Image::gradient(2, 2); 3]).unwrap();
+        assert_eq!(ok.frame_count(), 3);
+        assert_eq!(ok.dimensions(), (2, 2));
+    }
+
+    #[test]
+    fn clip_ranges() {
+        let video = Video::test_pattern(2, 2, 10);
+        let clip = video.clip(3, 7).unwrap();
+        assert_eq!(clip.frame_count(), 4);
+        assert_eq!(clip.frame(0), video.frame(3));
+        assert!(matches!(video.clip(5, 5), Err(VideoError::BadRange { .. })));
+        assert!(matches!(video.clip(7, 3), Err(VideoError::BadRange { .. })));
+        assert!(matches!(
+            video.clip(0, 11),
+            Err(VideoError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn thumbnail_resizes_first_frame() {
+        let video = Video::test_pattern(8, 8, 3);
+        let thumb = video.thumbnail(2, 2).unwrap();
+        assert_eq!((thumb.width(), thumb.height()), (2, 2));
+        assert!(video.thumbnail(0, 2).is_err());
+    }
+
+    #[test]
+    fn concat_checks_dimensions() {
+        let a = Video::test_pattern(2, 2, 2);
+        let b = Video::test_pattern(2, 2, 3);
+        assert_eq!(a.concat(&b).unwrap().frame_count(), 5);
+        let c = Video::test_pattern(3, 2, 1);
+        assert!(matches!(
+            a.concat(&c),
+            Err(VideoError::MixedDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let video = Video::test_pattern(5, 3, 7);
+        let back = Video::from_bytes(&video.to_bytes()).unwrap();
+        assert_eq!(back, video);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Video::from_bytes(&[]).is_err());
+        assert!(Video::from_bytes(&[0, 0, 0, 0]).is_err()); // zero frames
+        assert!(Video::from_bytes(&[0, 0, 0, 2, 9, 9]).is_err()); // truncated
+                                                                  // Valid header, truncated frame data.
+        let video = Video::test_pattern(2, 2, 2);
+        let mut bytes = video.to_bytes();
+        bytes.pop();
+        assert!(Video::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_differ_across_time() {
+        let video = Video::test_pattern(2, 2, 3);
+        assert_ne!(video.frame(0), video.frame(1));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = VideoError::BadRange {
+            start: 1,
+            end: 0,
+            frames: 5,
+        };
+        assert!(e.to_string().contains("1..0"));
+        let img_err = VideoError::from(ImageError::EmptyDimension);
+        assert!(std::error::Error::source(&img_err).is_some());
+    }
+}

@@ -1,0 +1,353 @@
+//! **WebStorage** — the paper's prototype "online storage service": "an
+//! online file system accessible over a Web browser where users can upload
+//! arbitrary files and create an arbitrary directory structure" (§VI).
+//!
+//! It can also act as a Requester: "the storage service can access photos
+//! hosted at the online gallery. For example, it may act as a backup
+//! service for online photo albums" — see the `/backup` route.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ucam_policy::Action;
+use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
+use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url, WebApp};
+
+use crate::shell::AppShell;
+
+/// The online storage service application.
+///
+/// Routes (all resource routes are PEP-enforced):
+///
+/// | Route | Meaning |
+/// |---|---|
+/// | `POST /files?path=p` (body) | upload a file (owner session required) |
+/// | `GET /files/<path>` | read a file |
+/// | `POST /files/<path>` (body) | overwrite a file |
+/// | `DELETE /files/<path>` | delete a file |
+/// | `POST /mkdir?path=d` | create a directory |
+/// | `GET /list?dir=d` | list a directory |
+/// | `POST /backup?from=h&src=r&dest=p` | fetch a remote resource (acting as a Requester) and store it |
+/// | common | `/delegate/setup`, `/delegate/done`, `/share`, `/acl` from [`AppShell`] |
+pub struct WebStorage {
+    shell: AppShell,
+    client: Mutex<RequesterClient>,
+}
+
+impl std::fmt::Debug for WebStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebStorage")
+            .field("shell", &self.shell)
+            .finish()
+    }
+}
+
+impl WebStorage {
+    /// Creates the storage service at `authority`.
+    #[must_use]
+    pub fn new(authority: &str, clock: SimClock) -> Arc<Self> {
+        Arc::new(WebStorage {
+            client: Mutex::new(RequesterClient::new(&format!("requester:{authority}"))),
+            shell: AppShell::new(authority, clock),
+        })
+    }
+
+    /// Access to the shared shell (delegations, PEP, resources).
+    #[must_use]
+    pub fn shell(&self) -> &AppShell {
+        &self.shell
+    }
+
+    fn upload(&self, req: &Request) -> Response {
+        let owner = match self.shell.require_subject(req) {
+            Ok(user) => user,
+            Err(resp) => return resp,
+        };
+        let Some(path) = req.param("path") else {
+            return Response::bad_request("path required");
+        };
+        let id = format!("files/{path}");
+        match self
+            .shell
+            .core
+            .put_resource(&id, &owner, "file", req.body.clone().into_bytes())
+        {
+            Ok(()) => Response::with_status(Status::Created).with_body(id),
+            Err(e) => Response::with_status(Status::Conflict).with_body(e.to_string()),
+        }
+    }
+
+    fn mkdir(&self, req: &Request) -> Response {
+        let owner = match self.shell.require_subject(req) {
+            Ok(user) => user,
+            Err(resp) => return resp,
+        };
+        let Some(path) = req.param("path") else {
+            return Response::bad_request("path required");
+        };
+        let id = format!("dirs/{path}");
+        match self.shell.core.put_resource(&id, &owner, "dir", Vec::new()) {
+            Ok(()) => Response::with_status(Status::Created).with_body(id),
+            Err(e) => Response::with_status(Status::Conflict).with_body(e.to_string()),
+        }
+    }
+
+    fn file_route(&self, net: &SimNet, req: &Request) -> Response {
+        let path = req.url.path().trim_start_matches("/files/");
+        let id = format!("files/{path}");
+        let action = match req.method {
+            Method::Get => Action::Read,
+            Method::Post | Method::Put => Action::Write,
+            Method::Delete => Action::Delete,
+        };
+        if let Err(resp) = self.shell.enforce_web(net, req, &id, &action) {
+            return resp;
+        }
+        match action {
+            Action::Read => match self.shell.core.resource(&id) {
+                Some(resource) => {
+                    Response::ok().with_body(String::from_utf8_lossy(&resource.data).into_owned())
+                }
+                None => Response::not_found(&id),
+            },
+            Action::Write => match self
+                .shell
+                .core
+                .update_resource(&id, req.body.clone().into_bytes())
+            {
+                Ok(()) => Response::ok().with_body("updated"),
+                Err(e) => Response::not_found(&e.to_string()),
+            },
+            Action::Delete => match self.shell.core.delete_resource(&id) {
+                Ok(_) => Response::with_status(Status::NoContent),
+                Err(e) => Response::not_found(&e.to_string()),
+            },
+            _ => Response::bad_request("unsupported action"),
+        }
+    }
+
+    fn list(&self, net: &SimNet, req: &Request) -> Response {
+        let Some(dir) = req.param("dir") else {
+            return Response::bad_request("dir required");
+        };
+        let dir_id = format!("dirs/{dir}");
+        if let Err(resp) = self.shell.enforce_web(net, req, &dir_id, &Action::List) {
+            return resp;
+        }
+        let children = self.shell.core.ids_with_prefix(&format!("files/{dir}/"));
+        Response::ok().with_body(children.join("\n"))
+    }
+
+    /// Acting as a Requester (§VI): fetch a resource from another Host via
+    /// the full token flow and store it locally as a backup.
+    fn backup(&self, net: &SimNet, req: &Request) -> Response {
+        let owner = match self.shell.require_subject(req) {
+            Ok(user) => user,
+            Err(resp) => return resp,
+        };
+        let (from, src, dest) = match (req.param("from"), req.param("src"), req.param("dest")) {
+            (Some(f), Some(s), Some(d)) => (f.to_owned(), s.to_owned(), d.to_owned()),
+            _ => return Response::bad_request("from, src, dest required"),
+        };
+        let spec = AccessSpec::read(Url::new(&from, &format!("/{src}")));
+        let mut client = self.client.lock();
+        // Pass the caller's identity through to the AM: the storage service
+        // requests on behalf of the logged-in user.
+        if let Some(token) = req.param("subject_token") {
+            client.set_subject_token(Some(token.to_owned()));
+        }
+        match client.access(net, &spec) {
+            AccessOutcome::Granted(resp) => {
+                let id = format!("files/{dest}");
+                match self
+                    .shell
+                    .core
+                    .put_resource(&id, &owner, "file", resp.body.into_bytes())
+                {
+                    Ok(()) => Response::with_status(Status::Created).with_body(id),
+                    Err(e) => Response::with_status(Status::Conflict).with_body(e.to_string()),
+                }
+            }
+            AccessOutcome::Denied(reason) => Response::forbidden(&reason),
+            AccessOutcome::PendingConsent { consent_id, .. } => {
+                Response::with_status(Status::Accepted).with_body(consent_id)
+            }
+            AccessOutcome::NeedsClaims(msg) => {
+                Response::with_status(Status::PaymentRequired).with_body(msg)
+            }
+            AccessOutcome::Failed(resp) => resp,
+        }
+    }
+}
+
+impl WebApp for WebStorage {
+    fn authority(&self) -> &str {
+        self.shell.core.authority()
+    }
+
+    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+        if let Some(resp) = self.shell.route_common(net, req) {
+            return resp;
+        }
+        match (req.method, req.url.path()) {
+            (Method::Post, "/files") => self.upload(req),
+            (Method::Post, "/mkdir") => self.mkdir(req),
+            (_, path) if path.starts_with("/files/") => self.file_route(net, req),
+            (Method::Get, "/list") => self.list(net, req),
+            (Method::Post, "/backup") => self.backup(net, req),
+            (_, other) => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucam_webenv::identity::IdentityProvider;
+
+    fn setup() -> (SimNet, Arc<WebStorage>, String) {
+        let net = SimNet::new();
+        let storage = WebStorage::new("webstorage.example", net.clock().clone());
+        let idp = IdentityProvider::new("idp.example", net.clock().clone());
+        idp.register_user("bob", "pw");
+        storage.shell().set_identity_verifier(idp.verifier());
+        net.register(storage.clone());
+        let token = idp.login("bob", "pw").unwrap().token;
+        (net, storage, token)
+    }
+
+    #[test]
+    fn upload_requires_session() {
+        let (net, _, _) = setup();
+        let resp = net.dispatch(
+            "browser:anon",
+            Request::new(Method::Post, "https://webstorage.example/files")
+                .with_param("path", "a.txt")
+                .with_body("hello"),
+        );
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn upload_read_update_delete_by_owner() {
+        let (net, _, token) = setup();
+        let upload = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://webstorage.example/files")
+                .with_param("path", "trips/rome.txt")
+                .with_param("subject_token", &token)
+                .with_body("trip notes"),
+        );
+        assert_eq!(upload.status, Status::Created);
+
+        let read = net.dispatch(
+            "browser:bob",
+            Request::new(
+                Method::Get,
+                "https://webstorage.example/files/trips/rome.txt",
+            )
+            .with_param("subject_token", &token),
+        );
+        assert_eq!(read.status, Status::Ok);
+        assert_eq!(read.body, "trip notes");
+
+        let update = net.dispatch(
+            "browser:bob",
+            Request::new(
+                Method::Post,
+                "https://webstorage.example/files/trips/rome.txt",
+            )
+            .with_param("subject_token", &token)
+            .with_body("updated notes"),
+        );
+        assert_eq!(update.status, Status::Ok);
+
+        let del = net.dispatch(
+            "browser:bob",
+            Request::new(
+                Method::Delete,
+                "https://webstorage.example/files/trips/rome.txt",
+            )
+            .with_param("subject_token", &token),
+        );
+        assert_eq!(del.status, Status::NoContent);
+    }
+
+    #[test]
+    fn duplicate_upload_conflicts() {
+        let (net, _, token) = setup();
+        for _ in 0..2 {
+            let last = net.dispatch(
+                "browser:bob",
+                Request::new(Method::Post, "https://webstorage.example/files")
+                    .with_param("path", "a.txt")
+                    .with_param("subject_token", &token)
+                    .with_body("x"),
+            );
+            if last.status == Status::Created {
+                continue;
+            }
+            assert_eq!(last.status, Status::Conflict);
+            return;
+        }
+        panic!("second upload must conflict");
+    }
+
+    #[test]
+    fn stranger_read_denied_by_default() {
+        let (net, _, token) = setup();
+        net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://webstorage.example/files")
+                .with_param("path", "secret.txt")
+                .with_param("subject_token", &token)
+                .with_body("secret"),
+        );
+        // Anonymous, undelegated: legacy default-deny.
+        let read = net.dispatch(
+            "browser:anon",
+            Request::new(Method::Get, "https://webstorage.example/files/secret.txt"),
+        );
+        assert_eq!(read.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn mkdir_and_list() {
+        let (net, _, token) = setup();
+        let mk = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://webstorage.example/mkdir")
+                .with_param("path", "trips")
+                .with_param("subject_token", &token),
+        );
+        assert_eq!(mk.status, Status::Created);
+        for name in ["trips/rome.txt", "trips/oslo.txt", "other.txt"] {
+            net.dispatch(
+                "browser:bob",
+                Request::new(Method::Post, "https://webstorage.example/files")
+                    .with_param("path", name)
+                    .with_param("subject_token", &token)
+                    .with_body("x"),
+            );
+        }
+        let list = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Get, "https://webstorage.example/list")
+                .with_param("dir", "trips")
+                .with_param("subject_token", &token),
+        );
+        assert_eq!(list.status, Status::Ok);
+        assert_eq!(list.body, "files/trips/oslo.txt\nfiles/trips/rome.txt");
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let (net, _, _) = setup();
+        let resp = net.dispatch(
+            "x",
+            Request::new(Method::Get, "https://webstorage.example/nope"),
+        );
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

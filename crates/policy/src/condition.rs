@@ -1,0 +1,281 @@
+//! Conditions attached to permit rules, and the claims mechanism.
+//!
+//! The paper's extensions let "policies … take into account other factors
+//! than only identities" (§V.D): real-time user consent and terms that a
+//! Requester must satisfy "by providing necessary claims that can be
+//! evaluated by the AM — for example a payment confirmation" (§VII).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::EvalContext;
+
+/// A claim presented by a requester (claims extension, §VII).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Claim {
+    /// Claim kind, e.g. `"payment"`, `"age-over-18"`.
+    pub kind: String,
+    /// Claim value, e.g. a payment reference or amount.
+    pub value: String,
+    /// Issuing party, e.g. `"payments.example"`.
+    pub issuer: String,
+}
+
+impl Claim {
+    /// Creates a claim.
+    #[must_use]
+    pub fn new(kind: &str, value: &str, issuer: &str) -> Self {
+        Claim {
+            kind: kind.to_owned(),
+            value: value.to_owned(),
+            issuer: issuer.to_owned(),
+        }
+    }
+}
+
+/// A claim a policy demands before permitting access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimRequirement {
+    /// Required claim kind.
+    pub kind: String,
+    /// Required issuer; `None` accepts any issuer.
+    pub issuer: Option<String>,
+}
+
+impl ClaimRequirement {
+    /// Requires a claim of `kind` from any issuer.
+    #[must_use]
+    pub fn of_kind(kind: &str) -> Self {
+        ClaimRequirement {
+            kind: kind.to_owned(),
+            issuer: None,
+        }
+    }
+
+    /// Requires a claim of `kind` from a specific issuer.
+    #[must_use]
+    pub fn from_issuer(kind: &str, issuer: &str) -> Self {
+        ClaimRequirement {
+            kind: kind.to_owned(),
+            issuer: Some(issuer.to_owned()),
+        }
+    }
+
+    /// Returns `true` when any presented claim satisfies this requirement.
+    #[must_use]
+    pub fn satisfied_by(&self, claims: &[Claim]) -> bool {
+        claims.iter().any(|c| {
+            c.kind == self.kind
+                && self
+                    .issuer
+                    .as_ref()
+                    .is_none_or(|issuer| issuer == &c.issuer)
+        })
+    }
+}
+
+/// The result of checking one condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionCheck {
+    /// The condition holds.
+    Satisfied,
+    /// The condition definitively fails (reason attached).
+    Failed(String),
+    /// The condition would hold once the owner grants real-time consent.
+    NeedsConsent,
+    /// The condition would hold once the requester presents these claims.
+    NeedsClaims(Vec<ClaimRequirement>),
+}
+
+/// A condition on a permit rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Valid only inside `[start_ms, end_ms)` of simulated time.
+    TimeWindow {
+        /// Window start (inclusive, ms).
+        start_ms: u64,
+        /// Window end (exclusive, ms).
+        end_ms: u64,
+    },
+    /// Valid only before the given instant (sharing that auto-expires).
+    ValidUntil(u64),
+    /// Valid for at most this many granted uses.
+    MaxUses(u32),
+    /// The owner must grant real-time consent (§V.D).
+    RequiresConsent,
+    /// The requester must present these claims (§VII).
+    RequiresClaims(Vec<ClaimRequirement>),
+}
+
+impl Condition {
+    /// Checks the condition against an evaluation context.
+    #[must_use]
+    pub fn check(&self, ctx: &EvalContext<'_>) -> ConditionCheck {
+        match self {
+            Condition::TimeWindow { start_ms, end_ms } => {
+                if ctx.now_ms >= *start_ms && ctx.now_ms < *end_ms {
+                    ConditionCheck::Satisfied
+                } else {
+                    ConditionCheck::Failed(format!(
+                        "time {} outside window [{start_ms}, {end_ms})",
+                        ctx.now_ms
+                    ))
+                }
+            }
+            Condition::ValidUntil(deadline) => {
+                if ctx.now_ms < *deadline {
+                    ConditionCheck::Satisfied
+                } else {
+                    ConditionCheck::Failed(format!("expired at {deadline}"))
+                }
+            }
+            Condition::MaxUses(max) => {
+                if ctx.prior_uses < *max {
+                    ConditionCheck::Satisfied
+                } else {
+                    ConditionCheck::Failed(format!("use limit {max} exhausted"))
+                }
+            }
+            Condition::RequiresConsent => {
+                if ctx.consent_granted {
+                    ConditionCheck::Satisfied
+                } else {
+                    ConditionCheck::NeedsConsent
+                }
+            }
+            Condition::RequiresClaims(requirements) => {
+                let missing: Vec<ClaimRequirement> = requirements
+                    .iter()
+                    .filter(|r| !r.satisfied_by(ctx.claims))
+                    .cloned()
+                    .collect();
+                if missing.is_empty() {
+                    ConditionCheck::Satisfied
+                } else {
+                    ConditionCheck::NeedsClaims(missing)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AccessRequest, Action};
+
+    fn ctx_at(req: &AccessRequest, now: u64) -> EvalContext<'_> {
+        EvalContext::new(req, now)
+    }
+
+    #[test]
+    fn time_window_boundaries() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let c = Condition::TimeWindow {
+            start_ms: 100,
+            end_ms: 200,
+        };
+        assert!(matches!(
+            c.check(&ctx_at(&req, 100)),
+            ConditionCheck::Satisfied
+        ));
+        assert!(matches!(
+            c.check(&ctx_at(&req, 199)),
+            ConditionCheck::Satisfied
+        ));
+        assert!(matches!(
+            c.check(&ctx_at(&req, 99)),
+            ConditionCheck::Failed(_)
+        ));
+        assert!(matches!(
+            c.check(&ctx_at(&req, 200)),
+            ConditionCheck::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn valid_until_expires() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let c = Condition::ValidUntil(50);
+        assert!(matches!(
+            c.check(&ctx_at(&req, 49)),
+            ConditionCheck::Satisfied
+        ));
+        assert!(matches!(
+            c.check(&ctx_at(&req, 50)),
+            ConditionCheck::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn max_uses_counts_prior_grants() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let c = Condition::MaxUses(2);
+        assert!(matches!(
+            c.check(&EvalContext::new(&req, 0).with_prior_uses(1)),
+            ConditionCheck::Satisfied
+        ));
+        assert!(matches!(
+            c.check(&EvalContext::new(&req, 0).with_prior_uses(2)),
+            ConditionCheck::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn consent_needed_until_granted() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let c = Condition::RequiresConsent;
+        assert_eq!(c.check(&ctx_at(&req, 0)), ConditionCheck::NeedsConsent);
+        assert_eq!(
+            c.check(&EvalContext::new(&req, 0).with_consent()),
+            ConditionCheck::Satisfied
+        );
+    }
+
+    #[test]
+    fn claims_requirement_matching() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let want_payment = ClaimRequirement::from_issuer("payment", "payments.example");
+        let c = Condition::RequiresClaims(vec![want_payment.clone()]);
+
+        // No claims -> needs the claim.
+        match c.check(&ctx_at(&req, 0)) {
+            ConditionCheck::NeedsClaims(missing) => assert_eq!(missing, vec![want_payment]),
+            other => panic!("expected NeedsClaims, got {other:?}"),
+        }
+
+        // Claim from the wrong issuer does not satisfy.
+        let wrong = [Claim::new("payment", "ref-1", "evil.example")];
+        let ctx = EvalContext::new(&req, 0).with_claims(&wrong);
+        assert!(matches!(c.check(&ctx), ConditionCheck::NeedsClaims(_)));
+
+        // Correct claim satisfies.
+        let right = [Claim::new("payment", "ref-1", "payments.example")];
+        let ctx = EvalContext::new(&req, 0).with_claims(&right);
+        assert_eq!(c.check(&ctx), ConditionCheck::Satisfied);
+    }
+
+    #[test]
+    fn claim_requirement_any_issuer() {
+        let r = ClaimRequirement::of_kind("age-over-18");
+        assert!(r.satisfied_by(&[Claim::new("age-over-18", "yes", "anyone")]));
+        assert!(!r.satisfied_by(&[Claim::new("payment", "x", "anyone")]));
+    }
+
+    #[test]
+    fn multiple_claims_partial_missing() {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        let c = Condition::RequiresClaims(vec![
+            ClaimRequirement::of_kind("payment"),
+            ClaimRequirement::of_kind("terms-accepted"),
+        ]);
+        let presented = [Claim::new("payment", "ref", "p.example")];
+        let ctx = EvalContext::new(&req, 0).with_claims(&presented);
+        match c.check(&ctx) {
+            ConditionCheck::NeedsClaims(missing) => {
+                assert_eq!(missing.len(), 1);
+                assert_eq!(missing[0].kind, "terms-accepted");
+            }
+            other => panic!("expected NeedsClaims, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! User-defined principal groups.
+//!
+//! §III.1 observes that grouping users "for the sake of simplicity when
+//! defining access control rules" is missing from most Web applications with
+//! sharing capabilities; the AM provides it centrally. A [`GroupStore`] is
+//! owned by each user's AM account and consulted during evaluation through
+//! the [`GroupLookup`] oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// Group-membership oracle consulted by `Subject::Group` clauses.
+pub trait GroupLookup {
+    /// Returns `true` when `user` is a member of `group`.
+    fn is_member(&self, group: &str, user: &str) -> bool;
+}
+
+/// A lookup with no groups at all (default for bare contexts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoGroups;
+
+impl GroupLookup for NoGroups {
+    fn is_member(&self, _group: &str, _user: &str) -> bool {
+        false
+    }
+}
+
+/// A user's named groups of principals.
+///
+/// # Example
+///
+/// ```
+/// use ucam_policy::GroupStore;
+///
+/// let mut groups = GroupStore::new();
+/// groups.add_member("friends", "alice");
+/// groups.add_member("friends", "chris");
+/// assert!(groups.contains("friends", "alice"));
+/// assert_eq!(groups.members("friends").len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupStore {
+    groups: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl GroupStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        GroupStore::default()
+    }
+
+    /// Adds `user` to `group`, creating the group if needed. Returns `true`
+    /// if the user was newly added.
+    pub fn add_member(&mut self, group: &str, user: &str) -> bool {
+        self.groups
+            .entry(group.to_owned())
+            .or_default()
+            .insert(user.to_owned())
+    }
+
+    /// Removes `user` from `group`. Returns `true` if the user was present.
+    pub fn remove_member(&mut self, group: &str, user: &str) -> bool {
+        self.groups
+            .get_mut(group)
+            .is_some_and(|members| members.remove(user))
+    }
+
+    /// Deletes a whole group. Returns `true` if it existed.
+    pub fn remove_group(&mut self, group: &str) -> bool {
+        self.groups.remove(group).is_some()
+    }
+
+    /// Returns `true` when `user` is a member of `group`.
+    #[must_use]
+    pub fn contains(&self, group: &str, user: &str) -> bool {
+        self.groups.get(group).is_some_and(|m| m.contains(user))
+    }
+
+    /// Returns the members of `group` (empty when the group is unknown).
+    #[must_use]
+    pub fn members(&self, group: &str) -> Vec<&str> {
+        self.groups
+            .get(group)
+            .map(|m| m.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the names of all groups.
+    #[must_use]
+    pub fn group_names(&self) -> Vec<&str> {
+        self.groups.keys().map(String::as_str).collect()
+    }
+
+    /// Returns the total number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Returns `true` when no groups exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+impl GroupLookup for GroupStore {
+    fn is_member(&self, group: &str, user: &str) -> bool {
+        self.contains(group, user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = GroupStore::new();
+        assert!(g.add_member("friends", "alice"));
+        assert!(!g.add_member("friends", "alice"), "duplicate add is false");
+        assert!(g.contains("friends", "alice"));
+        assert!(!g.contains("friends", "bob"));
+        assert!(!g.contains("family", "alice"));
+    }
+
+    #[test]
+    fn remove_member() {
+        let mut g = GroupStore::new();
+        g.add_member("friends", "alice");
+        assert!(g.remove_member("friends", "alice"));
+        assert!(!g.remove_member("friends", "alice"));
+        assert!(!g.contains("friends", "alice"));
+    }
+
+    #[test]
+    fn remove_group() {
+        let mut g = GroupStore::new();
+        g.add_member("friends", "alice");
+        assert!(g.remove_group("friends"));
+        assert!(!g.remove_group("friends"));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn members_sorted() {
+        let mut g = GroupStore::new();
+        g.add_member("friends", "chris");
+        g.add_member("friends", "alice");
+        assert_eq!(g.members("friends"), vec!["alice", "chris"]);
+        assert!(g.members("nobody").is_empty());
+    }
+
+    #[test]
+    fn group_names_and_len() {
+        let mut g = GroupStore::new();
+        g.add_member("b", "x");
+        g.add_member("a", "y");
+        assert_eq!(g.group_names(), vec!["a", "b"]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn lookup_trait_delegates() {
+        let mut g = GroupStore::new();
+        g.add_member("friends", "alice");
+        let oracle: &dyn GroupLookup = &g;
+        assert!(oracle.is_member("friends", "alice"));
+        assert!(!oracle.is_member("friends", "eve"));
+    }
+
+    #[test]
+    fn no_groups_denies_everything() {
+        assert!(!NoGroups.is_member("any", "one"));
+    }
+}

@@ -1,0 +1,175 @@
+//! JSON import/export of policies.
+//!
+//! The paper's prototype AM exposes a RESTful interface from which "policies
+//! can be exported from and imported into the datastore … in JSON or XML
+//! formats" (§VI). This module is the JSON half; see [`crate::xml`] for the
+//! XML half.
+
+use std::fmt;
+
+use crate::engine::PolicySet;
+use crate::model::Policy;
+
+/// An error importing JSON policies.
+#[derive(Debug)]
+pub struct JsonError(serde_json::Error);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+/// Exports one policy as pretty-printed JSON.
+///
+/// # Example
+///
+/// ```
+/// use ucam_policy::prelude::*;
+/// let p = Policy::matrix("m", AclMatrix::new().allow(Subject::Public, Action::Read));
+/// let json = ucam_policy::json::policy_to_json(&p);
+/// assert!(json.contains("\"m\""));
+/// ```
+#[must_use]
+pub fn policy_to_json(policy: &Policy) -> String {
+    serde_json::to_string_pretty(policy).expect("policy serialization is infallible")
+}
+
+/// Imports one policy from JSON.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for malformed input.
+pub fn policy_from_json(json: &str) -> Result<Policy, JsonError> {
+    serde_json::from_str(json).map_err(JsonError)
+}
+
+/// Exports a whole policy set (policies, bindings, realms) as JSON.
+#[must_use]
+pub fn set_to_json(set: &PolicySet) -> String {
+    serde_json::to_string_pretty(set).expect("policy-set serialization is infallible")
+}
+
+/// Imports a whole policy set from JSON.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for malformed input.
+pub fn set_from_json(json: &str) -> Result<PolicySet, JsonError> {
+    serde_json::from_str(json).map_err(JsonError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{ClaimRequirement, Condition};
+    use crate::matrix::AclMatrix;
+    use crate::model::{Action, PolicyId, ResourceRef, Subject};
+    use crate::rule::{Rule, RulePolicy};
+    use proptest::prelude::*;
+
+    fn sample_rule_policy() -> Policy {
+        Policy::rules(
+            "sample",
+            RulePolicy::new()
+                .with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Group("friends".into()))
+                        .for_action(Action::Read)
+                        .with_condition(Condition::ValidUntil(99))
+                        .with_condition(Condition::RequiresClaims(vec![
+                            ClaimRequirement::from_issuer("payment", "pay.example"),
+                        ])),
+                )
+                .with_rule(Rule::deny().for_subject(Subject::User("mallory".into()))),
+        )
+    }
+
+    #[test]
+    fn policy_roundtrip() {
+        let p = sample_rule_policy();
+        let json = policy_to_json(&p);
+        let back = policy_from_json(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn matrix_policy_roundtrip() {
+        let p = Policy::matrix(
+            "m",
+            AclMatrix::new().allow(Subject::Public, Action::Read).allow(
+                Subject::App("printer.example".into()),
+                Action::Custom("print".into()),
+            ),
+        );
+        let back = policy_from_json(&policy_to_json(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn set_roundtrip_preserves_bindings() {
+        let mut set = PolicySet::new();
+        set.add(sample_rule_policy()).unwrap();
+        let r = ResourceRef::new("h.example", "r1");
+        set.assign_realm(r.clone(), "realm-a");
+        set.bind_general("realm-a", &PolicyId::from("sample"))
+            .unwrap();
+        set.bind_specific(r.clone(), &PolicyId::from("sample"))
+            .unwrap();
+
+        let back = set_from_json(&set_to_json(&set)).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.realm_of(&r), Some("realm-a"));
+        assert_eq!(
+            back.general_binding("realm-a"),
+            Some(&PolicyId::from("sample"))
+        );
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        let err = policy_from_json("{not json").unwrap_err();
+        assert!(err.to_string().contains("policy json error"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(set_from_json("[]").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_matrix_roundtrips(
+            cells in proptest::collection::vec(
+                (0u8..5, "[a-z]{1,8}", 0u8..6, "[a-z]{1,8}"),
+                0..20,
+            )
+        ) {
+            let mut m = AclMatrix::new();
+            for (s_kind, s_name, a_kind, a_name) in cells {
+                let subject = match s_kind {
+                    0 => Subject::Public,
+                    1 => Subject::Authenticated,
+                    2 => Subject::User(s_name),
+                    3 => Subject::Group(s_name),
+                    _ => Subject::App(s_name),
+                };
+                let action = match a_kind {
+                    0 => Action::Read,
+                    1 => Action::Write,
+                    2 => Action::Delete,
+                    3 => Action::List,
+                    4 => Action::Share,
+                    _ => Action::Custom(a_name),
+                };
+                m.insert(subject, action);
+            }
+            let p = Policy::matrix("prop", m);
+            let back = policy_from_json(&policy_to_json(&p)).unwrap();
+            prop_assert_eq!(back, p);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The simple access-control-matrix policy language.
+//!
+//! §III.2 posits that a host like WebPics "may use a simple access control
+//! matrix" — a table of (subject, action) cells with no conditions. This is
+//! the *less expressive* of the two languages, used by baseline hosts and as
+//! a translation target in experiment E14.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Action, EvalContext, Outcome, Subject};
+
+/// An access-control matrix: the set of (subject, action) cells that are
+/// allowed. Anything not present is not applicable (default deny at the
+/// engine level). The matrix language has **no conditions** — that
+/// inexpressiveness is the point (§III.2).
+///
+/// # Example
+///
+/// ```
+/// use ucam_policy::prelude::*;
+///
+/// let m = AclMatrix::new()
+///     .allow(Subject::User("alice".into()), Action::Read)
+///     .allow(Subject::Public, Action::List);
+/// let req = AccessRequest::new("h", "r", Action::Read).by_user("alice");
+/// assert_eq!(m.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AclMatrix {
+    cells: BTreeSet<(Subject, Action)>,
+}
+
+impl AclMatrix {
+    /// Creates an empty matrix (nothing allowed).
+    #[must_use]
+    pub fn new() -> Self {
+        AclMatrix::default()
+    }
+
+    /// Returns the matrix with the (subject, action) cell allowed.
+    #[must_use]
+    pub fn allow(mut self, subject: Subject, action: Action) -> Self {
+        self.cells.insert((subject, action));
+        self
+    }
+
+    /// Allows a cell in place; returns `true` when newly inserted.
+    pub fn insert(&mut self, subject: Subject, action: Action) -> bool {
+        self.cells.insert((subject, action))
+    }
+
+    /// Revokes a cell in place; returns `true` when it was present.
+    pub fn revoke(&mut self, subject: &Subject, action: &Action) -> bool {
+        self.cells.remove(&(subject.clone(), action.clone()))
+    }
+
+    /// Returns all allowed cells.
+    pub fn cells(&self) -> impl Iterator<Item = &(Subject, Action)> {
+        self.cells.iter()
+    }
+
+    /// Number of allowed cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when nothing is allowed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Evaluates the matrix: [`Outcome::Permit`] when any allowed cell
+    /// covers the request, [`Outcome::NotApplicable`] otherwise (the matrix
+    /// language cannot express explicit denies).
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Outcome {
+        let applies = self
+            .cells
+            .iter()
+            .any(|(subject, action)| *action == ctx.request.action && subject.matches(ctx));
+        if applies {
+            Outcome::Permit
+        } else {
+            Outcome::NotApplicable
+        }
+    }
+}
+
+impl FromIterator<(Subject, Action)> for AclMatrix {
+    fn from_iter<I: IntoIterator<Item = (Subject, Action)>>(iter: I) -> Self {
+        AclMatrix {
+            cells: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Subject, Action)> for AclMatrix {
+    fn extend<I: IntoIterator<Item = (Subject, Action)>>(&mut self, iter: I) {
+        self.cells.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::GroupStore;
+    use crate::model::AccessRequest;
+
+    fn read_req(user: Option<&str>) -> AccessRequest {
+        let req = AccessRequest::new("h", "r", Action::Read);
+        match user {
+            Some(u) => req.by_user(u),
+            None => req,
+        }
+    }
+
+    #[test]
+    fn empty_matrix_not_applicable() {
+        let m = AclMatrix::new();
+        let req = read_req(Some("alice"));
+        assert_eq!(
+            m.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn exact_cell_permits() {
+        let m = AclMatrix::new().allow(Subject::User("alice".into()), Action::Read);
+        let req = read_req(Some("alice"));
+        assert_eq!(m.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+    }
+
+    #[test]
+    fn wrong_action_not_applicable() {
+        let m = AclMatrix::new().allow(Subject::User("alice".into()), Action::Read);
+        let req = AccessRequest::new("h", "r", Action::Write).by_user("alice");
+        assert_eq!(
+            m.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn wrong_user_not_applicable() {
+        let m = AclMatrix::new().allow(Subject::User("alice".into()), Action::Read);
+        let req = read_req(Some("bob"));
+        assert_eq!(
+            m.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn public_cell_covers_anonymous() {
+        let m = AclMatrix::new().allow(Subject::Public, Action::Read);
+        let req = read_req(None);
+        assert_eq!(m.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+    }
+
+    #[test]
+    fn group_cell_uses_lookup() {
+        let m = AclMatrix::new().allow(Subject::Group("friends".into()), Action::Read);
+        let mut groups = GroupStore::new();
+        groups.add_member("friends", "alice");
+        let req = read_req(Some("alice"));
+        let ctx = EvalContext::new(&req, 0).with_groups(&groups);
+        assert_eq!(m.evaluate(&ctx), Outcome::Permit);
+    }
+
+    #[test]
+    fn insert_and_revoke() {
+        let mut m = AclMatrix::new();
+        assert!(m.insert(Subject::Public, Action::Read));
+        assert!(!m.insert(Subject::Public, Action::Read));
+        assert_eq!(m.len(), 1);
+        assert!(m.revoke(&Subject::Public, &Action::Read));
+        assert!(!m.revoke(&Subject::Public, &Action::Read));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut m: AclMatrix = vec![(Subject::Public, Action::Read)].into_iter().collect();
+        m.extend(vec![(Subject::Public, Action::List)]);
+        assert_eq!(m.len(), 2);
+    }
+}

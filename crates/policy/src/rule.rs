@@ -1,0 +1,433 @@
+//! The flexible rule-based policy language.
+//!
+//! A [`RulePolicy`] is an ordered list of permit/deny [`Rule`]s with
+//! optional [`Condition`]s, combined **deny-overrides**: any matching deny
+//! rule defeats every permit. This models the "more flexible policy
+//! language" of §III.2 and carries the paper's §V.D/§VII extensions
+//! (consent, claims) as conditions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::condition::{Condition, ConditionCheck};
+use crate::model::{Action, DenyReason, EvalContext, Outcome, Subject};
+
+/// Whether a rule grants or forbids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effect {
+    /// The rule grants access.
+    Permit,
+    /// The rule forbids access (overrides permits).
+    Deny,
+}
+
+/// One rule: an effect for a set of subjects and actions, guarded by
+/// conditions.
+///
+/// Empty `subjects` means "no one" (the rule never matches); empty
+/// `actions` means **all** actions. Conditions only make sense on permits —
+/// a deny is unconditional by construction (deny rules ignore conditions).
+///
+/// # Example
+///
+/// ```
+/// use ucam_policy::prelude::*;
+///
+/// let rule = Rule::permit()
+///     .for_subject(Subject::Group("friends".into()))
+///     .for_action(Action::Read)
+///     .with_condition(Condition::ValidUntil(1_000_000));
+/// assert_eq!(rule.effect, Effect::Permit);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Permit or deny.
+    pub effect: Effect,
+    /// Subjects the rule covers (any match suffices).
+    pub subjects: Vec<Subject>,
+    /// Actions the rule covers; empty = all actions.
+    pub actions: Vec<Action>,
+    /// Conditions guarding a permit (ignored on deny rules).
+    pub conditions: Vec<Condition>,
+}
+
+impl Rule {
+    /// Creates an empty permit rule (add subjects/actions with builders).
+    #[must_use]
+    pub fn permit() -> Self {
+        Rule {
+            effect: Effect::Permit,
+            subjects: Vec::new(),
+            actions: Vec::new(),
+            conditions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty deny rule.
+    #[must_use]
+    pub fn deny() -> Self {
+        Rule {
+            effect: Effect::Deny,
+            subjects: Vec::new(),
+            actions: Vec::new(),
+            conditions: Vec::new(),
+        }
+    }
+
+    /// Adds a covered subject.
+    #[must_use]
+    pub fn for_subject(mut self, subject: Subject) -> Self {
+        self.subjects.push(subject);
+        self
+    }
+
+    /// Adds a covered action.
+    #[must_use]
+    pub fn for_action(mut self, action: Action) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Adds a guarding condition.
+    #[must_use]
+    pub fn with_condition(mut self, condition: Condition) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+
+    /// Returns `true` when the rule's subject and action sets cover the
+    /// request (conditions not yet considered).
+    #[must_use]
+    pub fn covers(&self, ctx: &EvalContext<'_>) -> bool {
+        let action_ok = self.actions.is_empty() || self.actions.contains(&ctx.request.action);
+        let subject_ok = self.subjects.iter().any(|s| s.matches(ctx));
+        action_ok && subject_ok
+    }
+}
+
+/// An ordered set of rules combined deny-overrides.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RulePolicy {
+    rules: Vec<Rule>,
+}
+
+impl RulePolicy {
+    /// Creates a policy with no rules.
+    #[must_use]
+    pub fn new() -> Self {
+        RulePolicy::default()
+    }
+
+    /// Returns the policy with `rule` appended.
+    #[must_use]
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Appends a rule in place.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Returns the rules in order.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` when the policy has no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates with deny-overrides combining:
+    ///
+    /// 1. any covering **deny** rule → [`Outcome::Deny`];
+    /// 2. else, covering **permit** rules are tried in order:
+    ///    * all conditions satisfied → [`Outcome::Permit`],
+    ///    * blocked only on consent/claims → the corresponding
+    ///      `Requires…` outcome is remembered (and returned if no
+    ///      unconditional permit follows),
+    ///    * a definitively failed condition disqualifies that rule only;
+    /// 3. no rule covers the request → [`Outcome::NotApplicable`];
+    /// 4. rules covered but all failed conditions →
+    ///    [`Outcome::Deny`] with [`DenyReason::ConditionFailed`].
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Outcome {
+        // Pass 1: deny-overrides.
+        if self
+            .rules
+            .iter()
+            .any(|r| r.effect == Effect::Deny && r.covers(ctx))
+        {
+            return Outcome::Deny(DenyReason::ExplicitDeny);
+        }
+
+        let mut pending: Option<Outcome> = None;
+        let mut failed: Option<String> = None;
+        let mut any_covering_permit = false;
+
+        for rule in self.rules.iter().filter(|r| r.effect == Effect::Permit) {
+            if !rule.covers(ctx) {
+                continue;
+            }
+            any_covering_permit = true;
+            let mut needs_consent = false;
+            let mut needed_claims = Vec::new();
+            let mut rule_failed = None;
+            for condition in &rule.conditions {
+                match condition.check(ctx) {
+                    ConditionCheck::Satisfied => {}
+                    ConditionCheck::NeedsConsent => needs_consent = true,
+                    ConditionCheck::NeedsClaims(mut claims) => needed_claims.append(&mut claims),
+                    ConditionCheck::Failed(reason) => {
+                        rule_failed = Some(reason);
+                        break;
+                    }
+                }
+            }
+            if let Some(reason) = rule_failed {
+                failed.get_or_insert(reason);
+                continue;
+            }
+            if needs_consent {
+                // Consent dominates claims in the pending outcome: the AM
+                // must first obtain consent, then (re-)check claims.
+                pending.get_or_insert(Outcome::RequiresConsent);
+                continue;
+            }
+            if !needed_claims.is_empty() {
+                pending.get_or_insert(Outcome::RequiresClaims(needed_claims));
+                continue;
+            }
+            return Outcome::Permit;
+        }
+
+        if let Some(outcome) = pending {
+            return outcome;
+        }
+        if !any_covering_permit {
+            return Outcome::NotApplicable;
+        }
+        Outcome::Deny(DenyReason::ConditionFailed(
+            failed.unwrap_or_else(|| "unsatisfied conditions".to_owned()),
+        ))
+    }
+}
+
+impl FromIterator<Rule> for RulePolicy {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        RulePolicy {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Rule> for RulePolicy {
+    fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
+        self.rules.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::ClaimRequirement;
+    use crate::groups::GroupStore;
+    use crate::model::AccessRequest;
+
+    fn alice_reads() -> AccessRequest {
+        AccessRequest::new("h", "r", Action::Read).by_user("alice")
+    }
+
+    #[test]
+    fn empty_policy_not_applicable() {
+        let p = RulePolicy::new();
+        let req = alice_reads();
+        assert_eq!(
+            p.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn permit_rule_matches() {
+        let p = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::User("alice".into()))
+                .for_action(Action::Read),
+        );
+        let req = alice_reads();
+        assert_eq!(p.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+    }
+
+    #[test]
+    fn deny_overrides_permit_regardless_of_order() {
+        let permit = Rule::permit().for_subject(Subject::User("alice".into()));
+        let deny = Rule::deny().for_subject(Subject::User("alice".into()));
+        let req = alice_reads();
+
+        let p1: RulePolicy = vec![permit.clone(), deny.clone()].into_iter().collect();
+        let p2: RulePolicy = vec![deny, permit].into_iter().collect();
+        assert_eq!(
+            p1.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+        assert_eq!(
+            p2.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+    }
+
+    #[test]
+    fn empty_actions_means_all_actions() {
+        let p =
+            RulePolicy::new().with_rule(Rule::permit().for_subject(Subject::User("alice".into())));
+        for action in Action::BUILTIN {
+            let req = AccessRequest::new("h", "r", action).by_user("alice");
+            assert_eq!(p.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+        }
+    }
+
+    #[test]
+    fn empty_subjects_never_matches() {
+        let p = RulePolicy::new().with_rule(Rule::permit().for_action(Action::Read));
+        let req = alice_reads();
+        assert_eq!(
+            p.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn failed_condition_denies_with_reason() {
+        let p = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::User("alice".into()))
+                .with_condition(Condition::ValidUntil(10)),
+        );
+        let req = alice_reads();
+        match p.evaluate(&EvalContext::new(&req, 20)) {
+            Outcome::Deny(DenyReason::ConditionFailed(reason)) => {
+                assert!(reason.contains("expired"));
+            }
+            other => panic!("expected condition-failed deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn later_unconditional_permit_rescues() {
+        // Rule 1 has an expired condition; rule 2 permits unconditionally.
+        let p = RulePolicy::new()
+            .with_rule(
+                Rule::permit()
+                    .for_subject(Subject::User("alice".into()))
+                    .with_condition(Condition::ValidUntil(10)),
+            )
+            .with_rule(Rule::permit().for_subject(Subject::User("alice".into())));
+        let req = alice_reads();
+        assert_eq!(p.evaluate(&EvalContext::new(&req, 20)), Outcome::Permit);
+    }
+
+    #[test]
+    fn consent_condition_propagates() {
+        let p = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::User("alice".into()))
+                .with_condition(Condition::RequiresConsent),
+        );
+        let req = alice_reads();
+        assert_eq!(
+            p.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::RequiresConsent
+        );
+        assert_eq!(
+            p.evaluate(&EvalContext::new(&req, 0).with_consent()),
+            Outcome::Permit
+        );
+    }
+
+    #[test]
+    fn claims_condition_propagates() {
+        let p =
+            RulePolicy::new().with_rule(
+                Rule::permit().for_subject(Subject::Public).with_condition(
+                    Condition::RequiresClaims(vec![ClaimRequirement::of_kind("payment")]),
+                ),
+            );
+        let req = AccessRequest::new("h", "r", Action::Read);
+        match p.evaluate(&EvalContext::new(&req, 0)) {
+            Outcome::RequiresClaims(claims) => assert_eq!(claims[0].kind, "payment"),
+            other => panic!("expected RequiresClaims, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconditional_permit_beats_pending_consent() {
+        let p = RulePolicy::new()
+            .with_rule(
+                Rule::permit()
+                    .for_subject(Subject::User("alice".into()))
+                    .with_condition(Condition::RequiresConsent),
+            )
+            .with_rule(Rule::permit().for_subject(Subject::Group("friends".into())));
+        let mut groups = GroupStore::new();
+        groups.add_member("friends", "alice");
+        let req = alice_reads();
+        let ctx = EvalContext::new(&req, 0).with_groups(&groups);
+        assert_eq!(p.evaluate(&ctx), Outcome::Permit);
+    }
+
+    #[test]
+    fn deny_ignores_conditions() {
+        // Deny rules are unconditional even if conditions are attached.
+        let p = RulePolicy::new().with_rule(Rule {
+            effect: Effect::Deny,
+            subjects: vec![Subject::User("alice".into())],
+            actions: vec![],
+            conditions: vec![Condition::ValidUntil(0)], // would have "failed"
+        });
+        let req = alice_reads();
+        assert_eq!(
+            p.evaluate(&EvalContext::new(&req, 100)),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+    }
+
+    #[test]
+    fn multiple_conditions_all_must_hold() {
+        let p = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::User("alice".into()))
+                .with_condition(Condition::ValidUntil(100))
+                .with_condition(Condition::MaxUses(1)),
+        );
+        let req = alice_reads();
+        assert_eq!(p.evaluate(&EvalContext::new(&req, 50)), Outcome::Permit);
+        assert!(matches!(
+            p.evaluate(&EvalContext::new(&req, 50).with_prior_uses(1)),
+            Outcome::Deny(DenyReason::ConditionFailed(_))
+        ));
+        assert!(matches!(
+            p.evaluate(&EvalContext::new(&req, 150)),
+            Outcome::Deny(DenyReason::ConditionFailed(_))
+        ));
+    }
+
+    #[test]
+    fn len_and_push() {
+        let mut p = RulePolicy::new();
+        assert!(p.is_empty());
+        p.push(Rule::permit().for_subject(Subject::Public));
+        p.extend(vec![Rule::deny().for_subject(Subject::Public)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.rules().len(), 2);
+    }
+}

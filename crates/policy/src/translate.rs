@@ -1,0 +1,438 @@
+//! Cross-language policy translation.
+//!
+//! §III.2: "if … Bob decides to move some of his resources from one Web
+//! application to another … Bob may not be able to reuse the already defined
+//! access control policies and may be challenged with composing these
+//! policies again." Experiment E14 quantifies that migration cost; this
+//! module provides the machinery: a lossless upgrade from the matrix
+//! language to the rule language, and a checked downgrade that fails
+//! loudly when the source policy uses features the matrix cannot express.
+
+use std::fmt;
+
+use crate::matrix::AclMatrix;
+use crate::model::{Policy, PolicyBody};
+use crate::rule::{Effect, Rule, RulePolicy};
+
+/// A target policy language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// The simple access-control-matrix language.
+    Matrix,
+    /// The flexible rule language.
+    Rules,
+    /// The XACML-like structured language.
+    Xacml,
+}
+
+/// A rule-language feature the matrix language cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Untranslatable {
+    /// Explicit deny rules.
+    DenyRule,
+    /// A condition (time window, consent, claims, …).
+    Condition(String),
+    /// A rule with an empty action set ("all actions, including custom
+    /// ones"), which a finite matrix cannot enumerate.
+    AllActions,
+    /// A structured XACML construct (targets, expression trees, combining
+    /// algorithms) with no counterpart in the target language.
+    StructuredConstruct(String),
+}
+
+impl fmt::Display for Untranslatable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Untranslatable::DenyRule => f.write_str("explicit deny rule"),
+            Untranslatable::Condition(c) => write!(f, "condition: {c}"),
+            Untranslatable::AllActions => f.write_str("implicit all-actions rule"),
+            Untranslatable::StructuredConstruct(what) => {
+                write!(f, "structured construct: {what}")
+            }
+        }
+    }
+}
+
+/// The error returned when a policy cannot be translated without changing
+/// its meaning. Lists every offending feature so a user interface can show
+/// what must be re-composed by hand (the cost E14 measures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// All features blocking the translation.
+    pub features: Vec<Untranslatable>,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy uses features the target language lacks: ")?;
+        for (i, feat) in self.features.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{feat}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Losslessly converts a matrix to an equivalent rule policy: one
+/// unconditional permit rule per cell.
+///
+/// # Example
+///
+/// ```
+/// use ucam_policy::prelude::*;
+/// use ucam_policy::translate::matrix_to_rules;
+///
+/// let m = AclMatrix::new().allow(Subject::Public, Action::Read);
+/// let rules = matrix_to_rules(&m);
+/// assert_eq!(rules.len(), 1);
+/// ```
+#[must_use]
+pub fn matrix_to_rules(matrix: &AclMatrix) -> RulePolicy {
+    matrix
+        .cells()
+        .map(|(subject, action)| {
+            Rule::permit()
+                .for_subject(subject.clone())
+                .for_action(action.clone())
+        })
+        .collect()
+}
+
+/// Converts a rule policy down to a matrix **iff** the conversion preserves
+/// semantics exactly.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] listing every deny rule, condition, or
+/// implicit all-actions rule that the matrix language cannot express.
+pub fn rules_to_matrix(rules: &RulePolicy) -> Result<AclMatrix, TranslateError> {
+    let mut features = Vec::new();
+    let mut matrix = AclMatrix::new();
+    for rule in rules.rules() {
+        if rule.effect == Effect::Deny {
+            features.push(Untranslatable::DenyRule);
+            continue;
+        }
+        for condition in &rule.conditions {
+            features.push(Untranslatable::Condition(format!("{condition:?}")));
+        }
+        if rule.actions.is_empty() && !rule.subjects.is_empty() {
+            features.push(Untranslatable::AllActions);
+            continue;
+        }
+        for subject in &rule.subjects {
+            for action in &rule.actions {
+                matrix.insert(subject.clone(), action.clone());
+            }
+        }
+    }
+    if features.is_empty() {
+        Ok(matrix)
+    } else {
+        Err(TranslateError { features })
+    }
+}
+
+/// Translates a whole [`Policy`] to the target language, keeping id/name.
+///
+/// # Errors
+///
+/// Returns [`TranslateError`] when the target is [`Language::Matrix`] and
+/// the source uses inexpressible features. Translating a policy into its
+/// own language is the identity.
+pub fn translate(policy: &Policy, target: Language) -> Result<Policy, TranslateError> {
+    let body = match (&policy.body, target) {
+        (PolicyBody::Matrix(m), Language::Rules) => PolicyBody::Rules(matrix_to_rules(m)),
+        (PolicyBody::Rules(r), Language::Matrix) => PolicyBody::Matrix(rules_to_matrix(r)?),
+        // Upgrades into XACML are lossless: each cell/rule becomes an
+        // XACML rule under deny-overrides.
+        (PolicyBody::Matrix(m), Language::Xacml) => {
+            PolicyBody::Xacml(rules_to_xacml(&matrix_to_rules(m)))
+        }
+        (PolicyBody::Rules(r), Language::Xacml) => PolicyBody::Xacml(rules_to_xacml(r)),
+        // Downgrades out of XACML are refused wholesale: expression trees
+        // and combining algorithms have no faithful image below.
+        (PolicyBody::Xacml(_), Language::Matrix | Language::Rules) => {
+            return Err(TranslateError {
+                features: vec![Untranslatable::StructuredConstruct(
+                    "xacml policy set".to_owned(),
+                )],
+            })
+        }
+        (body, _) => body.clone(),
+    };
+    Ok(Policy {
+        id: policy.id.clone(),
+        name: policy.name.clone(),
+        body,
+    })
+}
+
+/// Losslessly upgrades a rule policy into a single-policy XACML set under
+/// deny-overrides (which matches the rule language's combining exactly).
+#[must_use]
+pub fn rules_to_xacml(rules: &RulePolicy) -> crate::xacml::XacmlPolicySet {
+    use crate::xacml::{Combining, Target, XExpr, XacmlPolicy, XacmlPolicySet, XacmlRule};
+
+    let mut policy = XacmlPolicy::new("upgraded", Combining::DenyOverrides);
+    for (index, rule) in rules.rules().iter().enumerate() {
+        let mut target = Target::any();
+        for subject in &rule.subjects {
+            target = target.with_subject(subject.clone());
+        }
+        for action in &rule.actions {
+            target = target.with_action(action.clone());
+        }
+        let xrule = match rule.effect {
+            Effect::Permit => XacmlRule::permit(&format!("rule-{index}")),
+            Effect::Deny => XacmlRule::deny(&format!("rule-{index}")),
+        };
+        let mut xrule = xrule.with_target(target);
+        if rule.effect == Effect::Permit && !rule.conditions.is_empty() {
+            let parts: Vec<XExpr> = rule.conditions.iter().map(condition_to_xexpr).collect();
+            xrule = xrule.with_condition(XExpr::And(parts));
+        }
+        policy = policy.with_rule(xrule);
+    }
+    XacmlPolicySet::new("upgraded-set", Combining::DenyOverrides).with_policy(policy)
+}
+
+fn condition_to_xexpr(condition: &crate::condition::Condition) -> crate::xacml::XExpr {
+    use crate::condition::Condition;
+    use crate::xacml::XExpr;
+    match condition {
+        Condition::TimeWindow { start_ms, end_ms } => XExpr::And(vec![
+            XExpr::TimeAtOrAfter(*start_ms),
+            XExpr::TimeBefore(*end_ms),
+        ]),
+        Condition::ValidUntil(t) => XExpr::TimeBefore(*t),
+        Condition::MaxUses(n) => XExpr::UsesBelow(*n),
+        Condition::RequiresConsent => XExpr::ConsentGranted,
+        Condition::RequiresClaims(requirements) => XExpr::And(
+            requirements
+                .iter()
+                .map(|r| XExpr::HasClaim(r.clone()))
+                .collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::model::{AccessRequest, Action, EvalContext, Subject};
+    use proptest::prelude::*;
+
+    #[test]
+    fn matrix_to_rules_is_lossless() {
+        let m = AclMatrix::new()
+            .allow(Subject::User("alice".into()), Action::Read)
+            .allow(Subject::Group("friends".into()), Action::Write);
+        let rules = matrix_to_rules(&m);
+        assert_eq!(rules.len(), 2);
+        // Semantics match on representative requests.
+        for (user, action) in [
+            ("alice", Action::Read),
+            ("alice", Action::Write),
+            ("bob", Action::Read),
+        ] {
+            let req = AccessRequest::new("h", "r", action).by_user(user);
+            let ctx = EvalContext::new(&req, 0);
+            assert_eq!(m.evaluate(&ctx), rules.evaluate(&ctx), "user={user}");
+        }
+    }
+
+    #[test]
+    fn simple_rules_downgrade() {
+        let rules = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::User("alice".into()))
+                .for_subject(Subject::User("chris".into()))
+                .for_action(Action::Read)
+                .for_action(Action::List),
+        );
+        let m = rules_to_matrix(&rules).unwrap();
+        assert_eq!(m.len(), 4); // 2 subjects x 2 actions
+    }
+
+    #[test]
+    fn deny_rule_blocks_downgrade() {
+        let rules = RulePolicy::new().with_rule(Rule::deny().for_subject(Subject::Public));
+        let err = rules_to_matrix(&rules).unwrap_err();
+        assert_eq!(err.features, vec![Untranslatable::DenyRule]);
+        assert!(err.to_string().contains("deny"));
+    }
+
+    #[test]
+    fn condition_blocks_downgrade() {
+        let rules = RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::Public)
+                .for_action(Action::Read)
+                .with_condition(Condition::ValidUntil(5)),
+        );
+        let err = rules_to_matrix(&rules).unwrap_err();
+        assert!(matches!(err.features[0], Untranslatable::Condition(_)));
+    }
+
+    #[test]
+    fn all_actions_blocks_downgrade() {
+        let rules = RulePolicy::new().with_rule(Rule::permit().for_subject(Subject::Public));
+        let err = rules_to_matrix(&rules).unwrap_err();
+        assert_eq!(err.features, vec![Untranslatable::AllActions]);
+    }
+
+    #[test]
+    fn multiple_blockers_all_reported() {
+        let rules = RulePolicy::new()
+            .with_rule(Rule::deny().for_subject(Subject::Public))
+            .with_rule(
+                Rule::permit()
+                    .for_subject(Subject::Public)
+                    .for_action(Action::Read)
+                    .with_condition(Condition::RequiresConsent),
+            );
+        let err = rules_to_matrix(&rules).unwrap_err();
+        assert_eq!(err.features.len(), 2);
+    }
+
+    #[test]
+    fn translate_policy_identity() {
+        let p = Policy::matrix("m", AclMatrix::new().allow(Subject::Public, Action::Read));
+        assert_eq!(translate(&p, Language::Matrix).unwrap(), p);
+    }
+
+    #[test]
+    fn translate_policy_upgrade_keeps_identity_fields() {
+        let p = Policy::matrix("m", AclMatrix::new().allow(Subject::Public, Action::Read));
+        let up = translate(&p, Language::Rules).unwrap();
+        assert_eq!(up.id, p.id);
+        assert_eq!(up.name, p.name);
+        assert_eq!(up.language(), "rules");
+    }
+
+    #[test]
+    fn xacml_downgrade_refused() {
+        let p = Policy::xacml(
+            "x",
+            crate::xacml::XacmlPolicySet::new("s", crate::xacml::Combining::DenyOverrides),
+        );
+        let err = translate(&p, Language::Matrix).unwrap_err();
+        assert!(matches!(
+            err.features[0],
+            Untranslatable::StructuredConstruct(_)
+        ));
+        assert!(translate(&p, Language::Rules).is_err());
+        // Identity stays fine.
+        assert_eq!(translate(&p, Language::Xacml).unwrap(), p);
+    }
+
+    #[test]
+    fn upgrade_to_xacml_preserves_semantics() {
+        use crate::condition::Condition;
+        let rules = RulePolicy::new()
+            .with_rule(
+                Rule::permit()
+                    .for_subject(Subject::User("alice".into()))
+                    .for_action(Action::Read)
+                    .with_condition(Condition::ValidUntil(100)),
+            )
+            .with_rule(Rule::deny().for_subject(Subject::User("mallory".into())));
+        let xacml = rules_to_xacml(&rules);
+        for (user, action, now) in [
+            ("alice", Action::Read, 50u64),
+            ("alice", Action::Read, 150),
+            ("alice", Action::Write, 50),
+            ("mallory", Action::Read, 50),
+            ("stranger", Action::Read, 50),
+        ] {
+            let req = AccessRequest::new("h", "r", action.clone()).by_user(user);
+            let ctx = EvalContext::new(&req, now);
+            let a = rules.evaluate(&ctx);
+            let b = xacml.evaluate(&ctx);
+            // NotApplicable and condition-failed both mean "no access";
+            // compare on the permit/pending axis.
+            assert_eq!(
+                a.is_permit(),
+                b.is_permit(),
+                "user={user} action={action:?} now={now}: {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                matches!(a, crate::Outcome::Deny(crate::DenyReason::ExplicitDeny)),
+                matches!(b, crate::Outcome::Deny(crate::DenyReason::ExplicitDeny)),
+                "deny parity for user={user}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Upgrading a matrix preserves evaluation semantics on arbitrary
+        /// requests (the core soundness property of E14).
+        #[test]
+        fn upgrade_preserves_semantics(
+            cells in proptest::collection::vec((0u8..3, "[a-c]", 0u8..3), 0..12),
+            req_user in "[a-c]",
+            req_action in 0u8..3,
+        ) {
+            let mut m = AclMatrix::new();
+            for (s, name, a) in cells {
+                let subject = match s {
+                    0 => Subject::Public,
+                    1 => Subject::User(name),
+                    _ => Subject::Authenticated,
+                };
+                let action = match a {
+                    0 => Action::Read,
+                    1 => Action::Write,
+                    _ => Action::List,
+                };
+                m.insert(subject, action);
+            }
+            let rules = matrix_to_rules(&m);
+            let action = match req_action {
+                0 => Action::Read,
+                1 => Action::Write,
+                _ => Action::List,
+            };
+            let req = AccessRequest::new("h", "r", action).by_user(&req_user);
+            let ctx = EvalContext::new(&req, 0);
+            prop_assert_eq!(m.evaluate(&ctx), rules.evaluate(&ctx));
+        }
+
+        /// A successful downgrade also preserves semantics exactly.
+        #[test]
+        fn downgrade_preserves_semantics(
+            subjects in proptest::collection::vec("[a-c]", 1..4),
+            actions in proptest::collection::vec(0u8..3, 1..4),
+            req_user in "[a-c]",
+            req_action in 0u8..3,
+        ) {
+            let mut rule = Rule::permit();
+            for s in &subjects {
+                rule = rule.for_subject(Subject::User(s.clone()));
+            }
+            for a in &actions {
+                rule = rule.for_action(match a {
+                    0 => Action::Read,
+                    1 => Action::Write,
+                    _ => Action::List,
+                });
+            }
+            let rules = RulePolicy::new().with_rule(rule);
+            let m = rules_to_matrix(&rules).unwrap();
+            let action = match req_action {
+                0 => Action::Read,
+                1 => Action::Write,
+                _ => Action::List,
+            };
+            let req = AccessRequest::new("h", "r", action).by_user(&req_user);
+            let ctx = EvalContext::new(&req, 0);
+            prop_assert_eq!(m.evaluate(&ctx), rules.evaluate(&ctx));
+        }
+    }
+}

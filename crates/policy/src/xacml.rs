@@ -1,0 +1,753 @@
+//! An XACML-like structured policy language.
+//!
+//! §VII: "We investigate the use of other policy languages and engines.
+//! Preferably, we aim to test applicability of XACML \[9\] and the RT
+//! framework." This module provides the XACML side: **policy sets**
+//! containing **policies** containing **rules**, each with a *target*
+//! (subject/action/resource matchers) and an optional *condition*
+//! expression tree, combined by the standard XACML combining algorithms
+//! (deny-overrides, permit-overrides, first-applicable).
+//!
+//! The language integrates with the rest of the system as a third
+//! [`PolicyBody`](crate::model::PolicyBody) variant, so an AM account can
+//! hold matrix, rule, and XACML policies side by side — the "preferred
+//! policy language" freedom of requirement R2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::condition::ClaimRequirement;
+use crate::model::{Action, DenyReason, EvalContext, Outcome, Subject};
+
+/// A combining algorithm for rules within a policy, or policies within a
+/// policy set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Combining {
+    /// Any deny wins over any permit.
+    DenyOverrides,
+    /// Any permit wins over any deny.
+    PermitOverrides,
+    /// The first applicable (non-`NotApplicable`) verdict wins.
+    FirstApplicable,
+}
+
+/// Rule / policy effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XEffect {
+    /// Grants on match.
+    Permit,
+    /// Forbids on match.
+    Deny,
+}
+
+/// Matches the resource component of a request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceMatch {
+    /// Any resource.
+    Any,
+    /// Exact host-local resource id.
+    Id(String),
+    /// Resource id prefix (directory/album subtree).
+    IdPrefix(String),
+    /// Any resource on the given host.
+    Host(String),
+}
+
+impl ResourceMatch {
+    fn matches(&self, ctx: &EvalContext<'_>) -> bool {
+        let resource = &ctx.request.resource;
+        match self {
+            ResourceMatch::Any => true,
+            ResourceMatch::Id(id) => resource.id == *id,
+            ResourceMatch::IdPrefix(prefix) => resource.id.starts_with(prefix),
+            ResourceMatch::Host(host) => resource.host == *host,
+        }
+    }
+}
+
+/// A target: the applicability filter of a rule, policy, or policy set.
+/// Empty vectors mean "match anything" (as in XACML's AnyOf omission).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Target {
+    /// Subject matchers (any-of).
+    pub subjects: Vec<Subject>,
+    /// Action matchers (any-of).
+    pub actions: Vec<Action>,
+    /// Resource matchers (any-of).
+    pub resources: Vec<ResourceMatch>,
+}
+
+impl Target {
+    /// The match-anything target.
+    #[must_use]
+    pub fn any() -> Self {
+        Target::default()
+    }
+
+    /// Restricts to a subject.
+    #[must_use]
+    pub fn with_subject(mut self, subject: Subject) -> Self {
+        self.subjects.push(subject);
+        self
+    }
+
+    /// Restricts to an action.
+    #[must_use]
+    pub fn with_action(mut self, action: Action) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Restricts to a resource matcher.
+    #[must_use]
+    pub fn with_resource(mut self, resource: ResourceMatch) -> Self {
+        self.resources.push(resource);
+        self
+    }
+
+    /// Returns `true` when the target covers the request.
+    #[must_use]
+    pub fn matches(&self, ctx: &EvalContext<'_>) -> bool {
+        let subject_ok = self.subjects.is_empty() || self.subjects.iter().any(|s| s.matches(ctx));
+        let action_ok = self.actions.is_empty() || self.actions.contains(&ctx.request.action);
+        let resource_ok =
+            self.resources.is_empty() || self.resources.iter().any(|r| r.matches(ctx));
+        subject_ok && action_ok && resource_ok
+    }
+}
+
+/// Tri-state condition value: XACML's True/False plus a "pending" state
+/// carrying the protocol requirements of §V.D/§VII.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tri {
+    /// Condition holds.
+    True,
+    /// Condition fails.
+    False,
+    /// Condition would hold once consent is granted and/or claims are
+    /// presented.
+    Pending {
+        /// Owner consent needed.
+        consent: bool,
+        /// Claims needed.
+        claims: Vec<ClaimRequirement>,
+    },
+}
+
+impl Tri {
+    fn pending_consent() -> Tri {
+        Tri::Pending {
+            consent: true,
+            claims: Vec::new(),
+        }
+    }
+
+    fn pending_claims(claims: Vec<ClaimRequirement>) -> Tri {
+        Tri::Pending {
+            consent: false,
+            claims,
+        }
+    }
+}
+
+/// A condition expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XExpr {
+    /// Always true.
+    True,
+    /// Current time strictly before `t` (ms).
+    TimeBefore(u64),
+    /// Current time at or after `t` (ms).
+    TimeAtOrAfter(u64),
+    /// The authenticated subject equals the user id.
+    SubjectIs(String),
+    /// The authenticated subject belongs to the group.
+    SubjectInGroup(String),
+    /// Fewer than `n` prior granted uses.
+    UsesBelow(u32),
+    /// The requester has presented a satisfying claim (pending otherwise).
+    HasClaim(ClaimRequirement),
+    /// The owner has granted real-time consent (pending otherwise).
+    ConsentGranted,
+    /// Logical negation. `Not(Pending)` is conservatively `False`: an
+    /// unmet requirement must never *enable* access through negation.
+    Not(Box<XExpr>),
+    /// Conjunction (empty = true).
+    And(Vec<XExpr>),
+    /// Disjunction (empty = false).
+    Or(Vec<XExpr>),
+}
+
+impl XExpr {
+    /// Evaluates the expression against the context.
+    #[must_use]
+    pub fn eval(&self, ctx: &EvalContext<'_>) -> Tri {
+        match self {
+            XExpr::True => Tri::True,
+            XExpr::TimeBefore(t) => bool_tri(ctx.now_ms < *t),
+            XExpr::TimeAtOrAfter(t) => bool_tri(ctx.now_ms >= *t),
+            XExpr::SubjectIs(user) => {
+                bool_tri(ctx.request.subject.as_deref() == Some(user.as_str()))
+            }
+            XExpr::SubjectInGroup(group) => match &ctx.request.subject {
+                Some(user) => bool_tri(ctx.groups.is_member(group, user)),
+                None => Tri::False,
+            },
+            XExpr::UsesBelow(n) => bool_tri(ctx.prior_uses < *n),
+            XExpr::HasClaim(requirement) => {
+                if requirement.satisfied_by(ctx.claims) {
+                    Tri::True
+                } else {
+                    Tri::pending_claims(vec![requirement.clone()])
+                }
+            }
+            XExpr::ConsentGranted => {
+                if ctx.consent_granted {
+                    Tri::True
+                } else {
+                    Tri::pending_consent()
+                }
+            }
+            XExpr::Not(inner) => match inner.eval(ctx) {
+                Tri::True => Tri::False,
+                // Unmet requirements must not enable access via negation.
+                Tri::False | Tri::Pending { .. } => match inner.eval(ctx) {
+                    Tri::False => Tri::True,
+                    _ => Tri::False,
+                },
+            },
+            XExpr::And(parts) => {
+                let mut consent = false;
+                let mut claims: Vec<ClaimRequirement> = Vec::new();
+                for part in parts {
+                    match part.eval(ctx) {
+                        Tri::True => {}
+                        Tri::False => return Tri::False,
+                        Tri::Pending {
+                            consent: c,
+                            claims: mut cl,
+                        } => {
+                            consent |= c;
+                            claims.append(&mut cl);
+                        }
+                    }
+                }
+                if consent || !claims.is_empty() {
+                    Tri::Pending { consent, claims }
+                } else {
+                    Tri::True
+                }
+            }
+            XExpr::Or(parts) => {
+                let mut pending: Option<Tri> = None;
+                for part in parts {
+                    match part.eval(ctx) {
+                        Tri::True => return Tri::True,
+                        Tri::False => {}
+                        p @ Tri::Pending { .. } => {
+                            pending.get_or_insert(p);
+                        }
+                    }
+                }
+                pending.unwrap_or(Tri::False)
+            }
+        }
+    }
+}
+
+fn bool_tri(value: bool) -> Tri {
+    if value {
+        Tri::True
+    } else {
+        Tri::False
+    }
+}
+
+/// One XACML rule: effect + target + optional condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XacmlRule {
+    /// Rule id (diagnostics).
+    pub id: String,
+    /// Permit or deny.
+    pub effect: XEffect,
+    /// Applicability filter.
+    pub target: Target,
+    /// Guard expression; `None` = always true.
+    pub condition: Option<XExpr>,
+}
+
+impl XacmlRule {
+    /// A permit rule with the given id.
+    #[must_use]
+    pub fn permit(id: &str) -> Self {
+        XacmlRule {
+            id: id.to_owned(),
+            effect: XEffect::Permit,
+            target: Target::any(),
+            condition: None,
+        }
+    }
+
+    /// A deny rule with the given id.
+    #[must_use]
+    pub fn deny(id: &str) -> Self {
+        XacmlRule {
+            id: id.to_owned(),
+            effect: XEffect::Deny,
+            target: Target::any(),
+            condition: None,
+        }
+    }
+
+    /// Sets the target.
+    #[must_use]
+    pub fn with_target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the condition.
+    #[must_use]
+    pub fn with_condition(mut self, condition: XExpr) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// Evaluates the rule.
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Outcome {
+        if !self.target.matches(ctx) {
+            return Outcome::NotApplicable;
+        }
+        let condition = match &self.condition {
+            Some(expr) => expr.eval(ctx),
+            None => Tri::True,
+        };
+        match (self.effect, condition) {
+            (XEffect::Permit, Tri::True) => Outcome::Permit,
+            (XEffect::Permit, Tri::False) => Outcome::NotApplicable,
+            (XEffect::Permit, Tri::Pending { consent: true, .. }) => Outcome::RequiresConsent,
+            (XEffect::Permit, Tri::Pending { claims, .. }) => Outcome::RequiresClaims(claims),
+            // A deny whose condition fails is simply inapplicable; a deny
+            // whose condition is *pending* must deny conservatively.
+            (XEffect::Deny, Tri::False) => Outcome::NotApplicable,
+            (XEffect::Deny, _) => Outcome::Deny(DenyReason::ExplicitDeny),
+        }
+    }
+}
+
+/// An XACML policy: a target plus combined rules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XacmlPolicy {
+    /// Policy id.
+    pub id: String,
+    /// Applicability filter.
+    pub target: Target,
+    /// Rule combining algorithm.
+    pub combining: Combining,
+    /// The rules.
+    pub rules: Vec<XacmlRule>,
+}
+
+impl XacmlPolicy {
+    /// Creates an empty policy.
+    #[must_use]
+    pub fn new(id: &str, combining: Combining) -> Self {
+        XacmlPolicy {
+            id: id.to_owned(),
+            target: Target::any(),
+            combining,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Sets the target.
+    #[must_use]
+    pub fn with_target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Appends a rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: XacmlRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Evaluates the policy.
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Outcome {
+        if !self.target.matches(ctx) {
+            return Outcome::NotApplicable;
+        }
+        combine(self.combining, self.rules.iter().map(|r| r.evaluate(ctx)))
+    }
+}
+
+/// The root: a set of policies under one combining algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XacmlPolicySet {
+    /// Set id.
+    pub id: String,
+    /// Policy combining algorithm.
+    pub combining: Combining,
+    /// The member policies.
+    pub policies: Vec<XacmlPolicy>,
+}
+
+impl XacmlPolicySet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new(id: &str, combining: Combining) -> Self {
+        XacmlPolicySet {
+            id: id.to_owned(),
+            combining,
+            policies: Vec::new(),
+        }
+    }
+
+    /// Appends a policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: XacmlPolicy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Evaluates the whole set.
+    #[must_use]
+    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Outcome {
+        combine(
+            self.combining,
+            self.policies.iter().map(|p| p.evaluate(ctx)),
+        )
+    }
+}
+
+/// Applies a combining algorithm over child outcomes.
+fn combine(algorithm: Combining, outcomes: impl Iterator<Item = Outcome>) -> Outcome {
+    let mut permit = false;
+    let mut deny: Option<Outcome> = None;
+    let mut pending: Option<Outcome> = None;
+    for outcome in outcomes {
+        match outcome {
+            Outcome::NotApplicable => {}
+            Outcome::Permit => {
+                if algorithm == Combining::FirstApplicable {
+                    return Outcome::Permit;
+                }
+                if algorithm == Combining::PermitOverrides {
+                    return Outcome::Permit;
+                }
+                permit = true;
+            }
+            d @ Outcome::Deny(_) => {
+                if algorithm == Combining::FirstApplicable || algorithm == Combining::DenyOverrides
+                {
+                    return d;
+                }
+                deny.get_or_insert(d);
+            }
+            p @ (Outcome::RequiresConsent | Outcome::RequiresClaims(_)) => {
+                if algorithm == Combining::FirstApplicable {
+                    return p;
+                }
+                pending.get_or_insert(p);
+            }
+        }
+    }
+    // DenyOverrides reaching here: no deny seen.
+    // PermitOverrides reaching here: no permit seen.
+    if permit {
+        return Outcome::Permit;
+    }
+    if let Some(p) = pending {
+        return p;
+    }
+    if let Some(d) = deny {
+        return d;
+    }
+    Outcome::NotApplicable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::GroupStore;
+    use crate::model::{AccessRequest, ResourceRef};
+    use crate::Claim;
+
+    fn read_req(user: &str, id: &str) -> AccessRequest {
+        AccessRequest {
+            subject: Some(user.to_owned()),
+            requester_app: None,
+            action: Action::Read,
+            resource: ResourceRef::new("h.example", id),
+        }
+    }
+
+    #[test]
+    fn empty_target_matches_everything() {
+        let req = read_req("alice", "r");
+        assert!(Target::any().matches(&EvalContext::new(&req, 0)));
+    }
+
+    #[test]
+    fn target_components_conjoin() {
+        let target = Target::any()
+            .with_subject(Subject::User("alice".into()))
+            .with_action(Action::Read)
+            .with_resource(ResourceMatch::IdPrefix("albums/".into()));
+        let hit = read_req("alice", "albums/rome/p1");
+        assert!(target.matches(&EvalContext::new(&hit, 0)));
+        let wrong_res = read_req("alice", "docs/x");
+        assert!(!target.matches(&EvalContext::new(&wrong_res, 0)));
+        let wrong_user = read_req("bob", "albums/rome/p1");
+        assert!(!target.matches(&EvalContext::new(&wrong_user, 0)));
+    }
+
+    #[test]
+    fn resource_matchers() {
+        let req = read_req("a", "albums/rome/p1");
+        let ctx = EvalContext::new(&req, 0);
+        assert!(ResourceMatch::Any.matches(&ctx));
+        assert!(ResourceMatch::Id("albums/rome/p1".into()).matches(&ctx));
+        assert!(!ResourceMatch::Id("other".into()).matches(&ctx));
+        assert!(ResourceMatch::IdPrefix("albums/".into()).matches(&ctx));
+        assert!(ResourceMatch::Host("h.example".into()).matches(&ctx));
+        assert!(!ResourceMatch::Host("other.example".into()).matches(&ctx));
+    }
+
+    #[test]
+    fn expr_time_and_subject() {
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 50);
+        assert_eq!(XExpr::TimeBefore(100).eval(&ctx), Tri::True);
+        assert_eq!(XExpr::TimeBefore(50).eval(&ctx), Tri::False);
+        assert_eq!(XExpr::TimeAtOrAfter(50).eval(&ctx), Tri::True);
+        assert_eq!(XExpr::SubjectIs("alice".into()).eval(&ctx), Tri::True);
+        assert_eq!(XExpr::SubjectIs("bob".into()).eval(&ctx), Tri::False);
+    }
+
+    #[test]
+    fn expr_group_membership() {
+        let mut groups = GroupStore::new();
+        groups.add_member("friends", "alice");
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 0).with_groups(&groups);
+        assert_eq!(
+            XExpr::SubjectInGroup("friends".into()).eval(&ctx),
+            Tri::True
+        );
+        assert_eq!(
+            XExpr::SubjectInGroup("family".into()).eval(&ctx),
+            Tri::False
+        );
+    }
+
+    #[test]
+    fn expr_boolean_composition() {
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 0);
+        let t = XExpr::True;
+        let f = XExpr::Not(Box::new(XExpr::True));
+        assert_eq!(XExpr::And(vec![t.clone(), t.clone()]).eval(&ctx), Tri::True);
+        assert_eq!(
+            XExpr::And(vec![t.clone(), f.clone()]).eval(&ctx),
+            Tri::False
+        );
+        assert_eq!(XExpr::Or(vec![f.clone(), t.clone()]).eval(&ctx), Tri::True);
+        assert_eq!(XExpr::Or(vec![f.clone(), f.clone()]).eval(&ctx), Tri::False);
+        assert_eq!(XExpr::And(vec![]).eval(&ctx), Tri::True);
+        assert_eq!(XExpr::Or(vec![]).eval(&ctx), Tri::False);
+    }
+
+    #[test]
+    fn pending_propagates_through_and_or() {
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 0);
+        let consent = XExpr::ConsentGranted;
+        let claim = XExpr::HasClaim(ClaimRequirement::of_kind("payment"));
+        // And: both requirements accumulate.
+        match XExpr::And(vec![consent.clone(), claim.clone()]).eval(&ctx) {
+            Tri::Pending { consent, claims } => {
+                assert!(consent);
+                assert_eq!(claims.len(), 1);
+            }
+            other => panic!("expected pending, got {other:?}"),
+        }
+        // Or with a true branch short-circuits.
+        assert_eq!(
+            XExpr::Or(vec![XExpr::True, consent.clone()]).eval(&ctx),
+            Tri::True
+        );
+        // Not(pending) must be false, never true.
+        assert_eq!(XExpr::Not(Box::new(consent)).eval(&ctx), Tri::False);
+    }
+
+    #[test]
+    fn claim_expr_satisfied_by_presented_claim() {
+        let req = read_req("alice", "r");
+        let claims = [Claim::new("payment", "ref", "pay.example")];
+        let ctx = EvalContext::new(&req, 0).with_claims(&claims);
+        assert_eq!(
+            XExpr::HasClaim(ClaimRequirement::of_kind("payment")).eval(&ctx),
+            Tri::True
+        );
+    }
+
+    #[test]
+    fn rule_effects_and_conditions() {
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 10);
+        let permit = XacmlRule::permit("p").with_condition(XExpr::TimeBefore(100));
+        assert_eq!(permit.evaluate(&ctx), Outcome::Permit);
+        let expired = XacmlRule::permit("p").with_condition(XExpr::TimeBefore(5));
+        assert_eq!(expired.evaluate(&ctx), Outcome::NotApplicable);
+        let deny = XacmlRule::deny("d");
+        assert_eq!(deny.evaluate(&ctx), Outcome::Deny(DenyReason::ExplicitDeny));
+        // Deny with a pending condition stays a deny (conservative).
+        let deny_pending = XacmlRule::deny("d").with_condition(XExpr::ConsentGranted);
+        assert_eq!(
+            deny_pending.evaluate(&ctx),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+        // Permit with pending consent surfaces the requirement.
+        let consent = XacmlRule::permit("p").with_condition(XExpr::ConsentGranted);
+        assert_eq!(consent.evaluate(&ctx), Outcome::RequiresConsent);
+    }
+
+    #[test]
+    fn deny_overrides_combining() {
+        let policy = XacmlPolicy::new("p", Combining::DenyOverrides)
+            .with_rule(XacmlRule::permit("a"))
+            .with_rule(XacmlRule::deny("b"));
+        let req = read_req("alice", "r");
+        assert_eq!(
+            policy.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+    }
+
+    #[test]
+    fn permit_overrides_combining() {
+        let policy = XacmlPolicy::new("p", Combining::PermitOverrides)
+            .with_rule(XacmlRule::deny("a"))
+            .with_rule(XacmlRule::permit("b"));
+        let req = read_req("alice", "r");
+        assert_eq!(policy.evaluate(&EvalContext::new(&req, 0)), Outcome::Permit);
+    }
+
+    #[test]
+    fn first_applicable_combining() {
+        let req = read_req("alice", "r");
+        let ctx = EvalContext::new(&req, 0);
+        // First rule inapplicable (target mismatch), second denies, third
+        // would permit — first-applicable stops at the deny.
+        let policy = XacmlPolicy::new("p", Combining::FirstApplicable)
+            .with_rule(
+                XacmlRule::permit("skip")
+                    .with_target(Target::any().with_subject(Subject::User("someone-else".into()))),
+            )
+            .with_rule(XacmlRule::deny("hit"))
+            .with_rule(XacmlRule::permit("late"));
+        assert_eq!(
+            policy.evaluate(&ctx),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+    }
+
+    #[test]
+    fn policy_target_gates_rules() {
+        let policy = XacmlPolicy::new("p", Combining::DenyOverrides)
+            .with_target(Target::any().with_action(Action::Write))
+            .with_rule(XacmlRule::permit("a"));
+        let read = read_req("alice", "r");
+        assert_eq!(
+            policy.evaluate(&EvalContext::new(&read, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn policy_set_combines_policies() {
+        let set = XacmlPolicySet::new("set", Combining::DenyOverrides)
+            .with_policy(
+                XacmlPolicy::new("allow-friends", Combining::DenyOverrides).with_rule(
+                    XacmlRule::permit("r1")
+                        .with_target(Target::any().with_subject(Subject::User("alice".into()))),
+                ),
+            )
+            .with_policy(
+                XacmlPolicy::new("ban-writes", Combining::DenyOverrides).with_rule(
+                    XacmlRule::deny("r2").with_target(Target::any().with_action(Action::Write)),
+                ),
+            );
+        let read = read_req("alice", "r");
+        assert_eq!(set.evaluate(&EvalContext::new(&read, 0)), Outcome::Permit);
+        let mut write = read_req("alice", "r");
+        write.action = Action::Write;
+        assert_eq!(
+            set.evaluate(&EvalContext::new(&write, 0)),
+            Outcome::Deny(DenyReason::ExplicitDeny)
+        );
+        let stranger = read_req("mallory", "r");
+        assert_eq!(
+            set.evaluate(&EvalContext::new(&stranger, 0)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn pending_survives_deny_overrides_without_deny() {
+        let policy = XacmlPolicy::new("p", Combining::DenyOverrides)
+            .with_rule(XacmlRule::permit("consent").with_condition(XExpr::ConsentGranted));
+        let req = read_req("alice", "r");
+        assert_eq!(
+            policy.evaluate(&EvalContext::new(&req, 0)),
+            Outcome::RequiresConsent
+        );
+        // Once consent arrives, it permits.
+        assert_eq!(
+            policy.evaluate(&EvalContext::new(&req, 0).with_consent()),
+            Outcome::Permit
+        );
+    }
+
+    #[test]
+    fn uses_below_counts() {
+        let req = read_req("alice", "r");
+        let rule = XacmlRule::permit("limited").with_condition(XExpr::UsesBelow(2));
+        assert_eq!(
+            rule.evaluate(&EvalContext::new(&req, 0).with_prior_uses(1)),
+            Outcome::Permit
+        );
+        assert_eq!(
+            rule.evaluate(&EvalContext::new(&req, 0).with_prior_uses(2)),
+            Outcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let set = XacmlPolicySet::new("set", Combining::PermitOverrides).with_policy(
+            XacmlPolicy::new("p", Combining::FirstApplicable).with_rule(
+                XacmlRule::permit("r")
+                    .with_target(
+                        Target::any()
+                            .with_subject(Subject::Group("friends".into()))
+                            .with_resource(ResourceMatch::IdPrefix("albums/".into())),
+                    )
+                    .with_condition(XExpr::And(vec![
+                        XExpr::TimeBefore(99),
+                        XExpr::Or(vec![
+                            XExpr::HasClaim(ClaimRequirement::of_kind("payment")),
+                            XExpr::SubjectIs("vip".into()),
+                        ]),
+                    ])),
+            ),
+        );
+        let json = serde_json::to_string(&set).unwrap();
+        let back: XacmlPolicySet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+    }
+}

@@ -1,0 +1,710 @@
+//! The Requester side of the protocol.
+//!
+//! "A Requester is an application that is capable of issuing access
+//! requests to resources on Hosts which are protected by an Authorization
+//! Manager. A Requester is able to obtain the necessary authorization token
+//! from AM. Such token is later presented to the Host. Depending on the
+//! validity of the token, a Requester may need to obtain it only once and
+//! can use it for multiple subsequent access requests." (§V.A.4)
+//!
+//! [`RequesterClient`] drives the full flow of Figs. 5–6:
+//!
+//! 1. access the protected resource;
+//! 2. on `302` to the AM's `/authorize`, follow it (attaching identity
+//!    assertion and claims);
+//! 3. receive the authorization token (directly or via the redirect back
+//!    to the Host), cache it;
+//! 4. retry the access with `Authorization: Bearer <token>`;
+//! 5. reuse the cached token for subsequent requests (§V.B.6) and
+//!    re-authorize transparently once when a token is rejected (expiry).
+//!
+//! Pending consent (§V.D) and required claims (§VII) surface as explicit
+//! [`AccessOutcome`] variants so callers can poll or pay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use ucam_webenv::{Method, Request, Response, SimNet, Status, Url};
+
+/// Counters describing the requester's protocol work (experiment E7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequesterStats {
+    /// Accesses attempted through [`RequesterClient::access`].
+    pub accesses: u64,
+    /// Authorization-token requests sent to AMs.
+    pub token_requests: u64,
+    /// Accesses satisfied with a cached token on the first try.
+    pub cache_hits: u64,
+    /// Re-authorizations after a token was rejected (expiry/revocation).
+    pub reauthorizations: u64,
+}
+
+/// The result of one access attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The Host granted access; the response is attached.
+    Granted(Response),
+    /// Access denied by policy.
+    Denied(String),
+    /// The owner's consent is pending at the AM; poll later with the id.
+    PendingConsent {
+        /// AM authority to poll.
+        am: String,
+        /// Consent request id.
+        consent_id: String,
+    },
+    /// The AM requires claims of these kinds (§VII).
+    NeedsClaims(String),
+    /// Transport-level failure (host or AM unreachable, redirect loop…).
+    Failed(Response),
+}
+
+impl AccessOutcome {
+    /// Returns `true` for [`AccessOutcome::Granted`].
+    #[must_use]
+    pub fn is_granted(&self) -> bool {
+        matches!(self, AccessOutcome::Granted(_))
+    }
+}
+
+/// One access to perform: method, URL and the action it represents.
+#[derive(Debug, Clone)]
+pub struct AccessSpec {
+    /// HTTP method to use.
+    pub method: Method,
+    /// Target URL on the Host.
+    pub url: Url,
+    /// The logical action (communicated to the AM during authorization).
+    pub action: String,
+    /// Request body, if any.
+    pub body: String,
+}
+
+impl AccessSpec {
+    /// A GET/read access.
+    #[must_use]
+    pub fn read(url: Url) -> Self {
+        AccessSpec {
+            method: Method::Get,
+            url,
+            action: "read".to_owned(),
+            body: String::new(),
+        }
+    }
+
+    /// A POST/write access with a body.
+    #[must_use]
+    pub fn write(url: Url, body: impl Into<String>) -> Self {
+        AccessSpec {
+            method: Method::Post,
+            url,
+            action: "write".to_owned(),
+            body: body.into(),
+        }
+    }
+
+    /// Overrides the logical action.
+    #[must_use]
+    pub fn with_action(mut self, action: &str) -> Self {
+        self.action = action.to_owned();
+        self
+    }
+}
+
+/// A protocol-aware client for accessing AM-protected resources.
+///
+/// # Example
+///
+/// ```no_run
+/// use ucam_requester::{AccessSpec, RequesterClient};
+/// use ucam_webenv::{SimNet, Url};
+///
+/// let net = SimNet::new();
+/// let mut client = RequesterClient::new("requester:printer.example");
+/// let spec = AccessSpec::read(Url::new("webpics.example", "/photos/photo-1"));
+/// let outcome = client.access(&net, &spec);
+/// println!("{outcome:?}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequesterClient {
+    label: String,
+    /// Identity assertion presented to AMs, if the requester acts for a
+    /// known human subject.
+    subject_token: Option<String>,
+    /// Sealed claim tokens presented to AMs (§VII).
+    claim_tokens: Vec<String>,
+    /// (host, resource, action) -> cached authorization token.
+    tokens: HashMap<(String, String, String), String>,
+    stats: RequesterStats,
+}
+
+impl RequesterClient {
+    /// Creates a client identified on the network as `label`
+    /// (convention: `requester:<authority>`).
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        RequesterClient {
+            label: label.to_owned(),
+            subject_token: None,
+            claim_tokens: Vec::new(),
+            tokens: HashMap::new(),
+            stats: RequesterStats::default(),
+        }
+    }
+
+    /// The label this requester uses on the network.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Attaches an identity assertion (from the IdP) to future
+    /// authorization requests.
+    pub fn set_subject_token(&mut self, token: Option<String>) {
+        self.subject_token = token;
+    }
+
+    /// Adds a claim token (e.g. a payment confirmation) for future
+    /// authorization requests.
+    pub fn add_claim_token(&mut self, token: &str) {
+        self.claim_tokens.push(token.to_owned());
+    }
+
+    /// Clears the token cache (forces full re-authorization).
+    pub fn clear_tokens(&mut self) {
+        self.tokens.clear();
+    }
+
+    /// Number of cached tokens.
+    #[must_use]
+    pub fn cached_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> RequesterStats {
+        self.stats
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = RequesterStats::default();
+    }
+
+    /// Performs one access, transparently running the token flow.
+    pub fn access(&mut self, net: &SimNet, spec: &AccessSpec) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let cache_key = self.cache_key(spec);
+        let cached = self.tokens.get(&cache_key).cloned();
+        if cached.is_some() {
+            self.stats.cache_hits += 1;
+        }
+
+        let first = self.send(net, spec, cached.as_deref());
+        match self.classify(net, spec, first) {
+            Classified::Done(outcome) => outcome,
+            Classified::GotToken(token) => {
+                self.tokens.insert(cache_key, token.clone());
+                let resp = self.send(net, spec, Some(&token));
+                self.finish(resp)
+            }
+            Classified::TokenRejected => {
+                // One transparent re-authorization (expired/stale token).
+                self.stats.reauthorizations += 1;
+                self.tokens.remove(&cache_key);
+                let retry = self.send(net, spec, None);
+                match self.classify(net, spec, retry) {
+                    Classified::Done(outcome) => outcome,
+                    Classified::GotToken(token) => {
+                        self.tokens.insert(self.cache_key(spec), token.clone());
+                        let resp = self.send(net, spec, Some(&token));
+                        self.finish(resp)
+                    }
+                    Classified::TokenRejected => {
+                        AccessOutcome::Denied("token rejected twice; giving up".to_owned())
+                    }
+                }
+            }
+        }
+    }
+
+    fn cache_key(&self, spec: &AccessSpec) -> (String, String, String) {
+        (
+            spec.url.authority().to_owned(),
+            spec.url.path().to_owned(),
+            spec.action.clone(),
+        )
+    }
+
+    fn send(&mut self, net: &SimNet, spec: &AccessSpec, bearer: Option<&str>) -> Response {
+        let mut req = Request::to_url(spec.method, spec.url.clone())
+            .with_header("x-requester", &self.label)
+            .with_body(spec.body.clone());
+        if let Some(token) = bearer {
+            req = req.with_bearer(token);
+        }
+        net.dispatch(&self.label, req)
+    }
+
+    fn classify(&mut self, net: &SimNet, spec: &AccessSpec, resp: Response) -> Classified {
+        match resp.status {
+            Status::Found => match resp.location() {
+                Some(location) if location.path() == "/authorize" => {
+                    self.request_token(net, spec, &location)
+                }
+                _ => Classified::Done(AccessOutcome::Failed(resp)),
+            },
+            Status::Unauthorized => Classified::TokenRejected,
+            Status::Forbidden => Classified::Done(AccessOutcome::Denied(resp.body)),
+            s if s.is_success() => Classified::Done(AccessOutcome::Granted(resp)),
+            _ => Classified::Done(AccessOutcome::Failed(resp)),
+        }
+    }
+
+    /// Follows the Host's redirect to the AM's `/authorize` (Fig. 5).
+    fn request_token(&mut self, net: &SimNet, _spec: &AccessSpec, authorize: &Url) -> Classified {
+        self.stats.token_requests += 1;
+        let am = authorize.authority().to_owned();
+        let mut url = authorize.clone();
+        if let Some(subject) = &self.subject_token {
+            url = url.with_query("subject_token", subject);
+        }
+        if !self.claim_tokens.is_empty() {
+            url = url.with_query("claims", &self.claim_tokens.join(","));
+        }
+        let resp = net.dispatch(&self.label, Request::to_url(Method::Get, url));
+        match resp.status {
+            // AM redirects back to the Host with the token attached.
+            Status::Found => match resp
+                .location()
+                .and_then(|l| l.query("authz_token").map(str::to_owned))
+            {
+                Some(token) => Classified::GotToken(token),
+                None => Classified::Done(AccessOutcome::Failed(resp)),
+            },
+            // AM returned the token directly (no return URL configured).
+            Status::Ok => Classified::GotToken(resp.body),
+            Status::Accepted => Classified::Done(AccessOutcome::PendingConsent {
+                am,
+                consent_id: resp.body,
+            }),
+            Status::PaymentRequired => Classified::Done(AccessOutcome::NeedsClaims(resp.body)),
+            Status::Forbidden => Classified::Done(AccessOutcome::Denied(resp.body)),
+            _ => Classified::Done(AccessOutcome::Failed(resp)),
+        }
+    }
+
+    fn finish(&self, resp: Response) -> AccessOutcome {
+        match resp.status {
+            s if s.is_success() => AccessOutcome::Granted(resp),
+            Status::Forbidden => AccessOutcome::Denied(resp.body),
+            _ => AccessOutcome::Failed(resp),
+        }
+    }
+
+    /// XRD/LRDD discovery (§VII): fetches the Host's `host-meta` document
+    /// for a resource and extracts the protecting AM's authorize endpoint
+    /// and the resource owner. Returns `None` when the host is
+    /// unreachable, the resource unknown, or no AM link is published.
+    pub fn discover_am(
+        &mut self,
+        net: &SimNet,
+        host: &str,
+        resource_id: &str,
+    ) -> Option<Discovered> {
+        let url = Url::new(host, "/.well-known/host-meta").with_query("resource", resource_id);
+        let resp = net.dispatch(&self.label, Request::to_url(Method::Get, url));
+        if !resp.status.is_success() {
+            return None;
+        }
+        let owner = extract_between(&resp.body, "<Property type=\"owner\">", "</Property>")?;
+        let href = extract_between(&resp.body, "href=\"", "\"")?;
+        let authorize: Url = href.parse().ok()?;
+        Some(Discovered { authorize, owner })
+    }
+
+    /// The requester-orchestrated flow variant of §VII: instead of being
+    /// redirected by the Host (Fig. 5), the requester *discovers* the AM
+    /// via XRD, obtains the token directly, and then accesses the
+    /// resource. Same number of round trips, different orchestrator.
+    pub fn access_via_discovery(
+        &mut self,
+        net: &SimNet,
+        spec: &AccessSpec,
+        resource_id: &str,
+    ) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let host = spec.url.authority().to_owned();
+        let cache_key = self.cache_key(spec);
+        if let Some(token) = self.tokens.get(&cache_key).cloned() {
+            self.stats.cache_hits += 1;
+            let resp = self.send(net, spec, Some(&token));
+            if resp.status != Status::Unauthorized {
+                return self.finish(resp);
+            }
+            self.tokens.remove(&cache_key);
+            self.stats.reauthorizations += 1;
+        }
+        let Some(discovered) = self.discover_am(net, &host, resource_id) else {
+            return AccessOutcome::Failed(
+                Response::with_status(Status::NotFound)
+                    .with_body("authorization manager discovery failed"),
+            );
+        };
+        let authorize = discovered
+            .authorize
+            .with_query("host", &host)
+            .with_query("owner", &discovered.owner)
+            .with_query("resource", resource_id)
+            .with_query("action", &spec.action)
+            .with_query("requester", &self.label);
+        match self.request_token(net, spec, &authorize) {
+            Classified::GotToken(token) => {
+                self.tokens.insert(cache_key, token.clone());
+                let resp = self.send(net, spec, Some(&token));
+                self.finish(resp)
+            }
+            Classified::Done(outcome) => outcome,
+            Classified::TokenRejected => {
+                AccessOutcome::Denied("authorization manager rejected the request".to_owned())
+            }
+        }
+    }
+
+    /// Polls the AM for the state of a pending consent request; returns
+    /// `Some(true)` once granted, `Some(false)` once denied, `None` while
+    /// pending or on error.
+    pub fn poll_consent(&mut self, net: &SimNet, am: &str, consent_id: &str) -> Option<bool> {
+        let url = Url::new(am, "/authorize/status").with_query("id", consent_id);
+        let resp = net.dispatch(&self.label, Request::to_url(Method::Get, url));
+        match (resp.status, resp.body.as_str()) {
+            (Status::Ok, "granted") => Some(true),
+            (Status::Ok, "denied" | "expired") => Some(false),
+            _ => None,
+        }
+    }
+}
+
+enum Classified {
+    Done(AccessOutcome),
+    GotToken(String),
+    TokenRejected,
+}
+
+/// The result of XRD discovery: where to authorize and whose policies
+/// apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discovered {
+    /// The AM's authorize endpoint.
+    pub authorize: Url,
+    /// The resource owner.
+    pub owner: String,
+}
+
+/// Extracts the text between the first occurrence of `start` and the next
+/// occurrence of `end` after it.
+fn extract_between(haystack: &str, start: &str, end: &str) -> Option<String> {
+    let from = haystack.find(start)? + start.len();
+    let len = haystack[from..].find(end)?;
+    Some(haystack[from..from + len].to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ucam_webenv::WebApp;
+
+    /// A fake Host+AM pair exercising every branch of the client.
+    struct FakeHost;
+
+    impl WebApp for FakeHost {
+        fn authority(&self) -> &str {
+            "host.example"
+        }
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            match (req.url.path(), req.bearer_token()) {
+                ("/open", _) => Response::ok().with_body("open data"),
+                ("/protected", Some("good-token")) => Response::ok().with_body("secret"),
+                ("/protected", Some(_)) => Response::with_status(Status::Unauthorized),
+                ("/protected", None) => Response::redirect(
+                    &Url::new("am.example", "/authorize")
+                        .with_query("host", "host.example")
+                        .with_query("resource", "protected")
+                        .with_query("return", "https://host.example/protected"),
+                ),
+                ("/forbidden-direct", _) => Response::forbidden("nope"),
+                _ => Response::not_found(req.url.path()),
+            }
+        }
+    }
+
+    /// AM that redirects back with a token, or exercises other outcomes
+    /// depending on the `resource` parameter.
+    struct FakeAm;
+
+    impl WebApp for FakeAm {
+        fn authority(&self) -> &str {
+            "am.example"
+        }
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            match req.url.path() {
+                "/authorize" => match req.param("resource") {
+                    Some("protected") => {
+                        let ret: Url = req.param("return").unwrap().parse().unwrap();
+                        Response::redirect(&ret.with_query("authz_token", "good-token"))
+                    }
+                    Some("consent") => Response::with_status(Status::Accepted).with_body("c-1"),
+                    Some("paid") => Response::with_status(Status::PaymentRequired)
+                        .with_body("claims required: payment"),
+                    _ => Response::forbidden("denied by policy"),
+                },
+                "/authorize/status" => Response::ok().with_body("granted"),
+                other => Response::not_found(other),
+            }
+        }
+    }
+
+    fn net() -> SimNet {
+        let net = SimNet::new();
+        net.register(Arc::new(FakeHost));
+        net.register(Arc::new(FakeAm));
+        net
+    }
+
+    #[test]
+    fn open_resource_granted_directly() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        let outcome = client.access(&net, &AccessSpec::read(Url::new("host.example", "/open")));
+        assert!(outcome.is_granted());
+        assert_eq!(client.stats().token_requests, 0);
+    }
+
+    #[test]
+    fn full_token_dance_then_cache() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+
+        // First access: redirect -> authorize -> retry with token.
+        let AccessOutcome::Granted(resp) = client.access(&net, &spec) else {
+            panic!("expected grant");
+        };
+        assert_eq!(resp.body, "secret");
+        assert_eq!(client.stats().token_requests, 1);
+        assert_eq!(client.cached_tokens(), 1);
+
+        // Second access: token reused, no new authorization.
+        net.reset_stats();
+        assert!(client.access(&net, &spec).is_granted());
+        assert_eq!(client.stats().token_requests, 1, "no re-authorization");
+        assert_eq!(client.stats().cache_hits, 1);
+        // Exactly one round trip on the wire for the subsequent request.
+        assert_eq!(net.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn stale_cached_token_triggers_one_reauthorization() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+        // Pre-poison the cache.
+        client
+            .tokens
+            .insert(client.cache_key(&spec), "stale".to_owned());
+        let outcome = client.access(&net, &spec);
+        assert!(outcome.is_granted());
+        assert_eq!(client.stats().reauthorizations, 1);
+    }
+
+    #[test]
+    fn denial_reported() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        let outcome = client.access(
+            &net,
+            &AccessSpec::read(Url::new("host.example", "/forbidden-direct")),
+        );
+        assert!(matches!(outcome, AccessOutcome::Denied(_)));
+    }
+
+    #[test]
+    fn unreachable_host_fails() {
+        let net = SimNet::new();
+        let mut client = RequesterClient::new("requester:test");
+        let outcome = client.access(&net, &AccessSpec::read(Url::new("ghost.example", "/x")));
+        assert!(matches!(outcome, AccessOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn consent_pending_surfaces_and_polls() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        // Direct the fake host redirect at the consent-producing resource.
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+        // Craft a redirect manually by calling the AM with resource=consent:
+        let authorize = Url::new("am.example", "/authorize").with_query("resource", "consent");
+        let classified = client.request_token(&net, &spec, &authorize);
+        let Classified::Done(AccessOutcome::PendingConsent { am, consent_id }) = classified else {
+            panic!("expected pending consent");
+        };
+        assert_eq!(am, "am.example");
+        assert_eq!(client.poll_consent(&net, &am, &consent_id), Some(true));
+    }
+
+    #[test]
+    fn claims_needed_surfaces() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+        let authorize = Url::new("am.example", "/authorize").with_query("resource", "paid");
+        let classified = client.request_token(&net, &spec, &authorize);
+        let Classified::Done(AccessOutcome::NeedsClaims(msg)) = classified else {
+            panic!("expected claims requirement");
+        };
+        assert!(msg.contains("payment"));
+    }
+
+    #[test]
+    fn subject_and_claims_forwarded_to_am() {
+        // An AM that echoes back what it received, as a token.
+        struct EchoAm;
+        impl WebApp for EchoAm {
+            fn authority(&self) -> &str {
+                "am.example"
+            }
+            fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+                let s = req.param("subject_token").unwrap_or("-");
+                let c = req.param("claims").unwrap_or("-");
+                Response::ok().with_body(format!("{s}/{c}"))
+            }
+        }
+        let net = SimNet::new();
+        net.register(Arc::new(EchoAm));
+        let mut client = RequesterClient::new("requester:test");
+        client.set_subject_token(Some("assert-1".into()));
+        client.add_claim_token("claim-a");
+        client.add_claim_token("claim-b");
+        let spec = AccessSpec::read(Url::new("host.example", "/x"));
+        let authorize = Url::new("am.example", "/authorize");
+        let Classified::GotToken(token) = client.request_token(&net, &spec, &authorize) else {
+            panic!("expected token");
+        };
+        assert_eq!(token, "assert-1/claim-a,claim-b");
+    }
+
+    /// A host publishing host-meta XRD and a protected resource.
+    struct MetaHost;
+
+    impl WebApp for MetaHost {
+        fn authority(&self) -> &str {
+            "meta-host.example"
+        }
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            match req.url.path() {
+                "/.well-known/host-meta" => match req.param("resource") {
+                    Some("known") => Response::ok().with_body(concat!(
+                        "<?xml version=\"1.0\"?>\n<XRD>\n",
+                        "  <Subject>https://meta-host.example/known</Subject>\n",
+                        "  <Property type=\"owner\">bob</Property>\n",
+                        "  <Link rel=\"authorization-manager\" href=\"https://am.example/authorize\"/>\n",
+                        "</XRD>\n",
+                    )),
+                    Some("undelegated") => Response::ok().with_body(
+                        "<?xml version=\"1.0\"?>\n<XRD>\n  <Property type=\"owner\">bob</Property>\n</XRD>\n",
+                    ),
+                    _ => Response::not_found("resource"),
+                },
+                "/known" => match req.bearer_token() {
+                    Some("good-token") => Response::ok().with_body("discovered data"),
+                    Some(_) => Response::with_status(Status::Unauthorized),
+                    None => Response::with_status(Status::Unauthorized),
+                },
+                other => Response::not_found(other),
+            }
+        }
+    }
+
+    /// AM granting tokens on direct authorize (no return parameter).
+    struct DirectAm;
+
+    impl WebApp for DirectAm {
+        fn authority(&self) -> &str {
+            "am.example"
+        }
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            assert_eq!(req.url.path(), "/authorize");
+            assert_eq!(req.param("owner"), Some("bob"));
+            Response::ok().with_body("good-token")
+        }
+    }
+
+    #[test]
+    fn discovery_extracts_am_and_owner() {
+        let net = SimNet::new();
+        net.register(Arc::new(MetaHost));
+        let mut client = RequesterClient::new("requester:test");
+        let discovered = client
+            .discover_am(&net, "meta-host.example", "known")
+            .expect("discovery succeeds");
+        assert_eq!(discovered.owner, "bob");
+        assert_eq!(discovered.authorize.authority(), "am.example");
+        assert_eq!(discovered.authorize.path(), "/authorize");
+        // No AM link published -> None.
+        assert_eq!(
+            client.discover_am(&net, "meta-host.example", "undelegated"),
+            None
+        );
+        // Unknown resource -> None.
+        assert_eq!(client.discover_am(&net, "meta-host.example", "ghost"), None);
+    }
+
+    #[test]
+    fn access_via_discovery_full_flow() {
+        let net = SimNet::new();
+        net.register(Arc::new(MetaHost));
+        net.register(Arc::new(DirectAm));
+        let mut client = RequesterClient::new("requester:test");
+        let spec = AccessSpec::read(Url::new("meta-host.example", "/known"));
+
+        net.reset_stats();
+        let outcome = client.access_via_discovery(&net, &spec, "known");
+        let AccessOutcome::Granted(resp) = outcome else {
+            panic!("expected grant, got {outcome:?}");
+        };
+        assert_eq!(resp.body, "discovered data");
+        // host-meta + authorize + access = 3 round trips (the Host never
+        // had to orchestrate a redirect).
+        assert_eq!(net.stats().round_trips, 3);
+
+        // Cached token short-circuits discovery entirely.
+        net.reset_stats();
+        assert!(client
+            .access_via_discovery(&net, &spec, "known")
+            .is_granted());
+        assert_eq!(net.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn extract_between_edge_cases() {
+        assert_eq!(extract_between("a[x]b", "[", "]"), Some("x".into()));
+        assert_eq!(extract_between("no markers", "[", "]"), None);
+        assert_eq!(extract_between("open [only", "[", "]"), None);
+        assert_eq!(extract_between("[]", "[", "]"), Some(String::new()));
+    }
+
+    #[test]
+    fn spec_builders() {
+        let r = AccessSpec::read(Url::new("h", "/p"));
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.action, "read");
+        let w = AccessSpec::write(Url::new("h", "/p"), "body").with_action("append");
+        assert_eq!(w.method, Method::Post);
+        assert_eq!(w.action, "append");
+        assert_eq!(w.body, "body");
+    }
+}

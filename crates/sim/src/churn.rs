@@ -1,0 +1,299 @@
+//! Randomized sharing-churn simulation ("soak test").
+//!
+//! §II ends with the observation that sharing is not a one-shot act: Bob
+//! keeps adding friends, removing them, and uploading more content. This
+//! module drives a randomized stream of such events against the real
+//! protocol stack and checks, on **every** access, that the outcome
+//! matches an independently maintained ground-truth model — any deviation
+//! is an authorization soundness violation.
+//!
+//! Decision caches are disabled during churn so every access is a fresh
+//! AM evaluation; cache-consistency under TTLs is exercised separately
+//! (E7 and `tests/protocol_flow.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucam_am::AuthorizationManager;
+use ucam_host::{DelegationConfig, WebStorage};
+use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
+use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
+use ucam_webenv::identity::IdentityProvider;
+use ucam_webenv::{Method, Request, SimNet, Url};
+
+/// Configuration of a churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Number of resource-owning users.
+    pub owners: usize,
+    /// Number of potential readers.
+    pub readers: usize,
+    /// Resources per owner.
+    pub resources_per_owner: usize,
+    /// Randomized steps to execute.
+    pub steps: usize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            owners: 3,
+            readers: 5,
+            resources_per_owner: 4,
+            steps: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a churn run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Accesses attempted.
+    pub accesses: u64,
+    /// Accesses granted.
+    pub granted: u64,
+    /// Accesses denied.
+    pub denied: u64,
+    /// Grant events (friend added).
+    pub grants: u64,
+    /// Revoke events (friend removed).
+    pub revocations: u64,
+    /// Ground-truth mismatches (MUST be zero).
+    pub violations: u64,
+    /// Round trips on the wire over the whole run.
+    pub round_trips: u64,
+}
+
+/// Runs the churn simulation. See the [module docs](self).
+///
+/// # Panics
+///
+/// Panics when the rig cannot be constructed (zero owners/readers).
+#[must_use]
+pub fn run(config: &ChurnConfig) -> ChurnReport {
+    assert!(config.owners > 0 && config.readers > 0, "need actors");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let net = SimNet::new();
+    let clock = net.clock().clone();
+
+    let idp = Arc::new(IdentityProvider::new("idp.example", clock.clone()));
+    let am = Arc::new(AuthorizationManager::new("am.example", clock.clone()));
+    am.set_identity_verifier(idp.verifier());
+    let host = WebStorage::new("storage.example", clock);
+    host.shell().set_identity_verifier(idp.verifier());
+    host.shell().core.set_cache_enabled(false);
+    net.register(idp.clone());
+    net.register(am.clone());
+    net.register(host.clone());
+
+    let owners: Vec<String> = (0..config.owners).map(|i| format!("owner-{i}")).collect();
+    let readers: Vec<String> = (0..config.readers).map(|i| format!("reader-{i}")).collect();
+
+    // Register users, upload resources, delegate, and install one
+    // group-based policy per owner.
+    let mut resources: Vec<(String, String)> = Vec::new(); // (owner, resource id)
+    for owner in &owners {
+        idp.register_user(owner, "pw");
+        am.register_user(owner);
+        let assertion = idp.login(owner, "pw").unwrap().token;
+        let (delegation, host_token) = am.establish_delegation("storage.example", owner).unwrap();
+        host.shell().core.set_user_delegation(
+            owner,
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token,
+                delegation_id: delegation.id,
+            },
+        );
+        for r in 0..config.resources_per_owner {
+            let path = format!("{owner}/res-{r}.txt");
+            let resp = net.dispatch(
+                &format!("browser:{owner}"),
+                Request::new(Method::Post, "https://storage.example/files")
+                    .with_param("path", &path)
+                    .with_param("subject_token", &assertion)
+                    .with_body(format!("content of {path}")),
+            );
+            assert!(resp.status.is_success(), "{}", resp.body);
+            resources.push((owner.clone(), format!("files/{path}")));
+        }
+        am.pap(owner, |account| {
+            let id = account.create_policy(
+                "readers",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("readers".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            let realm = "everything";
+            for r in 0..config.resources_per_owner {
+                account.assign_realm(
+                    ResourceRef::new("storage.example", &format!("files/{owner}/res-{r}.txt")),
+                    realm,
+                );
+            }
+            account.link_general(realm, &id).unwrap();
+        })
+        .unwrap();
+    }
+    let mut clients: HashMap<String, RequesterClient> = HashMap::new();
+    for reader in &readers {
+        idp.register_user(reader, "pw");
+        let assertion = idp.login(reader, "pw").unwrap().token;
+        let mut client = RequesterClient::new(&format!("requester:{reader}"));
+        client.set_subject_token(Some(assertion));
+        clients.insert(reader.clone(), client);
+    }
+
+    // Ground truth: owner -> set of readers currently in their group.
+    let mut truth: HashMap<String, HashSet<String>> = HashMap::new();
+    // Ground truth: owners whose Host<->AM delegation is currently revoked.
+    let mut revoked_delegation: HashSet<String> = HashSet::new();
+    // Current delegation id per owner (needed for revocation).
+    let mut delegation_ids: HashMap<String, String> = HashMap::new();
+    for owner in &owners {
+        let config = host
+            .shell()
+            .core
+            .delegation_for("any", owner)
+            .expect("delegated during setup");
+        delegation_ids.insert(owner.clone(), config.delegation_id);
+    }
+    let mut report = ChurnReport::default();
+
+    for _ in 0..config.steps {
+        match rng.gen_range(0..12) {
+            // 0-2: owner grants a random reader.
+            0..=2 => {
+                let owner = &owners[rng.gen_range(0..owners.len())];
+                let reader = &readers[rng.gen_range(0..readers.len())];
+                am.pap(owner, |account| account.add_group_member("readers", reader))
+                    .unwrap();
+                truth
+                    .entry(owner.clone())
+                    .or_default()
+                    .insert(reader.clone());
+                report.grants += 1;
+            }
+            // 3-4: owner revokes a random reader.
+            3..=4 => {
+                let owner = &owners[rng.gen_range(0..owners.len())];
+                let reader = &readers[rng.gen_range(0..readers.len())];
+                am.pap(owner, |account| {
+                    account.remove_group_member("readers", reader);
+                })
+                .unwrap();
+                truth.entry(owner.clone()).or_default().remove(reader);
+                report.revocations += 1;
+            }
+            // 5: owner revokes their delegation entirely (trust withdrawn).
+            5 => {
+                let owner = owners[rng.gen_range(0..owners.len())].clone();
+                if !revoked_delegation.contains(&owner) {
+                    let id = delegation_ids.get(&owner).expect("known").clone();
+                    assert!(am.revoke_delegation(&owner, &id));
+                    host.shell().core.flush_decision_cache();
+                    revoked_delegation.insert(owner);
+                }
+            }
+            // 6: owner re-establishes a revoked delegation (Fig. 3 again).
+            6 => {
+                let owner = owners[rng.gen_range(0..owners.len())].clone();
+                if revoked_delegation.remove(&owner) {
+                    let (delegation, host_token) = am
+                        .establish_delegation("storage.example", &owner)
+                        .expect("account exists");
+                    host.shell().core.set_user_delegation(
+                        &owner,
+                        DelegationConfig {
+                            am: "am.example".into(),
+                            host_token,
+                            delegation_id: delegation.id.clone(),
+                        },
+                    );
+                    delegation_ids.insert(owner, delegation.id);
+                }
+            }
+            // 7-11: a random reader accesses a random resource.
+            _ => {
+                let reader = &readers[rng.gen_range(0..readers.len())];
+                let (owner, resource) = &resources[rng.gen_range(0..resources.len())];
+                let expected = !revoked_delegation.contains(owner)
+                    && truth.get(owner).is_some_and(|set| set.contains(reader));
+                let client = clients.get_mut(reader).expect("registered");
+                let spec = AccessSpec::read(Url::new("storage.example", &format!("/{resource}")));
+                let outcome = client.access(&net, &spec);
+                report.accesses += 1;
+                let granted = outcome.is_granted();
+                if granted {
+                    report.granted += 1;
+                } else {
+                    report.denied += 1;
+                }
+                if granted != expected {
+                    report.violations += 1;
+                }
+                // Sanity: non-grant outcomes during churn must be clean
+                // policy denials, not protocol failures.
+                if !granted && !matches!(outcome, AccessOutcome::Denied(_)) {
+                    report.violations += 1;
+                }
+            }
+        }
+    }
+    report.round_trips = net.stats().round_trips;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_has_no_violations() {
+        let report = run(&ChurnConfig::default());
+        assert_eq!(report.violations, 0, "{report:?}");
+        assert!(report.accesses > 50, "{report:?}");
+        assert!(
+            report.granted > 0,
+            "some shares must have landed: {report:?}"
+        );
+        assert!(report.denied > 0, "some denials must occur: {report:?}");
+    }
+
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let a = run(&ChurnConfig {
+            steps: 120,
+            seed: 7,
+            ..ChurnConfig::default()
+        });
+        let b = run(&ChurnConfig {
+            steps: 120,
+            seed: 7,
+            ..ChurnConfig::default()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn soak_scales_actors() {
+        let report = run(&ChurnConfig {
+            owners: 5,
+            readers: 10,
+            resources_per_owner: 2,
+            steps: 200,
+            seed: 99,
+        });
+        assert_eq!(report.violations, 0, "{report:?}");
+    }
+}

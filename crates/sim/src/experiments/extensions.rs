@@ -1,0 +1,303 @@
+//! E12–E13: the extension flows and the audit claim.
+//!
+//! * **E12** — §V.D (asynchronous consent) and §VII (claims/payment):
+//!   protocol overhead of each gate relative to a plain permit.
+//! * **E13** — §V.C C4: the centralized audit log correlates a requester
+//!   across hosts in one query; per-host logs require one pull per host
+//!   and each sees only a fraction of the activity.
+
+use ucam_am::claims::ClaimIssuer;
+use ucam_policy::{
+    Action, ClaimRequirement, Condition, PolicyBody, ResourceRef, Rule, RulePolicy, Subject,
+};
+use ucam_requester::AccessOutcome;
+
+use crate::metrics::Table;
+use crate::world::{World, HOSTS};
+
+/// One row of the E12 comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionRow {
+    /// Gate name.
+    pub gate: &'static str,
+    /// Total round trips until the requester holds the resource.
+    pub round_trips_to_grant: u64,
+    /// Out-of-band notifications sent to the owner.
+    pub notifications: u64,
+    /// Requester poll/retry attempts needed.
+    pub attempts: u64,
+}
+
+fn world_with_policy(body: PolicyBody) -> World {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world
+        .am
+        .pap("bob", move |account| {
+            let id = account.create_policy("gate", body);
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .expect("policy just created");
+        })
+        .expect("bob exists");
+    world
+}
+
+fn alice_rule() -> Rule {
+    Rule::permit()
+        .for_subject(Subject::User("alice".into()))
+        .for_action(Action::Read)
+}
+
+/// E12 — measures the plain permit, the consent gate, and the payment
+/// (claims) gate end-to-end.
+#[must_use]
+pub fn e12_extensions() -> Vec<ExtensionRow> {
+    let mut rows = Vec::new();
+
+    // Plain permit.
+    {
+        let mut world =
+            world_with_policy(PolicyBody::Rules(RulePolicy::new().with_rule(alice_rule())));
+        world.net.reset_stats();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(outcome.is_granted(), "{outcome:?}");
+        rows.push(ExtensionRow {
+            gate: "plain-permit",
+            round_trips_to_grant: world.net.stats().round_trips,
+            notifications: 0,
+            attempts: 1,
+        });
+    }
+
+    // Real-time consent (§V.D).
+    {
+        let mut world = world_with_policy(PolicyBody::Rules(
+            RulePolicy::new().with_rule(alice_rule().with_condition(Condition::RequiresConsent)),
+        ));
+        world.net.reset_stats();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        let AccessOutcome::PendingConsent { consent_id, .. } = outcome else {
+            panic!("expected pending consent, got {outcome:?}");
+        };
+        // Bob acts on the simulated e-mail (out-of-band; not a round trip).
+        let notifications = world.am.outbox(|o| o.for_user("bob").len() as u64);
+        world.am.grant_consent(&consent_id).expect("pending");
+        // The requester retries and is granted.
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(outcome.is_granted(), "{outcome:?}");
+        rows.push(ExtensionRow {
+            gate: "real-time-consent",
+            round_trips_to_grant: world.net.stats().round_trips,
+            notifications,
+            attempts: 2,
+        });
+    }
+
+    // Payment claim (§VII).
+    {
+        let payments = ClaimIssuer::new("payments.example");
+        let mut world = world_with_policy(PolicyBody::Rules(
+            RulePolicy::new().with_rule(
+                Rule::permit()
+                    .for_subject(Subject::User("alice".into()))
+                    .for_action(Action::Read)
+                    .with_condition(Condition::RequiresClaims(vec![
+                        ClaimRequirement::from_issuer("payment", "payments.example"),
+                    ])),
+            ),
+        ));
+        world.am.trust_claim_issuer(&payments);
+        world.net.reset_stats();
+        // First attempt discovers the terms.
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        let AccessOutcome::NeedsClaims(terms) = outcome else {
+            panic!("expected claims requirement, got {outcome:?}");
+        };
+        assert!(terms.contains("payment"));
+        // Alice pays (simulated payment provider issues the confirmation).
+        let receipt = payments.issue("payment", "ref-829");
+        world.client("alice").add_claim_token(&receipt);
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(outcome.is_granted(), "{outcome:?}");
+        rows.push(ExtensionRow {
+            gate: "payment-claim",
+            round_trips_to_grant: world.net.stats().round_trips,
+            notifications: 0,
+            attempts: 2,
+        });
+    }
+
+    rows
+}
+
+/// Renders E12 as a table.
+#[must_use]
+pub fn e12_table() -> Table {
+    let mut table = Table::new(
+        "E12: extension gates (Sec. V.D / VII)",
+        &[
+            "gate",
+            "RTs to grant",
+            "owner notifications",
+            "requester attempts",
+        ],
+    );
+    for row in e12_extensions() {
+        table.row(&[
+            row.gate.to_owned(),
+            row.round_trips_to_grant.to_string(),
+            row.notifications.to_string(),
+            row.attempts.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The E13 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditResult {
+    /// Accesses performed across all hosts.
+    pub total_accesses: usize,
+    /// Fraction of those visible from the AM's central log (one query).
+    pub central_coverage: f64,
+    /// Queries needed centrally.
+    pub central_queries: usize,
+    /// Best single-host coverage fraction (what Bob sees if he checks only
+    /// one application, the §III.4 failure mode).
+    pub best_single_host_coverage: f64,
+    /// Pulls needed to reconstruct the full picture from host logs.
+    pub per_host_queries: usize,
+}
+
+/// E13 — alice's agent touches resources on all three hosts; compare the
+/// central audit view against per-host logs.
+#[must_use]
+pub fn e13_audit(accesses_per_host: usize) -> AuditResult {
+    let mut world = World::bootstrap();
+    world.upload_content(accesses_per_host.max(1));
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+
+    let paths: Vec<(&str, String)> = (0..accesses_per_host)
+        .flat_map(|i| {
+            vec![
+                (HOSTS[0], format!("/photos/rome/photo-{i}")),
+                (HOSTS[1], format!("/files/trips/file-{i}.txt")),
+                (HOSTS[2], format!("/docs/trips/report-{i}")),
+            ]
+        })
+        .collect();
+    for (host, path) in &paths {
+        let outcome = world.friend_reads("alice", host, path);
+        assert!(outcome.is_granted(), "{host}{path}: {outcome:?}");
+    }
+    let total = paths.len();
+
+    // Central view: one query to the AM's audit log.
+    let central_hits = world.am.audit(|log| {
+        log.correlate_requester("requester:alice-agent")
+            .iter()
+            .filter(|e| matches!(e.event, ucam_am::audit::AuditEvent::Decision { .. }))
+            .count()
+    });
+
+    // Per-host view: each host's local log only sees its own accesses.
+    let host_logs = [
+        world.pics.shell().core.log(),
+        world.storage.shell().core.log(),
+        world.docs.shell().core.log(),
+    ];
+    let best_single = host_logs
+        .iter()
+        .map(|log| {
+            log.iter()
+                .filter(|e| e.requester == "requester:alice-agent" && e.granted)
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+
+    AuditResult {
+        total_accesses: total,
+        central_coverage: central_hits as f64 / total as f64,
+        central_queries: 1,
+        best_single_host_coverage: best_single as f64 / total as f64,
+        per_host_queries: HOSTS.len(),
+    }
+}
+
+/// Renders E13 as a table.
+#[must_use]
+pub fn e13_table(accesses_per_host: usize) -> Table {
+    let result = e13_audit(accesses_per_host);
+    let mut table = Table::new(
+        "E13: audit correlation (Sec. V.C, C4)",
+        &["view", "queries needed", "coverage"],
+    );
+    table.row(&[
+        "central AM log".to_owned(),
+        result.central_queries.to_string(),
+        format!("{:.0}%", result.central_coverage * 100.0),
+    ]);
+    table.row(&[
+        "single host log".to_owned(),
+        "1".to_owned(),
+        format!("{:.0}%", result.best_single_host_coverage * 100.0),
+    ]);
+    table.row(&[
+        "all host logs".to_owned(),
+        result.per_host_queries.to_string(),
+        "100%".to_owned(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_gate_overheads_ordered() {
+        let rows = e12_extensions();
+        let plain = &rows[0];
+        let consent = &rows[1];
+        let claims = &rows[2];
+        assert_eq!(plain.gate, "plain-permit");
+        assert_eq!(plain.round_trips_to_grant, 4);
+        // Consent costs an extra discovery attempt and an out-of-band
+        // notification, then the full grant path.
+        assert!(consent.round_trips_to_grant > plain.round_trips_to_grant);
+        assert_eq!(consent.notifications, 1);
+        assert_eq!(consent.attempts, 2);
+        // Claims also need a second attempt but no owner interaction.
+        assert!(claims.round_trips_to_grant > plain.round_trips_to_grant);
+        assert_eq!(claims.notifications, 0);
+    }
+
+    #[test]
+    fn e12_table_renders() {
+        assert_eq!(e12_table().len(), 3);
+    }
+
+    #[test]
+    fn e13_central_sees_everything_in_one_query() {
+        let result = e13_audit(2);
+        assert_eq!(result.total_accesses, 6);
+        assert!(
+            (result.central_coverage - 1.0).abs() < f64::EPSILON,
+            "central coverage {}",
+            result.central_coverage
+        );
+        assert_eq!(result.central_queries, 1);
+        // A single host sees exactly one third of the activity.
+        assert!((result.best_single_host_coverage - 1.0 / 3.0).abs() < 0.01);
+        assert_eq!(result.per_host_queries, 3);
+    }
+
+    #[test]
+    fn e13_table_renders() {
+        assert_eq!(e13_table(1).len(), 3);
+    }
+}

@@ -1,0 +1,389 @@
+//! E1–E6: the paper's figures regenerated as executable protocol traces.
+//!
+//! Each driver runs the corresponding flow on a fresh [`World`], returns
+//! the recorded message trace plus round-trip counts, and the test suite
+//! asserts the message *sequence* matches the figure.
+
+use ucam_policy::{Action, PolicyBody, Rule, RulePolicy, Subject};
+use ucam_webenv::{Method, Request};
+
+use crate::world::{World, AM, HOSTS};
+
+/// The outcome of regenerating one figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureTrace {
+    /// Figure name (e.g. `"fig3-trust-establishment"`).
+    pub name: &'static str,
+    /// Request/response round trips the flow took on the wire.
+    pub round_trips: u64,
+    /// The rendered message trace.
+    pub trace: String,
+    /// Labels of the request messages, in order.
+    pub request_labels: Vec<String>,
+}
+
+/// E1 / Fig. 1 — the six numbered architecture interactions:
+/// (1) store resource, (2) define policy, (3) grant access, (4) access
+/// request, (5) authorization, (6) enforcement.
+#[must_use]
+pub fn e1_architecture() -> FigureTrace {
+    let mut world = World::bootstrap();
+    let trace = world.net.trace().clone();
+
+    trace.note("user:bob", "(1) store a resource at a Host");
+    world.upload_content(1);
+
+    trace.note("user:bob", "delegate access control (prerequisite, Fig. 3)");
+    world.delegate_all_hosts("bob");
+
+    trace.note("user:bob", "(2) define access control policy at AM");
+    trace.note(
+        "user:bob",
+        "(3) grant access to the Requester (link policy)",
+    );
+    world.share_with_friends("bob", &["alice"]);
+
+    trace.note(
+        "requester:alice-agent",
+        "(4) issue access request to protected resource",
+    );
+    trace.note(AM, "(5) authorize access request, issue token");
+    trace.note(HOSTS[0], "(6) enforce AM's access control decision");
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    assert!(
+        outcome.is_granted(),
+        "architecture walk-through must succeed"
+    );
+
+    FigureTrace {
+        name: "fig1-architecture",
+        round_trips: world.net.stats().round_trips,
+        trace: world.net.trace().render(),
+        request_labels: world.net.trace().request_labels(),
+    }
+}
+
+/// Per-phase statistics for E2 / Fig. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name as in Fig. 2.
+    pub phase: &'static str,
+    /// Round trips this phase took.
+    pub round_trips: u64,
+    /// Modelled latency charged (ms), when a latency model is active.
+    pub modelled_latency_ms: u64,
+}
+
+/// E2 / Fig. 2 — the full protocol, phase by phase, with message counts:
+/// (1) delegating access control, (2) composing policies, (3) obtaining
+/// authorization token + (4) accessing protected resource + (5) obtaining
+/// authorization decision (one wire flow), (6) subsequent access requests.
+#[must_use]
+pub fn e2_protocol_phases(per_hop_latency_ms: u64) -> (Vec<PhaseStat>, String) {
+    let mut world = World::bootstrap();
+    world
+        .net
+        .set_latency(ucam_webenv::LatencyModel::constant(per_hop_latency_ms));
+    world.upload_content(1);
+    let mut phases = Vec::new();
+
+    let mut measure = |world: &mut World, phase: &'static str, f: &mut dyn FnMut(&mut World)| {
+        world.net.reset_stats();
+        f(world);
+        let stats = world.net.stats();
+        phases.push(PhaseStat {
+            phase,
+            round_trips: stats.round_trips,
+            modelled_latency_ms: stats.modelled_latency_ms,
+        });
+    };
+
+    measure(&mut world, "1-delegating-access-control", &mut |w| {
+        w.delegate_host("bob", HOSTS[0]);
+    });
+    // Create the policy natively (PAP is local), then link it through the
+    // Fig. 4 redirect flow so the composing phase is on the wire.
+    let policy = world
+        .am
+        .pap("bob", |account| {
+            account.add_group_member("friends", "alice");
+            account.create_policy(
+                "friends-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("friends".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            )
+        })
+        .expect("bob exists");
+    measure(&mut world, "2-composing-policies", &mut |w| {
+        let resp = w.compose_via_redirect("bob", HOSTS[0], "albums/rome/photo-0", &policy);
+        assert!(resp.status.is_success(), "{}", resp.body);
+    });
+    measure(&mut world, "3+4+5-token,access,decision", &mut |w| {
+        let outcome = w.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(outcome.is_granted(), "{outcome:?}");
+    });
+    measure(&mut world, "6-subsequent-access", &mut |w| {
+        let outcome = w.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(outcome.is_granted());
+    });
+
+    (phases, world.net.trace().render())
+}
+
+/// One row of the E2 latency sweep: end-to-end modelled time of each
+/// protocol phase as the per-hop WAN latency varies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyRow {
+    /// Per-hop latency modelled (ms).
+    pub per_hop_ms: u64,
+    /// Modelled time of each phase (ms), in Fig. 2 order.
+    pub phase_ms: Vec<u64>,
+}
+
+/// E2 (series) — sweeps the per-hop latency and reports the modelled time
+/// of every protocol phase; phase *ordering* is latency-invariant while
+/// absolute times scale linearly (2 hops per round trip).
+#[must_use]
+pub fn e2_latency_sweep(per_hop_ms: &[u64]) -> Vec<LatencyRow> {
+    per_hop_ms
+        .iter()
+        .map(|&per_hop| {
+            let (phases, _) = e2_protocol_phases(per_hop);
+            LatencyRow {
+                per_hop_ms: per_hop,
+                phase_ms: phases.iter().map(|p| p.modelled_latency_ms).collect(),
+            }
+        })
+        .collect()
+}
+
+/// E3 / Fig. 3 — trust establishment between a Host and the AM.
+#[must_use]
+pub fn e3_trust() -> FigureTrace {
+    let mut world = World::bootstrap();
+    world.net.trace().clear();
+    world.net.reset_stats();
+    world.delegate_host("bob", HOSTS[0]);
+    FigureTrace {
+        name: "fig3-trust-establishment",
+        round_trips: world.net.stats().round_trips,
+        trace: world.net.trace().render(),
+        request_labels: world.net.trace().request_labels(),
+    }
+}
+
+/// E4 / Fig. 4 — associating a policy with a resource via the AM redirect.
+#[must_use]
+pub fn e4_compose() -> FigureTrace {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_host("bob", HOSTS[0]);
+    let policy = world
+        .am
+        .pap("bob", |account| {
+            account.create_policy(
+                "public-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Public)
+                            .for_action(Action::Read),
+                    ),
+                ),
+            )
+        })
+        .expect("bob exists");
+    world.net.trace().clear();
+    world.net.reset_stats();
+    let resp = world.compose_via_redirect("bob", HOSTS[0], "albums/rome/photo-0", &policy);
+    assert!(resp.status.is_success());
+    FigureTrace {
+        name: "fig4-composing-policies",
+        round_trips: world.net.stats().round_trips,
+        trace: world.net.trace().render(),
+        request_labels: world.net.trace().request_labels(),
+    }
+}
+
+/// Prepares a world where alice may read photo-0 but holds no token yet.
+fn shared_world() -> World {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+    world
+}
+
+/// E5 / Fig. 5 — a Requester obtains an authorization token: first the
+/// token-less access (redirect), then the authorize round trip.
+#[must_use]
+pub fn e5_token() -> FigureTrace {
+    let mut world = shared_world();
+    let subject_token = world.assertion("alice");
+    world.net.trace().clear();
+    world.net.reset_stats();
+
+    // Token-less access request: the Host redirects to the AM.
+    let attempt = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, "https://webpics.example/photos/rome/photo-0")
+            .with_header("x-requester", "requester:alice-agent"),
+    );
+    let authorize = attempt.location().expect("host must redirect to the AM");
+    assert_eq!(authorize.authority(), AM);
+
+    // The authorize exchange: AM evaluates and redirects back with a token.
+    let authorized = world.net.dispatch(
+        "requester:alice-agent",
+        Request::to_url(
+            Method::Get,
+            authorize.with_query("subject_token", &subject_token),
+        ),
+    );
+    let back = authorized.location().expect("AM must redirect back");
+    assert!(
+        back.query("authz_token").is_some(),
+        "token must be attached"
+    );
+
+    FigureTrace {
+        name: "fig5-obtaining-authorization-token",
+        round_trips: world.net.stats().round_trips,
+        trace: world.net.trace().render(),
+        request_labels: world.net.trace().request_labels(),
+    }
+}
+
+/// E6 / Fig. 6 — the access request with a token, including the Host's
+/// decision query to the AM.
+#[must_use]
+pub fn e6_access() -> FigureTrace {
+    let mut world = shared_world();
+    let subject_token = world.assertion("alice");
+
+    // Obtain the token first (Fig. 5, not part of this figure's trace).
+    let attempt = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, "https://webpics.example/photos/rome/photo-0")
+            .with_header("x-requester", "requester:alice-agent"),
+    );
+    let authorize = attempt.location().expect("redirect expected");
+    let authorized = world.net.dispatch(
+        "requester:alice-agent",
+        Request::to_url(
+            Method::Get,
+            authorize.with_query("subject_token", &subject_token),
+        ),
+    );
+    let token = authorized
+        .location()
+        .and_then(|l| l.query("authz_token").map(str::to_owned))
+        .expect("token expected");
+
+    world.net.trace().clear();
+    world.net.reset_stats();
+    let access = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, "https://webpics.example/photos/rome/photo-0")
+            .with_header("x-requester", "requester:alice-agent")
+            .with_bearer(&token),
+    );
+    assert!(access.status.is_success(), "{}", access.body);
+
+    FigureTrace {
+        name: "fig6-access-with-token-and-decision-query",
+        round_trips: world.net.stats().round_trips,
+        trace: world.net.trace().render(),
+        request_labels: world.net.trace().request_labels(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_covers_all_six_steps() {
+        let fig = e1_architecture();
+        for step in ["(1)", "(2)", "(3)", "(4)", "(5)", "(6)"] {
+            assert!(fig.trace.contains(step), "missing step {step}");
+        }
+        assert!(fig.round_trips > 0);
+    }
+
+    #[test]
+    fn e2_phase_shape() {
+        let (phases, trace) = e2_protocol_phases(40);
+        assert_eq!(phases.len(), 4);
+        // Delegation bounces browser->host->am->host: 3 round trips.
+        assert_eq!(phases[0].round_trips, 3);
+        // Composing: host /share -> am /compose -> host /shared.
+        assert_eq!(phases[1].round_trips, 3);
+        // First access: host 302, authorize, host+nested decision = 4.
+        assert_eq!(phases[2].round_trips, 4);
+        // Subsequent: one round trip (token + cached decision, §V.B.6).
+        assert_eq!(phases[3].round_trips, 1);
+        // Latency: 2 hops per round trip at 40ms.
+        assert_eq!(phases[3].modelled_latency_ms, 80);
+        assert!(trace.contains("/decision"));
+    }
+
+    #[test]
+    fn e2_latency_sweep_scales_linearly() {
+        let rows = e2_latency_sweep(&[0, 40, 200]);
+        assert_eq!(rows.len(), 3);
+        // Zero latency: all phases cost zero modelled time.
+        assert!(rows[0].phase_ms.iter().all(|&ms| ms == 0));
+        // 200ms/hop is exactly 5x the 40ms/hop cost, phase by phase.
+        for (a, b) in rows[1].phase_ms.iter().zip(rows[2].phase_ms.iter()) {
+            assert_eq!(a * 5, *b);
+        }
+        // The subsequent-access phase stays the cheapest at any latency.
+        let last = rows[2].phase_ms.len() - 1;
+        assert!(rows[2].phase_ms[last] < rows[2].phase_ms[0]);
+    }
+
+    #[test]
+    fn e3_sequence_matches_fig3() {
+        let fig = e3_trust();
+        assert_eq!(fig.round_trips, 3);
+        let labels = fig.request_labels.join(" ; ");
+        assert!(labels.contains("/delegate/setup"), "{labels}");
+        assert!(labels.contains("/delegate "), "{labels}");
+        assert!(labels.contains("/delegate/done"), "{labels}");
+    }
+
+    #[test]
+    fn e4_sequence_matches_fig4() {
+        let fig = e4_compose();
+        assert_eq!(fig.round_trips, 3);
+        let labels = fig.request_labels.join(" ; ");
+        assert!(labels.contains("/share"), "{labels}");
+        assert!(labels.contains("/compose"), "{labels}");
+        assert!(labels.contains("/shared"), "{labels}");
+    }
+
+    #[test]
+    fn e5_sequence_matches_fig5() {
+        let fig = e5_token();
+        assert_eq!(fig.round_trips, 2);
+        let labels = fig.request_labels.join(" ; ");
+        assert!(labels.contains("/photos/rome/photo-0"), "{labels}");
+        assert!(labels.contains("/authorize"), "{labels}");
+    }
+
+    #[test]
+    fn e6_sequence_matches_fig6() {
+        let fig = e6_access();
+        // Host access + nested decision query.
+        assert_eq!(fig.round_trips, 2);
+        let labels = fig.request_labels.join(" ; ");
+        assert!(labels.contains("bearer"), "{labels}");
+        assert!(labels.contains("/decision"), "{labels}");
+    }
+}

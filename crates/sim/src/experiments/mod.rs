@@ -1,0 +1,23 @@
+//! One driver per experiment in `EXPERIMENTS.md`.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`figures::e1_architecture`] | Fig. 1 — the six architecture interactions |
+//! | [`figures::e2_protocol_phases`] | Fig. 2 — the full six-phase protocol |
+//! | [`figures::e3_trust`] | Fig. 3 — delegation / trust establishment |
+//! | [`figures::e4_compose`] | Fig. 4 — policy composition redirect |
+//! | [`figures::e5_token`] | Fig. 5 — authorization-token issuance |
+//! | [`figures::e6_access`] | Fig. 6 — token access + decision query |
+//! | [`costs::e7_subsequent_access`] | §V.B.6 — caching/token-reuse ablation |
+//! | [`costs::e8_admin_effort`] | §II/§III vs §V.C — administration effort |
+//! | [`costs::e9_protocol_comparison`] | §VIII — cross-protocol costs |
+//! | [`prototype::e10_engine_workload`] | §VI — two-stage engine behaviour |
+//! | [`prototype::e11_serde_roundtrip`] | §VI — JSON/XML import-export |
+//! | [`prototype::e14_migration`] | §III.2 — policy migration between hosts |
+//! | [`extensions::e12_extensions`] | §V.D/§VII — consent & claims overhead |
+//! | [`extensions::e13_audit`] | §V.C C4 — audit correlation coverage |
+
+pub mod costs;
+pub mod extensions;
+pub mod figures;
+pub mod prototype;

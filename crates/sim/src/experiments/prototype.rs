@@ -1,0 +1,393 @@
+//! E10, E11, E14: prototype-behaviour experiments (§VI, §III.2).
+//!
+//! * **E10** — workload builder + correctness probe for the two-stage
+//!   general+specific engine (the bench measures throughput over it).
+//! * **E11** — JSON/XML import-export round trips and payload sizes.
+//! * **E14** — policy migration between hosts: re-compose (status quo) vs
+//!   reuse at the AM, including cross-language translation success rates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ucam_policy::translate::{self, Language};
+use ucam_policy::{
+    AccessRequest, AclMatrix, Action, Condition, EvalContext, GroupStore, Outcome, Policy,
+    PolicyBody, PolicyEngine, PolicySet, ResourceRef, Rule, RulePolicy, Subject,
+};
+
+use crate::metrics::Table;
+
+/// A deterministic engine workload: a policy set over `n_resources`
+/// resources grouped into `n_realms` realms, plus a request stream.
+#[derive(Debug)]
+pub struct EngineWorkload {
+    /// The populated policy set.
+    pub set: PolicySet,
+    /// The user's groups.
+    pub groups: GroupStore,
+    /// Requests to evaluate.
+    pub requests: Vec<AccessRequest>,
+}
+
+/// E10 — builds the engine workload (deterministic in `seed`).
+///
+/// # Panics
+///
+/// Panics if `n_realms` is zero.
+#[must_use]
+pub fn e10_engine_workload(
+    n_resources: usize,
+    n_realms: usize,
+    n_requests: usize,
+    seed: u64,
+) -> EngineWorkload {
+    assert!(n_realms > 0, "need at least one realm");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PolicySet::new();
+    let mut groups = GroupStore::new();
+    for i in 0..10 {
+        groups.add_member("friends", &format!("friend-{i}"));
+    }
+
+    // One general policy per realm: friends may read.
+    for realm in 0..n_realms {
+        let policy = Policy::rules(
+            &format!("general-{realm}"),
+            RulePolicy::new()
+                .with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Group("friends".into()))
+                        .for_action(Action::Read),
+                )
+                .with_rule(Rule::deny().for_subject(Subject::User("banned".into()))),
+        );
+        let id = policy.id.clone();
+        set.add(policy).expect("unique ids");
+        set.bind_general(&format!("realm-{realm}"), &id)
+            .expect("just added");
+    }
+    // Every third resource gets a specific write-permit policy.
+    let specific = Policy::rules(
+        "specific-write",
+        RulePolicy::new().with_rule(
+            Rule::permit()
+                .for_subject(Subject::Group("friends".into()))
+                .for_action(Action::Write),
+        ),
+    );
+    let specific_id = specific.id.clone();
+    set.add(specific).expect("unique");
+
+    for r in 0..n_resources {
+        let resource = ResourceRef::new("host.example", &format!("res-{r}"));
+        set.assign_realm(resource.clone(), &format!("realm-{}", r % n_realms));
+        if r % 3 == 0 {
+            set.bind_specific(resource, &specific_id).expect("exists");
+        }
+    }
+
+    let subjects = ["friend-0", "friend-5", "banned", "stranger"];
+    let actions = [Action::Read, Action::Write, Action::Delete];
+    let requests = (0..n_requests)
+        .map(|_| {
+            let r = rng.gen_range(0..n_resources);
+            let subject = subjects[rng.gen_range(0..subjects.len())];
+            let action = actions[rng.gen_range(0..actions.len())].clone();
+            AccessRequest::new("host.example", &format!("res-{r}"), action).by_user(subject)
+        })
+        .collect();
+
+    EngineWorkload {
+        set,
+        groups,
+        requests,
+    }
+}
+
+/// Evaluates the whole workload, returning (permits, denies) — used both
+/// as the bench body and as a correctness probe.
+#[must_use]
+pub fn run_engine_workload(workload: &EngineWorkload) -> (usize, usize) {
+    let mut permits = 0;
+    let mut denies = 0;
+    for request in &workload.requests {
+        let ctx = EvalContext::new(request, 0).with_groups(&workload.groups);
+        let decision = PolicyEngine::evaluate(&workload.set, &ctx);
+        if decision.outcome == Outcome::Permit {
+            permits += 1;
+        } else {
+            denies += 1;
+        }
+    }
+    (permits, denies)
+}
+
+/// E11 — builds a mixed policy list for serde benchmarking, deterministic
+/// in `seed`.
+#[must_use]
+pub fn e11_policy_corpus(n: usize, seed: u64) -> Vec<Policy> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if rng.gen_bool(0.5) {
+                let mut matrix = AclMatrix::new();
+                for j in 0..rng.gen_range(1..6) {
+                    matrix.insert(Subject::User(format!("user-{j}")), Action::Read);
+                }
+                Policy::matrix(&format!("matrix-{i}"), matrix)
+            } else {
+                let mut rules = RulePolicy::new();
+                for j in 0..rng.gen_range(1..4) {
+                    rules.push(
+                        Rule::permit()
+                            .for_subject(Subject::Group(format!("group-{j}")))
+                            .for_action(Action::Read)
+                            .with_condition(Condition::ValidUntil(1_000_000 + j as u64)),
+                    );
+                }
+                Policy::rules(&format!("rules-{i}"), rules)
+            }
+        })
+        .collect()
+}
+
+/// E11 result: payload sizes and round-trip verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerdeResult {
+    /// Number of policies.
+    pub policies: usize,
+    /// JSON payload bytes.
+    pub json_bytes: usize,
+    /// XML payload bytes.
+    pub xml_bytes: usize,
+    /// Whether both formats round-tripped losslessly.
+    pub lossless: bool,
+}
+
+/// E11 — exports the corpus in both formats, re-imports, verifies equality.
+#[must_use]
+pub fn e11_serde_roundtrip(n: usize, seed: u64) -> SerdeResult {
+    let corpus = e11_policy_corpus(n, seed);
+    let json = serde_json::to_string(&corpus).expect("serialization is infallible");
+    let xml = ucam_policy::xml::policies_to_xml(&corpus);
+    let from_json: Vec<Policy> = serde_json::from_str(&json).expect("fresh export parses");
+    let from_xml = ucam_policy::xml::policies_from_xml(&xml).expect("fresh export parses");
+    SerdeResult {
+        policies: n,
+        json_bytes: json.len(),
+        xml_bytes: xml.len(),
+        lossless: from_json == corpus && from_xml == corpus,
+    }
+}
+
+/// One row of the E14 migration comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Policies to move.
+    pub policies: usize,
+    /// Policies reusable without re-composition.
+    pub reused: usize,
+    /// Policies the user must re-compose by hand.
+    pub recomposed: usize,
+    /// Edits the user performs (re-composition cost).
+    pub edit_ops: u64,
+}
+
+/// E14 — moving resources from a rule-language host to a matrix-language
+/// host (the §III.2 situation), under three regimes:
+///
+/// 1. **siloed re-compose** — every policy is rebuilt by hand at the new
+///    host (one edit per rule/cell),
+/// 2. **siloed translate** — automated translation where semantics allow;
+///    inexpressible policies still need manual re-composition,
+/// 3. **centralized AM** — policies live at the AM; migration is realm
+///    re-assignment only, zero re-composition.
+#[must_use]
+pub fn e14_migration(n_simple: usize, n_complex: usize) -> Vec<MigrationRow> {
+    // Build the corpus: simple = translatable; complex = conditions/denies.
+    let mut corpus: Vec<Policy> = Vec::new();
+    for i in 0..n_simple {
+        corpus.push(Policy::rules(
+            &format!("simple-{i}"),
+            RulePolicy::new().with_rule(
+                Rule::permit()
+                    .for_subject(Subject::User(format!("friend-{i}")))
+                    .for_action(Action::Read),
+            ),
+        ));
+    }
+    for i in 0..n_complex {
+        corpus.push(Policy::rules(
+            &format!("complex-{i}"),
+            RulePolicy::new()
+                .with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Group("friends".into()))
+                        .for_action(Action::Read)
+                        .with_condition(Condition::ValidUntil(1000)),
+                )
+                .with_rule(Rule::deny().for_subject(Subject::User("banned".into()))),
+        ));
+    }
+    let total = corpus.len();
+    let edits_per_policy = |p: &Policy| -> u64 {
+        match &p.body {
+            PolicyBody::Rules(r) => r.len() as u64,
+            PolicyBody::Matrix(m) => m.len() as u64,
+            PolicyBody::Xacml(set) => set
+                .policies
+                .iter()
+                .map(|policy| policy.rules.len() as u64)
+                .sum(),
+        }
+    };
+
+    // Regime 1: manual re-composition of everything.
+    let recompose_edits: u64 = corpus.iter().map(edits_per_policy).sum();
+
+    // Regime 2: automated translation where possible.
+    let mut translated = 0;
+    let mut failed_edits = 0;
+    for policy in &corpus {
+        match translate::translate(policy, Language::Matrix) {
+            Ok(_) => translated += 1,
+            Err(_) => failed_edits += edits_per_policy(policy),
+        }
+    }
+
+    vec![
+        MigrationRow {
+            scenario: "siloed re-compose",
+            policies: total,
+            reused: 0,
+            recomposed: total,
+            edit_ops: recompose_edits,
+        },
+        MigrationRow {
+            scenario: "siloed translate",
+            policies: total,
+            reused: translated,
+            recomposed: total - translated,
+            edit_ops: failed_edits,
+        },
+        MigrationRow {
+            scenario: "centralized AM",
+            policies: total,
+            reused: total,
+            recomposed: 0,
+            edit_ops: 0,
+        },
+    ]
+}
+
+/// Renders E14 as a table.
+#[must_use]
+pub fn e14_table(n_simple: usize, n_complex: usize) -> Table {
+    let mut table = Table::new(
+        "E14: policy migration between hosts (Sec. III.2)",
+        &["scenario", "policies", "reused", "recomposed", "edit ops"],
+    );
+    for row in e14_migration(n_simple, n_complex) {
+        table.row(&[
+            row.scenario.to_owned(),
+            row.policies.to_string(),
+            row.reused.to_string(),
+            row.recomposed.to_string(),
+            row.edit_ops.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Verifies the §VI engine semantics on the workload: banned users never
+/// permitted; strangers never permitted; friends only within the policy's
+/// actions. Returns the number of requests checked.
+#[must_use]
+pub fn verify_engine_invariants(workload: &EngineWorkload) -> usize {
+    for request in &workload.requests {
+        let ctx = EvalContext::new(request, 0).with_groups(&workload.groups);
+        let decision = PolicyEngine::evaluate(&workload.set, &ctx);
+        let subject = request.subject.as_deref().unwrap_or("");
+        match decision.outcome {
+            Outcome::Permit => {
+                assert_ne!(subject, "banned", "banned user permitted: {request:?}");
+                assert_ne!(subject, "stranger", "stranger permitted: {request:?}");
+                assert!(
+                    matches!(request.action, Action::Read | Action::Write),
+                    "unexpected permitted action: {request:?}"
+                );
+            }
+            _ => {
+                // Friends reading must always be permitted (general policy).
+                if subject.starts_with("friend-") && request.action == Action::Read {
+                    panic!("friend read denied: {request:?} -> {decision:?}");
+                }
+            }
+        }
+    }
+    workload.requests.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_workload_distribution_sane() {
+        let workload = e10_engine_workload(100, 5, 1000, 42);
+        let (permits, denies) = run_engine_workload(&workload);
+        assert_eq!(permits + denies, 1000);
+        // Friends are half the subject pool and read is a third of actions;
+        // expect a healthy mix, not degenerate all-permit/all-deny.
+        assert!(permits > 100, "permits = {permits}");
+        assert!(denies > 100, "denies = {denies}");
+    }
+
+    #[test]
+    fn e10_deterministic_in_seed() {
+        let a = run_engine_workload(&e10_engine_workload(50, 3, 500, 7));
+        let b = run_engine_workload(&e10_engine_workload(50, 3, 500, 7));
+        assert_eq!(a, b);
+        let c = run_engine_workload(&e10_engine_workload(50, 3, 500, 8));
+        // Different seed: almost surely a different split.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn e10_invariants_hold() {
+        let workload = e10_engine_workload(60, 4, 2000, 123);
+        assert_eq!(verify_engine_invariants(&workload), 2000);
+    }
+
+    #[test]
+    fn e11_roundtrips_losslessly() {
+        let result = e11_serde_roundtrip(50, 42);
+        assert!(result.lossless);
+        assert!(result.json_bytes > 0 && result.xml_bytes > 0);
+    }
+
+    #[test]
+    fn e14_shapes() {
+        let rows = e14_migration(6, 4);
+        let recompose = &rows[0];
+        let translate = &rows[1];
+        let central = &rows[2];
+        assert_eq!(recompose.recomposed, 10);
+        // Simple policies translate; complex ones don't.
+        assert_eq!(translate.reused, 6);
+        assert_eq!(translate.recomposed, 4);
+        assert!(translate.edit_ops < recompose.edit_ops);
+        // The AM removes migration cost entirely.
+        assert_eq!(central.edit_ops, 0);
+        assert_eq!(central.reused, 10);
+    }
+
+    #[test]
+    fn e14_table_renders() {
+        let table = e14_table(3, 2);
+        assert_eq!(table.len(), 3);
+        assert!(table.to_string().contains("centralized AM"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Scenario simulation and experiment drivers for the UCAM reproduction.
+//!
+//! The paper's evaluation consists of protocol figures (Figs. 1–6), a
+//! prototype description (§VI), and qualitative claims (S1–S4 vs C1–C4).
+//! This crate makes all of that executable:
+//!
+//! * [`world`] — the §II scenario, assembled: Bob, WebPics/WebStorage/
+//!   WebDocs, his friends, and his Authorization Manager,
+//! * [`metrics`] — table rendering shared by experiments and benches,
+//! * [`experiments`] — one driver per entry in `EXPERIMENTS.md` (E1–E14),
+//!   each regenerating a figure as a checked protocol trace or a
+//!   qualitative claim as a measured table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod experiments;
+pub mod metrics;
+pub mod world;
+
+pub use metrics::Table;
+pub use world::World;

@@ -1,0 +1,117 @@
+//! Small table/metric helpers shared by the experiment drivers.
+
+use std::fmt;
+
+/// A simple text table, rendered with aligned columns — the experiment
+//  drivers print their results through this so `EXPERIMENTS.md` and the
+//  bench output share one format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for string-literal rows.
+    pub fn row_strs(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    }
+
+    /// The number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when there are no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column).
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_strs(&["alpha", "1"]);
+        t.row(&["b".to_owned(), "22222".to_owned()]);
+        let text = t.to_string();
+        assert!(text.contains("## demo"));
+        assert!(text.contains("| alpha | 1     |"));
+        assert!(text.contains("| b     | 22222 |"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 1), Some("22222"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row_strs(&["only-one"]);
+    }
+}

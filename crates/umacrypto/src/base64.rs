@@ -1,0 +1,182 @@
+//! URL-safe base64 without padding (RFC 4648 §5), used to render binary
+//! tokens and signatures into URL/header-safe strings.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// An error produced when decoding malformed base64url input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input contained a byte outside the base64url alphabet.
+    InvalidByte {
+        /// Offset of the offending byte.
+        index: usize,
+        /// The offending byte value.
+        byte: u8,
+    },
+    /// The input length is impossible for unpadded base64 (len % 4 == 1).
+    InvalidLength(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::InvalidByte { index, byte } => {
+                write!(f, "invalid base64url byte 0x{byte:02x} at index {index}")
+            }
+            DecodeError::InvalidLength(len) => {
+                write!(f, "invalid base64url length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes `data` as unpadded URL-safe base64.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ucam_crypto::base64url_encode(b"hi"), "aGk");
+/// ```
+#[must_use]
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(n >> 6) as usize & 0x3f] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[n as usize & 0x3f] as char);
+        }
+    }
+    out
+}
+
+fn decode_byte(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'-' => Some(62),
+        b'_' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes unpadded URL-safe base64.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the input contains bytes outside the
+/// alphabet or has an impossible length.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), ucam_crypto::base64::DecodeError> {
+/// assert_eq!(ucam_crypto::base64url_decode("aGk")?, b"hi");
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
+    let bytes = input.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(DecodeError::InvalidLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    let mut acc: u32 = 0;
+    let mut acc_bits: u32 = 0;
+    for (index, &b) in bytes.iter().enumerate() {
+        let v = decode_byte(b).ok_or(DecodeError::InvalidByte { index, byte: b })?;
+        acc = (acc << 6) | u32::from(v);
+        acc_bits += 6;
+        if acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push((acc >> acc_bits) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg");
+        assert_eq!(encode(b"fo"), "Zm8");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_known_vectors() {
+        assert_eq!(decode("").unwrap(), b"");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn urlsafe_chars_roundtrip() {
+        // 0xfb 0xff encodes to characters that differ between standard and
+        // URL-safe alphabets.
+        let data = [0xfbu8, 0xff, 0xbe];
+        let enc = encode(&data);
+        assert!(!enc.contains('+') && !enc.contains('/'));
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_invalid_byte() {
+        assert!(matches!(
+            decode("ab!c"),
+            Err(DecodeError::InvalidByte {
+                index: 2,
+                byte: b'!'
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_impossible_length() {
+        assert!(matches!(
+            decode("abcde"),
+            Err(DecodeError::InvalidLength(5))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::InvalidByte {
+            index: 2,
+            byte: b'!',
+        };
+        assert!(e.to_string().contains("index 2"));
+        assert!(DecodeError::InvalidLength(5).to_string().contains('5'));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let enc = encode(&data);
+            prop_assert_eq!(decode(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn encoded_is_urlsafe(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let enc = encode(&data);
+            prop_assert!(enc.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-' || c == b'_'));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A shared simulated clock.
+//!
+//! All token lifetimes, decision-cache TTLs and modelled network latencies in
+//! the workspace are expressed against this logical clock, which makes every
+//! experiment deterministic and lets benches report modelled WAN time
+//! independently of wall-clock CPU time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically advancing logical clock, in milliseconds.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying clock.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::SimClock;
+///
+/// let clock = SimClock::new();
+/// assert_eq!(clock.now_ms(), 0);
+/// clock.advance_ms(150);
+/// assert_eq!(clock.now_ms(), 150);
+/// let handle = clock.clone();
+/// handle.advance_ms(50);
+/// assert_eq!(clock.now_ms(), 200);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Returns the current simulated time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.millis.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `delta` milliseconds and returns the new time.
+    pub fn advance_ms(&self, delta: u64) -> u64 {
+        self.millis.fetch_add(delta, Ordering::SeqCst) + delta
+    }
+
+    /// Resets the clock to zero (used between benchmark iterations).
+    pub fn reset(&self) {
+        self.millis.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now_ms(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_ms(10), 10);
+        assert_eq!(c.advance_ms(5), 15);
+        assert_eq!(c.now_ms(), 15);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_ms(7);
+        assert_eq!(b.now_ms(), 7);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = SimClock::new();
+        c.advance_ms(42);
+        c.reset();
+        assert_eq!(c.now_ms(), 0);
+    }
+
+    #[test]
+    fn threads_observe_advances() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..1000 {
+                c2.advance_ms(1);
+            }
+        });
+        for _ in 0..1000 {
+            c.advance_ms(1);
+        }
+        t.join().unwrap();
+        assert_eq!(c.now_ms(), 2000);
+    }
+}

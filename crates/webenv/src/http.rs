@@ -1,0 +1,391 @@
+//! HTTP-like request/response messages exchanged over the [`SimNet`].
+//!
+//! [`SimNet`]: crate::net::SimNet
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::url::Url;
+
+/// An HTTP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    /// Read a resource.
+    Get,
+    /// Create a resource or submit a form.
+    Post,
+    /// Replace a resource.
+    Put,
+    /// Remove a resource.
+    Delete,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An HTTP response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// 200 — success.
+    Ok,
+    /// 201 — resource created.
+    Created,
+    /// 202 — accepted for asynchronous processing (pending consent, §V.D).
+    Accepted,
+    /// 204 — success, no body.
+    NoContent,
+    /// 302 — redirect to the `Location` header (drives the paper's
+    /// browser-redirect protocol steps).
+    Found,
+    /// 400 — malformed request.
+    BadRequest,
+    /// 401 — authentication or authorization token required.
+    Unauthorized,
+    /// 402 — payment claim required (claims extension, §VII).
+    PaymentRequired,
+    /// 403 — access denied by policy.
+    Forbidden,
+    /// 404 — no such resource.
+    NotFound,
+    /// 409 — conflicting state.
+    Conflict,
+    /// 503 — the contacted application is unreachable.
+    Unavailable,
+}
+
+impl Status {
+    /// Returns the numeric status code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Created => 201,
+            Status::Accepted => 202,
+            Status::NoContent => 204,
+            Status::Found => 302,
+            Status::BadRequest => 400,
+            Status::Unauthorized => 401,
+            Status::PaymentRequired => 402,
+            Status::Forbidden => 403,
+            Status::NotFound => 404,
+            Status::Conflict => 409,
+            Status::Unavailable => 503,
+        }
+    }
+
+    /// Returns `true` for 2xx statuses.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(
+            self,
+            Status::Ok | Status::Created | Status::Accepted | Status::NoContent
+        )
+    }
+
+    /// Returns `true` for the redirect status.
+    #[must_use]
+    pub fn is_redirect(self) -> bool {
+        self == Status::Found
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// An HTTP-like request.
+///
+/// Query parameters from the URL and form/body parameters are merged into a
+/// single parameter map ([`Request::param`]), which is how the simulated
+/// applications read protocol fields.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::{Method, Request};
+///
+/// let req = Request::new(Method::Post, "https://am.example/token")
+///     .with_param("realm", "photos")
+///     .with_header("x-requester", "printer.example");
+/// assert_eq!(req.param("realm"), Some("photos"));
+/// assert_eq!(req.header("x-requester"), Some("printer.example"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The target URL.
+    pub url: Url,
+    /// Header fields (lower-case names).
+    pub headers: BTreeMap<String, String>,
+    /// Form parameters (merged with URL query by [`Request::param`]).
+    pub form: BTreeMap<String, String>,
+    /// Raw request body (JSON for REST endpoints).
+    pub body: String,
+}
+
+impl Request {
+    /// Creates a request for `url`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `url` does not parse; use [`Request::to_url`] with an
+    /// already-parsed [`Url`] for dynamic input.
+    #[must_use]
+    pub fn new(method: Method, url: &str) -> Self {
+        Request::to_url(method, url.parse().expect("static request URL must parse"))
+    }
+
+    /// Creates a request for an already-parsed URL.
+    #[must_use]
+    pub fn to_url(method: Method, url: Url) -> Self {
+        Request {
+            method,
+            url,
+            headers: BTreeMap::new(),
+            form: BTreeMap::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Returns the parameter `key`, checking form fields first, then the URL
+    /// query string.
+    #[must_use]
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.form
+            .get(key)
+            .map(String::as_str)
+            .or_else(|| self.url.query(key))
+    }
+
+    /// Returns the header `key` (case-sensitive, use lower-case).
+    #[must_use]
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(key).map(String::as_str)
+    }
+
+    /// Returns the bearer token from the `authorization` header, if present.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ucam_webenv::{Method, Request};
+    /// let req = Request::new(Method::Get, "https://h.example/r")
+    ///     .with_header("authorization", "Bearer abc.def");
+    /// assert_eq!(req.bearer_token(), Some("abc.def"));
+    /// ```
+    #[must_use]
+    pub fn bearer_token(&self) -> Option<&str> {
+        self.header("authorization")?.strip_prefix("Bearer ")
+    }
+
+    /// Adds a form parameter.
+    #[must_use]
+    pub fn with_param(mut self, key: &str, value: &str) -> Self {
+        self.form.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Adds a header field.
+    #[must_use]
+    pub fn with_header(mut self, key: &str, value: &str) -> Self {
+        self.headers.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Sets the authorization header to `Bearer <token>`.
+    #[must_use]
+    pub fn with_bearer(self, token: &str) -> Self {
+        self.with_header("authorization", &format!("Bearer {token}"))
+    }
+
+    /// Sets the raw body.
+    #[must_use]
+    pub fn with_body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Returns the session cookie attached to this request, if any.
+    #[must_use]
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        let cookies = self.header("cookie")?;
+        cookies.split("; ").find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// An HTTP-like response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The response status.
+    pub status: Status,
+    /// Header fields (lower-case names).
+    pub headers: BTreeMap<String, String>,
+    /// Response body (HTML placeholder text or JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// Creates a response with the given status and empty body.
+    #[must_use]
+    pub fn with_status(status: Status) -> Self {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Creates a `200 OK` response.
+    #[must_use]
+    pub fn ok() -> Self {
+        Response::with_status(Status::Ok)
+    }
+
+    /// Creates a `302 Found` redirect to `location`.
+    #[must_use]
+    pub fn redirect(location: &Url) -> Self {
+        Response::with_status(Status::Found).with_header("location", &location.to_string())
+    }
+
+    /// Creates a `404 Not Found` response with a short explanation.
+    #[must_use]
+    pub fn not_found(what: &str) -> Self {
+        Response::with_status(Status::NotFound).with_body(format!("not found: {what}"))
+    }
+
+    /// Creates a `400 Bad Request` response with a short explanation.
+    #[must_use]
+    pub fn bad_request(why: &str) -> Self {
+        Response::with_status(Status::BadRequest).with_body(format!("bad request: {why}"))
+    }
+
+    /// Creates a `403 Forbidden` response.
+    #[must_use]
+    pub fn forbidden(why: &str) -> Self {
+        Response::with_status(Status::Forbidden).with_body(format!("forbidden: {why}"))
+    }
+
+    /// Returns the header `key`.
+    #[must_use]
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(key).map(String::as_str)
+    }
+
+    /// Returns the parsed redirect target, if this is a redirect.
+    #[must_use]
+    pub fn location(&self) -> Option<Url> {
+        if !self.status.is_redirect() {
+            return None;
+        }
+        self.header("location")?.parse().ok()
+    }
+
+    /// Adds a header field.
+    #[must_use]
+    pub fn with_header(mut self, key: &str, value: &str) -> Self {
+        self.headers.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Sets the body.
+    #[must_use]
+    pub fn with_body(mut self, body: impl Into<String>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Adds a `set-cookie` header establishing a session cookie.
+    #[must_use]
+    pub fn with_cookie(self, name: &str, value: &str) -> Self {
+        self.with_header("set-cookie", &format!("{name}={value}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Found.code(), 302);
+        assert_eq!(Status::PaymentRequired.code(), 402);
+        assert!(Status::Created.is_success());
+        assert!(!Status::Forbidden.is_success());
+        assert!(Status::Found.is_redirect());
+    }
+
+    #[test]
+    fn param_prefers_form_over_query() {
+        let req = Request::new(Method::Post, "https://h.example/p?k=query").with_param("k", "form");
+        assert_eq!(req.param("k"), Some("form"));
+    }
+
+    #[test]
+    fn param_falls_back_to_query() {
+        let req = Request::new(Method::Get, "https://h.example/p?k=query");
+        assert_eq!(req.param("k"), Some("query"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn bearer_token_parsing() {
+        let req = Request::new(Method::Get, "https://h.example/r").with_bearer("tok123");
+        assert_eq!(req.bearer_token(), Some("tok123"));
+        let plain = Request::new(Method::Get, "https://h.example/r");
+        assert_eq!(plain.bearer_token(), None);
+        let wrong = Request::new(Method::Get, "https://h.example/r")
+            .with_header("authorization", "Basic abc");
+        assert_eq!(wrong.bearer_token(), None);
+    }
+
+    #[test]
+    fn cookie_parsing() {
+        let req = Request::new(Method::Get, "https://h.example/r")
+            .with_header("cookie", "sid=abc; other=def");
+        assert_eq!(req.cookie("sid"), Some("abc"));
+        assert_eq!(req.cookie("other"), Some("def"));
+        assert_eq!(req.cookie("none"), None);
+    }
+
+    #[test]
+    fn redirect_location_roundtrip() {
+        let target = Url::new("am.example", "/authorize").with_query("realm", "r1");
+        let resp = Response::redirect(&target);
+        assert_eq!(resp.location(), Some(target));
+    }
+
+    #[test]
+    fn location_absent_for_non_redirect() {
+        assert_eq!(Response::ok().location(), None);
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Get.to_string(), "GET");
+        assert_eq!(Method::Delete.to_string(), "DELETE");
+    }
+
+    #[test]
+    fn helper_constructors() {
+        assert_eq!(Response::not_found("x").status, Status::NotFound);
+        assert_eq!(Response::bad_request("y").status, Status::BadRequest);
+        assert_eq!(Response::forbidden("z").status, Status::Forbidden);
+        assert!(Response::forbidden("z").body.contains('z'));
+    }
+}

@@ -1,0 +1,330 @@
+//! An OpenID-like identity provider.
+//!
+//! The paper deliberately keeps authentication out of the protocol: "a User
+//! could authenticate to a Host using OpenID or Google Account credentials"
+//! (§V.B). This module provides that existing technology in simulated form:
+//! a central [`IdentityProvider`] where users hold credentials, and signed
+//! **identity assertions** that any application can verify through an
+//! [`IdentityVerifier`] (modelling the IdP trust relationship).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+use ucam_crypto::SigningKey;
+
+use crate::clock::SimClock;
+use crate::http::{Request, Response, Status};
+use crate::net::{SimNet, WebApp};
+
+/// Default assertion lifetime: one simulated hour.
+pub const ASSERTION_TTL_MS: u64 = 60 * 60 * 1000;
+
+/// An authentication error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// No such user is registered.
+    UnknownUser(String),
+    /// The password did not match.
+    BadPassword,
+    /// The assertion token is malformed or has a bad signature.
+    InvalidAssertion,
+    /// The assertion token has expired.
+    ExpiredAssertion,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownUser(u) => write!(f, "unknown user: {u}"),
+            AuthError::BadPassword => write!(f, "bad password"),
+            AuthError::InvalidAssertion => write!(f, "invalid identity assertion"),
+            AuthError::ExpiredAssertion => write!(f, "expired identity assertion"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// A signed statement "this is user U, valid until T".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentityAssertion {
+    /// The authenticated user id.
+    pub user: String,
+    /// The sealed token to present to applications.
+    pub token: String,
+    /// Expiry in simulated milliseconds.
+    pub expires_at_ms: u64,
+}
+
+/// Verifies identity assertions on behalf of relying applications.
+///
+/// Obtained from [`IdentityProvider::verifier`]; holding one models the
+/// "existing technologies" trust between an application and the IdP.
+#[derive(Debug, Clone)]
+pub struct IdentityVerifier {
+    key: SigningKey,
+    clock: SimClock,
+}
+
+impl IdentityVerifier {
+    /// Verifies `token` and returns the asserted user id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError::InvalidAssertion`] for forged or malformed
+    /// tokens and [`AuthError::ExpiredAssertion`] past the expiry time.
+    pub fn verify(&self, token: &str) -> Result<String, AuthError> {
+        let payload = self
+            .key
+            .open(token)
+            .map_err(|_| AuthError::InvalidAssertion)?;
+        let text = String::from_utf8(payload).map_err(|_| AuthError::InvalidAssertion)?;
+        let mut user = None;
+        let mut exp = None;
+        for field in text.split(';') {
+            match field.split_once('=') {
+                Some(("user", v)) => user = Some(v.to_owned()),
+                Some(("exp", v)) => exp = v.parse::<u64>().ok(),
+                _ => {}
+            }
+        }
+        let (user, exp) = match (user, exp) {
+            (Some(u), Some(e)) => (u, e),
+            _ => return Err(AuthError::InvalidAssertion),
+        };
+        if self.clock.now_ms() >= exp {
+            return Err(AuthError::ExpiredAssertion);
+        }
+        Ok(user)
+    }
+}
+
+/// The central identity provider application.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::identity::IdentityProvider;
+/// use ucam_webenv::SimClock;
+///
+/// let clock = SimClock::new();
+/// let idp = IdentityProvider::new("idp.example", clock);
+/// idp.register_user("bob", "hunter2");
+/// let assertion = idp.login("bob", "hunter2")?;
+/// assert_eq!(idp.verifier().verify(&assertion.token)?, "bob");
+/// # Ok::<(), ucam_webenv::identity::AuthError>(())
+/// ```
+pub struct IdentityProvider {
+    authority: String,
+    key: SigningKey,
+    users: RwLock<HashMap<String, String>>,
+    clock: SimClock,
+}
+
+impl fmt::Debug for IdentityProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdentityProvider")
+            .field("authority", &self.authority)
+            .field("users", &self.users.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl IdentityProvider {
+    /// Creates an IdP addressed as `authority`, stamping assertions against
+    /// `clock`.
+    #[must_use]
+    pub fn new(authority: &str, clock: SimClock) -> Self {
+        IdentityProvider {
+            authority: authority.to_owned(),
+            key: SigningKey::generate(),
+            users: RwLock::new(HashMap::new()),
+            clock,
+        }
+    }
+
+    /// Registers (or re-registers) a user with a password.
+    pub fn register_user(&self, user: &str, password: &str) {
+        self.users
+            .write()
+            .insert(user.to_owned(), password.to_owned());
+    }
+
+    /// Authenticates `user` and mints an identity assertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError::UnknownUser`] or [`AuthError::BadPassword`].
+    pub fn login(&self, user: &str, password: &str) -> Result<IdentityAssertion, AuthError> {
+        let users = self.users.read();
+        let stored = users
+            .get(user)
+            .ok_or_else(|| AuthError::UnknownUser(user.to_owned()))?;
+        if stored != password {
+            return Err(AuthError::BadPassword);
+        }
+        let expires_at_ms = self.clock.now_ms() + ASSERTION_TTL_MS;
+        let nonce = ucam_crypto::random_token(8);
+        let payload = format!("user={user};exp={expires_at_ms};n={nonce}");
+        Ok(IdentityAssertion {
+            user: user.to_owned(),
+            token: self.key.seal(payload.as_bytes()),
+            expires_at_ms,
+        })
+    }
+
+    /// Returns a verifier that relying applications use to check assertions.
+    #[must_use]
+    pub fn verifier(&self) -> IdentityVerifier {
+        IdentityVerifier {
+            key: self.key.clone(),
+            clock: self.clock.clone(),
+        }
+    }
+}
+
+impl WebApp for IdentityProvider {
+    fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        match req.url.path() {
+            "/login" => {
+                let (user, password) = match (req.param("user"), req.param("password")) {
+                    (Some(u), Some(p)) => (u, p),
+                    _ => return Response::bad_request("user and password required"),
+                };
+                match self.login(user, password) {
+                    Ok(assertion) => Response::ok()
+                        .with_body(assertion.token.clone())
+                        .with_cookie("ident", &assertion.token),
+                    Err(e) => Response::with_status(Status::Unauthorized).with_body(e.to_string()),
+                }
+            }
+            "/verify" => {
+                let token = match req.param("token") {
+                    Some(t) => t,
+                    None => return Response::bad_request("token required"),
+                };
+                match self.verifier().verify(token) {
+                    Ok(user) => Response::ok().with_body(user),
+                    Err(e) => Response::with_status(Status::Unauthorized).with_body(e.to_string()),
+                }
+            }
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use std::sync::Arc;
+
+    fn idp() -> IdentityProvider {
+        let idp = IdentityProvider::new("idp.example", SimClock::new());
+        idp.register_user("bob", "pw-bob");
+        idp
+    }
+
+    #[test]
+    fn login_and_verify() {
+        let idp = idp();
+        let a = idp.login("bob", "pw-bob").unwrap();
+        assert_eq!(a.user, "bob");
+        assert_eq!(idp.verifier().verify(&a.token).unwrap(), "bob");
+    }
+
+    #[test]
+    fn login_rejects_unknown_user() {
+        let idp = idp();
+        assert_eq!(
+            idp.login("mallory", "x"),
+            Err(AuthError::UnknownUser("mallory".to_owned()))
+        );
+    }
+
+    #[test]
+    fn login_rejects_bad_password() {
+        let idp = idp();
+        assert_eq!(idp.login("bob", "wrong"), Err(AuthError::BadPassword));
+    }
+
+    #[test]
+    fn verify_rejects_forged_token() {
+        let idp = idp();
+        assert_eq!(
+            idp.verifier().verify("AAAA.BBBB"),
+            Err(AuthError::InvalidAssertion)
+        );
+    }
+
+    #[test]
+    fn verify_rejects_expired_token() {
+        let clock = SimClock::new();
+        let idp = IdentityProvider::new("idp.example", clock.clone());
+        idp.register_user("bob", "pw");
+        let a = idp.login("bob", "pw").unwrap();
+        clock.advance_ms(ASSERTION_TTL_MS + 1);
+        assert_eq!(
+            idp.verifier().verify(&a.token),
+            Err(AuthError::ExpiredAssertion)
+        );
+    }
+
+    #[test]
+    fn tokens_from_other_idp_rejected() {
+        let idp1 = idp();
+        let idp2 = IdentityProvider::new("idp2.example", SimClock::new());
+        idp2.register_user("bob", "pw-bob");
+        let a = idp2.login("bob", "pw-bob").unwrap();
+        assert_eq!(
+            idp1.verifier().verify(&a.token),
+            Err(AuthError::InvalidAssertion)
+        );
+    }
+
+    #[test]
+    fn web_login_endpoint() {
+        let net = SimNet::new();
+        net.register(Arc::new(idp()));
+        let resp = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://idp.example/login")
+                .with_param("user", "bob")
+                .with_param("password", "pw-bob"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert!(!resp.body.is_empty());
+        let verify = net.dispatch(
+            "host.example",
+            Request::new(Method::Get, "https://idp.example/verify").with_param("token", &resp.body),
+        );
+        assert_eq!(verify.status, Status::Ok);
+        assert_eq!(verify.body, "bob");
+    }
+
+    #[test]
+    fn web_login_rejects_bad_credentials() {
+        let net = SimNet::new();
+        net.register(Arc::new(idp()));
+        let resp = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://idp.example/login")
+                .with_param("user", "bob")
+                .with_param("password", "nope"),
+        );
+        assert_eq!(resp.status, Status::Unauthorized);
+    }
+
+    #[test]
+    fn web_unknown_path_404s() {
+        let net = SimNet::new();
+        net.register(Arc::new(idp()));
+        let resp = net.dispatch("x", Request::new(Method::Get, "https://idp.example/nope"));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

@@ -1,0 +1,149 @@
+//! Modelled network latency charged per message hop.
+//!
+//! The paper's protocol trades message round-trips for central control
+//! (§V.B.6 argues subsequent requests are "greatly simplified"). To quantify
+//! that trade the [`SimNet`](crate::net::SimNet) charges each hop a latency
+//! drawn from this model against the shared [`SimClock`](crate::clock::SimClock).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-hop latency model.
+///
+/// The default charges nothing, which keeps unit tests time-free; experiments
+/// configure a WAN-like constant, per-edge overrides, and (optionally) a
+/// deterministic jitter.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::LatencyModel;
+///
+/// let model = LatencyModel::constant(40)
+///     .with_edge("host.example", "am.example", 15);
+/// assert_eq!(model.latency_ms("a", "b"), 40);
+/// assert_eq!(model.latency_ms("host.example", "am.example"), 15);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyModel {
+    base_ms: u64,
+    /// Overrides for specific (from, to) pairs.
+    edges: BTreeMap<(String, String), u64>,
+    /// Maximum extra milliseconds of deterministic jitter per hop.
+    jitter_ms: u64,
+    /// Draw counter shared across clones so the jitter sequence is a
+    /// deterministic function of dispatch order.
+    draws: Arc<AtomicU64>,
+}
+
+impl LatencyModel {
+    /// A model charging zero latency (the default).
+    #[must_use]
+    pub fn zero() -> Self {
+        LatencyModel::default()
+    }
+
+    /// A model charging `ms` milliseconds for every hop.
+    #[must_use]
+    pub fn constant(ms: u64) -> Self {
+        LatencyModel {
+            base_ms: ms,
+            ..LatencyModel::default()
+        }
+    }
+
+    /// Overrides the latency for messages from `from` to `to`.
+    #[must_use]
+    pub fn with_edge(mut self, from: &str, to: &str, ms: u64) -> Self {
+        self.edges.insert((from.to_owned(), to.to_owned()), ms);
+        self
+    }
+
+    /// Adds up to `max_extra_ms` of **deterministic** jitter per hop: the
+    /// n-th hop of a run always draws the same extra delay, so experiments
+    /// stay reproducible while latencies stop being perfectly uniform.
+    #[must_use]
+    pub fn with_jitter(mut self, max_extra_ms: u64) -> Self {
+        self.jitter_ms = max_extra_ms;
+        self
+    }
+
+    /// Returns the one-way latency for a hop from `from` to `to`.
+    #[must_use]
+    pub fn latency_ms(&self, from: &str, to: &str) -> u64 {
+        let base = self
+            .edges
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or(self.base_ms);
+        if self.jitter_ms == 0 {
+            return base;
+        }
+        let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+        base + splitmix64(draw) % (self.jitter_ms + 1)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        assert_eq!(LatencyModel::default().latency_ms("a", "b"), 0);
+        assert_eq!(LatencyModel::zero().latency_ms("x", "y"), 0);
+    }
+
+    #[test]
+    fn constant_applies_everywhere() {
+        let m = LatencyModel::constant(25);
+        assert_eq!(m.latency_ms("a", "b"), 25);
+        assert_eq!(m.latency_ms("b", "a"), 25);
+    }
+
+    #[test]
+    fn edge_override_is_directional() {
+        let m = LatencyModel::constant(25).with_edge("a", "b", 5);
+        assert_eq!(m.latency_ms("a", "b"), 5);
+        assert_eq!(m.latency_ms("b", "a"), 25);
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let draws: Vec<u64> = {
+            let m = LatencyModel::constant(10).with_jitter(5);
+            (0..100).map(|_| m.latency_ms("a", "b")).collect()
+        };
+        assert!(draws.iter().all(|&ms| (10..=15).contains(&ms)));
+        // Not all identical (jitter does something).
+        assert!(draws.iter().any(|&ms| ms != draws[0]));
+        // A fresh model replays the same sequence.
+        let replay: Vec<u64> = {
+            let m = LatencyModel::constant(10).with_jitter(5);
+            (0..100).map(|_| m.latency_ms("a", "b")).collect()
+        };
+        assert_eq!(draws, replay);
+    }
+
+    #[test]
+    fn clones_share_the_draw_sequence() {
+        let m = LatencyModel::constant(0).with_jitter(1000);
+        let clone = m.clone();
+        let a = m.latency_ms("a", "b");
+        let b = clone.latency_ms("a", "b");
+        // Clone continues the sequence rather than restarting it.
+        let fresh = LatencyModel::constant(0).with_jitter(1000);
+        let a2 = fresh.latency_ms("a", "b");
+        let b2 = fresh.latency_ms("a", "b");
+        assert_eq!((a, b), (a2, b2));
+    }
+}

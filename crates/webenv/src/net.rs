@@ -1,0 +1,525 @@
+//! The in-memory network connecting all simulated Web applications.
+//!
+//! `SimNet` is the workspace's substitute for the public Internet of the
+//! paper's deployment (Java prototype on Google App Engine). Applications
+//! register under an authority; any party dispatches [`Request`]s to an
+//! authority and receives a [`Response`] synchronously. Each dispatch:
+//!
+//! 1. records the request and response in the shared [`TraceRecorder`],
+//! 2. increments per-edge message counters in [`NetStats`],
+//! 3. charges the configured [`LatencyModel`] (one hop each way) to the
+//!    shared [`SimClock`].
+//!
+//! Applications may themselves call back into the network while handling a
+//! request (e.g. a Host querying its Authorization Manager for a decision,
+//! Fig. 6) — nested dispatch is explicitly supported.
+//!
+//! Failure injection: [`SimNet::set_offline`] makes an authority unreachable
+//! (responses become `503 Unavailable`), which the test suite uses to probe
+//! Host behaviour when the AM is down.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::SimClock;
+use crate::http::{Request, Response, Status};
+use crate::latency::LatencyModel;
+use crate::trace::{TraceKind, TraceRecorder};
+
+/// A simulated Web application addressable on the [`SimNet`].
+pub trait WebApp: Send + Sync {
+    /// The authority (host name) this application is registered under,
+    /// e.g. `"webpics.example"`.
+    fn authority(&self) -> &str;
+
+    /// Handles one request. Implementations may dispatch further requests
+    /// through `net` (nested calls are supported).
+    fn handle(&self, net: &SimNet, req: &Request) -> Response;
+}
+
+/// Aggregate message statistics collected by the network.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Number of request/response round trips dispatched.
+    pub round_trips: u64,
+    /// Round trips per directed (from, to) edge.
+    pub per_edge: BTreeMap<(String, String), u64>,
+    /// Total modelled latency charged to the clock, in milliseconds.
+    pub modelled_latency_ms: u64,
+    /// Total payload bytes carried (request bodies + response bodies +
+    /// header values) — the modelled bandwidth cost.
+    pub payload_bytes: u64,
+}
+
+impl NetStats {
+    /// Total messages on the wire (each round trip is two messages).
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.round_trips * 2
+    }
+
+    /// Round trips sent from `from` to `to`.
+    #[must_use]
+    pub fn edge(&self, from: &str, to: &str) -> u64 {
+        self.per_edge
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// The in-memory network. See the [module documentation](self).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+///
+/// struct Ping;
+/// impl WebApp for Ping {
+///     fn authority(&self) -> &str { "ping.example" }
+///     fn handle(&self, _net: &SimNet, _req: &Request) -> Response {
+///         Response::ok().with_body("pong")
+///     }
+/// }
+///
+/// let net = SimNet::new();
+/// net.register(Arc::new(Ping));
+/// let resp = net.dispatch("tester", Request::new(Method::Get, "https://ping.example/"));
+/// assert_eq!(resp.status, Status::Ok);
+/// assert_eq!(net.stats().round_trips, 1);
+/// ```
+pub struct SimNet {
+    apps: RwLock<HashMap<String, Arc<dyn WebApp>>>,
+    clock: SimClock,
+    latency: RwLock<LatencyModel>,
+    trace: TraceRecorder,
+    stats: Mutex<NetStats>,
+    offline: RwLock<HashSet<String>>,
+    /// Deterministic message-loss injection: every n-th dispatch fails.
+    loss: RwLock<Option<LossModel>>,
+}
+
+/// Deterministic loss: drops one request out of every `period`, starting
+/// with the `offset`-th. Deterministic so failure tests are reproducible.
+#[derive(Debug, Clone, Copy)]
+struct LossModel {
+    period: u64,
+    offset: u64,
+    dispatched: u64,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet")
+            .field("apps", &self.apps.read().keys().collect::<Vec<_>>())
+            .field("clock_ms", &self.clock.now_ms())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for SimNet {
+    fn default() -> Self {
+        SimNet::new()
+    }
+}
+
+impl SimNet {
+    /// Creates an empty network with a zero-latency model and a fresh clock.
+    #[must_use]
+    pub fn new() -> Self {
+        SimNet {
+            apps: RwLock::new(HashMap::new()),
+            clock: SimClock::new(),
+            latency: RwLock::new(LatencyModel::zero()),
+            trace: TraceRecorder::new(),
+            stats: Mutex::new(NetStats::default()),
+            offline: RwLock::new(HashSet::new()),
+            loss: RwLock::new(None),
+        }
+    }
+
+    /// Registers an application under its [`WebApp::authority`]. A second
+    /// registration for the same authority replaces the first.
+    pub fn register(&self, app: Arc<dyn WebApp>) {
+        self.apps.write().insert(app.authority().to_owned(), app);
+    }
+
+    /// Removes the application registered under `authority`.
+    pub fn unregister(&self, authority: &str) {
+        self.apps.write().remove(authority);
+    }
+
+    /// Returns the shared simulated clock.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Returns the shared protocol trace recorder.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency(&self, model: LatencyModel) {
+        *self.latency.write() = model;
+    }
+
+    /// Injects deterministic message loss: every `period`-th dispatch
+    /// (counting from the `offset`-th) fails with `503 Unavailable`
+    /// without reaching the application. Pass `period = 0` to disable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset >= period` (for a non-zero period).
+    pub fn set_loss_every(&self, period: u64, offset: u64) {
+        if period == 0 {
+            *self.loss.write() = None;
+            return;
+        }
+        assert!(offset < period, "offset must be below period");
+        *self.loss.write() = Some(LossModel {
+            period,
+            offset,
+            dispatched: 0,
+        });
+    }
+
+    /// Marks `authority` unreachable (`offline = true`) or reachable again.
+    pub fn set_offline(&self, authority: &str, offline: bool) {
+        let mut set = self.offline.write();
+        if offline {
+            set.insert(authority.to_owned());
+        } else {
+            set.remove(authority);
+        }
+    }
+
+    /// Returns a snapshot of the message statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    /// Zeroes the message statistics (the trace and clock are untouched).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = NetStats::default();
+    }
+
+    /// Dispatches `req` from the party labelled `from` to the application
+    /// registered under the request URL's authority.
+    ///
+    /// Unknown or offline authorities yield `503 Unavailable` — the caller
+    /// sees the same signal a browser would see for an unreachable site.
+    pub fn dispatch(&self, from: &str, req: Request) -> Response {
+        let to = req.url.authority().to_owned();
+        let label = format!(
+            "{} {}{}",
+            req.method,
+            req.url.path(),
+            summarize_params(&req)
+        );
+        self.trace.record(from, &to, &label, TraceKind::Request);
+        self.charge(from, &to);
+
+        let request_bytes = message_bytes(&req.body, req.headers.values())
+            + req.form.values().map(String::len).sum::<usize>();
+
+        let app = {
+            let apps = self.apps.read();
+            apps.get(&to).cloned()
+        };
+        let offline = self.offline.read().contains(&to);
+        let dropped = {
+            let mut loss = self.loss.write();
+            match loss.as_mut() {
+                Some(model) => {
+                    let n = model.dispatched;
+                    model.dispatched += 1;
+                    n % model.period == model.offset
+                }
+                None => false,
+            }
+        };
+
+        let resp = match app {
+            _ if dropped => Response::with_status(Status::Unavailable)
+                .with_body("message lost in transit".to_owned()),
+            Some(app) if !offline => app.handle(self, &req),
+            _ => Response::with_status(Status::Unavailable)
+                .with_body(format!("unreachable authority: {to}")),
+        };
+
+        self.charge(&to, from);
+        let resp_label = match resp.location() {
+            Some(loc) => format!("{} -> {}", resp.status, loc.authority()),
+            None => resp.status.to_string(),
+        };
+        self.trace
+            .record(from, &to, &resp_label, TraceKind::Response);
+
+        let response_bytes = message_bytes(&resp.body, resp.headers.values());
+        let mut stats = self.stats.lock();
+        stats.round_trips += 1;
+        stats.payload_bytes += (request_bytes + response_bytes) as u64;
+        *stats.per_edge.entry((from.to_owned(), to)).or_insert(0) += 1;
+
+        resp
+    }
+
+    fn charge(&self, from: &str, to: &str) {
+        let ms = self.latency.read().latency_ms(from, to);
+        if ms > 0 {
+            self.clock.advance_ms(ms);
+            self.stats.lock().modelled_latency_ms += ms;
+        }
+    }
+}
+
+/// Sums the modelled size of a message: body plus header values.
+fn message_bytes<'a>(body: &str, headers: impl Iterator<Item = &'a String>) -> usize {
+    body.len() + headers.map(String::len).sum::<usize>()
+}
+
+/// Summarizes interesting request parameters for trace labels.
+fn summarize_params(req: &Request) -> String {
+    const INTERESTING: [&str; 6] = ["realm", "resource", "requester", "am", "action", "decision"];
+    let mut parts = Vec::new();
+    for key in INTERESTING {
+        if let Some(v) = req.param(key) {
+            parts.push(format!("{key}={v}"));
+        }
+    }
+    if req.bearer_token().is_some() {
+        parts.push("bearer".to_owned());
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    struct Echo {
+        authority: String,
+    }
+
+    impl WebApp for Echo {
+        fn authority(&self) -> &str {
+            &self.authority
+        }
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            Response::ok().with_body(req.url.path().to_owned())
+        }
+    }
+
+    /// An app that calls another app while handling a request — exercises
+    /// nested dispatch (Host -> AM decision query of Fig. 6).
+    struct Proxy;
+
+    impl WebApp for Proxy {
+        fn authority(&self) -> &str {
+            "proxy.example"
+        }
+        fn handle(&self, net: &SimNet, _req: &Request) -> Response {
+            net.dispatch(
+                self.authority(),
+                Request::new(Method::Get, "https://echo.example/inner"),
+            )
+        }
+    }
+
+    fn echo_net() -> SimNet {
+        let net = SimNet::new();
+        net.register(Arc::new(Echo {
+            authority: "echo.example".to_owned(),
+        }));
+        net
+    }
+
+    #[test]
+    fn dispatch_reaches_app() {
+        let net = echo_net();
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "/p");
+    }
+
+    #[test]
+    fn unknown_authority_is_unavailable() {
+        let net = SimNet::new();
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://ghost.example/"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        assert!(resp.body.contains("ghost.example"));
+    }
+
+    #[test]
+    fn offline_authority_is_unavailable() {
+        let net = echo_net();
+        net.set_offline("echo.example", true);
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        net.set_offline("echo.example", false);
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn nested_dispatch_works() {
+        let net = echo_net();
+        net.register(Arc::new(Proxy));
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://proxy.example/"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "/inner");
+        // Two round trips: tester->proxy and proxy->echo.
+        assert_eq!(net.stats().round_trips, 2);
+        assert_eq!(net.stats().edge("proxy.example", "echo.example"), 1);
+    }
+
+    #[test]
+    fn stats_count_messages_and_edges() {
+        let net = echo_net();
+        for _ in 0..3 {
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            );
+        }
+        let stats = net.stats();
+        assert_eq!(stats.round_trips, 3);
+        assert_eq!(stats.messages(), 6);
+        assert_eq!(stats.edge("tester", "echo.example"), 3);
+        assert_eq!(stats.edge("echo.example", "tester"), 0);
+    }
+
+    #[test]
+    fn loss_injection_is_deterministic_and_clearable() {
+        let net = echo_net();
+        // Drop every 3rd dispatch starting with the first (offset 0).
+        net.set_loss_every(3, 0);
+        let statuses: Vec<u16> = (0..6)
+            .map(|_| {
+                net.dispatch("tester", Request::new(Method::Get, "https://echo.example/p"))
+                    .status
+                    .code()
+            })
+            .collect();
+        assert_eq!(statuses, vec![503, 200, 200, 503, 200, 200]);
+        net.set_loss_every(0, 0);
+        let resp = net.dispatch("tester", Request::new(Method::Get, "https://echo.example/p"));
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset must be below period")]
+    fn loss_offset_validated() {
+        SimNet::new().set_loss_every(2, 2);
+    }
+
+    #[test]
+    fn payload_bytes_accounted() {
+        let net = echo_net();
+        net.dispatch(
+            "tester",
+            Request::new(Method::Post, "https://echo.example/path").with_body("12345"),
+        );
+        let stats = net.stats();
+        // Request body (5) + response body ("/path" = 5) at minimum.
+        assert!(stats.payload_bytes >= 10, "{}", stats.payload_bytes);
+    }
+
+    #[test]
+    fn latency_charged_both_ways() {
+        let net = echo_net();
+        net.set_latency(LatencyModel::constant(10));
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(net.clock().now_ms(), 20);
+        assert_eq!(net.stats().modelled_latency_ms, 20);
+    }
+
+    #[test]
+    fn trace_records_request_and_response() {
+        let net = echo_net();
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        let events = net.trace().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::Request);
+        assert!(events[0].label.contains("GET /p"));
+        assert_eq!(events[1].kind, TraceKind::Response);
+    }
+
+    #[test]
+    fn trace_label_includes_interesting_params() {
+        let net = echo_net();
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p")
+                .with_param("realm", "r1")
+                .with_bearer("tok"),
+        );
+        let label = &net.trace().events()[0].label;
+        assert!(label.contains("realm=r1"), "{label}");
+        assert!(label.contains("bearer"), "{label}");
+    }
+
+    #[test]
+    fn reset_stats_clears_counts() {
+        let net = echo_net();
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        net.reset_stats();
+        assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let net = echo_net();
+        net.register(Arc::new(Echo {
+            authority: "echo.example".to_owned(),
+        }));
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/x"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        net.unregister("echo.example");
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/x"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+    }
+}

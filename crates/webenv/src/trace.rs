@@ -1,0 +1,192 @@
+//! Protocol trace recording.
+//!
+//! The paper presents its protocol as sequence diagrams (Figs. 2–6). The
+//! [`TraceRecorder`] captures every message and annotation flowing through
+//! the [`SimNet`](crate::net::SimNet) so tests can assert the exact sequence
+//! and examples can render the diagrams as text.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// The kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A request message from one party to another.
+    Request,
+    /// The response to the most recent request between the parties.
+    Response,
+    /// A free-form annotation (phase labels, internal decisions).
+    Note,
+}
+
+/// One recorded protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sending party (authority or actor label, e.g. `browser:bob`).
+    pub from: String,
+    /// Receiving party.
+    pub to: String,
+    /// Human-readable description (`GET /photos/1`, `302 -> am.example`…).
+    pub label: String,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.kind {
+            TraceKind::Request => "->",
+            TraceKind::Response => "<-",
+            TraceKind::Note => "..",
+        };
+        match self.kind {
+            TraceKind::Response => write!(f, "{} {} {}: {}", self.to, arrow, self.from, self.label),
+            _ => write!(f, "{} {} {}: {}", self.from, arrow, self.to, self.label),
+        }
+    }
+}
+
+/// A shared, thread-safe recorder of protocol events.
+///
+/// Cloning yields a handle to the same underlying buffer.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::{TraceKind, TraceRecorder};
+///
+/// let trace = TraceRecorder::new();
+/// trace.note("user:bob", "begins delegation");
+/// trace.record("host.example", "am.example", "POST /trust", TraceKind::Request);
+/// assert_eq!(trace.events().len(), 2);
+/// assert!(trace.render().contains("POST /trust"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Records an event.
+    pub fn record(&self, from: &str, to: &str, label: &str, kind: TraceKind) {
+        self.events.lock().push(TraceEvent {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            label: label.to_owned(),
+            kind,
+        });
+    }
+
+    /// Records a free-form annotation attributed to `who`.
+    pub fn note(&self, who: &str, label: &str) {
+        self.record(who, who, label, TraceKind::Note);
+    }
+
+    /// Returns a snapshot of all recorded events.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Returns the number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Renders the trace as a text sequence diagram, one event per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Returns the labels of all [`TraceKind::Request`] events — the message
+    /// sequence used to assert protocol figures in tests.
+    #[must_use]
+    pub fn request_labels(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Request)
+            .map(|e| e.label.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let t = TraceRecorder::new();
+        assert!(t.is_empty());
+        t.record("a", "b", "GET /x", TraceKind::Request);
+        t.record("a", "b", "200", TraceKind::Response);
+        assert_eq!(t.len(), 2);
+        let events = t.events();
+        assert_eq!(events[0].kind, TraceKind::Request);
+        assert_eq!(events[1].kind, TraceKind::Response);
+    }
+
+    #[test]
+    fn clones_share_buffer() {
+        let t = TraceRecorder::new();
+        let t2 = t.clone();
+        t2.note("x", "hello");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn render_formats_arrows() {
+        let t = TraceRecorder::new();
+        t.record("a", "b", "GET /x", TraceKind::Request);
+        t.record("a", "b", "200", TraceKind::Response);
+        t.note("a", "thinking");
+        let text = t.render();
+        assert!(text.contains("a -> b: GET /x"));
+        assert!(text.contains("b <- a: 200"));
+        assert!(text.contains("a .. a: thinking"));
+    }
+
+    #[test]
+    fn request_labels_filters() {
+        let t = TraceRecorder::new();
+        t.record("a", "b", "GET /x", TraceKind::Request);
+        t.record("a", "b", "200", TraceKind::Response);
+        t.record("b", "c", "POST /y", TraceKind::Request);
+        assert_eq!(t.request_labels(), vec!["GET /x", "POST /y"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let t = TraceRecorder::new();
+        t.note("a", "x");
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal URL type sufficient for the simulated Web environment.
+//!
+//! Every simulated application is addressed by an *authority* (host name,
+//! e.g. `webpics.example`); resources live under paths; protocol steps pass
+//! parameters in the query string (e.g. the AM location a User supplies when
+//! delegating access control, §V.B.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed URL: `scheme://authority/path?query`.
+///
+/// Query keys are kept sorted (BTreeMap) so formatting is deterministic —
+/// important for reproducible protocol traces.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::Url;
+///
+/// let url: Url = "https://am.example/authorize?realm=photos".parse()?;
+/// assert_eq!(url.authority(), "am.example");
+/// assert_eq!(url.path(), "/authorize");
+/// assert_eq!(url.query("realm"), Some("photos"));
+/// # Ok::<(), ucam_webenv::ParseUrlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    scheme: String,
+    authority: String,
+    path: String,
+    query: BTreeMap<String, String>,
+}
+
+impl Url {
+    /// Builds a URL from an authority and an absolute path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` does not start with `/`.
+    #[must_use]
+    pub fn new(authority: &str, path: &str) -> Self {
+        assert!(path.starts_with('/'), "path must be absolute: {path}");
+        Url {
+            scheme: "https".to_owned(),
+            authority: authority.to_owned(),
+            path: path.to_owned(),
+            query: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the scheme (always `https` for constructed URLs).
+    #[must_use]
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Returns the authority (host name) component.
+    #[must_use]
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// Returns the absolute path component.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Returns the path split into non-empty segments.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let url = ucam_webenv::Url::new("h.example", "/a/b/c");
+    /// assert_eq!(url.segments(), vec!["a", "b", "c"]);
+    /// ```
+    #[must_use]
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Looks up a query parameter.
+    #[must_use]
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// Returns all query parameters.
+    #[must_use]
+    pub fn query_pairs(&self) -> &BTreeMap<String, String> {
+        &self.query
+    }
+
+    /// Returns a copy of this URL with the query parameter set.
+    #[must_use]
+    pub fn with_query(mut self, key: &str, value: &str) -> Self {
+        self.query.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Returns a copy of this URL with a different path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` does not start with `/`.
+    #[must_use]
+    pub fn with_path(mut self, path: &str) -> Self {
+        assert!(path.starts_with('/'), "path must be absolute: {path}");
+        self.path = path.to_owned();
+        self
+    }
+}
+
+/// Percent-encodes a query component (space, `&`, `=`, `%`, `?`, `#`, `/`
+/// and non-ASCII bytes).
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes percent-encoding; invalid escapes are passed through literally.
+fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(hex) = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                out.push(hex);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.authority, self.path)?;
+        let mut sep = '?';
+        for (k, v) in &self.query {
+            write!(f, "{sep}{}={}", encode_component(k), encode_component(v))?;
+            sep = '&';
+        }
+        Ok(())
+    }
+}
+
+/// An error produced when parsing a malformed URL string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseUrlError {
+    /// The input lacks the `scheme://` separator.
+    MissingScheme,
+    /// The authority component is empty.
+    EmptyAuthority,
+}
+
+impl fmt::Display for ParseUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUrlError::MissingScheme => write!(f, "url is missing a scheme"),
+            ParseUrlError::EmptyAuthority => write!(f, "url authority is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUrlError {}
+
+impl FromStr for Url {
+    type Err = ParseUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (scheme, rest) = s.split_once("://").ok_or(ParseUrlError::MissingScheme)?;
+        let (authority_path, query_str) = match rest.split_once('?') {
+            Some((a, q)) => (a, Some(q)),
+            None => (rest, None),
+        };
+        let (authority, path) = match authority_path.split_once('/') {
+            Some((a, p)) => (a, format!("/{p}")),
+            None => (authority_path, "/".to_owned()),
+        };
+        if authority.is_empty() {
+            return Err(ParseUrlError::EmptyAuthority);
+        }
+        let mut query = BTreeMap::new();
+        if let Some(qs) = query_str {
+            for pair in qs.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(decode_component(k), decode_component(v));
+            }
+        }
+        Ok(Url {
+            scheme: scheme.to_owned(),
+            authority: authority.to_owned(),
+            path,
+            query,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_basic() {
+        let u: Url = "https://webpics.example/albums/1".parse().unwrap();
+        assert_eq!(u.scheme(), "https");
+        assert_eq!(u.authority(), "webpics.example");
+        assert_eq!(u.path(), "/albums/1");
+        assert!(u.query_pairs().is_empty());
+    }
+
+    #[test]
+    fn parse_no_path() {
+        let u: Url = "https://am.example".parse().unwrap();
+        assert_eq!(u.path(), "/");
+    }
+
+    #[test]
+    fn parse_query() {
+        let u: Url = "https://am.example/a?x=1&y=two".parse().unwrap();
+        assert_eq!(u.query("x"), Some("1"));
+        assert_eq!(u.query("y"), Some("two"));
+        assert_eq!(u.query("z"), None);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "no-scheme".parse::<Url>(),
+            Err(ParseUrlError::MissingScheme)
+        );
+        assert_eq!(
+            "https:///path".parse::<Url>(),
+            Err(ParseUrlError::EmptyAuthority)
+        );
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let u = Url::new("h.example", "/r/1")
+            .with_query("realm", "my photos")
+            .with_query("tok", "a=b&c");
+        let s = u.to_string();
+        let back: Url = s.parse().unwrap();
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn segments() {
+        let u = Url::new("h.example", "/a//b/");
+        assert_eq!(u.segments(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn with_path_replaces() {
+        let u = Url::new("h.example", "/a")
+            .with_path("/b")
+            .with_query("k", "v");
+        assert_eq!(u.path(), "/b");
+        assert_eq!(u.to_string(), "https://h.example/b?k=v");
+    }
+
+    #[test]
+    #[should_panic(expected = "path must be absolute")]
+    fn relative_path_panics() {
+        let _ = Url::new("h.example", "relative");
+    }
+
+    #[test]
+    fn percent_encoding_special_chars() {
+        let u = Url::new("h.example", "/p").with_query("q", "a&b=c?d#e f");
+        let s = u.to_string();
+        assert!(!s.contains(' '));
+        let back: Url = s.parse().unwrap();
+        assert_eq!(back.query("q"), Some("a&b=c?d#e f"));
+    }
+
+    proptest! {
+        #[test]
+        fn query_roundtrip(
+            key in "[a-zA-Z0-9 &=%?#/_.:-]{1,20}",
+            val in "[a-zA-Z0-9 &=%?#/_.:-]{0,30}",
+        ) {
+            let u = Url::new("h.example", "/p").with_query(&key, &val);
+            let back: Url = u.to_string().parse().unwrap();
+            prop_assert_eq!(back.query(&key), Some(val.as_str()));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The OpenID analogy made concrete: choosing — and *changing* — your
+//! Authorization Manager.
+//!
+//! "We base our concept on that used in OpenID where a user chooses their
+//! preferred Identity Provider … more security conscious users may decide
+//! to build their own Authorization Managers." (§V.A.2)
+//!
+//! Bob starts at `am.example`, composes his security requirements once
+//! (including RT₀ delegation: his friends' friends may view photos), then
+//! packs up his account and moves to a self-hosted AM. His policies travel
+//! with him; only the Host⇄AM trust must be re-established. Requesters
+//! find the *new* AM automatically through XRD discovery (§VII).
+//!
+//! ```sh
+//! cargo run --example choose_your_am
+//! ```
+
+use std::sync::Arc;
+
+use ucam::am::AuthorizationManager;
+use ucam::policy::prelude::*;
+use ucam::policy::rt::{Credential, RoleRef};
+use ucam::sim::world::{World, HOSTS};
+
+fn main() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+
+    // Bob composes once at his first AM: a rule policy over group
+    // "friends", whose membership is *derived* via RT credentials —
+    // bob.friends <- alice.friends (attribute delegation).
+    world
+        .am
+        .pap("bob", |account| {
+            account.add_rt_credential(Credential::Inclusion {
+                role: RoleRef::new("bob", "friends"),
+                from: RoleRef::new("alice", "friends"),
+            });
+            account.add_rt_credential(Credential::Member {
+                role: RoleRef::new("alice", "friends"),
+                member: "chris".into(),
+            });
+            let id = account.create_policy(
+                "friends-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("friends".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .unwrap();
+        })
+        .unwrap();
+    println!("bob composed his policy at am.example");
+    println!("  (friends derived via RT: bob.friends <- alice.friends <- chris)\n");
+
+    // Chris — bob never listed him — gets in through the RT chain.
+    let outcome = world.friend_reads("chris", HOSTS[0], "/photos/rome/photo-0");
+    println!(
+        "chris reads via am.example: granted = {}\n",
+        outcome.is_granted()
+    );
+
+    // Bob becomes security conscious and moves to a self-hosted AM.
+    let snapshot = world.am.export_account("bob").unwrap();
+    println!(
+        "bob exports his account ({} bytes of JSON) and spins up bobs-own-am.example",
+        snapshot.len()
+    );
+    let own_am = Arc::new(AuthorizationManager::new(
+        "bobs-own-am.example",
+        world.net.clock().clone(),
+    ));
+    own_am.set_identity_verifier(world.idp.verifier());
+    own_am.import_account(&snapshot).unwrap();
+    world.net.register(own_am.clone());
+
+    // Re-establish trust with the host against the NEW AM (Fig. 3),
+    // after logging in there.
+    world.login_browser_at("bob", "bobs-own-am.example");
+    let resp = world.browser("bob").clone().get(
+        &world.net,
+        &format!(
+            "https://{}/delegate/setup?user=bob&am=bobs-own-am.example",
+            HOSTS[0]
+        ),
+    );
+    assert!(resp.status.is_success());
+    println!("bob re-delegated {} to bobs-own-am.example\n", HOSTS[0]);
+
+    // Chris's agent discovers the new AM through XRD — no reconfiguration.
+    // (Flush all caches so the fresh decision demonstrably comes from the
+    // new AM rather than the host's decision cache.)
+    world.flush_all_caches();
+    world.net.trace().clear();
+    let outcome = world.friend_reads_via_discovery(
+        "chris",
+        HOSTS[0],
+        "/photos/rome/photo-0",
+        "albums/rome/photo-0",
+    );
+    println!(
+        "chris re-discovers and reads: granted = {}",
+        outcome.is_granted()
+    );
+    println!("\n--- discovery-orchestrated trace ---");
+    print!("{}", world.net.trace().render());
+
+    // The new AM audited it; the old one saw nothing new.
+    own_am.audit(|log| {
+        let (permits, _) = log.decision_counts("bob");
+        println!("\nbobs-own-am.example audit: {permits} permit(s) — bob's data, bob's AM");
+    });
+}

@@ -1,0 +1,105 @@
+//! The §V.D consent extension and the R4 consolidated audit view.
+//!
+//! Bob requires real-time consent before anyone touches his trip reports.
+//! Chris's agent asks for one; the AM parks the request, notifies Bob by
+//! (simulated) e-mail, Bob approves from his AM dashboard, and Chris's
+//! next attempt succeeds. Afterwards Bob audits — from one place — who
+//! accessed what across *all three* of his Web applications.
+//!
+//! ```sh
+//! cargo run --example consent_and_audit
+//! ```
+
+use ucam::policy::prelude::*;
+use ucam::requester::AccessOutcome;
+use ucam::sim::world::{World, HOSTS};
+
+fn main() {
+    let mut world = World::bootstrap();
+    world.upload_scenario_content();
+    world.delegate_all_hosts("bob");
+    // Friends may read photos and files freely...
+    world.share_with_friends("bob", &["alice", "chris"]);
+    // ...but trip reports additionally need Bob's real-time consent.
+    world
+        .am
+        .pap("bob", |account| {
+            let consent_gate = account.create_policy(
+                "reports-need-consent",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("friends".into()))
+                            .for_action(Action::Read)
+                            .with_condition(Condition::RequiresConsent),
+                    ),
+                ),
+            );
+            account
+                .link_specific(
+                    ResourceRef::new(HOSTS[2], "docs/trips/report-0"),
+                    &consent_gate,
+                )
+                .unwrap();
+        })
+        .unwrap();
+    println!("bob gated docs/trips/report-0 behind real-time consent\n");
+
+    // Chris tries to read the report; the request parks pending consent.
+    let outcome = world.friend_reads("chris", HOSTS[2], "/docs/trips/report-0");
+    let AccessOutcome::PendingConsent { am, consent_id } = outcome else {
+        panic!("expected pending consent, got {outcome:?}");
+    };
+    println!("chris's attempt parked: consent request {consent_id} at {am}");
+
+    // Bob receives the out-of-band notification (simulated e-mail).
+    world.am.outbox(|outbox| {
+        for n in outbox.for_user("bob") {
+            println!("e-mail to bob: {}", n.message);
+        }
+    });
+
+    // Chris polls — still pending.
+    let pending = world.friend_polls_consent("chris", "am.example", &consent_id);
+    println!("chris polls: {}", pending.map_or("pending", |_| "settled"));
+
+    // Bob approves from his AM dashboard.
+    let queue = world.am.pending_consents("bob");
+    println!("bob's pending consent queue: {queue:?}");
+    world.am.grant_consent(&consent_id).expect("pending");
+    println!("bob grants consent\n");
+
+    // Chris retries and gets the report.
+    let outcome = world.friend_reads("chris", HOSTS[2], "/docs/trips/report-0");
+    assert!(outcome.is_granted(), "{outcome:?}");
+    println!("chris's retry: granted");
+
+    // Meanwhile alice browsed photos and files on the other two hosts.
+    for (host, path) in [
+        (HOSTS[0], "/photos/rome/photo-0"),
+        (HOSTS[0], "/photos/rome/photo-1"),
+        (HOSTS[1], "/files/trips/file-0.txt"),
+    ] {
+        assert!(world.friend_reads("alice", host, path).is_granted());
+    }
+
+    // R4: one consolidated view across all hosts, from one place.
+    println!("\n== bob's consolidated audit view (one query at the AM) ==");
+    world.am.audit(|log| {
+        println!("hosts covered: {:?}", log.hosts_seen("bob"));
+        let (permits, denies) = log.decision_counts("bob");
+        println!("decisions: {permits} permits, {denies} denies");
+        println!("\nalice's agent across hosts:");
+        for entry in log.correlate_requester("requester:alice-agent") {
+            if let ucam::am::audit::AuditEvent::Decision { outcome } = &entry.event {
+                println!(
+                    "  t={}ms {} {} -> {}",
+                    entry.at_ms,
+                    entry.resource.as_ref().map_or("?", |r| r.id.as_str()),
+                    entry.host.as_deref().unwrap_or("?"),
+                    outcome,
+                );
+            }
+        }
+    });
+}

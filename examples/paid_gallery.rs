@@ -1,0 +1,96 @@
+//! The §VII claims extension: selling photos through a gallery that has no
+//! payment feature of its own.
+//!
+//! "such AM can make its outcome dependent on such factors as a payment
+//! confirmation obtained from a Requester. For example, a User would be
+//! able to use a popular online gallery service to sell photos even if
+//! such service did not provide such functionality initially."
+//!
+//! Bob gates a photo behind a payment claim; a buyer's first attempt is
+//! answered with the terms (`402 Payment Required`), the buyer obtains a
+//! signed payment confirmation from the payment provider, retries, and is
+//! granted. A cheater with a forged receipt stays locked out.
+//!
+//! ```sh
+//! cargo run --example paid_gallery
+//! ```
+
+use ucam::am::ClaimIssuer;
+use ucam::policy::prelude::*;
+use ucam::requester::AccessOutcome;
+use ucam::sim::world::{World, HOSTS};
+
+fn main() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+
+    // The payment provider Bob's AM trusts.
+    let payments = ClaimIssuer::new("payments.example");
+    world.am.trust_claim_issuer(&payments);
+
+    // Bob's policy: anyone may read photo-0 — after paying.
+    world
+        .am
+        .pap("bob", |account| {
+            let policy = account.create_policy(
+                "sell-photo",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Authenticated)
+                            .for_action(Action::Read)
+                            .with_condition(Condition::RequiresClaims(vec![
+                                ClaimRequirement::from_issuer("payment", "payments.example"),
+                            ])),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &policy)
+                .unwrap();
+        })
+        .unwrap();
+    println!("bob put albums/rome/photo-0 up for sale (payment claim required)\n");
+
+    // Alice tries without paying: the AM names its terms.
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    match &outcome {
+        AccessOutcome::NeedsClaims(terms) => {
+            println!("alice's first attempt  -> 402: {terms}");
+        }
+        other => panic!("expected claims requirement, got {other:?}"),
+    }
+
+    // A forged receipt (right issuer name, wrong key) does not work.
+    let forger = ClaimIssuer::new("payments.example");
+    world
+        .client("alice")
+        .add_claim_token(&forger.issue("payment", "FAKE-000"));
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    println!("alice with forged receipt -> {}", describe(&outcome));
+    assert!(!outcome.is_granted());
+
+    // Alice actually pays; the provider signs a confirmation claim.
+    let receipt = payments.issue("payment", "ref-829;eur=5");
+    world.client("alice").add_claim_token(&receipt);
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    println!("alice with real receipt  -> {}", describe(&outcome));
+    assert!(outcome.is_granted());
+
+    // The sale is on the record: Bob's central audit log shows the grant.
+    world.am.audit(|log| {
+        let (permits, denies) = log.decision_counts("bob");
+        println!("\nbob's central audit log: {permits} permit(s), {denies} deny(ies)");
+    });
+}
+
+fn describe(outcome: &AccessOutcome) -> String {
+    match outcome {
+        AccessOutcome::Granted(_) => "granted (photo delivered)".to_owned(),
+        AccessOutcome::Denied(reason) => format!("denied ({reason})"),
+        AccessOutcome::NeedsClaims(terms) => format!("402 ({terms})"),
+        AccessOutcome::PendingConsent { .. } => "pending consent".to_owned(),
+        AccessOutcome::Failed(resp) => format!("failed ({})", resp.status),
+    }
+}

@@ -1,0 +1,134 @@
+//! The §VI prototype workflow: hosts acting as Requesters of each other.
+//!
+//! Bob keeps originals in WebStorage; WebPics **imports** a photo from
+//! WebStorage through the full authorization protocol (the gallery is the
+//! Requester), Bob edits it (rotate/crop/resize — the gallery is also "a
+//! Web-based photo editing tool"), and WebStorage then **backs up** the
+//! edited photo from the gallery, again as a Requester.
+//!
+//! ```sh
+//! cargo run --example photo_workflow
+//! ```
+
+use ucam::crypto::base64url_encode;
+use ucam::host::Image;
+use ucam::policy::prelude::*;
+use ucam::sim::world::{World, HOSTS};
+use ucam::webenv::{Method, Request};
+
+fn main() {
+    let mut world = World::bootstrap();
+    let bob = world.assertion("bob");
+
+    // Bob stores an original photo in his online file system.
+    let original = Image::gradient(16, 16);
+    let resp = world.net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://webstorage.example/files")
+            .with_param("path", "originals/rome.img")
+            .with_param("subject_token", &bob)
+            .with_body(base64url_encode(&original.to_bytes())),
+    );
+    assert!(resp.status.is_success(), "{}", resp.body);
+    println!("bob stored originals/rome.img at {} (16x16)", HOSTS[1]);
+
+    // Delegate both hosts to the AM and permit the *gallery application*
+    // (an app subject!) to read Bob's storage, and the storage service to
+    // read the gallery.
+    world.delegate_all_hosts("bob");
+    world
+        .am
+        .pap("bob", |account| {
+            let cross_app = account.create_policy(
+                "cross-app-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::App("requester:webpics.example".into()))
+                            .for_subject(Subject::App("requester:webstorage.example".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            account
+                .link_specific(
+                    ResourceRef::new(HOSTS[1], "files/originals/rome.img"),
+                    &cross_app,
+                )
+                .unwrap();
+            account
+                .link_specific(
+                    ResourceRef::new(HOSTS[0], "albums/rome/imported"),
+                    &cross_app,
+                )
+                .unwrap();
+        })
+        .unwrap();
+    println!("bob authorized the two applications to exchange his photos\n");
+
+    // Create the album, then let WebPics IMPORT the photo from WebStorage.
+    world.net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://webpics.example/albums")
+            .with_param("name", "rome")
+            .with_param("subject_token", &bob),
+    );
+    world.net.trace().clear();
+    let import = world.net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://webpics.example/import")
+            .with_param("from", HOSTS[1])
+            .with_param("src", "files/originals/rome.img")
+            .with_param("album", "rome")
+            .with_param("id", "imported")
+            .with_param("subject_token", &bob),
+    );
+    assert!(import.status.is_success(), "{}", import.body);
+    println!("WebPics imported the photo from WebStorage as a Requester:");
+    print!("{}", world.net.trace().render());
+
+    // Bob edits the photo in the gallery.
+    for (op, params) in [
+        ("rotate", vec![]),
+        ("crop", vec![("x", "2"), ("y", "2"), ("w", "8"), ("h", "8")]),
+        ("resize", vec![("w", "4"), ("h", "4")]),
+    ] {
+        let mut req = Request::new(
+            Method::Post,
+            &format!("https://webpics.example/photos/rome/imported/{op}"),
+        )
+        .with_param("subject_token", &bob);
+        for (k, v) in params {
+            req = req.with_param(k, v);
+        }
+        let resp = world.net.dispatch("browser:bob", req);
+        println!("edit {op}: {}", resp.body);
+    }
+
+    // WebStorage backs up the edited gallery photo, acting as a Requester.
+    // (Gallery photo routes are /photos/<album>/<photo>.)
+    world.net.trace().clear();
+    let backup = world.net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://webstorage.example/backup")
+            .with_param("from", HOSTS[0])
+            .with_param("src", "photos/rome/imported")
+            .with_param("dest", "backups/rome-edited.img")
+            .with_param("subject_token", &bob),
+    );
+    assert!(backup.status.is_success(), "{}", backup.body);
+    println!("\nWebStorage backed up the edited photo as a Requester:");
+    print!("{}", world.net.trace().render());
+
+    let stored = world
+        .storage
+        .shell()
+        .core
+        .resource("files/backups/rome-edited.img")
+        .expect("backup stored");
+    println!(
+        "\nbackup stored at {}: {} bytes (edited photo is 4x4)",
+        HOSTS[1],
+        stored.data.len()
+    );
+}

@@ -1,0 +1,48 @@
+//! # UCAM — User-Controlled Access Management for Web 2.0 Applications
+//!
+//! A complete Rust reproduction of *Machulak & van Moorsel, "Architecture
+//! and Protocol for User-Controlled Access Management in Web 2.0
+//! Applications"* (Newcastle University TR CS-TR-1191, 2010) — the academic
+//! precursor of the Kantara **UMA** (User-Managed Access) protocol.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`webenv`] — the simulated Web environment (network, HTTP-like
+//!   messages, browser, identity provider, protocol traces),
+//! * [`crypto`] — SHA-256 / HMAC / base64url / signed-token substrate,
+//! * [`policy`] — two policy languages, conditions, groups, the
+//!   general+specific evaluation engine, JSON/XML import-export,
+//! * [`am`] — the **Authorization Manager** (the paper's contribution):
+//!   PAP, PDP, token service, trust registry, consent, claims, audit,
+//! * [`host`] — the Host/PEP framework and the WebPics / WebStorage /
+//!   WebDocs applications,
+//! * [`requester`] — the Requester client with the full token flow,
+//! * [`baselines`] — siloed ACLs, OAuth 1.0a, OAuth WRAP, and the UMA
+//!   authorization-state variant for comparison,
+//! * [`sim`] — scenario generators, metrics, and the experiment drivers
+//!   behind every entry of `EXPERIMENTS.md`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ucam::sim::world::World;
+//!
+//! // Build the paper's scenario: Bob, three hosts, one AM.
+//! let mut world = World::bootstrap();
+//! world.upload_scenario_content();
+//! world.delegate_all_hosts("bob");
+//! world.share_with_friends("bob", &["alice", "chris"]);
+//!
+//! // Alice reads one of Bob's photos through the full protocol.
+//! let outcome = world.friend_reads("alice", "webpics.example", "/photos/rome/photo-0");
+//! assert!(outcome.is_granted());
+//! ```
+
+pub use ucam_am as am;
+pub use ucam_baselines as baselines;
+pub use ucam_crypto as crypto;
+pub use ucam_host as host;
+pub use ucam_policy as policy;
+pub use ucam_requester as requester;
+pub use ucam_sim as sim;
+pub use ucam_webenv as webenv;

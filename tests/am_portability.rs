@@ -1,0 +1,136 @@
+//! AM portability: the OpenID-style freedom behind requirement R1 — a
+//! user can pack up their centrally composed security requirements and
+//! move to a different Authorization Manager, then re-establish trust with
+//! their Hosts. Policies, groups, RT credentials, and preferences all
+//! travel; delegations (host tokens) deliberately do not.
+
+use std::sync::Arc;
+
+use ucam::am::AuthorizationManager;
+use ucam::policy::prelude::*;
+use ucam::policy::rt::{Credential, RoleRef};
+use ucam::sim::world::{World, HOSTS};
+
+#[test]
+fn bob_switches_authorization_managers() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+
+    // Bob composes a rich account at his first AM: groups, RT credentials,
+    // a policy, bindings, a caching preference, and a custodian.
+    world
+        .am
+        .pap("bob", |account| {
+            account.add_group_member("friends", "alice");
+            account.add_rt_credential(Credential::Member {
+                role: RoleRef::new("bob", "vips"),
+                member: "chris".into(),
+            });
+            account.add_custodian("chris");
+            account.set_cache_ttl_ms(30_000);
+            let id = account.create_policy(
+                "friends-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("friends".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .unwrap();
+        })
+        .unwrap();
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+
+    // Bob exports his account and imports it at a brand-new AM.
+    let snapshot = world.am.export_account("bob").unwrap();
+    let new_am = Arc::new(AuthorizationManager::new(
+        "new-am.example",
+        world.net.clock().clone(),
+    ));
+    new_am.set_identity_verifier(world.idp.verifier());
+    let owner = new_am.import_account(&snapshot).unwrap();
+    assert_eq!(owner, "bob");
+    world.net.register(new_am.clone());
+
+    // Everything administrative came across.
+    new_am
+        .pap_ref("bob", |account| {
+            assert_eq!(account.list_policies().len(), 1);
+            assert!(account.groups().contains("friends", "alice"));
+            assert!(account.may_administer("chris"));
+            assert_eq!(account.cache_ttl_ms(), 30_000);
+            assert_eq!(account.rt().len(), 1);
+        })
+        .unwrap();
+
+    // Delegations did NOT come across: the new AM has no trust with the
+    // host yet, so authorization there fails...
+    let outcome = new_am.authorize(&ucam::am::AuthorizeRequest::new(
+        HOSTS[0],
+        "bob",
+        "albums/rome/photo-0",
+        Action::Read,
+        "requester:alice-agent",
+    ));
+    assert!(matches!(outcome, ucam::am::AuthorizeOutcome::Denied(_)));
+
+    // ...until Bob re-runs the Fig. 3 delegation against the new AM
+    // (logging in at the new AM first).
+    world.login_browser_at("bob", "new-am.example");
+    let url = format!(
+        "https://{}/delegate/setup?user=bob&am=new-am.example",
+        HOSTS[0]
+    );
+    let resp = world.browser("bob").clone().get(&world.net, &url);
+    assert!(resp.status.is_success(), "{}", resp.body);
+
+    // Alice must re-authorize (her old token was minted by the old AM),
+    // after which access works against the new AM with the SAME policies —
+    // composed once, carried along (R2).
+    world.client("alice").clear_tokens();
+    world.flush_all_caches();
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    assert!(outcome.is_granted(), "{outcome:?}");
+
+    // And the new AM (not the old one) audited the decision.
+    new_am.audit(|log| assert!(log.decision_counts("bob").0 >= 1));
+}
+
+#[test]
+fn import_rejects_garbage() {
+    let world = World::bootstrap();
+    assert!(world.am.import_account("{not json").is_err());
+    assert!(world.am.export_account("nobody").is_err());
+}
+
+#[test]
+fn snapshot_roundtrip_is_lossless() {
+    let world = World::bootstrap();
+    world
+        .am
+        .pap("bob", |account| {
+            account.add_group_member("g", "x");
+            account.create_policy(
+                "xacml",
+                PolicyBody::Xacml(
+                    XacmlPolicySet::new("s", Combining::DenyOverrides).with_policy(
+                        XacmlPolicy::new("p", Combining::PermitOverrides).with_rule(
+                            XacmlRule::permit("r").with_condition(XExpr::ConsentGranted),
+                        ),
+                    ),
+                ),
+            );
+        })
+        .unwrap();
+    let snap1 = world.am.export_account("bob").unwrap();
+    world.am.import_account(&snap1).unwrap();
+    let snap2 = world.am.export_account("bob").unwrap();
+    assert_eq!(snap1, snap2);
+}

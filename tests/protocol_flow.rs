@@ -1,0 +1,262 @@
+//! Integration tests of the full protocol (Fig. 2) across all crates:
+//! AM + three Hosts + Requesters over the simulated network.
+
+use ucam::policy::prelude::*;
+use ucam::requester::AccessOutcome;
+use ucam::sim::experiments::figures;
+use ucam::sim::world::{World, AM, HOSTS};
+
+#[test]
+fn full_six_phase_protocol_shape() {
+    let (phases, trace) = figures::e2_protocol_phases(0);
+    assert_eq!(phases.len(), 4);
+    let round_trips: Vec<u64> = phases.iter().map(|p| p.round_trips).collect();
+    // delegation=3, composing=3, first access=4, subsequent=1.
+    assert_eq!(round_trips, vec![3, 3, 4, 1]);
+    // The trace contains every protocol endpoint once in order.
+    let delegate_pos = trace.find("/delegate").expect("delegation in trace");
+    let compose_pos = trace.find("/compose").expect("composition in trace");
+    let authorize_pos = trace.find("/authorize").expect("authorization in trace");
+    let decision_pos = trace.find("/decision").expect("decision query in trace");
+    assert!(delegate_pos < compose_pos);
+    assert!(compose_pos < authorize_pos);
+    assert!(authorize_pos < decision_pos);
+}
+
+#[test]
+fn every_figure_regenerates() {
+    assert!(figures::e1_architecture().round_trips > 0);
+    assert_eq!(figures::e3_trust().round_trips, 3);
+    assert_eq!(figures::e4_compose().round_trips, 3);
+    assert_eq!(figures::e5_token().round_trips, 2);
+    assert_eq!(figures::e6_access().round_trips, 2);
+}
+
+#[test]
+fn two_friends_share_one_policy_across_three_hosts() {
+    let mut world = World::bootstrap();
+    world.upload_scenario_content();
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice", "chris"]);
+
+    for friend in ["alice", "chris"] {
+        for (host, path) in [
+            (HOSTS[0], "/photos/rome/photo-2"),
+            (HOSTS[1], "/files/trips/file-2.txt"),
+            (HOSTS[2], "/docs/trips/report-2"),
+        ] {
+            let outcome = world.friend_reads(friend, host, path);
+            assert!(outcome.is_granted(), "{friend}@{host}{path}: {outcome:?}");
+        }
+    }
+    // Exactly one policy exists at the AM (R2: compose once, apply everywhere).
+    world
+        .am
+        .pap_ref("bob", |account| {
+            assert_eq!(account.list_policies().len(), 1)
+        })
+        .unwrap();
+}
+
+#[test]
+fn write_actions_require_write_policy() {
+    let mut world = World::bootstrap();
+    world.upload_scenario_content();
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]); // read+list only
+
+    // Alice can read but not rotate (write) Bob's photo.
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    // A GET on the rotate endpoint maps to write enforcement; the policy
+    // only grants read/list, so the AM denies.
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0/rotate");
+    assert!(matches!(outcome, AccessOutcome::Denied(_)), "{outcome:?}");
+}
+
+#[test]
+fn policy_revocation_takes_effect_after_cache_expiry() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+
+    // Bob deletes the sharing policy.
+    world
+        .am
+        .pap("bob", |account| {
+            let ids: Vec<_> = account
+                .list_policies()
+                .iter()
+                .map(|p| p.id.clone())
+                .collect();
+            for id in ids {
+                account.delete_policy(&id).unwrap();
+            }
+        })
+        .unwrap();
+
+    // The host's cached decision may still serve alice (the §V.B.5 cache
+    // trade-off!) until it is flushed or expires.
+    world.flush_all_caches();
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    assert!(
+        matches!(outcome, AccessOutcome::Denied(_)),
+        "after revocation + flush: {outcome:?}"
+    );
+}
+
+#[test]
+fn decision_cache_ttl_honoured_via_clock() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+
+    // Prime the caches.
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    // Within TTL: one round trip, no decision query.
+    world.net.reset_stats();
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    assert_eq!(world.net.stats().round_trips, 1);
+
+    // Advance past the decision-cache TTL (default 60s) but keep the token
+    // valid (15 min): the host must re-query the AM.
+    world.net.clock().advance_ms(61_000);
+    world.net.reset_stats();
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    assert_eq!(
+        world.net.stats().round_trips,
+        2,
+        "host re-queries after TTL"
+    );
+}
+
+#[test]
+fn expired_token_triggers_transparent_reauthorization() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+
+    // Let the authorization token expire (15 simulated minutes).
+    world.net.clock().advance_ms(16 * 60 * 1000);
+    world.net.reset_stats();
+    let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+    assert!(outcome.is_granted(), "{outcome:?}");
+    // The stale token cost one rejected attempt, then a fresh authorize.
+    let stats = world.net.stats();
+    assert!(
+        stats.round_trips >= 4,
+        "expected full re-authorization, got {} RTs",
+        stats.round_trips
+    );
+    // Exactly one transparent re-authorization was recorded.
+    assert_eq!(world.client("alice").stats().reauthorizations, 1);
+}
+
+#[test]
+fn user_controls_decision_caching() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+    // Bob forbids caching entirely ("The AM may provide a User with
+    // mechanisms to control caching", §V.B.5).
+    world
+        .am
+        .pap("bob", |account| account.set_cache_ttl_ms(0))
+        .unwrap();
+    world.flush_all_caches();
+
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    // Every subsequent access now costs a decision query.
+    world.net.reset_stats();
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+    assert_eq!(world.net.stats().round_trips, 2);
+}
+
+#[test]
+fn custodian_extension_manages_on_behalf() {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+
+    // Bob appoints Chris as his custodian (§V.D extension).
+    world
+        .am
+        .pap("bob", |account| account.add_custodian("chris"))
+        .unwrap();
+
+    // Chris (not Bob!) composes the sharing policy for Bob's resources.
+    world
+        .am
+        .pap_as("chris", "bob", |account| {
+            account.add_group_member("friends", "alice");
+            let id = account.create_policy(
+                "by-custodian",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Group("friends".into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .unwrap();
+        })
+        .unwrap();
+
+    // Alice gets in thanks to the custodian's policy.
+    assert!(world
+        .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+
+    // Mallory cannot administer Bob's account.
+    let err = world.am.pap_as("mallory", "bob", |_| ()).unwrap_err();
+    assert!(err.to_string().contains("not authorized"));
+
+    // And removal works.
+    world
+        .am
+        .pap("bob", |account| assert!(account.remove_custodian("chris")))
+        .unwrap();
+    assert!(world.am.pap_as("chris", "bob", |_| ()).is_err());
+}
+
+#[test]
+fn delegation_check_host_token_roundtrip() {
+    let mut world = World::bootstrap();
+    world.delegate_all_hosts("bob");
+    let config = world
+        .pics
+        .shell()
+        .core
+        .delegation_for("anything", "bob")
+        .expect("delegated");
+    let grant = world.am.check_host_token(&config.host_token).unwrap();
+    assert_eq!(grant.host, HOSTS[0]);
+    assert_eq!(grant.user, "bob");
+    assert_eq!(config.am, AM);
+}
