@@ -178,8 +178,14 @@ pub struct DecisionQuery {
 pub enum Decision {
     /// Access granted; the Host may cache this for `cacheable_ms`.
     Permit {
-        /// User-controlled cache lifetime (0 = do not cache).
+        /// User-controlled cache lifetime (0 = do not cache), already
+        /// clamped to the presented token's remaining lifetime so a
+        /// cached permit can never outlive the token that earned it.
         cacheable_ms: u64,
+        /// The owner's policy epoch at evaluation time. Hosts compare
+        /// this against the freshest epoch they have seen for the owner
+        /// and drop cached permits stamped with an older one.
+        policy_epoch: u64,
     },
     /// Access denied.
     Deny {
@@ -200,10 +206,24 @@ impl Decision {
 /// asynchronous window must end eventually).
 pub const DEFAULT_CONSENT_TTL_MS: u64 = 24 * 60 * 60 * 1000;
 
+/// How many ways the account map is sharded. Policy evaluation for one
+/// owner only contends with traffic for owners hashing to the same
+/// shard, not with the AM's global bookkeeping.
+const ACCOUNT_SHARDS: usize = 8;
+
+/// One owner's entry in an account shard: the PAP account plus the
+/// monotonically increasing policy epoch that invalidates downstream
+/// decision caches whenever the account's policy state changes.
+struct AccountSlot {
+    account: Account,
+    epoch: u64,
+}
+
+type AccountShard = HashMap<String, AccountSlot>;
+
 /// Mutable state behind the AM's lock.
 struct AmState {
     consent_ttl_ms: u64,
-    accounts: HashMap<String, Account>,
     trust: TrustRegistry,
     consent: ConsentQueue,
     outbox: NotificationOutbox,
@@ -220,7 +240,6 @@ impl Default for AmState {
     fn default() -> Self {
         AmState {
             consent_ttl_ms: DEFAULT_CONSENT_TTL_MS,
-            accounts: HashMap::default(),
             trust: TrustRegistry::default(),
             consent: ConsentQueue::default(),
             outbox: NotificationOutbox::default(),
@@ -268,13 +287,18 @@ pub struct AuthorizationManager {
     clock: SimClock,
     tokens: TokenService,
     state: RwLock<AmState>,
+    /// Accounts, sharded by owner hash. Lock-ordering rule: code never
+    /// holds the central `state` lock and a shard lock at the same time;
+    /// each phase of `authorize`/`decide` is its own lock scope.
+    accounts: [RwLock<AccountShard>; ACCOUNT_SHARDS],
 }
 
 impl fmt::Debug for AuthorizationManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let accounts: usize = self.accounts.iter().map(|s| s.read().len()).sum();
         f.debug_struct("AuthorizationManager")
             .field("authority", &self.authority)
-            .field("accounts", &self.state.read().accounts.len())
+            .field("accounts", &accounts)
             .finish_non_exhaustive()
     }
 }
@@ -288,7 +312,50 @@ impl AuthorizationManager {
             tokens: TokenService::new(clock.clone()),
             clock,
             state: RwLock::new(AmState::default()),
+            accounts: std::array::from_fn(|_| RwLock::new(AccountShard::default())),
         }
+    }
+
+    /// The shard holding `owner`'s account (FNV-1a over the owner name).
+    fn shard_for(&self, owner: &str) -> &RwLock<AccountShard> {
+        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+        for byte in owner.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.accounts[(hash as usize) % ACCOUNT_SHARDS]
+    }
+
+    /// Advances `owner`'s policy epoch, invalidating every decision a
+    /// Host may have cached under the previous epoch.
+    fn bump_policy_epoch(&self, owner: &str) {
+        if let Some(slot) = self.shard_for(owner).write().get_mut(owner) {
+            slot.epoch += 1;
+        }
+    }
+
+    /// The owner's current policy epoch (0 when the owner is unknown).
+    /// Hosts feed this into their decision caches; see
+    /// `HostCore::note_policy_epoch`.
+    #[must_use]
+    pub fn policy_epoch(&self, owner: &str) -> u64 {
+        self.shard_for(owner)
+            .read()
+            .get(owner)
+            .map_or(0, |slot| slot.epoch)
+    }
+
+    /// Every registered owner with their current policy epoch, sorted by
+    /// owner name (deterministic regardless of shard iteration order).
+    #[must_use]
+    pub fn policy_epochs(&self) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> = Vec::new();
+        for shard in &self.accounts {
+            let shard = shard.read();
+            all.extend(shard.iter().map(|(user, slot)| (user.clone(), slot.epoch)));
+        }
+        all.sort();
+        all
     }
 
     /// Overrides the authorization-token TTL (benchmark knob).
@@ -306,11 +373,13 @@ impl AuthorizationManager {
 
     /// Creates an (empty) account for `user`; idempotent.
     pub fn register_user(&self, user: &str) {
-        self.state
+        self.shard_for(user)
             .write()
-            .accounts
             .entry(user.to_owned())
-            .or_insert_with(|| Account::new(user));
+            .or_insert_with(|| AccountSlot {
+                account: Account::new(user),
+                epoch: 1,
+            });
     }
 
     /// Configures the identity provider whose assertions this AM accepts.
@@ -337,10 +406,10 @@ impl AuthorizationManager {
         user: &str,
     ) -> Result<(Delegation, String), AmError> {
         let now = self.clock.now_ms();
-        let mut state = self.state.write();
-        if !state.accounts.contains_key(user) {
+        if !self.shard_for(user).read().contains_key(user) {
             return Err(AmError::UnknownUser(user.to_owned()));
         }
+        let mut state = self.state.write();
         let delegation = state.trust.establish(host, user, now);
         let token = self.tokens.mint_host_token(host, user, &delegation.id);
         state.audit.record(
@@ -349,17 +418,24 @@ impl AuthorizationManager {
         Ok((delegation, token))
     }
 
-    /// Revokes a delegation by id; the matching host token becomes useless.
+    /// Revokes a delegation by id; the matching host token becomes useless
+    /// and the user's policy epoch advances so cached decisions die too.
     pub fn revoke_delegation(&self, user: &str, delegation_id: &str) -> bool {
         let now = self.clock.now_ms();
-        let mut state = self.state.write();
-        let revoked = state.trust.revoke(delegation_id);
+        let revoked = {
+            let mut state = self.state.write();
+            let revoked = state.trust.revoke(delegation_id);
+            if revoked {
+                state.audit.record(AuditEntry::new(
+                    now,
+                    user,
+                    AuditEvent::Delegation { established: false },
+                ));
+            }
+            revoked
+        };
         if revoked {
-            state.audit.record(AuditEntry::new(
-                now,
-                user,
-                AuditEvent::Delegation { established: false },
-            ));
+            self.bump_policy_epoch(user);
         }
         revoked
     }
@@ -381,18 +457,21 @@ impl AuthorizationManager {
 
     // -- PAP access ----------------------------------------------------------
 
-    /// Runs `f` with mutable access to `user`'s PAP account.
+    /// Runs `f` with mutable access to `user`'s PAP account and advances
+    /// the user's policy epoch (mutable access is assumed to change
+    /// policy-relevant state; cached decisions must not survive it).
     ///
     /// # Errors
     ///
     /// Returns [`AmError::UnknownUser`] when the user has no account.
     pub fn pap<R>(&self, user: &str, f: impl FnOnce(&mut Account) -> R) -> Result<R, AmError> {
-        let mut state = self.state.write();
-        let account = state
-            .accounts
+        let mut shard = self.shard_for(user).write();
+        let slot = shard
             .get_mut(user)
             .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
-        Ok(f(account))
+        let result = f(&mut slot.account);
+        slot.epoch += 1;
+        Ok(result)
     }
 
     /// Runs `f` with mutable access to `owner`'s PAP account on behalf of
@@ -410,18 +489,19 @@ impl AuthorizationManager {
         owner: &str,
         f: impl FnOnce(&mut Account) -> R,
     ) -> Result<R, AmError> {
-        let mut state = self.state.write();
-        let account = state
-            .accounts
+        let mut shard = self.shard_for(owner).write();
+        let slot = shard
             .get_mut(owner)
             .ok_or_else(|| AmError::UnknownUser(owner.to_owned()))?;
-        if !account.may_administer(actor) {
+        if !slot.account.may_administer(actor) {
             return Err(AmError::NotAuthorized {
                 actor: actor.to_owned(),
                 owner: owner.to_owned(),
             });
         }
-        Ok(f(account))
+        let result = f(&mut slot.account);
+        slot.epoch += 1;
+        Ok(result)
     }
 
     /// Runs `f` with shared access to `user`'s PAP account.
@@ -430,12 +510,11 @@ impl AuthorizationManager {
     ///
     /// Returns [`AmError::UnknownUser`] when the user has no account.
     pub fn pap_ref<R>(&self, user: &str, f: impl FnOnce(&Account) -> R) -> Result<R, AmError> {
-        let state = self.state.read();
-        let account = state
-            .accounts
+        let shard = self.shard_for(user).read();
+        let slot = shard
             .get(user)
             .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
-        Ok(f(account))
+        Ok(f(&slot.account))
     }
 
     // -- token issuance (Fig. 5) ----------------------------------------------
@@ -445,71 +524,72 @@ impl AuthorizationManager {
     pub fn authorize(&self, request: &AuthorizeRequest) -> AuthorizeOutcome {
         let now = self.clock.now_ms();
         let resource = ResourceRef::new(&request.host, &request.resource_id);
-        let mut state = self.state.write();
 
-        if state.trust.check(&request.host, &request.owner).is_err() {
-            return AuthorizeOutcome::Denied(format!(
-                "host {} has not delegated access control for user {}",
-                request.host, request.owner
-            ));
-        }
-        let AmState {
-            accounts,
-            consent,
-            outbox,
-            audit,
-            claim_verifier,
-            use_counts,
-            satisfied_claims,
-            ..
-        } = &mut *state;
-        let Some(account) = accounts.get(&request.owner) else {
-            return AuthorizeOutcome::Denied(format!("unknown owner {}", request.owner));
+        // Phase A — central read: trust, consent, claims, use counts.
+        let (consent_granted, claims, prior_uses) = {
+            let state = self.state.read();
+            if state.trust.check(&request.host, &request.owner).is_err() {
+                return AuthorizeOutcome::Denied(format!(
+                    "host {} has not delegated access control for user {}",
+                    request.host, request.owner
+                ));
+            }
+            let consent_granted = state.consent.is_granted(
+                &request.requester,
+                request.subject.as_deref(),
+                &resource,
+                &request.action,
+            );
+            let mut claims = state.claim_verifier.verify_all(&request.claim_tokens);
+            if let Some(previous) = state
+                .satisfied_claims
+                .get(&(request.requester.clone(), resource.clone()))
+            {
+                claims.extend(previous.iter().cloned());
+            }
+            let prior_uses = state
+                .use_counts
+                .get(&(
+                    request.requester.clone(),
+                    request.subject.clone(),
+                    resource.clone(),
+                    request.action.clone(),
+                ))
+                .copied()
+                .unwrap_or(0);
+            (consent_granted, claims, prior_uses)
         };
 
-        let access = build_access_request(
-            &request.host,
-            &request.resource_id,
-            &request.action,
-            request.subject.as_deref(),
-            &request.requester,
-        );
-        let consent_granted = consent.is_granted(
-            &request.requester,
-            request.subject.as_deref(),
-            &resource,
-            &request.action,
-        );
-        let mut claims = claim_verifier.verify_all(&request.claim_tokens);
-        if let Some(previous) = satisfied_claims.get(&(request.requester.clone(), resource.clone()))
-        {
-            claims.extend(previous.iter().cloned());
-        }
-        let prior_uses = use_counts
-            .get(&(
-                request.requester.clone(),
-                request.subject.clone(),
-                resource.clone(),
-                request.action.clone(),
-            ))
-            .copied()
-            .unwrap_or(0);
+        // Phase B — shard read: policy evaluation touches only the
+        // owner's shard, so it runs concurrently with evaluations for
+        // owners on other shards and with central bookkeeping.
+        let decision = {
+            let shard = self.shard_for(&request.owner).read();
+            let Some(slot) = shard.get(&request.owner) else {
+                return AuthorizeOutcome::Denied(format!("unknown owner {}", request.owner));
+            };
+            let account = &slot.account;
+            let access = build_access_request(
+                &request.host,
+                &request.resource_id,
+                &request.action,
+                request.subject.as_deref(),
+                &request.requester,
+            );
+            let oracle = account.group_oracle();
+            let mut ctx = EvalContext::new(&access, now)
+                .with_groups(&oracle)
+                .with_claims(&claims)
+                .with_prior_uses(prior_uses);
+            if consent_granted {
+                ctx = ctx.with_consent();
+            }
+            PolicyEngine::evaluate(account.policies(), &ctx)
+        };
 
-        let oracle = account.group_oracle();
-        let mut ctx = EvalContext::new(&access, now)
-            .with_groups(&oracle)
-            .with_claims(&claims)
-            .with_prior_uses(prior_uses);
-        if consent_granted {
-            ctx = ctx.with_consent();
-        }
-        let decision = PolicyEngine::evaluate(account.policies(), &ctx);
-
+        // Phase C — act on the outcome; bookkeeping under central write.
         match decision.outcome {
             Outcome::Permit => {
-                if !claims.is_empty() {
-                    satisfied_claims.insert((request.requester.clone(), resource.clone()), claims);
-                }
                 let grant = self.tokens.grant(
                     decision.realm.as_deref(),
                     &request.resource_id,
@@ -519,11 +599,20 @@ impl AuthorizationManager {
                     &request.owner,
                 );
                 let token = self.tokens.mint_authz_token(&grant);
-                audit.record(audit_token_entry(now, request, &resource, true, &decision));
+                let mut state = self.state.write();
+                if !claims.is_empty() {
+                    state
+                        .satisfied_claims
+                        .insert((request.requester.clone(), resource.clone()), claims);
+                }
+                state
+                    .audit
+                    .record(audit_token_entry(now, request, &resource, true, &decision));
                 AuthorizeOutcome::Token { token, grant }
             }
             Outcome::RequiresConsent => {
-                let consent_id = consent.open(
+                let mut state = self.state.write();
+                let consent_id = state.consent.open(
                     &request.owner,
                     &request.requester,
                     request.subject.as_deref(),
@@ -533,7 +622,7 @@ impl AuthorizationManager {
                 );
                 // "an AM may send a request for such consent by sending an
                 // e-mail or SMS message to a User" (§V.D).
-                outbox.send(Notification {
+                state.outbox.send(Notification {
                     to_user: request.owner.clone(),
                     channel: Channel::Email,
                     message: format!(
@@ -542,7 +631,7 @@ impl AuthorizationManager {
                     ),
                     at_ms: now,
                 });
-                audit.record(AuditEntry::new(
+                state.audit.record(AuditEntry::new(
                     now,
                     &request.owner,
                     AuditEvent::Consent {
@@ -557,11 +646,17 @@ impl AuthorizationManager {
             }
             Outcome::Deny(ref reason) => {
                 let reason = reason.to_string();
-                audit.record(audit_token_entry(now, request, &resource, false, &decision));
+                self.state
+                    .write()
+                    .audit
+                    .record(audit_token_entry(now, request, &resource, false, &decision));
                 AuthorizeOutcome::Denied(reason)
             }
             Outcome::NotApplicable => {
-                audit.record(audit_token_entry(now, request, &resource, false, &decision));
+                self.state
+                    .write()
+                    .audit
+                    .record(audit_token_entry(now, request, &resource, false, &decision));
                 AuthorizeOutcome::Denied("no applicable policy".to_owned())
             }
         }
@@ -604,74 +699,85 @@ impl AuthorizationManager {
         }
 
         let resource = ResourceRef::new(&host_grant.host, &query.resource_id);
-        let mut state = self.state.write();
-        let AmState {
-            accounts,
-            consent,
-            audit,
-            use_counts,
-            satisfied_claims,
-            ..
-        } = &mut *state;
-        let Some(account) = accounts.get(&grant.owner) else {
-            return Err(AmError::UnknownUser(grant.owner.clone()));
-        };
-
-        let access = build_access_request(
-            &host_grant.host,
-            &query.resource_id,
-            &query.action,
-            grant.subject.as_deref(),
-            &query.requester,
-        );
-        let consent_granted = consent.is_granted(
-            &query.requester,
-            grant.subject.as_deref(),
-            &resource,
-            &query.action,
-        );
-        let claims = satisfied_claims
-            .get(&(query.requester.clone(), resource.clone()))
-            .cloned()
-            .unwrap_or_default();
         let use_key = (
             query.requester.clone(),
             grant.subject.clone(),
             resource.clone(),
             query.action.clone(),
         );
-        let prior_uses = use_counts.get(&use_key).copied().unwrap_or(0);
 
-        let oracle = account.group_oracle();
-        let mut ctx = EvalContext::new(&access, now)
-            .with_groups(&oracle)
-            .with_claims(&claims)
-            .with_prior_uses(prior_uses);
-        if consent_granted {
-            ctx = ctx.with_consent();
+        // Phase A — central read: consent, cached claims, use counts.
+        let (consent_granted, claims, prior_uses) = {
+            let state = self.state.read();
+            let consent_granted = state.consent.is_granted(
+                &query.requester,
+                grant.subject.as_deref(),
+                &resource,
+                &query.action,
+            );
+            let claims = state
+                .satisfied_claims
+                .get(&(query.requester.clone(), resource.clone()))
+                .cloned()
+                .unwrap_or_default();
+            let prior_uses = state.use_counts.get(&use_key).copied().unwrap_or(0);
+            (consent_granted, claims, prior_uses)
+        };
+
+        // Phase B — shard read: evaluate against the owner's policies and
+        // capture the cache TTL plus the policy epoch the decision is
+        // stamped with.
+        let (engine_decision, cache_ttl_ms, policy_epoch) = {
+            let shard = self.shard_for(&grant.owner).read();
+            let Some(slot) = shard.get(&grant.owner) else {
+                return Err(AmError::UnknownUser(grant.owner.clone()));
+            };
+            let account = &slot.account;
+            let access = build_access_request(
+                &host_grant.host,
+                &query.resource_id,
+                &query.action,
+                grant.subject.as_deref(),
+                &query.requester,
+            );
+            let oracle = account.group_oracle();
+            let mut ctx = EvalContext::new(&access, now)
+                .with_groups(&oracle)
+                .with_claims(&claims)
+                .with_prior_uses(prior_uses);
+            if consent_granted {
+                ctx = ctx.with_consent();
+            }
+            let engine_decision = PolicyEngine::evaluate(account.policies(), &ctx);
+            (engine_decision, account.cache_ttl_ms(), slot.epoch)
+        };
+
+        // Phase C — central write: audit trail and use-count bookkeeping.
+        {
+            let mut state = self.state.write();
+            let mut entry = AuditEntry::new(
+                now,
+                &grant.owner,
+                AuditEvent::Decision {
+                    outcome: engine_decision.outcome.clone(),
+                },
+            )
+            .on_resource(resource)
+            .by_requester(&query.requester, grant.subject.as_deref())
+            .for_action(query.action.clone());
+            entry = entry.with_policies(contributing_policies(&engine_decision));
+            state.audit.record(entry);
+            if matches!(engine_decision.outcome, Outcome::Permit) {
+                *state.use_counts.entry(use_key).or_insert(0) += 1;
+            }
         }
-        let engine_decision = PolicyEngine::evaluate(account.policies(), &ctx);
-
-        let mut entry = AuditEntry::new(
-            now,
-            &grant.owner,
-            AuditEvent::Decision {
-                outcome: engine_decision.outcome.clone(),
-            },
-        )
-        .on_resource(resource)
-        .by_requester(&query.requester, grant.subject.as_deref())
-        .for_action(query.action.clone());
-        entry = entry.with_policies(contributing_policies(&engine_decision));
-        audit.record(entry);
 
         match engine_decision.outcome {
-            Outcome::Permit => {
-                *use_counts.entry(use_key).or_insert(0) += 1;
-                Ok(Decision::Permit {
-                    cacheable_ms: account.cache_ttl_ms(),
-                })
-            }
+            Outcome::Permit => Ok(Decision::Permit {
+                // A cached permit must not outlive the token it answers for.
+                cacheable_ms: cache_ttl_ms.min(grant.expires_at_ms.saturating_sub(now)),
+                policy_epoch,
+            }),
             other => Ok(Decision::Deny {
                 reason: other.to_string(),
             }),
@@ -707,7 +813,9 @@ impl AuthorizationManager {
     pub fn import_account(&self, snapshot: &str) -> Result<String, String> {
         let account: Account = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
         let user = account.user().to_owned();
-        self.state.write().accounts.insert(user.clone(), account);
+        let mut shard = self.shard_for(&user).write();
+        let epoch = shard.get(&user).map_or(1, |slot| slot.epoch + 1);
+        shard.insert(user.clone(), AccountSlot { account, epoch });
         Ok(user)
     }
 
@@ -771,21 +879,26 @@ impl AuthorizationManager {
     /// Returns the underlying [`crate::consent::ConsentError`] as a string.
     pub fn deny_consent(&self, id: &str) -> Result<(), String> {
         let now = self.clock.now_ms();
-        let mut state = self.state.write();
-        let owner = state
-            .consent
-            .get(id)
-            .map(|r| r.owner.clone())
-            .unwrap_or_default();
-        state.consent.deny(id).map_err(|e| e.to_string())?;
-        state.audit.record(AuditEntry::new(
-            now,
-            &owner,
-            AuditEvent::Consent {
-                consent_id: id.to_owned(),
-                what: "denied".into(),
-            },
-        ));
+        let owner = {
+            let mut state = self.state.write();
+            let owner = state
+                .consent
+                .get(id)
+                .map(|r| r.owner.clone())
+                .unwrap_or_default();
+            state.consent.deny(id).map_err(|e| e.to_string())?;
+            state.audit.record(AuditEntry::new(
+                now,
+                &owner,
+                AuditEvent::Consent {
+                    consent_id: id.to_owned(),
+                    what: "denied".into(),
+                },
+            ));
+            owner
+        };
+        // Withdrawing consent narrows access: invalidate cached permits.
+        self.bump_policy_epoch(&owner);
         Ok(())
     }
 
@@ -1101,8 +1214,11 @@ impl AuthorizationManager {
             _ => return Response::bad_request("host_token, token, resource, requester required"),
         };
         match self.decide(&query) {
-            Ok(Decision::Permit { cacheable_ms }) => Response::ok().with_body(format!(
-                "{{\"decision\":\"permit\",\"cacheable_ms\":{cacheable_ms}}}"
+            Ok(Decision::Permit {
+                cacheable_ms,
+                policy_epoch,
+            }) => Response::ok().with_body(format!(
+                "{{\"decision\":\"permit\",\"cacheable_ms\":{cacheable_ms},\"policy_epoch\":{policy_epoch}}}"
             )),
             Ok(Decision::Deny { reason }) => Response::ok().with_body(format!(
                 "{{\"decision\":\"deny\",\"reason\":{}}}",

@@ -20,11 +20,13 @@
 //! * a host-local access log (compared against the AM's central audit log
 //!   in experiment E13).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use ucam_crypto::sha256;
 use ucam_policy::{AccessRequest, AclMatrix, Action, EvalContext, Outcome, ResourceRef};
 use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url};
 
@@ -54,10 +56,150 @@ pub struct DelegationConfig {
     pub delegation_id: String,
 }
 
-/// One cached permit decision.
-#[derive(Debug, Clone)]
+/// Default bound on cached decisions held by one host.
+pub const DEFAULT_DECISION_CACHE_CAPACITY: usize = 1024;
+
+/// `(requester, resource id, action)` — what a cached decision answers for.
+type CacheKey = (String, String, Action);
+
+/// One cached permit decision (§V.B.6).
+///
+/// A cached entry may satisfy a later request only when *all* of these
+/// hold: the same requester presents the **same bearer token** (by
+/// digest), the entry's TTL has not elapsed, and the owner's policy
+/// epoch has not advanced since the AM stamped the decision.
+#[derive(Debug)]
 struct CachedDecision {
     expires_at_ms: u64,
+    /// SHA-256 of the bearer token that earned the permit. A permit is
+    /// bound to its token; a different (possibly garbage) bearer must
+    /// take the full decision-query path.
+    token_digest: [u8; 32],
+    /// Resource owner whose policies produced the decision.
+    owner: String,
+    /// The owner's policy epoch at decision time.
+    epoch: u64,
+    /// Second-chance bit: set on every hit, cleared once by the evictor
+    /// before the entry becomes an eviction victim.
+    referenced: AtomicBool,
+}
+
+/// The bounded decision cache. Eviction is second-chance (clock) over
+/// insertion order — deterministic for a deterministic request sequence,
+/// unlike anything keyed on map iteration order.
+struct DecisionCache {
+    enabled: bool,
+    capacity: usize,
+    entries: HashMap<CacheKey, CachedDecision>,
+    /// Keys in insertion order, driving the second-chance sweep.
+    order: VecDeque<CacheKey>,
+    /// Freshest policy epoch seen per owner (from decision responses or
+    /// pushed via [`HostCore::note_policy_epoch`]). Entries stamped with
+    /// an older epoch are dead.
+    owner_epochs: HashMap<String, u64>,
+}
+
+impl DecisionCache {
+    fn new() -> Self {
+        DecisionCache {
+            enabled: true,
+            capacity: DEFAULT_DECISION_CACHE_CAPACITY,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            owner_epochs: HashMap::new(),
+        }
+    }
+
+    /// Serves a hit iff enabled, unexpired, token-bound, and epoch-fresh.
+    fn lookup(&self, key: &CacheKey, token_digest: &[u8; 32], now: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let Some(entry) = self.entries.get(key) else {
+            return false;
+        };
+        if entry.expires_at_ms <= now || &entry.token_digest != token_digest {
+            return false;
+        }
+        if entry.epoch < self.owner_epochs.get(&entry.owner).copied().unwrap_or(0) {
+            return false;
+        }
+        entry.referenced.store(true, Ordering::Relaxed);
+        true
+    }
+
+    /// Inserts under the caller's write lock, re-checking `enabled` there
+    /// (no decide-then-insert race), sweeping dead entries, and evicting
+    /// down to capacity.
+    fn insert(&mut self, key: CacheKey, entry: CachedDecision, now: u64) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        self.sweep_dead(now);
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.capacity {
+                self.evict_one();
+            }
+            self.order.push_back(key.clone());
+        }
+        self.entries.insert(key, entry);
+    }
+
+    /// Drops expired and epoch-stale entries.
+    fn sweep_dead(&mut self, now: u64) {
+        let entries = &mut self.entries;
+        let owner_epochs = &self.owner_epochs;
+        self.order.retain(|key| {
+            let live = entries.get(key).is_some_and(|e| {
+                e.expires_at_ms > now && e.epoch >= owner_epochs.get(&e.owner).copied().unwrap_or(0)
+            });
+            if !live {
+                entries.remove(key);
+            }
+            live
+        });
+    }
+
+    /// Second-chance eviction: recently referenced entries get one more
+    /// round; the first unreferenced one goes.
+    fn evict_one(&mut self) {
+        while let Some(key) = self.order.pop_front() {
+            let Some(entry) = self.entries.get(&key) else {
+                continue;
+            };
+            if entry.referenced.swap(false, Ordering::Relaxed) {
+                self.order.push_back(key);
+            } else {
+                self.entries.remove(&key);
+                return;
+            }
+        }
+    }
+
+    /// Records a (possibly newer) policy epoch for `owner`, purging that
+    /// owner's now-stale entries.
+    fn note_epoch(&mut self, owner: &str, epoch: u64) {
+        let known = self.owner_epochs.entry(owner.to_owned()).or_insert(0);
+        if epoch <= *known {
+            return;
+        }
+        *known = epoch;
+        let entries = &mut self.entries;
+        self.order.retain(|key| {
+            let live = entries
+                .get(key)
+                .is_some_and(|e| e.owner != owner || e.epoch >= epoch);
+            if !live {
+                entries.remove(key);
+            }
+            live
+        });
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
 }
 
 /// A host-local access-log entry (the per-host view E13 contrasts with the
@@ -150,13 +292,36 @@ struct HostState {
     user_delegations: HashMap<String, DelegationConfig>,
     /// resource id -> delegation override (different AM per resource).
     resource_delegations: HashMap<String, DelegationConfig>,
-    /// (requester, resource, action) -> cached permit.
-    decision_cache: HashMap<(String, String, Action), CachedDecision>,
     /// resource id -> built-in ACL (legacy mechanism).
     legacy_acls: HashMap<String, AclMatrix>,
-    log: Vec<HostLogEntry>,
-    stats: PepStats,
-    cache_enabled: bool,
+}
+
+/// Lock-free PEP counters: the enforcement hot path bumps these without
+/// touching any lock the store or the cache is behind.
+#[derive(Default)]
+struct AtomicPepStats {
+    am_queries: AtomicU64,
+    cache_hits: AtomicU64,
+    redirects: AtomicU64,
+    legacy_checks: AtomicU64,
+}
+
+impl AtomicPepStats {
+    fn snapshot(&self) -> PepStats {
+        PepStats {
+            am_queries: self.am_queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            redirects: self.redirects.load(Ordering::Relaxed),
+            legacy_checks: self.legacy_checks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.am_queries.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.redirects.store(0, Ordering::Relaxed);
+        self.legacy_checks.store(0, Ordering::Relaxed);
+    }
 }
 
 /// The Host framework core. Concrete applications (WebPics, WebStorage,
@@ -175,7 +340,14 @@ struct HostState {
 pub struct HostCore {
     authority: String,
     clock: SimClock,
+    /// Resource store and delegation config.
     state: RwLock<HostState>,
+    /// The decision cache, behind its own lock so the hot path never
+    /// contends with resource CRUD.
+    cache: RwLock<DecisionCache>,
+    /// Host-local access log, separate from both of the above.
+    log: Mutex<Vec<HostLogEntry>>,
+    stats: AtomicPepStats,
 }
 
 impl fmt::Debug for HostCore {
@@ -192,14 +364,13 @@ impl HostCore {
     /// cache enabled.
     #[must_use]
     pub fn new(authority: &str, clock: SimClock) -> Self {
-        let state = HostState {
-            cache_enabled: true,
-            ..HostState::default()
-        };
         HostCore {
             authority: authority.to_owned(),
             clock,
-            state: RwLock::new(state),
+            state: RwLock::new(HostState::default()),
+            cache: RwLock::new(DecisionCache::new()),
+            log: Mutex::new(Vec::new()),
+            stats: AtomicPepStats::default(),
         }
     }
 
@@ -211,33 +382,58 @@ impl HostCore {
 
     /// Enables or disables the decision cache (E7 ablation knob).
     pub fn set_cache_enabled(&self, enabled: bool) {
-        let mut state = self.state.write();
-        state.cache_enabled = enabled;
+        let mut cache = self.cache.write();
+        cache.enabled = enabled;
         if !enabled {
-            state.decision_cache.clear();
+            cache.clear();
         }
+    }
+
+    /// Bounds the number of cached decisions (default
+    /// [`DEFAULT_DECISION_CACHE_CAPACITY`]); 0 disables caching outright.
+    pub fn set_decision_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.cache.write();
+        cache.capacity = capacity;
+        let now = self.clock.now_ms();
+        cache.sweep_dead(now);
+        while cache.entries.len() > cache.capacity {
+            cache.evict_one();
+        }
+    }
+
+    /// Number of currently cached decisions (test/observability hook).
+    #[must_use]
+    pub fn decision_cache_len(&self) -> usize {
+        self.cache.read().entries.len()
     }
 
     /// Drops all cached decisions (e.g. after the user edited policies).
     pub fn flush_decision_cache(&self) {
-        self.state.write().decision_cache.clear();
+        self.cache.write().clear();
+    }
+
+    /// Records that `owner`'s policies are now at `epoch` (pushed by the
+    /// AM or relayed by the environment). Cached decisions stamped with
+    /// an older epoch are dropped and will never be served again.
+    pub fn note_policy_epoch(&self, owner: &str, epoch: u64) {
+        self.cache.write().note_epoch(owner, epoch);
     }
 
     /// Returns the PEP counters.
     #[must_use]
     pub fn stats(&self) -> PepStats {
-        self.state.read().stats
+        self.stats.snapshot()
     }
 
     /// Zeroes the PEP counters.
     pub fn reset_stats(&self) {
-        self.state.write().stats = PepStats::default();
+        self.stats.reset();
     }
 
     /// Returns a snapshot of the host-local access log.
     #[must_use]
     pub fn log(&self) -> Vec<HostLogEntry> {
-        self.state.read().log.clone()
+        self.log.lock().clone()
     }
 
     // -- resource store ------------------------------------------------------
@@ -455,7 +651,7 @@ impl HostCore {
                 false,
                 DecisionPath::RedirectedToAm,
             );
-            self.bump(|s| s.redirects += 1);
+            self.stats.redirects.fetch_add(1, Ordering::Relaxed);
             let authorize = Url::new(&delegation.am, "/authorize")
                 .with_query("host", &self.authority)
                 .with_query("owner", &resource.owner)
@@ -469,31 +665,26 @@ impl HostCore {
             );
         };
 
-        // §V.B.6: consult the cached decision first.
+        // §V.B.6: consult the cached decision first. The hit is only
+        // valid for the same bearer token (by digest), within its TTL,
+        // and while the owner's policy epoch is unchanged.
         let cache_key = (requester.to_owned(), resource_id.to_owned(), action.clone());
-        {
-            let state = self.state.read();
-            if state.cache_enabled {
-                if let Some(cached) = state.decision_cache.get(&cache_key) {
-                    if cached.expires_at_ms > now {
-                        drop(state);
-                        self.bump(|s| s.cache_hits += 1);
-                        self.record(
-                            now,
-                            requester,
-                            resource_id,
-                            action,
-                            true,
-                            DecisionPath::Cache,
-                        );
-                        return Enforcement::Grant;
-                    }
-                }
-            }
+        let token_digest = sha256(token.as_bytes());
+        if self.cache.read().lookup(&cache_key, &token_digest, now) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.record(
+                now,
+                requester,
+                resource_id,
+                action,
+                true,
+                DecisionPath::Cache,
+            );
+            return Enforcement::Grant;
         }
 
         // Fig. 6: decision query to the AM.
-        self.bump(|s| s.am_queries += 1);
+        self.stats.am_queries.fetch_add(1, Ordering::Relaxed);
         let query = Request::new(Method::Post, &format!("https://{}/decision", delegation.am))
             .with_param("host_token", &delegation.host_token)
             .with_param("token", token)
@@ -503,39 +694,70 @@ impl HostCore {
         let resp = net.dispatch(&self.authority, query);
 
         match resp.status {
-            Status::Ok if resp.body.contains("\"permit\"") => {
-                let cacheable_ms = parse_cacheable_ms(&resp.body);
-                if cacheable_ms > 0 && self.state.read().cache_enabled {
-                    self.state.write().decision_cache.insert(
-                        cache_key,
-                        CachedDecision {
-                            expires_at_ms: now + cacheable_ms,
-                        },
+            Status::Ok => match serde_json::from_str::<DecisionBody>(&resp.body) {
+                Ok(body) if body.decision == "permit" => {
+                    let cacheable_ms = body.cacheable_ms.unwrap_or(0);
+                    if cacheable_ms > 0 {
+                        // One write lock for the whole insert: the enabled
+                        // flag is re-checked inside, so a concurrent
+                        // `set_cache_enabled(false)` cannot be overtaken.
+                        let mut cache = self.cache.write();
+                        let epoch = body.policy_epoch.unwrap_or(0);
+                        if let Some(epoch) = body.policy_epoch {
+                            cache.note_epoch(&resource.owner, epoch);
+                        }
+                        cache.insert(
+                            cache_key,
+                            CachedDecision {
+                                expires_at_ms: now + cacheable_ms,
+                                token_digest,
+                                owner: resource.owner.clone(),
+                                epoch,
+                                referenced: AtomicBool::new(false),
+                            },
+                            now,
+                        );
+                    }
+                    self.record(
+                        now,
+                        requester,
+                        resource_id,
+                        action,
+                        true,
+                        DecisionPath::AmQuery,
                     );
+                    Enforcement::Grant
                 }
-                self.record(
-                    now,
-                    requester,
-                    resource_id,
-                    action,
-                    true,
-                    DecisionPath::AmQuery,
-                );
-                Enforcement::Grant
-            }
-            Status::Ok => {
-                self.record(
-                    now,
-                    requester,
-                    resource_id,
-                    action,
-                    false,
-                    DecisionPath::AmQuery,
-                );
-                Enforcement::Block(Response::forbidden(
-                    "access denied by authorization manager",
-                ))
-            }
+                Ok(_) => {
+                    self.record(
+                        now,
+                        requester,
+                        resource_id,
+                        action,
+                        false,
+                        DecisionPath::AmQuery,
+                    );
+                    Enforcement::Block(Response::forbidden(
+                        "access denied by authorization manager",
+                    ))
+                }
+                Err(_) => {
+                    // A 200 with an unparsable body is a protocol error,
+                    // not a permit. Fail closed.
+                    self.record(
+                        now,
+                        requester,
+                        resource_id,
+                        action,
+                        false,
+                        DecisionPath::Refused,
+                    );
+                    Enforcement::Block(
+                        Response::with_status(Status::Unavailable)
+                            .with_body("malformed decision response; access denied"),
+                    )
+                }
+            },
             Status::Unauthorized => {
                 // Bad/expired token: requester must obtain a fresh one.
                 self.record(
@@ -577,7 +799,7 @@ impl HostCore {
         action: &Action,
         now: u64,
     ) -> Enforcement {
-        self.bump(|s| s.legacy_checks += 1);
+        self.stats.legacy_checks.fetch_add(1, Ordering::Relaxed);
         let acl = self.legacy_acl(&resource.id).unwrap_or_default();
         let mut access =
             AccessRequest::new(&self.authority, &resource.id, action.clone()).via_app(requester);
@@ -610,7 +832,7 @@ impl HostCore {
         granted: bool,
         via: DecisionPath,
     ) {
-        self.state.write().log.push(HostLogEntry {
+        self.log.lock().push(HostLogEntry {
             at_ms,
             requester: requester.to_owned(),
             resource_id: resource_id.to_owned(),
@@ -620,10 +842,6 @@ impl HostCore {
         });
     }
 
-    fn bump(&self, f: impl FnOnce(&mut PepStats)) {
-        f(&mut self.state.write().stats);
-    }
-
     /// Builds the global reference for a resource on this host.
     #[must_use]
     pub fn resource_ref(&self, resource_id: &str) -> ResourceRef {
@@ -631,27 +849,219 @@ impl HostCore {
     }
 }
 
-/// Extracts `cacheable_ms` from a decision response body.
+/// The AM's `/decision` response body, parsed as JSON rather than by
+/// substring search: a deny whose reason happens to *contain* the text
+/// `"permit"` must stay a deny.
+#[derive(Debug, serde::Deserialize)]
+struct DecisionBody {
+    decision: String,
+    cacheable_ms: Option<u64>,
+    policy_epoch: Option<u64>,
+    #[allow(dead_code)]
+    reason: Option<String>,
+}
+
+/// Extracts `cacheable_ms` from a decision response body; 0 unless the
+/// body is a well-formed permit carrying one. The enforcement path
+/// parses [`DecisionBody`] directly; this wrapper keeps the historical
+/// parsing contract pinned down by tests.
+#[cfg(test)]
 fn parse_cacheable_ms(body: &str) -> u64 {
-    body.split("\"cacheable_ms\":")
-        .nth(1)
-        .and_then(|rest| {
-            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-            digits.parse().ok()
-        })
+    serde_json::from_str::<DecisionBody>(body)
+        .ok()
+        .filter(|d| d.decision == "permit")
+        .and_then(|d| d.cacheable_ms)
         .unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use ucam_policy::Subject;
+    use ucam_webenv::WebApp;
 
     fn host() -> HostCore {
         let host = HostCore::new("h.example", SimClock::new());
         host.put_resource("r1", "bob", "file", b"data".to_vec())
             .unwrap();
         host
+    }
+
+    /// A scripted AM: answers `/decision` with the canned body registered
+    /// for the presented authorization token, 401 for anything else.
+    struct FakeAm {
+        grants: Mutex<HashMap<String, String>>,
+    }
+
+    impl FakeAm {
+        fn new() -> Arc<Self> {
+            Arc::new(FakeAm {
+                grants: Mutex::new(HashMap::new()),
+            })
+        }
+
+        fn grant(&self, token: &str, body: &str) {
+            self.grants.lock().insert(token.to_owned(), body.to_owned());
+        }
+
+        fn revoke(&self, token: &str) {
+            self.grants.lock().remove(token);
+        }
+    }
+
+    impl WebApp for FakeAm {
+        fn authority(&self) -> &str {
+            "am.example"
+        }
+
+        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            let token = req.param("token").unwrap_or("");
+            match self.grants.lock().get(token) {
+                Some(body) => Response::ok().with_body(body.clone()),
+                None => Response::with_status(Status::Unauthorized).with_body("bad token"),
+            }
+        }
+    }
+
+    fn permit_body(cacheable_ms: u64, epoch: u64) -> String {
+        format!(
+            "{{\"decision\":\"permit\",\"cacheable_ms\":{cacheable_ms},\"policy_epoch\":{epoch}}}"
+        )
+    }
+
+    /// A host on `net` with `r1` owned by bob, delegated to the fake AM.
+    fn delegated_host(net: &SimNet) -> HostCore {
+        let h = HostCore::new("h.example", net.clock().clone());
+        h.put_resource("r1", "bob", "file", b"data".to_vec())
+            .unwrap();
+        h.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token: "ht".into(),
+                delegation_id: "d-1".into(),
+            },
+        );
+        h
+    }
+
+    #[test]
+    fn cached_permit_is_bound_to_bearer_token() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+
+        // Fresh query populates the cache; the repeat is served from it.
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().am_queries, 1);
+        assert_eq!(h.stats().cache_hits, 1);
+
+        // A different (garbage) bearer must not ride the warm cache: it
+        // goes to the AM, which rejects it.
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("junk"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unauthorized),
+            Enforcement::Grant => panic!("garbage bearer must not be served from the cache"),
+        }
+        assert_eq!(h.stats().am_queries, 2);
+        assert_eq!(h.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn deny_body_containing_permit_text_stays_denied() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        // Adversarial body: a deny whose reason contains the magic string.
+        am.grant(
+            "tricky",
+            "{\"decision\":\"deny\",\"reason\":\"say \\\"permit\\\" and \\\"cacheable_ms\\\":60000\"}",
+        );
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("tricky"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Forbidden),
+            Enforcement::Grant => panic!("deny body must not be mistaken for a permit"),
+        }
+        assert_eq!(h.decision_cache_len(), 0);
+    }
+
+    #[test]
+    fn malformed_decision_body_fails_closed() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("odd", "certainly! \"permit\" granted");
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("odd"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unavailable),
+            Enforcement::Grant => panic!("malformed body must fail closed"),
+        }
+    }
+
+    #[test]
+    fn cache_stays_bounded_and_sweeps_expired_entries() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_decision_cache_capacity(4);
+        for i in 0..10 {
+            let id = format!("x{i}");
+            h.put_resource(&id, "bob", "file", vec![]).unwrap();
+            let url = Url::new("h.example", &format!("/{id}"));
+            assert!(h
+                .enforce(&net, "req", None, &id, &Action::Read, Some("good"), &url)
+                .is_grant());
+            assert!(h.decision_cache_len() <= 4, "cache exceeded its bound");
+        }
+        assert_eq!(h.decision_cache_len(), 4);
+
+        // Everything expires; the next insert sweeps the corpses out.
+        net.clock().advance_ms(120_000);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.decision_cache_len(), 1);
+    }
+
+    #[test]
+    fn policy_epoch_advance_invalidates_cached_permit() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 5));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().cache_hits, 1);
+
+        // Bob edits his policies: the AM now denies, and the epoch push
+        // reaches the host. The cached permit must die with the epoch.
+        am.revoke("good");
+        h.note_policy_epoch("bob", 6);
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url) {
+            Enforcement::Block(_) => {}
+            Enforcement::Grant => panic!("stale permit served after epoch advance"),
+        }
+        assert_eq!(h.stats().cache_hits, 1);
+        assert_eq!(h.stats().am_queries, 2);
     }
 
     #[test]
@@ -816,12 +1226,36 @@ mod tests {
             0
         );
         assert_eq!(parse_cacheable_ms("{\"decision\":\"deny\"}"), 0);
+        // Adversarial: a deny advertising a TTL must not yield one, and
+        // non-JSON bodies parse to 0.
+        assert_eq!(
+            parse_cacheable_ms("{\"decision\":\"deny\",\"cacheable_ms\":60000}"),
+            0
+        );
+        assert_eq!(parse_cacheable_ms("\"cacheable_ms\":5"), 0);
+        assert_eq!(parse_cacheable_ms("not json at all"), 0);
     }
 
     #[test]
     fn cache_toggle_clears() {
-        let h = host();
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.decision_cache_len(), 1);
         h.set_cache_enabled(false);
+        assert_eq!(h.decision_cache_len(), 0);
+        // Disabled: repeat accesses query the AM every time, nothing is
+        // inserted.
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.decision_cache_len(), 0);
         assert_eq!(h.stats().cache_hits, 0);
         h.set_cache_enabled(true);
         h.flush_decision_cache();

@@ -94,40 +94,12 @@ pub struct PolicySet {
     policies: BTreeMap<PolicyId, Policy>,
     /// realm name -> general policy.
     general: BTreeMap<String, PolicyId>,
-    /// resource -> specific policy.
-    #[serde(with = "map_as_pairs")]
+    /// resource -> specific policy (maps with structured keys serialize
+    /// as sequences of `[key, value]` pairs — JSON objects only allow
+    /// string keys).
     specific: BTreeMap<ResourceRef, PolicyId>,
     /// resource -> realm membership.
-    #[serde(with = "map_as_pairs")]
     realm_of: BTreeMap<ResourceRef, String>,
-}
-
-/// Serializes maps with structured keys as sequences of `[key, value]`
-/// pairs — JSON objects only allow string keys.
-mod map_as_pairs {
-    use std::collections::BTreeMap;
-
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
-
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
-    where
-        K: Serialize,
-        V: Serialize,
-        S: Serializer,
-    {
-        serializer.collect_seq(map.iter())
-    }
-
-    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
-    where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
-    {
-        let pairs = Vec::<(K, V)>::deserialize(deserializer)?;
-        Ok(pairs.into_iter().collect())
-    }
 }
 
 impl PolicySet {

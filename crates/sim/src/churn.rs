@@ -7,9 +7,17 @@
 //! matches an independently maintained ground-truth model — any deviation
 //! is an authorization soundness violation.
 //!
-//! Decision caches are disabled during churn so every access is a fresh
-//! AM evaluation; cache-consistency under TTLs is exercised separately
-//! (E7 and `tests/protocol_flow.rs`).
+//! Decision caches are **enabled** during churn: the Host serves repeat
+//! accesses from its bounded decision cache, and every policy-changing
+//! event (group edit, delegation revocation) advances the owner's policy
+//! epoch at the AM and pushes it to the Host, which drops the owner's
+//! cached permits. Soundness argument: a cached permit is only served
+//! for the same requester/resource/action/bearer-token within its TTL
+//! *and* while the owner's epoch is unchanged since the AM stamped the
+//! decision — so a cache hit reproduces a decision the AM made under
+//! policy state identical (for that owner) to the current ground truth.
+//! Runs stay deterministic per seed: eviction is insertion-ordered
+//! second-chance, never keyed on map iteration order.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -68,6 +76,8 @@ pub struct ChurnReport {
     pub violations: u64,
     /// Round trips on the wire over the whole run.
     pub round_trips: u64,
+    /// Accesses served from the Host's decision cache.
+    pub cache_hits: u64,
 }
 
 /// Runs the churn simulation. See the [module docs](self).
@@ -87,7 +97,6 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
     am.set_identity_verifier(idp.verifier());
     let host = WebStorage::new("storage.example", clock);
     host.shell().set_identity_verifier(idp.verifier());
-    host.shell().core.set_cache_enabled(false);
     net.register(idp.clone());
     net.register(am.clone());
     net.register(host.clone());
@@ -170,6 +179,15 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
     }
     let mut report = ChurnReport::default();
 
+    // Epoch push channel: after any policy-changing event the AM's fresh
+    // epoch for the owner reaches the Host, killing stale cached permits
+    // (this replaces the old blanket `flush_decision_cache()`).
+    let push_epoch = |owner: &str| {
+        host.shell()
+            .core
+            .note_policy_epoch(owner, am.policy_epoch(owner));
+    };
+
     for _ in 0..config.steps {
         match rng.gen_range(0..12) {
             // 0-2: owner grants a random reader.
@@ -178,6 +196,7 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
                 let reader = &readers[rng.gen_range(0..readers.len())];
                 am.pap(owner, |account| account.add_group_member("readers", reader))
                     .unwrap();
+                push_epoch(owner);
                 truth
                     .entry(owner.clone())
                     .or_default()
@@ -192,6 +211,7 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
                     account.remove_group_member("readers", reader);
                 })
                 .unwrap();
+                push_epoch(owner);
                 truth.entry(owner.clone()).or_default().remove(reader);
                 report.revocations += 1;
             }
@@ -201,7 +221,7 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
                 if !revoked_delegation.contains(&owner) {
                     let id = delegation_ids.get(&owner).expect("known").clone();
                     assert!(am.revoke_delegation(&owner, &id));
-                    host.shell().core.flush_decision_cache();
+                    push_epoch(&owner);
                     revoked_delegation.insert(owner);
                 }
             }
@@ -251,6 +271,7 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
         }
     }
     report.round_trips = net.stats().round_trips;
+    report.cache_hits = host.shell().core.stats().cache_hits;
     report
 }
 
@@ -268,6 +289,10 @@ mod tests {
             "some shares must have landed: {report:?}"
         );
         assert!(report.denied > 0, "some denials must occur: {report:?}");
+        assert!(
+            report.cache_hits > 0,
+            "the decision cache must carry some of the load: {report:?}"
+        );
     }
 
     #[test]

@@ -432,8 +432,13 @@ mod tests {
         assert_eq!(none.subsequent_round_trips, 4);
         // Token reuse alone skips redirect+authorize but still queries AM.
         assert_eq!(token.subsequent_round_trips, 2);
-        // Decision cache alone still re-obtains a token.
-        assert_eq!(cache.subsequent_round_trips, 3);
+        // Decision cache alone cannot help a token-less requester: cached
+        // permits are bound to the bearer token that earned them, and the
+        // freshly re-obtained token has never been validated by the AM,
+        // so the Host must issue a decision query for it. (Serving the
+        // cached permit to an unseen token was the pre-hardening cache-
+        // bypass bug.)
+        assert_eq!(cache.subsequent_round_trips, 4);
         // Both (the paper's design): a single round trip.
         assert_eq!(both.subsequent_round_trips, 1);
         // And the modelled latency orders the same way.

@@ -424,14 +424,20 @@ mod tests {
         net.set_loss_every(3, 0);
         let statuses: Vec<u16> = (0..6)
             .map(|_| {
-                net.dispatch("tester", Request::new(Method::Get, "https://echo.example/p"))
-                    .status
-                    .code()
+                net.dispatch(
+                    "tester",
+                    Request::new(Method::Get, "https://echo.example/p"),
+                )
+                .status
+                .code()
             })
             .collect();
         assert_eq!(statuses, vec![503, 200, 200, 503, 200, 200]);
         net.set_loss_every(0, 0);
-        let resp = net.dispatch("tester", Request::new(Method::Get, "https://echo.example/p"));
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
         assert_eq!(resp.status, Status::Ok);
     }
 

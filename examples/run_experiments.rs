@@ -24,7 +24,10 @@ fn main() {
         figures::e5_token(),
         figures::e6_access(),
     ] {
-        println!("\n--- {} ({} round trips) ---", figure.name, figure.round_trips);
+        println!(
+            "\n--- {} ({} round trips) ---",
+            figure.name, figure.round_trips
+        );
         print!("{}", figure.trace);
     }
 

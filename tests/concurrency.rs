@@ -3,7 +3,8 @@
 //! authorization outcome must stay correct under contention, and the
 //! counters must not lose updates.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
 
 use ucam::am::AuthorizationManager;
 use ucam::host::{DelegationConfig, WebStorage};
@@ -18,6 +19,9 @@ const ACCESSES_PER_THREAD: usize = 50;
 struct Rig {
     net: Arc<SimNet>,
     idp: Arc<IdentityProvider>,
+    am: Arc<AuthorizationManager>,
+    host: Arc<WebStorage>,
+    read_policy: PolicyId,
 }
 
 fn build_rig() -> Rig {
@@ -56,31 +60,39 @@ fn build_rig() -> Rig {
         assert!(resp.status.is_success());
     }
     // Everyone authenticated may read.
-    am.pap("bob", |account| {
-        let id = account.create_policy(
-            "open-read",
-            PolicyBody::Rules(
-                RulePolicy::new().with_rule(
-                    Rule::permit()
-                        .for_subject(Subject::Authenticated)
-                        .for_action(Action::Read),
+    let read_policy = am
+        .pap("bob", |account| {
+            let id = account.create_policy(
+                "open-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Authenticated)
+                            .for_action(Action::Read),
+                    ),
                 ),
-            ),
-        );
-        let realm = "shared";
-        for t in 0..THREADS {
-            account.assign_realm(
-                ResourceRef::new("storage.example", &format!("files/shared/f{t}.txt")),
-                realm,
             );
-        }
-        account.link_general(realm, &id).unwrap();
-    })
-    .unwrap();
+            let realm = "shared";
+            for t in 0..THREADS {
+                account.assign_realm(
+                    ResourceRef::new("storage.example", &format!("files/shared/f{t}.txt")),
+                    realm,
+                );
+            }
+            account.link_general(realm, &id).unwrap();
+            id
+        })
+        .unwrap();
     for t in 0..THREADS {
         idp.register_user(&format!("reader-{t}"), "pw");
     }
-    Rig { net, idp }
+    Rig {
+        net,
+        idp,
+        am,
+        host,
+        read_policy,
+    }
 }
 
 #[test]
@@ -156,4 +168,101 @@ fn concurrent_policy_edits_and_reads_do_not_deadlock() {
     for handle in handles {
         handle.join().expect("no panics or deadlocks");
     }
+}
+
+/// Hammers one Host from many threads while the owner's policy flips
+/// between "everyone may read" and "nobody may read". After each flip
+/// the AM's policy epoch for the owner advances and is pushed to the
+/// Host, so a permit cached during an allow phase must never be served
+/// once a deny phase starts — that would be a stale-cache grant. Rounds
+/// are barrier-synchronized so every access has an unambiguous expected
+/// outcome.
+#[test]
+fn epoch_churn_never_serves_stale_cached_permit() {
+    const ROUNDS: usize = 6;
+    const HAMMER: usize = 20;
+
+    let rig = build_rig();
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let expect_grant = Arc::new(AtomicBool::new(true));
+    let stale_grants = Arc::new(AtomicUsize::new(0));
+    let missed_grants = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let net = Arc::clone(&rig.net);
+        let barrier = Arc::clone(&barrier);
+        let expect_grant = Arc::clone(&expect_grant);
+        let stale_grants = Arc::clone(&stale_grants);
+        let missed_grants = Arc::clone(&missed_grants);
+        let assertion = rig.idp.login(&format!("reader-{t}"), "pw").unwrap().token;
+        handles.push(std::thread::spawn(move || {
+            let mut client = RequesterClient::new(&format!("requester:reader-{t}"));
+            client.set_subject_token(Some(assertion));
+            let spec = AccessSpec::read(Url::new(
+                "storage.example",
+                &format!("/files/shared/f{t}.txt"),
+            ));
+            for _ in 0..ROUNDS {
+                barrier.wait(); // owner has flipped the policy
+                let want = expect_grant.load(Ordering::SeqCst);
+                for _ in 0..HAMMER {
+                    let granted = client.access(&net, &spec).is_granted();
+                    if granted && !want {
+                        stale_grants.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if !granted && want {
+                        missed_grants.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                barrier.wait(); // phase over; owner may flip again
+            }
+        }));
+    }
+
+    for round in 0..ROUNDS {
+        let allow = round % 2 == 0;
+        if round > 0 {
+            // Flip the policy link; every `pap` call advances bob's epoch.
+            let policy = rig.read_policy.clone();
+            rig.am
+                .pap("bob", |account| {
+                    if allow {
+                        account.link_general("shared", &policy).unwrap();
+                    } else {
+                        account.unlink_general("shared");
+                    }
+                })
+                .unwrap();
+        }
+        // Push the fresh epoch to the Host, as the notification channel
+        // (§V.B.6) would: stale cached permits for bob die here.
+        rig.host
+            .shell()
+            .core
+            .note_policy_epoch("bob", rig.am.policy_epoch("bob"));
+        expect_grant.store(allow, Ordering::SeqCst);
+        barrier.wait(); // release the readers
+        barrier.wait(); // wait for the phase to drain
+    }
+    for handle in handles {
+        handle.join().expect("no panics or deadlocks");
+    }
+
+    assert_eq!(
+        stale_grants.load(Ordering::SeqCst),
+        0,
+        "a cached permit outlived a policy-epoch advance"
+    );
+    assert_eq!(
+        missed_grants.load(Ordering::SeqCst),
+        0,
+        "allowed accesses must all be granted"
+    );
+    // The cache must have actually carried load during allow phases,
+    // otherwise this test proves nothing about cached permits.
+    assert!(
+        rig.host.shell().core.stats().cache_hits > 0,
+        "expected warm decision-cache hits during allow phases"
+    );
 }

@@ -235,7 +235,7 @@ fn consent_denial_keeps_blocking() {
 fn lossy_network_never_grants_spuriously() {
     let mut world = shared_world();
     world.set_decision_caches(false); // force AM involvement per access
-    // Drop every 5th message.
+                                      // Drop every 5th message.
     world.net.set_loss_every(5, 2);
     let mut granted = 0;
     let mut failed = 0;

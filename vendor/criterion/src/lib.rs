@@ -1,0 +1,406 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness API surface this workspace uses —
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring wall-clock
+//! time with `std::time::Instant`.
+//!
+//! Two modes, selected by the command line:
+//!
+//! * **bench** (`--bench` present, i.e. under `cargo bench`): each
+//!   benchmark is warmed up, calibrated to a per-sample iteration count,
+//!   sampled `sample_size` times, and the min/median/max per-iteration
+//!   times are printed.
+//! * **smoke** (no `--bench`, i.e. run by `cargo test` as a harness=false
+//!   target): each routine runs a handful of iterations, just proving it
+//!   executes; timing output is suppressed. Keeps `cargo test` fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box for convenience.
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample in bench mode.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Hard cap on measured samples per benchmark, whatever `sample_size` says.
+const MAX_MEASURE_TIME: Duration = Duration::from_secs(3);
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// How work per iteration is reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stand-in runs
+/// one input per measured call regardless, so these only mirror the API.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.text
+    }
+}
+
+/// Drives the timing loop inside one benchmark closure.
+pub struct Bencher {
+    bench: bool,
+    sample_size: usize,
+    /// Collected per-iteration times (seconds), one per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if !self.bench {
+            for _ in 0..3 {
+                black_box(routine());
+            }
+            return;
+        }
+        // Calibrate: how many iterations reach the per-sample target?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            iters = (iters * 2).max(4);
+        }
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+            if budget.elapsed() > MAX_MEASURE_TIME {
+                break;
+            }
+        }
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.bench {
+            for _ in 0..3 {
+                black_box(routine(setup()));
+            }
+            return;
+        }
+        // One input per timed call: setup cost stays out of the clock.
+        let samples = self.sample_size.max(10);
+        let budget = Instant::now();
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+            if budget.elapsed() > MAX_MEASURE_TIME {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.bench {
+            for _ in 0..3 {
+                let mut input = setup();
+                black_box(routine(&mut input));
+            }
+            return;
+        }
+        let samples = self.sample_size.max(10);
+        let budget = Instant::now();
+        for _ in 0..samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed().as_secs_f64());
+            if budget.elapsed() > MAX_MEASURE_TIME {
+                break;
+            }
+        }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    bench: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            bench: bench_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Mirrors upstream's CLI hook; arguments were already consulted.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name.into_name(), self.sample_size, self.bench, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, name.into_name()),
+            self.criterion.sample_size,
+            self.criterion.bench,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, name.into_name()),
+            self.criterion.sample_size,
+            self.criterion.bench,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: String,
+    sample_size: usize,
+    bench: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        bench,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if !bench {
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            let rate = bytes as f64 / median;
+            line.push_str(&format!("  thrpt: {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / median;
+            line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(seconds: f64) -> String {
+    let nanos = seconds * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} \u{00B5}s", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routines() {
+        // Unit tests run without `--bench`, so this exercises smoke mode.
+        let mut criterion = Criterion::default().sample_size(10);
+        let mut runs = 0u32;
+        criterion.bench_function("t/one", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+
+        let mut group = criterion.benchmark_group("t/group");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function(BenchmarkId::new("sub", 1), |b| {
+            b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+        assert_eq!(fmt_time(1.5e-6), "1.50 \u{00B5}s");
+        assert_eq!(fmt_time(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_time(1.2), "1.20 s");
+    }
+}

@@ -1,0 +1,570 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Random-input testing without shrinking: each `proptest!` test runs a
+//! fixed number of cases (default 64, override with `PROPTEST_CASES`)
+//! drawn from a deterministic generator, so failures reproduce across
+//! runs. The strategy surface covers what this workspace uses:
+//!
+//! * integer ranges (`0u8..3`, `1u32..12`),
+//! * regex-like string patterns (`"[a-z]{1,8}"`, `".{0,200}"`,
+//!   `"[\\PC&&[^\\u{0}]]{1,24}"`),
+//! * tuples of strategies, [`collection::vec`], and [`any`] for `u8`/`u64`.
+//!
+//! Failures panic with the ordinary `assert!` message; there is no
+//! shrinking, so the failing case prints as-generated.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each property runs (env `PROPTEST_CASES` overrides).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test RNG (env `PROPTEST_SEED` overrides).
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic() -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x0C0A_u64 ^ 0x9E37_79B9);
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.rng.next_u64()
+    }
+
+    fn usize_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        if lo + 1 >= hi_exclusive {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi_exclusive)
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as u128).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `any::<T>()` — the full domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for [`vec`]; converts from `usize` ranges.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 0..5)` — a vector of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// -- regex-like string strategies --------------------------------------------
+
+/// A string literal is a pattern strategy, like upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = pattern::parse(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.usize_in(atom.min, atom.max + 1);
+            for _ in 0..n {
+                out.push(atom.class.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+mod pattern {
+    //! Generator-only parser for the regex subset used as strategies:
+    //! atoms are `.`?, literal chars, or `[...]` classes (ranges, escapes,
+    //! negation, `&&` intersection, `\PC`, `\u{..}`), each followed by an
+    //! optional `{n}` / `{m,n}` quantifier.
+
+    use super::TestRng;
+
+    /// Printable sample pool for `.` and `\PC`: ASCII printable plus a
+    //  spread of non-ASCII letters/symbols, all outside Unicode category C.
+    const PRINTABLE_RANGES: &[(u32, u32)] = &[
+        (0x20, 0x7E),       // ASCII printable
+        (0xA1, 0xAC),       // Latin-1 punctuation (skips SOFT HYPHEN, a Cf)
+        (0xC0, 0xFF),       // Latin-1 letters
+        (0x3B1, 0x3C9),     // Greek lowercase
+        (0x4E00, 0x4E1F),   // CJK ideographs (first block slice)
+        (0x1F600, 0x1F64F), // emoji
+    ];
+
+    pub struct Atom {
+        pub class: Class,
+        pub min: usize,
+        pub max: usize,
+    }
+
+    pub struct Class {
+        include: Vec<(u32, u32)>,
+        exclude: Vec<(u32, u32)>,
+    }
+
+    impl Class {
+        fn single(c: char) -> Class {
+            Class {
+                include: vec![(c as u32, c as u32)],
+                exclude: Vec::new(),
+            }
+        }
+
+        fn printable() -> Class {
+            Class {
+                include: PRINTABLE_RANGES.to_vec(),
+                exclude: Vec::new(),
+            }
+        }
+
+        fn excluded(&self, c: u32) -> bool {
+            self.exclude.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+        }
+
+        pub fn pick(&self, rng: &mut TestRng) -> char {
+            assert!(!self.include.is_empty(), "empty character class");
+            for _ in 0..64 {
+                let (lo, hi) = self.include[rng.usize_in(0, self.include.len())];
+                let code = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                if self.excluded(code) {
+                    continue;
+                }
+                if let Some(c) = char::from_u32(code) {
+                    return c;
+                }
+            }
+            panic!("character class rejected every sample");
+        }
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut pos = 0;
+        while pos < chars.len() {
+            let class = match chars[pos] {
+                '.' => {
+                    pos += 1;
+                    Class::printable()
+                }
+                '[' => parse_class(&chars, &mut pos),
+                '\\' => {
+                    pos += 1;
+                    let (class, consumed) = parse_escape(&chars[pos..]);
+                    pos += consumed;
+                    class
+                }
+                c => {
+                    pos += 1;
+                    Class::single(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut pos);
+            atoms.push(Atom { class, min, max });
+        }
+        atoms
+    }
+
+    /// Parses `[...]` starting at `pos` (on the `[`), leaving `pos` after
+    /// the closing `]`. Supports `&&` intersection with a negated class.
+    fn parse_class(chars: &[char], pos: &mut usize) -> Class {
+        debug_assert_eq!(chars[*pos], '[');
+        *pos += 1; // consume '['
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut include = Vec::new();
+        let mut exclude = Vec::new();
+        let mut printable_base = false;
+        while *pos < chars.len() && chars[*pos] != ']' {
+            // `&&[^...]` — intersection with another (negated) class.
+            if chars[*pos] == '&' && chars.get(*pos + 1) == Some(&'&') {
+                *pos += 2;
+                let inner = parse_class(chars, pos);
+                // Intersecting with `[^X]` means excluding X.
+                exclude.extend(inner.exclude);
+                continue;
+            }
+            let start = read_class_char(chars, pos);
+            let (lo, hi) = if chars.get(*pos) == Some(&'-')
+                && chars.get(*pos + 1).is_some_and(|&c| c != ']')
+            {
+                *pos += 1; // consume '-'
+                let end = read_class_char(chars, pos);
+                (start, end)
+            } else {
+                (start, start)
+            };
+            match (lo, hi) {
+                (PRINTABLE_MARK, PRINTABLE_MARK) => printable_base = true,
+                (lo, hi) => include.push((lo, hi)),
+            }
+        }
+        *pos += 1; // consume ']'
+        if printable_base {
+            include.extend_from_slice(PRINTABLE_RANGES);
+        }
+        if negated {
+            // Only used via `&&[^...]`; carry contents as exclusions.
+            Class {
+                include: Vec::new(),
+                exclude: include,
+            }
+        } else {
+            Class { include, exclude }
+        }
+    }
+
+    /// Sentinel returned by `read_class_char` for `\PC`-style classes that
+    /// expand to the printable pool rather than a single code point.
+    const PRINTABLE_MARK: u32 = u32::MAX;
+
+    fn read_class_char(chars: &[char], pos: &mut usize) -> u32 {
+        let c = chars[*pos];
+        if c != '\\' {
+            *pos += 1;
+            return c as u32;
+        }
+        *pos += 1; // consume '\\'
+        let (class, consumed) = parse_escape(&chars[*pos..]);
+        *pos += consumed;
+        if class.include.as_slice() == PRINTABLE_RANGES {
+            PRINTABLE_MARK
+        } else {
+            class.include[0].0
+        }
+    }
+
+    /// Parses the escape after a `\` (slice starts just past the `\`).
+    /// Returns the class and how many chars were consumed.
+    fn parse_escape(rest: &[char]) -> (Class, usize) {
+        match rest.first() {
+            Some('P') | Some('p') => {
+                // `\PC` / `\p{...}` — treat any unicode-property class as
+                // "printable sample pool"; the only in-tree use is \PC
+                // (not category C), which the pool satisfies.
+                let consumed = if rest.get(1) == Some(&'{') {
+                    let close = rest
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated \\p{...}");
+                    close + 1
+                } else {
+                    2
+                };
+                (Class::printable(), consumed)
+            }
+            Some('u') if rest.get(1) == Some(&'{') => {
+                let close = rest
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated \\u{...}");
+                let hex: String = rest[2..close].iter().collect();
+                let code = u32::from_str_radix(&hex, 16).expect("bad \\u{} hex");
+                let c = char::from_u32(code).unwrap_or('\u{FFFD}');
+                (Class::single(c), close + 1)
+            }
+            Some('n') => (Class::single('\n'), 1),
+            Some('r') => (Class::single('\r'), 1),
+            Some('t') => (Class::single('\t'), 1),
+            Some(&c) => (Class::single(c), 1),
+            None => panic!("dangling backslash in pattern"),
+        }
+    }
+
+    /// Parses an optional `{n}` / `{m,n}` quantifier; defaults to `{1}`.
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+        if chars.get(*pos) != Some(&'{') {
+            return (1, 1);
+        }
+        let close = chars[*pos..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated quantifier");
+        let body: String = chars[*pos + 1..*pos + close].iter().collect();
+        *pos += close + 1;
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad quantifier"),
+                hi.trim().parse().expect("bad quantifier"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad quantifier");
+                (n, n)
+            }
+        }
+    }
+}
+
+/// The usual import surface.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+    };
+}
+
+// -- macros ------------------------------------------------------------------
+
+/// Runs each contained `fn name(arg in strategy, ...) { body }` as a test
+/// over [`cases`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __proptest_rng = $crate::TestRng::deterministic();
+            for __proptest_case in 0..$crate::cases() {
+                let _ = __proptest_case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+); };
+}
+
+/// Asserts two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+); };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn int_range_strategy_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::sample(&(0u8..3), &mut rng);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn string_pattern_char_class() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-c]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_printable_intersection() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[\\PC&&[^\\u{0}]]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c != '\0' && !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_lengths() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let s = Strategy::sample(&".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..50 {
+            let v = Strategy::sample(&super::collection::vec(any::<u8>(), 0..5), &mut rng);
+            assert!(v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(x in 0u32..100, s in "[a-z]{1,8}") {
+            prop_assume!(x != 99);
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

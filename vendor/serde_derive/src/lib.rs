@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-tree `serde` without depending on `syn` or `quote`: the
+//! input item is parsed directly from the `proc_macro::TokenStream` and
+//! the impl is emitted as source text.
+//!
+//! Supported shapes — everything this workspace derives:
+//!
+//! * structs with named fields (encoded as objects),
+//! * newtype and tuple structs (encoded transparently / as arrays),
+//! * unit structs (encoded as `null`),
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like upstream serde's default).
+//!
+//! Generics and `#[serde(...)]` field attributes are intentionally not
+//! supported; the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => obj_expr(names, "self.", ""),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(\"{vname}\".to_owned()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Obj(vec![(\
+                             \"{vname}\".to_owned(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\
+                                 \"{vname}\".to_owned(), \
+                                 ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let obj = obj_expr(names, "", "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Obj(vec![(\
+                                 \"{vname}\".to_owned(), {obj})]),",
+                                names.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize) emitted invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = __value; Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+                }
+                Fields::Tuple(n) => format!(
+                    "let __items = __value.as_arr().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                     if __items.len() != {n} {{ return Err(::serde::DeError::new(\
+                     \"wrong arity for {name}\")); }}\n\
+                     Ok({name}({}))",
+                    (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Fields::Named(names) => format!(
+                    "let __fields = __value.as_obj().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                     Ok({name} {{ {} }})",
+                    named_from_obj(names)
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!("filtered"),
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __payload.as_arr().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array payload\"))?;\n\
+                             if __items.len() != {n} {{ return Err(\
+                             ::serde::DeError::new(\"wrong arity for {vname}\")); }}\n\
+                             Ok({name}::{vname}({}))\n}}",
+                            (0..*n)
+                                .map(|i| format!(
+                                    "::serde::Deserialize::from_value(&__items[{i}])?"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        Fields::Named(names) => format!(
+                            "\"{vname}\" => {{\n\
+                             let __fields = __payload.as_obj().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object payload\"))?;\n\
+                             Ok({name}::{vname} {{ {} }})\n}}",
+                            named_from_obj(names)
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => Err(::serde::DeError::new(format!(\
+                                 \"unknown {name} variant {{__other}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     __other => Err(::serde::DeError::new(format!(\
+                                     \"unknown {name} variant {{__other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::new(\
+                             \"expected {name} enum value\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) emitted invalid Rust")
+}
+
+fn obj_expr(names: &[String], access_prefix: &str, access_suffix: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_owned(), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}{access_suffix}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(vec![{}])", fields.join(", "))
+}
+
+fn named_from_obj(names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::obj_get(__fields, \"{f}\"))\
+                 .map_err(|e| e.in_field(\"{f}\"))?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+// -- token-stream parsing ----------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected struct/enum keyword, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({name}): generic types are not supported by the vendored serde");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(pos) else {
+                panic!("derive({name}): expected enum body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("derive: cannot derive for item kind `{other}`"),
+    }
+}
+
+/// Advances past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` returning field names; types are skipped with
+/// angle-bracket awareness (`BTreeMap<K, V>` commas are not separators).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(id.to_string());
+        pos += 1;
+        // Expect ':' then skip the type up to a top-level ','.
+        debug_assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "derive: malformed field"
+        );
+        pos += 1;
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated elements of a tuple-struct/variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(id)) = tokens.get(pos) else {
+            break;
+        };
+        let name = id.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip to past the next top-level comma (also skips `= disc`).
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
