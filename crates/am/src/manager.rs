@@ -976,7 +976,7 @@ impl WebApp for AuthorizationManager {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &SimNet, req: &Request) -> Response {
         match req.url.path() {
             // Fig. 3: the User (browser) confirms the delegation; the AM
             // issues the host access token and redirects back to the Host.
@@ -987,7 +987,26 @@ impl WebApp for AuthorizationManager {
             "/authorize" => self.web_authorize(req),
             "/authorize/status" => self.web_authorize_status(req),
             // Fig. 6: a Host queries for a decision.
-            "/decision" => self.web_decision(req),
+            "/decision" => {
+                let resp = self.web_decision(req);
+                // Lazy label: while tracing is off (every hot loop) this
+                // is one atomic load and no formatting.
+                net.trace().note_with(&self.authority, || {
+                    let verdict = if resp.body.contains("\"decision\":\"permit\"") {
+                        "permit"
+                    } else if resp.body.contains("\"decision\":\"deny\"") {
+                        "deny"
+                    } else {
+                        "refused"
+                    };
+                    format!(
+                        "PDP decision for {} on {}: {verdict}",
+                        req.param("requester").unwrap_or("?"),
+                        req.param("resource").unwrap_or("?"),
+                    )
+                });
+                resp
+            }
             // §VI REST policy interface.
             "/policies/export" => self.web_export(req),
             "/policies/import" => self.web_import(req),

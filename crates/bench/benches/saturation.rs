@@ -1,0 +1,49 @@
+//! Saturation: wall-clock throughput of the phase-3→6 flow under thread
+//! load (1/2/4/8 requester threads against one AM and two Hosts).
+//!
+//! Unlike the other bench targets, which measure modelled protocol cost
+//! on one thread, this target measures the simulation fabric itself —
+//! `SimNet` dispatch, AM shards, Host decision cache — under contention.
+//! `cargo run --release --example bench_report` runs the same harness at
+//! full size and writes the measured rows to `BENCH_PR2.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ucam_sim::saturation::{run_saturation, SaturationConfig, SaturationMode};
+
+/// Accesses per thread per measured iteration — small enough that a
+/// Criterion sample finishes quickly, large enough to amortize rig setup.
+const ITERS_PER_THREAD: usize = 200;
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    for mode in [SaturationMode::Phase6Warm, SaturationMode::FullFlow] {
+        for threads in [1usize, 2, 4, 8] {
+            let config = SaturationConfig {
+                threads,
+                iters_per_thread: ITERS_PER_THREAD,
+                mode,
+            };
+            group.throughput(Throughput::Elements((threads * ITERS_PER_THREAD) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(mode.bench_name(), threads),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let row = run_saturation(config);
+                        assert!(row.reqs_per_sec > 0.0);
+                        row
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_saturation
+);
+criterion_main!(benches);

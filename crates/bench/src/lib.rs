@@ -16,6 +16,9 @@ use ucam_sim::world::World;
 #[must_use]
 pub fn shared_world() -> World {
     let mut world = World::bootstrap();
+    // Benches measure the fabric, not the recorder: trace-off puts every
+    // dispatch on the lock-free fast path (DESIGN.md §9).
+    world.net.trace().set_enabled(false);
     world.upload_content(1);
     world.delegate_all_hosts("bob");
     world.share_with_friends("bob", &["alice"]);

@@ -20,6 +20,7 @@
 //! * a host-local access log (compared against the AM's central audit log
 //!   in experiment E13).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +62,28 @@ pub const DEFAULT_DECISION_CACHE_CAPACITY: usize = 1024;
 
 /// `(requester, resource id, action)` — what a cached decision answers for.
 type CacheKey = (String, String, Action);
+
+thread_local! {
+    /// Last `(token, digest)` pair this thread hashed. Warm §V.B.6 loops
+    /// present the same bearer token on every access, so the memo turns a
+    /// per-access SHA-256 into a string compare. Pure-function cache: a
+    /// stale entry is impossible, only a missed one.
+    static TOKEN_DIGEST_MEMO: RefCell<(String, [u8; 32])> =
+        const { RefCell::new((String::new(), [0; 32])) };
+}
+
+/// SHA-256 of `token`, memoized per thread on the last-seen token.
+fn token_digest(token: &str) -> [u8; 32] {
+    TOKEN_DIGEST_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if memo.0 != token {
+            memo.0.clear();
+            memo.0.push_str(token);
+            memo.1 = sha256(token.as_bytes());
+        }
+        memo.1
+    })
+}
 
 /// One cached permit decision (§V.B.6).
 ///
@@ -488,6 +511,14 @@ impl HostCore {
         self.state.read().resources.get(id).cloned()
     }
 
+    /// Reads only a resource's content bytes — the serving path after a
+    /// grant, which has no use for the metadata [`HostCore::resource`]
+    /// would also clone.
+    #[must_use]
+    pub fn resource_data(&self, id: &str) -> Option<Vec<u8>> {
+        self.state.read().resources.get(id).map(|r| r.data.clone())
+    }
+
     /// Deletes a resource.
     ///
     /// # Errors
@@ -602,7 +633,8 @@ impl HostCore {
         return_url: &Url,
     ) -> Enforcement {
         let now = self.clock.now_ms();
-        let Some(resource) = self.resource(resource_id) else {
+        let state = self.state.read();
+        let Some(resource) = state.resources.get(resource_id) else {
             return Enforcement::Block(Response::not_found(resource_id));
         };
 
@@ -611,19 +643,57 @@ impl HostCore {
             return Enforcement::Grant;
         }
 
-        match self.delegation_for(resource_id, &resource.owner) {
-            Some(delegation) => self.enforce_delegated(
-                net,
-                &delegation,
-                &resource,
-                requester,
-                resource_id,
-                action,
-                bearer,
-                return_url,
-                now,
-            ),
-            None => self.enforce_legacy(subject, requester, &resource, action, now),
+        let delegation = state
+            .resource_delegations
+            .get(resource_id)
+            .or_else(|| state.user_delegations.get(&resource.owner));
+        match delegation {
+            Some(delegation) => {
+                // §V.B.6 warm path: a bearer whose decision is cached is
+                // granted while everything is still borrowed from the one
+                // state read — no resource/delegation clones, no dispatch.
+                if let Some(token) = bearer {
+                    let cache_key = (requester.to_owned(), resource_id.to_owned(), action.clone());
+                    let digest = token_digest(token);
+                    if self.cache.read().lookup(&cache_key, &digest, now) {
+                        drop(state);
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        net.trace().note_with(&self.authority, || {
+                            format!("decision cache hit: {requester} {action} {resource_id}")
+                        });
+                        self.record(
+                            now,
+                            requester,
+                            resource_id,
+                            action,
+                            true,
+                            DecisionPath::Cache,
+                        );
+                        return Enforcement::Grant;
+                    }
+                }
+                // Redirect or decision query: clone out what the slow path
+                // needs and release the state lock before dispatching.
+                let delegation = delegation.clone();
+                let resource = resource.clone();
+                drop(state);
+                self.enforce_delegated(
+                    net,
+                    &delegation,
+                    &resource,
+                    requester,
+                    resource_id,
+                    action,
+                    bearer,
+                    return_url,
+                    now,
+                )
+            }
+            None => {
+                let resource = resource.clone();
+                drop(state);
+                self.enforce_legacy(subject, requester, &resource, action, now)
+            }
         }
     }
 
@@ -669,9 +739,13 @@ impl HostCore {
         // valid for the same bearer token (by digest), within its TTL,
         // and while the owner's policy epoch is unchanged.
         let cache_key = (requester.to_owned(), resource_id.to_owned(), action.clone());
-        let token_digest = sha256(token.as_bytes());
+        let token_digest = token_digest(token);
         if self.cache.read().lookup(&cache_key, &token_digest, now) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            // Lazy label: free (one atomic load) while tracing is off.
+            net.trace().note_with(&self.authority, || {
+                format!("decision cache hit: {requester} {action} {resource_id}")
+            });
             self.record(
                 now,
                 requester,
@@ -717,6 +791,12 @@ impl HostCore {
                             },
                             now,
                         );
+                        net.trace().note_with(&self.authority, || {
+                            format!(
+                                "cached permit: {requester} {action} {resource_id} \
+                                 ({cacheable_ms} ms)"
+                            )
+                        });
                     }
                     self.record(
                         now,

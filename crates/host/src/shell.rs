@@ -235,16 +235,24 @@ impl AppShell {
         action: &Action,
     ) -> Result<Option<String>, Response> {
         let subject = self.subject_of(req);
-        let requester = Self::requester_of(req, subject.as_deref());
-        let return_url = req.url.clone();
+        // Borrow the requester label straight from the header on the warm
+        // application path; only browser sessions need an owned label.
+        let browser_label;
+        let requester = match req.header("x-requester") {
+            Some(r) => r,
+            None => {
+                browser_label = Self::requester_of(req, subject.as_deref());
+                browser_label.as_str()
+            }
+        };
         match self.core.enforce(
             net,
-            &requester,
+            requester,
             subject.as_deref(),
             resource_id,
             action,
             req.bearer_token(),
-            &return_url,
+            &req.url,
         ) {
             Enforcement::Grant => Ok(subject),
             Enforcement::Block(resp) => Err(resp),

@@ -105,10 +105,8 @@ impl WebStorage {
             return resp;
         }
         match action {
-            Action::Read => match self.shell.core.resource(&id) {
-                Some(resource) => {
-                    Response::ok().with_body(String::from_utf8_lossy(&resource.data).into_owned())
-                }
+            Action::Read => match self.shell.core.resource_data(&id) {
+                Some(data) => Response::ok().with_body(String::from_utf8_lossy(&data).into_owned()),
                 None => Response::not_found(&id),
             },
             Action::Write => match self

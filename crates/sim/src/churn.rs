@@ -90,6 +90,9 @@ pub fn run(config: &ChurnConfig) -> ChurnReport {
     assert!(config.owners > 0 && config.readers > 0, "need actors");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let net = SimNet::new();
+    // The soak dispatches tens of thousands of messages; run trace-off so
+    // it exercises the fabric's zero-cost path and stays memory-flat.
+    net.trace().set_enabled(false);
     let clock = net.clock().clone();
 
     let idp = Arc::new(IdentityProvider::new("idp.example", clock.clone()));

@@ -45,6 +45,9 @@ pub fn e7_subsequent_access(per_hop_latency_ms: u64) -> Vec<CachingRow> {
     let mut rows = Vec::new();
     for (config, token_reuse, decision_cache) in configs {
         let mut world = World::bootstrap();
+        // Cost experiments measure wire counts, not traces: run trace-off
+        // so the measured loop is the zero-cost fabric path.
+        world.net.trace().set_enabled(false);
         world
             .net
             .set_latency(LatencyModel::constant(per_hop_latency_ms));
@@ -219,6 +222,7 @@ pub fn e8_table(
 #[must_use]
 pub fn ucam_flow_costs() -> FlowCosts {
     let mut world = World::bootstrap();
+    world.net.trace().set_enabled(false);
     world.upload_content(1);
     world.delegate_all_hosts("bob");
     world.share_with_friends("bob", &["alice"]);
@@ -319,6 +323,7 @@ pub fn e15_orchestration() -> Vec<OrchestrationRow> {
     // Redirect flow (Fig. 5).
     {
         let mut world = World::bootstrap();
+        world.net.trace().set_enabled(false);
         world.upload_content(1);
         world.delegate_all_hosts("bob");
         world.share_with_friends("bob", &["alice"]);
@@ -342,6 +347,7 @@ pub fn e15_orchestration() -> Vec<OrchestrationRow> {
     // Discovery flow (§VII).
     {
         let mut world = World::bootstrap();
+        world.net.trace().set_enabled(false);
         world.upload_content(1);
         world.delegate_all_hosts("bob");
         world.share_with_friends("bob", &["alice"]);

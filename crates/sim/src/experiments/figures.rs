@@ -28,6 +28,9 @@ pub struct FigureTrace {
 #[must_use]
 pub fn e1_architecture() -> FigureTrace {
     let mut world = World::bootstrap();
+    // Figure generation is the consumer of the trace: turn recording on
+    // explicitly (cost experiments and soaks run trace-off).
+    world.net.trace().set_enabled(true);
     let trace = world.net.trace().clone();
 
     trace.note("user:bob", "(1) store a resource at a Host");
@@ -81,6 +84,9 @@ pub struct PhaseStat {
 #[must_use]
 pub fn e2_protocol_phases(per_hop_latency_ms: u64) -> (Vec<PhaseStat>, String) {
     let mut world = World::bootstrap();
+    // Figure generation is the consumer of the trace: turn recording on
+    // explicitly (cost experiments and soaks run trace-off).
+    world.net.trace().set_enabled(true);
     world
         .net
         .set_latency(ucam_webenv::LatencyModel::constant(per_hop_latency_ms));
@@ -166,6 +172,9 @@ pub fn e2_latency_sweep(per_hop_ms: &[u64]) -> Vec<LatencyRow> {
 #[must_use]
 pub fn e3_trust() -> FigureTrace {
     let mut world = World::bootstrap();
+    // Figure generation is the consumer of the trace: turn recording on
+    // explicitly (cost experiments and soaks run trace-off).
+    world.net.trace().set_enabled(true);
     world.net.trace().clear();
     world.net.reset_stats();
     world.delegate_host("bob", HOSTS[0]);
@@ -181,6 +190,9 @@ pub fn e3_trust() -> FigureTrace {
 #[must_use]
 pub fn e4_compose() -> FigureTrace {
     let mut world = World::bootstrap();
+    // Figure generation is the consumer of the trace: turn recording on
+    // explicitly (cost experiments and soaks run trace-off).
+    world.net.trace().set_enabled(true);
     world.upload_content(1);
     world.delegate_host("bob", HOSTS[0]);
     let policy = world
@@ -213,6 +225,9 @@ pub fn e4_compose() -> FigureTrace {
 /// Prepares a world where alice may read photo-0 but holds no token yet.
 fn shared_world() -> World {
     let mut world = World::bootstrap();
+    // Figure generation is the consumer of the trace: turn recording on
+    // explicitly (cost experiments and soaks run trace-off).
+    world.net.trace().set_enabled(true);
     world.upload_content(1);
     world.delegate_all_hosts("bob");
     world.share_with_friends("bob", &["alice"]);

@@ -17,6 +17,7 @@
 pub mod churn;
 pub mod experiments;
 pub mod metrics;
+pub mod saturation;
 pub mod world;
 
 pub use metrics::Table;

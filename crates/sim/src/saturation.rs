@@ -1,0 +1,352 @@
+//! Saturation harness: the phase-3→6 protocol flow under thread load.
+//!
+//! `EXPERIMENTS.md` tracks the *modelled* cost of the protocol (round
+//! trips, simulated latency); this module measures the *wall-clock* cost
+//! of the implementation itself when N concurrent requesters hammer one
+//! Authorization Manager and two Hosts. It is the harness behind the
+//! `saturation` bench target and the `bench_report` example, which writes
+//! the measured trajectory to `BENCH_PR2.json` so every PR records how
+//! fast the fabric actually is.
+//!
+//! Two workloads:
+//!
+//! * [`SaturationMode::Phase6Warm`] — token reuse + warm decision cache:
+//!   the paper's steady state, one round trip per access (§V.B.6).
+//! * [`SaturationMode::FullFlow`] — the requester discards its tokens
+//!   before every access, so each iteration replays phases 3–6 (redirect,
+//!   authorization, access with decision query).
+//!
+//! Each thread drives its own [`RequesterClient`] against its own
+//! resource (spread across the two Hosts), so the measured contention is
+//! the fabric's — `SimNet` dispatch, AM shards, Host decision cache —
+//! not artificial key collisions.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use ucam_am::AuthorizationManager;
+use ucam_host::{DelegationConfig, WebStorage};
+use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
+use ucam_requester::{AccessSpec, RequesterClient};
+use ucam_webenv::identity::IdentityProvider;
+use ucam_webenv::{Method, Request, SimNet, Url};
+
+/// The two Host authorities of the saturation rig.
+pub const SAT_HOSTS: [&str; 2] = ["files-a.example", "files-b.example"];
+
+/// Which part of the protocol the measured loop replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturationMode {
+    /// Token held + decision cached: one round trip per access.
+    Phase6Warm,
+    /// Tokens discarded before every access: phases 3–6 on every access.
+    FullFlow,
+}
+
+impl SaturationMode {
+    /// The `bench` column value for this mode.
+    #[must_use]
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            SaturationMode::Phase6Warm => "phase6_warm",
+            SaturationMode::FullFlow => "full_flow",
+        }
+    }
+}
+
+/// One saturation run's shape.
+#[derive(Debug, Clone)]
+pub struct SaturationConfig {
+    /// Number of concurrent requester threads.
+    pub threads: usize,
+    /// Accesses each thread performs (after one untimed warm-up access).
+    pub iters_per_thread: usize,
+    /// Workload mode.
+    pub mode: SaturationMode,
+}
+
+/// One measured row, matching the `BENCH_PR2.json` schema.
+#[derive(Debug, Clone)]
+pub struct SaturationRow {
+    /// Workload name (`phase6_warm` or `full_flow`).
+    pub bench: &'static str,
+    /// Number of concurrent requester threads.
+    pub threads: usize,
+    /// Aggregate granted accesses per wall-clock second.
+    pub reqs_per_sec: f64,
+    /// Median per-access wall latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-access wall latency in microseconds.
+    pub p99_us: f64,
+}
+
+impl SaturationRow {
+    /// Renders the row as one JSON object (the `BENCH_PR2.json` row form).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"threads\":{},\"reqs_per_sec\":{:.1},\"p50_us\":{:.2},\"p99_us\":{:.2}}}",
+            self.bench, self.threads, self.reqs_per_sec, self.p50_us, self.p99_us
+        )
+    }
+}
+
+/// The assembled rig: one AM, two Hosts, one reader account per thread.
+struct Rig {
+    net: Arc<SimNet>,
+    idp: Arc<IdentityProvider>,
+}
+
+/// Builds the rig for `threads` readers: bob delegates both Hosts to one
+/// AM, uploads one file per reader (spread across the Hosts), and links a
+/// policy permitting any authenticated subject to read.
+fn build_rig(threads: usize) -> Rig {
+    let net = Arc::new(SimNet::new());
+    let clock = net.clock().clone();
+    let idp = Arc::new(IdentityProvider::new("idp.example", clock.clone()));
+    let am = Arc::new(AuthorizationManager::new("am.example", clock.clone()));
+    am.set_identity_verifier(idp.verifier());
+    net.register(idp.clone());
+    net.register(am.clone());
+
+    idp.register_user("bob", "pw");
+    am.register_user("bob");
+
+    let mut hosts = Vec::new();
+    for authority in SAT_HOSTS {
+        let host = WebStorage::new(authority, clock.clone());
+        host.shell().set_identity_verifier(idp.verifier());
+        net.register(host.clone());
+        let (delegation, host_token) = am.establish_delegation(authority, "bob").unwrap();
+        host.shell().core.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token,
+                delegation_id: delegation.id,
+            },
+        );
+        hosts.push(host);
+    }
+
+    let bob = idp.login("bob", "pw").unwrap().token;
+    for t in 0..threads {
+        let authority = SAT_HOSTS[t % SAT_HOSTS.len()];
+        let resp = net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, &format!("https://{authority}/files"))
+                .with_param("path", &format!("shared/f{t}.txt"))
+                .with_param("subject_token", &bob)
+                .with_body(format!("file {t}")),
+        );
+        assert!(resp.status.is_success(), "upload failed: {}", resp.body);
+    }
+
+    am.pap("bob", |account| {
+        let policy = account.create_policy(
+            "open-read",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Authenticated)
+                        .for_action(Action::Read),
+                ),
+            ),
+        );
+        let realm = "shared";
+        for t in 0..threads {
+            let authority = SAT_HOSTS[t % SAT_HOSTS.len()];
+            account.assign_realm(
+                ResourceRef::new(authority, &format!("files/shared/f{t}.txt")),
+                realm,
+            );
+        }
+        account.link_general(realm, &policy).unwrap();
+    })
+    .unwrap();
+
+    for t in 0..threads {
+        idp.register_user(&format!("reader-{t}"), "pw");
+    }
+
+    Rig { net, idp }
+}
+
+/// Runs one saturation configuration and returns its measured row.
+///
+/// Every access is asserted granted, so a run that silently degrades into
+/// denials cannot masquerade as a fast one.
+///
+/// # Panics
+///
+/// Panics when `threads` or `iters_per_thread` is zero, and when any
+/// access is denied.
+#[must_use]
+pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
+    assert!(config.threads > 0, "at least one thread");
+    assert!(config.iters_per_thread > 0, "at least one iteration");
+    let rig = build_rig(config.threads);
+    // Measured loops run trace-off: the point is the fabric's steady
+    // state, not the recorder. The lazy-label API makes this one relaxed
+    // atomic load per record call.
+    rig.net.trace().set_enabled(false);
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let mode = config.mode;
+    let iters = config.iters_per_thread;
+
+    let mut handles = Vec::new();
+    for t in 0..config.threads {
+        let net = Arc::clone(&rig.net);
+        let barrier = Arc::clone(&barrier);
+        let assertion = rig.idp.login(&format!("reader-{t}"), "pw").unwrap().token;
+        handles.push(std::thread::spawn(move || {
+            let mut client = RequesterClient::new(&format!("requester:reader-{t}"));
+            client.set_subject_token(Some(assertion));
+            let authority = SAT_HOSTS[t % SAT_HOSTS.len()];
+            let spec = AccessSpec::read(Url::new(authority, &format!("/files/shared/f{t}.txt")));
+            // Warm up: obtain the token and populate the decision cache.
+            assert!(
+                client.access(&net, &spec).is_granted(),
+                "warm-up access must succeed"
+            );
+            barrier.wait();
+            let mut samples_ns = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                if mode == SaturationMode::FullFlow {
+                    client.clear_tokens();
+                }
+                let start = Instant::now();
+                let outcome = client.access(&net, &spec);
+                samples_ns.push(start.elapsed().as_nanos() as u64);
+                assert!(
+                    outcome.is_granted(),
+                    "saturation access denied: {outcome:?}"
+                );
+            }
+            samples_ns
+        }));
+    }
+
+    barrier.wait();
+    let wall = Instant::now();
+    let mut samples: Vec<u64> = Vec::with_capacity(config.threads * iters);
+    for handle in handles {
+        samples.extend(handle.join().expect("saturation thread panicked"));
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    samples.sort_unstable();
+    let total_ops = (config.threads * iters) as f64;
+    SaturationRow {
+        bench: mode.bench_name(),
+        threads: config.threads,
+        reqs_per_sec: total_ops / elapsed.max(f64::EPSILON),
+        p50_us: percentile_us(&samples, 0.50),
+        p99_us: percentile_us(&samples, 0.99),
+    }
+}
+
+/// Runs the standard sweep: both modes × the given thread counts.
+#[must_use]
+pub fn saturation_sweep(thread_counts: &[usize], iters_per_thread: usize) -> Vec<SaturationRow> {
+    let mut rows = Vec::new();
+    for mode in [SaturationMode::Phase6Warm, SaturationMode::FullFlow] {
+        for &threads in thread_counts {
+            rows.push(run_saturation(&SaturationConfig {
+                threads,
+                iters_per_thread,
+                mode,
+            }));
+        }
+    }
+    rows
+}
+
+/// Renders rows as the `BENCH_PR2.json` document (a JSON array).
+#[must_use]
+pub fn rows_to_json(rows: &[SaturationRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    assert!(!sorted_ns.is_empty());
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_run_produces_sane_row() {
+        let row = run_saturation(&SaturationConfig {
+            threads: 2,
+            iters_per_thread: 20,
+            mode: SaturationMode::Phase6Warm,
+        });
+        assert_eq!(row.bench, "phase6_warm");
+        assert_eq!(row.threads, 2);
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p50_us > 0.0);
+        assert!(row.p99_us >= row.p50_us);
+    }
+
+    #[test]
+    fn full_flow_run_produces_sane_row() {
+        let row = run_saturation(&SaturationConfig {
+            threads: 2,
+            iters_per_thread: 10,
+            mode: SaturationMode::FullFlow,
+        });
+        assert_eq!(row.bench, "full_flow");
+        // A cold access costs strictly more wire work than a warm one, so
+        // the row must still be well-formed under the heavier flow.
+        assert!(row.reqs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_rows_match_schema() {
+        let rows = vec![SaturationRow {
+            bench: "phase6_warm",
+            threads: 4,
+            reqs_per_sec: 123456.7,
+            p50_us: 4.25,
+            p99_us: 9.5,
+        }];
+        let doc = rows_to_json(&rows);
+        assert!(doc.starts_with("[\n"));
+        assert!(doc.contains("\"bench\":\"phase6_warm\""));
+        assert!(doc.contains("\"threads\":4"));
+        assert!(doc.contains("\"reqs_per_sec\":123456.7"));
+        assert!(doc.contains("\"p50_us\":4.25"));
+        assert!(doc.contains("\"p99_us\":9.50"));
+        // The document must round-trip through a typed parse of the
+        // published schema.
+        #[derive(serde::Deserialize)]
+        struct RowCheck {
+            bench: String,
+            threads: u64,
+            reqs_per_sec: f64,
+            p50_us: f64,
+            p99_us: f64,
+        }
+        let parsed: Vec<RowCheck> = serde_json::from_str(&doc).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].bench, "phase6_warm");
+        assert_eq!(parsed[0].threads, 4);
+        assert!((parsed[0].reqs_per_sec - 123456.7).abs() < 1e-6);
+        assert!((parsed[0].p50_us - 4.25).abs() < 1e-9);
+        assert!((parsed[0].p99_us - 9.5).abs() < 1e-9);
+    }
+}

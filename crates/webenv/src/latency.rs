@@ -72,11 +72,16 @@ impl LatencyModel {
     /// Returns the one-way latency for a hop from `from` to `to`.
     #[must_use]
     pub fn latency_ms(&self, from: &str, to: &str) -> u64 {
-        let base = self
-            .edges
-            .get(&(from.to_owned(), to.to_owned()))
-            .copied()
-            .unwrap_or(self.base_ms);
+        // Zero/constant models (every unit test and the dispatch fast
+        // path) must not allocate the owned lookup key.
+        let base = if self.edges.is_empty() {
+            self.base_ms
+        } else {
+            self.edges
+                .get(&(from.to_owned(), to.to_owned()))
+                .copied()
+                .unwrap_or(self.base_ms)
+        };
         if self.jitter_ms == 0 {
             return base;
         }

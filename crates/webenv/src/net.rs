@@ -5,7 +5,8 @@
 //! register under an authority; any party dispatches [`Request`]s to an
 //! authority and receives a [`Response`] synchronously. Each dispatch:
 //!
-//! 1. records the request and response in the shared [`TraceRecorder`],
+//! 1. records the request and response in the shared [`TraceRecorder`]
+//!    (lazily — labels are never built while tracing is disabled),
 //! 2. increments per-edge message counters in [`NetStats`],
 //! 3. charges the configured [`LatencyModel`] (one hop each way) to the
 //!    shared [`SimClock`].
@@ -17,11 +18,28 @@
 //! Failure injection: [`SimNet::set_offline`] makes an authority unreachable
 //! (responses become `503 Unavailable`), which the test suite uses to probe
 //! Host behaviour when the AM is down.
+//!
+//! # Concurrency model (DESIGN.md §9)
+//!
+//! Dispatch is the hot path of every experiment, so it acquires **no
+//! shared lock** when tracing and loss injection are off:
+//!
+//! * the routing table, latency model and offline set live in one
+//!   immutable [`ConfigSnapshot`] behind a generation stamp; each thread
+//!   caches the current snapshot and revalidates it with a single atomic
+//!   load, so registration churn never stalls in-flight dispatches;
+//! * statistics land in per-thread **stat shards** (relaxed atomics plus
+//!   a thread-keyed edge map) that are only aggregated when
+//!   [`SimNet::stats`] takes a snapshot;
+//! * the loss model is an atomic counter — the no-loss path performs one
+//!   relaxed load and no read-modify-write.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 
 use crate::clock::SimClock;
 use crate::http::{Request, Response, Status};
@@ -45,7 +63,7 @@ pub struct NetStats {
     /// Number of request/response round trips dispatched.
     pub round_trips: u64,
     /// Round trips per directed (from, to) edge.
-    pub per_edge: BTreeMap<(String, String), u64>,
+    pub per_edge: std::collections::BTreeMap<(String, String), u64>,
     /// Total modelled latency charged to the clock, in milliseconds.
     pub modelled_latency_ms: u64,
     /// Total payload bytes carried (request bodies + response bodies +
@@ -68,6 +86,82 @@ impl NetStats {
             .copied()
             .unwrap_or(0)
     }
+}
+
+/// Number of stat shards. A power of two so a thread's slot is a mask.
+const STAT_SHARDS: usize = 16;
+
+/// Slots a thread keeps in its snapshot cache before evicting the oldest.
+const CONFIG_CACHE_SLOTS: usize = 8;
+
+/// One cell of the sharded statistics. Threads are assigned a shard
+/// round-robin on first dispatch, so under up to [`STAT_SHARDS`] threads
+/// every cell — including its edge-map mutex — is effectively
+/// thread-private and a dispatch commit never contends.
+#[derive(Default)]
+struct StatShard {
+    round_trips: AtomicU64,
+    payload_bytes: AtomicU64,
+    /// Committed *after* `round_trips` (Release) and read *before* it
+    /// (Acquire), so a [`SimNet::stats`] snapshot can never observe
+    /// latency charged for a round trip it has not counted yet.
+    modelled_latency_ms: AtomicU64,
+    /// Two-level `from -> to -> count` map so the warm path can bump an
+    /// existing edge with borrowed keys (no per-dispatch allocation).
+    per_edge: Mutex<HashMap<String, HashMap<String, u64>>>,
+}
+
+impl StatShard {
+    /// Increments the `(from, to)` edge counter, allocating owned keys
+    /// only the first time an edge is seen.
+    fn bump_edge(&self, from: &str, to: &str) {
+        let mut per_edge = self.per_edge.lock();
+        if let Some(inner) = per_edge.get_mut(from) {
+            if let Some(count) = inner.get_mut(to) {
+                *count += 1;
+                return;
+            }
+            inner.insert(to.to_owned(), 1);
+            return;
+        }
+        per_edge
+            .entry(from.to_owned())
+            .or_default()
+            .insert(to.to_owned(), 1);
+    }
+}
+
+/// The immutable routing/latency/offline configuration, swapped wholesale
+/// on every mutation and revalidated by readers with one atomic load.
+#[derive(Clone, Default)]
+struct ConfigSnapshot {
+    apps: HashMap<String, Arc<dyn WebApp>>,
+    latency: LatencyModel,
+    offline: HashSet<String>,
+}
+
+/// Source of unique network ids for the per-thread snapshot cache.
+static NEXT_NET_ID: AtomicU64 = AtomicU64::new(1);
+/// Round-robin source of per-thread stat-shard slots.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stat-shard slot (assigned on first dispatch).
+    static SHARD_IDX: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Cached `(net id, generation, snapshot)` triples, newest last.
+    static CONFIG_CACHE: RefCell<Vec<(u64, u64, Arc<ConfigSnapshot>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn shard_index() -> usize {
+    SHARD_IDX.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (STAT_SHARDS - 1);
+            slot.set(idx);
+        }
+        idx
+    })
 }
 
 /// The in-memory network. See the [module documentation](self).
@@ -93,29 +187,30 @@ impl NetStats {
 /// assert_eq!(net.stats().round_trips, 1);
 /// ```
 pub struct SimNet {
-    apps: RwLock<HashMap<String, Arc<dyn WebApp>>>,
+    /// Globally unique id keying the per-thread snapshot cache.
+    id: u64,
+    config: Mutex<Arc<ConfigSnapshot>>,
+    /// Bumped (under the `config` lock) on every configuration change.
+    config_gen: AtomicU64,
     clock: SimClock,
-    latency: RwLock<LatencyModel>,
     trace: TraceRecorder,
-    stats: Mutex<NetStats>,
-    offline: RwLock<HashSet<String>>,
-    /// Deterministic message-loss injection: every n-th dispatch fails.
-    loss: RwLock<Option<LossModel>>,
-}
-
-/// Deterministic loss: drops one request out of every `period`, starting
-/// with the `offset`-th. Deterministic so failure tests are reproducible.
-#[derive(Debug, Clone, Copy)]
-struct LossModel {
-    period: u64,
-    offset: u64,
-    dispatched: u64,
+    shards: [StatShard; STAT_SHARDS],
+    /// Loss model: every `loss_period`-th dispatch (counting from the
+    /// `loss_offset`-th) is dropped; `loss_period == 0` disables.
+    loss_period: AtomicU64,
+    loss_offset: AtomicU64,
+    loss_dispatched: AtomicU64,
+    /// Counts read-modify-write operations on the loss state performed by
+    /// dispatches — the regression guard proving the loss-off fast path
+    /// never touches writable loss state (it must stay zero while no loss
+    /// model is configured).
+    loss_write_ops: AtomicU64,
 }
 
 impl std::fmt::Debug for SimNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimNet")
-            .field("apps", &self.apps.read().keys().collect::<Vec<_>>())
+            .field("apps", &self.config.lock().apps.keys().collect::<Vec<_>>())
             .field("clock_ms", &self.clock.now_ms())
             .finish_non_exhaustive()
     }
@@ -132,25 +227,32 @@ impl SimNet {
     #[must_use]
     pub fn new() -> Self {
         SimNet {
-            apps: RwLock::new(HashMap::new()),
+            id: NEXT_NET_ID.fetch_add(1, Ordering::Relaxed),
+            config: Mutex::new(Arc::new(ConfigSnapshot::default())),
+            config_gen: AtomicU64::new(0),
             clock: SimClock::new(),
-            latency: RwLock::new(LatencyModel::zero()),
             trace: TraceRecorder::new(),
-            stats: Mutex::new(NetStats::default()),
-            offline: RwLock::new(HashSet::new()),
-            loss: RwLock::new(None),
+            shards: std::array::from_fn(|_| StatShard::default()),
+            loss_period: AtomicU64::new(0),
+            loss_offset: AtomicU64::new(0),
+            loss_dispatched: AtomicU64::new(0),
+            loss_write_ops: AtomicU64::new(0),
         }
     }
 
     /// Registers an application under its [`WebApp::authority`]. A second
     /// registration for the same authority replaces the first.
     pub fn register(&self, app: Arc<dyn WebApp>) {
-        self.apps.write().insert(app.authority().to_owned(), app);
+        self.update_config(|config| {
+            config.apps.insert(app.authority().to_owned(), app);
+        });
     }
 
     /// Removes the application registered under `authority`.
     pub fn unregister(&self, authority: &str) {
-        self.apps.write().remove(authority);
+        self.update_config(|config| {
+            config.apps.remove(authority);
+        });
     }
 
     /// Returns the shared simulated clock.
@@ -167,7 +269,7 @@ impl SimNet {
 
     /// Replaces the latency model.
     pub fn set_latency(&self, model: LatencyModel) {
-        *self.latency.write() = model;
+        self.update_config(|config| config.latency = model);
     }
 
     /// Injects deterministic message loss: every `period`-th dispatch
@@ -179,36 +281,70 @@ impl SimNet {
     /// Panics when `offset >= period` (for a non-zero period).
     pub fn set_loss_every(&self, period: u64, offset: u64) {
         if period == 0 {
-            *self.loss.write() = None;
+            self.loss_period.store(0, Ordering::Release);
             return;
         }
         assert!(offset < period, "offset must be below period");
-        *self.loss.write() = Some(LossModel {
-            period,
-            offset,
-            dispatched: 0,
-        });
+        self.loss_dispatched.store(0, Ordering::Relaxed);
+        self.loss_offset.store(offset, Ordering::Relaxed);
+        // Published last, so a dispatch that observes the new period also
+        // observes the reset counter and offset.
+        self.loss_period.store(period, Ordering::Release);
+    }
+
+    /// Number of read-modify-write operations dispatches have performed on
+    /// the loss-injection state. Stays at zero while no loss model is
+    /// configured — the no-loss fast path is read-only (regression guard
+    /// for the old behaviour of taking a write lock on every dispatch).
+    #[must_use]
+    pub fn loss_write_ops(&self) -> u64 {
+        self.loss_write_ops.load(Ordering::Relaxed)
     }
 
     /// Marks `authority` unreachable (`offline = true`) or reachable again.
     pub fn set_offline(&self, authority: &str, offline: bool) {
-        let mut set = self.offline.write();
-        if offline {
-            set.insert(authority.to_owned());
-        } else {
-            set.remove(authority);
-        }
+        self.update_config(|config| {
+            if offline {
+                config.offline.insert(authority.to_owned());
+            } else {
+                config.offline.remove(authority);
+            }
+        });
     }
 
     /// Returns a snapshot of the message statistics.
+    ///
+    /// The snapshot is internally consistent in one direction: it never
+    /// reports modelled latency for a round trip it does not count (each
+    /// dispatch commits its round trip before its latency, and the
+    /// snapshot reads them in the opposite order).
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        self.stats.lock().clone()
+        let mut out = NetStats::default();
+        for shard in &self.shards {
+            // Acquire on latency pairs with the Release in the dispatch
+            // commit: everything committed before the latency we read —
+            // in particular the matching round trips — is visible below.
+            out.modelled_latency_ms += shard.modelled_latency_ms.load(Ordering::Acquire);
+            out.round_trips += shard.round_trips.load(Ordering::Relaxed);
+            out.payload_bytes += shard.payload_bytes.load(Ordering::Relaxed);
+            for (from, inner) in shard.per_edge.lock().iter() {
+                for (to, count) in inner {
+                    *out.per_edge.entry((from.clone(), to.clone())).or_insert(0) += count;
+                }
+            }
+        }
+        out
     }
 
     /// Zeroes the message statistics (the trace and clock are untouched).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = NetStats::default();
+        for shard in &self.shards {
+            shard.per_edge.lock().clear();
+            shard.round_trips.store(0, Ordering::Relaxed);
+            shard.payload_bytes.store(0, Ordering::Relaxed);
+            shard.modelled_latency_ms.store(0, Ordering::Release);
+        }
     }
 
     /// Dispatches `req` from the party labelled `from` to the application
@@ -217,35 +353,24 @@ impl SimNet {
     /// Unknown or offline authorities yield `503 Unavailable` — the caller
     /// sees the same signal a browser would see for an unreachable site.
     pub fn dispatch(&self, from: &str, req: Request) -> Response {
-        let to = req.url.authority().to_owned();
-        let label = format!(
-            "{} {}{}",
-            req.method,
-            req.url.path(),
-            summarize_params(&req)
-        );
-        self.trace.record(from, &to, &label, TraceKind::Request);
-        self.charge(from, &to);
+        let to = req.url.authority();
+        self.trace.record_with(from, to, TraceKind::Request, || {
+            format!(
+                "{} {}{}",
+                req.method,
+                req.url.path(),
+                summarize_params(&req)
+            )
+        });
+        let config = self.config();
+        let mut latency_ms = self.charge(&config, from, to);
 
         let request_bytes = message_bytes(&req.body, req.headers.values())
             + req.form.values().map(String::len).sum::<usize>();
 
-        let app = {
-            let apps = self.apps.read();
-            apps.get(&to).cloned()
-        };
-        let offline = self.offline.read().contains(&to);
-        let dropped = {
-            let mut loss = self.loss.write();
-            match loss.as_mut() {
-                Some(model) => {
-                    let n = model.dispatched;
-                    model.dispatched += 1;
-                    n % model.period == model.offset
-                }
-                None => false,
-            }
-        };
+        let app = config.apps.get(to).cloned();
+        let offline = !config.offline.is_empty() && config.offline.contains(to);
+        let dropped = self.loss_draw();
 
         let resp = match app {
             _ if dropped => Response::with_status(Status::Unavailable)
@@ -255,29 +380,94 @@ impl SimNet {
                 .with_body(format!("unreachable authority: {to}")),
         };
 
-        self.charge(&to, from);
-        let resp_label = match resp.location() {
-            Some(loc) => format!("{} -> {}", resp.status, loc.authority()),
-            None => resp.status.to_string(),
-        };
+        latency_ms += self.charge(&config, to, from);
         self.trace
-            .record(from, &to, &resp_label, TraceKind::Response);
+            .record_with(from, to, TraceKind::Response, || match resp.location() {
+                Some(loc) => format!("{} -> {}", resp.status, loc.authority()),
+                None => resp.status.to_string(),
+            });
 
+        // Single per-dispatch commit into this thread's stat shard. The
+        // round trip is published before its latency so a concurrent
+        // `stats()` snapshot never sees latency lead the trip count.
         let response_bytes = message_bytes(&resp.body, resp.headers.values());
-        let mut stats = self.stats.lock();
-        stats.round_trips += 1;
-        stats.payload_bytes += (request_bytes + response_bytes) as u64;
-        *stats.per_edge.entry((from.to_owned(), to)).or_insert(0) += 1;
+        let shard = &self.shards[shard_index()];
+        shard.bump_edge(from, to);
+        shard
+            .payload_bytes
+            .fetch_add((request_bytes + response_bytes) as u64, Ordering::Relaxed);
+        shard.round_trips.fetch_add(1, Ordering::Relaxed);
+        if latency_ms > 0 {
+            shard
+                .modelled_latency_ms
+                .fetch_add(latency_ms, Ordering::Release);
+        }
 
         resp
     }
 
-    fn charge(&self, from: &str, to: &str) {
-        let ms = self.latency.read().latency_ms(from, to);
+    /// Advances the clock by the modelled latency of one hop and returns
+    /// the charged milliseconds (accumulated into the dispatch commit).
+    fn charge(&self, config: &ConfigSnapshot, from: &str, to: &str) -> u64 {
+        let ms = config.latency.latency_ms(from, to);
         if ms > 0 {
             self.clock.advance_ms(ms);
-            self.stats.lock().modelled_latency_ms += ms;
         }
+        ms
+    }
+
+    /// Draws the loss decision for this dispatch. Read-only (one relaxed
+    /// load) while no loss model is configured.
+    fn loss_draw(&self) -> bool {
+        let period = self.loss_period.load(Ordering::Acquire);
+        if period == 0 {
+            return false;
+        }
+        self.loss_write_ops.fetch_add(1, Ordering::Relaxed);
+        let n = self.loss_dispatched.fetch_add(1, Ordering::Relaxed);
+        n % period == self.loss_offset.load(Ordering::Relaxed)
+    }
+
+    /// Returns the current configuration snapshot, revalidating this
+    /// thread's cached copy with one atomic generation load. Only a
+    /// generation mismatch (or a cold cache) touches the config lock.
+    fn config(&self) -> Arc<ConfigSnapshot> {
+        let gen = self.config_gen.load(Ordering::Acquire);
+        CONFIG_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(slot) = cache.iter_mut().find(|(id, _, _)| *id == self.id) {
+                if slot.1 != gen {
+                    let (fresh_gen, snapshot) = self.load_config();
+                    slot.1 = fresh_gen;
+                    slot.2 = snapshot;
+                }
+                return slot.2.clone();
+            }
+            let (fresh_gen, snapshot) = self.load_config();
+            if cache.len() >= CONFIG_CACHE_SLOTS {
+                cache.remove(0);
+            }
+            cache.push((self.id, fresh_gen, snapshot.clone()));
+            snapshot
+        })
+    }
+
+    /// Reads the `(generation, snapshot)` pair consistently (the
+    /// generation only changes under the config lock).
+    fn load_config(&self) -> (u64, Arc<ConfigSnapshot>) {
+        let guard = self.config.lock();
+        (self.config_gen.load(Ordering::Relaxed), Arc::clone(&guard))
+    }
+
+    /// Applies a configuration change by swapping in a fresh snapshot and
+    /// bumping the generation, so readers revalidate on their next
+    /// dispatch without ever blocking on this lock.
+    fn update_config(&self, f: impl FnOnce(&mut ConfigSnapshot)) {
+        let mut guard = self.config.lock();
+        let mut next = ConfigSnapshot::clone(&guard);
+        f(&mut next);
+        *guard = Arc::new(next);
+        self.config_gen.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -286,7 +476,9 @@ fn message_bytes<'a>(body: &str, headers: impl Iterator<Item = &'a String>) -> u
     body.len() + headers.map(String::len).sum::<usize>()
 }
 
-/// Summarizes interesting request parameters for trace labels.
+/// Summarizes interesting request parameters for trace labels. Only ever
+/// called from inside a lazy trace label, so a trace-off dispatch never
+/// pays for these allocations.
 fn summarize_params(req: &Request) -> String {
     const INTERESTING: [&str; 6] = ["realm", "resource", "requester", "am", "action", "decision"];
     let mut parts = Vec::new();
@@ -442,6 +634,38 @@ mod tests {
     }
 
     #[test]
+    fn disabled_loss_model_is_read_only() {
+        let net = echo_net();
+        for _ in 0..10 {
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            );
+        }
+        assert_eq!(
+            net.loss_write_ops(),
+            0,
+            "the no-loss fast path must not write loss state"
+        );
+        // With a model configured, dispatches do write the counter…
+        net.set_loss_every(5, 1);
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(net.loss_write_ops(), 1);
+        // …and disabling makes the path read-only again.
+        net.set_loss_every(0, 0);
+        for _ in 0..10 {
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            );
+        }
+        assert_eq!(net.loss_write_ops(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "offset must be below period")]
     fn loss_offset_validated() {
         SimNet::new().set_loss_every(2, 2);
@@ -500,6 +724,23 @@ mod tests {
     }
 
     #[test]
+    fn disabled_trace_records_nothing_on_dispatch() {
+        let net = echo_net();
+        net.trace().set_enabled(false);
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert!(net.trace().is_empty());
+        net.trace().set_enabled(true);
+        net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(net.trace().len(), 2);
+    }
+
+    #[test]
     fn reset_stats_clears_counts() {
         let net = echo_net();
         net.dispatch(
@@ -527,5 +768,139 @@ mod tests {
             Request::new(Method::Get, "https://echo.example/x"),
         );
         assert_eq!(resp.status, Status::Unavailable);
+    }
+
+    #[test]
+    fn registration_churn_is_visible_to_cached_readers() {
+        // The same thread's cached snapshot must be revalidated across
+        // register/unregister/set_offline/set_latency mutations.
+        let net = echo_net();
+        for round in 0..5 {
+            let resp = net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            );
+            assert_eq!(resp.status, Status::Ok, "round {round}");
+            net.unregister("echo.example");
+            let resp = net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            );
+            assert_eq!(resp.status, Status::Unavailable, "round {round}");
+            net.register(Arc::new(Echo {
+                authority: "echo.example".to_owned(),
+            }));
+        }
+    }
+
+    #[test]
+    fn many_nets_on_one_thread_stay_isolated() {
+        // More nets than snapshot-cache slots: eviction must not leak
+        // routing between networks.
+        let nets: Vec<SimNet> = (0..CONFIG_CACHE_SLOTS + 3)
+            .map(|i| {
+                let net = SimNet::new();
+                net.register(Arc::new(Echo {
+                    authority: format!("echo-{i}.example"),
+                }));
+                net
+            })
+            .collect();
+        for (i, net) in nets.iter().enumerate() {
+            let resp = net.dispatch(
+                "tester",
+                Request::new(Method::Get, &format!("https://echo-{i}.example/p")),
+            );
+            assert_eq!(resp.status, Status::Ok, "net {i}");
+            let other = (i + 1) % nets.len();
+            let resp = net.dispatch(
+                "tester",
+                Request::new(Method::Get, &format!("https://echo-{other}.example/p")),
+            );
+            assert_eq!(
+                resp.status,
+                Status::Unavailable,
+                "net {i} must not route {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn multithreaded_stats_are_exact() {
+        const THREADS: usize = 8;
+        const DISPATCHES: usize = 200;
+        let net = Arc::new(echo_net());
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..DISPATCHES {
+                    let resp = net.dispatch(
+                        "tester",
+                        Request::new(Method::Post, "https://echo.example/pp").with_body("xyz"),
+                    );
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = net.stats();
+        let total = (THREADS * DISPATCHES) as u64;
+        assert_eq!(stats.round_trips, total);
+        assert_eq!(stats.edge("tester", "echo.example"), total);
+        // Body "xyz" (3) + response body "/pp" (3) per dispatch.
+        assert_eq!(stats.payload_bytes, total * 6);
+    }
+
+    #[test]
+    fn snapshot_latency_never_leads_round_trips() {
+        const THREADS: usize = 4;
+        const DISPATCHES: usize = 300;
+        const HOP_MS: u64 = 7;
+        let net = Arc::new(echo_net());
+        net.set_latency(LatencyModel::constant(HOP_MS));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..DISPATCHES {
+                    net.dispatch(
+                        "tester",
+                        Request::new(Method::Get, "https://echo.example/p"),
+                    );
+                }
+            }));
+        }
+        // Snapshot storm: latency charged may lag the counted trips (one
+        // in-flight dispatch per thread) but must never lead them.
+        let snapshotter = {
+            let net = Arc::clone(&net);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let stats = net.stats();
+                    assert!(
+                        stats.modelled_latency_ms <= stats.round_trips * 2 * HOP_MS,
+                        "latency {} leads round trips {}",
+                        stats.modelled_latency_ms,
+                        stats.round_trips
+                    );
+                }
+            })
+        };
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        snapshotter.join().unwrap();
+
+        let stats = net.stats();
+        let total = (THREADS * DISPATCHES) as u64;
+        assert_eq!(stats.round_trips, total);
+        assert_eq!(stats.modelled_latency_ms, total * 2 * HOP_MS);
     }
 }

@@ -4,10 +4,29 @@
 //! [`TraceRecorder`] captures every message and annotation flowing through
 //! the [`SimNet`](crate::net::SimNet) so tests can assert the exact sequence
 //! and examples can render the diagrams as text.
+//!
+//! Recording is designed to cost nothing on the dispatch hot path when it
+//! is not wanted (DESIGN.md §9):
+//!
+//! * an atomic **enable flag** is checked before any label is built — the
+//!   lazy [`TraceRecorder::record_with`] form takes the label as a closure
+//!   that is never invoked while recording is disabled, so a trace-off
+//!   dispatch performs no label `format!` and touches no lock;
+//! * when enabled, events land in a **bounded ring buffer**: once
+//!   capacity is reached the oldest event is dropped and counted in
+//!   [`TraceRecorder::dropped`], so a long soak cannot grow memory without
+//!   bound (the old recorder pushed into an unbounded `Vec`).
 
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default bound on retained events. Large enough for every protocol
+/// figure and example in the repo; small enough that an accidentally
+/// trace-on soak stays bounded.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// The kind of a trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,9 +66,21 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// Shared recorder state behind every cloned handle.
+#[derive(Debug)]
+struct Inner {
+    enabled: AtomicBool,
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
 /// A shared, thread-safe recorder of protocol events.
 ///
-/// Cloning yields a handle to the same underlying buffer.
+/// Cloning yields a handle to the same underlying buffer. Recording is
+/// enabled by default; hot loops (experiments, benches, soaks) call
+/// [`TraceRecorder::set_enabled`]`(false)` to make every record call a
+/// single relaxed atomic load.
 ///
 /// # Example
 ///
@@ -61,27 +92,105 @@ impl fmt::Display for TraceEvent {
 /// trace.record("host.example", "am.example", "POST /trust", TraceKind::Request);
 /// assert_eq!(trace.events().len(), 2);
 /// assert!(trace.render().contains("POST /trust"));
+///
+/// trace.set_enabled(false);
+/// trace.record_with("a", "b", TraceKind::Request, || unreachable!("label not built"));
+/// assert_eq!(trace.events().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
-    events: Arc<Mutex<Vec<TraceEvent>>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty, enabled recorder with the default capacity.
     #[must_use]
     pub fn new() -> Self {
         TraceRecorder::default()
     }
 
-    /// Records an event.
+    /// Creates an empty, enabled recorder retaining at most `capacity`
+    /// events (the oldest are dropped first once full).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — disable recording instead.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero capacity: use set_enabled(false)");
+        TraceRecorder {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                events: Mutex::new(VecDeque::new()),
+                capacity,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Turns recording on or off. While off, every record call returns
+    /// after one relaxed atomic load: labels are not built, no lock is
+    /// touched.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of events evicted from the ring because it was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records an event with an eagerly built label. Prefer
+    /// [`TraceRecorder::record_with`] on hot paths so the label is not
+    /// allocated while recording is disabled.
     pub fn record(&self, from: &str, to: &str, label: &str, kind: TraceKind) {
-        self.events.lock().push(TraceEvent {
+        self.record_with(from, to, kind, || label.to_owned());
+    }
+
+    /// Records an event whose label is built lazily: `label` runs only
+    /// when recording is enabled, so a disabled recorder costs one atomic
+    /// load and zero allocations.
+    pub fn record_with(
+        &self,
+        from: &str,
+        to: &str,
+        kind: TraceKind,
+        label: impl FnOnce() -> String,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = TraceEvent {
             from: from.to_owned(),
             to: to.to_owned(),
-            label: label.to_owned(),
+            label: label(),
             kind,
-        });
+        };
+        let mut events = self.inner.events.lock();
+        if events.len() >= self.inner.capacity {
+            events.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
     }
 
     /// Records a free-form annotation attributed to `who`.
@@ -89,33 +198,39 @@ impl TraceRecorder {
         self.record(who, who, label, TraceKind::Note);
     }
 
-    /// Returns a snapshot of all recorded events.
+    /// Lazy-label form of [`TraceRecorder::note`].
+    pub fn note_with(&self, who: &str, label: impl FnOnce() -> String) {
+        self.record_with(who, who, TraceKind::Note, label);
+    }
+
+    /// Returns a snapshot of all retained events.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.inner.events.lock().iter().cloned().collect()
     }
 
-    /// Clears the buffer.
+    /// Clears the buffer and the dropped-events counter.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        self.inner.events.lock().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
     }
 
-    /// Returns the number of recorded events.
+    /// Returns the number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.inner.events.lock().len()
     }
 
-    /// Returns `true` when nothing has been recorded.
+    /// Returns `true` when nothing is retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.inner.events.lock().is_empty()
     }
 
     /// Renders the trace as a text sequence diagram, one event per line.
     #[must_use]
     pub fn render(&self) -> String {
-        let events = self.events.lock();
+        let events = self.inner.events.lock();
         let mut out = String::new();
         for e in events.iter() {
             out.push_str(&e.to_string());
@@ -128,7 +243,8 @@ impl TraceRecorder {
     /// sequence used to assert protocol figures in tests.
     #[must_use]
     pub fn request_labels(&self) -> Vec<String> {
-        self.events
+        self.inner
+            .events
             .lock()
             .iter()
             .filter(|e| e.kind == TraceKind::Request)
@@ -162,6 +278,18 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_enable_flag() {
+        let t = TraceRecorder::new();
+        let t2 = t.clone();
+        t2.set_enabled(false);
+        t.note("x", "invisible");
+        assert!(t.is_empty());
+        t2.set_enabled(true);
+        t.note("x", "visible");
+        assert_eq!(t2.len(), 1);
+    }
+
+    #[test]
     fn render_formats_arrows() {
         let t = TraceRecorder::new();
         t.record("a", "b", "GET /x", TraceKind::Request);
@@ -183,10 +311,47 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties() {
-        let t = TraceRecorder::new();
+    fn clear_empties_and_resets_dropped() {
+        let t = TraceRecorder::with_capacity(2);
         t.note("a", "x");
+        t.note("a", "y");
+        t.note("a", "z"); // evicts "x"
+        assert_eq!(t.dropped(), 1);
         t.clear();
         assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_never_builds_labels() {
+        let t = TraceRecorder::new();
+        t.set_enabled(false);
+        t.record_with("a", "b", TraceKind::Request, || {
+            panic!("label must not be built while disabled")
+        });
+        t.note_with("a", || {
+            panic!("note label must not be built while disabled")
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = TraceRecorder::with_capacity(3);
+        for i in 0..5 {
+            t.note("a", &format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let labels: Vec<String> = t.events().into_iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["e2", "e3", "e4"]);
+        assert!(t.render().contains("e4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRecorder::with_capacity(0);
     }
 }

@@ -1,0 +1,36 @@
+//! Measures the saturation sweep and writes `BENCH_PR2.json`.
+//!
+//! ```sh
+//! cargo run --release --example bench_report
+//! ```
+//!
+//! Drives the full phase-3→6 flow and the warm phase-6 steady state from
+//! 1/2/4/8 threads against one AM and two Hosts (see `sim::saturation`),
+//! then records `{bench, threads, reqs_per_sec, p50_us, p99_us}` rows so
+//! the repo carries a measured perf trajectory PR over PR. Pass `--quick`
+//! for a smoke-sized run that does not overwrite the checked-in report.
+
+use ucam::sim::saturation::{rows_to_json, saturation_sweep};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 50 } else { 4000 };
+
+    let rows = saturation_sweep(&THREAD_COUNTS, iters);
+    for row in &rows {
+        println!(
+            "{:<12} threads={:<2} {:>10.0} req/s  p50 {:>8.2} µs  p99 {:>8.2} µs",
+            row.bench, row.threads, row.reqs_per_sec, row.p50_us, row.p99_us
+        );
+    }
+
+    let doc = rows_to_json(&rows);
+    if quick {
+        println!("\n--quick: skipping BENCH_PR2.json rewrite");
+        return;
+    }
+    std::fs::write("BENCH_PR2.json", &doc).expect("write BENCH_PR2.json");
+    println!("\nwrote BENCH_PR2.json ({} rows)", rows.len());
+}
