@@ -29,7 +29,9 @@ use parking_lot::{Mutex, RwLock};
 
 use ucam_crypto::sha256;
 use ucam_policy::{AccessRequest, AclMatrix, Action, EvalContext, Outcome, ResourceRef};
-use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url};
+use ucam_webenv::{
+    Method, Request, Response, RetryPolicy, SimClock, SimNet, Status, TransportError, Url,
+};
 
 /// A stored Web resource.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,60 @@ pub struct DelegationConfig {
 
 /// Default bound on cached decisions held by one host.
 pub const DEFAULT_DECISION_CACHE_CAPACITY: usize = 1024;
+
+/// Circuit breaker configuration for the Host→AM decision channel.
+///
+/// The breaker is **opt-in** ([`HostCore::set_breaker`]): without one the
+/// PEP dispatches every decision query and fails closed on transport
+/// errors, exactly as before. With one, `failure_threshold` consecutive
+/// transport failures against one AM authority open the circuit for
+/// `cooldown_ms`; while open, decision queries fail fast (no dispatch)
+/// as if the AM were unreachable. After the cooldown the next query is a
+/// half-open probe: its success closes the circuit, its failure re-opens
+/// it for another cooldown.
+///
+/// Only transport failures trip the breaker — application answers
+/// (permit, deny, 401) always reset it, so a flaky-but-deciding AM never
+/// gets locked out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that open the circuit.
+    pub failure_threshold: u32,
+    /// Milliseconds the circuit stays open before a half-open probe.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 5_000,
+        }
+    }
+}
+
+/// Per-AM-authority breaker state (guarded by one mutex off the warm
+/// path: it is only touched when a decision query actually happens).
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Consecutive transport failures observed.
+    failures: u32,
+    /// Clock time until which the circuit is open (0 = closed).
+    open_until_ms: u64,
+}
+
+/// Opt-in resilience configuration for the Host→AM edge. All fields
+/// default to "off", preserving the seed behaviour bit for bit.
+#[derive(Debug, Clone, Default)]
+struct ResilienceConfig {
+    /// Circuit breaker on decision queries.
+    breaker: Option<BreakerConfig>,
+    /// Retry discipline for decision-query dispatches.
+    am_retry: Option<RetryPolicy>,
+    /// Fallback AM per primary AM authority, queried when the primary
+    /// fails at the transport level (or its circuit is open).
+    fallback_ams: HashMap<String, DelegationConfig>,
+}
 
 /// `(requester, resource id, action)` — what a cached decision answers for.
 type CacheKey = (String, String, Action);
@@ -120,6 +176,12 @@ struct DecisionCache {
     /// pushed via [`HostCore::note_policy_epoch`]). Entries stamped with
     /// an older epoch are dead.
     owner_epochs: HashMap<String, u64>,
+    /// Degraded-mode grace window (ms past TTL expiry) within which an
+    /// expired **permit** may still be served when the AM is unreachable
+    /// at the transport level. 0 (the default) disables degraded mode.
+    /// Epoch-stale entries are never grace-served: a policy change
+    /// always fails closed regardless of this window.
+    stale_grace_ms: u64,
 }
 
 impl DecisionCache {
@@ -130,6 +192,7 @@ impl DecisionCache {
             entries: HashMap::new(),
             order: VecDeque::new(),
             owner_epochs: HashMap::new(),
+            stale_grace_ms: 0,
         }
     }
 
@@ -151,6 +214,32 @@ impl DecisionCache {
         true
     }
 
+    /// Degraded-mode lookup: serves an **expired** permit that is still
+    /// within the grace window, token-bound and epoch-fresh. Returns the
+    /// staleness (ms past expiry) on a hit; the caller asserts it stays
+    /// within the window it configured. Only ever consulted after a
+    /// transport-level AM failure — a fresh entry would already have been
+    /// served by [`DecisionCache::lookup`].
+    fn lookup_stale(&self, key: &CacheKey, token_digest: &[u8; 32], now: u64) -> Option<u64> {
+        if !self.enabled || self.stale_grace_ms == 0 {
+            return None;
+        }
+        let entry = self.entries.get(key)?;
+        if &entry.token_digest != token_digest {
+            return None;
+        }
+        // Past the grace window: fail closed, the permit is gone.
+        if now >= entry.expires_at_ms.saturating_add(self.stale_grace_ms) {
+            return None;
+        }
+        // A policy change (epoch advance) always fails closed.
+        if entry.epoch < self.owner_epochs.get(&entry.owner).copied().unwrap_or(0) {
+            return None;
+        }
+        entry.referenced.store(true, Ordering::Relaxed);
+        Some(now.saturating_sub(entry.expires_at_ms))
+    }
+
     /// Inserts under the caller's write lock, re-checking `enabled` there
     /// (no decide-then-insert race), sweeping dead entries, and evicting
     /// down to capacity.
@@ -168,13 +257,17 @@ impl DecisionCache {
         self.entries.insert(key, entry);
     }
 
-    /// Drops expired and epoch-stale entries.
+    /// Drops expired and epoch-stale entries. With a grace window
+    /// configured, expired-but-graceable permits are retained until the
+    /// window closes (they are what degraded mode serves from).
     fn sweep_dead(&mut self, now: u64) {
         let entries = &mut self.entries;
         let owner_epochs = &self.owner_epochs;
+        let grace = self.stale_grace_ms;
         self.order.retain(|key| {
             let live = entries.get(key).is_some_and(|e| {
-                e.expires_at_ms > now && e.epoch >= owner_epochs.get(&e.owner).copied().unwrap_or(0)
+                e.expires_at_ms.saturating_add(grace) > now
+                    && e.epoch >= owner_epochs.get(&e.owner).copied().unwrap_or(0)
             });
             if !live {
                 entries.remove(key);
@@ -256,6 +349,9 @@ pub enum DecisionPath {
     RedirectedToAm,
     /// Rejected without consulting anything (bad token, AM unreachable…).
     Refused,
+    /// Degraded mode: an expired cached permit served within its grace
+    /// window because the AM was unreachable (DESIGN.md §10).
+    StaleGrace,
 }
 
 /// PEP counters for the experiments.
@@ -269,6 +365,16 @@ pub struct PepStats {
     pub redirects: u64,
     /// Accesses decided by legacy ACLs.
     pub legacy_checks: u64,
+    /// Expired permits served within the degraded-mode grace window.
+    pub stale_served: u64,
+    /// Decision queries answered without a dispatch because the AM's
+    /// circuit was open.
+    pub breaker_fast_fails: u64,
+    /// Decision queries sent to a fallback AM after the primary failed
+    /// at the transport level.
+    pub fallback_queries: u64,
+    /// Extra dispatch attempts spent retrying transport failures.
+    pub am_retries: u64,
 }
 
 /// What the PEP tells the application to do with a request.
@@ -327,6 +433,10 @@ struct AtomicPepStats {
     cache_hits: AtomicU64,
     redirects: AtomicU64,
     legacy_checks: AtomicU64,
+    stale_served: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+    fallback_queries: AtomicU64,
+    am_retries: AtomicU64,
 }
 
 impl AtomicPepStats {
@@ -336,6 +446,10 @@ impl AtomicPepStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             redirects: self.redirects.load(Ordering::Relaxed),
             legacy_checks: self.legacy_checks.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            fallback_queries: self.fallback_queries.load(Ordering::Relaxed),
+            am_retries: self.am_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -344,6 +458,10 @@ impl AtomicPepStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.redirects.store(0, Ordering::Relaxed);
         self.legacy_checks.store(0, Ordering::Relaxed);
+        self.stale_served.store(0, Ordering::Relaxed);
+        self.breaker_fast_fails.store(0, Ordering::Relaxed);
+        self.fallback_queries.store(0, Ordering::Relaxed);
+        self.am_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -371,6 +489,15 @@ pub struct HostCore {
     /// Host-local access log, separate from both of the above.
     log: Mutex<Vec<HostLogEntry>>,
     stats: AtomicPepStats,
+    /// Opt-in Host→AM resilience knobs (DESIGN.md §10). Read-mostly:
+    /// taken once per decision query, never on the warm cache path.
+    resilience: RwLock<ResilienceConfig>,
+    /// Per-AM circuit state; only touched when a breaker is configured.
+    breaker_states: Mutex<HashMap<String, BreakerState>>,
+    /// High-water mark of staleness (ms past expiry) ever served by
+    /// degraded mode — the chaos soak asserts it never exceeds the
+    /// configured grace window.
+    max_served_staleness_ms: AtomicU64,
 }
 
 impl fmt::Debug for HostCore {
@@ -394,6 +521,9 @@ impl HostCore {
             cache: RwLock::new(DecisionCache::new()),
             log: Mutex::new(Vec::new()),
             stats: AtomicPepStats::default(),
+            resilience: RwLock::new(ResilienceConfig::default()),
+            breaker_states: Mutex::new(HashMap::new()),
+            max_served_staleness_ms: AtomicU64::new(0),
         }
     }
 
@@ -442,15 +572,83 @@ impl HostCore {
         self.cache.write().note_epoch(owner, epoch);
     }
 
+    // -- resilience knobs (DESIGN.md §10) -------------------------------------
+
+    /// Installs (or removes) the circuit breaker on the Host→AM decision
+    /// channel. Changing the configuration resets all circuit state.
+    pub fn set_breaker(&self, config: Option<BreakerConfig>) {
+        self.resilience.write().breaker = config;
+        self.breaker_states.lock().clear();
+    }
+
+    /// Installs (or removes) a retry policy for decision-query
+    /// dispatches. Only transport failures are retried; application
+    /// answers (permit/deny/401) return after the first attempt, so a
+    /// healthy network sees identical message counts.
+    pub fn set_am_retry(&self, policy: Option<RetryPolicy>) {
+        self.resilience.write().am_retry = policy;
+    }
+
+    /// Registers `fallback` as the delegation to query when the primary
+    /// AM at `primary_am` fails at the transport level (or its circuit is
+    /// open). The fallback must hold a mirrored delegation for the same
+    /// owners — the Host trusts whichever AM answers.
+    pub fn set_fallback_am(&self, primary_am: &str, fallback: DelegationConfig) {
+        self.resilience
+            .write()
+            .fallback_ams
+            .insert(primary_am.to_owned(), fallback);
+    }
+
+    /// Removes the fallback AM for `primary_am`, if any.
+    pub fn clear_fallback_am(&self, primary_am: &str) -> Option<DelegationConfig> {
+        self.resilience.write().fallback_ams.remove(primary_am)
+    }
+
+    /// Enables degraded mode: when every AM (primary and fallback) fails
+    /// at the **transport** level, an expired cached permit may still be
+    /// served for up to `ms` milliseconds past its TTL. Deny, unknown and
+    /// epoch-stale entries always fail closed; a permit past the window
+    /// fails closed too. `0` (the default) disables degraded mode.
+    pub fn set_stale_grace_ms(&self, ms: u64) {
+        let mut cache = self.cache.write();
+        cache.stale_grace_ms = ms;
+        // Shrinking the window may strand now-dead entries; sweep them.
+        let now = self.clock.now_ms();
+        cache.sweep_dead(now);
+    }
+
+    /// The maximum staleness (ms past TTL expiry) degraded mode has ever
+    /// served — the invariant gauge for the chaos soak: it must never
+    /// exceed the configured grace window.
+    #[must_use]
+    pub fn max_served_staleness_ms(&self) -> u64 {
+        self.max_served_staleness_ms.load(Ordering::Relaxed)
+    }
+
+    /// Whether the circuit for `am` is currently open (fast-failing).
+    #[must_use]
+    pub fn breaker_open(&self, am: &str) -> bool {
+        if self.resilience.read().breaker.is_none() {
+            return false;
+        }
+        let now = self.clock.now_ms();
+        self.breaker_states
+            .lock()
+            .get(am)
+            .is_some_and(|s| s.open_until_ms > now)
+    }
+
     /// Returns the PEP counters.
     #[must_use]
     pub fn stats(&self) -> PepStats {
         self.stats.snapshot()
     }
 
-    /// Zeroes the PEP counters.
+    /// Zeroes the PEP counters and the served-staleness high-water mark.
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.max_served_staleness_ms.store(0, Ordering::Relaxed);
     }
 
     /// Returns a snapshot of the host-local access log.
@@ -757,15 +955,42 @@ impl HostCore {
             return Enforcement::Grant;
         }
 
-        // Fig. 6: decision query to the AM.
-        self.stats.am_queries.fetch_add(1, Ordering::Relaxed);
-        let query = Request::new(Method::Post, &format!("https://{}/decision", delegation.am))
-            .with_param("host_token", &delegation.host_token)
-            .with_param("token", token)
-            .with_param("resource", resource_id)
-            .with_param("action", &action.to_string())
-            .with_param("requester", requester);
-        let resp = net.dispatch(&self.authority, query);
+        // Fig. 6: decision query to the AM — hardened per DESIGN.md §10.
+        // The primary is tried under the breaker and retry policy; a
+        // transport failure falls over to the configured fallback AM. Only
+        // transport failures can reach degraded mode below: an AM that
+        // *answers* (permit, deny, 401, even an application 5xx) is always
+        // taken at its word.
+        let resilience = self.resilience.read().clone();
+        let mut resp = self.query_decision(
+            net,
+            &resilience,
+            delegation,
+            token,
+            resource_id,
+            action,
+            requester,
+        );
+        if resp.transport_error().is_some() {
+            if let Some(fallback) = resilience.fallback_ams.get(&delegation.am) {
+                self.stats.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                net.trace().note_with(&self.authority, || {
+                    format!(
+                        "failing over decision query: {} -> {}",
+                        delegation.am, fallback.am
+                    )
+                });
+                resp = self.query_decision(
+                    net,
+                    &resilience,
+                    fallback,
+                    token,
+                    resource_id,
+                    action,
+                    requester,
+                );
+            }
+        }
 
         match resp.status {
             Status::Ok => match serde_json::from_str::<DecisionBody>(&resp.body) {
@@ -854,6 +1079,37 @@ impl HostCore {
                 )
             }
             _ => {
+                // Degraded mode (opt-in): a transport-level failure — and
+                // only that — may serve an expired cached permit within
+                // its grace window. Application 5xxs and everything else
+                // fall through to fail closed.
+                if resp.transport_error().is_some() {
+                    let stale_now = self.clock.now_ms();
+                    if let Some(staleness) =
+                        self.cache
+                            .read()
+                            .lookup_stale(&cache_key, &token_digest, stale_now)
+                    {
+                        self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                        self.max_served_staleness_ms
+                            .fetch_max(staleness, Ordering::Relaxed);
+                        net.trace().note_with(&self.authority, || {
+                            format!(
+                                "degraded: stale permit served {staleness} ms past TTL: \
+                                 {requester} {action} {resource_id}"
+                            )
+                        });
+                        self.record(
+                            stale_now,
+                            requester,
+                            resource_id,
+                            action,
+                            true,
+                            DecisionPath::StaleGrace,
+                        );
+                        return Enforcement::Grant;
+                    }
+                }
                 // Fail closed when the AM is unreachable.
                 self.record(
                     now,
@@ -868,6 +1124,86 @@ impl HostCore {
                         .with_body("authorization manager unreachable; access denied"),
                 )
             }
+        }
+    }
+
+    /// Sends one decision query to `delegation`'s AM under the breaker
+    /// and retry policy. Breaker fast-fails synthesize an
+    /// [`TransportError::Unreachable`] response without dispatching.
+    #[allow(clippy::too_many_arguments)]
+    fn query_decision(
+        &self,
+        net: &SimNet,
+        resilience: &ResilienceConfig,
+        delegation: &DelegationConfig,
+        token: &str,
+        resource_id: &str,
+        action: &Action,
+        requester: &str,
+    ) -> Response {
+        let am = delegation.am.as_str();
+        if resilience.breaker.is_some() && !self.breaker_admits(am) {
+            self.stats
+                .breaker_fast_fails
+                .fetch_add(1, Ordering::Relaxed);
+            net.trace().note_with(&self.authority, || {
+                format!("circuit open: fast-failing decision query to {am}")
+            });
+            return Response::with_status(Status::Unavailable)
+                .with_body(format!("circuit open for {am}"))
+                .with_transport_error(TransportError::Unreachable);
+        }
+        self.stats.am_queries.fetch_add(1, Ordering::Relaxed);
+        let build = || {
+            Request::new(Method::Post, &format!("https://{am}/decision"))
+                .with_param("host_token", &delegation.host_token)
+                .with_param("token", token)
+                .with_param("resource", resource_id)
+                .with_param("action", &action.to_string())
+                .with_param("requester", requester)
+        };
+        let resp = match &resilience.am_retry {
+            Some(policy) => {
+                let (resp, report) =
+                    policy.run(net.clock(), |_| net.dispatch(&self.authority, build()));
+                if report.attempts > 1 {
+                    self.stats
+                        .am_retries
+                        .fetch_add(u64::from(report.attempts - 1), Ordering::Relaxed);
+                }
+                resp
+            }
+            None => net.dispatch(&self.authority, build()),
+        };
+        if let Some(cfg) = resilience.breaker {
+            self.breaker_observe(am, resp.transport_error().is_some(), cfg);
+        }
+        resp
+    }
+
+    /// Whether a decision query to `am` may go out: the circuit is
+    /// closed, or its cooldown has elapsed (the query then acts as the
+    /// half-open probe — its outcome closes or re-opens the circuit).
+    fn breaker_admits(&self, am: &str) -> bool {
+        let now = self.clock.now_ms();
+        let mut states = self.breaker_states.lock();
+        states.entry(am.to_owned()).or_default().open_until_ms <= now
+    }
+
+    /// Feeds one query outcome into `am`'s circuit: a transport failure
+    /// counts toward (or extends) the open state, an application answer
+    /// closes the circuit outright.
+    fn breaker_observe(&self, am: &str, transport_failure: bool, cfg: BreakerConfig) {
+        let mut states = self.breaker_states.lock();
+        let state = states.entry(am.to_owned()).or_default();
+        if transport_failure {
+            state.failures = state.failures.saturating_add(1);
+            if state.failures >= cfg.failure_threshold {
+                state.open_until_ms = self.clock.now_ms() + cfg.cooldown_ms;
+            }
+        } else {
+            state.failures = 0;
+            state.open_until_ms = 0;
         }
     }
 
@@ -971,12 +1307,18 @@ mod tests {
     /// A scripted AM: answers `/decision` with the canned body registered
     /// for the presented authorization token, 401 for anything else.
     struct FakeAm {
+        authority: String,
         grants: Mutex<HashMap<String, String>>,
     }
 
     impl FakeAm {
         fn new() -> Arc<Self> {
+            FakeAm::new_at("am.example")
+        }
+
+        fn new_at(authority: &str) -> Arc<Self> {
             Arc::new(FakeAm {
+                authority: authority.to_owned(),
                 grants: Mutex::new(HashMap::new()),
             })
         }
@@ -992,7 +1334,7 @@ mod tests {
 
     impl WebApp for FakeAm {
         fn authority(&self) -> &str {
-            "am.example"
+            &self.authority
         }
 
         fn handle(&self, _net: &SimNet, req: &Request) -> Response {
@@ -1314,6 +1656,201 @@ mod tests {
         );
         assert_eq!(parse_cacheable_ms("\"cacheable_ms\":5"), 0);
         assert_eq!(parse_cacheable_ms("not json at all"), 0);
+    }
+
+    #[test]
+    fn stale_grace_serves_expired_permit_until_window_closes() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(1_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_stale_grace_ms(500);
+        let url = Url::new("h.example", "/r1");
+
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        // Permit expires; AM partitions away. Within the grace window the
+        // expired permit still serves.
+        net.clock().advance_ms(1_100);
+        net.set_offline("am.example", true);
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().stale_served, 1);
+        assert_eq!(h.max_served_staleness_ms(), 100);
+        assert!(h.max_served_staleness_ms() <= 500, "grace invariant");
+        assert!(matches!(
+            h.log().last().unwrap().via,
+            DecisionPath::StaleGrace
+        ));
+
+        // Past the window: fail closed.
+        net.clock().advance_ms(500); // 600 ms past expiry
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unavailable),
+            Enforcement::Grant => panic!("permit past its grace window must fail closed"),
+        }
+        assert_eq!(h.stats().stale_served, 1);
+
+        // Healing restores normal service.
+        net.set_offline("am.example", false);
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+    }
+
+    #[test]
+    fn epoch_stale_permit_is_never_grace_served() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(1_000, 5));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_stale_grace_ms(60_000);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        // Bob edits his policies, the epoch push lands, then the AM
+        // partitions. The huge grace window must NOT resurrect the permit:
+        // a policy change always fails closed.
+        h.note_policy_epoch("bob", 6);
+        net.set_offline("am.example", true);
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url) {
+            Enforcement::Block(_) => {}
+            Enforcement::Grant => panic!("epoch-stale permit grace-served"),
+        }
+        assert_eq!(h.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn application_answers_never_reach_degraded_mode() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(1_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_stale_grace_ms(60_000);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        // Permit expires but the AM stays up and now rejects the token.
+        // The AM answered — degraded mode must not override it.
+        net.clock().advance_ms(1_100);
+        am.revoke("good");
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unauthorized),
+            Enforcement::Grant => panic!("an answering AM must be taken at its word"),
+        }
+        assert_eq!(h.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_closed_again() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(0, 1)); // uncacheable: every access queries
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_breaker(Some(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 1_000,
+        }));
+        let url = Url::new("h.example", "/r1");
+        let go =
+            |h: &HostCore| h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url);
+
+        net.set_offline("am.example", true);
+        // Two real failures open the circuit…
+        assert!(!go(&h).is_grant());
+        assert!(!go(&h).is_grant());
+        assert_eq!(h.stats().am_queries, 2);
+        assert!(h.breaker_open("am.example"));
+        // …after which queries fast-fail without a dispatch.
+        assert!(!go(&h).is_grant());
+        assert_eq!(h.stats().am_queries, 2);
+        assert_eq!(h.stats().breaker_fast_fails, 1);
+
+        // Cooldown elapses while the AM heals: the half-open probe goes
+        // through, succeeds, and closes the circuit.
+        net.clock().advance_ms(1_001);
+        net.set_offline("am.example", false);
+        assert!(go(&h).is_grant());
+        assert!(!h.breaker_open("am.example"));
+        assert_eq!(h.stats().am_queries, 3);
+
+        // A failed probe re-opens for another cooldown.
+        net.set_offline("am.example", true);
+        assert!(!go(&h).is_grant());
+        assert!(!go(&h).is_grant());
+        assert!(h.breaker_open("am.example"));
+        net.clock().advance_ms(1_001);
+        assert!(!go(&h).is_grant()); // probe fails
+        assert!(h.breaker_open("am.example"), "failed probe must re-open");
+    }
+
+    #[test]
+    fn fallback_am_answers_when_primary_is_partitioned() {
+        let net = SimNet::new();
+        let primary = FakeAm::new();
+        let secondary = FakeAm::new_at("am-b.example");
+        secondary.grant("good", &permit_body(60_000, 1));
+        net.register(primary.clone());
+        net.register(secondary.clone());
+        let h = delegated_host(&net);
+        h.set_fallback_am(
+            "am.example",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "ht-b".into(),
+                delegation_id: "d-b".into(),
+            },
+        );
+        let url = Url::new("h.example", "/r1");
+
+        net.set_offline("am.example", true);
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().fallback_queries, 1);
+        assert_eq!(h.stats().am_queries, 2, "primary try + fallback try");
+        // The fallback's permit was cached like any other.
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().cache_hits, 1);
+        // An answering primary is never failed over: a deny from the
+        // primary stands even though the fallback would permit.
+        net.set_offline("am.example", false);
+        h.flush_decision_cache();
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unauthorized),
+            Enforcement::Grant => panic!("primary's answer must stand"),
+        }
+        assert_eq!(h.stats().fallback_queries, 1);
+    }
+
+    #[test]
+    fn am_retry_rides_out_transient_loss() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(0, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.set_am_retry(Some(ucam_webenv::RetryPolicy::default()));
+        let url = Url::new("h.example", "/r1");
+        // Every 2nd dispatch is lost starting with the first: the initial
+        // attempt times out, the retry lands.
+        net.set_loss_every(2, 0);
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
+            .is_grant());
+        assert_eq!(h.stats().am_retries, 1);
+        assert_eq!(h.stats().am_queries, 1, "one logical query");
+        net.set_loss_every(0, 0);
     }
 
     #[test]

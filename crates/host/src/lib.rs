@@ -34,8 +34,8 @@ pub mod webstorage;
 pub mod webvideos;
 
 pub use crate::core::{
-    DecisionPath, DelegationConfig, Enforcement, HostCore, HostError, HostLogEntry, PepStats,
-    Resource,
+    BreakerConfig, DecisionPath, DelegationConfig, Enforcement, HostCore, HostError, HostLogEntry,
+    PepStats, Resource,
 };
 pub use crate::image::Image;
 pub use crate::shell::AppShell;

@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use ucam_webenv::{Method, Request, Response, SimNet, Status, Url};
+use ucam_webenv::{Method, Request, Response, RetryPolicy, SimNet, Status, Url};
 
 /// Counters describing the requester's protocol work (experiment E7).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +39,12 @@ pub struct RequesterStats {
     pub cache_hits: u64,
     /// Re-authorizations after a token was rejected (expiry/revocation).
     pub reauthorizations: u64,
+    /// Extra dispatch attempts spent retrying transport failures
+    /// (requires a [`RequesterClient::set_retry`] policy).
+    pub retries: u64,
+    /// Authorization attempts failed over to a configured secondary AM
+    /// after the primary was unreachable at the transport level.
+    pub failovers: u64,
 }
 
 /// The result of one access attempt.
@@ -137,6 +143,14 @@ pub struct RequesterClient {
     claim_tokens: Vec<String>,
     /// (host, resource, action) -> cached authorization token.
     tokens: HashMap<(String, String, String), String>,
+    /// Optional retry discipline for every dispatch this client makes.
+    /// Only transport failures are retried, so on a healthy network the
+    /// message counts (E7) are identical with or without a policy.
+    retry: Option<RetryPolicy>,
+    /// primary AM authority -> secondary AM authority, tried when the
+    /// primary's `/authorize` endpoint is unreachable at the transport
+    /// level (multi-AM failover; the AMs must mirror the delegation).
+    fallback_ams: HashMap<String, String>,
     stats: RequesterStats,
 }
 
@@ -150,8 +164,26 @@ impl RequesterClient {
             subject_token: None,
             claim_tokens: Vec::new(),
             tokens: HashMap::new(),
+            retry: None,
+            fallback_ams: HashMap::new(),
             stats: RequesterStats::default(),
         }
+    }
+
+    /// Installs (or removes) a retry policy for this client's dispatches.
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// Registers `secondary` as the AM to authorize against when
+    /// `primary`'s authorize endpoint is unreachable at the transport
+    /// level. Both AMs must hold mirrored delegations for the Host; a
+    /// token minted by the secondary is presented to the Host like any
+    /// other and, if the primary later rejects it, the normal transparent
+    /// re-authorization path converges back.
+    pub fn set_fallback_am(&mut self, primary: &str, secondary: &str) {
+        self.fallback_ams
+            .insert(primary.to_owned(), secondary.to_owned());
     }
 
     /// The label this requester uses on the network.
@@ -240,13 +272,32 @@ impl RequesterClient {
     }
 
     fn send(&mut self, net: &SimNet, spec: &AccessSpec, bearer: Option<&str>) -> Response {
-        let mut req = Request::to_url(spec.method, spec.url.clone())
-            .with_header("x-requester", &self.label)
-            .with_body(spec.body.clone());
-        if let Some(token) = bearer {
-            req = req.with_bearer(token);
+        let label = self.label.clone();
+        let build = move || {
+            let mut req = Request::to_url(spec.method, spec.url.clone())
+                .with_header("x-requester", &label)
+                .with_body(spec.body.clone());
+            if let Some(token) = bearer {
+                req = req.with_bearer(token);
+            }
+            req
+        };
+        self.dispatch_retrying(net, build)
+    }
+
+    /// Dispatches under the client's retry policy (if any). Only
+    /// transport failures are retried; application responses return
+    /// after the first attempt.
+    fn dispatch_retrying(&mut self, net: &SimNet, build: impl Fn() -> Request) -> Response {
+        match self.retry.clone() {
+            Some(policy) => {
+                let (resp, report) =
+                    policy.run(net.clock(), |_| net.dispatch(&self.label, build()));
+                self.stats.retries += u64::from(report.attempts.saturating_sub(1));
+                resp
+            }
+            None => net.dispatch(&self.label, build()),
         }
-        net.dispatch(&self.label, req)
     }
 
     fn classify(&mut self, net: &SimNet, spec: &AccessSpec, resp: Response) -> Classified {
@@ -275,7 +326,18 @@ impl RequesterClient {
         if !self.claim_tokens.is_empty() {
             url = url.with_query("claims", &self.claim_tokens.join(","));
         }
-        let resp = net.dispatch(&self.label, Request::to_url(Method::Get, url));
+        let mut resp = self.dispatch_retrying(net, || Request::to_url(Method::Get, url.clone()));
+        // Multi-AM failover: when the primary's authorize endpoint is
+        // unreachable at the transport level (after any retries), re-home
+        // the authorize URL to the configured secondary AM and try there.
+        if resp.transport_error().is_some() {
+            if let Some(secondary) = self.fallback_ams.get(&am).cloned() {
+                self.stats.failovers += 1;
+                let rehomed = rehome(&url, &secondary);
+                resp =
+                    self.dispatch_retrying(net, || Request::to_url(Method::Get, rehomed.clone()));
+            }
+        }
         match resp.status {
             // AM redirects back to the Host with the token attached.
             Status::Found => match resp
@@ -402,6 +464,16 @@ pub struct Discovered {
     pub authorize: Url,
     /// The resource owner.
     pub owner: String,
+}
+
+/// Rebuilds `url` on a different authority, keeping path and query (used
+/// to re-home an `/authorize` URL onto a fallback AM).
+fn rehome(url: &Url, authority: &str) -> Url {
+    let mut out = Url::new(authority, url.path());
+    for (k, v) in url.query_pairs() {
+        out = out.with_query(k, v);
+    }
+    out
 }
 
 /// Extracts the text between the first occurrence of `start` and the next
@@ -687,6 +759,71 @@ mod tests {
             .access_via_discovery(&net, &spec, "known")
             .is_granted());
         assert_eq!(net.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_loss() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        client.set_retry(Some(RetryPolicy::default()));
+        let spec = AccessSpec::read(Url::new("host.example", "/open"));
+        // Drop every 2nd dispatch starting with the first: each logical
+        // step loses its first attempt and succeeds on the retry.
+        net.set_loss_every(2, 0);
+        assert!(client.access(&net, &spec).is_granted());
+        assert_eq!(client.stats().retries, 1);
+        net.set_loss_every(0, 0);
+        // Healthy network: the policy adds no messages.
+        net.reset_stats();
+        assert!(client.access(&net, &spec).is_granted());
+        assert_eq!(net.stats().round_trips, 1);
+        assert_eq!(client.stats().retries, 1);
+    }
+
+    #[test]
+    fn authorize_fails_over_to_secondary_am() {
+        /// Mirror of the fake AM under a second authority.
+        struct SecondaryAm;
+        impl WebApp for SecondaryAm {
+            fn authority(&self) -> &str {
+                "am-b.example"
+            }
+            fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+                assert_eq!(req.url.path(), "/authorize");
+                let ret: Url = req.param("return").unwrap().parse().unwrap();
+                Response::redirect(&ret.with_query("authz_token", "good-token"))
+            }
+        }
+        let net = net();
+        net.register(Arc::new(SecondaryAm));
+        let mut client = RequesterClient::new("requester:test");
+        client.set_fallback_am("am.example", "am-b.example");
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+
+        // Primary AM partitioned: the authorize step re-homes to the
+        // secondary and the access completes.
+        net.set_offline("am.example", true);
+        let outcome = client.access(&net, &spec);
+        assert!(outcome.is_granted(), "got {outcome:?}");
+        assert_eq!(client.stats().failovers, 1);
+        assert_eq!(client.stats().token_requests, 1);
+
+        // With the primary healthy the secondary is never consulted.
+        net.set_offline("am.example", false);
+        client.clear_tokens();
+        assert!(client.access(&net, &spec).is_granted());
+        assert_eq!(client.stats().failovers, 1);
+    }
+
+    #[test]
+    fn no_fallback_configured_still_fails_cleanly() {
+        let net = net();
+        let mut client = RequesterClient::new("requester:test");
+        net.set_offline("am.example", true);
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+        let outcome = client.access(&net, &spec);
+        assert!(matches!(outcome, AccessOutcome::Failed(_)));
+        assert_eq!(client.stats().failovers, 0);
     }
 
     #[test]

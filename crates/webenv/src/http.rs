@@ -104,6 +104,40 @@ impl fmt::Display for Status {
     }
 }
 
+/// Transport-level failure classification attached by the network fabric.
+///
+/// Both kinds surface as `503 Unavailable` to keep the HTTP shape of the
+/// simulation unchanged, but the retry layer (and tests) need to tell a
+/// *partition* from a *slow or lossy path*: an unreachable authority is
+/// detected immediately (connection refused), whereas a lost message
+/// costs the caller a full attempt timeout before it can give up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The authority is unknown or partitioned away — the failure is
+    /// detected immediately, without waiting.
+    Unreachable,
+    /// The request (or its response) was lost in transit — the caller
+    /// only learns of the failure by timing out.
+    Timeout,
+}
+
+impl TransportError {
+    /// The `x-error-kind` header value for this kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportError::Unreachable => "unreachable",
+            TransportError::Timeout => "timeout",
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// An HTTP-like request.
 ///
 /// Query parameters from the URL and form/body parameters are merged into a
@@ -314,6 +348,28 @@ impl Response {
     pub fn with_cookie(self, name: &str, value: &str) -> Self {
         self.with_header("set-cookie", &format!("{name}={value}"))
     }
+
+    /// Attaches a transport-error classification (`x-error-kind` header).
+    ///
+    /// Set by the network fabric on synthesized `503` responses so callers
+    /// can distinguish a partition from a lost message.
+    #[must_use]
+    pub fn with_transport_error(self, kind: TransportError) -> Self {
+        self.with_header("x-error-kind", kind.as_str())
+    }
+
+    /// Returns the transport-error classification, if the fabric attached
+    /// one. `None` means the response came from a real application — even
+    /// an application-level `503` is **not** a transport error and must
+    /// not be retried blindly.
+    #[must_use]
+    pub fn transport_error(&self) -> Option<TransportError> {
+        match self.header("x-error-kind")? {
+            "unreachable" => Some(TransportError::Unreachable),
+            "timeout" => Some(TransportError::Timeout),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +435,22 @@ mod tests {
     fn method_display() {
         assert_eq!(Method::Get.to_string(), "GET");
         assert_eq!(Method::Delete.to_string(), "DELETE");
+    }
+
+    #[test]
+    fn transport_error_roundtrip() {
+        let resp = Response::with_status(Status::Unavailable)
+            .with_transport_error(TransportError::Unreachable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+        let timeout = Response::with_status(Status::Unavailable)
+            .with_transport_error(TransportError::Timeout);
+        assert_eq!(timeout.transport_error(), Some(TransportError::Timeout));
+        // Application responses — even 503s — carry no transport classification.
+        assert_eq!(
+            Response::with_status(Status::Unavailable).transport_error(),
+            None
+        );
+        assert_eq!(Response::ok().transport_error(), None);
     }
 
     #[test]

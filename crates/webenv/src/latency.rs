@@ -35,6 +35,18 @@ pub struct LatencyModel {
     /// Draw counter shared across clones so the jitter sequence is a
     /// deterministic function of dispatch order.
     draws: Arc<AtomicU64>,
+    /// Periodic latency spikes for specific (from, to) pairs.
+    spikes: BTreeMap<(String, String), SpikeModel>,
+}
+
+/// A periodic latency spike on one directed edge: every `every`-th
+/// traversal of the edge pays `spike_ms` extra. Deterministic by
+/// construction (counter-driven, shared across clones).
+#[derive(Debug, Clone)]
+struct SpikeModel {
+    every: u64,
+    spike_ms: u64,
+    count: Arc<AtomicU64>,
 }
 
 impl LatencyModel {
@@ -69,18 +81,45 @@ impl LatencyModel {
         self
     }
 
+    /// Adds a periodic spike on the `from` → `to` edge: every `every`-th
+    /// traversal pays `spike_ms` on top of the modelled latency. Models
+    /// tail-latency events (GC pauses, queue buildup) deterministically.
+    /// `every == 0` is treated as "never spikes".
+    #[must_use]
+    pub fn with_spike(mut self, from: &str, to: &str, every: u64, spike_ms: u64) -> Self {
+        self.spikes.insert(
+            (from.to_owned(), to.to_owned()),
+            SpikeModel {
+                every,
+                spike_ms,
+                count: Arc::new(AtomicU64::new(0)),
+            },
+        );
+        self
+    }
+
     /// Returns the one-way latency for a hop from `from` to `to`.
     #[must_use]
     pub fn latency_ms(&self, from: &str, to: &str) -> u64 {
         // Zero/constant models (every unit test and the dispatch fast
         // path) must not allocate the owned lookup key.
-        let base = if self.edges.is_empty() {
+        let base = if self.edges.is_empty() && self.spikes.is_empty() {
             self.base_ms
         } else {
-            self.edges
-                .get(&(from.to_owned(), to.to_owned()))
-                .copied()
-                .unwrap_or(self.base_ms)
+            let key = (from.to_owned(), to.to_owned());
+            let edge = self.edges.get(&key).copied().unwrap_or(self.base_ms);
+            let spike = self.spikes.get(&key).map_or(0, |s| {
+                if s.every == 0 {
+                    return 0;
+                }
+                let n = s.count.fetch_add(1, Ordering::Relaxed);
+                if (n + 1) % s.every == 0 {
+                    s.spike_ms
+                } else {
+                    0
+                }
+            });
+            edge + spike
         };
         if self.jitter_ms == 0 {
             return base;
@@ -90,8 +129,9 @@ impl LatencyModel {
     }
 }
 
-/// SplitMix64: a tiny, high-quality deterministic mixer.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: a tiny, high-quality deterministic mixer. Shared with the
+/// network fault models and the retry layer for seeded, replayable draws.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -137,6 +177,22 @@ mod tests {
             (0..100).map(|_| m.latency_ms("a", "b")).collect()
         };
         assert_eq!(draws, replay);
+    }
+
+    #[test]
+    fn spike_fires_periodically_on_its_edge_only() {
+        let m = LatencyModel::constant(10).with_spike("h", "am", 3, 90);
+        // Other edges never spike.
+        assert_eq!(m.latency_ms("a", "b"), 10);
+        // Every 3rd traversal of h→am pays the spike.
+        let draws: Vec<u64> = (0..6).map(|_| m.latency_ms("h", "am")).collect();
+        assert_eq!(draws, vec![10, 10, 100, 10, 10, 100]);
+    }
+
+    #[test]
+    fn spike_every_zero_never_fires() {
+        let m = LatencyModel::constant(5).with_spike("h", "am", 0, 90);
+        assert!((0..10).all(|_| m.latency_ms("h", "am") == 5));
     }
 
     #[test]

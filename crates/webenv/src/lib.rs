@@ -56,13 +56,15 @@ pub mod http;
 pub mod identity;
 pub mod latency;
 pub mod net;
+pub mod retry;
 pub mod trace;
 pub mod url;
 
 pub use browser::Browser;
 pub use clock::SimClock;
-pub use http::{Method, Request, Response, Status};
+pub use http::{Method, Request, Response, Status, TransportError};
 pub use latency::LatencyModel;
-pub use net::{NetStats, SimNet, WebApp};
+pub use net::{FlapSchedule, NetStats, SimNet, WebApp};
+pub use retry::{RetryPolicy, RetryReport};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
 pub use url::{ParseUrlError, Url};

@@ -17,7 +17,14 @@
 //!
 //! Failure injection: [`SimNet::set_offline`] makes an authority unreachable
 //! (responses become `503 Unavailable`), which the test suite uses to probe
-//! Host behaviour when the AM is down.
+//! Host behaviour when the AM is down. Richer fault shapes build on the
+//! same paths: [`SimNet::set_flap`] drives clock-scheduled transient
+//! outages, [`SimNet::set_loss_every`] drops every n-th message, and
+//! [`SimNet::set_burst_loss`] drops whole seeded windows of traffic.
+//! Every fabric-synthesized failure carries a [`TransportError`]
+//! classification (`x-error-kind` header) so callers can tell a partition
+//! ([`TransportError::Unreachable`]) from a lost message
+//! ([`TransportError::Timeout`]).
 //!
 //! # Concurrency model (DESIGN.md §9)
 //!
@@ -42,8 +49,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::SimClock;
-use crate::http::{Request, Response, Status};
-use crate::latency::LatencyModel;
+use crate::http::{Request, Response, Status, TransportError};
+use crate::latency::{splitmix64, LatencyModel};
 use crate::trace::{TraceKind, TraceRecorder};
 
 /// A simulated Web application addressable on the [`SimNet`].
@@ -131,6 +138,49 @@ impl StatShard {
     }
 }
 
+/// A clock-driven transient-outage schedule for one authority: within
+/// every `period_ms` window (shifted by `phase_ms`), the authority is
+/// down for the first `down_ms` milliseconds and up for the rest.
+///
+/// Purely a function of the shared [`SimClock`], so flap behaviour is
+/// deterministic and replayable: the same access sequence against the
+/// same clock observes the same outages.
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::FlapSchedule;
+///
+/// let flap = FlapSchedule { period_ms: 100, down_ms: 30, phase_ms: 0 };
+/// assert!(flap.is_down_at(0));
+/// assert!(flap.is_down_at(29));
+/// assert!(!flap.is_down_at(30));
+/// assert!(flap.is_down_at(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapSchedule {
+    /// Length of one up/down cycle in milliseconds.
+    pub period_ms: u64,
+    /// Milliseconds at the start of each cycle during which the
+    /// authority is unreachable. Must be below `period_ms` for the
+    /// authority to ever come back up.
+    pub down_ms: u64,
+    /// Shifts the cycle so multiple authorities need not flap in phase.
+    pub phase_ms: u64,
+}
+
+impl FlapSchedule {
+    /// Returns `true` when the schedule has the authority down at
+    /// `now_ms`. A zero `period_ms` or `down_ms` never flaps.
+    #[must_use]
+    pub fn is_down_at(&self, now_ms: u64) -> bool {
+        if self.period_ms == 0 || self.down_ms == 0 {
+            return false;
+        }
+        (now_ms + self.phase_ms) % self.period_ms < self.down_ms
+    }
+}
+
 /// The immutable routing/latency/offline configuration, swapped wholesale
 /// on every mutation and revalidated by readers with one atomic load.
 #[derive(Clone, Default)]
@@ -138,6 +188,10 @@ struct ConfigSnapshot {
     apps: HashMap<String, Arc<dyn WebApp>>,
     latency: LatencyModel,
     offline: HashSet<String>,
+    /// Clock-driven transient-outage schedules per authority. The clock
+    /// is only consulted when this map is non-empty, keeping the
+    /// steady-state dispatch path unchanged.
+    flaps: HashMap<String, FlapSchedule>,
 }
 
 /// Source of unique network ids for the per-thread snapshot cache.
@@ -200,6 +254,13 @@ pub struct SimNet {
     loss_period: AtomicU64,
     loss_offset: AtomicU64,
     loss_dispatched: AtomicU64,
+    /// Burst-loss model: dispatches are grouped into windows of
+    /// `burst_window` consecutive dispatches; a seeded draw per window
+    /// decides whether the *whole* window is dropped. `burst_window == 0`
+    /// disables.
+    burst_window: AtomicU64,
+    burst_prob_pct: AtomicU64,
+    burst_seed: AtomicU64,
     /// Counts read-modify-write operations on the loss state performed by
     /// dispatches — the regression guard proving the loss-off fast path
     /// never touches writable loss state (it must stay zero while no loss
@@ -236,6 +297,9 @@ impl SimNet {
             loss_period: AtomicU64::new(0),
             loss_offset: AtomicU64::new(0),
             loss_dispatched: AtomicU64::new(0),
+            burst_window: AtomicU64::new(0),
+            burst_prob_pct: AtomicU64::new(0),
+            burst_seed: AtomicU64::new(0),
             loss_write_ops: AtomicU64::new(0),
         }
     }
@@ -290,6 +354,47 @@ impl SimNet {
         // Published last, so a dispatch that observes the new period also
         // observes the reset counter and offset.
         self.loss_period.store(period, Ordering::Release);
+    }
+
+    /// Injects seeded burst loss: dispatches are grouped into consecutive
+    /// windows of `window` dispatches, and each window is dropped in its
+    /// entirety with probability `prob_pct`% — decided by a deterministic
+    /// draw from `seed` and the window index, so a given seed always drops
+    /// the same windows. Models correlated outages (a congested queue, a
+    /// dying link) rather than independent per-message loss. Pass
+    /// `window = 0` to disable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prob_pct > 100`.
+    pub fn set_burst_loss(&self, window: u64, prob_pct: u64, seed: u64) {
+        if window == 0 {
+            self.burst_window.store(0, Ordering::Release);
+            return;
+        }
+        assert!(prob_pct <= 100, "prob_pct must be at most 100");
+        self.loss_dispatched.store(0, Ordering::Relaxed);
+        self.burst_prob_pct.store(prob_pct, Ordering::Relaxed);
+        self.burst_seed.store(seed, Ordering::Relaxed);
+        // Published last, so a dispatch that observes the new window also
+        // observes the reset counter, probability and seed.
+        self.burst_window.store(window, Ordering::Release);
+    }
+
+    /// Schedules clock-driven transient outages (flapping) for
+    /// `authority`, or clears the schedule with `None`. While the shared
+    /// clock sits inside a down-phase of the schedule, dispatches to the
+    /// authority fail exactly like [`SimNet::set_offline`] — `503` with an
+    /// [`TransportError::Unreachable`] classification.
+    pub fn set_flap(&self, authority: &str, schedule: Option<FlapSchedule>) {
+        self.update_config(|config| match schedule {
+            Some(s) => {
+                config.flaps.insert(authority.to_owned(), s);
+            }
+            None => {
+                config.flaps.remove(authority);
+            }
+        });
     }
 
     /// Number of read-modify-write operations dispatches have performed on
@@ -369,15 +474,22 @@ impl SimNet {
             + req.form.values().map(String::len).sum::<usize>();
 
         let app = config.apps.get(to).cloned();
-        let offline = !config.offline.is_empty() && config.offline.contains(to);
+        let offline = (!config.offline.is_empty() && config.offline.contains(to))
+            || (!config.flaps.is_empty()
+                && config
+                    .flaps
+                    .get(to)
+                    .is_some_and(|f| f.is_down_at(self.clock.now_ms())));
         let dropped = self.loss_draw();
 
         let resp = match app {
             _ if dropped => Response::with_status(Status::Unavailable)
-                .with_body("message lost in transit".to_owned()),
+                .with_body("message lost in transit".to_owned())
+                .with_transport_error(TransportError::Timeout),
             Some(app) if !offline => app.handle(self, &req),
             _ => Response::with_status(Status::Unavailable)
-                .with_body(format!("unreachable authority: {to}")),
+                .with_body(format!("unreachable authority: {to}"))
+                .with_transport_error(TransportError::Unreachable),
         };
 
         latency_ms += self.charge(&config, to, from);
@@ -416,16 +528,25 @@ impl SimNet {
         ms
     }
 
-    /// Draws the loss decision for this dispatch. Read-only (one relaxed
-    /// load) while no loss model is configured.
+    /// Draws the loss decision for this dispatch. Read-only (two atomic
+    /// loads, no read-modify-write) while no loss model is configured.
     fn loss_draw(&self) -> bool {
         let period = self.loss_period.load(Ordering::Acquire);
-        if period == 0 {
+        let window = self.burst_window.load(Ordering::Acquire);
+        if period == 0 && window == 0 {
             return false;
         }
         self.loss_write_ops.fetch_add(1, Ordering::Relaxed);
         let n = self.loss_dispatched.fetch_add(1, Ordering::Relaxed);
-        n % period == self.loss_offset.load(Ordering::Relaxed)
+        if period != 0 && n % period == self.loss_offset.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(burst) = n.checked_div(window) {
+            let prob = self.burst_prob_pct.load(Ordering::Relaxed);
+            let seed = self.burst_seed.load(Ordering::Relaxed);
+            return splitmix64(seed ^ burst) % 100 < prob;
+        }
+        false
     }
 
     /// Returns the current configuration snapshot, revalidating this
@@ -669,6 +790,117 @@ mod tests {
     #[should_panic(expected = "offset must be below period")]
     fn loss_offset_validated() {
         SimNet::new().set_loss_every(2, 2);
+    }
+
+    #[test]
+    fn fabric_failures_carry_transport_classification() {
+        let net = echo_net();
+        // Unknown authority: detected immediately -> Unreachable.
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://ghost.example/"),
+        );
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+        // Offline (partitioned) authority: Unreachable.
+        net.set_offline("echo.example", true);
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+        net.set_offline("echo.example", false);
+        // Lost message: only detectable by waiting -> Timeout.
+        net.set_loss_every(1, 0);
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.transport_error(), Some(TransportError::Timeout));
+        net.set_loss_every(0, 0);
+        // A healthy application response carries no classification.
+        let resp = net.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(resp.transport_error(), None);
+    }
+
+    #[test]
+    fn flap_schedule_follows_the_clock() {
+        let net = echo_net();
+        net.set_flap(
+            "echo.example",
+            Some(FlapSchedule {
+                period_ms: 100,
+                down_ms: 30,
+                phase_ms: 0,
+            }),
+        );
+        let get = || {
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p"),
+            )
+        };
+        // Clock at 0: inside the down phase.
+        let resp = get();
+        assert_eq!(resp.status, Status::Unavailable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+        // Advance past the down phase: reachable again, no config change.
+        net.clock().advance_ms(50);
+        assert_eq!(get().status, Status::Ok);
+        // Next cycle: down again.
+        net.clock().advance_ms(60); // now at 110
+        assert_eq!(get().status, Status::Unavailable);
+        // Clearing the schedule heals immediately.
+        net.set_flap("echo.example", None);
+        assert_eq!(get().status, Status::Ok);
+    }
+
+    #[test]
+    fn burst_loss_is_windowed_seeded_and_deterministic() {
+        let run = |seed: u64| -> Vec<u16> {
+            let net = echo_net();
+            net.set_burst_loss(4, 50, seed);
+            (0..32)
+                .map(|_| {
+                    net.dispatch(
+                        "tester",
+                        Request::new(Method::Get, "https://echo.example/p"),
+                    )
+                    .status
+                    .code()
+                })
+                .collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay the same drops");
+        assert!(a.contains(&503), "seed 7 should drop at least one window");
+        assert!(a.contains(&200), "seed 7 should pass at least one window");
+        // Losses come in whole windows of 4: every window is uniform.
+        for w in a.chunks(4) {
+            assert!(w.iter().all(|&s| s == w[0]), "window not uniform: {w:?}");
+        }
+        // Disabling restores service.
+        let net = echo_net();
+        net.set_burst_loss(4, 100, 1);
+        assert_eq!(
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p")
+            )
+            .status,
+            Status::Unavailable
+        );
+        net.set_burst_loss(0, 0, 0);
+        assert_eq!(
+            net.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/p")
+            )
+            .status,
+            Status::Ok
+        );
     }
 
     #[test]

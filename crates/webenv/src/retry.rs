@@ -1,0 +1,309 @@
+//! Deterministic retry with exponential backoff for protocol edges.
+//!
+//! The paper concedes that centralising authorization at the AM
+//! concentrates availability risk (§V.D); a production deployment of the
+//! protocol therefore needs disciplined retries on the Requester→Host and
+//! Host→AM edges. [`RetryPolicy`] implements the standard shape —
+//! exponential backoff, capped, with jitter, under a total budget — but
+//! entirely against the shared [`SimClock`], so retry behaviour is a
+//! deterministic, replayable function of the policy seed and the fault
+//! schedule.
+//!
+//! Only **transport** failures are retried: a response carrying a
+//! [`TransportError`] classification came from the fabric, not from an
+//! application. Application-level responses (including `503`s an
+//! application chose to emit) are returned to the caller unchanged after
+//! the first attempt, so retry wrappers never change protocol semantics
+//! on a healthy network — the paper's round-trip counts (EXPERIMENTS.md
+//! E7) are unaffected.
+
+use crate::clock::SimClock;
+use crate::http::{Response, TransportError};
+use crate::latency::splitmix64;
+
+/// Retry discipline for one protocol edge.
+///
+/// Time is charged to the [`SimClock`]:
+///
+/// * a [`TransportError::Timeout`] failure costs the caller
+///   [`RetryPolicy::attempt_timeout_ms`] (the time a real client would
+///   wait before concluding the message was lost);
+/// * a [`TransportError::Unreachable`] failure costs nothing extra
+///   (connection refused is detected immediately);
+/// * each backoff sleep costs its computed duration.
+///
+/// Retries stop at [`RetryPolicy::max_attempts`], or earlier when the
+/// next backoff sleep would exceed the remaining
+/// [`RetryPolicy::budget_ms`].
+///
+/// # Example
+///
+/// ```
+/// use ucam_webenv::{Response, RetryPolicy, SimClock, Status, TransportError};
+///
+/// let clock = SimClock::new();
+/// let policy = RetryPolicy::default();
+/// let mut calls = 0;
+/// let (resp, report) = policy.run(&clock, |_attempt| {
+///     calls += 1;
+///     if calls < 3 {
+///         Response::with_status(Status::Unavailable)
+///             .with_transport_error(TransportError::Unreachable)
+///     } else {
+///         Response::ok()
+///     }
+/// });
+/// assert_eq!(resp.status, Status::Ok);
+/// assert_eq!(report.attempts, 3);
+/// assert!(clock.now_ms() > 0); // backoff time was charged
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) starts from
+    /// `base_backoff_ms << (n - 1)`.
+    pub base_backoff_ms: u64,
+    /// Cap applied to the exponential backoff before jitter.
+    pub max_backoff_ms: u64,
+    /// Maximum extra milliseconds of seeded jitter added to each backoff.
+    pub jitter_ms: u64,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+    /// Total milliseconds the policy may spend on timeouts and backoff
+    /// sleeps before giving up.
+    pub budget_ms: u64,
+    /// Milliseconds a caller waits before treating a lost message as
+    /// failed ([`TransportError::Timeout`] responses charge this).
+    pub attempt_timeout_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Conservative defaults: 4 attempts, 50 ms base backoff doubling to a
+    /// 1 s cap with up to 20 ms jitter, a 1 s attempt timeout, and a 10 s
+    /// total budget.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 50,
+            max_backoff_ms: 1_000,
+            jitter_ms: 20,
+            seed: 0,
+            budget_ms: 10_000,
+            attempt_timeout_ms: 1_000,
+        }
+    }
+}
+
+/// What a [`RetryPolicy::run`] call did, for stats and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Attempts performed (at least 1).
+    pub attempts: u32,
+    /// Milliseconds charged to the clock for backoff sleeps.
+    pub backoff_ms: u64,
+    /// Milliseconds charged to the clock for attempt timeouts.
+    pub timeout_ms: u64,
+    /// Whether the final response still carried a transport error.
+    pub exhausted: bool,
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based): exponential from
+    /// [`RetryPolicy::base_backoff_ms`], capped at
+    /// [`RetryPolicy::max_backoff_ms`], plus seeded jitter. Deterministic
+    /// per `(seed, attempt)`.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms);
+        if self.jitter_ms == 0 {
+            return exp;
+        }
+        exp + splitmix64(self.seed ^ u64::from(attempt)) % (self.jitter_ms + 1)
+    }
+
+    /// Runs `op` under this policy, charging timeouts and backoff sleeps
+    /// to `clock`. `op` receives the 0-based attempt index.
+    ///
+    /// Returns the last response together with a [`RetryReport`]. The
+    /// response is returned as soon as it carries no
+    /// [`TransportError`] — success, denial and application errors all
+    /// end the loop immediately.
+    pub fn run(
+        &self,
+        clock: &SimClock,
+        mut op: impl FnMut(u32) -> Response,
+    ) -> (Response, RetryReport) {
+        let mut report = RetryReport::default();
+        let max_attempts = self.max_attempts.max(1);
+        loop {
+            let resp = op(report.attempts);
+            report.attempts += 1;
+            let Some(kind) = resp.transport_error() else {
+                return (resp, report);
+            };
+            if kind == TransportError::Timeout {
+                clock.advance_ms(self.attempt_timeout_ms);
+                report.timeout_ms += self.attempt_timeout_ms;
+            }
+            let spent = report.timeout_ms + report.backoff_ms;
+            if report.attempts >= max_attempts {
+                report.exhausted = true;
+                return (resp, report);
+            }
+            let backoff = self.backoff_ms(report.attempts);
+            if spent.saturating_add(backoff) > self.budget_ms {
+                report.exhausted = true;
+                return (resp, report);
+            }
+            clock.advance_ms(backoff);
+            report.backoff_ms += backoff;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Status;
+
+    fn transport_fail(kind: TransportError) -> Response {
+        Response::with_status(Status::Unavailable).with_transport_error(kind)
+    }
+
+    #[test]
+    fn success_on_first_attempt_is_free() {
+        let clock = SimClock::new();
+        let (resp, report) = RetryPolicy::default().run(&clock, |_| Response::ok());
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(report.attempts, 1);
+        assert!(!report.exhausted);
+        assert_eq!(clock.now_ms(), 0, "no time charged on clean success");
+    }
+
+    #[test]
+    fn application_responses_are_never_retried() {
+        let clock = SimClock::new();
+        let mut calls = 0;
+        // An application-level 503 (no transport classification) must not
+        // be retried: retrying it would change protocol semantics.
+        let (resp, report) = RetryPolicy::default().run(&clock, |_| {
+            calls += 1;
+            Response::with_status(Status::Unavailable).with_body("app says no")
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(resp.body, "app says no");
+        assert_eq!(clock.now_ms(), 0);
+    }
+
+    #[test]
+    fn unreachable_retries_without_timeout_charge() {
+        let clock = SimClock::new();
+        let policy = RetryPolicy {
+            jitter_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let (resp, report) = policy.run(&clock, |_| transport_fail(TransportError::Unreachable));
+        assert_eq!(report.attempts, 4);
+        assert!(report.exhausted);
+        assert_eq!(report.timeout_ms, 0);
+        // Backoffs: 50, 100, 200 (no sleep after the final attempt).
+        assert_eq!(report.backoff_ms, 350);
+        assert_eq!(clock.now_ms(), 350);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+    }
+
+    #[test]
+    fn timeout_charges_attempt_timeout_each_try() {
+        let clock = SimClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            jitter_ms: 0,
+            attempt_timeout_ms: 500,
+            ..RetryPolicy::default()
+        };
+        let (_, report) = policy.run(&clock, |_| transport_fail(TransportError::Timeout));
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.timeout_ms, 1_500);
+        assert_eq!(report.backoff_ms, 50 + 100);
+        assert_eq!(clock.now_ms(), 1_650);
+    }
+
+    #[test]
+    fn recovers_mid_sequence() {
+        let clock = SimClock::new();
+        let mut calls = 0;
+        let (resp, report) = RetryPolicy::default().run(&clock, |attempt| {
+            assert_eq!(attempt, calls);
+            calls += 1;
+            if calls < 3 {
+                transport_fail(TransportError::Unreachable)
+            } else {
+                Response::ok()
+            }
+        });
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(report.attempts, 3);
+        assert!(!report.exhausted);
+    }
+
+    #[test]
+    fn budget_stops_retries_early() {
+        let clock = SimClock::new();
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff_ms: 100,
+            max_backoff_ms: 100,
+            jitter_ms: 0,
+            budget_ms: 450,
+            attempt_timeout_ms: 0,
+            ..RetryPolicy::default()
+        };
+        let (_, report) = policy.run(&clock, |_| transport_fail(TransportError::Unreachable));
+        // 4 backoffs of 100 ms fit in 450; the 5th would overshoot.
+        assert_eq!(report.attempts, 5);
+        assert!(report.exhausted);
+        assert_eq!(report.backoff_ms, 400);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jitter_deterministic() {
+        let policy = RetryPolicy {
+            base_backoff_ms: 100,
+            max_backoff_ms: 400,
+            jitter_ms: 30,
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..10 {
+            let b = policy.backoff_ms(attempt);
+            let exp = (100u64 << (attempt - 1)).min(400);
+            assert!((exp..=exp + 30).contains(&b), "attempt {attempt}: {b}");
+            // Same (seed, attempt) always draws the same jitter.
+            assert_eq!(b, policy.backoff_ms(attempt));
+        }
+        // A different seed draws a different jitter sequence somewhere.
+        let other = RetryPolicy {
+            seed: 43,
+            ..policy.clone()
+        };
+        assert!((1..10).any(|a| other.backoff_ms(a) != policy.backoff_ms(a)));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let policy = RetryPolicy {
+            base_backoff_ms: u64::MAX / 2,
+            max_backoff_ms: u64::MAX,
+            jitter_ms: 0,
+            ..RetryPolicy::default()
+        };
+        // Shift saturation + saturating mul: no panic, just the cap.
+        assert_eq!(policy.backoff_ms(200), u64::MAX);
+    }
+}

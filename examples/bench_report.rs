@@ -1,20 +1,89 @@
 //! Measures the saturation sweep and writes `BENCH_PR2.json`.
 //!
 //! ```sh
-//! cargo run --release --example bench_report
+//! cargo run --release --example bench_report            # full sweep, rewrites the report
+//! cargo run --release --example bench_report -- --quick # smoke-sized, no rewrite
+//! cargo run --release --example bench_report -- --check # regression gate vs the report
 //! ```
 //!
 //! Drives the full phase-3→6 flow and the warm phase-6 steady state from
 //! 1/2/4/8 threads against one AM and two Hosts (see `sim::saturation`),
 //! then records `{bench, threads, reqs_per_sec, p50_us, p99_us}` rows so
-//! the repo carries a measured perf trajectory PR over PR. Pass `--quick`
-//! for a smoke-sized run that does not overwrite the checked-in report.
+//! the repo carries a measured perf trajectory PR over PR.
+//!
+//! `--check` re-measures only the single-thread `phase6_warm` workload
+//! and exits non-zero when it lands below 70% of the committed baseline
+//! in `BENCH_PR2.json` — the CI bench-smoke gate (threshold rationale in
+//! `EXPERIMENTS.md`).
 
-use ucam::sim::saturation::{rows_to_json, saturation_sweep};
+use ucam::sim::saturation::{
+    rows_to_json, run_saturation, saturation_sweep, SaturationConfig, SaturationMode,
+};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Fraction of the committed single-thread `phase6_warm` throughput the
+/// `--check` measurement must reach.
+const CHECK_FLOOR: f64 = 0.70;
+
+/// Extracts `reqs_per_sec` for the single-thread `phase6_warm` row from
+/// the committed report. Hand-rolled on purpose: the root package takes
+/// no JSON dependency, and the report's row format is fixed (emitted by
+/// `SaturationRow::to_json`).
+fn baseline_phase6_warm_1t(report: &str) -> Option<f64> {
+    let row_key = "\"bench\":\"phase6_warm\",\"threads\":1,";
+    let row_at = report.find(row_key)? + row_key.len();
+    let rest = &report[row_at..];
+    let field_key = "\"reqs_per_sec\":";
+    let value_at = rest.find(field_key)? + field_key.len();
+    let value = &rest[value_at..];
+    let end = value.find([',', '}'])?;
+    value[..end].trim().parse().ok()
+}
+
+/// Runs the regression gate. Returns the process exit code.
+fn check() -> i32 {
+    let report = match std::fs::read_to_string("BENCH_PR2.json") {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("--check: cannot read BENCH_PR2.json: {err}");
+            return 1;
+        }
+    };
+    let Some(baseline) = baseline_phase6_warm_1t(&report) else {
+        eprintln!("--check: no phase6_warm/threads=1 row in BENCH_PR2.json");
+        return 1;
+    };
+    let row = run_saturation(&SaturationConfig {
+        threads: 1,
+        iters_per_thread: 20_000,
+        mode: SaturationMode::Phase6Warm,
+    });
+    let floor = baseline * CHECK_FLOOR;
+    println!(
+        "bench-smoke: phase6_warm threads=1  measured {:>10.0} req/s  \
+         baseline {:>10.0} req/s  floor {:>10.0} req/s",
+        row.reqs_per_sec, baseline, floor
+    );
+    if row.reqs_per_sec < floor {
+        eprintln!(
+            "--check: REGRESSION: {:.0} req/s is below {:.0}% of the committed baseline",
+            row.reqs_per_sec,
+            CHECK_FLOOR * 100.0
+        );
+        return 1;
+    }
+    println!(
+        "bench-smoke: ok (within {:.0}% of baseline)",
+        CHECK_FLOOR * 100.0
+    );
+    0
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        std::process::exit(check());
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let iters = if quick { 50 } else { 4000 };
 

@@ -40,6 +40,51 @@ fn am_outage_fails_closed_but_recovers() {
 }
 
 #[test]
+fn fabric_failures_are_transport_classified_but_app_errors_are_not() {
+    // Regression for the `set_offline` blind spot: dispatches into a
+    // partition used to be indistinguishable from application 503s, so
+    // retry/failover layers could not tell what is safe to retry.
+    let world = shared_world();
+    world.set_decision_caches(false);
+
+    // Partition -> Unreachable.
+    world.net.set_offline(AM, true);
+    let resp = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, &format!("https://{AM}/authorize")),
+    );
+    assert_eq!(resp.status, Status::Unavailable);
+    assert_eq!(
+        resp.transport_error(),
+        Some(ucam::webenv::TransportError::Unreachable)
+    );
+    world.net.set_offline(AM, false);
+
+    // Message loss -> Timeout.
+    world.net.set_loss_every(1, 0);
+    let resp = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, &format!("https://{AM}/authorize")),
+    );
+    assert_eq!(resp.status, Status::Unavailable);
+    assert_eq!(
+        resp.transport_error(),
+        Some(ucam::webenv::TransportError::Timeout)
+    );
+    world.net.set_loss_every(0, 0);
+
+    // A healthy dispatch that the *application* answers — even with an
+    // error status — carries no transport classification: it must never
+    // be retried or failed over.
+    let resp = world.net.dispatch(
+        "requester:alice-agent",
+        Request::new(Method::Get, &format!("https://{AM}/no-such-endpoint")),
+    );
+    assert!(!resp.status.is_success());
+    assert_eq!(resp.transport_error(), None);
+}
+
+#[test]
 fn host_outage_reported_to_requester() {
     let mut world = shared_world();
     world.net.set_offline(HOSTS[0], true);

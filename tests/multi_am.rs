@@ -187,6 +187,66 @@ fn per_resource_am_override() {
 }
 
 #[test]
+fn requester_bounced_by_offline_primary_am_completes_against_secondary() {
+    let rig = rig();
+    upload(&rig, "bob", "rome", "p1");
+
+    // Bob's AMs mirror each other: the same delegation and policy exist
+    // at both, and the Host will fail a decision query over from A to B.
+    delegate(&rig, "bob", &rig.am_a);
+    let (delegation_b, token_b) = rig
+        .am_b
+        .establish_delegation("pics.example", "bob")
+        .unwrap();
+    rig.pics.shell().core.set_fallback_am(
+        "am-a.example",
+        DelegationConfig {
+            am: "am-b.example".into(),
+            host_token: token_b,
+            delegation_id: delegation_b.id,
+        },
+    );
+    permit_alice(&rig.am_a, "bob", "albums/rome/p1");
+    permit_alice(&rig.am_b, "bob", "albums/rome/p1");
+
+    // The primary AM goes dark before Alice ever authorizes.
+    rig.net.set_offline("am-a.example", true);
+
+    let assertion = rig.idp.login("alice", "pw").unwrap().token;
+    let mut client = RequesterClient::new("requester:alice-agent");
+    client.set_subject_token(Some(assertion));
+    client.set_fallback_am("am-a.example", "am-b.example");
+
+    // Phase 3: the Host's redirect still points at AM-A; the requester
+    // is bounced off it at the transport level, re-homes the authorize
+    // URL onto AM-B, and obtains the token there. Phase 5/6: the Host's
+    // decision query also fails over to AM-B, which recognizes its own
+    // token. The access completes with the primary fully dark.
+    let outcome = client.access(
+        &rig.net,
+        &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+    );
+    assert!(outcome.is_granted(), "{outcome:?}");
+    assert_eq!(client.stats().failovers, 1);
+    assert_eq!(rig.pics.shell().core.stats().fallback_queries, 1);
+
+    // Back online, the primary serves the next authorization natively
+    // and the secondary is no longer consulted.
+    rig.net.set_offline("am-a.example", false);
+    let mut native = RequesterClient::new("requester:alice-agent");
+    native.set_subject_token(Some(rig.idp.login("alice", "pw").unwrap().token));
+    native.set_fallback_am("am-a.example", "am-b.example");
+    assert!(native
+        .access(
+            &rig.net,
+            &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+        )
+        .is_granted());
+    assert_eq!(native.stats().failovers, 0);
+    assert_eq!(rig.pics.shell().core.stats().fallback_queries, 1);
+}
+
+#[test]
 fn ams_do_not_accept_each_others_tokens() {
     let rig = rig();
     upload(&rig, "bob", "rome", "p1");
