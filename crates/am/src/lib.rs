@@ -22,8 +22,11 @@
 //!
 //! [`AuthorizationManager`] exposes everything both as a native Rust API
 //! and as a simulated Web application (`ucam_webenv::WebApp`) with the
-//! protocol endpoints `/delegate`, `/compose`, `/authorize`, `/decision`,
-//! `/policies/{import,export}`, and `/consent/*`.
+//! protocol endpoints `/delegate`, `/compose`, `/authorize`, the versioned
+//! protection surface `/protection/v1/{decision,decisions}` (with the
+//! historical `/decision` alias), `/policies/{import,export}`, and
+//! `/consent/*` — plus an asynchronous AM→Host policy-epoch [`push`]
+//! channel delivered over the simulated network.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod claims;
 pub mod consent;
 pub mod manager;
 pub mod pap;
+pub mod push;
 pub mod tokens;
 pub mod trust;
 
@@ -41,5 +45,6 @@ pub use manager::{
     AmError, AuthorizationManager, AuthorizeOutcome, AuthorizeRequest, Decision, DecisionQuery,
 };
 pub use pap::{Account, ExportFormat};
+pub use push::EpochPushStats;
 pub use tokens::{AuthzGrant, HostGrant, TokenError, TokenService};
 pub use trust::{Delegation, TrustError, TrustRegistry};

@@ -16,19 +16,22 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use ucam_policy::{
     AccessRequest, Action, Claim, ClaimRequirement, EngineDecision, EvalContext, Outcome,
     PolicyEngine, ResourceRef,
 };
 use ucam_webenv::identity::IdentityVerifier;
-use ucam_webenv::{Request, Response, SimClock, SimNet, Status, Url, WebApp};
+use ucam_webenv::{
+    protocol, DecisionBody, Method, Request, Response, SimClock, SimNet, Status, Url, WebApp,
+};
 
 use crate::audit::{AuditEntry, AuditEvent, AuditLog};
 use crate::claims::{ClaimIssuer, ClaimVerifier};
 use crate::consent::{Channel, ConsentQueue, ConsentState, Notification, NotificationOutbox};
 use crate::pap::{Account, ExportFormat};
+use crate::push::{EpochPushChannel, EpochPushStats};
 use crate::tokens::{AuthzGrant, HostGrant, TokenError, TokenService};
 use crate::trust::{Delegation, TrustError, TrustRegistry};
 
@@ -291,6 +294,9 @@ pub struct AuthorizationManager {
     /// holds the central `state` lock and a shard lock at the same time;
     /// each phase of `authorize`/`decide` is its own lock scope.
     accounts: [RwLock<AccountShard>; ACCOUNT_SHARDS],
+    /// Asynchronous AM→Host epoch push channel. Same lock-ordering rule:
+    /// never held together with `state` or a shard lock.
+    pushes: Mutex<EpochPushChannel>,
 }
 
 impl fmt::Debug for AuthorizationManager {
@@ -313,6 +319,7 @@ impl AuthorizationManager {
             clock,
             state: RwLock::new(AmState::default()),
             accounts: std::array::from_fn(|_| RwLock::new(AccountShard::default())),
+            pushes: Mutex::new(EpochPushChannel::default()),
         }
     }
 
@@ -329,9 +336,74 @@ impl AuthorizationManager {
     /// Advances `owner`'s policy epoch, invalidating every decision a
     /// Host may have cached under the previous epoch.
     fn bump_policy_epoch(&self, owner: &str) {
-        if let Some(slot) = self.shard_for(owner).write().get_mut(owner) {
-            slot.epoch += 1;
+        let bumped = {
+            let mut shard = self.shard_for(owner).write();
+            shard.get_mut(owner).map(|slot| {
+                slot.epoch += 1;
+                slot.epoch
+            })
+        };
+        if let Some(epoch) = bumped {
+            self.schedule_epoch_push(owner, epoch);
         }
+    }
+
+    // -- asynchronous epoch pushes ------------------------------------------
+
+    /// Registers `host` to receive asynchronous policy-epoch pushes on
+    /// its `/protection/v1/epoch` route whenever an owner's epoch
+    /// advances. Delivery happens when [`Self::pump_epoch_pushes`] runs —
+    /// epochs propagate as real network messages, not as an instantaneous
+    /// side effect (see [`crate::push`]).
+    pub fn set_epoch_push_target(&self, host: &str) {
+        self.pushes.lock().add_target(host);
+    }
+
+    /// Queues an epoch advance for delivery to every push target.
+    fn schedule_epoch_push(&self, owner: &str, epoch: u64) {
+        let mut pushes = self.pushes.lock();
+        if pushes.has_targets() {
+            pushes.schedule(self.clock.now_ms(), owner, epoch);
+        }
+    }
+
+    /// Attempts delivery of every due epoch push over `net`, returning how
+    /// many were delivered. Transport failures requeue the push with
+    /// deterministic backoff; pushes retry until they land (epochs are
+    /// monotonic, so redelivery is harmless and dropping is not).
+    pub fn pump_epoch_pushes(&self, net: &SimNet) -> usize {
+        let due = self.pushes.lock().take_due(self.clock.now_ms());
+        let mut delivered = 0;
+        for push in due {
+            let req = Request::new(
+                Method::Post,
+                &format!("https://{}{}", push.host, protocol::EPOCH_PUSH_PATH),
+            )
+            .with_param("owner", &push.owner)
+            .with_param("epoch", &push.epoch.to_string());
+            let resp = net.dispatch(&self.authority, req);
+            let now = self.clock.now_ms();
+            let mut pushes = self.pushes.lock();
+            if resp.transport_error().is_some() {
+                pushes.requeue(push, now);
+            } else {
+                pushes.record_delivery(now, &push);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Undelivered epoch pushes (due or backing off).
+    #[must_use]
+    pub fn pending_epoch_pushes(&self) -> usize {
+        self.pushes.lock().pending_len()
+    }
+
+    /// Delivery counters for the epoch push channel.
+    #[must_use]
+    pub fn epoch_push_stats(&self) -> EpochPushStats {
+        self.pushes.lock().stats()
     }
 
     /// The owner's current policy epoch (0 when the owner is unknown).
@@ -465,12 +537,16 @@ impl AuthorizationManager {
     ///
     /// Returns [`AmError::UnknownUser`] when the user has no account.
     pub fn pap<R>(&self, user: &str, f: impl FnOnce(&mut Account) -> R) -> Result<R, AmError> {
-        let mut shard = self.shard_for(user).write();
-        let slot = shard
-            .get_mut(user)
-            .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
-        let result = f(&mut slot.account);
-        slot.epoch += 1;
+        let (result, epoch) = {
+            let mut shard = self.shard_for(user).write();
+            let slot = shard
+                .get_mut(user)
+                .ok_or_else(|| AmError::UnknownUser(user.to_owned()))?;
+            let result = f(&mut slot.account);
+            slot.epoch += 1;
+            (result, slot.epoch)
+        };
+        self.schedule_epoch_push(user, epoch);
         Ok(result)
     }
 
@@ -489,18 +565,22 @@ impl AuthorizationManager {
         owner: &str,
         f: impl FnOnce(&mut Account) -> R,
     ) -> Result<R, AmError> {
-        let mut shard = self.shard_for(owner).write();
-        let slot = shard
-            .get_mut(owner)
-            .ok_or_else(|| AmError::UnknownUser(owner.to_owned()))?;
-        if !slot.account.may_administer(actor) {
-            return Err(AmError::NotAuthorized {
-                actor: actor.to_owned(),
-                owner: owner.to_owned(),
-            });
-        }
-        let result = f(&mut slot.account);
-        slot.epoch += 1;
+        let (result, epoch) = {
+            let mut shard = self.shard_for(owner).write();
+            let slot = shard
+                .get_mut(owner)
+                .ok_or_else(|| AmError::UnknownUser(owner.to_owned()))?;
+            if !slot.account.may_administer(actor) {
+                return Err(AmError::NotAuthorized {
+                    actor: actor.to_owned(),
+                    owner: owner.to_owned(),
+                });
+            }
+            let result = f(&mut slot.account);
+            slot.epoch += 1;
+            (result, slot.epoch)
+        };
+        self.schedule_epoch_push(owner, epoch);
         Ok(result)
     }
 
@@ -784,6 +864,18 @@ impl AuthorizationManager {
         }
     }
 
+    /// Answers a batch of decision queries in one call (the wire side is
+    /// the `/protection/v1/decisions` route). Evaluation is per-item and
+    /// order-preserving: item *i* of the result answers query *i*, and a
+    /// token failure on one item ([`Err`]) does not poison its neighbors.
+    /// The amortization is in the transport — one Host→AM round trip
+    /// carries up to [`protocol::MAX_BATCH`] queries (the cap is enforced
+    /// at the web layer; the native API accepts any length).
+    #[must_use]
+    pub fn decide_batch(&self, queries: &[DecisionQuery]) -> Vec<Result<Decision, AmError>> {
+        queries.iter().map(|query| self.decide(query)).collect()
+    }
+
     // -- account portability ----------------------------------------------------
 
     /// Exports `user`'s entire administrative state (policies, bindings,
@@ -813,9 +905,13 @@ impl AuthorizationManager {
     pub fn import_account(&self, snapshot: &str) -> Result<String, String> {
         let account: Account = serde_json::from_str(snapshot).map_err(|e| e.to_string())?;
         let user = account.user().to_owned();
-        let mut shard = self.shard_for(&user).write();
-        let epoch = shard.get(&user).map_or(1, |slot| slot.epoch + 1);
-        shard.insert(user.clone(), AccountSlot { account, epoch });
+        let epoch = {
+            let mut shard = self.shard_for(&user).write();
+            let epoch = shard.get(&user).map_or(1, |slot| slot.epoch + 1);
+            shard.insert(user.clone(), AccountSlot { account, epoch });
+            epoch
+        };
+        self.schedule_epoch_push(&user, epoch);
         Ok(user)
     }
 
@@ -930,6 +1026,18 @@ impl AuthorizationManager {
     }
 }
 
+/// Projects a native [`Decision`] onto the shared wire type every party
+/// (AM, Host, baselines) serializes through.
+fn decision_wire(decision: &Decision) -> DecisionBody {
+    match decision {
+        Decision::Permit {
+            cacheable_ms,
+            policy_epoch,
+        } => DecisionBody::permit(*cacheable_ms, *policy_epoch),
+        Decision::Deny { reason } => DecisionBody::deny(reason),
+    }
+}
+
 fn build_access_request(
     host: &str,
     resource_id: &str,
@@ -986,8 +1094,10 @@ impl WebApp for AuthorizationManager {
             // Fig. 5: a Requester asks for an authorization token.
             "/authorize" => self.web_authorize(req),
             "/authorize/status" => self.web_authorize_status(req),
-            // Fig. 6: a Host queries for a decision.
-            "/decision" => {
+            // Fig. 6: a Host queries for a decision. The versioned
+            // `/protection/v1/decision` route is canonical; the bare
+            // `/decision` path is the pre-versioning alias.
+            protocol::DECISION_PATH | protocol::LEGACY_DECISION_PATH => {
                 let resp = self.web_decision(req);
                 // Lazy label: while tracing is off (every hot loop) this
                 // is one atomic load and no formatting.
@@ -1003,6 +1113,19 @@ impl WebApp for AuthorizationManager {
                         "PDP decision for {} on {}: {verdict}",
                         req.param("requester").unwrap_or("?"),
                         req.param("resource").unwrap_or("?"),
+                    )
+                });
+                resp
+            }
+            // Batched decision queries: one round trip, up to
+            // `protocol::MAX_BATCH` verdicts.
+            protocol::BATCH_DECISIONS_PATH => {
+                let resp = self.web_decisions_batch(req);
+                net.trace().note_with(&self.authority, || {
+                    format!(
+                        "PDP batch decision ({} bytes in, {} bytes out)",
+                        req.body.len(),
+                        resp.body.len()
                     )
                 });
                 resp
@@ -1233,18 +1356,44 @@ impl AuthorizationManager {
             _ => return Response::bad_request("host_token, token, resource, requester required"),
         };
         match self.decide(&query) {
-            Ok(Decision::Permit {
-                cacheable_ms,
-                policy_epoch,
-            }) => Response::ok().with_body(format!(
-                "{{\"decision\":\"permit\",\"cacheable_ms\":{cacheable_ms},\"policy_epoch\":{policy_epoch}}}"
-            )),
-            Ok(Decision::Deny { reason }) => Response::ok().with_body(format!(
-                "{{\"decision\":\"deny\",\"reason\":{}}}",
-                serde_json::to_string(&reason).unwrap_or_else(|_| "\"\"".into())
-            )),
+            Ok(decision) => Response::ok().with_body(decision_wire(&decision).to_json()),
             Err(e) => Response::with_status(Status::Unauthorized).with_body(e.to_string()),
         }
+    }
+
+    /// Handles `/protection/v1/decisions`: the body is a JSON array of
+    /// [`protocol::BatchItem`]s, all scoped to one `host_token`; the
+    /// response is a JSON array of decision bodies in request order.
+    /// Token failures are per-item (`"decision":"error"`), so one expired
+    /// token cannot poison a batch — except a bad *host* token, which by
+    /// construction fails every item.
+    fn web_decisions_batch(&self, req: &Request) -> Response {
+        let Some(host_token) = req.param("host_token") else {
+            return Response::bad_request("host_token required");
+        };
+        let items = match protocol::parse_batch_request(&req.body) {
+            Ok(items) => items,
+            Err(e) => return Response::bad_request(&e.to_string()),
+        };
+        let queries: Vec<DecisionQuery> = items
+            .iter()
+            .map(|item| DecisionQuery {
+                host_token: host_token.to_owned(),
+                authz_token: item.token.clone(),
+                resource_id: item.resource.clone(),
+                action: parse_action(Some(item.action.as_str())),
+                requester: item.requester.clone(),
+            })
+            .collect();
+        let bodies: Vec<DecisionBody> = self
+            .decide_batch(&queries)
+            .iter()
+            .map(|result| match result {
+                Ok(decision) => decision_wire(decision),
+                Err(e) => DecisionBody::error(&e.to_string()),
+            })
+            .collect();
+        Response::ok().with_body(protocol::encode_batch_response(&bodies))
     }
 
     fn web_export(&self, req: &Request) -> Response {

@@ -1,0 +1,254 @@
+//! The asynchronous policy-epoch push channel (AM → Host).
+//!
+//! Earlier revisions modeled epoch propagation as a synchronous call: the
+//! moment an owner's policy changed, every Host's decision cache learned
+//! the new epoch "for free". Real networks do not work that way — a push
+//! is a message, and messages are lost, delayed and retried. This module
+//! makes the push a first-class [`ucam_webenv::SimNet`] message with its
+//! own due-time, deterministic backoff and delivery bookkeeping, so the
+//! chaos soak can *measure* the revocation-visibility window instead of
+//! assuming it is zero (DESIGN.md §11).
+//!
+//! Properties the rest of the system relies on:
+//!
+//! * **Coalescing** — pushes are keyed by (host, owner); a burst of policy
+//!   edits collapses to one pending push carrying the *maximum* epoch.
+//!   Epochs are monotonic, so delivering only the newest is lossless.
+//! * **No drops** — a push retries forever (with capped backoff). A
+//!   dropped revocation would leave a Host's visible policy stale until
+//!   cache TTL expiry; retrying forever keeps the visibility window
+//!   bounded by partition length + backoff, which the soak asserts.
+//! * **Determinism** — backoff is a fixed doubling schedule with no
+//!   jitter, and due pushes are drained in sorted (host, owner) order, so
+//!   a seeded run replays exactly.
+//!
+//! Safety note: a push can only *lower* trust (it invalidates cached
+//! permits; see `HostCore::note_policy_epoch`'s monotonicity), so the
+//! receiving route needs no authentication — a forged or replayed push is
+//! at worst a cache flush.
+
+/// Delivery counters for the epoch push channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochPushStats {
+    /// Epoch advances handed to the channel (before coalescing).
+    pub scheduled: u64,
+    /// Schedules absorbed into an already-pending push for the same
+    /// (host, owner).
+    pub coalesced: u64,
+    /// Pushes delivered to a Host.
+    pub delivered: u64,
+    /// Delivery attempts that failed at the transport and were requeued.
+    pub retries: u64,
+    /// Worst observed scheduling-to-delivery lag in milliseconds — the
+    /// measured revocation-visibility window contribution of the channel.
+    pub max_lag_ms: u64,
+}
+
+/// One undelivered epoch push.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingPush {
+    /// Host authority to deliver to.
+    pub(crate) host: String,
+    /// Owner whose epoch advanced.
+    pub(crate) owner: String,
+    /// The (coalesced, maximum) epoch to announce.
+    pub(crate) epoch: u64,
+    /// When the oldest coalesced-in advance was scheduled — the basis of
+    /// the lag measurement.
+    pub(crate) first_scheduled_ms: u64,
+    /// Earliest time the next delivery attempt may run.
+    pub(crate) due_at_ms: u64,
+    /// Failed delivery attempts so far.
+    pub(crate) attempts: u32,
+}
+
+/// First retry delay after a failed push delivery.
+const BASE_BACKOFF_MS: u64 = 25;
+/// Retry delay ceiling; a long partition costs at most this much extra
+/// visibility lag once it heals.
+const MAX_BACKOFF_MS: u64 = 400;
+
+/// The channel state owned by an `AuthorizationManager`.
+#[derive(Debug, Default)]
+pub(crate) struct EpochPushChannel {
+    targets: Vec<String>,
+    pending: Vec<PendingPush>,
+    stats: EpochPushStats,
+}
+
+impl EpochPushChannel {
+    /// Registers a Host to receive pushes; idempotent.
+    pub(crate) fn add_target(&mut self, host: &str) {
+        if !self.targets.iter().any(|t| t == host) {
+            self.targets.push(host.to_owned());
+        }
+    }
+
+    /// Whether any Host is registered (lets callers skip lock traffic on
+    /// the common no-push configuration).
+    pub(crate) fn has_targets(&self) -> bool {
+        !self.targets.is_empty()
+    }
+
+    /// Queues `owner`'s new epoch for every registered Host, coalescing
+    /// with any still-pending push for the same (host, owner).
+    pub(crate) fn schedule(&mut self, now_ms: u64, owner: &str, epoch: u64) {
+        for i in 0..self.targets.len() {
+            let host = self.targets[i].clone();
+            self.stats.scheduled += 1;
+            if let Some(existing) = self
+                .pending
+                .iter_mut()
+                .find(|p| p.host == host && p.owner == owner)
+            {
+                existing.epoch = existing.epoch.max(epoch);
+                self.stats.coalesced += 1;
+            } else {
+                self.pending.push(PendingPush {
+                    host,
+                    owner: owner.to_owned(),
+                    epoch,
+                    first_scheduled_ms: now_ms,
+                    due_at_ms: now_ms,
+                    attempts: 0,
+                });
+            }
+        }
+    }
+
+    /// Removes and returns every push due at `now_ms`, in deterministic
+    /// (host, owner) order.
+    pub(crate) fn take_due(&mut self, now_ms: u64) -> Vec<PendingPush> {
+        let mut due: Vec<PendingPush> = Vec::new();
+        self.pending.retain(|p| {
+            if p.due_at_ms <= now_ms {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by(|a, b| (&a.host, &a.owner).cmp(&(&b.host, &b.owner)));
+        due
+    }
+
+    /// Requeues a push whose delivery failed at the transport, with the
+    /// next slot of the deterministic backoff schedule. If a newer epoch
+    /// was scheduled for the same (host, owner) while this one was in
+    /// flight, the two merge.
+    pub(crate) fn requeue(&mut self, mut push: PendingPush, now_ms: u64) {
+        self.stats.retries += 1;
+        push.attempts += 1;
+        let backoff = (BASE_BACKOFF_MS << push.attempts.min(16)).min(MAX_BACKOFF_MS);
+        push.due_at_ms = now_ms + backoff;
+        if let Some(existing) = self
+            .pending
+            .iter_mut()
+            .find(|p| p.host == push.host && p.owner == push.owner)
+        {
+            existing.epoch = existing.epoch.max(push.epoch);
+            existing.first_scheduled_ms = existing.first_scheduled_ms.min(push.first_scheduled_ms);
+            existing.due_at_ms = existing.due_at_ms.min(push.due_at_ms);
+            existing.attempts = existing.attempts.max(push.attempts);
+        } else {
+            self.pending.push(push);
+        }
+    }
+
+    /// Records a successful delivery and folds its lag into the stats.
+    pub(crate) fn record_delivery(&mut self, now_ms: u64, push: &PendingPush) {
+        self.stats.delivered += 1;
+        let lag = now_ms.saturating_sub(push.first_scheduled_ms);
+        if lag > self.stats.max_lag_ms {
+            self.stats.max_lag_ms = lag;
+        }
+    }
+
+    /// Undelivered push count.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Snapshot of the delivery counters.
+    pub(crate) fn stats(&self) -> EpochPushStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_coalesce_to_max_epoch_per_host_owner() {
+        let mut ch = EpochPushChannel::default();
+        ch.add_target("host-a.example");
+        ch.add_target("host-b.example");
+        ch.add_target("host-a.example"); // idempotent
+        ch.schedule(100, "bob", 2);
+        ch.schedule(150, "bob", 4);
+        ch.schedule(150, "bob", 3);
+        assert_eq!(ch.pending_len(), 2); // one per host, coalesced
+        let due = ch.take_due(200);
+        assert_eq!(due.len(), 2);
+        assert!(due.iter().all(|p| p.epoch == 4));
+        assert!(due.iter().all(|p| p.first_scheduled_ms == 100));
+        assert_eq!(ch.stats().scheduled, 6);
+        assert_eq!(ch.stats().coalesced, 4);
+    }
+
+    #[test]
+    fn take_due_respects_due_time_and_orders_deterministically() {
+        let mut ch = EpochPushChannel::default();
+        ch.add_target("z.example");
+        ch.add_target("a.example");
+        ch.schedule(100, "bob", 2);
+        assert!(ch.take_due(99).is_empty());
+        let due = ch.take_due(100);
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].host, "a.example");
+        assert_eq!(due[1].host, "z.example");
+        assert_eq!(ch.pending_len(), 0);
+    }
+
+    #[test]
+    fn requeue_backs_off_and_merges_with_fresher_schedules() {
+        let mut ch = EpochPushChannel::default();
+        ch.add_target("host.example");
+        ch.schedule(0, "bob", 2);
+        let mut due = ch.take_due(0);
+        let push = due.pop().unwrap();
+        // A fresher epoch lands while the first delivery is in flight.
+        ch.schedule(10, "bob", 3);
+        ch.requeue(push, 20);
+        assert_eq!(ch.pending_len(), 1);
+        let merged = ch.take_due(u64::MAX).pop().unwrap();
+        assert_eq!(merged.epoch, 3);
+        assert_eq!(merged.first_scheduled_ms, 0);
+        assert_eq!(ch.stats().retries, 1);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut ch = EpochPushChannel::default();
+        ch.add_target("host.example");
+        ch.schedule(0, "bob", 2);
+        let mut push = ch.take_due(0).pop().unwrap();
+        for _ in 0..10 {
+            ch.requeue(push.clone(), 1000);
+            push = ch.take_due(u64::MAX).pop().unwrap();
+        }
+        assert!(push.due_at_ms <= 1000 + MAX_BACKOFF_MS);
+    }
+
+    #[test]
+    fn delivery_tracks_worst_lag() {
+        let mut ch = EpochPushChannel::default();
+        ch.add_target("host.example");
+        ch.schedule(100, "bob", 2);
+        let push = ch.take_due(100).pop().unwrap();
+        ch.record_delivery(340, &push);
+        assert_eq!(ch.stats().delivered, 1);
+        assert_eq!(ch.stats().max_lag_ms, 240);
+    }
+}

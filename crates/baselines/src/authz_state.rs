@@ -17,7 +17,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use ucam_policy::{AccessRequest, Action, EvalContext, Outcome, RulePolicy};
-use ucam_webenv::{Method, Request, Response, SimNet, Status, Url, WebApp};
+use ucam_webenv::{DecisionBody, Method, Request, Response, SimNet, Status, Url, WebApp};
 
 use crate::FlowCosts;
 
@@ -89,17 +89,22 @@ impl WebApp for StateAm {
                     _ => Response::ok().with_body("state established"),
                 }
             }
-            // The host checks the state when deciding.
+            // The host checks the state when deciding. The answer travels
+            // as the shared `/protection/v1` decision wire type so every
+            // decision-bearing response in the workspace has one shape.
             "/state/check" => {
                 let (requester, resource) = match (req.param("requester"), req.param("resource")) {
                     (Some(rq), Some(r)) => (rq.to_owned(), r.to_owned()),
                     _ => return Response::bad_request("requester and resource required"),
                 };
-                if self.states.read().contains(&(requester, resource)) {
-                    Response::ok().with_body("permit")
+                let body = if self.states.read().contains(&(requester, resource)) {
+                    // The state model carries no token TTL or policy epoch;
+                    // freshness lives entirely in the AM-held state.
+                    DecisionBody::permit(0, 0)
                 } else {
-                    Response::ok().with_body("deny")
-                }
+                    DecisionBody::deny("no authorization state")
+                };
+                Response::ok().with_body(body.to_json())
             }
             other => Response::not_found(other),
         }
@@ -192,7 +197,9 @@ impl WebApp for StateHost {
                 .with_param("requester", &requester)
                 .with_param("resource", id),
         );
-        if check.status.is_success() && check.body == "permit" {
+        let permitted = check.status.is_success()
+            && DecisionBody::from_json(&check.body).is_ok_and(|body| body.is_permit());
+        if permitted {
             if *self.cache_enabled.read() {
                 self.cache.write().insert(key);
             }
@@ -353,6 +360,7 @@ mod tests {
                 .with_param("requester", "c")
                 .with_param("resource", "r"),
         );
-        assert_eq!(resp.body, "deny");
+        let body = DecisionBody::from_json(&resp.body).expect("wire-typed decision");
+        assert!(!body.is_permit());
     }
 }

@@ -30,7 +30,8 @@ use parking_lot::{Mutex, RwLock};
 use ucam_crypto::sha256;
 use ucam_policy::{AccessRequest, AclMatrix, Action, EvalContext, Outcome, ResourceRef};
 use ucam_webenv::{
-    Method, Request, Response, RetryPolicy, SimClock, SimNet, Status, TransportError, Url,
+    protocol, BatchItem, DecisionBody, Method, Request, Response, RetryPolicy, SimClock, SimNet,
+    Status, TransportError, Url,
 };
 
 /// A stored Web resource.
@@ -103,17 +104,159 @@ struct BreakerState {
     open_until_ms: u64,
 }
 
-/// Opt-in resilience configuration for the Host→AM edge. All fields
-/// default to "off", preserving the seed behaviour bit for bit.
+/// Opt-in resilience configuration for the Host→AM edge, applied
+/// atomically with [`HostCore::set_resilience`]. All fields default to
+/// "off", preserving the seed behaviour bit for bit.
+///
+/// This builder replaces the per-knob setters that accreted over three
+/// revisions (`set_breaker`, `set_am_retry`, `set_fallback_am`,
+/// `set_stale_grace_ms`); those remain as deprecated wrappers with
+/// identical behaviour.
+///
+/// ```
+/// use ucam_host::core::{BreakerConfig, HostCore, ResilienceConfig};
+/// use ucam_webenv::{RetryPolicy, SimClock};
+///
+/// let host = HostCore::new("h.example", SimClock::new());
+/// host.set_resilience(
+///     ResilienceConfig::new()
+///         .with_breaker(BreakerConfig::default())
+///         .with_am_retry(RetryPolicy::default())
+///         .with_stale_grace_ms(15_000),
+/// );
+/// ```
 #[derive(Debug, Clone, Default)]
-struct ResilienceConfig {
+pub struct ResilienceConfig {
     /// Circuit breaker on decision queries.
     breaker: Option<BreakerConfig>,
     /// Retry discipline for decision-query dispatches.
     am_retry: Option<RetryPolicy>,
-    /// Fallback AM per primary AM authority, queried when the primary
-    /// fails at the transport level (or its circuit is open).
-    fallback_ams: HashMap<String, DelegationConfig>,
+    /// Fallback AM keyed by (primary AM authority, owner): the
+    /// owner-specific entry (`Some(owner)`) wins over the any-owner
+    /// wildcard (`None`). Queried when the primary fails at the
+    /// transport level (or its circuit is open). The per-owner key is
+    /// what lets two owners sharing a primary AM mirror to *different*
+    /// secondaries.
+    fallback_ams: HashMap<(String, Option<String>), DelegationConfig>,
+    /// Degraded-mode grace window (ms past TTL expiry); 0 disables.
+    stale_grace_ms: u64,
+}
+
+impl ResilienceConfig {
+    /// An all-off configuration (the seed behaviour).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the circuit breaker on the Host→AM decision channel.
+    #[must_use]
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
+    /// Installs a retry policy for decision-query dispatches. Only
+    /// transport failures are retried; application answers return after
+    /// the first attempt.
+    #[must_use]
+    pub fn with_am_retry(mut self, policy: RetryPolicy) -> Self {
+        self.am_retry = Some(policy);
+        self
+    }
+
+    /// Registers `fallback` for *any* owner whose primary AM is
+    /// `primary_am` (the historical wildcard semantics). An owner-specific
+    /// entry from [`ResilienceConfig::with_fallback_am_for_owner`] takes
+    /// precedence.
+    #[must_use]
+    pub fn with_fallback_am(mut self, primary_am: &str, fallback: DelegationConfig) -> Self {
+        self.fallback_ams
+            .insert((primary_am.to_owned(), None), fallback);
+        self
+    }
+
+    /// Registers `fallback` for `owner`'s resources specifically: two
+    /// owners sharing `primary_am` may mirror to different secondaries,
+    /// each holding only that owner's delegation.
+    #[must_use]
+    pub fn with_fallback_am_for_owner(
+        mut self,
+        primary_am: &str,
+        owner: &str,
+        fallback: DelegationConfig,
+    ) -> Self {
+        self.fallback_ams
+            .insert((primary_am.to_owned(), Some(owner.to_owned())), fallback);
+        self
+    }
+
+    /// Enables degraded mode: an expired cached permit may be served for
+    /// up to `ms` past its TTL when every AM fails at the transport
+    /// level. Epoch-stale entries always fail closed regardless.
+    #[must_use]
+    pub fn with_stale_grace_ms(mut self, ms: u64) -> Self {
+        self.stale_grace_ms = ms;
+        self
+    }
+
+    /// The fallback delegation for `owner` behind `primary_am`:
+    /// owner-specific entry first, any-owner wildcard second.
+    fn fallback_for(&self, primary_am: &str, owner: &str) -> Option<&DelegationConfig> {
+        self.fallback_ams
+            .get(&(primary_am.to_owned(), Some(owner.to_owned())))
+            .or_else(|| self.fallback_ams.get(&(primary_am.to_owned(), None)))
+    }
+}
+
+/// Batching configuration for Host→AM decision queries (the
+/// `/protection/v1/decisions` channel), applied with
+/// [`HostCore::set_decision_batching`].
+///
+/// Cache-miss queries collected by one [`HostCore::enforce_batch`] call
+/// are grouped per (AM, host token, owner) and flushed in two ways:
+///
+/// * **flush-on-size** — every `max_batch` queries fill a batch request
+///   and go out immediately;
+/// * **flush-on-deadline** — a final partial batch waits `max_delay_ms`
+///   for stragglers that never come. The wait is charged to the
+///   [`SimClock`] (once per enforcement round, since partial batches
+///   against different AMs wait concurrently), keeping runs deterministic
+///   and replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum queries per batch request, clamped to
+    /// [`protocol::MAX_BATCH`] (the AM-side cap).
+    pub max_batch: usize,
+    /// Deadline (ms) a partial batch waits before flushing.
+    pub max_delay_ms: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 8,
+            max_delay_ms: 5,
+        }
+    }
+}
+
+/// One access attempt inside a batched enforcement round — the same
+/// tuple [`HostCore::enforce`] takes, owned so a round can carry many.
+#[derive(Debug, Clone)]
+pub struct AccessAttempt {
+    /// Requesting application label.
+    pub requester: String,
+    /// Authenticated human subject, if any.
+    pub subject: Option<String>,
+    /// Resource id being accessed.
+    pub resource_id: String,
+    /// Action attempted.
+    pub action: Action,
+    /// Bearer (authorization) token presented, if any.
+    pub bearer: Option<String>,
+    /// Where the AM should send the requester back after authorizing.
+    pub return_url: Url,
 }
 
 /// `(requester, resource id, action)` — what a cached decision answers for.
@@ -375,6 +518,9 @@ pub struct PepStats {
     pub fallback_queries: u64,
     /// Extra dispatch attempts spent retrying transport failures.
     pub am_retries: u64,
+    /// Batch decision requests flushed to an AM (each carries up to
+    /// [`BatchConfig::max_batch`] queries in one round trip).
+    pub batch_flushes: u64,
 }
 
 /// What the PEP tells the application to do with a request.
@@ -437,6 +583,7 @@ struct AtomicPepStats {
     breaker_fast_fails: AtomicU64,
     fallback_queries: AtomicU64,
     am_retries: AtomicU64,
+    batch_flushes: AtomicU64,
 }
 
 impl AtomicPepStats {
@@ -450,6 +597,7 @@ impl AtomicPepStats {
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
             fallback_queries: self.fallback_queries.load(Ordering::Relaxed),
             am_retries: self.am_retries.load(Ordering::Relaxed),
+            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
         }
     }
 
@@ -462,6 +610,7 @@ impl AtomicPepStats {
         self.breaker_fast_fails.store(0, Ordering::Relaxed);
         self.fallback_queries.store(0, Ordering::Relaxed);
         self.am_retries.store(0, Ordering::Relaxed);
+        self.batch_flushes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -492,6 +641,9 @@ pub struct HostCore {
     /// Opt-in Host→AM resilience knobs (DESIGN.md §10). Read-mostly:
     /// taken once per decision query, never on the warm cache path.
     resilience: RwLock<ResilienceConfig>,
+    /// Opt-in decision-query batching (`None` = off, the seed behaviour:
+    /// one round trip per cache miss).
+    batching: RwLock<Option<BatchConfig>>,
     /// Per-AM circuit state; only touched when a breaker is configured.
     breaker_states: Mutex<HashMap<String, BreakerState>>,
     /// High-water mark of staleness (ms past expiry) ever served by
@@ -522,6 +674,7 @@ impl HostCore {
             log: Mutex::new(Vec::new()),
             stats: AtomicPepStats::default(),
             resilience: RwLock::new(ResilienceConfig::default()),
+            batching: RwLock::new(None),
             breaker_states: Mutex::new(HashMap::new()),
             max_served_staleness_ms: AtomicU64::new(0),
         }
@@ -574,8 +727,32 @@ impl HostCore {
 
     // -- resilience knobs (DESIGN.md §10) -------------------------------------
 
+    /// Applies a full [`ResilienceConfig`] atomically: breaker, retry,
+    /// fallback AMs and the stale-grace window all switch together, and
+    /// all circuit state resets. This is the one entry point the per-knob
+    /// setters below wrap.
+    pub fn set_resilience(&self, config: ResilienceConfig) {
+        let grace = config.stale_grace_ms;
+        *self.resilience.write() = config;
+        self.breaker_states.lock().clear();
+        let mut cache = self.cache.write();
+        cache.stale_grace_ms = grace;
+        // Shrinking the window may strand now-dead entries; sweep them.
+        let now = self.clock.now_ms();
+        cache.sweep_dead(now);
+    }
+
+    /// A snapshot of the current resilience configuration — read, adjust
+    /// with the builder methods, and re-apply with
+    /// [`HostCore::set_resilience`].
+    #[must_use]
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience.read().clone()
+    }
+
     /// Installs (or removes) the circuit breaker on the Host→AM decision
     /// channel. Changing the configuration resets all circuit state.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_breaker(&self, config: Option<BreakerConfig>) {
         self.resilience.write().breaker = config;
         self.breaker_states.lock().clear();
@@ -585,24 +762,32 @@ impl HostCore {
     /// dispatches. Only transport failures are retried; application
     /// answers (permit/deny/401) return after the first attempt, so a
     /// healthy network sees identical message counts.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_am_retry(&self, policy: Option<RetryPolicy>) {
         self.resilience.write().am_retry = policy;
     }
 
     /// Registers `fallback` as the delegation to query when the primary
     /// AM at `primary_am` fails at the transport level (or its circuit is
-    /// open). The fallback must hold a mirrored delegation for the same
-    /// owners — the Host trusts whichever AM answers.
+    /// open), for any owner. The fallback must hold a mirrored delegation
+    /// for the same owners — the Host trusts whichever AM answers. For
+    /// owner-specific mirrors use
+    /// [`ResilienceConfig::with_fallback_am_for_owner`].
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_fallback_am(&self, primary_am: &str, fallback: DelegationConfig) {
         self.resilience
             .write()
             .fallback_ams
-            .insert(primary_am.to_owned(), fallback);
+            .insert((primary_am.to_owned(), None), fallback);
     }
 
-    /// Removes the fallback AM for `primary_am`, if any.
+    /// Removes the any-owner fallback AM for `primary_am`, if any.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn clear_fallback_am(&self, primary_am: &str) -> Option<DelegationConfig> {
-        self.resilience.write().fallback_ams.remove(primary_am)
+        self.resilience
+            .write()
+            .fallback_ams
+            .remove(&(primary_am.to_owned(), None))
     }
 
     /// Enables degraded mode: when every AM (primary and fallback) fails
@@ -610,12 +795,23 @@ impl HostCore {
     /// served for up to `ms` milliseconds past its TTL. Deny, unknown and
     /// epoch-stale entries always fail closed; a permit past the window
     /// fails closed too. `0` (the default) disables degraded mode.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_stale_grace_ms(&self, ms: u64) {
+        self.resilience.write().stale_grace_ms = ms;
         let mut cache = self.cache.write();
         cache.stale_grace_ms = ms;
         // Shrinking the window may strand now-dead entries; sweep them.
         let now = self.clock.now_ms();
         cache.sweep_dead(now);
+    }
+
+    /// Enables (or disables, with `None`) decision-query batching for
+    /// [`HostCore::enforce_batch`] rounds. Off by default — and
+    /// [`HostCore::enforce`] always takes the single-query path, so
+    /// per-request latency is unchanged whenever batching is off or a
+    /// round holds a single miss.
+    pub fn set_decision_batching(&self, config: Option<BatchConfig>) {
+        *self.batching.write() = config;
     }
 
     /// The maximum staleness (ms past TTL expiry) degraded mode has ever
@@ -895,6 +1091,226 @@ impl HostCore {
         }
     }
 
+    /// Enforces a whole round of access attempts, coalescing cache-miss
+    /// decision queries into `/protection/v1/decisions` batch requests.
+    ///
+    /// With batching disabled ([`HostCore::set_decision_batching`]`(None)`,
+    /// the default) this is exactly [`HostCore::enforce`] applied in
+    /// order — same round trips, same responses, same log entries. With
+    /// batching on, misses are grouped by (AM, host token, owner); every
+    /// full `max_batch`-sized chunk flushes immediately, and the final
+    /// partial chunks wait out `max_delay_ms` — charged to the shared
+    /// [`SimClock`] **once** per round, since partial batches against
+    /// different AMs wait concurrently — before flushing. N misses
+    /// against one AM thus cost ⌈N/B⌉ round trips (experiment E7b).
+    pub fn enforce_batch(&self, net: &SimNet, attempts: &[AccessAttempt]) -> Vec<Enforcement> {
+        let batching = *self.batching.read();
+        let Some(config) = batching else {
+            return attempts
+                .iter()
+                .map(|a| {
+                    self.enforce(
+                        net,
+                        &a.requester,
+                        a.subject.as_deref(),
+                        &a.resource_id,
+                        &a.action,
+                        a.bearer.as_deref(),
+                        &a.return_url,
+                    )
+                })
+                .collect();
+        };
+
+        let now = self.clock.now_ms();
+        let mut results: Vec<Option<Enforcement>> = (0..attempts.len()).map(|_| None).collect();
+        let mut is_pending = vec![false; attempts.len()];
+        let mut pending: Vec<PendingQuery> = Vec::new();
+        {
+            // One state read to sieve the round: only cache-missing,
+            // token-bearing, delegated accesses need an AM round trip.
+            let state = self.state.read();
+            for (index, attempt) in attempts.iter().enumerate() {
+                let Some(resource) = state.resources.get(&attempt.resource_id) else {
+                    continue;
+                };
+                if attempt.subject.as_deref() == Some(resource.owner.as_str()) {
+                    continue;
+                }
+                let Some(delegation) = state
+                    .resource_delegations
+                    .get(&attempt.resource_id)
+                    .or_else(|| state.user_delegations.get(&resource.owner))
+                else {
+                    continue;
+                };
+                let Some(token) = attempt.bearer.as_deref() else {
+                    continue;
+                };
+                let cache_key = (
+                    attempt.requester.clone(),
+                    attempt.resource_id.clone(),
+                    attempt.action.clone(),
+                );
+                let digest = token_digest(token);
+                if self.cache.read().lookup(&cache_key, &digest, now) {
+                    continue;
+                }
+                is_pending[index] = true;
+                pending.push(PendingQuery {
+                    index,
+                    delegation: delegation.clone(),
+                    owner: resource.owner.clone(),
+                    token: token.to_owned(),
+                    cache_key,
+                    token_digest: digest,
+                });
+            }
+        }
+
+        // Everything the sieve skipped (404s, owner sessions, legacy
+        // ACLs, redirects, cache hits) settles through the single path —
+        // none of it involves an AM round trip.
+        for (index, attempt) in attempts.iter().enumerate() {
+            if !is_pending[index] {
+                results[index] = Some(self.enforce(
+                    net,
+                    &attempt.requester,
+                    attempt.subject.as_deref(),
+                    &attempt.resource_id,
+                    &attempt.action,
+                    attempt.bearer.as_deref(),
+                    &attempt.return_url,
+                ));
+            }
+        }
+
+        // Group per (AM, host token, owner): one batch request carries one
+        // host token, and keying on owner keeps the per-owner fallback
+        // lookup unambiguous. BTreeMap iteration keeps rounds replayable.
+        let resilience = self.resilience.read().clone();
+        let mut groups: BTreeMap<(String, String, String), Vec<PendingQuery>> = BTreeMap::new();
+        for query in pending {
+            let key = (
+                query.delegation.am.clone(),
+                query.delegation.host_token.clone(),
+                query.owner.clone(),
+            );
+            groups.entry(key).or_default().push(query);
+        }
+        let max_batch = config.max_batch.clamp(1, protocol::MAX_BATCH);
+        let mut partial_chunks: Vec<Vec<PendingQuery>> = Vec::new();
+        for (_, queries) in groups {
+            // flush-on-size: full chunks go out immediately …
+            let mut queries = queries.into_iter();
+            loop {
+                let chunk: Vec<PendingQuery> = queries.by_ref().take(max_batch).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                if chunk.len() == max_batch {
+                    self.flush_batch(net, &resilience, chunk, &mut results);
+                } else {
+                    partial_chunks.push(chunk);
+                    break;
+                }
+            }
+        }
+        if !partial_chunks.is_empty() {
+            // … and flush-on-deadline: the stragglers that would fill the
+            // partial chunks never arrive, so they wait out the deadline
+            // (all of them concurrently: one clock charge) and flush.
+            self.clock.advance_ms(config.max_delay_ms);
+            for chunk in partial_chunks {
+                self.flush_batch(net, &resilience, chunk, &mut results);
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every attempt in the round settles exactly once"))
+            .collect()
+    }
+
+    /// Dispatches one batch chunk — all members share an (AM, host token,
+    /// owner) — and settles every member through the shared decision path.
+    fn flush_batch(
+        &self,
+        net: &SimNet,
+        resilience: &ResilienceConfig,
+        chunk: Vec<PendingQuery>,
+        results: &mut [Option<Enforcement>],
+    ) {
+        let am = chunk[0].delegation.am.clone();
+        let host_token = chunk[0].delegation.host_token.clone();
+        let owner = chunk[0].owner.clone();
+        let items: Vec<BatchItem> = chunk
+            .iter()
+            .map(|q| BatchItem {
+                token: q.token.clone(),
+                resource: q.cache_key.1.clone(),
+                action: q.cache_key.2.to_string(),
+                requester: q.cache_key.0.clone(),
+            })
+            .collect();
+        self.stats.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        net.trace().note_with(&self.authority, || {
+            format!("batch flush: {} decision queries -> {am}", items.len())
+        });
+        let body = protocol::encode_batch_request(&items);
+        let mut resp = self.dispatch_protected(net, resilience, &am, &|| {
+            Request::new(
+                Method::Post,
+                &format!("https://{am}{}", protocol::BATCH_DECISIONS_PATH),
+            )
+            .with_param("host_token", &host_token)
+            .with_body(body.as_str())
+        });
+        if resp.transport_error().is_some() {
+            if let Some(fallback) = resilience.fallback_for(&am, &owner) {
+                self.stats.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                net.trace().note_with(&self.authority, || {
+                    format!("failing over batch query: {am} -> {}", fallback.am)
+                });
+                let fallback_am = fallback.am.clone();
+                let fallback_token = fallback.host_token.clone();
+                resp = self.dispatch_protected(net, resilience, &fallback_am, &|| {
+                    Request::new(
+                        Method::Post,
+                        &format!("https://{fallback_am}{}", protocol::BATCH_DECISIONS_PATH),
+                    )
+                    .with_param("host_token", &fallback_token)
+                    .with_body(body.as_str())
+                });
+            }
+        }
+        let now = self.clock.now_ms();
+        let outcomes = classify_batch(&resp, chunk.len());
+        for (query, outcome) in chunk.into_iter().zip(outcomes) {
+            let PendingQuery {
+                index,
+                owner,
+                cache_key,
+                token_digest,
+                ..
+            } = query;
+            let requester = cache_key.0.clone();
+            let resource_id = cache_key.1.clone();
+            let action = cache_key.2.clone();
+            results[index] = Some(self.settle_decision(
+                net,
+                outcome,
+                &owner,
+                &requester,
+                &resource_id,
+                &action,
+                cache_key,
+                token_digest,
+                now,
+            ));
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn enforce_delegated(
         &self,
@@ -972,7 +1388,7 @@ impl HostCore {
             requester,
         );
         if resp.transport_error().is_some() {
-            if let Some(fallback) = resilience.fallback_ams.get(&delegation.am) {
+            if let Some(fallback) = resilience.fallback_for(&delegation.am, &resource.owner) {
                 self.stats.fallback_queries.fetch_add(1, Ordering::Relaxed);
                 net.trace().note_with(&self.authority, || {
                     format!(
@@ -992,78 +1408,122 @@ impl HostCore {
             }
         }
 
-        match resp.status {
-            Status::Ok => match serde_json::from_str::<DecisionBody>(&resp.body) {
-                Ok(body) if body.decision == "permit" => {
-                    let cacheable_ms = body.cacheable_ms.unwrap_or(0);
-                    if cacheable_ms > 0 {
-                        // One write lock for the whole insert: the enabled
-                        // flag is re-checked inside, so a concurrent
-                        // `set_cache_enabled(false)` cannot be overtaken.
-                        let mut cache = self.cache.write();
-                        let epoch = body.policy_epoch.unwrap_or(0);
-                        if let Some(epoch) = body.policy_epoch {
-                            cache.note_epoch(&resource.owner, epoch);
-                        }
-                        cache.insert(
-                            cache_key,
-                            CachedDecision {
-                                expires_at_ms: now + cacheable_ms,
-                                token_digest,
-                                owner: resource.owner.clone(),
-                                epoch,
-                                referenced: AtomicBool::new(false),
-                            },
-                            now,
-                        );
-                        net.trace().note_with(&self.authority, || {
-                            format!(
-                                "cached permit: {requester} {action} {resource_id} \
-                                 ({cacheable_ms} ms)"
-                            )
-                        });
+        self.settle_decision(
+            net,
+            classify_decision(&resp),
+            &resource.owner,
+            requester,
+            resource_id,
+            action,
+            cache_key,
+            token_digest,
+            now,
+        )
+    }
+
+    /// Concludes one decision query (or batch item) from its normalized
+    /// [`DecisionOutcome`]: caches and grants permits, fails everything
+    /// else closed, and gives transport failures — and only those — the
+    /// degraded-mode chance at an expired-but-graceable permit.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_decision(
+        &self,
+        net: &SimNet,
+        outcome: DecisionOutcome,
+        owner: &str,
+        requester: &str,
+        resource_id: &str,
+        action: &Action,
+        cache_key: CacheKey,
+        token_digest: [u8; 32],
+        now: u64,
+    ) -> Enforcement {
+        match outcome {
+            DecisionOutcome::Body(body) if body.is_permit() => {
+                let cacheable_ms = body.cacheable_ms.unwrap_or(0);
+                if cacheable_ms > 0 {
+                    // One write lock for the whole insert: the enabled
+                    // flag is re-checked inside, so a concurrent
+                    // `set_cache_enabled(false)` cannot be overtaken.
+                    let mut cache = self.cache.write();
+                    let epoch = body.policy_epoch.unwrap_or(0);
+                    if let Some(epoch) = body.policy_epoch {
+                        cache.note_epoch(owner, epoch);
                     }
-                    self.record(
+                    cache.insert(
+                        cache_key,
+                        CachedDecision {
+                            expires_at_ms: now + cacheable_ms,
+                            token_digest,
+                            owner: owner.to_owned(),
+                            epoch,
+                            referenced: AtomicBool::new(false),
+                        },
                         now,
-                        requester,
-                        resource_id,
-                        action,
-                        true,
-                        DecisionPath::AmQuery,
                     );
-                    Enforcement::Grant
+                    net.trace().note_with(&self.authority, || {
+                        format!(
+                            "cached permit: {requester} {action} {resource_id} \
+                             ({cacheable_ms} ms)"
+                        )
+                    });
                 }
-                Ok(_) => {
-                    self.record(
-                        now,
-                        requester,
-                        resource_id,
-                        action,
-                        false,
-                        DecisionPath::AmQuery,
-                    );
-                    Enforcement::Block(Response::forbidden(
-                        "access denied by authorization manager",
-                    ))
-                }
-                Err(_) => {
-                    // A 200 with an unparsable body is a protocol error,
-                    // not a permit. Fail closed.
-                    self.record(
-                        now,
-                        requester,
-                        resource_id,
-                        action,
-                        false,
-                        DecisionPath::Refused,
-                    );
-                    Enforcement::Block(
-                        Response::with_status(Status::Unavailable)
-                            .with_body("malformed decision response; access denied"),
-                    )
-                }
-            },
-            Status::Unauthorized => {
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    true,
+                    DecisionPath::AmQuery,
+                );
+                Enforcement::Grant
+            }
+            DecisionOutcome::Body(body) if body.is_error() => {
+                // A per-item protocol failure inside a batch — same
+                // contract as a single-query 401: re-authorize.
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::Refused,
+                );
+                Enforcement::Block(
+                    Response::with_status(Status::Unauthorized)
+                        .with_body("authorization token rejected; re-authorize"),
+                )
+            }
+            DecisionOutcome::Body(_) => {
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::AmQuery,
+                );
+                Enforcement::Block(Response::forbidden(
+                    "access denied by authorization manager",
+                ))
+            }
+            DecisionOutcome::Malformed => {
+                // A 200 with an unparsable body is a protocol error,
+                // not a permit. Fail closed.
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::Refused,
+                );
+                Enforcement::Block(
+                    Response::with_status(Status::Unavailable)
+                        .with_body("malformed decision response; access denied"),
+                )
+            }
+            DecisionOutcome::TokenRejected => {
                 // Bad/expired token: requester must obtain a fresh one.
                 self.record(
                     now,
@@ -1078,53 +1538,64 @@ impl HostCore {
                         .with_body("authorization token rejected; re-authorize"),
                 )
             }
-            _ => {
+            DecisionOutcome::Transport => {
                 // Degraded mode (opt-in): a transport-level failure — and
                 // only that — may serve an expired cached permit within
-                // its grace window. Application 5xxs and everything else
-                // fall through to fail closed.
-                if resp.transport_error().is_some() {
-                    let stale_now = self.clock.now_ms();
-                    if let Some(staleness) =
-                        self.cache
-                            .read()
-                            .lookup_stale(&cache_key, &token_digest, stale_now)
-                    {
-                        self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
-                        self.max_served_staleness_ms
-                            .fetch_max(staleness, Ordering::Relaxed);
-                        net.trace().note_with(&self.authority, || {
-                            format!(
-                                "degraded: stale permit served {staleness} ms past TTL: \
-                                 {requester} {action} {resource_id}"
-                            )
-                        });
-                        self.record(
-                            stale_now,
-                            requester,
-                            resource_id,
-                            action,
-                            true,
-                            DecisionPath::StaleGrace,
-                        );
-                        return Enforcement::Grant;
-                    }
+                // its grace window.
+                let stale_now = self.clock.now_ms();
+                if let Some(staleness) =
+                    self.cache
+                        .read()
+                        .lookup_stale(&cache_key, &token_digest, stale_now)
+                {
+                    self.stats.stale_served.fetch_add(1, Ordering::Relaxed);
+                    self.max_served_staleness_ms
+                        .fetch_max(staleness, Ordering::Relaxed);
+                    net.trace().note_with(&self.authority, || {
+                        format!(
+                            "degraded: stale permit served {staleness} ms past TTL: \
+                             {requester} {action} {resource_id}"
+                        )
+                    });
+                    self.record(
+                        stale_now,
+                        requester,
+                        resource_id,
+                        action,
+                        true,
+                        DecisionPath::StaleGrace,
+                    );
+                    return Enforcement::Grant;
                 }
-                // Fail closed when the AM is unreachable.
-                self.record(
-                    now,
-                    requester,
-                    resource_id,
-                    action,
-                    false,
-                    DecisionPath::Refused,
-                );
-                Enforcement::Block(
-                    Response::with_status(Status::Unavailable)
-                        .with_body("authorization manager unreachable; access denied"),
-                )
+                self.fail_closed_unreachable(now, requester, resource_id, action)
+            }
+            DecisionOutcome::Unavailable => {
+                // Application 5xxs and everything else never reach
+                // degraded mode: fail closed.
+                self.fail_closed_unreachable(now, requester, resource_id, action)
             }
         }
+    }
+
+    fn fail_closed_unreachable(
+        &self,
+        now: u64,
+        requester: &str,
+        resource_id: &str,
+        action: &Action,
+    ) -> Enforcement {
+        self.record(
+            now,
+            requester,
+            resource_id,
+            action,
+            false,
+            DecisionPath::Refused,
+        );
+        Enforcement::Block(
+            Response::with_status(Status::Unavailable)
+                .with_body("authorization manager unreachable; access denied"),
+        )
     }
 
     /// Sends one decision query to `delegation`'s AM under the breaker
@@ -1142,6 +1613,30 @@ impl HostCore {
         requester: &str,
     ) -> Response {
         let am = delegation.am.as_str();
+        self.dispatch_protected(net, resilience, am, &|| {
+            Request::new(
+                Method::Post,
+                &format!("https://{am}{}", protocol::DECISION_PATH),
+            )
+            .with_param("host_token", &delegation.host_token)
+            .with_param("token", token)
+            .with_param("resource", resource_id)
+            .with_param("action", &action.to_string())
+            .with_param("requester", requester)
+        })
+    }
+
+    /// Dispatches one AM request under the breaker and retry policy —
+    /// shared by the single-query and batch paths. Breaker fast-fails
+    /// synthesize a [`TransportError::Unreachable`] response without
+    /// dispatching.
+    fn dispatch_protected(
+        &self,
+        net: &SimNet,
+        resilience: &ResilienceConfig,
+        am: &str,
+        build: &dyn Fn() -> Request,
+    ) -> Response {
         if resilience.breaker.is_some() && !self.breaker_admits(am) {
             self.stats
                 .breaker_fast_fails
@@ -1154,14 +1649,6 @@ impl HostCore {
                 .with_transport_error(TransportError::Unreachable);
         }
         self.stats.am_queries.fetch_add(1, Ordering::Relaxed);
-        let build = || {
-            Request::new(Method::Post, &format!("https://{am}/decision"))
-                .with_param("host_token", &delegation.host_token)
-                .with_param("token", token)
-                .with_param("resource", resource_id)
-                .with_param("action", &action.to_string())
-                .with_param("requester", requester)
-        };
         let resp = match &resilience.am_retry {
             Some(policy) => {
                 let (resp, report) =
@@ -1265,29 +1752,80 @@ impl HostCore {
     }
 }
 
-/// The AM's `/decision` response body, parsed as JSON rather than by
-/// substring search: a deny whose reason happens to *contain* the text
-/// `"permit"` must stay a deny.
-#[derive(Debug, serde::Deserialize)]
-struct DecisionBody {
-    decision: String,
-    cacheable_ms: Option<u64>,
-    policy_epoch: Option<u64>,
-    #[allow(dead_code)]
-    reason: Option<String>,
+/// How one decision query (or batch item) concluded, normalized across
+/// the single and batched wire paths so both settle through
+/// [`HostCore::settle_decision`].
+enum DecisionOutcome {
+    /// A parsed 200 decision body (permit, deny, or per-item `error`).
+    Body(DecisionBody),
+    /// A 200 whose body did not parse — a protocol error, failed closed.
+    Malformed,
+    /// 401: the AM rejected the authorization token.
+    TokenRejected,
+    /// The query never got an application answer (timeout/unreachable);
+    /// the only outcome eligible for degraded-mode stale service.
+    Transport,
+    /// Any other application failure (5xx and the rest): the AM answered,
+    /// so it is taken at its word and degraded mode is skipped.
+    Unavailable,
+}
+
+/// Normalizes a single-query `/protection/v1/decision` response. The body
+/// is parsed as JSON rather than by substring search: a deny whose reason
+/// happens to *contain* the text `"permit"` must stay a deny.
+fn classify_decision(resp: &Response) -> DecisionOutcome {
+    match resp.status {
+        Status::Ok => match DecisionBody::from_json(&resp.body) {
+            Ok(body) => DecisionOutcome::Body(body),
+            Err(_) => DecisionOutcome::Malformed,
+        },
+        Status::Unauthorized => DecisionOutcome::TokenRejected,
+        _ if resp.transport_error().is_some() => DecisionOutcome::Transport,
+        _ => DecisionOutcome::Unavailable,
+    }
+}
+
+/// Normalizes a `/protection/v1/decisions` batch response into one
+/// outcome per batch member. A response-level failure (transport, 401,
+/// 5xx, short/unparsable array) applies to every member: a batch is one
+/// wire exchange, so its members share its fate.
+fn classify_batch(resp: &Response, expected: usize) -> Vec<DecisionOutcome> {
+    if matches!(resp.status, Status::Ok) {
+        if let Ok(bodies) = protocol::parse_batch_response(&resp.body) {
+            if bodies.len() == expected {
+                return bodies.into_iter().map(DecisionOutcome::Body).collect();
+            }
+        }
+        return (0..expected).map(|_| DecisionOutcome::Malformed).collect();
+    }
+    (0..expected)
+        .map(|_| match resp.status {
+            Status::Unauthorized => DecisionOutcome::TokenRejected,
+            _ if resp.transport_error().is_some() => DecisionOutcome::Transport,
+            _ => DecisionOutcome::Unavailable,
+        })
+        .collect()
+}
+
+/// A cache-missing, token-bearing delegated access waiting on its AM
+/// round trip inside a batched enforcement round.
+struct PendingQuery {
+    /// Position in the round's `attempts` slice.
+    index: usize,
+    delegation: DelegationConfig,
+    owner: String,
+    token: String,
+    cache_key: CacheKey,
+    token_digest: [u8; 32],
 }
 
 /// Extracts `cacheable_ms` from a decision response body; 0 unless the
-/// body is a well-formed permit carrying one. The enforcement path
-/// parses [`DecisionBody`] directly; this wrapper keeps the historical
-/// parsing contract pinned down by tests.
+/// body is a well-formed permit carrying one. Delegates to the shared
+/// wire type; this wrapper keeps the historical parsing contract pinned
+/// down by tests.
 #[cfg(test)]
 fn parse_cacheable_ms(body: &str) -> u64 {
-    serde_json::from_str::<DecisionBody>(body)
-        .ok()
-        .filter(|d| d.decision == "permit")
-        .and_then(|d| d.cacheable_ms)
-        .unwrap_or(0)
+    DecisionBody::parse_cacheable_ms(body)
 }
 
 #[cfg(test)]
@@ -1338,6 +1876,20 @@ mod tests {
         }
 
         fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            if req.url.path() == protocol::BATCH_DECISIONS_PATH {
+                let Ok(items) = protocol::parse_batch_request(&req.body) else {
+                    return Response::bad_request("bad batch");
+                };
+                let grants = self.grants.lock();
+                let bodies: Vec<DecisionBody> = items
+                    .iter()
+                    .map(|item| match grants.get(&item.token) {
+                        Some(body) => DecisionBody::from_json(body).expect("canned body"),
+                        None => DecisionBody::error("bad token"),
+                    })
+                    .collect();
+                return Response::ok().with_body(protocol::encode_batch_response(&bodies));
+            }
             let token = req.param("token").unwrap_or("");
             match self.grants.lock().get(token) {
                 Some(body) => Response::ok().with_body(body.clone()),
@@ -1665,7 +2217,7 @@ mod tests {
         am.grant("good", &permit_body(1_000, 1));
         net.register(am.clone());
         let h = delegated_host(&net);
-        h.set_stale_grace_ms(500);
+        h.set_resilience(ResilienceConfig::new().with_stale_grace_ms(500));
         let url = Url::new("h.example", "/r1");
 
         assert!(h
@@ -1708,7 +2260,7 @@ mod tests {
         am.grant("good", &permit_body(1_000, 5));
         net.register(am.clone());
         let h = delegated_host(&net);
-        h.set_stale_grace_ms(60_000);
+        h.set_resilience(ResilienceConfig::new().with_stale_grace_ms(60_000));
         let url = Url::new("h.example", "/r1");
         assert!(h
             .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
@@ -1732,7 +2284,7 @@ mod tests {
         am.grant("good", &permit_body(1_000, 1));
         net.register(am.clone());
         let h = delegated_host(&net);
-        h.set_stale_grace_ms(60_000);
+        h.set_resilience(ResilienceConfig::new().with_stale_grace_ms(60_000));
         let url = Url::new("h.example", "/r1");
         assert!(h
             .enforce(&net, "req", None, "r1", &Action::Read, Some("good"), &url)
@@ -1755,7 +2307,7 @@ mod tests {
         am.grant("good", &permit_body(0, 1)); // uncacheable: every access queries
         net.register(am.clone());
         let h = delegated_host(&net);
-        h.set_breaker(Some(BreakerConfig {
+        h.set_resilience(ResilienceConfig::new().with_breaker(BreakerConfig {
             failure_threshold: 2,
             cooldown_ms: 1_000,
         }));
@@ -1801,14 +2353,14 @@ mod tests {
         net.register(primary.clone());
         net.register(secondary.clone());
         let h = delegated_host(&net);
-        h.set_fallback_am(
+        h.set_resilience(ResilienceConfig::new().with_fallback_am(
             "am.example",
             DelegationConfig {
                 am: "am-b.example".into(),
                 host_token: "ht-b".into(),
                 delegation_id: "d-b".into(),
             },
-        );
+        ));
         let url = Url::new("h.example", "/r1");
 
         net.set_offline("am.example", true);
@@ -1840,7 +2392,9 @@ mod tests {
         am.grant("good", &permit_body(0, 1));
         net.register(am.clone());
         let h = delegated_host(&net);
-        h.set_am_retry(Some(ucam_webenv::RetryPolicy::default()));
+        h.set_resilience(
+            ResilienceConfig::new().with_am_retry(ucam_webenv::RetryPolicy::default()),
+        );
         let url = Url::new("h.example", "/r1");
         // Every 2nd dispatch is lost starting with the first: the initial
         // attempt times out, the retry lands.
@@ -1876,5 +2430,270 @@ mod tests {
         assert_eq!(h.stats().cache_hits, 0);
         h.set_cache_enabled(true);
         h.flush_decision_cache();
+    }
+
+    /// Builds a token-bearing read attempt for a batched round.
+    fn read_attempt(requester: &str, resource_id: &str, token: &str) -> AccessAttempt {
+        AccessAttempt {
+            requester: requester.to_owned(),
+            subject: None,
+            resource_id: resource_id.to_owned(),
+            action: Action::Read,
+            bearer: Some(token.to_owned()),
+            return_url: Url::new("h.example", &format!("/{resource_id}")),
+        }
+    }
+
+    #[test]
+    fn deprecated_setters_match_resilience_builder() {
+        // The thin wrappers must produce the exact same configuration as
+        // the builder they deprecate.
+        let a = HostCore::new("h.example", SimClock::new());
+        #[allow(deprecated)]
+        {
+            a.set_breaker(Some(BreakerConfig {
+                failure_threshold: 3,
+                cooldown_ms: 250,
+            }));
+            a.set_am_retry(Some(RetryPolicy::default()));
+            a.set_fallback_am(
+                "am.example",
+                DelegationConfig {
+                    am: "am-b.example".into(),
+                    host_token: "ht-b".into(),
+                    delegation_id: "d-b".into(),
+                },
+            );
+            a.set_stale_grace_ms(1_234);
+        }
+        let b = HostCore::new("h.example", SimClock::new());
+        b.set_resilience(
+            ResilienceConfig::new()
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_ms: 250,
+                })
+                .with_am_retry(RetryPolicy::default())
+                .with_fallback_am(
+                    "am.example",
+                    DelegationConfig {
+                        am: "am-b.example".into(),
+                        host_token: "ht-b".into(),
+                        delegation_id: "d-b".into(),
+                    },
+                )
+                .with_stale_grace_ms(1_234),
+        );
+        let (ra, rb) = (a.resilience(), b.resilience());
+        assert_eq!(ra.breaker, rb.breaker);
+        assert_eq!(ra.stale_grace_ms, rb.stale_grace_ms);
+        assert_eq!(ra.fallback_ams, rb.fallback_ams);
+        assert_eq!(ra.am_retry.is_some(), rb.am_retry.is_some());
+        // And clearing through the deprecated path matches the builder's
+        // absence of the entry.
+        #[allow(deprecated)]
+        a.clear_fallback_am("am.example");
+        assert!(a.resilience().fallback_ams.is_empty());
+    }
+
+    #[test]
+    fn batched_round_coalesces_misses_into_ceil_n_over_b_round_trips() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        for i in 2..=5 {
+            h.put_resource(&format!("r{i}"), "bob", "file", b"data".to_vec())
+                .unwrap();
+        }
+        h.set_decision_batching(Some(BatchConfig {
+            max_batch: 2,
+            max_delay_ms: 5,
+        }));
+        let attempts: Vec<AccessAttempt> = (1..=5)
+            .map(|i| read_attempt("req", &format!("r{i}"), "good"))
+            .collect();
+
+        let results = h.enforce_batch(&net, &attempts);
+        assert!(results.iter().all(Enforcement::is_grant));
+        // N=5 misses at B=2: exactly ⌈5/2⌉ = 3 wire round trips — two
+        // full flushes plus one deadline flush.
+        assert_eq!(net.stats().edge("h.example", "am.example"), 3);
+        assert_eq!(h.stats().batch_flushes, 3);
+        assert_eq!(h.stats().am_queries, 3);
+
+        // The whole round is now cached: a repeat costs zero round trips.
+        let results = h.enforce_batch(&net, &attempts);
+        assert!(results.iter().all(Enforcement::is_grant));
+        assert_eq!(net.stats().edge("h.example", "am.example"), 3);
+        assert_eq!(h.stats().cache_hits, 5);
+    }
+
+    #[test]
+    fn batching_off_round_matches_single_path_exactly() {
+        let run = |batching: Option<BatchConfig>| {
+            let net = SimNet::new();
+            let am = FakeAm::new();
+            am.grant("good", &permit_body(60_000, 1));
+            net.register(am.clone());
+            let h = delegated_host(&net);
+            h.put_resource("r2", "bob", "file", b"data".to_vec())
+                .unwrap();
+            h.set_decision_batching(batching);
+            let attempts = vec![
+                read_attempt("req", "r1", "good"),
+                read_attempt("req", "r2", "good"),
+            ];
+            let grants = h
+                .enforce_batch(&net, &attempts)
+                .iter()
+                .filter(|e| e.is_grant())
+                .count();
+            (grants, net.stats().edge("h.example", "am.example"))
+        };
+        // Off: one round trip per miss, bit-identical to serial enforce().
+        assert_eq!(run(None), (2, 2));
+        // On with a roomy batch: the same round costs one round trip.
+        assert_eq!(run(Some(BatchConfig::default())), (2, 1));
+    }
+
+    #[test]
+    fn partial_batches_against_different_ams_share_one_deadline_charge() {
+        let net = SimNet::new();
+        let am_a = FakeAm::new();
+        let am_b = FakeAm::new_at("am-b.example");
+        am_a.grant("good", &permit_body(60_000, 1));
+        am_b.grant("good", &permit_body(60_000, 1));
+        net.register(am_a.clone());
+        net.register(am_b.clone());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "carol", "file", b"data".to_vec())
+            .unwrap();
+        h.set_user_delegation(
+            "carol",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "ht-b".into(),
+                delegation_id: "d-2".into(),
+            },
+        );
+        h.set_decision_batching(Some(BatchConfig {
+            max_batch: 8,
+            max_delay_ms: 7,
+        }));
+        let before = net.clock().now_ms();
+        let results = h.enforce_batch(
+            &net,
+            &[
+                read_attempt("req", "r1", "good"),
+                read_attempt("req", "r2", "good"),
+            ],
+        );
+        assert!(results.iter().all(Enforcement::is_grant));
+        // Two partial batches (one per AM) wait out the deadline
+        // concurrently: the clock moves once, not twice.
+        assert_eq!(net.clock().now_ms() - before, 7);
+        assert_eq!(h.stats().batch_flushes, 2);
+    }
+
+    #[test]
+    fn batch_error_item_maps_to_token_rejection() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("good", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "bob", "file", b"data".to_vec())
+            .unwrap();
+        h.set_decision_batching(Some(BatchConfig::default()));
+        let results = h.enforce_batch(
+            &net,
+            &[
+                read_attempt("req", "r1", "good"),
+                read_attempt("req", "r2", "expired"),
+            ],
+        );
+        assert!(results[0].is_grant());
+        match &results[1] {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::Unauthorized),
+            Enforcement::Grant => panic!("a per-item batch error must block"),
+        }
+    }
+
+    #[test]
+    fn per_owner_fallback_routes_each_owner_to_their_own_mirror() {
+        let net = SimNet::new();
+        let primary = FakeAm::new();
+        let mirror_b = FakeAm::new_at("am-b.example");
+        let mirror_c = FakeAm::new_at("am-c.example");
+        // Each mirror only holds its own owner's delegation: bob's token
+        // validates only at am-b, carol's only at am-c.
+        mirror_b.grant("tok-bob", &permit_body(60_000, 1));
+        mirror_c.grant("tok-carol", &permit_body(60_000, 1));
+        net.register(primary.clone());
+        net.register(mirror_b.clone());
+        net.register(mirror_c.clone());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "carol", "file", b"data".to_vec())
+            .unwrap();
+        h.set_user_delegation(
+            "carol",
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token: "ht".into(),
+                delegation_id: "d-2".into(),
+            },
+        );
+        h.set_resilience(
+            ResilienceConfig::new()
+                .with_fallback_am_for_owner(
+                    "am.example",
+                    "bob",
+                    DelegationConfig {
+                        am: "am-b.example".into(),
+                        host_token: "ht-b".into(),
+                        delegation_id: "d-b".into(),
+                    },
+                )
+                .with_fallback_am_for_owner(
+                    "am.example",
+                    "carol",
+                    DelegationConfig {
+                        am: "am-c.example".into(),
+                        host_token: "ht-c".into(),
+                        delegation_id: "d-c".into(),
+                    },
+                ),
+        );
+        net.set_offline("am.example", true);
+        let url = Url::new("h.example", "/r");
+        // Both owners share the partitioned primary, yet each query fails
+        // over to that owner's own mirror — the old single-key fallback
+        // map sent every owner to whichever mirror was registered last.
+        assert!(h
+            .enforce(
+                &net,
+                "req",
+                None,
+                "r1",
+                &Action::Read,
+                Some("tok-bob"),
+                &url
+            )
+            .is_grant());
+        assert!(h
+            .enforce(
+                &net,
+                "req",
+                None,
+                "r2",
+                &Action::Read,
+                Some("tok-carol"),
+                &url
+            )
+            .is_grant());
+        assert_eq!(net.stats().edge("h.example", "am-b.example"), 1);
+        assert_eq!(net.stats().edge("h.example", "am-c.example"), 1);
     }
 }

@@ -10,7 +10,7 @@ use parking_lot::RwLock;
 
 use ucam_policy::{Action, Subject};
 use ucam_webenv::identity::IdentityVerifier;
-use ucam_webenv::{Request, Response, SimClock, SimNet, Status, Url};
+use ucam_webenv::{protocol, Request, Response, SimClock, SimNet, Status, Url};
 
 use crate::core::{DelegationConfig, Enforcement, HostCore};
 
@@ -84,8 +84,24 @@ impl AppShell {
             }
             "/acl" => Some(self.edit_acl(net, req)),
             "/.well-known/host-meta" => Some(self.host_meta(req)),
+            p if p == protocol::EPOCH_PUSH_PATH => Some(self.epoch_push(req)),
             _ => None,
         }
+    }
+
+    /// AM→Host policy-epoch push (`/protection/v1/epoch`): advances the
+    /// decision cache's view of `owner`'s policy epoch. Unauthenticated
+    /// by design — epochs are monotonic, so a forged push can only
+    /// invalidate cached permits, never grant anything.
+    fn epoch_push(&self, req: &Request) -> Response {
+        let Some(owner) = req.param("owner") else {
+            return Response::bad_request("owner required");
+        };
+        let Some(epoch) = req.param("epoch").and_then(|e| e.parse::<u64>().ok()) else {
+            return Response::bad_request("numeric epoch required");
+        };
+        self.core.note_policy_epoch(owner, epoch);
+        Response::ok().with_body("epoch noted")
     }
 
     /// XRD/LRDD-based discovery (§VII): "a Requester learns the location

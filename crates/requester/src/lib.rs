@@ -119,6 +119,47 @@ impl AccessSpec {
     }
 }
 
+/// Opt-in resilience configuration for a [`RequesterClient`], applied
+/// atomically with [`RequesterClient::set_resilience`]. The builder
+/// mirrors the Host-side `ResilienceConfig`: all fields default to
+/// "off", and the per-knob setters it replaces (`set_retry`,
+/// `set_fallback_am`) remain as deprecated wrappers with identical
+/// behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Retry discipline for every dispatch.
+    retry: Option<RetryPolicy>,
+    /// primary AM authority -> secondary AM authority.
+    fallback_ams: HashMap<String, String>,
+}
+
+impl ResilienceConfig {
+    /// An all-off configuration (the seed behaviour).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a retry policy for this client's dispatches. Only
+    /// transport failures are retried, so on a healthy network the
+    /// message counts (E7) are identical with or without a policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Registers `secondary` as the AM to authorize against when
+    /// `primary`'s authorize endpoint is unreachable at the transport
+    /// level (both AMs must hold mirrored delegations).
+    #[must_use]
+    pub fn with_fallback_am(mut self, primary: &str, secondary: &str) -> Self {
+        self.fallback_ams
+            .insert(primary.to_owned(), secondary.to_owned());
+        self
+    }
+}
+
 /// A protocol-aware client for accessing AM-protected resources.
 ///
 /// # Example
@@ -170,7 +211,24 @@ impl RequesterClient {
         }
     }
 
+    /// Applies a [`ResilienceConfig`] atomically, replacing every
+    /// previously configured knob at once.
+    pub fn set_resilience(&mut self, config: ResilienceConfig) {
+        self.retry = config.retry;
+        self.fallback_ams = config.fallback_ams;
+    }
+
+    /// A snapshot of the currently applied resilience configuration.
+    #[must_use]
+    pub fn resilience(&self) -> ResilienceConfig {
+        ResilienceConfig {
+            retry: self.retry.clone(),
+            fallback_ams: self.fallback_ams.clone(),
+        }
+    }
+
     /// Installs (or removes) a retry policy for this client's dispatches.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
         self.retry = policy;
     }
@@ -181,6 +239,7 @@ impl RequesterClient {
     /// token minted by the secondary is presented to the Host like any
     /// other and, if the primary later rejects it, the normal transparent
     /// re-authorization path converges back.
+    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
     pub fn set_fallback_am(&mut self, primary: &str, secondary: &str) {
         self.fallback_ams
             .insert(primary.to_owned(), secondary.to_owned());
@@ -765,7 +824,7 @@ mod tests {
     fn retry_policy_rides_out_transient_loss() {
         let net = net();
         let mut client = RequesterClient::new("requester:test");
-        client.set_retry(Some(RetryPolicy::default()));
+        client.set_resilience(ResilienceConfig::new().with_retry(RetryPolicy::default()));
         let spec = AccessSpec::read(Url::new("host.example", "/open"));
         // Drop every 2nd dispatch starting with the first: each logical
         // step loses its first attempt and succeeds on the retry.
@@ -797,7 +856,8 @@ mod tests {
         let net = net();
         net.register(Arc::new(SecondaryAm));
         let mut client = RequesterClient::new("requester:test");
-        client.set_fallback_am("am.example", "am-b.example");
+        client
+            .set_resilience(ResilienceConfig::new().with_fallback_am("am.example", "am-b.example"));
         let spec = AccessSpec::read(Url::new("host.example", "/protected"));
 
         // Primary AM partitioned: the authorize step re-homes to the
@@ -824,6 +884,25 @@ mod tests {
         let outcome = client.access(&net, &spec);
         assert!(matches!(outcome, AccessOutcome::Failed(_)));
         assert_eq!(client.stats().failovers, 0);
+    }
+
+    #[test]
+    fn deprecated_setters_match_resilience_builder() {
+        let mut a = RequesterClient::new("requester:test");
+        #[allow(deprecated)]
+        {
+            a.set_retry(Some(RetryPolicy::default()));
+            a.set_fallback_am("am.example", "am-b.example");
+        }
+        let mut b = RequesterClient::new("requester:test");
+        b.set_resilience(
+            ResilienceConfig::new()
+                .with_retry(RetryPolicy::default())
+                .with_fallback_am("am.example", "am-b.example"),
+        );
+        let (ra, rb) = (a.resilience(), b.resilience());
+        assert_eq!(ra.fallback_ams, rb.fallback_ams);
+        assert_eq!(ra.retry.is_some(), rb.retry.is_some());
     }
 
     #[test]

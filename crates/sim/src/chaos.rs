@@ -8,24 +8,37 @@
 //! Host→AM retry, circuit breaker, fallback AM, and the stale-grace
 //! degraded mode.
 //!
+//! Policy-epoch propagation is **asynchronous**: each AM delivers epoch
+//! advances to the Host over the simulated network through its push
+//! channel (`ucam_am::push`), with deterministic retry/backoff when the
+//! fabric drops the message. The soak therefore keeps **two** ground
+//! truth tables: `truth_now` (updated the instant a mutation lands at
+//! the AMs) and `truth_visible` (updated once the corresponding epoch
+//! push has been delivered to the Host). The gap between them is the
+//! **revocation-visibility window**, which the soak measures instead of
+//! assuming it is zero.
+//!
 //! Two invariants are checked and must hold on **every** access:
 //!
 //! 1. **Soundness** — a granted access implies the requester is entitled
-//!    under the current ground truth. Faults may cause spurious *denials*
-//!    (fail-closed is always acceptable) but never spurious grants. The
-//!    degraded mode preserves this because policy-changing events push
-//!    fresh epochs to the Host synchronously, killing stale permits
-//!    before the next access, and `lookup_stale` refuses epoch-stale
-//!    entries outright.
+//!    under `truth_now` *or* under `truth_visible` (an undelivered
+//!    revocation may legitimately leave a cached permit alive until the
+//!    push lands or the TTL expires). Faults may cause spurious
+//!    *denials* (fail-closed is always acceptable) but never grants that
+//!    both tables deny. `lookup_stale` refuses epoch-stale entries
+//!    outright, so a *delivered* revocation kills the grace window too.
 //! 2. **Bounded staleness** — the Host's high-water staleness gauge
 //!    never exceeds the configured grace window: no permit is ever
-//!    served beyond `expires_at + stale_grace_ms`.
+//!    served beyond `expires_at + stale_grace_ms`. End to end, a
+//!    revocation is enforced within `cache_ttl + stale_grace +
+//!    revocation_visibility` milliseconds, with the last term measured
+//!    by the push channel's delivery-lag gauge (DESIGN.md §10).
 //!
-//! After the scripted steps, every fault is healed, the clock runs past
-//! every grace window, breaker cooldown and flap period, and a full
-//! verification sweep asserts that each (reader, resource) pair gets
-//! *exactly* the ground-truth outcome: every outage ends recovered or
-//! fail-closed, never wedged.
+//! After the scripted steps, every fault is healed, the push channels
+//! drain to empty, the clock runs past every grace window, breaker
+//! cooldown and flap period, and a full verification sweep asserts that
+//! each (reader, resource) pair gets *exactly* the ground-truth outcome:
+//! every outage ends recovered or fail-closed, never wedged.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -34,7 +47,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ucam_am::AuthorizationManager;
-use ucam_host::{BreakerConfig, DelegationConfig, WebStorage};
+use ucam_host::{BreakerConfig, DelegationConfig, ResilienceConfig, WebStorage};
 use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
 use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
 use ucam_webenv::identity::IdentityProvider;
@@ -122,6 +135,13 @@ pub struct ChaosReport {
     pub requester_failovers: u64,
     /// High-water staleness served, in ms past TTL (≤ grace window).
     pub max_served_staleness_ms: u64,
+    /// Epoch pushes delivered to the Host across both AMs.
+    pub pushes_delivered: u64,
+    /// Push delivery attempts lost to the fabric and retried.
+    pub push_retries: u64,
+    /// Measured revocation-visibility window: the worst
+    /// schedule-to-delivery lag of any epoch push, in ms.
+    pub revocation_visibility_ms: u64,
     /// Accesses in the final healed verification sweep (all must match
     /// ground truth exactly).
     pub verified_accesses: u64,
@@ -148,16 +168,31 @@ where
     rig.am_b.pap(OWNER, &f).expect("owner registered at AM-B");
 }
 
-/// Pushes the owner's freshest policy epoch to the Host. The soak models
-/// the epoch push channel as synchronous (DESIGN.md §8): policy changes
-/// reach the PEP before the next access, which is what makes the
-/// degraded mode sound in the presence of revocation.
-fn push_epoch(rig: &Rig) {
-    let epoch = rig
-        .am_a
-        .policy_epoch(OWNER)
-        .max(rig.am_b.policy_epoch(OWNER));
-    rig.host.shell().core.note_policy_epoch(OWNER, epoch);
+/// Gives both AMs' push channels one delivery round over the (possibly
+/// faulty) fabric; returns the number of pushes that landed.
+fn pump_pushes(rig: &Rig) -> u64 {
+    (rig.am_a.pump_epoch_pushes(&rig.net) + rig.am_b.pump_epoch_pushes(&rig.net)) as u64
+}
+
+/// Whether every scheduled epoch push from *either* AM has been
+/// delivered. The AMs mutate in lockstep, so their epochs are aligned
+/// and one fully-drained channel means the Host holds the newest epoch.
+fn pushes_visible(rig: &Rig) -> bool {
+    rig.am_a.pending_epoch_pushes() == 0 || rig.am_b.pending_epoch_pushes() == 0
+}
+
+/// Drains both push channels to empty on a healthy fabric, advancing the
+/// clock through retry backoff as needed; returns deliveries made.
+fn drain_pushes(rig: &Rig) -> u64 {
+    let mut delivered = 0;
+    for _ in 0..10_000 {
+        delivered += pump_pushes(rig);
+        if rig.am_a.pending_epoch_pushes() == 0 && rig.am_b.pending_epoch_pushes() == 0 {
+            return delivered;
+        }
+        rig.net.clock().advance_ms(50);
+    }
+    panic!("push channels failed to drain on a healed fabric");
 }
 
 fn build_rig(config: &ChaosConfig) -> Rig {
@@ -170,6 +205,11 @@ fn build_rig(config: &ChaosConfig) -> Rig {
     let am_b = Arc::new(AuthorizationManager::new(AM_B, clock.clone()));
     am_a.set_identity_verifier(idp.verifier());
     am_b.set_identity_verifier(idp.verifier());
+    // Epoch propagation is a real network message from here on: every
+    // policy change schedules a push to the Host, delivered (and retried)
+    // by `pump_pushes` as the run advances.
+    am_a.set_epoch_push_target(HOST);
+    am_b.set_epoch_push_target(HOST);
     let host = WebStorage::new(HOST, clock);
     host.shell().set_identity_verifier(idp.verifier());
     net.register(idp.clone());
@@ -200,29 +240,30 @@ fn build_rig(config: &ChaosConfig) -> Rig {
         },
     );
     let (delegation_b, token_b) = am_b.establish_delegation(HOST, OWNER).unwrap();
-    host.shell().core.set_fallback_am(
-        AM_A,
-        DelegationConfig {
-            am: AM_B.into(),
-            host_token: token_b,
-            delegation_id: delegation_b.id,
-        },
-    );
 
-    // Arm the Host's resilience machinery.
-    host.shell()
-        .core
-        .set_breaker(Some(BreakerConfig::default()));
-    host.shell().core.set_am_retry(Some(RetryPolicy {
-        max_attempts: 3,
-        base_backoff_ms: 10,
-        max_backoff_ms: 80,
-        jitter_ms: 5,
-        seed: config.seed ^ 0x9e37,
-        budget_ms: 1_000,
-        attempt_timeout_ms: 50,
-    }));
-    host.shell().core.set_stale_grace_ms(config.stale_grace_ms);
+    // Arm the Host's resilience machinery in one atomic application.
+    host.shell().core.set_resilience(
+        ResilienceConfig::new()
+            .with_fallback_am(
+                AM_A,
+                DelegationConfig {
+                    am: AM_B.into(),
+                    host_token: token_b,
+                    delegation_id: delegation_b.id,
+                },
+            )
+            .with_breaker(BreakerConfig::default())
+            .with_am_retry(RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 10,
+                max_backoff_ms: 80,
+                jitter_ms: 5,
+                seed: config.seed ^ 0x9e37,
+                budget_ms: 1_000,
+                attempt_timeout_ms: 50,
+            })
+            .with_stale_grace_ms(config.stale_grace_ms),
+    );
 
     let resources: Vec<String> = (0..config.resources)
         .map(|r| format!("files/{OWNER}/res-{r}.txt"))
@@ -273,7 +314,8 @@ fn build_rig(config: &ChaosConfig) -> Rig {
         }
         account.link_general(realm, &id).unwrap();
     });
-    push_epoch(&rig);
+    // Deliver the setup-time epoch advances before the run starts.
+    drain_pushes(&rig);
 
     let mut rig = rig;
     for (i, reader) in rig.readers.clone().iter().enumerate() {
@@ -281,16 +323,19 @@ fn build_rig(config: &ChaosConfig) -> Rig {
         let assertion = idp.login(reader, "pw").unwrap().token;
         let mut client = RequesterClient::new(&format!("requester:{reader}"));
         client.set_subject_token(Some(assertion));
-        client.set_retry(Some(RetryPolicy {
-            max_attempts: 3,
-            base_backoff_ms: 10,
-            max_backoff_ms: 80,
-            jitter_ms: 5,
-            seed: config.seed ^ (i as u64).wrapping_mul(0x85eb_ca6b),
-            budget_ms: 1_000,
-            attempt_timeout_ms: 50,
-        }));
-        client.set_fallback_am(AM_A, AM_B);
+        client.set_resilience(
+            ucam_requester::ResilienceConfig::new()
+                .with_retry(RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff_ms: 10,
+                    max_backoff_ms: 80,
+                    jitter_ms: 5,
+                    seed: config.seed ^ (i as u64).wrapping_mul(0x85eb_ca6b),
+                    budget_ms: 1_000,
+                    attempt_timeout_ms: 50,
+                })
+                .with_fallback_am(AM_A, AM_B),
+        );
         rig.clients.push(client);
     }
     rig
@@ -305,11 +350,14 @@ fn heal_all(rig: &Rig) {
 }
 
 /// One reader access judged against ground truth. Returns `true` when
-/// the outcome violates soundness (spurious grant, or — when
-/// `exact` — any deviation at all, including fail-closed denials).
+/// the outcome violates soundness (a grant that both `truth_now` and
+/// `truth_visible` deny, or — when `exact` — any deviation at all,
+/// including fail-closed denials).
+#[allow(clippy::too_many_arguments)]
 fn judge_access(
     rig: &mut Rig,
-    truth: &HashSet<String>,
+    truth_now: &HashSet<String>,
+    truth_visible: &HashSet<String>,
     reader_idx: usize,
     resource_idx: usize,
     exact: bool,
@@ -317,7 +365,7 @@ fn judge_access(
 ) -> bool {
     let reader = rig.readers[reader_idx].clone();
     let resource = rig.resources[resource_idx].clone();
-    let expected = truth.contains(&reader);
+    let expected = truth_now.contains(&reader);
     let spec = AccessSpec::read(Url::new(HOST, &format!("/{resource}")));
     let outcome = rig.clients[reader_idx].access(&rig.net, &spec);
     let granted = outcome.is_granted();
@@ -329,8 +377,10 @@ fn judge_access(
             report.fail_closed += 1;
         }
     }
-    if granted && !expected {
-        return true; // Spurious grant: unconditional soundness violation.
+    if granted && !expected && !truth_visible.contains(&reader) {
+        // A grant both tables deny: even an undelivered epoch push cannot
+        // excuse it. Unconditional soundness violation.
+        return true;
     }
     if exact && granted != expected {
         return true; // Healed network must reproduce ground truth exactly.
@@ -352,36 +402,44 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
     assert!(config.readers > 0 && config.resources > 0, "need actors");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut rig = build_rig(config);
-    let mut truth: HashSet<String> = HashSet::new();
+    let mut truth_now: HashSet<String> = HashSet::new();
+    let mut truth_visible: HashSet<String> = HashSet::new();
     let mut report = ChaosReport::default();
 
     for step in 0..config.steps {
         // Time always moves: flap phases rotate, cached permits age
         // toward (and through) their TTL into the grace window.
         rig.net.clock().advance_ms(rng.gen_range(20..=80));
+        // Give the push channels their delivery round *before* the step's
+        // event: epoch advances travel the same faulty fabric as
+        // everything else, and their delivery lag IS the
+        // revocation-visibility window.
+        report.pushes_delivered += pump_pushes(&rig);
+        if pushes_visible(&rig) {
+            truth_visible.clone_from(&truth_now);
+        }
         match rng.gen_range(0..20u32) {
             // Policy churn: grant a reader at both AMs. Churn is kept
-            // rare relative to the cache TTL: every epoch push kills the
-            // owner's cached permits, and permits that never age past
-            // their TTL can never exercise the grace window.
+            // rare relative to the cache TTL: every delivered epoch push
+            // kills the owner's cached permits, and permits that never
+            // age past their TTL can never exercise the grace window.
             0 => {
                 let reader = rig.readers[rng.gen_range(0..rig.readers.len())].clone();
                 pap_both(&rig, |account| {
                     account.add_group_member("readers", &reader);
                 });
-                push_epoch(&rig);
-                truth.insert(reader);
+                truth_now.insert(reader);
                 report.grants += 1;
             }
-            // Policy churn: revoke a reader at both AMs. The epoch push
-            // is what keeps the grace window sound across revocation.
+            // Policy churn: revoke a reader at both AMs. Until the epoch
+            // push lands at the Host, a cached permit may legitimately
+            // keep serving — that gap is measured, not assumed away.
             1 => {
                 let reader = rig.readers[rng.gen_range(0..rig.readers.len())].clone();
                 pap_both(&rig, |account| {
                     account.remove_group_member("readers", &reader);
                 });
-                push_epoch(&rig);
-                truth.remove(&reader);
+                truth_now.remove(&reader);
                 report.revocations += 1;
             }
             // Partition the primary AM (fallback AM keeps answering).
@@ -426,7 +484,8 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
                 report.accesses += 1;
                 if judge_access(
                     &mut rig,
-                    &truth,
+                    &truth_now,
+                    &truth_visible,
                     reader_idx,
                     resource_idx,
                     false,
@@ -438,10 +497,13 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
         }
     }
 
-    // Heal-and-verify sweep: with every fault cleared and the clock run
-    // past the grace window, breaker cooldown and flap period, every
+    // Heal-and-verify sweep: with every fault cleared, the push channels
+    // drained to empty (every revocation visible), and the clock run past
+    // the grace window, breaker cooldown and flap period, every
     // (reader, resource) pair must land exactly on ground truth.
     heal_all(&rig);
+    report.pushes_delivered += drain_pushes(&rig);
+    truth_visible.clone_from(&truth_now);
     rig.net
         .clock()
         .advance_ms(config.stale_grace_ms + config.cache_ttl_ms + 10_000);
@@ -450,7 +512,8 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
             report.verified_accesses += 1;
             if judge_access(
                 &mut rig,
-                &truth,
+                &truth_now,
+                &truth_visible,
                 reader_idx,
                 resource_idx,
                 true,
@@ -467,6 +530,11 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
     if report.max_served_staleness_ms > config.stale_grace_ms {
         report.violations += 1;
     }
+
+    let push_a = rig.am_a.epoch_push_stats();
+    let push_b = rig.am_b.epoch_push_stats();
+    report.push_retries = push_a.retries + push_b.retries;
+    report.revocation_visibility_ms = push_a.max_lag_ms.max(push_b.max_lag_ms);
 
     let pep = rig.host.shell().core.stats();
     report.stale_served = pep.stale_served;
@@ -496,6 +564,18 @@ mod tests {
         assert!(report.host_retries > 0, "{report:?}");
         assert!(
             report.max_served_staleness_ms <= ChaosConfig::default().stale_grace_ms,
+            "{report:?}"
+        );
+        // The epoch push channel carried real traffic over the faulty
+        // fabric: every mutation was delivered, some deliveries needed
+        // retries, and the visibility window was actually measured.
+        assert!(report.pushes_delivered > 0, "{report:?}");
+        assert!(report.revocation_visibility_ms > 0, "{report:?}");
+        // A permit can outlive a revocation by at most TTL + grace +
+        // the measured push lag; the gauge itself stays within grace.
+        assert!(
+            report.max_served_staleness_ms
+                <= ChaosConfig::default().stale_grace_ms + report.revocation_visibility_ms,
             "{report:?}"
         );
     }

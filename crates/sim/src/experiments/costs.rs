@@ -8,11 +8,14 @@
 //! * **E9** — §VIII's comparison against OAuth 1.0a, OAuth WRAP, and the
 //!   UMA authorization-state variant.
 
-use ucam_am::Account;
+use std::sync::Arc;
+
+use ucam_am::{Account, AuthorizationManager, AuthorizeOutcome, AuthorizeRequest};
 use ucam_baselines::siloed::SiloedWorld;
 use ucam_baselines::{authz_state, oauth10a, wrap, FlowCosts};
+use ucam_host::{AccessAttempt, BatchConfig, DelegationConfig, HostCore};
 use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
-use ucam_webenv::{LatencyModel, SimNet};
+use ucam_webenv::{LatencyModel, SimNet, Url};
 
 use crate::metrics::Table;
 use crate::world::{World, HOSTS};
@@ -101,6 +104,159 @@ pub fn e7_table(per_hop_latency_ms: u64) -> Table {
             row.subsequent_round_trips.to_string(),
             row.subsequent_latency_ms.to_string(),
             row.subsequent_bytes.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One row of the E7b batched-decision fan-in measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRow {
+    /// Batch configuration label ("off" or the batch size B).
+    pub batch: String,
+    /// Number of cold cache-miss accesses in the burst.
+    pub cold_misses: u64,
+    /// Measured Host→AM decision round trips (SimNet edge counter).
+    pub decision_round_trips: u64,
+    /// The predicted ⌈N/B⌉ (or N when batching is off).
+    pub predicted_round_trips: u64,
+    /// Deadline delay charged to the simulated clock (ms).
+    pub deadline_charge_ms: u64,
+}
+
+/// Builds a Host + real AM rig with `n` delegated, permit-all-read
+/// resources and one pre-authorized bearer token per resource, then
+/// replays the same cold burst through [`HostCore::enforce_batch`].
+fn batched_burst(n: usize, batch: Option<BatchConfig>) -> BatchRow {
+    const HOST: &str = "batch-host.example";
+    const AM: &str = "batch-am.example";
+    const OWNER: &str = "bob";
+    const REQUESTER: &str = "requester:alice-agent";
+
+    let net = SimNet::new();
+    net.trace().set_enabled(false);
+    let clock = net.clock().clone();
+    let am = Arc::new(AuthorizationManager::new(AM, clock.clone()));
+    net.register(am.clone());
+
+    am.register_user(OWNER);
+    let (delegation, host_token) = am.establish_delegation(HOST, OWNER).unwrap();
+    let core = HostCore::new(HOST, clock.clone());
+    core.set_user_delegation(
+        OWNER,
+        DelegationConfig {
+            am: AM.into(),
+            host_token,
+            delegation_id: delegation.id,
+        },
+    );
+
+    let ids: Vec<String> = (0..n).map(|i| format!("res-{i}")).collect();
+    am.pap(OWNER, |account| {
+        let policy = account.create_policy(
+            "open-read",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Public)
+                        .for_action(Action::Read),
+                ),
+            ),
+        );
+        for id in &ids {
+            account
+                .link_specific(ResourceRef::new(HOST, id), &policy)
+                .unwrap();
+        }
+    })
+    .unwrap();
+
+    let mut attempts = Vec::new();
+    for id in &ids {
+        core.put_resource(id, OWNER, "file", b"data".to_vec())
+            .unwrap();
+        let AuthorizeOutcome::Token { token, .. } = am.authorize(&AuthorizeRequest::new(
+            HOST,
+            OWNER,
+            id,
+            Action::Read,
+            REQUESTER,
+        )) else {
+            panic!("expected a token for {id}");
+        };
+        attempts.push(AccessAttempt {
+            requester: REQUESTER.into(),
+            subject: None,
+            resource_id: id.clone(),
+            action: Action::Read,
+            bearer: Some(token),
+            return_url: Url::new(HOST, "/"),
+        });
+    }
+
+    core.set_decision_batching(batch);
+    net.reset_stats();
+    let before_ms = clock.now_ms();
+    let results = core.enforce_batch(&net, &attempts);
+    assert!(
+        results.iter().all(ucam_host::Enforcement::is_grant),
+        "every pre-authorized access must be granted"
+    );
+
+    let (label, predicted) = match batch {
+        None => ("off".to_owned(), n as u64),
+        Some(config) => (
+            config.max_batch.to_string(),
+            (n as u64).div_ceil(config.max_batch as u64),
+        ),
+    };
+    BatchRow {
+        batch: label,
+        cold_misses: n as u64,
+        decision_round_trips: net.stats().edge(HOST, AM),
+        predicted_round_trips: predicted,
+        deadline_charge_ms: clock.now_ms() - before_ms,
+    }
+}
+
+/// E7b — decision fan-in under the batched `/protection/v1/decisions`
+/// protocol: a cold burst of N concurrent cache misses costs exactly
+/// ⌈N/B⌉ Host→AM round trips, measured on the SimNet edge counter.
+#[must_use]
+pub fn e7b_batched_decisions(cold_misses: usize, batch_sizes: &[usize]) -> Vec<BatchRow> {
+    let mut rows = vec![batched_burst(cold_misses, None)];
+    for &b in batch_sizes {
+        rows.push(batched_burst(
+            cold_misses,
+            Some(BatchConfig {
+                max_batch: b,
+                max_delay_ms: 5,
+            }),
+        ));
+    }
+    rows
+}
+
+/// Renders E7b as a table.
+#[must_use]
+pub fn e7b_table(cold_misses: usize, batch_sizes: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E7b: batched decision fan-in (/protection/v1/decisions)",
+        &[
+            "batch",
+            "cold misses",
+            "decision RTs",
+            "predicted ceil(N/B)",
+            "deadline charge (ms)",
+        ],
+    );
+    for row in e7b_batched_decisions(cold_misses, batch_sizes) {
+        table.row(&[
+            row.batch.clone(),
+            row.cold_misses.to_string(),
+            row.decision_round_trips.to_string(),
+            row.predicted_round_trips.to_string(),
+            row.deadline_charge_ms.to_string(),
         ]);
     }
     table
@@ -450,6 +606,42 @@ mod tests {
         // And the modelled latency orders the same way.
         assert!(both.subsequent_latency_ms < token.subsequent_latency_ms);
         assert!(token.subsequent_latency_ms < none.subsequent_latency_ms);
+    }
+
+    #[test]
+    fn e7b_round_trips_are_exactly_ceil_n_over_b() {
+        let rows = e7b_batched_decisions(8, &[2, 4, 8]);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(
+                row.decision_round_trips, row.predicted_round_trips,
+                "batch={}: measured {} vs predicted {}",
+                row.batch, row.decision_round_trips, row.predicted_round_trips
+            );
+        }
+        // Batching off: one decision query per miss — the serial baseline.
+        assert_eq!(rows[0].decision_round_trips, 8);
+        assert_eq!(rows[0].deadline_charge_ms, 0);
+        // B=2, B=4, B=8 → 4, 2, 1 round trips for the same burst.
+        assert_eq!(rows[1].decision_round_trips, 4);
+        assert_eq!(rows[2].decision_round_trips, 2);
+        assert_eq!(rows[3].decision_round_trips, 1);
+        // Full flushes never wait for the deadline; only a trailing partial
+        // chunk would, and N=8 divides evenly at every B here.
+        for row in &rows[1..] {
+            assert_eq!(row.deadline_charge_ms, 0, "batch={}", row.batch);
+        }
+        // An uneven burst pays exactly one deadline charge for its tail.
+        let tail = batched_burst(
+            5,
+            Some(BatchConfig {
+                max_batch: 2,
+                max_delay_ms: 5,
+            }),
+        );
+        assert_eq!(tail.decision_round_trips, 3);
+        assert_eq!(tail.deadline_charge_ms, 5);
+        assert_eq!(e7b_table(8, &[2, 4, 8]).len(), 4);
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! | [`prototype::e14_migration`] | §III.2 — policy migration between hosts |
 //! | [`extensions::e12_extensions`] | §V.D/§VII — consent & claims overhead |
 //! | [`extensions::e13_audit`] | §V.C C4 — audit correlation coverage |
+//! | [`costs::e7b_batched_decisions`] | batched `/protection/v1/decisions` fan-in |
+//! | [`resilience::e16_availability`] | availability under AM downtime |
 
 pub mod costs;
 pub mod extensions;
 pub mod figures;
 pub mod prototype;
+pub mod resilience;

@@ -1,0 +1,330 @@
+//! E16 — availability under AM downtime, with and without the Host's
+//! resilience machinery.
+//!
+//! The paper centralizes every access decision at the AM (§V.B), which
+//! makes the AM a single point of failure for the Hosts that delegate to
+//! it. PR 3 added three host-side mitigations — a circuit breaker, a
+//! per-owner fallback AM, and a stale-grace window for expired cached
+//! permits — all armed atomically through
+//! [`ucam_host::ResilienceConfig`]. This experiment measures what they
+//! actually buy: one reader hammers one resource while the primary AM is
+//! darkened for k% of every cycle, and each hardening level reports the
+//! fraction of accesses that still succeed.
+//!
+//! The measured gradient is the point of the table:
+//!
+//! * **bare** — availability collapses to roughly the AM's own uptime
+//!   (plus the small carryover of still-fresh cached permits),
+//! * **grace** — stale cached permits bridge the first
+//!   `stale_grace_ms` of every outage, so short windows disappear but
+//!   long ones still bite,
+//! * **full** (breaker + fallback + grace) — decision queries fail over
+//!   to the owner's mirror AM and the requester re-authorizes there, so
+//!   availability stays at 100% across every downtime level.
+
+use std::sync::Arc;
+
+use ucam_am::AuthorizationManager;
+use ucam_host::{BreakerConfig, DelegationConfig, ResilienceConfig, WebStorage};
+use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
+use ucam_requester::{AccessSpec, RequesterClient};
+use ucam_webenv::identity::IdentityProvider;
+use ucam_webenv::{Method, Request, RetryPolicy, SimNet, Url};
+
+use crate::metrics::Table;
+
+const HOST: &str = "e16-host.example";
+const AM_A: &str = "e16-am-a.example";
+const AM_B: &str = "e16-am-b.example";
+const OWNER: &str = "bob";
+const READER: &str = "alice";
+const RESOURCE: &str = "files/bob/doc-0.txt";
+/// AM-granted decision-cache TTL.
+const CACHE_TTL_MS: u64 = 400;
+/// Grace window for the `grace` and `full` hardening levels.
+const STALE_GRACE_MS: u64 = 1_000;
+/// Simulated time per access step.
+const STEP_MS: u64 = 50;
+/// Steps per downtime cycle (one cycle = 5 simulated seconds).
+const CYCLE_STEPS: u64 = 100;
+/// Total measured steps (= accesses) per row.
+const STEPS: u64 = 400;
+
+/// Which host-side resilience layers a measured row arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hardening {
+    /// No breaker, no fallback, no grace: the seed configuration.
+    Bare,
+    /// Stale-grace window only.
+    Grace,
+    /// Breaker + per-owner fallback AM + stale grace.
+    Full,
+}
+
+impl Hardening {
+    /// Table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Hardening::Bare => "bare",
+            Hardening::Grace => "grace-only",
+            Hardening::Full => "breaker+fallback+grace",
+        }
+    }
+
+    fn config(self, fallback: DelegationConfig) -> ResilienceConfig {
+        match self {
+            Hardening::Bare => ResilienceConfig::new(),
+            Hardening::Grace => ResilienceConfig::new().with_stale_grace_ms(STALE_GRACE_MS),
+            Hardening::Full => ResilienceConfig::new()
+                .with_breaker(BreakerConfig::default())
+                .with_fallback_am(AM_A, fallback)
+                .with_am_retry(RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff_ms: 10,
+                    max_backoff_ms: 40,
+                    jitter_ms: 0,
+                    seed: 0xE16,
+                    budget_ms: 500,
+                    attempt_timeout_ms: 50,
+                })
+                .with_stale_grace_ms(STALE_GRACE_MS),
+        }
+    }
+}
+
+/// One measured (hardening × downtime) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityRow {
+    /// Hardening level label.
+    pub hardening: &'static str,
+    /// Percentage of each cycle the primary AM is offline.
+    pub downtime_pct: u64,
+    /// Total accesses attempted.
+    pub accesses: u64,
+    /// Accesses that were served.
+    pub granted: u64,
+    /// Permits served from the stale-grace window.
+    pub stale_served: u64,
+    /// Decision queries answered by the fallback AM.
+    pub fallback_queries: u64,
+}
+
+impl AvailabilityRow {
+    /// Availability as a percentage.
+    #[must_use]
+    pub fn availability_pct(&self) -> f64 {
+        100.0 * self.granted as f64 / self.accesses.max(1) as f64
+    }
+}
+
+/// Runs one cell: a fresh rig, `STEPS` accesses, the primary AM dark for
+/// the last `downtime_pct`% of every `CYCLE_STEPS`-step cycle.
+fn measure(downtime_pct: u64, hardening: Hardening) -> AvailabilityRow {
+    assert!(downtime_pct <= 100);
+    let net = SimNet::new();
+    net.trace().set_enabled(false);
+    let clock = net.clock().clone();
+
+    let idp = Arc::new(IdentityProvider::new("e16-idp.example", clock.clone()));
+    let am_a = Arc::new(AuthorizationManager::new(AM_A, clock.clone()));
+    let am_b = Arc::new(AuthorizationManager::new(AM_B, clock.clone()));
+    am_a.set_identity_verifier(idp.verifier());
+    am_b.set_identity_verifier(idp.verifier());
+    let host = WebStorage::new(HOST, clock.clone());
+    host.shell().set_identity_verifier(idp.verifier());
+    net.register(idp.clone());
+    net.register(am_a.clone());
+    net.register(am_b.clone());
+    net.register(host.clone());
+
+    idp.register_user(OWNER, "pw");
+    idp.register_user(READER, "pw");
+    am_a.register_user(OWNER);
+    am_b.register_user(OWNER);
+
+    // Primary delegation at AM-A, mirror delegation at AM-B.
+    let (delegation_a, token_a) = am_a.establish_delegation(HOST, OWNER).unwrap();
+    host.shell().core.set_user_delegation(
+        OWNER,
+        DelegationConfig {
+            am: AM_A.into(),
+            host_token: token_a,
+            delegation_id: delegation_a.id,
+        },
+    );
+    let (delegation_b, token_b) = am_b.establish_delegation(HOST, OWNER).unwrap();
+    host.shell()
+        .core
+        .set_resilience(hardening.config(DelegationConfig {
+            am: AM_B.into(),
+            host_token: token_b,
+            delegation_id: delegation_b.id,
+        }));
+
+    // The same read policy, mirrored at both AMs (lockstep, so both sit
+    // at the same policy epoch and failover does not thrash the cache).
+    for am in [&am_a, &am_b] {
+        am.pap(OWNER, |account| {
+            account.set_cache_ttl_ms(CACHE_TTL_MS);
+            let id = account.create_policy(
+                "reader",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::User(READER.into()))
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOST, RESOURCE), &id)
+                .unwrap();
+        })
+        .unwrap();
+    }
+
+    let owner_assertion = idp.login(OWNER, "pw").unwrap().token;
+    let resp = net.dispatch(
+        &format!("browser:{OWNER}"),
+        Request::new(Method::Post, &format!("https://{HOST}/files"))
+            .with_param("path", "bob/doc-0.txt")
+            .with_param("subject_token", &owner_assertion)
+            .with_body("doc contents"),
+    );
+    assert!(resp.status.is_success(), "{}", resp.body);
+
+    // The reader is identical across hardening levels: retries and
+    // re-authorizes at the mirror when the primary refuses or vanishes.
+    // Only the *host's* resilience configuration varies per row.
+    let mut client = RequesterClient::new(&format!("requester:{READER}"));
+    client.set_subject_token(Some(idp.login(READER, "pw").unwrap().token));
+    client.set_resilience(
+        ucam_requester::ResilienceConfig::new()
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 10,
+                max_backoff_ms: 40,
+                jitter_ms: 0,
+                seed: 0xE16,
+                budget_ms: 500,
+                attempt_timeout_ms: 50,
+            })
+            .with_fallback_am(AM_A, AM_B),
+    );
+    let spec = AccessSpec::read(Url::new(HOST, &format!("/{RESOURCE}")));
+
+    // Warm up on a healthy network: token minted, decision cached.
+    assert!(client.access(&net, &spec).is_granted(), "warmup must grant");
+
+    // Downtime windows sit at the *end* of each cycle so every window
+    // opens against a warm cache — the grace row's best case.
+    let offline_steps = downtime_pct * CYCLE_STEPS / 100;
+    let mut granted = 0u64;
+    for step in 0..STEPS {
+        clock.advance_ms(STEP_MS);
+        let in_cycle = step % CYCLE_STEPS;
+        net.set_offline(AM_A, in_cycle >= CYCLE_STEPS - offline_steps);
+        if client.access(&net, &spec).is_granted() {
+            granted += 1;
+        }
+    }
+    net.set_offline(AM_A, false);
+
+    let stats = host.shell().core.stats();
+    AvailabilityRow {
+        hardening: hardening.label(),
+        downtime_pct,
+        accesses: STEPS,
+        granted,
+        stale_served: stats.stale_served,
+        fallback_queries: stats.fallback_queries,
+    }
+}
+
+/// E16 — the full (hardening × downtime) sweep.
+#[must_use]
+pub fn e16_availability(downtime_pcts: &[u64]) -> Vec<AvailabilityRow> {
+    let mut rows = Vec::new();
+    for hardening in [Hardening::Bare, Hardening::Grace, Hardening::Full] {
+        for &pct in downtime_pcts {
+            rows.push(measure(pct, hardening));
+        }
+    }
+    rows
+}
+
+/// Renders E16 as a table.
+#[must_use]
+pub fn e16_table(downtime_pcts: &[u64]) -> Table {
+    let mut table = Table::new(
+        "E16: availability under AM downtime (host resilience ablation)",
+        &[
+            "hardening",
+            "AM downtime",
+            "accesses",
+            "granted",
+            "availability",
+            "stale served",
+            "fallback queries",
+        ],
+    );
+    for row in e16_availability(downtime_pcts) {
+        table.row(&[
+            row.hardening.to_owned(),
+            format!("{}%", row.downtime_pct),
+            row.accesses.to_string(),
+            row.granted.to_string(),
+            format!("{:.1}%", row.availability_pct()),
+            row.stale_served.to_string(),
+            row.fallback_queries.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_hardening_orders_availability() {
+        let pcts = [0u64, 10, 30, 50];
+        let rows = e16_availability(&pcts);
+        assert_eq!(rows.len(), 12);
+        let cell = |label: &str, pct: u64| {
+            rows.iter()
+                .find(|r| r.hardening == label && r.downtime_pct == pct)
+                .cloned()
+                .unwrap_or_else(|| panic!("missing cell {label}/{pct}"))
+        };
+
+        for &pct in &pcts {
+            let bare = cell("bare", pct);
+            let grace = cell("grace-only", pct);
+            let full = cell("breaker+fallback+grace", pct);
+            // Each layer can only help.
+            assert!(grace.granted >= bare.granted, "{pct}%");
+            assert!(full.granted >= grace.granted, "{pct}%");
+            // Breaker + fallback + grace rides through every outage.
+            assert_eq!(full.granted, full.accesses, "{pct}%");
+        }
+
+        // A healthy AM serves everything under every configuration.
+        assert_eq!(cell("bare", 0).granted, cell("bare", 0).accesses);
+        // Real downtime hurts an unhardened host...
+        assert!(cell("bare", 30).granted < cell("bare", 30).accesses);
+        // ...and more downtime hurts more.
+        assert!(cell("bare", 50).granted < cell("bare", 10).granted);
+        // Grace alone bridges short outages entirely (500 ms < TTL+grace)
+        // but cannot cover a 2.5 s window.
+        assert_eq!(
+            cell("grace-only", 10).granted,
+            cell("grace-only", 10).accesses
+        );
+        assert!(cell("grace-only", 50).granted < cell("grace-only", 50).accesses);
+        assert!(cell("grace-only", 50).stale_served > 0);
+        // The full stack leans on the mirror.
+        assert!(cell("breaker+fallback+grace", 50).fallback_queries > 0);
+    }
+}

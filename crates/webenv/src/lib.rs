@@ -56,6 +56,7 @@ pub mod http;
 pub mod identity;
 pub mod latency;
 pub mod net;
+pub mod protocol;
 pub mod retry;
 pub mod trace;
 pub mod url;
@@ -65,6 +66,7 @@ pub use clock::SimClock;
 pub use http::{Method, Request, Response, Status, TransportError};
 pub use latency::LatencyModel;
 pub use net::{FlapSchedule, NetStats, SimNet, WebApp};
+pub use protocol::{BatchItem, DecisionBody, WireError};
 pub use retry::{RetryPolicy, RetryReport};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
 pub use url::{ParseUrlError, Url};

@@ -1,0 +1,677 @@
+//! Shared Host↔AM wire protocol — the versioned `/protection/v1` surface.
+//!
+//! The paper's phase-5/6 exchange (Fig. 6) is a Host asking an AM for an
+//! access decision. Three crates speak this wire format: the AM serializes
+//! decisions, the Host parses them fail-closed, and the baselines mimic the
+//! same shape for apples-to-apples byte accounting. Historically each side
+//! hand-rolled its half (the Host held a private `DecisionBody`, the AM
+//! format-stringed JSON); this module is the single shared definition.
+//!
+//! Everything here is dependency-free by design: the JSON encoder and the
+//! fail-closed parser are hand-written so that crates without `serde_json`
+//! (this one, baselines) can still speak the protocol. The parser is strict
+//! where it matters for safety — a body that does not parse as a JSON
+//! object with `"decision":"permit"` is **never** treated as a permit.
+//!
+//! # Routes
+//!
+//! | constant | path | purpose |
+//! |---|---|---|
+//! | [`DECISION_PATH`] | `/protection/v1/decision` | single decision query (Fig. 6) |
+//! | [`BATCH_DECISIONS_PATH`] | `/protection/v1/decisions` | batched decision queries |
+//! | [`EPOCH_PUSH_PATH`] | `/protection/v1/epoch` | AM→Host async policy-epoch push |
+//! | [`LEGACY_DECISION_PATH`] | `/decision` | pre-versioning alias, kept for old Hosts |
+
+/// Versioned single-decision route (Fig. 6, phase 5/6).
+pub const DECISION_PATH: &str = "/protection/v1/decision";
+/// Versioned batch-decision route: the body is a JSON array of
+/// [`BatchItem`]s, the response a JSON array of [`DecisionBody`]s in the
+/// same order.
+pub const BATCH_DECISIONS_PATH: &str = "/protection/v1/decisions";
+/// Versioned AM→Host policy-epoch push route (params: `owner`, `epoch`).
+pub const EPOCH_PUSH_PATH: &str = "/protection/v1/epoch";
+/// The unversioned decision route kept as a compatibility alias.
+pub const LEGACY_DECISION_PATH: &str = "/decision";
+
+/// Maximum number of queries an AM accepts in one batch request. Requests
+/// above the cap are rejected with a 400 rather than silently truncated.
+pub const MAX_BATCH: usize = 32;
+
+/// The decision body a Host receives from an AM (Fig. 6 step 6).
+///
+/// `decision` is the verdict string (`"permit"` or `"deny"`); only an
+/// exact `"permit"` grants. `cacheable_ms` and `policy_epoch` accompany
+/// permits so the Host can cache the decision and later invalidate it on
+/// epoch advance (DESIGN.md §8). `reason` accompanies denies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionBody {
+    /// Verdict: `"permit"` grants, anything else denies.
+    pub decision: String,
+    /// How long (ms) the Host may cache a permit; absent or 0 means
+    /// do not cache.
+    pub cacheable_ms: Option<u64>,
+    /// The owner's policy epoch the decision was evaluated under.
+    pub policy_epoch: Option<u64>,
+    /// Human-readable denial reason, if any.
+    pub reason: Option<String>,
+}
+
+impl DecisionBody {
+    /// A permit valid for `cacheable_ms`, stamped with `policy_epoch`.
+    #[must_use]
+    pub fn permit(cacheable_ms: u64, policy_epoch: u64) -> Self {
+        Self {
+            decision: "permit".into(),
+            cacheable_ms: Some(cacheable_ms),
+            policy_epoch: Some(policy_epoch),
+            reason: None,
+        }
+    }
+
+    /// A deny carrying a human-readable `reason`.
+    #[must_use]
+    pub fn deny(reason: &str) -> Self {
+        Self {
+            decision: "deny".into(),
+            cacheable_ms: None,
+            policy_epoch: None,
+            reason: Some(reason.to_owned()),
+        }
+    }
+
+    /// A per-item protocol failure inside a batch response (e.g. an
+    /// expired token). Distinct from [`DecisionBody::deny`] — a deny is a
+    /// policy verdict, an error means the query never reached policy
+    /// evaluation; Hosts map errors to their single-query 401 handling.
+    #[must_use]
+    pub fn error(reason: &str) -> Self {
+        Self {
+            decision: "error".into(),
+            cacheable_ms: None,
+            policy_epoch: None,
+            reason: Some(reason.to_owned()),
+        }
+    }
+
+    /// Whether this batch item is a protocol-level failure (see
+    /// [`DecisionBody::error`]).
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.decision == "error"
+    }
+
+    /// Whether the verdict is exactly `"permit"`. A deny whose *reason*
+    /// merely contains the word "permit" stays a deny.
+    #[must_use]
+    pub fn is_permit(&self) -> bool {
+        self.decision == "permit"
+    }
+
+    /// Serializes to the canonical wire JSON. Field order is fixed
+    /// (decision, cacheable_ms, policy_epoch, reason; absent fields are
+    /// omitted) so byte counts are deterministic across runs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"decision\":");
+        push_json_string(&mut out, &self.decision);
+        if let Some(ms) = self.cacheable_ms {
+            out.push_str(",\"cacheable_ms\":");
+            out.push_str(&ms.to_string());
+        }
+        if let Some(epoch) = self.policy_epoch {
+            out.push_str(",\"policy_epoch\":");
+            out.push_str(&epoch.to_string());
+        }
+        if let Some(reason) = &self.reason {
+            out.push_str(",\"reason\":");
+            push_json_string(&mut out, reason);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a decision body, fail-closed: anything that is not a JSON
+    /// object with a string `decision` field is an error, and the caller
+    /// must treat errors as a refusal, never a permit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON, a missing or non-string
+    /// `decision`, or ill-typed optional fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let value = parse_json(body)?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &Json) -> Result<Self, WireError> {
+        let Json::Object(fields) = value else {
+            return Err(WireError::new("decision body is not a JSON object"));
+        };
+        let decision = match find(fields, "decision") {
+            Some(Json::String(s)) => s.clone(),
+            Some(_) => return Err(WireError::new("decision field is not a string")),
+            None => return Err(WireError::new("decision field missing")),
+        };
+        Ok(Self {
+            decision,
+            cacheable_ms: opt_u64(fields, "cacheable_ms")?,
+            policy_epoch: opt_u64(fields, "policy_epoch")?,
+            reason: opt_string(fields, "reason")?,
+        })
+    }
+
+    /// Historical convenience: the cacheable window of a body, where
+    /// anything other than a well-formed permit yields 0 (uncacheable).
+    /// This is the fail-closed projection Hosts used before the full
+    /// parse result was public.
+    #[must_use]
+    pub fn parse_cacheable_ms(body: &str) -> u64 {
+        match Self::from_json(body) {
+            Ok(parsed) if parsed.is_permit() => parsed.cacheable_ms.unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
+/// One query inside a batch decision request: the per-item fields of the
+/// paper's Fig. 6 query (the `host_token` rides on the request itself,
+/// since a batch is scoped to one Host↔AM delegation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchItem {
+    /// The requester's authorization token (phase 4 artifact).
+    pub token: String,
+    /// Resource identifier at the Host.
+    pub resource: String,
+    /// Action name (`read`, `write`, …).
+    pub action: String,
+    /// Requester label.
+    pub requester: String,
+}
+
+impl BatchItem {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"token\":");
+        push_json_string(&mut out, &self.token);
+        out.push_str(",\"resource\":");
+        push_json_string(&mut out, &self.resource);
+        out.push_str(",\"action\":");
+        push_json_string(&mut out, &self.action);
+        out.push_str(",\"requester\":");
+        push_json_string(&mut out, &self.requester);
+        out.push('}');
+        out
+    }
+
+    fn from_value(value: &Json) -> Result<Self, WireError> {
+        let Json::Object(fields) = value else {
+            return Err(WireError::new("batch item is not a JSON object"));
+        };
+        let get = |key: &str| -> Result<String, WireError> {
+            match find(fields, key) {
+                Some(Json::String(s)) => Ok(s.clone()),
+                _ => Err(WireError::new(&format!(
+                    "batch item field {key} missing or not a string"
+                ))),
+            }
+        };
+        Ok(Self {
+            token: get("token")?,
+            resource: get("resource")?,
+            action: get("action")?,
+            requester: get("requester")?,
+        })
+    }
+}
+
+/// Encodes a batch request body: a JSON array of [`BatchItem`]s.
+#[must_use]
+pub fn encode_batch_request(items: &[BatchItem]) -> String {
+    encode_array(items.iter().map(BatchItem::to_json))
+}
+
+/// Parses a batch request body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, a non-array body, ill-typed
+/// items, or more than [`MAX_BATCH`] items.
+pub fn parse_batch_request(body: &str) -> Result<Vec<BatchItem>, WireError> {
+    let Json::Array(values) = parse_json(body)? else {
+        return Err(WireError::new("batch request is not a JSON array"));
+    };
+    if values.len() > MAX_BATCH {
+        return Err(WireError::new(&format!(
+            "batch of {} exceeds the cap of {MAX_BATCH}",
+            values.len()
+        )));
+    }
+    values.iter().map(BatchItem::from_value).collect()
+}
+
+/// Encodes a batch response body: a JSON array of [`DecisionBody`]s in
+/// request order.
+#[must_use]
+pub fn encode_batch_response(decisions: &[DecisionBody]) -> String {
+    encode_array(decisions.iter().map(DecisionBody::to_json))
+}
+
+/// Parses a batch response body, fail-closed per item (an unparseable
+/// array poisons the whole batch, which the Host must treat as a refusal
+/// of every item).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, a non-array body, or any
+/// ill-typed decision element.
+pub fn parse_batch_response(body: &str) -> Result<Vec<DecisionBody>, WireError> {
+    let Json::Array(values) = parse_json(body)? else {
+        return Err(WireError::new("batch response is not a JSON array"));
+    };
+    values.iter().map(DecisionBody::from_value).collect()
+}
+
+fn encode_array(items: impl Iterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// A wire-format violation. Carries a human-readable message; the only
+/// safe reaction on the Host side is to refuse the access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    message: String,
+}
+
+impl WireError {
+    fn new(message: &str) -> Self {
+        Self {
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wire error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON machinery (no serde_json dependency)
+// ---------------------------------------------------------------------------
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The subset of JSON values the protocol uses. Numbers keep their raw
+/// text so integer fields parse losslessly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(String),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+fn find<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn opt_u64(fields: &[(String, Json)], key: &str) -> Result<Option<u64>, WireError> {
+    match find(fields, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Number(raw)) => raw
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| WireError::new(&format!("{key} is not an unsigned integer"))),
+        Some(_) => Err(WireError::new(&format!("{key} is not a number"))),
+    }
+}
+
+fn opt_string(fields: &[(String, Json)], key: &str) -> Result<Option<String>, WireError> {
+    match find(fields, key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(WireError::new(&format!("{key} is not a string"))),
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+fn parse_json(input: &str) -> Result<Json, WireError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(WireError::new("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        _ => Err(WireError::new("unexpected character in JSON")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, WireError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(WireError::new("invalid JSON literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(WireError::new("empty number"));
+    }
+    let raw = core::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| WireError::new("invalid number bytes"))?;
+    // Validate it is at least float-shaped; raw text is kept for
+    // lossless integer extraction later.
+    raw.parse::<f64>()
+        .map_err(|_| WireError::new("malformed number"))?;
+    Ok(Json::Number(raw.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(WireError::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| WireError::new("truncated \\u escape"))?;
+                        let hex = core::str::from_utf8(hex)
+                            .map_err(|_| WireError::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| WireError::new("invalid \\u escape"))?;
+                        // Surrogates are not paired here: the encoder never
+                        // emits them and the protocol carries no astral
+                        // escapes, so a lone surrogate is simply an error.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| WireError::new("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(WireError::new("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (input is &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let s = core::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| WireError::new("invalid UTF-8"))?;
+                let c = s.chars().next().ok_or_else(|| WireError::new("empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'{'));
+    *pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(WireError::new("expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(WireError::new("expected ':' after key"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(WireError::new("expected ',' or '}'")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'['));
+    *pos += 1;
+    let mut values = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(values));
+    }
+    loop {
+        let value = parse_value(bytes, pos)?;
+        values.push(value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(values));
+            }
+            _ => return Err(WireError::new("expected ',' or ']'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permit_round_trips() {
+        let body = DecisionBody::permit(60_000, 3);
+        let json = body.to_json();
+        assert_eq!(
+            json,
+            "{\"decision\":\"permit\",\"cacheable_ms\":60000,\"policy_epoch\":3}"
+        );
+        assert_eq!(DecisionBody::from_json(&json).unwrap(), body);
+        assert!(body.is_permit());
+    }
+
+    #[test]
+    fn deny_round_trips_with_escaped_reason() {
+        let body = DecisionBody::deny("no \"permit\" for you\nline two");
+        let json = body.to_json();
+        let parsed = DecisionBody::from_json(&json).unwrap();
+        assert_eq!(parsed, body);
+        assert!(!parsed.is_permit());
+    }
+
+    #[test]
+    fn deny_containing_permit_text_is_not_a_permit() {
+        let body = "{\"decision\":\"deny\",\"reason\":\"would permit if consented\"}";
+        let parsed = DecisionBody::from_json(body).unwrap();
+        assert!(!parsed.is_permit());
+        assert_eq!(DecisionBody::parse_cacheable_ms(body), 0);
+    }
+
+    #[test]
+    fn malformed_bodies_fail_closed() {
+        for body in [
+            "certainly! \"permit\" granted",
+            "{\"decision\":",
+            "{\"decision\":42}",
+            "{}",
+            "[\"permit\"]",
+            "{\"decision\":\"permit\"} trailing",
+            "{\"decision\":\"permit\",\"cacheable_ms\":-5}",
+            "{\"decision\":\"permit\",\"cacheable_ms\":\"60000\"}",
+        ] {
+            assert!(DecisionBody::from_json(body).is_err(), "{body}");
+            assert_eq!(DecisionBody::parse_cacheable_ms(body), 0, "{body}");
+        }
+    }
+
+    #[test]
+    fn parse_cacheable_ms_matches_historical_behavior() {
+        let cases = [
+            (
+                "{\"decision\":\"permit\",\"cacheable_ms\":60000,\"policy_epoch\":1}",
+                60_000,
+            ),
+            (
+                "{\"decision\":\"permit\",\"cacheable_ms\":0,\"policy_epoch\":1}",
+                0,
+            ),
+            ("{\"decision\":\"permit\"}", 0),
+            ("{\"decision\":\"deny\",\"reason\":\"nope\"}", 0),
+            ("{\"decision\":\"deny\",\"cacheable_ms\":60000}", 0),
+            ("{\"decision\":", 0),
+            ("not json at all", 0),
+        ];
+        for (body, want) in cases {
+            assert_eq!(DecisionBody::parse_cacheable_ms(body), want, "{body}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let body = "{\"decision\":\"permit\",\"cacheable_ms\":5,\"policy_epoch\":1,\
+                    \"extra\":{\"nested\":[1,2,null,true]},\"note\":\"x\"}";
+        let parsed = DecisionBody::from_json(body).unwrap();
+        assert!(parsed.is_permit());
+        assert_eq!(parsed.cacheable_ms, Some(5));
+    }
+
+    #[test]
+    fn null_optionals_read_as_absent() {
+        let body = "{\"decision\":\"deny\",\"reason\":null,\"cacheable_ms\":null}";
+        let parsed = DecisionBody::from_json(body).unwrap();
+        assert_eq!(parsed.cacheable_ms, None);
+        assert_eq!(parsed.reason, None);
+    }
+
+    #[test]
+    fn batch_request_round_trips_and_caps() {
+        let items: Vec<BatchItem> = (0..3)
+            .map(|i| BatchItem {
+                token: format!("tok-{i}"),
+                resource: format!("files/r{i}.txt"),
+                action: "read".into(),
+                requester: "requester:app".into(),
+            })
+            .collect();
+        let body = encode_batch_request(&items);
+        assert_eq!(parse_batch_request(&body).unwrap(), items);
+
+        let oversized: Vec<BatchItem> = (0..=MAX_BATCH)
+            .map(|i| BatchItem {
+                token: format!("t{i}"),
+                resource: "r".into(),
+                action: "read".into(),
+                requester: "q".into(),
+            })
+            .collect();
+        assert!(parse_batch_request(&encode_batch_request(&oversized)).is_err());
+    }
+
+    #[test]
+    fn batch_response_round_trips() {
+        let decisions = vec![
+            DecisionBody::permit(400, 2),
+            DecisionBody::deny("not in group"),
+        ];
+        let body = encode_batch_response(&decisions);
+        assert_eq!(parse_batch_response(&body).unwrap(), decisions);
+        assert!(parse_batch_response("{\"not\":\"array\"}").is_err());
+        assert!(parse_batch_response("[{\"decision\":42}]").is_err());
+    }
+
+    #[test]
+    fn empty_batches_are_legal() {
+        assert_eq!(parse_batch_request("[]").unwrap(), Vec::<BatchItem>::new());
+        assert_eq!(
+            parse_batch_response("[]").unwrap(),
+            Vec::<DecisionBody>::new()
+        );
+    }
+}

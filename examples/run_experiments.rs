@@ -9,7 +9,7 @@
 //! measures the wall-clock cost of each hot path.
 
 use ucam::sim::churn::{run as run_churn, ChurnConfig};
-use ucam::sim::experiments::{costs, extensions, figures, prototype};
+use ucam::sim::experiments::{costs, extensions, figures, prototype, resilience};
 
 fn main() {
     println!("================================================================");
@@ -44,14 +44,16 @@ fn main() {
         println!("hop={:>3}ms  phases={:?}", row.per_hop_ms, row.phase_ms);
     }
 
-    // E7–E15: the tables.
+    // E7–E16: the tables.
     println!("\n{}", costs::e7_table(40));
+    println!("{}", costs::e7b_table(8, &[2, 4, 8]));
     println!("{}", costs::e8_table(&[1, 2, 5, 10, 20], &[1, 3, 5], 4));
     println!("{}", costs::e9_table());
     println!("{}", costs::e15_table());
     println!("{}", extensions::e12_table());
     println!("{}", extensions::e13_table(3));
     println!("{}", prototype::e14_table(20, 10));
+    println!("{}", resilience::e16_table(&[0, 10, 30, 50]));
 
     // E10/E11: engine distribution + serde sizes.
     let workload = prototype::e10_engine_workload(1000, 10, 10_000, 42);

@@ -365,6 +365,193 @@ fn unanswered_consent_requests_expire() {
     assert_ne!(fresh, consent_id);
 }
 
+/// Installs a consent-gated policy for alice on HOSTS[0] (§V.D).
+fn consent_gated_world() -> World {
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world
+        .am
+        .pap("bob", |account| {
+            let id = account.create_policy(
+                "guarded",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::User("alice".into()))
+                            .for_action(Action::Read)
+                            .with_condition(Condition::RequiresConsent),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .unwrap();
+        })
+        .unwrap();
+    world
+}
+
+#[test]
+fn pending_consent_flow_survives_partitions_and_loss() {
+    let mut world = consent_gated_world();
+
+    // Phase 1: the AM is partitioned away. The consent gate cannot even be
+    // discovered, and — judged against ground truth (consent not granted) —
+    // nothing may be served.
+    world.net.set_offline(AM, true);
+    for _ in 0..5 {
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(
+            matches!(outcome, AccessOutcome::Failed(_)),
+            "partitioned AM must fail the attempt, got {outcome:?}"
+        );
+    }
+    world.net.set_offline(AM, false);
+
+    // Phase 2: the partition heals into a lossy network. Attempts now reach
+    // the AM often enough to open a pending-consent request, but loss may
+    // still fail individual rounds. Ground truth stays "deny": no grant ever.
+    world.net.set_burst_loss(4, 35, 0xC0FF_EE01);
+    let mut consent_id = None;
+    let mut failed = 0u32;
+    for _ in 0..30 {
+        match world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0") {
+            AccessOutcome::PendingConsent { consent_id: id, .. } => consent_id = Some(id),
+            AccessOutcome::Failed(_) => failed += 1,
+            other => panic!("consent gate must hold under loss: {other:?}"),
+        }
+        world.net.clock().advance_ms(50);
+    }
+    let consent_id = consent_id.expect("burst loss must not starve the consent flow entirely");
+    assert!(failed > 0, "35% burst loss must fail some rounds");
+
+    // Polling under loss is equally safe: it reports pending or fails, but
+    // never fabricates an answer.
+    for _ in 0..10 {
+        let polled = world.friend_polls_consent("alice", AM, &consent_id);
+        assert_ne!(
+            polled,
+            Some(true),
+            "unanswered consent must not read granted"
+        );
+        world.net.clock().advance_ms(50);
+    }
+
+    // Phase 3: bob grants. Ground truth flips to "permit"; under the same
+    // lossy network the requester may need retries but must converge, and
+    // once the network heals access is clean.
+    world
+        .am
+        .grant_consent(&consent_id)
+        .expect("pending consent");
+    let granted_under_loss = (0..30).any(|_| {
+        let granted = world
+            .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+            .is_granted();
+        world.net.clock().advance_ms(50);
+        granted
+    });
+    world.net.set_burst_loss(0, 0, 0);
+    assert!(
+        granted_under_loss
+            || world
+                .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+                .is_granted(),
+        "granted consent must eventually serve"
+    );
+
+    // An uninvolved reader is still denied — loss never widened the grant.
+    assert!(!world
+        .friend_reads("chris", HOSTS[0], "/photos/rome/photo-0")
+        .is_granted());
+}
+
+#[test]
+fn claims_gate_under_burst_loss_never_grants_without_claim() {
+    use ucam::am::claims::ClaimIssuer;
+
+    let payments = ClaimIssuer::new("payments.example");
+    let mut world = World::bootstrap();
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world
+        .am
+        .pap("bob", |account| {
+            let id = account.create_policy(
+                "paywalled",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::User("alice".into()))
+                            .for_action(Action::Read)
+                            .with_condition(Condition::RequiresClaims(vec![
+                                ClaimRequirement::from_issuer("payment", "payments.example"),
+                            ])),
+                    ),
+                ),
+            );
+            account
+                .link_specific(ResourceRef::new(HOSTS[0], "albums/rome/photo-0"), &id)
+                .unwrap();
+        })
+        .unwrap();
+    world.am.trust_claim_issuer(&payments);
+
+    // Ground truth phase 1: no claim presented -> deny. Under burst loss the
+    // requester sees either the terms (NeedsClaims) or a transport failure;
+    // a grant would be a violation.
+    world.net.set_burst_loss(5, 40, 0xBEEF_0002);
+    let mut saw_terms = false;
+    for _ in 0..30 {
+        match world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0") {
+            AccessOutcome::NeedsClaims(terms) => {
+                assert!(terms.contains("payment"), "{terms}");
+                saw_terms = true;
+            }
+            AccessOutcome::Failed(_) => {}
+            other => panic!("claims gate must hold under loss: {other:?}"),
+        }
+        world.net.clock().advance_ms(50);
+    }
+    assert!(saw_terms, "the terms must get through between bursts");
+
+    // A forged receipt (untrusted issuer) changes nothing: still deny.
+    let forger = ClaimIssuer::new("shady.example");
+    world
+        .client("alice")
+        .add_claim_token(&forger.issue("payment", "ref-000"));
+    for _ in 0..10 {
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        assert!(
+            !outcome.is_granted(),
+            "forged claim must never grant: {outcome:?}"
+        );
+        world.net.clock().advance_ms(50);
+    }
+
+    // Ground truth phase 2: a real receipt flips truth to permit. Loss may
+    // delay the grant but the flow converges, and heals cleanly.
+    world
+        .client("alice")
+        .add_claim_token(&payments.issue("payment", "ref-829"));
+    let granted_under_loss = (0..30).any(|_| {
+        let granted = world
+            .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+            .is_granted();
+        world.net.clock().advance_ms(50);
+        granted
+    });
+    world.net.set_burst_loss(0, 0, 0);
+    assert!(
+        granted_under_loss
+            || world
+                .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
+                .is_granted(),
+        "paid-up requester must eventually be served"
+    );
+}
+
 #[test]
 fn identity_assertion_expiry_blocks_authorization() {
     let mut world = shared_world();

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use ucam::am::AuthorizationManager;
-use ucam::host::{DelegationConfig, WebPics};
+use ucam::host::{DelegationConfig, ResilienceConfig, WebPics};
 use ucam::policy::prelude::*;
 use ucam::requester::{AccessOutcome, AccessSpec, RequesterClient};
 use ucam::webenv::identity::IdentityProvider;
@@ -198,14 +198,17 @@ fn requester_bounced_by_offline_primary_am_completes_against_secondary() {
         .am_b
         .establish_delegation("pics.example", "bob")
         .unwrap();
-    rig.pics.shell().core.set_fallback_am(
-        "am-a.example",
-        DelegationConfig {
-            am: "am-b.example".into(),
-            host_token: token_b,
-            delegation_id: delegation_b.id,
-        },
-    );
+    rig.pics
+        .shell()
+        .core
+        .set_resilience(ResilienceConfig::new().with_fallback_am(
+            "am-a.example",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: token_b,
+                delegation_id: delegation_b.id,
+            },
+        ));
     permit_alice(&rig.am_a, "bob", "albums/rome/p1");
     permit_alice(&rig.am_b, "bob", "albums/rome/p1");
 
@@ -215,7 +218,9 @@ fn requester_bounced_by_offline_primary_am_completes_against_secondary() {
     let assertion = rig.idp.login("alice", "pw").unwrap().token;
     let mut client = RequesterClient::new("requester:alice-agent");
     client.set_subject_token(Some(assertion));
-    client.set_fallback_am("am-a.example", "am-b.example");
+    client.set_resilience(
+        ucam::requester::ResilienceConfig::new().with_fallback_am("am-a.example", "am-b.example"),
+    );
 
     // Phase 3: the Host's redirect still points at AM-A; the requester
     // is bounced off it at the transport level, re-homes the authorize
@@ -235,7 +240,9 @@ fn requester_bounced_by_offline_primary_am_completes_against_secondary() {
     rig.net.set_offline("am-a.example", false);
     let mut native = RequesterClient::new("requester:alice-agent");
     native.set_subject_token(Some(rig.idp.login("alice", "pw").unwrap().token));
-    native.set_fallback_am("am-a.example", "am-b.example");
+    native.set_resilience(
+        ucam::requester::ResilienceConfig::new().with_fallback_am("am-a.example", "am-b.example"),
+    );
     assert!(native
         .access(
             &rig.net,
@@ -244,6 +251,93 @@ fn requester_bounced_by_offline_primary_am_completes_against_secondary() {
         .is_granted());
     assert_eq!(native.stats().failovers, 0);
     assert_eq!(rig.pics.shell().core.stats().fallback_queries, 1);
+}
+
+#[test]
+fn multi_owner_fallbacks_route_to_each_owners_own_mirror() {
+    // Regression: the fallback map used to be keyed on the primary AM
+    // alone, so when two owners shared a primary, whichever mirror was
+    // registered last silently served *both* owners' failovers — wrong
+    // mirror, wrong delegation, wrong audit trail. Fallbacks are now
+    // keyed on (primary AM, owner).
+    let rig = rig();
+    upload(&rig, "bob", "rome", "p1");
+    upload(&rig, "carol", "oslo", "p1");
+
+    // Both owners delegate to AM-A as primary; each mirrors to a
+    // *different* secondary: bob to AM-B, carol to a third AM.
+    let am_c = Arc::new(AuthorizationManager::new(
+        "am-c.example",
+        rig.net.clock().clone(),
+    ));
+    am_c.register_user("carol");
+    am_c.register_user("alice");
+    am_c.set_identity_verifier(rig.idp.verifier());
+    rig.net.register(am_c.clone());
+
+    delegate(&rig, "bob", &rig.am_a);
+    delegate(&rig, "carol", &rig.am_a);
+    let (delegation_b, token_b) = rig
+        .am_b
+        .establish_delegation("pics.example", "bob")
+        .unwrap();
+    let (delegation_c, token_c) = am_c.establish_delegation("pics.example", "carol").unwrap();
+    rig.pics.shell().core.set_resilience(
+        ResilienceConfig::new()
+            .with_fallback_am_for_owner(
+                "am-a.example",
+                "bob",
+                DelegationConfig {
+                    am: "am-b.example".into(),
+                    host_token: token_b,
+                    delegation_id: delegation_b.id,
+                },
+            )
+            .with_fallback_am_for_owner(
+                "am-a.example",
+                "carol",
+                DelegationConfig {
+                    am: "am-c.example".into(),
+                    host_token: token_c,
+                    delegation_id: delegation_c.id,
+                },
+            ),
+    );
+
+    // Policies exist at the primary and at each owner's own mirror.
+    permit_alice(&rig.am_a, "bob", "albums/rome/p1");
+    permit_alice(&rig.am_a, "carol", "albums/oslo/p1");
+    permit_alice(&rig.am_b, "bob", "albums/rome/p1");
+    permit_alice(&am_c, "carol", "albums/oslo/p1");
+
+    // Authorize both readers while the primary is still healthy, so each
+    // holds a token minted by a mirror-recognized AM…
+    let mut bob_reader = RequesterClient::new("requester:alice-agent");
+    bob_reader.set_subject_token(Some(rig.idp.login("alice", "pw").unwrap().token));
+    bob_reader.set_resilience(
+        ucam::requester::ResilienceConfig::new().with_fallback_am("am-a.example", "am-b.example"),
+    );
+    let mut carol_reader = RequesterClient::new("requester:alice-agent");
+    carol_reader.set_subject_token(Some(rig.idp.login("alice", "pw").unwrap().token));
+    carol_reader.set_resilience(
+        ucam::requester::ResilienceConfig::new().with_fallback_am("am-a.example", "am-c.example"),
+    );
+
+    // …then darken the primary. Every decision query must fail over to
+    // the mirror holding *that owner's* delegation, or the mirror will
+    // reject the token and the access dies.
+    rig.net.set_offline("am-a.example", true);
+    let bob_outcome = bob_reader.access(
+        &rig.net,
+        &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+    );
+    assert!(bob_outcome.is_granted(), "{bob_outcome:?}");
+    let carol_outcome = carol_reader.access(
+        &rig.net,
+        &AccessSpec::read(Url::new("pics.example", "/photos/oslo/p1")),
+    );
+    assert!(carol_outcome.is_granted(), "{carol_outcome:?}");
+    assert_eq!(rig.pics.shell().core.stats().fallback_queries, 2);
 }
 
 #[test]
