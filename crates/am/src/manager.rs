@@ -13,8 +13,9 @@
 //! exposing the protocol endpoints of Figs. 3–6 plus the REST policy API of
 //! §VI.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -214,6 +215,11 @@ pub const DEFAULT_CONSENT_TTL_MS: u64 = 24 * 60 * 60 * 1000;
 /// shard, not with the AM's global bookkeeping.
 const ACCOUNT_SHARDS: usize = 8;
 
+/// Per-owner cap on the issued-grants registry the sieve compiler replays.
+/// Oldest entries fall off first; a dropped entry only means the matching
+/// token falls back to the tier-2 protocol path, never a wrong grant.
+const ISSUED_GRANTS_CAP: usize = 4096;
+
 /// One owner's entry in an account shard: the PAP account plus the
 /// monotonically increasing policy epoch that invalidates downstream
 /// decision caches whenever the account's policy state changes.
@@ -236,6 +242,15 @@ struct AmState {
     use_counts: HashMap<(String, Option<String>, ResourceRef, Action), u32>,
     /// Claims verified at token-issuance time, reused at decision time.
     satisfied_claims: HashMap<(String, ResourceRef), Vec<Claim>>,
+    /// Host tokens retained at delegation time, keyed by (host, user).
+    /// Each doubles as the HMAC key a compiled sieve for that delegation
+    /// is signed with — a secret both ends already share, so the sieve
+    /// needs no new key exchange.
+    host_tokens: HashMap<(String, String), String>,
+    /// Authorization tokens issued per owner, `(token, grant)` newest
+    /// last — the raw material the sieve compiler replays. Populated only
+    /// while sieve push is enabled; capped at [`ISSUED_GRANTS_CAP`].
+    issued_grants: HashMap<String, VecDeque<(String, AuthzGrant)>>,
     idp: Option<IdentityVerifier>,
 }
 
@@ -250,6 +265,8 @@ impl Default for AmState {
             claim_verifier: ClaimVerifier::default(),
             use_counts: HashMap::default(),
             satisfied_claims: HashMap::default(),
+            host_tokens: HashMap::default(),
+            issued_grants: HashMap::default(),
             idp: None,
         }
     }
@@ -297,6 +314,9 @@ pub struct AuthorizationManager {
     /// Asynchronous AM→Host epoch push channel. Same lock-ordering rule:
     /// never held together with `state` or a shard lock.
     pushes: Mutex<EpochPushChannel>,
+    /// Whether epoch pushes carry a compiled capability sieve body
+    /// (DESIGN.md §12). Off by default: plain epoch pushes only.
+    sieve_push: AtomicBool,
 }
 
 impl fmt::Debug for AuthorizationManager {
@@ -320,6 +340,7 @@ impl AuthorizationManager {
             state: RwLock::new(AmState::default()),
             accounts: std::array::from_fn(|_| RwLock::new(AccountShard::default())),
             pushes: Mutex::new(EpochPushChannel::default()),
+            sieve_push: AtomicBool::new(false),
         }
     }
 
@@ -373,14 +394,22 @@ impl AuthorizationManager {
     /// monotonic, so redelivery is harmless and dropping is not).
     pub fn pump_epoch_pushes(&self, net: &SimNet) -> usize {
         let due = self.pushes.lock().take_due(self.clock.now_ms());
+        let sieve_enabled = self.sieve_push.load(Ordering::Relaxed);
         let mut delivered = 0;
         for push in due {
-            let req = Request::new(
+            let mut req = Request::new(
                 Method::Post,
                 &format!("https://{}{}", push.host, protocol::EPOCH_PUSH_PATH),
             )
             .with_param("owner", &push.owner)
             .with_param("epoch", &push.epoch.to_string());
+            let mut sieved = false;
+            if sieve_enabled {
+                if let Some(sieve) = self.compile_sieve(&push.host, &push.owner) {
+                    req = req.with_body(sieve.to_json());
+                    sieved = true;
+                }
+            }
             let resp = net.dispatch(&self.authority, req);
             let now = self.clock.now_ms();
             let mut pushes = self.pushes.lock();
@@ -388,10 +417,238 @@ impl AuthorizationManager {
                 pushes.requeue(push, now);
             } else {
                 pushes.record_delivery(now, &push);
+                if sieved {
+                    pushes.record_sieved();
+                }
                 delivered += 1;
             }
         }
         delivered
+    }
+
+    /// Enables (or disables) compiling a capability sieve into every
+    /// epoch push (DESIGN.md §12). While enabled, the AM also records
+    /// each issued authorization token so the compiler can replay it;
+    /// tokens issued while disabled are simply absent from later sieves
+    /// and keep using the tier-2 protocol path.
+    pub fn set_sieve_push(&self, enabled: bool) {
+        self.sieve_push.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Schedules an epoch push for every registered owner at their
+    /// current epoch. With sieve push enabled this re-compiles and
+    /// re-delivers every owner's sieve — the warm-up lever for Hosts that
+    /// just (re)connected, without waiting for a policy edit.
+    pub fn schedule_sieve_refresh(&self) {
+        for (owner, epoch) in self.policy_epochs() {
+            self.schedule_epoch_push(&owner, epoch);
+        }
+    }
+
+    /// Compiles the capability sieve for one (host, owner) delegation:
+    /// replays every live issued token through the same phase-A/phase-B
+    /// evaluation as [`Self::decide`] and keeps the permits.
+    ///
+    /// Returns `None` when no host token was ever retained for the pair
+    /// (nothing to sign with — the push goes out plain). A *revoked*
+    /// delegation still compiles: the result is an empty, signed sieve,
+    /// which is exactly how revocation propagates to the Host's tier-1
+    /// table ahead of cache expiry.
+    ///
+    /// Lock discipline: four sequential scopes (state → shard → state →
+    /// shard), never two locks at once, honoring the struct's ordering
+    /// rule. State can move between scopes; any skew is bounded by the
+    /// same epoch mechanism that bounds decision-cache staleness — a
+    /// sieve compiled against a half-updated account carries the epoch it
+    /// read, and the next bump purges it.
+    fn compile_sieve(&self, host: &str, owner: &str) -> Option<protocol::SieveBody> {
+        let now = self.clock.now_ms();
+
+        // Scope 1 — central read: signing key, trust status, live grants.
+        let (host_token, trusted, grants) = {
+            let state = self.state.read();
+            let token = state
+                .host_tokens
+                .get(&(host.to_owned(), owner.to_owned()))?
+                .clone();
+            let trusted = state.trust.check(host, owner).is_ok();
+            let grants: Vec<(String, AuthzGrant)> = if trusted {
+                state
+                    .issued_grants
+                    .get(owner)
+                    .map(|g| {
+                        g.iter()
+                            .filter(|(_, grant)| grant.host == host && grant.expires_at_ms > now)
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            (token, trusted, grants)
+        };
+        if !trusted || grants.is_empty() {
+            // Epoch 0 never beats an installed sieve; read the real epoch
+            // so an empty sieve still supersedes older entries.
+            let epoch = self.policy_epoch(owner);
+            return Some(protocol::SieveBody::build(
+                owner,
+                epoch,
+                Vec::new(),
+                host_token.as_bytes(),
+            ));
+        }
+
+        // Scope 2 — shard read: expand realm grants to their member
+        // resources on this host. A realm token passes the binding check
+        // for any resource (the PDP re-evaluates per resource), so the
+        // candidate set is the realm's members — an underapproximation is
+        // safe, misses just take tier-2.
+        let realm_resources: HashMap<String, Vec<String>> = {
+            let shard = self.shard_for(owner).read();
+            let slot = shard.get(owner)?;
+            let mut map: HashMap<String, Vec<String>> = HashMap::new();
+            for (_, grant) in &grants {
+                let Some(realm) = &grant.realm else { continue };
+                if map.contains_key(realm) {
+                    continue;
+                }
+                let members = slot
+                    .account
+                    .policies()
+                    .realm_members(realm)
+                    .into_iter()
+                    .filter(|rr| rr.host == host)
+                    .map(|rr| rr.id.clone())
+                    .collect();
+                map.insert(realm.clone(), members);
+            }
+            map
+        };
+
+        // Candidate tuples: every (token, resource, built-in action). The
+        // web layer maps unknown action strings to `Action::Custom`, which
+        // the compiler cannot enumerate — custom actions stay tier-2.
+        struct Candidate {
+            token: String,
+            grant: AuthzGrant,
+            resource_id: String,
+            action: Action,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for (token, grant) in &grants {
+            let mut resources = vec![grant.resource_id.clone()];
+            if let Some(realm) = &grant.realm {
+                for id in realm_resources.get(realm).into_iter().flatten() {
+                    if !resources.contains(id) {
+                        resources.push(id.clone());
+                    }
+                }
+            }
+            for resource_id in resources {
+                for action in Action::BUILTIN {
+                    candidates.push(Candidate {
+                        token: token.clone(),
+                        grant: grant.clone(),
+                        resource_id: resource_id.clone(),
+                        action,
+                    });
+                }
+            }
+        }
+
+        // Scope 3 — central read: the same consent/claims/use-count
+        // context `decide` gathers in its phase A, per candidate.
+        let contexts: Vec<(bool, Vec<Claim>, u32)> = {
+            let state = self.state.read();
+            candidates
+                .iter()
+                .map(|c| {
+                    let resource = ResourceRef::new(host, &c.resource_id);
+                    let consent_granted = state.consent.is_granted(
+                        &c.grant.requester,
+                        c.grant.subject.as_deref(),
+                        &resource,
+                        &c.action,
+                    );
+                    let claims = state
+                        .satisfied_claims
+                        .get(&(c.grant.requester.clone(), resource.clone()))
+                        .cloned()
+                        .unwrap_or_default();
+                    let prior_uses = state
+                        .use_counts
+                        .get(&(
+                            c.grant.requester.clone(),
+                            c.grant.subject.clone(),
+                            resource,
+                            c.action.clone(),
+                        ))
+                        .copied()
+                        .unwrap_or(0);
+                    (consent_granted, claims, prior_uses)
+                })
+                .collect()
+        };
+
+        // Scope 4 — shard read: evaluate every candidate exactly as
+        // `decide`'s phase B would, stamping the sieve with the epoch and
+        // cache TTL read in the same scope.
+        let (entries, epoch) = {
+            let shard = self.shard_for(owner).read();
+            let slot = shard.get(owner)?;
+            let account = &slot.account;
+            let cache_ttl_ms = account.cache_ttl_ms();
+            let oracle = account.group_oracle();
+            let mut entries = Vec::new();
+            for (c, (consent_granted, claims, prior_uses)) in candidates.iter().zip(&contexts) {
+                let access = build_access_request(
+                    host,
+                    &c.resource_id,
+                    &c.action,
+                    c.grant.subject.as_deref(),
+                    &c.grant.requester,
+                );
+                let mut ctx = EvalContext::new(&access, now)
+                    .with_groups(&oracle)
+                    .with_claims(claims)
+                    .with_prior_uses(*prior_uses);
+                if *consent_granted {
+                    ctx = ctx.with_consent();
+                }
+                let decision = PolicyEngine::evaluate(account.policies(), &ctx);
+                if !matches!(decision.outcome, Outcome::Permit) {
+                    continue;
+                }
+                // Mirror `decide`'s cache bound: never beyond the token's
+                // remaining life, and an uncacheable permit (0) compiles
+                // to no entry at all.
+                let cacheable_ms = cache_ttl_ms.min(c.grant.expires_at_ms.saturating_sub(now));
+                if cacheable_ms == 0 {
+                    continue;
+                }
+                let action_label = c.action.to_string();
+                entries.push(protocol::SieveEntry {
+                    fingerprint: protocol::sieve_fingerprint(
+                        &c.token,
+                        &c.resource_id,
+                        &action_label,
+                        &c.grant.requester,
+                    ),
+                    resource: c.resource_id.clone(),
+                    expires_at_ms: now + cacheable_ms,
+                });
+            }
+            (entries, slot.epoch)
+        };
+
+        Some(protocol::SieveBody::build(
+            owner,
+            epoch,
+            entries,
+            host_token.as_bytes(),
+        ))
     }
 
     /// Undelivered epoch pushes (due or backing off).
@@ -484,6 +741,11 @@ impl AuthorizationManager {
         let mut state = self.state.write();
         let delegation = state.trust.establish(host, user, now);
         let token = self.tokens.mint_host_token(host, user, &delegation.id);
+        // Retained as the sieve-signing key for this delegation; a token
+        // embeds its mint time, so it cannot be re-derived later.
+        state
+            .host_tokens
+            .insert((host.to_owned(), user.to_owned()), token.clone());
         state.audit.record(
             AuditEntry::new(now, user, AuditEvent::Delegation { established: true }).at_host(host),
         );
@@ -684,6 +946,16 @@ impl AuthorizationManager {
                     state
                         .satisfied_claims
                         .insert((request.requester.clone(), resource.clone()), claims);
+                }
+                if self.sieve_push.load(Ordering::Relaxed) {
+                    let issued = state
+                        .issued_grants
+                        .entry(request.owner.clone())
+                        .or_default();
+                    if issued.len() >= ISSUED_GRANTS_CAP {
+                        issued.pop_front();
+                    }
+                    issued.push_back((token.clone(), grant.clone()));
                 }
                 state
                     .audit

@@ -22,10 +22,14 @@
 //!   jitter, and due pushes are drained in sorted (host, owner) order, so
 //!   a seeded run replays exactly.
 //!
-//! Safety note: a push can only *lower* trust (it invalidates cached
-//! permits; see `HostCore::note_policy_epoch`'s monotonicity), so the
-//! receiving route needs no authentication — a forged or replayed push is
-//! at worst a cache flush.
+//! Safety note: a push's plain epoch parameters can only *lower* trust
+//! (they invalidate cached permits; see `HostCore::note_policy_epoch`'s
+//! monotonicity), so they need no authentication — a forged or replayed
+//! push is at worst a cache flush. A push *body* is different: it may
+//! carry a compiled capability sieve (`ucam_webenv::protocol::SieveBody`),
+//! which raises trust, so the sieve is HMAC-signed with the delegation's
+//! `host_token` and the Host installs nothing unless the signature
+//! verifies (DESIGN.md §12).
 
 /// Delivery counters for the epoch push channel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +46,9 @@ pub struct EpochPushStats {
     /// Worst observed scheduling-to-delivery lag in milliseconds — the
     /// measured revocation-visibility window contribution of the channel.
     pub max_lag_ms: u64,
+    /// Delivered pushes that carried a compiled capability sieve body
+    /// (always ≤ `delivered`; zero when sieve push is disabled).
+    pub sieved: u64,
 }
 
 /// One undelivered epoch push.
@@ -162,6 +169,11 @@ impl EpochPushChannel {
         if lag > self.stats.max_lag_ms {
             self.stats.max_lag_ms = lag;
         }
+    }
+
+    /// Records that a delivered push carried a compiled sieve body.
+    pub(crate) fn record_sieved(&mut self) {
+        self.stats.sieved += 1;
     }
 
     /// Undelivered push count.

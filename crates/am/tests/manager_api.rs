@@ -835,3 +835,115 @@ fn web_compose_links_policy() {
     })
     .unwrap();
 }
+
+/// Dispatches the same decision query to a decision route and returns
+/// `(status, body)` for byte-level comparison across routes.
+fn decision_at(net: &SimNet, path: &str, params: &[(&str, &str)]) -> (Status, String) {
+    let mut req = Request::new(Method::Post, &format!("https://am.example{path}"));
+    for (k, v) in params {
+        req = req.with_param(k, v);
+    }
+    let resp = net.dispatch(HOST, req);
+    (resp.status, resp.body)
+}
+
+#[test]
+fn legacy_decision_alias_is_byte_identical_to_v1() {
+    // The `/decision` alias must not rot while the sieve work reshapes
+    // the /protection/v1 surface: for permits, denies, token rejections
+    // and malformed queries alike, both routes answer with the exact
+    // same status and body.
+    let (net, am, host_token) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("alice", "pw");
+    let assertion = idp.login("alice", "pw").unwrap();
+    am.set_identity_verifier(idp.verifier());
+    let token = {
+        let resp = net.dispatch(
+            "requester:editor",
+            Request::new(Method::Post, "https://am.example/authorize")
+                .with_param("host", HOST)
+                .with_param("owner", "bob")
+                .with_param("resource", PHOTO)
+                .with_param("action", "read")
+                .with_param("requester", "requester:editor")
+                .with_param("subject_token", &assertion.token),
+        );
+        assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+        resp.body
+    };
+
+    let cases: Vec<(&str, Vec<(&str, &str)>)> = vec![
+        (
+            "permit",
+            vec![
+                ("host_token", host_token.as_str()),
+                ("token", token.as_str()),
+                ("resource", PHOTO),
+                ("action", "read"),
+                ("requester", "requester:editor"),
+            ],
+        ),
+        (
+            "deny (unpermitted action)",
+            vec![
+                ("host_token", host_token.as_str()),
+                ("token", token.as_str()),
+                ("resource", PHOTO),
+                ("action", "write"),
+                ("requester", "requester:editor"),
+            ],
+        ),
+        (
+            "garbage bearer token",
+            vec![
+                ("host_token", host_token.as_str()),
+                ("token", "garbage"),
+                ("resource", PHOTO),
+                ("action", "read"),
+                ("requester", "requester:editor"),
+            ],
+        ),
+        (
+            "forged host token",
+            vec![
+                ("host_token", "forged"),
+                ("token", token.as_str()),
+                ("resource", PHOTO),
+                ("action", "read"),
+                ("requester", "requester:editor"),
+            ],
+        ),
+        (
+            "malformed (missing resource)",
+            vec![
+                ("host_token", host_token.as_str()),
+                ("token", token.as_str()),
+                ("action", "read"),
+                ("requester", "requester:editor"),
+            ],
+        ),
+        ("malformed (no params at all)", vec![]),
+    ];
+
+    use ucam_webenv::protocol::{DECISION_PATH, LEGACY_DECISION_PATH};
+    for (label, params) in &cases {
+        let v1 = decision_at(&net, DECISION_PATH, params);
+        let legacy = decision_at(&net, LEGACY_DECISION_PATH, params);
+        assert_eq!(v1, legacy, "alias diverged from v1 on: {label}");
+    }
+
+    // And both ways fail closed: the error cases block, the permit case
+    // alone carries a permit.
+    let permit = decision_at(&net, DECISION_PATH, &cases[0].1);
+    assert_eq!(permit.0, Status::Ok);
+    assert!(permit.1.contains("\"permit\""), "{}", permit.1);
+    let deny = decision_at(&net, LEGACY_DECISION_PATH, &cases[1].1);
+    assert_eq!(deny.0, Status::Ok);
+    assert!(deny.1.contains("\"deny\""), "{}", deny.1);
+    for (label, params) in &cases[2..] {
+        let (status, body) = decision_at(&net, LEGACY_DECISION_PATH, params);
+        assert_ne!(status, Status::Ok, "{label} must fail closed: {body}");
+        assert!(!body.contains("\"permit\""), "{label} leaked a permit");
+    }
+}

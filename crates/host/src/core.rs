@@ -23,7 +23,9 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -521,6 +523,20 @@ pub struct PepStats {
     /// Batch decision requests flushed to an AM (each carries up to
     /// [`BatchConfig::max_batch`] queries in one round trip).
     pub batch_flushes: u64,
+    /// Accesses granted by the tier-1 capability sieve: a lock-free
+    /// snapshot read that touched no cache, no state lock and no log
+    /// (DESIGN.md §12).
+    pub sieve_hits: u64,
+    /// Sieve probes that missed (or hit an expired entry) and fell
+    /// through to the tier-2 protocol path. Zero while no sieve is
+    /// installed — an absent sieve is "disabled", not "all misses".
+    pub sieve_misses: u64,
+    /// Pushed sieve bodies accepted and installed (signature verified,
+    /// epoch fresh).
+    pub sieve_installs: u64,
+    /// Pushed sieve bodies rejected fail-closed (bad signature, stale
+    /// epoch, unknown owner/resource, delegation mismatch).
+    pub sieve_rejects: u64,
 }
 
 /// What the PEP tells the application to do with a request.
@@ -571,10 +587,45 @@ struct HostState {
     legacy_acls: HashMap<String, AclMatrix>,
 }
 
+/// Stripe count for the tier-1 sieve hit/miss counters. The sieve hot
+/// path is the one place where *every* thread bumps a counter on *every*
+/// access, so a single shared cache line would serialize the very path
+/// this PR un-serializes. Threads are spread round-robin over the
+/// stripes; `snapshot()` sums them.
+const SIEVE_STAT_SHARDS: usize = 16;
+
+/// One cache-line-aligned stripe of sieve counters, so two stripes never
+/// false-share a line.
+#[repr(align(64))]
+#[derive(Default)]
+struct SieveStatShard {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Round-robin source for each thread's stripe assignment.
+static NEXT_SIEVE_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe index, fixed at first use.
+    static SIEVE_SHARD_INDEX: usize =
+        NEXT_SIEVE_SHARD.fetch_add(1, Ordering::Relaxed) % SIEVE_STAT_SHARDS;
+}
+
 /// Lock-free PEP counters: the enforcement hot path bumps these without
 /// touching any lock the store or the cache is behind.
-#[derive(Default)]
+///
+/// `snapshot()`/`reset()` form a seqlock: `generation` is odd while a
+/// reset is mid-flight, and a snapshot retries until it reads the same
+/// even generation before and after its loads. Without this, a reader
+/// racing `reset()` could observe a half-reset snapshot (some counters
+/// zeroed, others not) — torn totals that break any invariant relating
+/// two counters. Ordinary increments still race a snapshot (each counter
+/// is independently `Relaxed`), which is inherent and fine: a snapshot
+/// is a point-in-time reading, not a barrier.
 struct AtomicPepStats {
+    /// Seqlock generation; odd ⇒ a reset is in progress.
+    generation: AtomicU64,
     am_queries: AtomicU64,
     cache_hits: AtomicU64,
     redirects: AtomicU64,
@@ -584,24 +635,85 @@ struct AtomicPepStats {
     fallback_queries: AtomicU64,
     am_retries: AtomicU64,
     batch_flushes: AtomicU64,
+    sieve_installs: AtomicU64,
+    sieve_rejects: AtomicU64,
+    /// Striped tier-1 hit/miss counters (see [`SIEVE_STAT_SHARDS`]).
+    /// Inside this struct so the seqlock covers them too.
+    sieve_shards: [SieveStatShard; SIEVE_STAT_SHARDS],
+}
+
+impl Default for AtomicPepStats {
+    fn default() -> Self {
+        AtomicPepStats {
+            generation: AtomicU64::new(0),
+            am_queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
+            legacy_checks: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
+            breaker_fast_fails: AtomicU64::new(0),
+            fallback_queries: AtomicU64::new(0),
+            am_retries: AtomicU64::new(0),
+            batch_flushes: AtomicU64::new(0),
+            sieve_installs: AtomicU64::new(0),
+            sieve_rejects: AtomicU64::new(0),
+            sieve_shards: std::array::from_fn(|_| SieveStatShard::default()),
+        }
+    }
 }
 
 impl AtomicPepStats {
+    /// Records a tier-1 sieve hit on this thread's stripe.
+    fn bump_sieve_hit(&self) {
+        SIEVE_SHARD_INDEX.with(|&i| self.sieve_shards[i].hits.fetch_add(1, Ordering::Relaxed));
+    }
+
+    /// Records a tier-1 sieve miss on this thread's stripe.
+    fn bump_sieve_miss(&self) {
+        SIEVE_SHARD_INDEX.with(|&i| self.sieve_shards[i].misses.fetch_add(1, Ordering::Relaxed));
+    }
+
     fn snapshot(&self) -> PepStats {
-        PepStats {
-            am_queries: self.am_queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            redirects: self.redirects.load(Ordering::Relaxed),
-            legacy_checks: self.legacy_checks.load(Ordering::Relaxed),
-            stale_served: self.stale_served.load(Ordering::Relaxed),
-            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
-            fallback_queries: self.fallback_queries.load(Ordering::Relaxed),
-            am_retries: self.am_retries.load(Ordering::Relaxed),
-            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+        loop {
+            let before = self.generation.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                // A reset is mid-flight; wait for it to finish.
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = PepStats {
+                am_queries: self.am_queries.load(Ordering::Relaxed),
+                cache_hits: self.cache_hits.load(Ordering::Relaxed),
+                redirects: self.redirects.load(Ordering::Relaxed),
+                legacy_checks: self.legacy_checks.load(Ordering::Relaxed),
+                stale_served: self.stale_served.load(Ordering::Relaxed),
+                breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+                fallback_queries: self.fallback_queries.load(Ordering::Relaxed),
+                am_retries: self.am_retries.load(Ordering::Relaxed),
+                batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+                sieve_hits: self
+                    .sieve_shards
+                    .iter()
+                    .map(|s| s.hits.load(Ordering::Relaxed))
+                    .sum(),
+                sieve_misses: self
+                    .sieve_shards
+                    .iter()
+                    .map(|s| s.misses.load(Ordering::Relaxed))
+                    .sum(),
+                sieve_installs: self.sieve_installs.load(Ordering::Relaxed),
+                sieve_rejects: self.sieve_rejects.load(Ordering::Relaxed),
+            };
+            if self.generation.load(Ordering::Acquire) == before {
+                return stats;
+            }
+            // A reset landed between our two generation reads; retry.
         }
     }
 
     fn reset(&self) {
+        // Odd generation: snapshots in flight will discard and retry.
+        self.generation.fetch_add(1, Ordering::AcqRel);
         self.am_queries.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.redirects.store(0, Ordering::Relaxed);
@@ -611,6 +723,181 @@ impl AtomicPepStats {
         self.fallback_queries.store(0, Ordering::Relaxed);
         self.am_retries.store(0, Ordering::Relaxed);
         self.batch_flushes.store(0, Ordering::Relaxed);
+        self.sieve_installs.store(0, Ordering::Relaxed);
+        self.sieve_rejects.store(0, Ordering::Relaxed);
+        for shard in &self.sieve_shards {
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+        }
+        // Back to even: the stats are coherent again.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+// -- tier-1 capability sieve (DESIGN.md §12) ----------------------------------
+
+/// Hasher for sieve fingerprints. A fingerprint is already the truncated
+/// output of SHA-256, so its first 8 bytes are a uniformly distributed
+/// hash value — feeding them through SipHash again would only add cost
+/// to the hottest lookup in the system. The last `write` wins, which for
+/// a `[u8; 16]` key means the fingerprint bytes themselves (the slice
+/// length prefix written first is overwritten).
+#[derive(Default, Clone)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut buf = [0u8; 8];
+        let n = bytes.len().min(8);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        self.0 = u64::from_le_bytes(buf);
+    }
+}
+
+/// [`BuildHasher`] for [`FpHasher`].
+#[derive(Default, Clone)]
+struct FpHashBuilder;
+
+impl BuildHasher for FpHashBuilder {
+    type Hasher = FpHasher;
+
+    fn build_hasher(&self) -> FpHasher {
+        FpHasher(0)
+    }
+}
+
+/// The immutable tier-1 enforcement table: every fingerprint the AM has
+/// vouched for, with its expiry. Readers clone an `Arc` to it and probe
+/// without any lock; writers (install/purge — all cold paths) build a
+/// modified copy and swap it in under [`HostCore::sieve`]'s mutex.
+///
+/// Entries are **exact** (full fingerprints, not a Bloom filter): a
+/// false positive here would *grant* an access the AM never permitted,
+/// which no space saving justifies. A false negative merely costs a
+/// tier-2 round trip.
+#[derive(Default, Clone)]
+struct SieveSnapshot {
+    /// fingerprint → expiry (ms since epoch). A probe is a hit iff the
+    /// fingerprint is present and `now < expiry`.
+    entries: HashMap<protocol::SieveFingerprint, u64, FpHashBuilder>,
+    /// owner → that owner's fingerprints, for epoch and delegation-change
+    /// purges.
+    owner_index: HashMap<String, Vec<protocol::SieveFingerprint>>,
+    /// resource id → fingerprints, for resource deletion / re-delegation
+    /// purges.
+    resource_index: HashMap<String, Vec<protocol::SieveFingerprint>>,
+    /// owner → policy epoch the installed sieve was compiled under. Kept
+    /// monotonic: an arriving sieve stamped older than this is rejected.
+    owner_epochs: HashMap<String, u64>,
+}
+
+impl SieveSnapshot {
+    /// Drops every entry belonging to `owner`. Keeps `owner_epochs` — the
+    /// epoch floor must survive the purge or a delayed old sieve could
+    /// resurrect revoked permits.
+    fn purge_owner(&mut self, owner: &str) {
+        if let Some(fps) = self.owner_index.remove(owner) {
+            for fp in &fps {
+                self.entries.remove(fp);
+            }
+            let entries = &self.entries;
+            for list in self.resource_index.values_mut() {
+                list.retain(|fp| entries.contains_key(fp));
+            }
+            self.resource_index.retain(|_, v| !v.is_empty());
+        }
+    }
+
+    /// Drops every entry for `resource_id` (deleted or re-delegated).
+    fn purge_resource(&mut self, resource_id: &str) {
+        if let Some(fps) = self.resource_index.remove(resource_id) {
+            for fp in &fps {
+                self.entries.remove(fp);
+            }
+            let entries = &self.entries;
+            for list in self.owner_index.values_mut() {
+                list.retain(|fp| entries.contains_key(fp));
+            }
+            self.owner_index.retain(|_, v| !v.is_empty());
+        }
+    }
+}
+
+/// Per-process id source for [`HostCore::sieve_id`], keying the
+/// thread-local snapshot slots below.
+static NEXT_SIEVE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How many distinct `HostCore`s a thread caches sieve snapshots for.
+const SIEVE_CACHE_SLOTS: usize = 8;
+
+thread_local! {
+    /// Per-thread `(host id, generation, snapshot)` slots. The warm path
+    /// revalidates with one `Acquire` load of the generation and only
+    /// touches [`HostCore::sieve`]'s mutex when an install/purge actually
+    /// happened — the same pattern `SimNet` uses for its config snapshot.
+    static SIEVE_SNAPSHOT_CACHE: RefCell<Vec<(u64, u64, Arc<SieveSnapshot>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+thread_local! {
+    /// Last `(token, resource, action, requester) → fingerprint` this
+    /// thread computed. Warm §V.B.6 loops probe the same tuple on every
+    /// access, so the memo turns the per-access SHA-256 into four string
+    /// compares — the same pure-function trick as [`TOKEN_DIGEST_MEMO`].
+    static SIEVE_FP_MEMO: RefCell<(String, String, String, String, protocol::SieveFingerprint)> =
+        const {
+            RefCell::new((
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                [0; 16],
+            ))
+        };
+}
+
+/// [`protocol::sieve_fingerprint`], memoized per thread on the last-seen
+/// tuple.
+fn sieve_fingerprint_memo(
+    token: &str,
+    resource: &str,
+    action: &str,
+    requester: &str,
+) -> protocol::SieveFingerprint {
+    SIEVE_FP_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        let (t, r, a, q, fp) = &mut *memo;
+        if t != token || r != resource || a != action || q != requester {
+            t.clear();
+            t.push_str(token);
+            r.clear();
+            r.push_str(resource);
+            a.clear();
+            a.push_str(action);
+            q.clear();
+            q.push_str(requester);
+            *fp = protocol::sieve_fingerprint(token, resource, action, requester);
+        }
+        *fp
+    })
+}
+
+/// The bare action label used in sieve fingerprints — matches both the
+/// `Display` form and what the AM's compiler feeds
+/// [`protocol::sieve_fingerprint`], without the hot path paying
+/// `to_string()`.
+fn action_label(action: &Action) -> &str {
+    match action {
+        Action::Read => "read",
+        Action::Write => "write",
+        Action::Delete => "delete",
+        Action::List => "list",
+        Action::Share => "share",
+        Action::Custom(name) => name.as_str(),
     }
 }
 
@@ -650,6 +937,15 @@ pub struct HostCore {
     /// degraded mode — the chaos soak asserts it never exceeds the
     /// configured grace window.
     max_served_staleness_ms: AtomicU64,
+    /// Current tier-1 capability sieve (DESIGN.md §12). The mutex guards
+    /// the *swap*, not reads: the warm path clones the `Arc` from a
+    /// thread-local slot revalidated against [`HostCore::sieve_gen`].
+    sieve: Mutex<Arc<SieveSnapshot>>,
+    /// Bumped (Release) on every sieve install/purge; readers load it
+    /// (Acquire) to revalidate their thread-local snapshot.
+    sieve_gen: AtomicU64,
+    /// Process-unique id keying this core's thread-local snapshot slots.
+    sieve_id: u64,
 }
 
 impl fmt::Debug for HostCore {
@@ -677,6 +973,9 @@ impl HostCore {
             batching: RwLock::new(None),
             breaker_states: Mutex::new(HashMap::new()),
             max_served_staleness_ms: AtomicU64::new(0),
+            sieve: Mutex::new(Arc::new(SieveSnapshot::default())),
+            sieve_gen: AtomicU64::new(0),
+            sieve_id: NEXT_SIEVE_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -720,9 +1019,220 @@ impl HostCore {
 
     /// Records that `owner`'s policies are now at `epoch` (pushed by the
     /// AM or relayed by the environment). Cached decisions stamped with
-    /// an older epoch are dropped and will never be served again.
+    /// an older epoch are dropped and will never be served again, and any
+    /// installed sieve compiled under an older epoch is purged the same
+    /// way — both tiers go stale together.
     pub fn note_policy_epoch(&self, owner: &str, epoch: u64) {
         self.cache.write().note_epoch(owner, epoch);
+        let needs_purge = {
+            let current = self.sieve.lock();
+            current
+                .owner_epochs
+                .get(owner)
+                .is_some_and(|&installed| installed < epoch)
+        };
+        if needs_purge {
+            let mut slot = self.sieve.lock();
+            // Re-check under the lock: a concurrent install may have
+            // brought the owner up to (or past) this epoch already.
+            if slot
+                .owner_epochs
+                .get(owner)
+                .is_some_and(|&installed| installed < epoch)
+            {
+                let mut next = (**slot).clone();
+                next.purge_owner(owner);
+                next.owner_epochs.insert(owner.to_owned(), epoch);
+                *slot = Arc::new(next);
+                self.sieve_gen.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+
+    // -- tier-1 capability sieve (DESIGN.md §12) ------------------------------
+
+    /// The current sieve snapshot, via this thread's slot cache. One
+    /// `Acquire` generation load on the warm path; the mutex is taken
+    /// only when an install or purge actually changed the sieve.
+    fn sieve_snapshot(&self) -> Arc<SieveSnapshot> {
+        let generation = self.sieve_gen.load(Ordering::Acquire);
+        SIEVE_SNAPSHOT_CACHE.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some(slot) = slots.iter_mut().find(|(id, _, _)| *id == self.sieve_id) {
+                if slot.1 != generation {
+                    *slot = (self.sieve_id, generation, Arc::clone(&self.sieve.lock()));
+                }
+                return Arc::clone(&slot.2);
+            }
+            let snapshot = Arc::clone(&self.sieve.lock());
+            if slots.len() >= SIEVE_CACHE_SLOTS {
+                slots.remove(0);
+            }
+            slots.push((self.sieve_id, generation, Arc::clone(&snapshot)));
+            snapshot
+        })
+    }
+
+    /// Applies `mutate` to a copy of the sieve and swaps it in. Cold path
+    /// only (installs and purges).
+    fn update_sieve(&self, mutate: impl FnOnce(&mut SieveSnapshot)) {
+        let mut slot = self.sieve.lock();
+        let mut next = (**slot).clone();
+        mutate(&mut next);
+        *slot = Arc::new(next);
+        self.sieve_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Drops `owner`'s sieve entries (their delegation changed, so the
+    /// signing key the entries were vouched under is void).
+    fn purge_sieve_owner(&self, owner: &str) {
+        let has_entries = self.sieve.lock().owner_index.contains_key(owner);
+        if has_entries {
+            self.update_sieve(|sieve| sieve.purge_owner(owner));
+        }
+    }
+
+    /// Drops `resource_id`'s sieve entries (deleted or re-delegated).
+    fn purge_sieve_resource(&self, resource_id: &str) {
+        let has_entries = self.sieve.lock().resource_index.contains_key(resource_id);
+        if has_entries {
+            self.update_sieve(|sieve| sieve.purge_resource(resource_id));
+        }
+    }
+
+    /// Installs a pushed capability sieve, fail-closed on any doubt.
+    /// Returns `true` iff the sieve was installed.
+    ///
+    /// Trust chain: the body must verify under the `host_token` of the
+    /// delegation this Host itself holds for the claimed owner — the
+    /// shared secret from the delegation handshake, which only the real
+    /// AM knows. Per entry, the resource must exist here, belong to the
+    /// owner, and be governed by that same delegation (a per-resource
+    /// override pointing at a different AM means the signer does not
+    /// speak for it). The body's epoch must be no older than the freshest
+    /// epoch this Host has seen for the owner from *either* tier, so a
+    /// delayed push can never resurrect revoked permits.
+    pub fn install_sieve(&self, sieve: &protocol::SieveBody) -> bool {
+        let now = self.clock.now_ms();
+        let accepted: Option<Vec<&protocol::SieveEntry>> = {
+            let state = self.state.read();
+            match state.user_delegations.get(&sieve.owner) {
+                Some(config) if sieve.verify(config.host_token.as_bytes()) => {
+                    let mut entries = Vec::with_capacity(sieve.entries.len());
+                    let mut all_valid = true;
+                    for entry in &sieve.entries {
+                        let resource_ok = state
+                            .resources
+                            .get(&entry.resource)
+                            .is_some_and(|r| r.owner == sieve.owner);
+                        let delegation_ok = match state.resource_delegations.get(&entry.resource) {
+                            // A per-resource override must still point at
+                            // the same shared secret the body verified
+                            // under; otherwise the signer doesn't govern
+                            // this resource.
+                            Some(over) => over.host_token == config.host_token,
+                            None => true,
+                        };
+                        if resource_ok && delegation_ok && entry.expires_at_ms > now {
+                            entries.push(entry);
+                        } else {
+                            // One bad entry poisons the whole body: a
+                            // well-behaved AM never compiles one, so this
+                            // is either corruption or forgery.
+                            all_valid = false;
+                            break;
+                        }
+                    }
+                    all_valid.then_some(entries)
+                }
+                _ => None,
+            }
+        };
+        let Some(accepted) = accepted else {
+            self.stats.sieve_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        // Epoch floor: freshest epoch known from the decision cache or a
+        // previously installed sieve.
+        let cache_epoch = self
+            .cache
+            .read()
+            .owner_epochs
+            .get(&sieve.owner)
+            .copied()
+            .unwrap_or(0);
+        let installed = {
+            let mut slot = self.sieve.lock();
+            let floor = slot
+                .owner_epochs
+                .get(&sieve.owner)
+                .copied()
+                .unwrap_or(0)
+                .max(cache_epoch);
+            if sieve.epoch < floor {
+                false
+            } else {
+                let mut next = (**slot).clone();
+                next.purge_owner(&sieve.owner);
+                for entry in accepted {
+                    next.entries.insert(entry.fingerprint, entry.expires_at_ms);
+                    next.owner_index
+                        .entry(sieve.owner.clone())
+                        .or_default()
+                        .push(entry.fingerprint);
+                    next.resource_index
+                        .entry(entry.resource.clone())
+                        .or_default()
+                        .push(entry.fingerprint);
+                }
+                next.owner_epochs.insert(sieve.owner.clone(), sieve.epoch);
+                *slot = Arc::new(next);
+                self.sieve_gen.fetch_add(1, Ordering::Release);
+                true
+            }
+        };
+        if installed {
+            // Keep the decision cache's epoch floor in step.
+            self.cache.write().note_epoch(&sieve.owner, sieve.epoch);
+            self.stats.sieve_installs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.sieve_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        installed
+    }
+
+    /// Tier-1 probe: grants iff the sieve holds an unexpired entry for
+    /// exactly this `(token, resource, action, requester)`. No locks, no
+    /// cache, no log write — the §V.B.6 warm path in one hash lookup.
+    /// Returns `false` (fall through to tier-2) on any doubt.
+    fn sieve_probe(
+        &self,
+        net: &SimNet,
+        requester: &str,
+        resource_id: &str,
+        action: &Action,
+        token: &str,
+        now: u64,
+    ) -> bool {
+        let snapshot = self.sieve_snapshot();
+        if snapshot.entries.is_empty() {
+            // No sieve installed: tier-1 is simply absent, not missing.
+            return false;
+        }
+        let fp = sieve_fingerprint_memo(token, resource_id, action_label(action), requester);
+        match snapshot.entries.get(&fp) {
+            Some(&expires_at_ms) if now < expires_at_ms => {
+                self.stats.bump_sieve_hit();
+                net.trace().note_with(&self.authority, || {
+                    format!("sieve hit: {requester} {action} {resource_id}")
+                });
+                true
+            }
+            _ => {
+                self.stats.bump_sieve_miss();
+                false
+            }
+        }
     }
 
     // -- resilience knobs (DESIGN.md §10) -------------------------------------
@@ -919,11 +1429,15 @@ impl HostCore {
     ///
     /// Returns [`HostError::NotFound`] when absent.
     pub fn delete_resource(&self, id: &str) -> Result<Resource, HostError> {
-        self.state
+        let removed = self
+            .state
             .write()
             .resources
             .remove(id)
-            .ok_or_else(|| HostError::NotFound(id.to_owned()))
+            .ok_or_else(|| HostError::NotFound(id.to_owned()))?;
+        // A sieve entry must never outlive its resource.
+        self.purge_sieve_resource(id);
+        Ok(removed)
     }
 
     /// Lists resources owned by `owner` (sorted by id).
@@ -959,6 +1473,8 @@ impl HostCore {
             .write()
             .user_delegations
             .insert(user.to_owned(), config);
+        // Entries were vouched under the old delegation's secret.
+        self.purge_sieve_owner(user);
     }
 
     /// Records a per-resource delegation override (possibly a different AM
@@ -968,11 +1484,15 @@ impl HostCore {
             .write()
             .resource_delegations
             .insert(resource_id.to_owned(), config);
+        // The overriding AM, not the sieve's signer, now governs it.
+        self.purge_sieve_resource(resource_id);
     }
 
     /// Removes `user`'s delegation (back to built-in access control).
     pub fn clear_user_delegation(&self, user: &str) -> Option<DelegationConfig> {
-        self.state.write().user_delegations.remove(user)
+        let removed = self.state.write().user_delegations.remove(user);
+        self.purge_sieve_owner(user);
+        removed
     }
 
     /// The delegation governing `resource_id` owned by `owner`:
@@ -1027,6 +1547,17 @@ impl HostCore {
         return_url: &Url,
     ) -> Enforcement {
         let now = self.clock.now_ms();
+        // Tier-1 (DESIGN.md §12): an AM-pushed sieve entry for exactly
+        // this (token, resource, action, requester) grants before any
+        // lock is taken. Entries only exist for resources that were
+        // present and delegated at install time, and every mutation that
+        // could invalidate them (deletion, re-delegation, epoch advance)
+        // purges, so a hit is as trustworthy as a decision-cache hit.
+        if let Some(token) = bearer {
+            if self.sieve_probe(net, requester, resource_id, action, token, now) {
+                return Enforcement::Grant;
+            }
+        }
         let state = self.state.read();
         let Some(resource) = state.resources.get(resource_id) else {
             return Enforcement::Block(Response::not_found(resource_id));
@@ -1147,6 +1678,19 @@ impl HostCore {
                 let Some(token) = attempt.bearer.as_deref() else {
                     continue;
                 };
+                // Tier-1 first, mirroring `enforce`: a sieve hit settles
+                // the attempt here and never joins a batch.
+                if self.sieve_probe(
+                    net,
+                    &attempt.requester,
+                    &attempt.resource_id,
+                    &attempt.action,
+                    token,
+                    now,
+                ) {
+                    results[index] = Some(Enforcement::Grant);
+                    continue;
+                }
                 let cache_key = (
                     attempt.requester.clone(),
                     attempt.resource_id.clone(),
@@ -1168,11 +1712,12 @@ impl HostCore {
             }
         }
 
-        // Everything the sieve skipped (404s, owner sessions, legacy
+        // Everything the scan skipped (404s, owner sessions, legacy
         // ACLs, redirects, cache hits) settles through the single path —
-        // none of it involves an AM round trip.
+        // none of it involves an AM round trip. Sieve hits already
+        // settled above.
         for (index, attempt) in attempts.iter().enumerate() {
-            if !is_pending[index] {
+            if results[index].is_none() && !is_pending[index] {
                 results[index] = Some(self.enforce(
                     net,
                     &attempt.requester,
@@ -1833,6 +2378,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use ucam_policy::Subject;
+    use ucam_webenv::protocol::SieveBody;
     use ucam_webenv::WebApp;
 
     fn host() -> HostCore {
@@ -2695,5 +3241,339 @@ mod tests {
             .is_grant());
         assert_eq!(net.stats().edge("h.example", "am-b.example"), 1);
         assert_eq!(net.stats().edge("h.example", "am-c.example"), 1);
+    }
+
+    #[test]
+    fn partial_batches_share_one_deadline_charge_across_fallbacks() {
+        // The single-AM invariant ("all partial chunks share ONE clock
+        // charge") must survive the worst case: every chunk's primary is
+        // partitioned and each settles through a different per-owner
+        // fallback mirror. The deadline is charged once, before any
+        // dispatch — fallback failover adds round trips, never waits.
+        let net = SimNet::new();
+        let mirror_b = FakeAm::new_at("am-c.example");
+        let mirror_c = FakeAm::new_at("am-d.example");
+        mirror_b.grant("tok-bob", &permit_body(60_000, 1));
+        mirror_c.grant("tok-carol", &permit_body(60_000, 1));
+        net.register(FakeAm::new());
+        net.register(FakeAm::new_at("am-b.example"));
+        net.register(mirror_b.clone());
+        net.register(mirror_c.clone());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "carol", "file", b"data".to_vec())
+            .unwrap();
+        h.set_user_delegation(
+            "carol",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "ht-b".into(),
+                delegation_id: "d-2".into(),
+            },
+        );
+        h.set_resilience(
+            ResilienceConfig::new()
+                .with_fallback_am_for_owner(
+                    "am.example",
+                    "bob",
+                    DelegationConfig {
+                        am: "am-c.example".into(),
+                        host_token: "ht-c".into(),
+                        delegation_id: "d-c".into(),
+                    },
+                )
+                .with_fallback_am_for_owner(
+                    "am-b.example",
+                    "carol",
+                    DelegationConfig {
+                        am: "am-d.example".into(),
+                        host_token: "ht-d".into(),
+                        delegation_id: "d-d".into(),
+                    },
+                ),
+        );
+        h.set_decision_batching(Some(BatchConfig {
+            max_batch: 8,
+            max_delay_ms: 7,
+        }));
+        net.set_offline("am.example", true);
+        net.set_offline("am-b.example", true);
+        let before = net.clock().now_ms();
+        let results = h.enforce_batch(
+            &net,
+            &[
+                read_attempt("req", "r1", "tok-bob"),
+                read_attempt("req", "r2", "tok-carol"),
+            ],
+        );
+        assert!(results.iter().all(Enforcement::is_grant));
+        // One 7 ms deadline charge for both chunks, despite two distinct
+        // primaries failing over to two distinct mirrors.
+        assert_eq!(net.clock().now_ms() - before, 7);
+        assert_eq!(h.stats().batch_flushes, 2);
+        assert_eq!(h.stats().fallback_queries, 2);
+        assert_eq!(net.stats().edge("h.example", "am-c.example"), 1);
+        assert_eq!(net.stats().edge("h.example", "am-d.example"), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_never_observes_a_half_reset() {
+        // Regression for the snapshot/reset tear: reset() used to zero
+        // each counter independently, so a concurrent stats() could see
+        // am_queries already zeroed while cache_hits still held its old
+        // value. The writer below always bumps the two counters in
+        // lock-step, so any coherent snapshot (reset or not) satisfies
+        // |am_queries − cache_hits| ≤ 1; a torn one shows a gap.
+        let h = Arc::new(HostCore::new("h.example", SimClock::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    h.stats.am_queries.fetch_add(1, Ordering::Relaxed);
+                    h.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                    if i.is_multiple_of(64) {
+                        h.reset_stats();
+                    }
+                }
+            })
+        };
+        for _ in 0..200_000 {
+            let snap = h.stats();
+            assert!(
+                snap.am_queries.abs_diff(snap.cache_hits) <= 1,
+                "torn snapshot: am_queries={} cache_hits={}",
+                snap.am_queries,
+                snap.cache_hits
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn reset_clears_every_counter_and_gauge() {
+        let h = host();
+        h.stats.am_queries.fetch_add(3, Ordering::Relaxed);
+        h.stats.bump_sieve_hit();
+        h.stats.bump_sieve_miss();
+        h.stats.sieve_installs.fetch_add(1, Ordering::Relaxed);
+        h.stats.sieve_rejects.fetch_add(1, Ordering::Relaxed);
+        h.max_served_staleness_ms.store(99, Ordering::Relaxed);
+        h.reset_stats();
+        assert_eq!(h.stats(), PepStats::default());
+        assert_eq!(h.max_served_staleness_ms(), 0);
+    }
+
+    // -- tier-1 capability sieve ----------------------------------------------
+
+    /// A signed sieve for `delegated_host`'s bob (key `"ht"`) covering
+    /// the given (token, resource, action, requester) tuples.
+    fn sieve_of(epoch: u64, expires_at_ms: u64, tuples: &[(&str, &str, &str, &str)]) -> SieveBody {
+        let entries = tuples
+            .iter()
+            .map(
+                |(token, resource, action, requester)| protocol::SieveEntry {
+                    fingerprint: protocol::sieve_fingerprint(token, resource, action, requester),
+                    resource: (*resource).to_owned(),
+                    expires_at_ms,
+                },
+            )
+            .collect();
+        SieveBody::build("bob", epoch, entries, b"ht")
+    }
+
+    #[test]
+    fn sieve_hit_grants_without_am_cache_or_log() {
+        let net = SimNet::new();
+        net.register(FakeAm::new()); // would 401 this token if consulted
+        let h = delegated_host(&net);
+        assert!(h.install_sieve(&sieve_of(1, 60_000, &[("tok", "r1", "read", "req")])));
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        let stats = h.stats();
+        assert_eq!(stats.sieve_installs, 1);
+        assert_eq!(stats.sieve_hits, 1);
+        assert_eq!(stats.am_queries, 0);
+        assert_eq!(stats.cache_hits, 0);
+        // The tier-1 path writes nothing shared — not even the log.
+        assert!(h.log().is_empty());
+        // Wrong action, requester or token: exact-match miss, tier-2
+        // decides (and the fake AM rejects).
+        assert!(!h
+            .enforce(&net, "req", None, "r1", &Action::Write, Some("tok"), &url)
+            .is_grant());
+        assert!(!h
+            .enforce(&net, "eve", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert!(h.stats().sieve_misses >= 2);
+    }
+
+    #[test]
+    fn sieve_installs_fail_closed_on_any_doubt() {
+        let net = SimNet::new();
+        let h = delegated_host(&net);
+        h.put_resource("r2", "carol", "file", b"data".to_vec())
+            .unwrap();
+
+        // Wrong signing key.
+        let bad_key = SieveBody::build(
+            "bob",
+            1,
+            vec![protocol::SieveEntry {
+                fingerprint: protocol::sieve_fingerprint("tok", "r1", "read", "req"),
+                resource: "r1".into(),
+                expires_at_ms: 60_000,
+            }],
+            b"not-ht",
+        );
+        assert!(!h.install_sieve(&bad_key));
+
+        // Owner with no delegation here.
+        let no_owner = SieveBody::build("mallory", 1, Vec::new(), b"ht");
+        assert!(!h.install_sieve(&no_owner));
+
+        // Entry for a resource bob does not own.
+        assert!(!h.install_sieve(&sieve_of(1, 60_000, &[("tok", "r2", "read", "req")])));
+
+        // Entry for a resource that does not exist.
+        assert!(!h.install_sieve(&sieve_of(1, 60_000, &[("tok", "ghost", "read", "req")])));
+
+        // Entry for a resource overridden to a different AM: the signer
+        // does not govern it.
+        h.put_resource("r3", "bob", "file", b"data".to_vec())
+            .unwrap();
+        h.set_resource_delegation(
+            "r3",
+            DelegationConfig {
+                am: "other-am.example".into(),
+                host_token: "other-ht".into(),
+                delegation_id: "d-x".into(),
+            },
+        );
+        assert!(!h.install_sieve(&sieve_of(1, 60_000, &[("tok", "r3", "read", "req")])));
+
+        assert_eq!(h.stats().sieve_rejects, 5);
+        assert_eq!(h.stats().sieve_installs, 0);
+    }
+
+    #[test]
+    fn epoch_advance_purges_the_sieve_and_blocks_stale_reinstalls() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("tok", &permit_body(60_000, 7));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let url = Url::new("h.example", "/r1");
+        assert!(h.install_sieve(&sieve_of(5, 60_000, &[("tok", "r1", "read", "req")])));
+
+        // The owner's policy moves to epoch 6: tier-1 empties, the next
+        // access takes the wire (and is granted there).
+        h.note_policy_epoch("bob", 6);
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert_eq!(h.stats().sieve_hits, 0);
+        assert_eq!(h.stats().am_queries, 1);
+
+        // A delayed push of the epoch-5 sieve must not resurrect it.
+        assert!(!h.install_sieve(&sieve_of(5, 60_000, &[("tok", "r1", "read", "req")])));
+        // A same-or-newer one installs fine.
+        assert!(h.install_sieve(&sieve_of(7, 60_000, &[("tok", "r1", "read", "req")])));
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert_eq!(h.stats().sieve_hits, 1);
+    }
+
+    #[test]
+    fn sieve_entries_expire_and_fall_through_to_tier2() {
+        let net = SimNet::new();
+        let am = FakeAm::new();
+        am.grant("tok", &permit_body(60_000, 1));
+        net.register(am.clone());
+        let h = delegated_host(&net);
+        let now = net.clock().now_ms();
+        assert!(h.install_sieve(&sieve_of(1, now + 50, &[("tok", "r1", "read", "req")])));
+        net.clock().advance_ms(60);
+        let url = Url::new("h.example", "/r1");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert_eq!(h.stats().sieve_hits, 0);
+        assert_eq!(h.stats().sieve_misses, 1);
+        assert_eq!(h.stats().am_queries, 1);
+    }
+
+    #[test]
+    fn deletion_and_redelegation_purge_their_sieve_entries() {
+        let net = SimNet::new();
+        net.register(FakeAm::new());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "bob", "file", b"data".to_vec())
+            .unwrap();
+        assert!(h.install_sieve(&sieve_of(
+            1,
+            60_000,
+            &[("tok", "r1", "read", "req"), ("tok", "r2", "read", "req")],
+        )));
+        let url = Url::new("h.example", "/r1");
+
+        // Deleting r1 drops its entry: the attempt now 404s instead of
+        // riding a stale grant.
+        h.delete_resource("r1").unwrap();
+        match h.enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url) {
+            Enforcement::Block(resp) => assert_eq!(resp.status, Status::NotFound),
+            Enforcement::Grant => panic!("sieve entry outlived its resource"),
+        }
+        // r2's entry survives the purge of r1 …
+        assert!(h
+            .enforce(&net, "req", None, "r2", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert_eq!(h.stats().sieve_hits, 1);
+
+        // … until the owner re-delegates, which voids the signing key.
+        h.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "ht-2".into(),
+                delegation_id: "d-2".into(),
+            },
+        );
+        assert!(!h
+            .enforce(&net, "req", None, "r2", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        assert_eq!(h.stats().sieve_hits, 1);
+    }
+
+    #[test]
+    fn sieve_hits_settle_batched_rounds_off_the_wire() {
+        let net = SimNet::new();
+        net.register(FakeAm::new());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "bob", "file", b"data".to_vec())
+            .unwrap();
+        h.set_decision_batching(Some(BatchConfig::default()));
+        assert!(h.install_sieve(&sieve_of(
+            1,
+            60_000,
+            &[("tok", "r1", "read", "req"), ("tok", "r2", "read", "req")],
+        )));
+        let results = h.enforce_batch(
+            &net,
+            &[
+                read_attempt("req", "r1", "tok"),
+                read_attempt("req", "r2", "tok"),
+            ],
+        );
+        assert!(results.iter().all(Enforcement::is_grant));
+        assert_eq!(net.stats().edge("h.example", "am.example"), 0);
+        assert_eq!(h.stats().sieve_hits, 2);
+        assert_eq!(h.stats().batch_flushes, 0);
     }
 }

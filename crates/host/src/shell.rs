@@ -90,9 +90,15 @@ impl AppShell {
     }
 
     /// AM→Host policy-epoch push (`/protection/v1/epoch`): advances the
-    /// decision cache's view of `owner`'s policy epoch. Unauthenticated
-    /// by design — epochs are monotonic, so a forged push can only
-    /// invalidate cached permits, never grant anything.
+    /// decision cache's view of `owner`'s policy epoch. The plain epoch
+    /// parameters are unauthenticated by design — epochs are monotonic,
+    /// so a forged push can only invalidate cached permits, never grant
+    /// anything. A push may also carry a compiled capability sieve in its
+    /// body (DESIGN.md §12); that *raises* trust, so it is HMAC-signed
+    /// and [`HostCore::install_sieve`] verifies it fail-closed. A body
+    /// that fails to parse or verify is silently dropped — the epoch note
+    /// above already happened, so the Host is never left trusting
+    /// anything a bad body claimed.
     fn epoch_push(&self, req: &Request) -> Response {
         let Some(owner) = req.param("owner") else {
             return Response::bad_request("owner required");
@@ -101,6 +107,11 @@ impl AppShell {
             return Response::bad_request("numeric epoch required");
         };
         self.core.note_policy_epoch(owner, epoch);
+        if !req.body.is_empty() {
+            if let Ok(sieve) = protocol::SieveBody::from_json(&req.body) {
+                self.core.install_sieve(&sieve);
+            }
+        }
         Response::ok().with_body("epoch noted")
     }
 

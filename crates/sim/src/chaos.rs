@@ -78,6 +78,11 @@ pub struct ChaosConfig {
     pub cache_ttl_ms: u64,
     /// Degraded-mode grace window on the Host's decision cache.
     pub stale_grace_ms: u64,
+    /// Enables the AMs' capability-sieve push (DESIGN.md §12): epoch
+    /// pushes carry a signed tier-1 sieve, and the Host serves matching
+    /// accesses lock-free. The soak's invariants are unchanged — the
+    /// sieve must be semantically invisible.
+    pub sieve: bool,
 }
 
 impl Default for ChaosConfig {
@@ -89,6 +94,7 @@ impl Default for ChaosConfig {
             seed: 42,
             cache_ttl_ms: 400,
             stale_grace_ms: 15_000,
+            sieve: false,
         }
     }
 }
@@ -145,6 +151,17 @@ pub struct ChaosReport {
     /// Accesses in the final healed verification sweep (all must match
     /// ground truth exactly).
     pub verified_accesses: u64,
+    /// Accesses granted by the Host's tier-1 capability sieve (zero when
+    /// [`ChaosConfig::sieve`] is off).
+    pub sieve_hits: u64,
+    /// Sieve bodies the Host verified and installed.
+    pub sieve_installs: u64,
+    /// Sieve bodies the Host rejected fail-closed. With the mirror AM
+    /// signing under its *own* delegation secret, every one of its
+    /// bodies lands here — forged-signer coverage for free.
+    pub sieve_rejects: u64,
+    /// Delivered epoch pushes that carried a sieve body (both AMs).
+    pub sieves_pushed: u64,
 }
 
 /// Everything the soak needs to drive and judge one run.
@@ -210,6 +227,13 @@ fn build_rig(config: &ChaosConfig) -> Rig {
     // by `pump_pushes` as the run advances.
     am_a.set_epoch_push_target(HOST);
     am_b.set_epoch_push_target(HOST);
+    if config.sieve {
+        // Both AMs compile sieves, but the Host's delegation for the
+        // owner names AM-A's secret: AM-B's bodies must all be rejected
+        // at the door while its plain epoch params still apply.
+        am_a.set_sieve_push(true);
+        am_b.set_sieve_push(true);
+    }
     let host = WebStorage::new(HOST, clock);
     host.shell().set_identity_verifier(idp.verifier());
     net.register(idp.clone());
@@ -536,7 +560,12 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
     report.push_retries = push_a.retries + push_b.retries;
     report.revocation_visibility_ms = push_a.max_lag_ms.max(push_b.max_lag_ms);
 
+    report.sieves_pushed = push_a.sieved + push_b.sieved;
+
     let pep = rig.host.shell().core.stats();
+    report.sieve_hits = pep.sieve_hits;
+    report.sieve_installs = pep.sieve_installs;
+    report.sieve_rejects = pep.sieve_rejects;
     report.stale_served = pep.stale_served;
     report.fallback_queries = pep.fallback_queries;
     report.breaker_fast_fails = pep.breaker_fast_fails;
@@ -578,6 +607,46 @@ mod tests {
                 <= ChaosConfig::default().stale_grace_ms + report.revocation_visibility_ms,
             "{report:?}"
         );
+    }
+
+    #[test]
+    fn chaos_soak_with_sieve_enabled_holds_the_same_invariants() {
+        // The tentpole's correctness proof: the two-tier edge must be
+        // semantically invisible. Same ground-truth tables, same
+        // soundness and staleness invariants, with the sieve carrying
+        // real load and the mirror AM's wrongly-signed sieves all
+        // rejected fail-closed.
+        let report = run(&ChaosConfig {
+            sieve: true,
+            ..ChaosConfig::default()
+        });
+        assert_eq!(report.violations, 0, "{report:?}");
+        assert!(report.accesses >= 1_000, "{report:?}");
+        assert!(report.granted > 0 && report.denied > 0, "{report:?}");
+        // The sieve actually carried load end to end: pushed, installed,
+        // and serving hits.
+        assert!(report.sieves_pushed > 0, "{report:?}");
+        assert!(report.sieve_installs > 0, "{report:?}");
+        assert!(report.sieve_hits > 0, "{report:?}");
+        // AM-B signs under its own secret, so every one of its bodies is
+        // rejected — and its plain epoch params still got applied (the
+        // run would violate soundness otherwise).
+        assert!(report.sieve_rejects > 0, "{report:?}");
+        assert!(
+            report.max_served_staleness_ms <= ChaosConfig::default().stale_grace_ms,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn chaos_soak_with_sieve_is_deterministic_per_seed() {
+        let config = ChaosConfig {
+            steps: 400,
+            seed: 7,
+            sieve: true,
+            ..ChaosConfig::default()
+        };
+        assert_eq!(run(&config), run(&config));
     }
 
     #[test]

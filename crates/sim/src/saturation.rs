@@ -34,6 +34,11 @@ use ucam_webenv::{Method, Request, SimNet, Url};
 /// The two Host authorities of the saturation rig.
 pub const SAT_HOSTS: [&str; 2] = ["files-a.example", "files-b.example"];
 
+/// Per-access latency is stamped on every Nth access (the first of each
+/// stride), so the percentile columns stay honest while the timed loop
+/// itself stays almost free of clock reads and sample-buffer traffic.
+const LATENCY_SAMPLE_EVERY: usize = 16;
+
 /// Which part of the protocol the measured loop replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaturationMode {
@@ -95,6 +100,8 @@ impl SaturationRow {
 struct Rig {
     net: Arc<SimNet>,
     idp: Arc<IdentityProvider>,
+    am: Arc<AuthorizationManager>,
+    hosts: Vec<Arc<WebStorage>>,
 }
 
 /// Builds the rig for `threads` readers: bob delegates both Hosts to one
@@ -111,12 +118,16 @@ fn build_rig(threads: usize) -> Rig {
 
     idp.register_user("bob", "pw");
     am.register_user("bob");
+    // The AM pushes epoch advances — and, with the sieve enabled,
+    // compiled tier-1 capability sieves (DESIGN.md §12) — to both Hosts.
+    am.set_sieve_push(true);
 
     let mut hosts = Vec::new();
     for authority in SAT_HOSTS {
         let host = WebStorage::new(authority, clock.clone());
         host.shell().set_identity_verifier(idp.verifier());
         net.register(host.clone());
+        am.set_epoch_push_target(authority);
         let (delegation, host_token) = am.establish_delegation(authority, "bob").unwrap();
         host.shell().core.set_user_delegation(
             "bob",
@@ -169,7 +180,26 @@ fn build_rig(threads: usize) -> Rig {
         idp.register_user(&format!("reader-{t}"), "pw");
     }
 
-    Rig { net, idp }
+    Rig {
+        net,
+        idp,
+        am,
+        hosts,
+    }
+}
+
+/// Recompiles and delivers the capability sieves to both Hosts on the
+/// healthy fabric, draining the push channel to empty.
+fn deliver_sieves(rig: &Rig) {
+    rig.am.schedule_sieve_refresh();
+    for _ in 0..1_000 {
+        rig.am.pump_epoch_pushes(&rig.net);
+        if rig.am.pending_epoch_pushes() == 0 {
+            return;
+        }
+        rig.net.clock().advance_ms(50);
+    }
+    panic!("sieve pushes failed to drain on a healthy fabric");
 }
 
 /// Runs one saturation configuration and returns its measured row.
@@ -190,14 +220,16 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
     // state, not the recorder. The lazy-label API makes this one relaxed
     // atomic load per record call.
     rig.net.trace().set_enabled(false);
-    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let warmed = Arc::new(Barrier::new(config.threads + 1));
+    let start_line = Arc::new(Barrier::new(config.threads + 1));
     let mode = config.mode;
     let iters = config.iters_per_thread;
 
     let mut handles = Vec::new();
     for t in 0..config.threads {
         let net = Arc::clone(&rig.net);
-        let barrier = Arc::clone(&barrier);
+        let warmed = Arc::clone(&warmed);
+        let start_line = Arc::clone(&start_line);
         let assertion = rig.idp.login(&format!("reader-{t}"), "pw").unwrap().token;
         handles.push(std::thread::spawn(move || {
             let mut client = RequesterClient::new(&format!("requester:reader-{t}"));
@@ -209,31 +241,83 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
                 client.access(&net, &spec).is_granted(),
                 "warm-up access must succeed"
             );
-            barrier.wait();
-            let mut samples_ns = Vec::with_capacity(iters);
-            for _ in 0..iters {
+            warmed.wait();
+            // …the main thread compiles and delivers the sieves here…
+            start_line.wait();
+            // Each worker stamps its own window. The aggregate wall is
+            // max(end) − min(start) across workers: timing from the main
+            // thread is wrong on a box with fewer cores than threads,
+            // because the workers can run (and even finish) before the
+            // main thread is rescheduled after the barrier, shrinking the
+            // observed window and inflating throughput.
+            let began = Instant::now();
+            let mut samples_ns = Vec::with_capacity(iters / LATENCY_SAMPLE_EVERY + 1);
+            for i in 0..iters {
                 if mode == SaturationMode::FullFlow {
                     client.clear_tokens();
                 }
-                let start = Instant::now();
-                let outcome = client.access(&net, &spec);
-                samples_ns.push(start.elapsed().as_nanos() as u64);
-                assert!(
-                    outcome.is_granted(),
-                    "saturation access denied: {outcome:?}"
-                );
+                // Latency is sampled 1-in-N: stamping every access costs
+                // two clock reads (~5% of a warm access) and a sample
+                // buffer whose footprint scales with the thread count,
+                // which would bias the multi-thread aggregate downward.
+                if i.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+                    let start = Instant::now();
+                    let outcome = client.access(&net, &spec);
+                    samples_ns.push(start.elapsed().as_nanos() as u64);
+                    assert!(
+                        outcome.is_granted(),
+                        "saturation access denied: {outcome:?}"
+                    );
+                } else {
+                    let outcome = client.access(&net, &spec);
+                    assert!(
+                        outcome.is_granted(),
+                        "saturation access denied: {outcome:?}"
+                    );
+                }
             }
-            samples_ns
+            (began, Instant::now(), samples_ns)
         }));
     }
 
-    barrier.wait();
-    let wall = Instant::now();
-    let mut samples: Vec<u64> = Vec::with_capacity(config.threads * iters);
+    // Every warm-up token is now issued: compile the capability sieves
+    // and push them to both Hosts before the clock starts, so Phase6Warm
+    // measures the steady state the AM can actually provision — the
+    // tier-1 lock-free edge, not the shared-lock decision cache.
+    warmed.wait();
+    deliver_sieves(&rig);
+    start_line.wait();
+    let mut samples: Vec<u64> =
+        Vec::with_capacity(config.threads * (iters / LATENCY_SAMPLE_EVERY + 1));
+    let mut wall_start: Option<Instant> = None;
+    let mut wall_end: Option<Instant> = None;
     for handle in handles {
-        samples.extend(handle.join().expect("saturation thread panicked"));
+        let (began, ended, thread_samples) = handle.join().expect("saturation thread panicked");
+        wall_start = Some(wall_start.map_or(began, |w| w.min(began)));
+        wall_end = Some(wall_end.map_or(ended, |w| w.max(ended)));
+        samples.extend(thread_samples);
     }
-    let elapsed = wall.elapsed().as_secs_f64();
+    let elapsed = wall_end
+        .expect("at least one thread")
+        .saturating_duration_since(wall_start.expect("at least one thread"))
+        .as_secs_f64();
+
+    // Phase6Warm must have run on the tier-1 edge: every timed access on
+    // every thread a sieve hit. A run that silently degraded to tier-2
+    // (an empty sieve, a compile gap, an early expiry) would measure the
+    // wrong path and must fail loudly instead.
+    if mode == SaturationMode::Phase6Warm {
+        let sieve_hits: u64 = rig
+            .hosts
+            .iter()
+            .map(|h| h.shell().core.stats().sieve_hits)
+            .sum();
+        assert!(
+            sieve_hits >= (config.threads * iters) as u64,
+            "phase6_warm ran off the sieve: {sieve_hits} tier-1 hits for {} accesses",
+            config.threads * iters
+        );
+    }
 
     samples.sort_unstable();
     let total_ops = (config.threads * iters) as f64;

@@ -21,6 +21,13 @@
 //! | [`BATCH_DECISIONS_PATH`] | `/protection/v1/decisions` | batched decision queries |
 //! | [`EPOCH_PUSH_PATH`] | `/protection/v1/epoch` | AM→Host async policy-epoch push |
 //! | [`LEGACY_DECISION_PATH`] | `/decision` | pre-versioning alias, kept for old Hosts |
+//!
+//! An epoch push may additionally carry a [`SieveBody`] in its request
+//! body: a signed, epoch-stamped capability sieve the Host installs as
+//! its tier-1 enforcement table (DESIGN.md §12). The sieve is part of
+//! the same versioned surface — it rides [`EPOCH_PUSH_PATH`], and its
+//! parser is fail-closed exactly like the decision parser: a body that
+//! does not parse *and* verify grants nothing.
 
 /// Versioned single-decision route (Fig. 6, phase 5/6).
 pub const DECISION_PATH: &str = "/protection/v1/decision";
@@ -282,6 +289,254 @@ fn encode_array(items: impl Iterator<Item = String>) -> String {
     }
     out.push(']');
     out
+}
+
+// ---------------------------------------------------------------------------
+// Capability sieve (tier-1 enforcement table, rides the epoch push)
+// ---------------------------------------------------------------------------
+
+/// A tier-1 sieve key: the truncated SHA-256 fingerprint of one
+/// `(token, resource, action, requester)` access tuple.
+///
+/// 128 bits of a cryptographic hash — an *exact* set membership key, not
+/// a Bloom-style approximation. A probabilistic filter with false
+/// positives would grant accesses the AM never permitted; truncating
+/// SHA-256 to 16 bytes keeps collisions out of reach while halving the
+/// per-entry wire and memory cost.
+pub type SieveFingerprint = [u8; 16];
+
+/// Computes the sieve fingerprint of one access tuple. Both ends call
+/// this: the AM when compiling a sieve from its issued grants, the Host
+/// when probing its installed snapshot on the warm path. Fields are
+/// domain-separated and NUL-delimited so distinct tuples can never share
+/// a preimage.
+#[must_use]
+pub fn sieve_fingerprint(
+    token: &str,
+    resource: &str,
+    action: &str,
+    requester: &str,
+) -> SieveFingerprint {
+    let mut hasher = ucam_crypto::sha::Sha256::new();
+    hasher.update(b"ucam-sieve-fp-v1\0");
+    hasher.update(token.as_bytes());
+    hasher.update(b"\0");
+    hasher.update(resource.as_bytes());
+    hasher.update(b"\0");
+    hasher.update(action.as_bytes());
+    hasher.update(b"\0");
+    hasher.update(requester.as_bytes());
+    let digest = hasher.finalize();
+    let mut fp = [0u8; 16];
+    fp.copy_from_slice(&digest[..16]);
+    fp
+}
+
+/// One pre-authorized access tuple inside a [`SieveBody`].
+///
+/// The fingerprint alone is opaque, so each entry also names the
+/// `resource` it covers: the Host validates every entry against its own
+/// delegation table at install time (fail-closed — an entry for an
+/// unknown resource or a foreign owner is dropped) and purges entries
+/// surgically when a resource is deleted or re-delegated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SieveEntry {
+    /// Fingerprint of the access tuple (see [`sieve_fingerprint`]).
+    pub fingerprint: SieveFingerprint,
+    /// Resource identifier at the Host this entry pre-authorizes.
+    pub resource: String,
+    /// Absolute expiry (ms, AM clock). Mirrors the decision cache's
+    /// `cacheable_ms` bound so the sieve never serves staler permits
+    /// than the protocol path would.
+    pub expires_at_ms: u64,
+}
+
+/// The signed, epoch-stamped capability sieve an AM pushes to a Host in
+/// the body of an [`EPOCH_PUSH_PATH`] request (DESIGN.md §12).
+///
+/// Authentication: `sig` is an HMAC-SHA256 over the canonical payload,
+/// keyed by the Host↔AM delegation's `host_token` — a secret both ends
+/// already share from phase 1, so the sieve needs no new key exchange.
+/// The plain epoch parameters on the push stay unauthenticated (they can
+/// only lower trust); a sieve *raises* trust, so a body that fails
+/// verification installs nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SieveBody {
+    /// The resource owner whose grants this sieve compiles.
+    pub owner: String,
+    /// The owner's policy epoch the sieve was compiled under.
+    pub epoch: u64,
+    /// Pre-authorized access tuples. May be empty: an empty signed sieve
+    /// is how the AM propagates "nothing is pre-authorized anymore".
+    pub entries: Vec<SieveEntry>,
+    /// Hex HMAC-SHA256 over [`signing payload`](Self::signing_payload).
+    pub sig: String,
+}
+
+impl SieveBody {
+    /// Assembles and signs a sieve with the shared delegation
+    /// `host_token` bytes.
+    #[must_use]
+    pub fn build(owner: &str, epoch: u64, entries: Vec<SieveEntry>, key: &[u8]) -> Self {
+        let mut body = Self {
+            owner: owner.to_owned(),
+            epoch,
+            entries,
+            sig: String::new(),
+        };
+        let mac = ucam_crypto::hmac_sha256(key, body.signing_payload().as_bytes());
+        let mut sig = String::with_capacity(64);
+        push_hex(&mut sig, &mac);
+        body.sig = sig;
+        body
+    }
+
+    /// Verifies the signature against the Host's copy of the delegation
+    /// `host_token`. Constant-time comparison; any mismatch means the
+    /// sieve must be discarded whole.
+    #[must_use]
+    pub fn verify(&self, key: &[u8]) -> bool {
+        let Some(sig) = hex_decode::<32>(&self.sig) else {
+            return false;
+        };
+        let mac = ucam_crypto::hmac_sha256(key, self.signing_payload().as_bytes());
+        ucam_crypto::ct_eq(&mac, &sig)
+    }
+
+    /// The canonical byte string the signature covers. Variable-length
+    /// fields are length-prefixed so no two distinct sieves serialize to
+    /// the same payload.
+    fn signing_payload(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 64);
+        out.push_str("ucam-sieve-v1\n");
+        out.push_str(&format!("{}:{}\n", self.owner.len(), self.owner));
+        out.push_str(&format!("{}\n", self.epoch));
+        for entry in &self.entries {
+            push_hex(&mut out, &entry.fingerprint);
+            out.push_str(&format!(
+                " {} {}:{}\n",
+                entry.expires_at_ms,
+                entry.resource.len(),
+                entry.resource
+            ));
+        }
+        out
+    }
+
+    /// Serializes to the canonical wire JSON. Field order is fixed;
+    /// entries encode as `["<fp hex>", expires_at_ms, "resource"]`
+    /// triples.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.entries.len() * 72);
+        out.push_str("{\"owner\":");
+        push_json_string(&mut out, &self.owner);
+        out.push_str(",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"entries\":[");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("[\"");
+            push_hex(&mut out, &entry.fingerprint);
+            out.push_str("\",");
+            out.push_str(&entry.expires_at_ms.to_string());
+            out.push(',');
+            push_json_string(&mut out, &entry.resource);
+            out.push(']');
+        }
+        out.push_str("],\"sig\":");
+        push_json_string(&mut out, &self.sig);
+        out.push('}');
+        out
+    }
+
+    /// Parses a sieve body, fail-closed: any malformed field rejects the
+    /// whole body, and the caller must install nothing on error. Parsing
+    /// alone never authorizes — the caller must still [`verify`](Self::verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON, missing or ill-typed
+    /// fields, or a fingerprint that is not exactly 32 hex characters.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("sieve body is not a JSON object"));
+        };
+        let owner = match find(&fields, "owner") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("sieve owner missing or not a string")),
+        };
+        let epoch =
+            opt_u64(&fields, "epoch")?.ok_or_else(|| WireError::new("sieve epoch missing"))?;
+        let sig = match find(&fields, "sig") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("sieve sig missing or not a string")),
+        };
+        let Some(Json::Array(raw_entries)) = find(&fields, "entries") else {
+            return Err(WireError::new("sieve entries missing or not an array"));
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for raw in raw_entries {
+            let Json::Array(triple) = raw else {
+                return Err(WireError::new("sieve entry is not an array"));
+            };
+            let [Json::String(fp_hex), Json::Number(expires), Json::String(resource)] =
+                triple.as_slice()
+            else {
+                return Err(WireError::new(
+                    "sieve entry is not a [fp, expires, resource] triple",
+                ));
+            };
+            let fingerprint = hex_decode::<16>(fp_hex)
+                .ok_or_else(|| WireError::new("sieve entry fingerprint is not 32 hex chars"))?;
+            let expires_at_ms = expires
+                .parse::<u64>()
+                .map_err(|_| WireError::new("sieve entry expiry is not an unsigned integer"))?;
+            entries.push(SieveEntry {
+                fingerprint,
+                resource: resource.clone(),
+                expires_at_ms,
+            });
+        }
+        Ok(Self {
+            owner,
+            epoch,
+            entries,
+            sig,
+        })
+    }
+}
+
+fn push_hex(out: &mut String, bytes: &[u8]) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+}
+
+/// Decodes exactly `N` bytes of lowercase-or-uppercase hex; anything
+/// else (wrong length, stray characters) is `None`.
+fn hex_decode<const N: usize>(s: &str) -> Option<[u8; N]> {
+    let bytes = s.as_bytes();
+    if bytes.len() != N * 2 {
+        return None;
+    }
+    let nibble = |b: u8| -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut out = [0u8; N];
+    for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+        out[i] = (nibble(chunk[0])? << 4) | nibble(chunk[1])?;
+    }
+    Some(out)
 }
 
 /// A wire-format violation. Carries a human-readable message; the only
@@ -673,5 +928,89 @@ mod tests {
             parse_batch_response("[]").unwrap(),
             Vec::<DecisionBody>::new()
         );
+    }
+
+    fn sample_sieve(key: &[u8]) -> SieveBody {
+        let entries = vec![
+            SieveEntry {
+                fingerprint: sieve_fingerprint("tok-1", "files/a.txt", "read", "requester:app"),
+                resource: "files/a.txt".into(),
+                expires_at_ms: 60_000,
+            },
+            SieveEntry {
+                fingerprint: sieve_fingerprint("tok-2", "files/b.txt", "write", "requester:app"),
+                resource: "files/b.txt".into(),
+                expires_at_ms: 45_000,
+            },
+        ];
+        SieveBody::build("bob", 7, entries, key)
+    }
+
+    #[test]
+    fn sieve_round_trips_and_verifies() {
+        let body = sample_sieve(b"host-token-secret");
+        let json = body.to_json();
+        let parsed = SieveBody::from_json(&json).unwrap();
+        assert_eq!(parsed, body);
+        assert!(parsed.verify(b"host-token-secret"));
+        assert!(!parsed.verify(b"some-other-token"));
+    }
+
+    #[test]
+    fn empty_sieve_is_legal_and_signed() {
+        let body = SieveBody::build("bob", 9, Vec::new(), b"k");
+        let parsed = SieveBody::from_json(&body.to_json()).unwrap();
+        assert!(parsed.entries.is_empty());
+        assert!(parsed.verify(b"k"));
+    }
+
+    #[test]
+    fn tampered_sieves_fail_verification() {
+        let key = b"host-token-secret";
+        let mut bumped_epoch = sample_sieve(key);
+        bumped_epoch.epoch += 1;
+        assert!(!bumped_epoch.verify(key));
+
+        let mut dropped_entry = sample_sieve(key);
+        dropped_entry.entries.pop();
+        assert!(!dropped_entry.verify(key));
+
+        let mut extended_expiry = sample_sieve(key);
+        extended_expiry.entries[0].expires_at_ms += 1;
+        assert!(!extended_expiry.verify(key));
+
+        let mut swapped_resource = sample_sieve(key);
+        swapped_resource.entries[0].resource = "files/other.txt".into();
+        assert!(!swapped_resource.verify(key));
+    }
+
+    #[test]
+    fn malformed_sieve_bodies_fail_closed() {
+        for body in [
+            "not json",
+            "[]",
+            "{}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"entries\":[],\"sig\":42}",
+            "{\"owner\":\"bob\",\"entries\":[],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":-1,\"entries\":[],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"entries\":[\"flat\"],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"entries\":[[\"zz\",1,\"r\"]],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"entries\":[[\"aabb\",1,\"r\"]],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"entries\":[[\
+             \"00112233445566778899aabbccddeeff\",-2,\"r\"]],\"sig\":\"aa\"}",
+        ] {
+            assert!(SieveBody::from_json(body).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn sieve_fingerprints_separate_fields() {
+        // No two tuples that differ anywhere may collide — in particular
+        // shifting bytes across the field boundary must change the hash.
+        let a = sieve_fingerprint("tok", "res", "read", "req");
+        assert_eq!(a, sieve_fingerprint("tok", "res", "read", "req"));
+        assert_ne!(a, sieve_fingerprint("tok", "res", "read", "req2"));
+        assert_ne!(a, sieve_fingerprint("tokr", "es", "read", "req"));
+        assert_ne!(a, sieve_fingerprint("tok", "res", "rea", "dreq"));
     }
 }

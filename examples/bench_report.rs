@@ -4,27 +4,36 @@
 //! cargo run --release --example bench_report            # full sweep, rewrites the report
 //! cargo run --release --example bench_report -- --quick # smoke-sized, no rewrite
 //! cargo run --release --example bench_report -- --check # regression gate vs the report
-//! cargo run --release --example bench_report -- --append-history # record one data point
+//! cargo run --release --example bench_report -- --append-history # record data points
 //! ```
 //!
 //! Drives the full phase-3→6 flow and the warm phase-6 steady state from
 //! 1/2/4/8 threads against one AM and two Hosts (see `sim::saturation`),
 //! then records `{bench, threads, reqs_per_sec, p50_us, p99_us}` rows so
-//! the repo carries a measured perf trajectory PR over PR.
+//! the repo carries a measured perf trajectory PR over PR. Each committed
+//! row is the best of [`FULL_ATTEMPTS`] runs: scheduler jitter only ever
+//! subtracts throughput, so the max is the least-noisy estimate of what
+//! the fabric can actually sustain.
 //!
-//! `--check` re-measures only the single-thread `phase6_warm` workload
-//! and exits non-zero when it lands below the regression floor. The
-//! floor starts at 70% of the committed baseline in `BENCH_PR2.json`;
-//! once the checked-in history (`BENCH_HISTORY.jsonl`, one measurement
-//! per line, appended by `--append-history` / the bench-smoke CI job)
-//! holds at least [`MIN_HISTORY_POINTS`] data points, the gate tightens
-//! to `max(70% of baseline, mean − 3σ of the history)` — a
-//! variance-derived threshold that adapts to the workload's actual noise
-//! instead of a blanket 30% allowance (rule documented in
-//! `EXPERIMENTS.md`).
+//! `--check` is the regression gate, in two parts:
+//!
+//! * the single-thread `phase6_warm` throughput must clear a floor that
+//!   starts at 70% of the committed baseline in `BENCH_PR2.json` and,
+//!   once the checked-in history (`BENCH_HISTORY.jsonl`) holds at least
+//!   [`MIN_HISTORY_POINTS`] single-thread points, tightens to
+//!   `max(70% of baseline, mean − 3σ of the history)` (rule documented
+//!   in `EXPERIMENTS.md`);
+//! * the warm path must keep *scaling*: the measured 8-thread throughput
+//!   must reach [`SCALING_FLOOR`] of the measured 4-thread one, and the
+//!   committed report itself must be monotone non-decreasing across
+//!   1→2→4→8 threads — the exact cliff this gate exists to guard.
+//!
+//! `--append-history` records the 1-, 4- and 8-thread `phase6_warm`
+//! measurements (one JSON row per line), so the history carries the
+//! multi-thread trajectory, not just the single-thread ceiling.
 
 use ucam::sim::saturation::{
-    rows_to_json, run_saturation, saturation_sweep, SaturationConfig, SaturationMode,
+    rows_to_json, run_saturation, SaturationConfig, SaturationMode, SaturationRow,
 };
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -33,19 +42,29 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// `--check` measurement must reach (the coarse fallback floor).
 const CHECK_FLOOR: f64 = 0.70;
 
+/// Fraction of the measured 4-thread `phase6_warm` throughput the
+/// measured 8-thread one must reach. The old two-tier-less warm path
+/// collapsed to 0.70× here; the lock-free tier-1 measures ≥ 0.90 even
+/// in the worst observed scheduler windows, so 0.85 separates the two
+/// regimes with margin on both sides.
+const SCALING_FLOOR: f64 = 0.85;
+
 /// The checked-in measurement history (JSON lines, newest last).
 const HISTORY_FILE: &str = "BENCH_HISTORY.jsonl";
 
 /// History points needed before the variance-derived gate activates.
 const MIN_HISTORY_POINTS: usize = 3;
 
-/// Extracts `reqs_per_sec` for the single-thread `phase6_warm` row from
-/// the committed report. Hand-rolled on purpose: the root package takes
-/// no JSON dependency, and the report's row format is fixed (emitted by
+/// Runs per committed row / per `--check` measurement; the max wins.
+const FULL_ATTEMPTS: usize = 5;
+
+/// Extracts `reqs_per_sec` for the `phase6_warm` row at `threads` from a
+/// report document. Hand-rolled on purpose: the root package takes no
+/// JSON dependency, and the row format is fixed (emitted by
 /// `SaturationRow::to_json`).
-fn baseline_phase6_warm_1t(report: &str) -> Option<f64> {
-    let row_key = "\"bench\":\"phase6_warm\",\"threads\":1,";
-    let row_at = report.find(row_key)? + row_key.len();
+fn phase6_warm_throughput(report: &str, threads: usize) -> Option<f64> {
+    let row_key = format!("\"bench\":\"phase6_warm\",\"threads\":{threads},");
+    let row_at = report.find(&row_key)? + row_key.len();
     let rest = &report[row_at..];
     let field_key = "\"reqs_per_sec\":";
     let value_at = rest.find(field_key)? + field_key.len();
@@ -54,10 +73,13 @@ fn baseline_phase6_warm_1t(report: &str) -> Option<f64> {
     value[..end].trim().parse().ok()
 }
 
-/// Parses every `phase6_warm`/threads=1 throughput recorded in the
-/// history file (one JSON row per line).
-fn history_throughputs(doc: &str) -> Vec<f64> {
-    doc.lines().filter_map(baseline_phase6_warm_1t).collect()
+/// Parses every `phase6_warm` throughput at `threads` recorded in the
+/// history file (one JSON row per line; other thread counts' lines are
+/// skipped).
+fn history_throughputs(doc: &str, threads: usize) -> Vec<f64> {
+    doc.lines()
+        .filter_map(|line| phase6_warm_throughput(line, threads))
+        .collect()
 }
 
 /// The variance-derived floor: `mean − 3σ` over the recorded history,
@@ -72,30 +94,62 @@ fn variance_floor(history: &[f64]) -> Option<f64> {
     Some(mean - 3.0 * var.sqrt())
 }
 
-/// Measures one single-thread `phase6_warm` point.
-fn measure_phase6_warm_1t() -> ucam::sim::saturation::SaturationRow {
-    run_saturation(&SaturationConfig {
-        threads: 1,
-        iters_per_thread: 20_000,
-        mode: SaturationMode::Phase6Warm,
-    })
+/// Measures one configuration `attempts` times and keeps the fastest
+/// row. Throughput noise on a shared machine is one-sided — preemption
+/// and quota throttling only ever slow a run down — so max-of-N is the
+/// stable estimator.
+fn measure_best(
+    mode: SaturationMode,
+    threads: usize,
+    iters: usize,
+    attempts: usize,
+) -> SaturationRow {
+    let mut best: Option<SaturationRow> = None;
+    for _ in 0..attempts {
+        let row = run_saturation(&SaturationConfig {
+            threads,
+            iters_per_thread: iters,
+            mode,
+        });
+        if best
+            .as_ref()
+            .is_none_or(|b| row.reqs_per_sec > b.reqs_per_sec)
+        {
+            best = Some(row);
+        }
+    }
+    best.expect("at least one attempt")
 }
 
-/// Appends one measurement to the history file. Returns the exit code.
+/// Measures one `phase6_warm` point at `threads` (best of
+/// [`FULL_ATTEMPTS`], 20k iterations per thread).
+fn measure_phase6_warm(threads: usize) -> SaturationRow {
+    measure_best(SaturationMode::Phase6Warm, threads, 20_000, FULL_ATTEMPTS)
+}
+
+/// Appends the 1/4/8-thread `phase6_warm` measurements to the history
+/// file. Returns the exit code.
 fn append_history() -> i32 {
-    let row = measure_phase6_warm_1t();
-    let line = format!("{}\n", row.to_json());
+    let mut lines = String::new();
+    for threads in [1, 4, 8] {
+        let row = measure_phase6_warm(threads);
+        println!(
+            "bench-history: recording phase6_warm threads={threads}  {:.0} req/s",
+            row.reqs_per_sec
+        );
+        lines.push_str(&row.to_json());
+        lines.push('\n');
+    }
     let existing = std::fs::read_to_string(HISTORY_FILE).unwrap_or_default();
-    if let Err(err) = std::fs::write(HISTORY_FILE, existing + &line) {
+    if let Err(err) = std::fs::write(HISTORY_FILE, existing + &lines) {
         eprintln!("--append-history: cannot write {HISTORY_FILE}: {err}");
         return 1;
     }
-    let points = history_throughputs(&std::fs::read_to_string(HISTORY_FILE).unwrap_or_default());
+    let doc = std::fs::read_to_string(HISTORY_FILE).unwrap_or_default();
     println!(
-        "bench-history: recorded {:.0} req/s ({} point{} total)",
-        row.reqs_per_sec,
-        points.len(),
-        if points.len() == 1 { "" } else { "s" }
+        "bench-history: {} single-thread point(s), {} eight-thread point(s) total",
+        history_throughputs(&doc, 1).len(),
+        history_throughputs(&doc, 8).len()
     );
     0
 }
@@ -109,13 +163,18 @@ fn check() -> i32 {
             return 1;
         }
     };
-    let Some(baseline) = baseline_phase6_warm_1t(&report) else {
+    let Some(baseline) = phase6_warm_throughput(&report, 1) else {
         eprintln!("--check: no phase6_warm/threads=1 row in BENCH_PR2.json");
         return 1;
     };
-    let row = measure_phase6_warm_1t();
+
+    // Gate 1: the single-thread ceiling against its floor.
+    let row = measure_phase6_warm(1);
     let fallback_floor = baseline * CHECK_FLOOR;
-    let history = history_throughputs(&std::fs::read_to_string(HISTORY_FILE).unwrap_or_default());
+    let history = history_throughputs(
+        &std::fs::read_to_string(HISTORY_FILE).unwrap_or_default(),
+        1,
+    );
     // The gate only ever tightens: the variance floor applies when it is
     // stricter than the blanket 70% allowance, never to loosen it.
     let (floor, rule) = match variance_floor(&history) {
@@ -138,7 +197,52 @@ fn check() -> i32 {
         );
         return 1;
     }
-    println!("bench-smoke: ok ({rule})");
+
+    // Gate 2a: the committed trajectory itself must be monotone
+    // non-decreasing in threads — the 8T cliff must never be committed
+    // again.
+    let mut prev: Option<(usize, f64)> = None;
+    for threads in THREAD_COUNTS {
+        let Some(throughput) = phase6_warm_throughput(&report, threads) else {
+            eprintln!("--check: no phase6_warm/threads={threads} row in BENCH_PR2.json");
+            return 1;
+        };
+        if let Some((prev_threads, prev_throughput)) = prev {
+            if throughput < prev_throughput {
+                eprintln!(
+                    "--check: REGRESSION: committed phase6_warm drops from \
+                     {prev_throughput:.0} req/s @{prev_threads}T to {throughput:.0} req/s \
+                     @{threads}T — the warm path stopped scaling"
+                );
+                return 1;
+            }
+        }
+        prev = Some((threads, throughput));
+    }
+    println!("bench-smoke: committed phase6_warm monotone across {THREAD_COUNTS:?} threads");
+
+    // Gate 2b: re-measure the scaling edge. 8T must hold SCALING_FLOOR
+    // of 4T on this machine, whatever the committed numbers say.
+    let four = measure_phase6_warm(4);
+    let eight = measure_phase6_warm(8);
+    println!(
+        "bench-smoke: phase6_warm threads=4  measured {:>10.0} req/s; \
+         threads=8  measured {:>10.0} req/s  (floor {:.0}% of 4T)",
+        four.reqs_per_sec,
+        eight.reqs_per_sec,
+        SCALING_FLOOR * 100.0
+    );
+    if eight.reqs_per_sec < four.reqs_per_sec * SCALING_FLOOR {
+        eprintln!(
+            "--check: REGRESSION: phase6_warm @8T ({:.0} req/s) fell below {:.0}% of @4T \
+             ({:.0} req/s) — the 8-thread cliff is back",
+            eight.reqs_per_sec,
+            SCALING_FLOOR * 100.0,
+            four.reqs_per_sec
+        );
+        return 1;
+    }
+    println!("bench-smoke: ok");
     0
 }
 
@@ -150,9 +254,43 @@ fn main() {
         std::process::exit(append_history());
     }
     let quick = std::env::args().any(|a| a == "--quick");
-    let iters = if quick { 50 } else { 4000 };
+    let attempts = if quick { 1 } else { FULL_ATTEMPTS };
+    // The warm loop is sub-microsecond per access, so it needs long runs
+    // to amortise fixed per-thread costs (spawn, barrier wake-up) that
+    // would otherwise read as a fake multi-thread penalty; the full flow
+    // is ~35µs per access and already run-dominated at 4k.
+    let phase6_iters = if quick { 50 } else { 20_000 };
+    let full_flow_iters = if quick { 50 } else { 4_000 };
 
-    let rows = saturation_sweep(&THREAD_COUNTS, iters);
+    // Attempts run round-robin across the configurations (not
+    // back-to-back per row): machine slowdowns come in windows, and
+    // interleaving keeps one bad window from sinking a single row while
+    // its neighbours measure fast.
+    let configs: Vec<(SaturationMode, usize)> =
+        [SaturationMode::Phase6Warm, SaturationMode::FullFlow]
+            .into_iter()
+            .flat_map(|mode| THREAD_COUNTS.map(|threads| (mode, threads)))
+            .collect();
+    let mut best: Vec<Option<SaturationRow>> = vec![None; configs.len()];
+    for _ in 0..attempts {
+        for (slot, &(mode, threads)) in configs.iter().enumerate() {
+            let row = run_saturation(&SaturationConfig {
+                threads,
+                iters_per_thread: match mode {
+                    SaturationMode::Phase6Warm => phase6_iters,
+                    SaturationMode::FullFlow => full_flow_iters,
+                },
+                mode,
+            });
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| row.reqs_per_sec > b.reqs_per_sec)
+            {
+                best[slot] = Some(row);
+            }
+        }
+    }
+    let rows: Vec<SaturationRow> = best.into_iter().map(|r| r.expect("measured")).collect();
     for row in &rows {
         println!(
             "{:<12} threads={:<2} {:>10.0} req/s  p50 {:>8.2} µs  p99 {:>8.2} µs",
