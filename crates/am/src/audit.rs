@@ -8,6 +8,11 @@
 //! Every protocol-relevant event at the AM lands here. Experiment E13
 //! compares the correlation power of this log against per-host logs.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
 use ucam_policy::{Action, Outcome, PolicyId, ResourceRef};
 
 /// What kind of event an audit entry records.
@@ -238,6 +243,86 @@ impl AuditLog {
             }
         }
         (permits, denies)
+    }
+}
+
+/// How many ways [`AuditHub`] stripes its entries.
+const AUDIT_STRIPES: usize = 8;
+
+/// The striped, concurrent front-end to the audit log.
+///
+/// Recording is the hot-path operation — every token issuance and every
+/// decision appends one entry — so it must not funnel through one lock.
+/// [`AuditHub::record`] takes a global sequence number (one atomic
+/// fetch-add) and appends to the stripe the sequence lands on; readers
+/// call [`AuditHub::snapshot`] to merge the stripes back into one
+/// [`AuditLog`] in exact record order. Recording scales with the stripe
+/// count; snapshotting is O(n log n) and meant for observability, not for
+/// per-request work (DESIGN.md §13).
+#[derive(Debug, Default)]
+pub struct AuditHub {
+    stripes: [Mutex<VecDeque<(u64, AuditEntry)>>; AUDIT_STRIPES],
+    seq: AtomicU64,
+    /// Total retained-entry cap, 0 = unbounded. Million-entity runs set
+    /// this so the log is a ring, not a leak; eviction is oldest-first
+    /// per stripe, which round-robin assignment makes globally
+    /// approximately oldest-first.
+    cap: AtomicUsize,
+}
+
+impl AuditHub {
+    /// Creates an empty, unbounded hub.
+    #[must_use]
+    pub fn new() -> Self {
+        AuditHub::default()
+    }
+
+    /// Bounds the total retained entries (0 = unbounded). Dropping old
+    /// entries only narrows the observability window; ground truth for
+    /// decisions lives in the policy store, not here.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Appends an entry to the stripe its global sequence number lands on.
+    pub fn record(&self, entry: AuditEntry) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripes[(seq as usize) % AUDIT_STRIPES].lock();
+        stripe.push_back((seq, entry));
+        let cap = self.cap.load(Ordering::Relaxed);
+        if cap > 0 {
+            let per_stripe = (cap / AUDIT_STRIPES).max(1);
+            while stripe.len() > per_stripe {
+                stripe.pop_front();
+            }
+        }
+    }
+
+    /// Entries recorded so far (retained, across all stripes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges the stripes into one [`AuditLog`] in exact record order.
+    #[must_use]
+    pub fn snapshot(&self) -> AuditLog {
+        let mut stamped: Vec<(u64, AuditEntry)> = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            stamped.extend(stripe.lock().iter().cloned());
+        }
+        stamped.sort_by_key(|(seq, _)| *seq);
+        let mut log = AuditLog::new();
+        for (_, entry) in stamped {
+            log.record(entry);
+        }
+        log
     }
 }
 

@@ -9,9 +9,22 @@
 //! [`ConsentQueue`] tracks pending consent requests; [`NotificationOutbox`]
 //! is the simulated e-mail/SMS channel (DESIGN.md §5 substitution). The
 //! Requester polls the AM and receives the token once the owner grants.
+//!
+//! At population scale both pieces are built not to sit on a hot path:
+//! [`ConsentHub`] shards the queue by owner (a policy with thousands of
+//! pending consents only contends with owners on the same shard) and keeps
+//! O(1) indexes for the two queries the PDP issues per decision — "is this
+//! tuple granted?" and "is an identical request already pending?" — so
+//! consent checks stay constant-time no matter how deep the queue grows.
+//! The outbox separates *enqueue* (O(1), called under the PAP/PDP paths)
+//! from *delivery* ([`NotificationOutbox::pump`], called from a pump loop)
+//! so notification fan-out never blocks a policy write (DESIGN.md §13).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use ucam_policy::{Action, ResourceRef};
 
@@ -38,8 +51,13 @@ pub struct Notification {
 }
 
 /// The simulated e-mail/SMS outbox.
+///
+/// Writers [`enqueue`](Self::enqueue) in O(1); a pump loop moves pending
+/// messages to the sent record in bounded batches. [`send`](Self::send)
+/// remains as the synchronous path for code that wants both at once.
 #[derive(Debug, Clone, Default)]
 pub struct NotificationOutbox {
+    pending: VecDeque<Notification>,
     sent: Vec<Notification>,
 }
 
@@ -50,9 +68,39 @@ impl NotificationOutbox {
         NotificationOutbox::default()
     }
 
-    /// Sends (records) a notification.
+    /// Sends (records) a notification immediately.
     pub fn send(&mut self, notification: Notification) {
         self.sent.push(notification);
+    }
+
+    /// Queues a notification for asynchronous delivery — the O(1) write
+    /// the consent fan-out performs under load.
+    pub fn enqueue(&mut self, notification: Notification) {
+        self.pending.push_back(notification);
+    }
+
+    /// Delivers up to `max` queued notifications, returning how many
+    /// moved. Bounded so a thousand pending consents drain across pump
+    /// ticks instead of stalling one caller.
+    pub fn pump(&mut self, max: usize) -> usize {
+        let n = self.pending.len().min(max);
+        for _ in 0..n {
+            let notification = self.pending.pop_front().expect("len checked");
+            self.sent.push(notification);
+        }
+        n
+    }
+
+    /// Delivers everything still queued (observability reads call this so
+    /// an un-pumped queue is never mistaken for silence).
+    pub fn flush(&mut self) {
+        self.pump(usize::MAX);
+    }
+
+    /// Notifications queued but not yet delivered.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// All notifications sent so far.
@@ -122,6 +170,11 @@ impl fmt::Display for ConsentError {
 
 impl std::error::Error for ConsentError {}
 
+/// The tuple the PDP asks about at decision time.
+type GrantKey = (String, Option<String>, ResourceRef, Action);
+/// The tuple `open` deduplicates on (adds the owner).
+type PendingKey = (String, String, Option<String>, ResourceRef, Action);
+
 /// The AM's queue of consent requests.
 ///
 /// # Example
@@ -144,10 +197,23 @@ impl std::error::Error for ConsentError {}
 /// assert_eq!(queue.state(&id), Some(ConsentState::Granted));
 /// # Ok::<(), ucam_am::consent::ConsentError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ConsentQueue {
     requests: HashMap<String, ConsentRequest>,
     next_id: u64,
+    id_prefix: String,
+    /// Granted (requester, subject, resource, action) tuples — the O(1)
+    /// answer to [`ConsentQueue::is_granted`] regardless of queue depth.
+    granted: HashSet<GrantKey>,
+    /// Pending request per dedupe tuple — the O(1) answer to "is an
+    /// identical request already open?".
+    pending_index: HashMap<PendingKey, String>,
+}
+
+impl Default for ConsentQueue {
+    fn default() -> Self {
+        ConsentQueue::with_id_prefix("consent")
+    }
 }
 
 impl ConsentQueue {
@@ -155,6 +221,29 @@ impl ConsentQueue {
     #[must_use]
     pub fn new() -> Self {
         ConsentQueue::default()
+    }
+
+    /// Creates an empty queue whose request ids start with `prefix` —
+    /// how [`ConsentHub`] keeps ids globally unique across shards.
+    #[must_use]
+    pub fn with_id_prefix(prefix: &str) -> Self {
+        ConsentQueue {
+            requests: HashMap::new(),
+            next_id: 0,
+            id_prefix: prefix.to_owned(),
+            granted: HashSet::new(),
+            pending_index: HashMap::new(),
+        }
+    }
+
+    fn pending_key(request: &ConsentRequest) -> PendingKey {
+        (
+            request.owner.clone(),
+            request.requester.clone(),
+            request.subject.clone(),
+            request.resource.clone(),
+            request.action.clone(),
+        )
     }
 
     /// Opens a consent request, returning its id. An identical pending
@@ -169,19 +258,19 @@ impl ConsentQueue {
         action: Action,
         now_ms: u64,
     ) -> String {
-        let existing = self.requests.values().find(|r| {
-            r.state == ConsentState::Pending
-                && r.owner == owner
-                && r.requester == requester
-                && r.subject.as_deref() == subject
-                && r.resource == resource
-                && r.action == action
-        });
-        if let Some(r) = existing {
-            return r.id.clone();
+        let key: PendingKey = (
+            owner.to_owned(),
+            requester.to_owned(),
+            subject.map(str::to_owned),
+            resource.clone(),
+            action.clone(),
+        );
+        if let Some(id) = self.pending_index.get(&key) {
+            return id.clone();
         }
         self.next_id += 1;
-        let id = format!("consent-{}", self.next_id);
+        let id = format!("{}-{}", self.id_prefix, self.next_id);
+        self.pending_index.insert(key, id.clone());
         self.requests.insert(
             id.clone(),
             ConsentRequest {
@@ -225,6 +314,12 @@ impl ConsentQueue {
             return Err(ConsentError::AlreadySettled);
         }
         request.state = state;
+        let key = Self::pending_key(request);
+        if state == ConsentState::Granted {
+            let (_, requester, subject, resource, action) = key.clone();
+            self.granted.insert((requester, subject, resource, action));
+        }
+        self.pending_index.remove(&key);
         Ok(())
     }
 
@@ -262,6 +357,7 @@ impl ConsentQueue {
                 && now_ms.saturating_sub(request.created_at_ms) >= ttl_ms
             {
                 request.state = ConsentState::Expired;
+                self.pending_index.remove(&Self::pending_key(request));
                 expired += 1;
             }
         }
@@ -270,7 +366,7 @@ impl ConsentQueue {
 
     /// Returns `true` when an identical settled-granted request exists for
     /// (requester, subject, resource, action) — the PDP consults this when
-    /// re-evaluating after the owner acted.
+    /// re-evaluating after the owner acted. O(1) via the granted index.
     #[must_use]
     pub fn is_granted(
         &self,
@@ -279,13 +375,157 @@ impl ConsentQueue {
         resource: &ResourceRef,
         action: &Action,
     ) -> bool {
-        self.requests.values().any(|r| {
-            r.state == ConsentState::Granted
-                && r.requester == requester
-                && r.subject.as_deref() == subject
-                && &r.resource == resource
-                && &r.action == action
-        })
+        // Borrowed-key lookup would need a custom Borrow impl for the
+        // 4-tuple; one small clone per PDP query beats the full scan this
+        // replaced by orders of magnitude at depth.
+        self.granted.contains(&(
+            requester.to_owned(),
+            subject.map(str::to_owned),
+            resource.clone(),
+            action.clone(),
+        ))
+    }
+}
+
+/// How many ways [`ConsentHub`] shards its queues.
+const CONSENT_SHARDS: usize = 16;
+
+/// The AM's sharded consent front-end: requests are partitioned by owner
+/// hash, so one owner's thousand-deep queue never contends with another's
+/// decision traffic, and settles route straight to the right shard via
+/// the shard index embedded in the id (`consent-<shard>-<n>`).
+#[derive(Debug)]
+pub struct ConsentHub {
+    shards: Vec<Mutex<ConsentQueue>>,
+    ttl_ms: AtomicU64,
+}
+
+impl ConsentHub {
+    /// Creates a hub whose pending requests expire after `ttl_ms`.
+    #[must_use]
+    pub fn new(ttl_ms: u64) -> Self {
+        ConsentHub {
+            shards: (0..CONSENT_SHARDS)
+                .map(|s| Mutex::new(ConsentQueue::with_id_prefix(&format!("consent-{s}"))))
+                .collect(),
+            ttl_ms: AtomicU64::new(ttl_ms),
+        }
+    }
+
+    /// Sets the pending-request lifetime.
+    pub fn set_ttl_ms(&self, ttl_ms: u64) {
+        self.ttl_ms.store(ttl_ms, Ordering::Relaxed);
+    }
+
+    fn shard_of_owner(&self, owner: &str) -> usize {
+        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+        for byte in owner.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (hash as usize) % self.shards.len()
+    }
+
+    /// Extracts the shard index a request id routes to.
+    fn shard_of_id(&self, id: &str) -> Option<usize> {
+        let shard: usize = id
+            .strip_prefix("consent-")?
+            .split('-')
+            .next()?
+            .parse()
+            .ok()?;
+        (shard < self.shards.len()).then_some(shard)
+    }
+
+    fn sweep(&self, queue: &mut ConsentQueue, now_ms: u64) {
+        queue.expire_pending(now_ms, self.ttl_ms.load(Ordering::Relaxed));
+    }
+
+    /// Opens (or reuses) a consent request on the owner's shard.
+    pub fn open(
+        &self,
+        owner: &str,
+        requester: &str,
+        subject: Option<&str>,
+        resource: ResourceRef,
+        action: Action,
+        now_ms: u64,
+    ) -> String {
+        self.shards[self.shard_of_owner(owner)]
+            .lock()
+            .open(owner, requester, subject, resource, action, now_ms)
+    }
+
+    /// Grants a request by id, returning the owner (for the audit trail).
+    ///
+    /// # Errors
+    ///
+    /// [`ConsentError::UnknownRequest`] or [`ConsentError::AlreadySettled`].
+    pub fn grant(&self, id: &str) -> Result<String, ConsentError> {
+        let shard = self
+            .shard_of_id(id)
+            .ok_or_else(|| ConsentError::UnknownRequest(id.to_owned()))?;
+        let mut queue = self.shards[shard].lock();
+        queue.grant(id)?;
+        Ok(queue.get(id).map(|r| r.owner.clone()).unwrap_or_default())
+    }
+
+    /// Denies a request by id, returning the owner (for the audit trail).
+    ///
+    /// # Errors
+    ///
+    /// [`ConsentError::UnknownRequest`] or [`ConsentError::AlreadySettled`].
+    pub fn deny(&self, id: &str) -> Result<String, ConsentError> {
+        let shard = self
+            .shard_of_id(id)
+            .ok_or_else(|| ConsentError::UnknownRequest(id.to_owned()))?;
+        let mut queue = self.shards[shard].lock();
+        queue.deny(id)?;
+        Ok(queue.get(id).map(|r| r.owner.clone()).unwrap_or_default())
+    }
+
+    /// The state of a request (after lazily expiring its shard).
+    #[must_use]
+    pub fn state(&self, id: &str, now_ms: u64) -> Option<ConsentState> {
+        let shard = self.shard_of_id(id)?;
+        let mut queue = self.shards[shard].lock();
+        self.sweep(&mut queue, now_ms);
+        queue.state(id)
+    }
+
+    /// The owner of a request, if it exists.
+    #[must_use]
+    pub fn owner_of(&self, id: &str) -> Option<String> {
+        let shard = self.shard_of_id(id)?;
+        self.shards[shard].lock().get(id).map(|r| r.owner.clone())
+    }
+
+    /// Pending request ids for `owner`, oldest first (after lazily
+    /// expiring the owner's shard).
+    #[must_use]
+    pub fn pending_for(&self, owner: &str, now_ms: u64) -> Vec<String> {
+        let mut queue = self.shards[self.shard_of_owner(owner)].lock();
+        self.sweep(&mut queue, now_ms);
+        queue
+            .pending_for(owner)
+            .into_iter()
+            .map(|r| r.id.clone())
+            .collect()
+    }
+
+    /// O(1) granted check, routed by the owner whose policy asked.
+    #[must_use]
+    pub fn is_granted(
+        &self,
+        owner: &str,
+        requester: &str,
+        subject: Option<&str>,
+        resource: &ResourceRef,
+        action: &Action,
+    ) -> bool {
+        self.shards[self.shard_of_owner(owner)]
+            .lock()
+            .is_granted(requester, subject, resource, action)
     }
 }
 
@@ -390,6 +630,49 @@ mod tests {
     }
 
     #[test]
+    fn granted_index_survives_deep_queues() {
+        let mut q = ConsentQueue::new();
+        for i in 0..1000 {
+            q.open("bob", &format!("r{i}"), None, photo(), Action::Read, 0);
+        }
+        let id = q.open("bob", "the-one", None, photo(), Action::Write, 0);
+        q.grant(&id).unwrap();
+        // One lookup, not a thousand-element scan.
+        assert!(q.is_granted("the-one", None, &photo(), &Action::Write));
+        assert!(!q.is_granted("r5", None, &photo(), &Action::Read));
+    }
+
+    #[test]
+    fn hub_routes_by_owner_and_id() {
+        let hub = ConsentHub::new(1000);
+        let id_a = hub.open("alice", "req", None, photo(), Action::Read, 0);
+        let id_b = hub.open("bob", "req", None, photo(), Action::Read, 0);
+        assert_ne!(id_a, id_b, "ids are globally unique across shards");
+        assert_eq!(hub.owner_of(&id_a).as_deref(), Some("alice"));
+        assert_eq!(hub.grant(&id_a).as_deref(), Ok("alice"));
+        assert!(hub.is_granted("alice", "req", None, &photo(), &Action::Read));
+        assert!(
+            !hub.is_granted("bob", "req", None, &photo(), &Action::Read),
+            "grants are scoped to the owner whose policy asked"
+        );
+        assert_eq!(hub.deny(&id_b).as_deref(), Ok("bob"));
+        assert_eq!(hub.state(&id_b, 1), Some(ConsentState::Denied));
+        assert!(matches!(
+            hub.grant("consent-999-1"),
+            Err(ConsentError::UnknownRequest(_))
+        ));
+    }
+
+    #[test]
+    fn hub_expires_on_poll() {
+        let hub = ConsentHub::new(100);
+        let id = hub.open("bob", "req", None, photo(), Action::Read, 0);
+        assert_eq!(hub.pending_for("bob", 50).len(), 1);
+        assert_eq!(hub.state(&id, 200), Some(ConsentState::Expired));
+        assert!(hub.pending_for("bob", 200).is_empty());
+    }
+
+    #[test]
     fn outbox_records_and_filters() {
         let mut outbox = NotificationOutbox::new();
         outbox.send(Notification {
@@ -407,5 +690,26 @@ mod tests {
         assert_eq!(outbox.sent().len(), 2);
         assert_eq!(outbox.for_user("bob").len(), 1);
         assert_eq!(outbox.for_user("bob")[0].channel, Channel::Email);
+    }
+
+    #[test]
+    fn outbox_pump_is_bounded_and_ordered() {
+        let mut outbox = NotificationOutbox::new();
+        for i in 0..5 {
+            outbox.enqueue(Notification {
+                to_user: "bob".into(),
+                channel: Channel::Email,
+                message: format!("m{i}"),
+                at_ms: i,
+            });
+        }
+        assert_eq!(outbox.sent().len(), 0, "enqueue does not deliver");
+        assert_eq!(outbox.pending_len(), 5);
+        assert_eq!(outbox.pump(2), 2);
+        assert_eq!(outbox.sent().len(), 2);
+        assert_eq!(outbox.sent()[0].message, "m0", "FIFO delivery");
+        outbox.flush();
+        assert_eq!(outbox.pending_len(), 0);
+        assert_eq!(outbox.sent().len(), 5);
     }
 }

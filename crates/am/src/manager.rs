@@ -28,11 +28,11 @@ use ucam_webenv::{
     protocol, DecisionBody, Method, Request, Response, SimClock, SimNet, Status, Url, WebApp,
 };
 
-use crate::audit::{AuditEntry, AuditEvent, AuditLog};
+use crate::audit::{AuditEntry, AuditEvent, AuditHub, AuditLog};
 use crate::claims::{ClaimIssuer, ClaimVerifier};
-use crate::consent::{Channel, ConsentQueue, ConsentState, Notification, NotificationOutbox};
+use crate::consent::{Channel, ConsentHub, ConsentState, Notification, NotificationOutbox};
 use crate::pap::{Account, ExportFormat};
-use crate::push::{EpochPushChannel, EpochPushStats};
+use crate::push::{EpochPushStats, PushFanOut};
 use crate::tokens::{AuthzGrant, HostGrant, TokenError, TokenService};
 use crate::trust::{Delegation, TrustError, TrustRegistry};
 
@@ -212,13 +212,37 @@ pub const DEFAULT_CONSENT_TTL_MS: u64 = 24 * 60 * 60 * 1000;
 
 /// How many ways the account map is sharded. Policy evaluation for one
 /// owner only contends with traffic for owners hashing to the same
-/// shard, not with the AM's global bookkeeping.
-const ACCOUNT_SHARDS: usize = 8;
+/// shard, not with the AM's global bookkeeping. Sized for the
+/// million-owner population runs (DESIGN.md §13): with 10⁶ accounts each
+/// shard still holds ~16k slots, and registration fans out across all 64.
+const ACCOUNT_SHARDS: usize = 64;
+
+/// How many ways the per-requester evaluation context (use counts,
+/// satisfied claims) is sharded. Decision traffic for distinct requesters
+/// lands on distinct shards, so the phase-C bookkeeping of concurrent
+/// `decide` calls no longer serializes on one central write lock — the
+/// fix for the 8-thread `full_flow` p99 cliff.
+const CTX_SHARDS: usize = 16;
+
+/// How many ways the issued-grants registry (sieve-compiler input) is
+/// sharded, by owner hash.
+const ISSUED_SHARDS: usize = 16;
 
 /// Per-owner cap on the issued-grants registry the sieve compiler replays.
 /// Oldest entries fall off first; a dropped entry only means the matching
 /// token falls back to the tier-2 protocol path, never a wrong grant.
 const ISSUED_GRANTS_CAP: usize = 4096;
+
+/// FNV-1a over a name — the shard router every sharded structure here
+/// shares.
+fn fnv1a_str(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// One owner's entry in an account shard: the PAP account plus the
 /// monotonically increasing policy epoch that invalidates downstream
@@ -230,46 +254,47 @@ struct AccountSlot {
 
 type AccountShard = HashMap<String, AccountSlot>;
 
-/// Mutable state behind the AM's lock.
+/// Read-mostly central state behind the AM's lock. Everything written on
+/// the per-request hot path was evicted into sharded or striped
+/// structures (DESIGN.md §13): what stays here changes only on
+/// administrative events (delegations, IdP/claim-issuer config), so
+/// `authorize`/`decide` take this lock for *reading* exclusively and the
+/// 8-thread writer convoy the old monolithic state produced is gone.
+#[derive(Default)]
 struct AmState {
-    consent_ttl_ms: u64,
     trust: TrustRegistry,
-    consent: ConsentQueue,
-    outbox: NotificationOutbox,
-    audit: AuditLog,
     claim_verifier: ClaimVerifier,
-    /// (requester, subject, resource, action) -> granted uses so far.
-    use_counts: HashMap<(String, Option<String>, ResourceRef, Action), u32>,
-    /// Claims verified at token-issuance time, reused at decision time.
-    satisfied_claims: HashMap<(String, ResourceRef), Vec<Claim>>,
     /// Host tokens retained at delegation time, keyed by (host, user).
     /// Each doubles as the HMAC key a compiled sieve for that delegation
     /// is signed with — a secret both ends already share, so the sieve
     /// needs no new key exchange.
     host_tokens: HashMap<(String, String), String>,
-    /// Authorization tokens issued per owner, `(token, grant)` newest
-    /// last — the raw material the sieve compiler replays. Populated only
-    /// while sieve push is enabled; capped at [`ISSUED_GRANTS_CAP`].
-    issued_grants: HashMap<String, VecDeque<(String, AuthzGrant)>>,
     idp: Option<IdentityVerifier>,
 }
 
-impl Default for AmState {
-    fn default() -> Self {
-        AmState {
-            consent_ttl_ms: DEFAULT_CONSENT_TTL_MS,
-            trust: TrustRegistry::default(),
-            consent: ConsentQueue::default(),
-            outbox: NotificationOutbox::default(),
-            audit: AuditLog::default(),
-            claim_verifier: ClaimVerifier::default(),
-            use_counts: HashMap::default(),
-            satisfied_claims: HashMap::default(),
-            host_tokens: HashMap::default(),
-            issued_grants: HashMap::default(),
-            idp: None,
-        }
-    }
+/// One shard of the per-requester evaluation context.
+#[derive(Default)]
+struct CtxShard {
+    /// (requester, subject, resource, action) -> granted uses so far.
+    use_counts: HashMap<(String, Option<String>, ResourceRef, Action), u32>,
+    /// Claims verified at token-issuance time, reused at decision time,
+    /// keyed by (requester, resource).
+    satisfied_claims: HashMap<(String, ResourceRef), Vec<Claim>>,
+}
+
+/// One shard of the issued-grants registry: owner → `(token, grant)`
+/// newest last — the raw material the sieve compiler replays. Populated
+/// only while sieve push is enabled; capped at [`ISSUED_GRANTS_CAP`].
+type IssuedShard = HashMap<String, VecDeque<(String, AuthzGrant)>>;
+
+/// What the AM last successfully shipped to one (host, owner) pair with
+/// a sieve body: the epoch it was compiled under and its fingerprint set.
+/// The delta encoder diffs the next compile against this; the map is
+/// updated only on confirmed delivery, so it can never run ahead of what
+/// the Host actually installed.
+struct ShippedSieve {
+    epoch: u64,
+    entries: HashMap<protocol::SieveFingerprint, u64>,
 }
 
 /// The Authorization Manager application. See the [module docs](self).
@@ -308,15 +333,31 @@ pub struct AuthorizationManager {
     tokens: TokenService,
     state: RwLock<AmState>,
     /// Accounts, sharded by owner hash. Lock-ordering rule: code never
-    /// holds the central `state` lock and a shard lock at the same time;
-    /// each phase of `authorize`/`decide` is its own lock scope.
+    /// holds the central `state` lock and any shard lock at the same
+    /// time; each phase of `authorize`/`decide` is its own lock scope.
     accounts: [RwLock<AccountShard>; ACCOUNT_SHARDS],
-    /// Asynchronous AM→Host epoch push channel. Same lock-ordering rule:
-    /// never held together with `state` or a shard lock.
-    pushes: Mutex<EpochPushChannel>,
+    /// Per-requester evaluation context, sharded by requester hash. Same
+    /// single-lock-scope rule as the account shards.
+    ctx: [RwLock<CtxShard>; CTX_SHARDS],
+    /// Issued-grants registry (sieve-compiler input), sharded by owner
+    /// hash. A Mutex, not RwLock: the only readers (sieve compiles) are
+    /// cold-path, while the writer (token issuance) must never queue.
+    issued: [Mutex<IssuedShard>; ISSUED_SHARDS],
+    /// §V.D consent requests, sharded by owner hash inside the hub.
+    consent: ConsentHub,
+    /// Simulated e-mail/SMS outbox. Hot paths `enqueue` (O(1) push) and
+    /// a pump drains; the lock is never held across anything slow.
+    outbox: Mutex<NotificationOutbox>,
+    /// Striped audit log; recording never serializes request threads.
+    audit: AuditHub,
+    /// Asynchronous AM→Host epoch push fan-out (internally synchronized).
+    pushes: PushFanOut,
     /// Whether epoch pushes carry a compiled capability sieve body
     /// (DESIGN.md §12). Off by default: plain epoch pushes only.
     sieve_push: AtomicBool,
+    /// Last sieve state confirmed delivered per (host, owner) — the base
+    /// the delta encoder diffs against (DESIGN.md §13).
+    shipped: Mutex<HashMap<(String, String), ShippedSieve>>,
 }
 
 impl fmt::Debug for AuthorizationManager {
@@ -339,19 +380,30 @@ impl AuthorizationManager {
             clock,
             state: RwLock::new(AmState::default()),
             accounts: std::array::from_fn(|_| RwLock::new(AccountShard::default())),
-            pushes: Mutex::new(EpochPushChannel::default()),
+            ctx: std::array::from_fn(|_| RwLock::new(CtxShard::default())),
+            issued: std::array::from_fn(|_| Mutex::new(IssuedShard::default())),
+            consent: ConsentHub::new(DEFAULT_CONSENT_TTL_MS),
+            outbox: Mutex::new(NotificationOutbox::default()),
+            audit: AuditHub::new(),
+            pushes: PushFanOut::default(),
             sieve_push: AtomicBool::new(false),
+            shipped: Mutex::new(HashMap::default()),
         }
     }
 
     /// The shard holding `owner`'s account (FNV-1a over the owner name).
     fn shard_for(&self, owner: &str) -> &RwLock<AccountShard> {
-        let mut hash = 0xcbf2_9ce4_8422_2325_u64;
-        for byte in owner.as_bytes() {
-            hash ^= u64::from(*byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        &self.accounts[(hash as usize) % ACCOUNT_SHARDS]
+        &self.accounts[(fnv1a_str(owner) as usize) % ACCOUNT_SHARDS]
+    }
+
+    /// The shard holding `requester`'s evaluation context.
+    fn ctx_for(&self, requester: &str) -> &RwLock<CtxShard> {
+        &self.ctx[(fnv1a_str(requester) as usize) % CTX_SHARDS]
+    }
+
+    /// The shard holding `owner`'s issued-grants registry.
+    fn issued_for(&self, owner: &str) -> &Mutex<IssuedShard> {
+        &self.issued[(fnv1a_str(owner) as usize) % ISSUED_SHARDS]
     }
 
     /// Advances `owner`'s policy epoch, invalidating every decision a
@@ -372,19 +424,28 @@ impl AuthorizationManager {
     // -- asynchronous epoch pushes ------------------------------------------
 
     /// Registers `host` to receive asynchronous policy-epoch pushes on
-    /// its `/protection/v1/epoch` route whenever an owner's epoch
+    /// its `/protection/v1/epoch` route whenever **any** owner's epoch
     /// advances. Delivery happens when [`Self::pump_epoch_pushes`] runs —
     /// epochs propagate as real network messages, not as an instantaneous
-    /// side effect (see [`crate::push`]).
+    /// side effect (see [`crate::push`]). For population-scale rigs where
+    /// each Host only stores a slice of the owners, prefer the scoped
+    /// [`Self::subscribe_epoch_push`].
     pub fn set_epoch_push_target(&self, host: &str) {
-        self.pushes.lock().add_target(host);
+        self.pushes.add_global_target(host);
     }
 
-    /// Queues an epoch advance for delivery to every push target.
+    /// Subscribes `host` to epoch pushes for `owner` only. An epoch
+    /// advance fans out to exactly the Hosts subscribed to that owner
+    /// (plus any global targets), so a 512-Host deployment does per-owner
+    /// work, not per-fleet work, on every policy edit.
+    pub fn subscribe_epoch_push(&self, host: &str, owner: &str) {
+        self.pushes.subscribe(host, owner);
+    }
+
+    /// Queues an epoch advance for delivery to every subscribed target.
     fn schedule_epoch_push(&self, owner: &str, epoch: u64) {
-        let mut pushes = self.pushes.lock();
-        if pushes.has_targets() {
-            pushes.schedule(self.clock.now_ms(), owner, epoch);
+        if self.pushes.has_targets() {
+            self.pushes.schedule(self.clock.now_ms(), owner, epoch);
         }
     }
 
@@ -393,7 +454,25 @@ impl AuthorizationManager {
     /// deterministic backoff; pushes retry until they land (epochs are
     /// monotonic, so redelivery is harmless and dropping is not).
     pub fn pump_epoch_pushes(&self, net: &SimNet) -> usize {
-        let due = self.pushes.lock().take_due(self.clock.now_ms());
+        self.pump_epoch_pushes_bounded(net, usize::MAX)
+    }
+
+    /// [`Self::pump_epoch_pushes`] with a delivery budget: at most `limit`
+    /// pushes go out; the rest stay queued (still due) for the next pump.
+    /// This is the bounded-fan-out drain — one pump over a million-owner
+    /// backlog does O(limit) network work, not O(backlog).
+    ///
+    /// With sieve push enabled, each delivery carries either a full
+    /// [`protocol::SieveBody`] (first ship to a pair, or after a resync)
+    /// or a [`protocol::SieveDeltaBody`] diffed against the last
+    /// *confirmed-delivered* sieve. A Host that cannot apply the delta
+    /// (its installed base doesn't match) answers
+    /// [`protocol::SIEVE_RESYNC`]; the AM then forgets the pair's shipped
+    /// state and requeues immediately, so the next pump ships a full body
+    /// — the fallback that makes deltas safe against restarts and missed
+    /// generations.
+    pub fn pump_epoch_pushes_bounded(&self, net: &SimNet, limit: usize) -> usize {
+        let due = self.pushes.take_due(self.clock.now_ms(), limit);
         let sieve_enabled = self.sieve_push.load(Ordering::Relaxed);
         let mut delivered = 0;
         for push in due {
@@ -403,22 +482,81 @@ impl AuthorizationManager {
             )
             .with_param("owner", &push.owner)
             .with_param("epoch", &push.epoch.to_string());
+            let pair = (push.host.clone(), push.owner.clone());
+            let mut shipped_update: Option<ShippedSieve> = None;
             let mut sieved = false;
             if sieve_enabled {
-                if let Some(sieve) = self.compile_sieve(&push.host, &push.owner) {
-                    req = req.with_body(sieve.to_json());
+                if let Some((entries, epoch, host_token)) =
+                    self.compile_sieve(&push.host, &push.owner)
+                {
+                    let next: HashMap<protocol::SieveFingerprint, u64> = entries
+                        .iter()
+                        .map(|e| (e.fingerprint, e.expires_at_ms))
+                        .collect();
+                    let base = {
+                        let shipped = self.shipped.lock();
+                        shipped.get(&pair).map(|s| (s.epoch, s.entries.clone()))
+                    };
+                    let body = match base {
+                        Some((base_epoch, prev)) => {
+                            // Delta against the last confirmed ship: an
+                            // entry is `added` when its fingerprint is new
+                            // *or* its expiry moved (reissued token),
+                            // `removed` when it vanished entirely.
+                            let added: Vec<protocol::SieveEntry> = entries
+                                .iter()
+                                .filter(|e| prev.get(&e.fingerprint) != Some(&e.expires_at_ms))
+                                .cloned()
+                                .collect();
+                            let removed: Vec<protocol::SieveFingerprint> = prev
+                                .keys()
+                                .filter(|fp| !next.contains_key(*fp))
+                                .copied()
+                                .collect();
+                            protocol::SieveDeltaBody::build(
+                                &push.owner,
+                                epoch,
+                                base_epoch,
+                                added,
+                                removed,
+                                host_token.as_bytes(),
+                            )
+                            .to_json()
+                        }
+                        None => protocol::SieveBody::build(
+                            &push.owner,
+                            epoch,
+                            entries,
+                            host_token.as_bytes(),
+                        )
+                        .to_json(),
+                    };
+                    shipped_update = Some(ShippedSieve {
+                        epoch,
+                        entries: next,
+                    });
+                    req = req.with_body(body);
                     sieved = true;
                 }
             }
             let resp = net.dispatch(&self.authority, req);
             let now = self.clock.now_ms();
-            let mut pushes = self.pushes.lock();
             if resp.transport_error().is_some() {
-                pushes.requeue(push, now);
+                self.pushes.requeue(push, now);
+            } else if resp.body == protocol::SIEVE_RESYNC {
+                // The Host heard us (delivery confirmed) but could not
+                // apply the delta; reship a full body on the next pump.
+                self.pushes.record_delivery(now, &push);
+                self.shipped.lock().remove(&pair);
+                self.pushes.requeue_for_resync(push, now);
+                delivered += 1;
             } else {
-                pushes.record_delivery(now, &push);
+                self.pushes.record_delivery(now, &push);
                 if sieved {
-                    pushes.record_sieved();
+                    self.pushes.record_sieved();
+                    if let Some(update) = shipped_update {
+                        self.shipped.lock().insert(pair, update);
+                    }
                 }
                 delivered += 1;
             }
@@ -447,7 +585,10 @@ impl AuthorizationManager {
 
     /// Compiles the capability sieve for one (host, owner) delegation:
     /// replays every live issued token through the same phase-A/phase-B
-    /// evaluation as [`Self::decide`] and keeps the permits.
+    /// evaluation as [`Self::decide`] and keeps the permits. Returns the
+    /// raw `(entries, epoch, host_token)` triple; the pump decides whether
+    /// to ship it as a full [`protocol::SieveBody`] or as a delta against
+    /// the last confirmed ship.
     ///
     /// Returns `None` when no host token was ever retained for the pair
     /// (nothing to sign with — the push goes out plain). A *revoked*
@@ -455,49 +596,49 @@ impl AuthorizationManager {
     /// which is exactly how revocation propagates to the Host's tier-1
     /// table ahead of cache expiry.
     ///
-    /// Lock discipline: four sequential scopes (state → shard → state →
-    /// shard), never two locks at once, honoring the struct's ordering
-    /// rule. State can move between scopes; any skew is bounded by the
-    /// same epoch mechanism that bounds decision-cache staleness — a
-    /// sieve compiled against a half-updated account carries the epoch it
-    /// read, and the next bump purges it.
-    fn compile_sieve(&self, host: &str, owner: &str) -> Option<protocol::SieveBody> {
+    /// Lock discipline: sequential scopes (state → issued shard → account
+    /// shard → ctx/consent → account shard), never two locks at once,
+    /// honoring the struct's ordering rule. State can move between
+    /// scopes; any skew is bounded by the same epoch mechanism that
+    /// bounds decision-cache staleness — a sieve compiled against a
+    /// half-updated account carries the epoch it read, and the next bump
+    /// purges it.
+    fn compile_sieve(
+        &self,
+        host: &str,
+        owner: &str,
+    ) -> Option<(Vec<protocol::SieveEntry>, u64, String)> {
         let now = self.clock.now_ms();
 
-        // Scope 1 — central read: signing key, trust status, live grants.
-        let (host_token, trusted, grants) = {
+        // Scope 1 — central read: signing key and trust status.
+        let (host_token, trusted) = {
             let state = self.state.read();
             let token = state
                 .host_tokens
                 .get(&(host.to_owned(), owner.to_owned()))?
                 .clone();
-            let trusted = state.trust.check(host, owner).is_ok();
-            let grants: Vec<(String, AuthzGrant)> = if trusted {
-                state
-                    .issued_grants
-                    .get(owner)
-                    .map(|g| {
-                        g.iter()
-                            .filter(|(_, grant)| grant.host == host && grant.expires_at_ms > now)
-                            .cloned()
-                            .collect()
-                    })
-                    .unwrap_or_default()
-            } else {
-                Vec::new()
-            };
-            (token, trusted, grants)
+            (token, state.trust.check(host, owner).is_ok())
+        };
+        // Scope 1b — issued shard: the owner's live grants for this host.
+        let grants: Vec<(String, AuthzGrant)> = if trusted {
+            self.issued_for(owner)
+                .lock()
+                .get(owner)
+                .map(|g| {
+                    g.iter()
+                        .filter(|(_, grant)| grant.host == host && grant.expires_at_ms > now)
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        } else {
+            Vec::new()
         };
         if !trusted || grants.is_empty() {
             // Epoch 0 never beats an installed sieve; read the real epoch
             // so an empty sieve still supersedes older entries.
             let epoch = self.policy_epoch(owner);
-            return Some(protocol::SieveBody::build(
-                owner,
-                epoch,
-                Vec::new(),
-                host_token.as_bytes(),
-            ));
+            return Some((Vec::new(), epoch, host_token));
         }
 
         // Scope 2 — shard read: expand realm grants to their member
@@ -558,39 +699,38 @@ impl AuthorizationManager {
             }
         }
 
-        // Scope 3 — central read: the same consent/claims/use-count
+        // Scope 3 — sharded reads: the same consent/claims/use-count
         // context `decide` gathers in its phase A, per candidate.
-        let contexts: Vec<(bool, Vec<Claim>, u32)> = {
-            let state = self.state.read();
-            candidates
-                .iter()
-                .map(|c| {
-                    let resource = ResourceRef::new(host, &c.resource_id);
-                    let consent_granted = state.consent.is_granted(
-                        &c.grant.requester,
-                        c.grant.subject.as_deref(),
-                        &resource,
-                        &c.action,
-                    );
-                    let claims = state
-                        .satisfied_claims
-                        .get(&(c.grant.requester.clone(), resource.clone()))
-                        .cloned()
-                        .unwrap_or_default();
-                    let prior_uses = state
-                        .use_counts
-                        .get(&(
-                            c.grant.requester.clone(),
-                            c.grant.subject.clone(),
-                            resource,
-                            c.action.clone(),
-                        ))
-                        .copied()
-                        .unwrap_or(0);
-                    (consent_granted, claims, prior_uses)
-                })
-                .collect()
-        };
+        let contexts: Vec<(bool, Vec<Claim>, u32)> = candidates
+            .iter()
+            .map(|c| {
+                let resource = ResourceRef::new(host, &c.resource_id);
+                let consent_granted = self.consent.is_granted(
+                    owner,
+                    &c.grant.requester,
+                    c.grant.subject.as_deref(),
+                    &resource,
+                    &c.action,
+                );
+                let ctx = self.ctx_for(&c.grant.requester).read();
+                let claims = ctx
+                    .satisfied_claims
+                    .get(&(c.grant.requester.clone(), resource.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                let prior_uses = ctx
+                    .use_counts
+                    .get(&(
+                        c.grant.requester.clone(),
+                        c.grant.subject.clone(),
+                        resource,
+                        c.action.clone(),
+                    ))
+                    .copied()
+                    .unwrap_or(0);
+                (consent_granted, claims, prior_uses)
+            })
+            .collect();
 
         // Scope 4 — shard read: evaluate every candidate exactly as
         // `decide`'s phase B would, stamping the sieve with the epoch and
@@ -643,24 +783,19 @@ impl AuthorizationManager {
             (entries, slot.epoch)
         };
 
-        Some(protocol::SieveBody::build(
-            owner,
-            epoch,
-            entries,
-            host_token.as_bytes(),
-        ))
+        Some((entries, epoch, host_token))
     }
 
     /// Undelivered epoch pushes (due or backing off).
     #[must_use]
     pub fn pending_epoch_pushes(&self) -> usize {
-        self.pushes.lock().pending_len()
+        self.pushes.pending_len()
     }
 
     /// Delivery counters for the epoch push channel.
     #[must_use]
     pub fn epoch_push_stats(&self) -> EpochPushStats {
-        self.pushes.lock().stats()
+        self.pushes.stats()
     }
 
     /// The owner's current policy epoch (0 when the owner is unknown).
@@ -738,15 +873,18 @@ impl AuthorizationManager {
         if !self.shard_for(user).read().contains_key(user) {
             return Err(AmError::UnknownUser(user.to_owned()));
         }
-        let mut state = self.state.write();
-        let delegation = state.trust.establish(host, user, now);
-        let token = self.tokens.mint_host_token(host, user, &delegation.id);
-        // Retained as the sieve-signing key for this delegation; a token
-        // embeds its mint time, so it cannot be re-derived later.
-        state
-            .host_tokens
-            .insert((host.to_owned(), user.to_owned()), token.clone());
-        state.audit.record(
+        let (delegation, token) = {
+            let mut state = self.state.write();
+            let delegation = state.trust.establish(host, user, now);
+            let token = self.tokens.mint_host_token(host, user, &delegation.id);
+            // Retained as the sieve-signing key for this delegation; a
+            // token embeds its mint time, so it cannot be re-derived later.
+            state
+                .host_tokens
+                .insert((host.to_owned(), user.to_owned()), token.clone());
+            (delegation, token)
+        };
+        self.audit.record(
             AuditEntry::new(now, user, AuditEvent::Delegation { established: true }).at_host(host),
         );
         Ok((delegation, token))
@@ -756,19 +894,13 @@ impl AuthorizationManager {
     /// and the user's policy epoch advances so cached decisions die too.
     pub fn revoke_delegation(&self, user: &str, delegation_id: &str) -> bool {
         let now = self.clock.now_ms();
-        let revoked = {
-            let mut state = self.state.write();
-            let revoked = state.trust.revoke(delegation_id);
-            if revoked {
-                state.audit.record(AuditEntry::new(
-                    now,
-                    user,
-                    AuditEvent::Delegation { established: false },
-                ));
-            }
-            revoked
-        };
+        let revoked = self.state.write().trust.revoke(delegation_id);
         if revoked {
+            self.audit.record(AuditEntry::new(
+                now,
+                user,
+                AuditEvent::Delegation { established: false },
+            ));
             self.bump_policy_epoch(user);
         }
         revoked
@@ -867,8 +999,10 @@ impl AuthorizationManager {
         let now = self.clock.now_ms();
         let resource = ResourceRef::new(&request.host, &request.resource_id);
 
-        // Phase A — central read: trust, consent, claims, use counts.
-        let (consent_granted, claims, prior_uses) = {
+        // Phase A — central read (trust, claim verification), then the
+        // consent hub and the requester's context shard. Each is its own
+        // lock scope; none of them is written here.
+        let mut claims = {
             let state = self.state.read();
             if state.trust.check(&request.host, &request.owner).is_err() {
                 return AuthorizeOutcome::Denied(format!(
@@ -876,21 +1010,24 @@ impl AuthorizationManager {
                     request.host, request.owner
                 ));
             }
-            let consent_granted = state.consent.is_granted(
-                &request.requester,
-                request.subject.as_deref(),
-                &resource,
-                &request.action,
-            );
-            let mut claims = state.claim_verifier.verify_all(&request.claim_tokens);
-            if let Some(previous) = state
+            state.claim_verifier.verify_all(&request.claim_tokens)
+        };
+        let consent_granted = self.consent.is_granted(
+            &request.owner,
+            &request.requester,
+            request.subject.as_deref(),
+            &resource,
+            &request.action,
+        );
+        let prior_uses = {
+            let ctx = self.ctx_for(&request.requester).read();
+            if let Some(previous) = ctx
                 .satisfied_claims
                 .get(&(request.requester.clone(), resource.clone()))
             {
                 claims.extend(previous.iter().cloned());
             }
-            let prior_uses = state
-                .use_counts
+            ctx.use_counts
                 .get(&(
                     request.requester.clone(),
                     request.subject.clone(),
@@ -898,8 +1035,7 @@ impl AuthorizationManager {
                     request.action.clone(),
                 ))
                 .copied()
-                .unwrap_or(0);
-            (consent_granted, claims, prior_uses)
+                .unwrap_or(0)
         };
 
         // Phase B — shard read: policy evaluation touches only the
@@ -929,7 +1065,8 @@ impl AuthorizationManager {
             PolicyEngine::evaluate(account.policies(), &ctx)
         };
 
-        // Phase C — act on the outcome; bookkeeping under central write.
+        // Phase C — act on the outcome. All bookkeeping goes to sharded
+        // or striped structures; the central lock is never taken.
         match decision.outcome {
             Outcome::Permit => {
                 let grant = self.tokens.grant(
@@ -941,30 +1078,26 @@ impl AuthorizationManager {
                     &request.owner,
                 );
                 let token = self.tokens.mint_authz_token(&grant);
-                let mut state = self.state.write();
                 if !claims.is_empty() {
-                    state
+                    self.ctx_for(&request.requester)
+                        .write()
                         .satisfied_claims
                         .insert((request.requester.clone(), resource.clone()), claims);
                 }
                 if self.sieve_push.load(Ordering::Relaxed) {
-                    let issued = state
-                        .issued_grants
-                        .entry(request.owner.clone())
-                        .or_default();
+                    let mut shard = self.issued_for(&request.owner).lock();
+                    let issued = shard.entry(request.owner.clone()).or_default();
                     if issued.len() >= ISSUED_GRANTS_CAP {
                         issued.pop_front();
                     }
                     issued.push_back((token.clone(), grant.clone()));
                 }
-                state
-                    .audit
+                self.audit
                     .record(audit_token_entry(now, request, &resource, true, &decision));
                 AuthorizeOutcome::Token { token, grant }
             }
             Outcome::RequiresConsent => {
-                let mut state = self.state.write();
-                let consent_id = state.consent.open(
+                let consent_id = self.consent.open(
                     &request.owner,
                     &request.requester,
                     request.subject.as_deref(),
@@ -973,8 +1106,11 @@ impl AuthorizationManager {
                     now,
                 );
                 // "an AM may send a request for such consent by sending an
-                // e-mail or SMS message to a User" (§V.D).
-                state.outbox.send(Notification {
+                // e-mail or SMS message to a User" (§V.D). Enqueued, not
+                // sent inline: delivery fans out asynchronously via
+                // [`Self::pump_notifications`], so a policy with thousands
+                // of pending consents never blocks the request path.
+                self.outbox.lock().enqueue(Notification {
                     to_user: request.owner.clone(),
                     channel: Channel::Email,
                     message: format!(
@@ -983,7 +1119,7 @@ impl AuthorizationManager {
                     ),
                     at_ms: now,
                 });
-                state.audit.record(AuditEntry::new(
+                self.audit.record(AuditEntry::new(
                     now,
                     &request.owner,
                     AuditEvent::Consent {
@@ -998,16 +1134,12 @@ impl AuthorizationManager {
             }
             Outcome::Deny(ref reason) => {
                 let reason = reason.to_string();
-                self.state
-                    .write()
-                    .audit
+                self.audit
                     .record(audit_token_entry(now, request, &resource, false, &decision));
                 AuthorizeOutcome::Denied(reason)
             }
             Outcome::NotApplicable => {
-                self.state
-                    .write()
-                    .audit
+                self.audit
                     .record(audit_token_entry(now, request, &resource, false, &decision));
                 AuthorizeOutcome::Denied("no applicable policy".to_owned())
             }
@@ -1058,22 +1190,24 @@ impl AuthorizationManager {
             query.action.clone(),
         );
 
-        // Phase A — central read: consent, cached claims, use counts.
-        let (consent_granted, claims, prior_uses) = {
-            let state = self.state.read();
-            let consent_granted = state.consent.is_granted(
-                &query.requester,
-                grant.subject.as_deref(),
-                &resource,
-                &query.action,
-            );
-            let claims = state
+        // Phase A — sharded reads: consent (by owner), cached claims and
+        // use counts (by requester). No central lock.
+        let consent_granted = self.consent.is_granted(
+            &grant.owner,
+            &query.requester,
+            grant.subject.as_deref(),
+            &resource,
+            &query.action,
+        );
+        let (claims, prior_uses) = {
+            let ctx = self.ctx_for(&query.requester).read();
+            let claims = ctx
                 .satisfied_claims
                 .get(&(query.requester.clone(), resource.clone()))
                 .cloned()
                 .unwrap_or_default();
-            let prior_uses = state.use_counts.get(&use_key).copied().unwrap_or(0);
-            (consent_granted, claims, prior_uses)
+            let prior_uses = ctx.use_counts.get(&use_key).copied().unwrap_or(0);
+            (claims, prior_uses)
         };
 
         // Phase B — shard read: evaluate against the owner's policies and
@@ -1104,24 +1238,29 @@ impl AuthorizationManager {
             (engine_decision, account.cache_ttl_ms(), slot.epoch)
         };
 
-        // Phase C — central write: audit trail and use-count bookkeeping.
-        {
-            let mut state = self.state.write();
-            let mut entry = AuditEntry::new(
-                now,
-                &grant.owner,
-                AuditEvent::Decision {
-                    outcome: engine_decision.outcome.clone(),
-                },
-            )
-            .on_resource(resource)
-            .by_requester(&query.requester, grant.subject.as_deref())
-            .for_action(query.action.clone());
-            entry = entry.with_policies(contributing_policies(&engine_decision));
-            state.audit.record(entry);
-            if matches!(engine_decision.outcome, Outcome::Permit) {
-                *state.use_counts.entry(use_key).or_insert(0) += 1;
-            }
+        // Phase C — striped audit record plus a context-shard use-count
+        // bump. The writes land on structures partitioned by requester
+        // and record order, so eight decision threads no longer convoy on
+        // one central writer lock (the old 8-thread p99 cliff).
+        let mut entry = AuditEntry::new(
+            now,
+            &grant.owner,
+            AuditEvent::Decision {
+                outcome: engine_decision.outcome.clone(),
+            },
+        )
+        .on_resource(resource)
+        .by_requester(&query.requester, grant.subject.as_deref())
+        .for_action(query.action.clone());
+        entry = entry.with_policies(contributing_policies(&engine_decision));
+        self.audit.record(entry);
+        if matches!(engine_decision.outcome, Outcome::Permit) {
+            *self
+                .ctx_for(&query.requester)
+                .write()
+                .use_counts
+                .entry(use_key)
+                .or_insert(0) += 1;
         }
 
         match engine_decision.outcome {
@@ -1191,28 +1330,13 @@ impl AuthorizationManager {
 
     /// Sets how long consent requests stay pending before expiring.
     pub fn set_consent_ttl_ms(&self, ttl_ms: u64) {
-        self.state.write().consent_ttl_ms = ttl_ms;
-    }
-
-    /// Lazily expires overdue pending consent requests.
-    fn sweep_consent(&self) {
-        let now = self.clock.now_ms();
-        let mut state = self.state.write();
-        let ttl = state.consent_ttl_ms;
-        state.consent.expire_pending(now, ttl);
+        self.consent.set_ttl_ms(ttl_ms);
     }
 
     /// Pending consent requests for `owner`.
     #[must_use]
     pub fn pending_consents(&self, owner: &str) -> Vec<String> {
-        self.sweep_consent();
-        self.state
-            .read()
-            .consent
-            .pending_for(owner)
-            .into_iter()
-            .map(|r| r.id.clone())
-            .collect()
+        self.consent.pending_for(owner, self.clock.now_ms())
     }
 
     /// The owner grants a pending consent request.
@@ -1222,14 +1346,8 @@ impl AuthorizationManager {
     /// Returns the underlying [`crate::consent::ConsentError`] as a string.
     pub fn grant_consent(&self, id: &str) -> Result<(), String> {
         let now = self.clock.now_ms();
-        let mut state = self.state.write();
-        let owner = state
-            .consent
-            .get(id)
-            .map(|r| r.owner.clone())
-            .unwrap_or_default();
-        state.consent.grant(id).map_err(|e| e.to_string())?;
-        state.audit.record(AuditEntry::new(
+        let owner = self.consent.grant(id).map_err(|e| e.to_string())?;
+        self.audit.record(AuditEntry::new(
             now,
             &owner,
             AuditEvent::Consent {
@@ -1247,24 +1365,15 @@ impl AuthorizationManager {
     /// Returns the underlying [`crate::consent::ConsentError`] as a string.
     pub fn deny_consent(&self, id: &str) -> Result<(), String> {
         let now = self.clock.now_ms();
-        let owner = {
-            let mut state = self.state.write();
-            let owner = state
-                .consent
-                .get(id)
-                .map(|r| r.owner.clone())
-                .unwrap_or_default();
-            state.consent.deny(id).map_err(|e| e.to_string())?;
-            state.audit.record(AuditEntry::new(
-                now,
-                &owner,
-                AuditEvent::Consent {
-                    consent_id: id.to_owned(),
-                    what: "denied".into(),
-                },
-            ));
-            owner
-        };
+        let owner = self.consent.deny(id).map_err(|e| e.to_string())?;
+        self.audit.record(AuditEntry::new(
+            now,
+            &owner,
+            AuditEvent::Consent {
+                consent_id: id.to_owned(),
+                what: "denied".into(),
+            },
+        ));
         // Withdrawing consent narrows access: invalidate cached permits.
         self.bump_policy_epoch(&owner);
         Ok(())
@@ -1274,20 +1383,40 @@ impl AuthorizationManager {
     /// pending ones).
     #[must_use]
     pub fn consent_state(&self, id: &str) -> Option<ConsentState> {
-        self.sweep_consent();
-        self.state.read().consent.state(id)
+        self.consent.state(id, self.clock.now_ms())
+    }
+
+    /// Delivers up to `max` queued consent notifications (oldest first),
+    /// returning how many went out — the asynchronous fan-out worker for
+    /// the e-mail/SMS channel of §V.D. Bounded like the epoch-push pump:
+    /// a thousand pending consents cost a thousand *pump budget units*,
+    /// never a thousand inline sends on somebody's request path.
+    pub fn pump_notifications(&self, max: usize) -> usize {
+        self.outbox.lock().pump(max)
     }
 
     // -- observability -----------------------------------------------------------
 
-    /// Runs `f` over the audit log (R4's consolidated view).
+    /// Runs `f` over the audit log (R4's consolidated view). The log is
+    /// merged from the record stripes on every call — observability pays
+    /// the merge, the request path doesn't.
     pub fn audit<R>(&self, f: impl FnOnce(&AuditLog) -> R) -> R {
-        f(&self.state.read().audit)
+        f(&self.audit.snapshot())
+    }
+
+    /// Bounds the retained audit log (0 = unbounded). Million-entity runs
+    /// set this so the log is a ring buffer, not an O(traffic) leak.
+    pub fn set_audit_cap(&self, cap: usize) {
+        self.audit.set_cap(cap);
     }
 
     /// Runs `f` over the notification outbox (simulated e-mail/SMS).
+    /// Flushes anything still queued first, so a reader always sees every
+    /// notification the AM ever produced, pumped or not.
     pub fn outbox<R>(&self, f: impl FnOnce(&NotificationOutbox) -> R) -> R {
-        f(&self.state.read().outbox)
+        let mut outbox = self.outbox.lock();
+        outbox.flush();
+        f(&outbox)
     }
 
     /// Verifies an identity assertion against the configured IdP, if any.
@@ -1789,7 +1918,7 @@ impl AuthorizationManager {
             None => return Response::bad_request("id required"),
         };
         // Only the owner of the consent request may settle it.
-        let owner = self.state.read().consent.get(id).map(|r| r.owner.clone());
+        let owner = self.consent.owner_of(id);
         if let Some(owner) = owner {
             if let Err(resp) = self.require_user(req, &owner, true) {
                 return resp;

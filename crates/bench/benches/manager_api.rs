@@ -1,0 +1,173 @@
+//! Manager API at population scale: registration throughput and
+//! decision-lookup cost against the sharded AM store, from 10³ to 10⁶
+//! registered resources.
+//!
+//! Two claims are on trial (DESIGN.md §13):
+//!
+//! * **Registration throughput** — streaming a population into the AM
+//!   (accounts, policies, realm bindings) costs O(entities) total; the
+//!   per-store table printed at the end must not decay with size.
+//! * **O(1)-amortized decision lookup** — `AuthorizationManager::
+//!   authorize` and a PAP realm re-bind are owner-shard → account-map →
+//!   realm-index walks whose cost must stay flat as the store grows
+//!   1000×. Criterion's per-size groups make any O(N) or O(log N) creep
+//!   visible as a slope.
+//!
+//! The store shape matches `sim::population`: resources spread over many
+//! owners (100 per owner) so the measurement exercises the account
+//! sharding, not one giant realm vector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ucam_am::{AuthorizationManager, AuthorizeOutcome, AuthorizeRequest};
+use ucam_policy::prelude::*;
+use ucam_webenv::SimClock;
+
+/// Resources per owner account — the `sim::population` density, scaled
+/// up so realm indexes hold real (but bounded) member lists.
+const RESOURCES_PER_OWNER: usize = 100;
+
+/// Store sizes (total registered resources) the lookups run against.
+const STORE_SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// One pre-loaded AM with `resources` registered across
+/// `resources / RESOURCES_PER_OWNER` owner accounts.
+struct LoadedStore {
+    am: AuthorizationManager,
+    resources: usize,
+    load_secs: f64,
+}
+
+fn owner_name(o: usize) -> String {
+    format!("u{o}")
+}
+
+fn resource_id(r: usize) -> String {
+    format!("files/pop/r{r}")
+}
+
+/// Streams `resources` registrations into a fresh AM: one account, one
+/// public-read policy and one realm of [`RESOURCES_PER_OWNER`] bindings
+/// per owner. Mirrors the `sim::population` setup without the network.
+fn load_store(resources: usize) -> LoadedStore {
+    let am = AuthorizationManager::new("am.example", SimClock::new());
+    am.set_audit_cap(4_096);
+    let owners = resources / RESOURCES_PER_OWNER;
+    let started = std::time::Instant::now();
+    for o in 0..owners {
+        let owner = owner_name(o);
+        am.register_user(&owner);
+        am.establish_delegation("host-0.example", &owner).unwrap();
+        am.pap(&owner, |account| {
+            let policy = account.create_policy(
+                "open-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Public)
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            for i in 0..RESOURCES_PER_OWNER {
+                account.assign_realm(
+                    ResourceRef::new("host-0.example", &resource_id(o * RESOURCES_PER_OWNER + i)),
+                    "shared",
+                );
+            }
+            account.link_general("shared", &policy).unwrap();
+        })
+        .unwrap();
+    }
+    LoadedStore {
+        am,
+        resources,
+        load_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn bench_manager_api(c: &mut Criterion) {
+    let stores: Vec<LoadedStore> = STORE_SIZES.iter().map(|&n| load_store(n)).collect();
+
+    eprintln!("\nregistration throughput (streamed load, accounts + policies + realm bindings):");
+    eprintln!(
+        "{:>12}  {:>10}  {:>14}",
+        "resources", "load (s)", "resources/s"
+    );
+    for store in &stores {
+        eprintln!(
+            "{:>12}  {:>10.2}  {:>14.0}",
+            store.resources,
+            store.load_secs,
+            store.resources as f64 / store.load_secs
+        );
+    }
+    eprintln!();
+
+    // A PAP realm re-bind against a mid-store owner: owner-shard write,
+    // realm-index remove + sorted re-insert. Flat across STORE_SIZES is
+    // the O(1)-amortized claim for registration-shaped writes.
+    let mut group = c.benchmark_group("manager_api/rebind_realm");
+    for store in &stores {
+        let owner = owner_name(store.resources / RESOURCES_PER_OWNER / 2);
+        let resource = ResourceRef::new("host-0.example", &resource_id(store.resources / 2));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(store.resources),
+            store,
+            |b, store| {
+                let mut flip = false;
+                b.iter(|| {
+                    flip = !flip;
+                    let realm = if flip { "staging" } else { "shared" };
+                    store
+                        .am
+                        .pap(&owner, |account| {
+                            account.assign_realm(resource.clone(), realm);
+                        })
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The decision lookup: a full `authorize` (trust check, policy
+    // evaluation over the owner's account, token issuance) for one
+    // resource in a store of N. Flat across STORE_SIZES is the
+    // O(1)-amortized decision claim.
+    let mut group = c.benchmark_group("manager_api/authorize");
+    for store in &stores {
+        let owner = owner_name(store.resources / RESOURCES_PER_OWNER / 2);
+        // A sibling of the rebind target: same mid-store owner, but a
+        // resource still bound to the policy-linked "shared" realm.
+        let request = AuthorizeRequest::new(
+            "host-0.example",
+            &owner,
+            &resource_id(store.resources / 2 + 1),
+            Action::Read,
+            "requester:bench",
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(store.resources),
+            store,
+            |b, store| {
+                b.iter(|| {
+                    let outcome = store.am.authorize(&request);
+                    assert!(
+                        matches!(outcome, AuthorizeOutcome::Token { .. }),
+                        "authorize must grant under the public-read policy"
+                    );
+                    outcome
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_manager_api
+);
+criterion_main!(benches);

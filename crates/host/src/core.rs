@@ -537,6 +537,14 @@ pub struct PepStats {
     /// Pushed sieve bodies rejected fail-closed (bad signature, stale
     /// epoch, unknown owner/resource, delegation mismatch).
     pub sieve_rejects: u64,
+    /// Pushed sieve *deltas* applied on top of an installed base
+    /// (DESIGN.md §13). Disjoint from `sieve_installs`, which counts
+    /// full-body installs.
+    pub sieve_delta_installs: u64,
+    /// Sieve deltas refused because the installed base generation did not
+    /// match; each answers [`protocol::SIEVE_RESYNC`] so the AM reships a
+    /// full body. Not a trust failure — those count as `sieve_rejects`.
+    pub sieve_resyncs: u64,
 }
 
 /// What the PEP tells the application to do with a request.
@@ -554,6 +562,21 @@ impl Enforcement {
     pub fn is_grant(&self) -> bool {
         matches!(self, Enforcement::Grant)
     }
+}
+
+/// Outcome of applying a pushed sieve delta ([`HostCore::install_sieve_delta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SieveDeltaOutcome {
+    /// The delta verified and applied on top of the installed base.
+    Installed,
+    /// The installed base generation does not match the delta's
+    /// `base_epoch` (or no sieve is installed for the owner at all). The
+    /// web layer answers [`protocol::SIEVE_RESYNC`] so the AM reships a
+    /// full body.
+    BaseMismatch,
+    /// The delta failed verification or validation and was dropped
+    /// fail-closed, exactly like a bad full body.
+    Rejected,
 }
 
 /// An error from host-side storage operations.
@@ -637,6 +660,8 @@ struct AtomicPepStats {
     batch_flushes: AtomicU64,
     sieve_installs: AtomicU64,
     sieve_rejects: AtomicU64,
+    sieve_delta_installs: AtomicU64,
+    sieve_resyncs: AtomicU64,
     /// Striped tier-1 hit/miss counters (see [`SIEVE_STAT_SHARDS`]).
     /// Inside this struct so the seqlock covers them too.
     sieve_shards: [SieveStatShard; SIEVE_STAT_SHARDS],
@@ -657,6 +682,8 @@ impl Default for AtomicPepStats {
             batch_flushes: AtomicU64::new(0),
             sieve_installs: AtomicU64::new(0),
             sieve_rejects: AtomicU64::new(0),
+            sieve_delta_installs: AtomicU64::new(0),
+            sieve_resyncs: AtomicU64::new(0),
             sieve_shards: std::array::from_fn(|_| SieveStatShard::default()),
         }
     }
@@ -703,6 +730,8 @@ impl AtomicPepStats {
                     .sum(),
                 sieve_installs: self.sieve_installs.load(Ordering::Relaxed),
                 sieve_rejects: self.sieve_rejects.load(Ordering::Relaxed),
+                sieve_delta_installs: self.sieve_delta_installs.load(Ordering::Relaxed),
+                sieve_resyncs: self.sieve_resyncs.load(Ordering::Relaxed),
             };
             if self.generation.load(Ordering::Acquire) == before {
                 return stats;
@@ -725,6 +754,8 @@ impl AtomicPepStats {
         self.batch_flushes.store(0, Ordering::Relaxed);
         self.sieve_installs.store(0, Ordering::Relaxed);
         self.sieve_rejects.store(0, Ordering::Relaxed);
+        self.sieve_delta_installs.store(0, Ordering::Relaxed);
+        self.sieve_resyncs.store(0, Ordering::Relaxed);
         for shard in &self.sieve_shards {
             shard.hits.store(0, Ordering::Relaxed);
             shard.misses.store(0, Ordering::Relaxed);
@@ -824,6 +855,27 @@ impl SieveSnapshot {
             }
             self.owner_index.retain(|_, v| !v.is_empty());
         }
+    }
+
+    /// Drops a specific fingerprint set (a delta's `removed` list).
+    /// Removal only narrows access, so no ownership check is needed —
+    /// the worst a bad list can do is force extra tier-2 round trips.
+    fn remove_fingerprints(&mut self, dead: &[protocol::SieveFingerprint]) {
+        if dead.is_empty() {
+            return;
+        }
+        for fp in dead {
+            self.entries.remove(fp);
+        }
+        let entries = &self.entries;
+        for list in self.owner_index.values_mut() {
+            list.retain(|fp| entries.contains_key(fp));
+        }
+        self.owner_index.retain(|_, v| !v.is_empty());
+        for list in self.resource_index.values_mut() {
+            list.retain(|fp| entries.contains_key(fp));
+        }
+        self.resource_index.retain(|_, v| !v.is_empty());
     }
 }
 
@@ -1199,6 +1251,110 @@ impl HostCore {
             self.stats.sieve_rejects.fetch_add(1, Ordering::Relaxed);
         }
         installed
+    }
+
+    /// Applies a pushed sieve *delta* on top of the installed base
+    /// (DESIGN.md §13). Trust rules are identical to
+    /// [`HostCore::install_sieve`] — same signing key (under the delta's
+    /// own domain separator), same per-entry owner/delegation/expiry
+    /// validation for everything `added`. On top of that, a delta only
+    /// applies when the installed sieve for the owner sits **exactly** at
+    /// the delta's `base_epoch` and the delta's epoch clears every epoch
+    /// floor; any mismatch returns
+    /// [`SieveDeltaOutcome::BaseMismatch`] so the caller can request a
+    /// full-body resync. Removals need no ownership proof: dropping an
+    /// entry can only narrow access.
+    pub fn install_sieve_delta(&self, delta: &protocol::SieveDeltaBody) -> SieveDeltaOutcome {
+        let now = self.clock.now_ms();
+        let accepted: Option<Vec<&protocol::SieveEntry>> = {
+            let state = self.state.read();
+            match state.user_delegations.get(&delta.owner) {
+                Some(config) if delta.verify(config.host_token.as_bytes()) => {
+                    let mut entries = Vec::with_capacity(delta.added.len());
+                    let mut all_valid = true;
+                    for entry in &delta.added {
+                        let resource_ok = state
+                            .resources
+                            .get(&entry.resource)
+                            .is_some_and(|r| r.owner == delta.owner);
+                        let delegation_ok = match state.resource_delegations.get(&entry.resource) {
+                            Some(over) => over.host_token == config.host_token,
+                            None => true,
+                        };
+                        if resource_ok && delegation_ok && entry.expires_at_ms > now {
+                            entries.push(entry);
+                        } else {
+                            all_valid = false;
+                            break;
+                        }
+                    }
+                    all_valid.then_some(entries)
+                }
+                _ => None,
+            }
+        };
+        let Some(accepted) = accepted else {
+            self.stats.sieve_rejects.fetch_add(1, Ordering::Relaxed);
+            return SieveDeltaOutcome::Rejected;
+        };
+        let cache_epoch = self
+            .cache
+            .read()
+            .owner_epochs
+            .get(&delta.owner)
+            .copied()
+            .unwrap_or(0);
+        let outcome = {
+            let mut slot = self.sieve.lock();
+            let base = slot.owner_epochs.get(&delta.owner).copied();
+            // Exact base match, and the result must clear both epoch
+            // floors — a delta that would rewind either tier resyncs.
+            if base != Some(delta.base_epoch)
+                || delta.epoch < delta.base_epoch
+                || delta.epoch < cache_epoch
+            {
+                SieveDeltaOutcome::BaseMismatch
+            } else {
+                let mut next = (**slot).clone();
+                next.remove_fingerprints(&delta.removed);
+                for entry in accepted {
+                    // `insert` returning a prior expiry means the entry
+                    // only moved its deadline; the indexes already know
+                    // the fingerprint.
+                    if next
+                        .entries
+                        .insert(entry.fingerprint, entry.expires_at_ms)
+                        .is_none()
+                    {
+                        next.owner_index
+                            .entry(delta.owner.clone())
+                            .or_default()
+                            .push(entry.fingerprint);
+                        next.resource_index
+                            .entry(entry.resource.clone())
+                            .or_default()
+                            .push(entry.fingerprint);
+                    }
+                }
+                next.owner_epochs.insert(delta.owner.clone(), delta.epoch);
+                *slot = Arc::new(next);
+                self.sieve_gen.fetch_add(1, Ordering::Release);
+                SieveDeltaOutcome::Installed
+            }
+        };
+        match outcome {
+            SieveDeltaOutcome::Installed => {
+                self.cache.write().note_epoch(&delta.owner, delta.epoch);
+                self.stats
+                    .sieve_delta_installs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            SieveDeltaOutcome::BaseMismatch => {
+                self.stats.sieve_resyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            SieveDeltaOutcome::Rejected => {}
+        }
+        outcome
     }
 
     /// Tier-1 probe: grants iff the sieve holds an unexpired entry for
@@ -3459,6 +3615,161 @@ mod tests {
 
         assert_eq!(h.stats().sieve_rejects, 5);
         assert_eq!(h.stats().sieve_installs, 0);
+    }
+
+    /// A signed delta for `delegated_host`'s bob (key `"ht"`): `added`
+    /// tuples become full entries, `removed` tuples bare fingerprints.
+    fn delta_of(
+        epoch: u64,
+        base_epoch: u64,
+        added: &[(&str, &str, &str, &str)],
+        removed: &[(&str, &str, &str, &str)],
+    ) -> protocol::SieveDeltaBody {
+        let added = added
+            .iter()
+            .map(
+                |(token, resource, action, requester)| protocol::SieveEntry {
+                    fingerprint: protocol::sieve_fingerprint(token, resource, action, requester),
+                    resource: (*resource).to_owned(),
+                    expires_at_ms: 60_000,
+                },
+            )
+            .collect();
+        let removed = removed
+            .iter()
+            .map(|(token, resource, action, requester)| {
+                protocol::sieve_fingerprint(token, resource, action, requester)
+            })
+            .collect();
+        protocol::SieveDeltaBody::build("bob", epoch, base_epoch, added, removed, b"ht")
+    }
+
+    #[test]
+    fn sieve_delta_applies_on_exact_base_and_narrows() {
+        let net = SimNet::new();
+        net.register(FakeAm::new()); // rejects anything that reaches tier-2
+        let h = delegated_host(&net);
+        h.put_resource("r2", "bob", "file", b"data".to_vec())
+            .unwrap();
+        assert!(h.install_sieve(&sieve_of(3, 60_000, &[("tok", "r1", "read", "req")])));
+
+        // base 3 → epoch 4: add r2's entry, drop r1's.
+        let delta = delta_of(
+            4,
+            3,
+            &[("tok2", "r2", "read", "req")],
+            &[("tok", "r1", "read", "req")],
+        );
+        assert_eq!(h.install_sieve_delta(&delta), SieveDeltaOutcome::Installed);
+
+        let url = Url::new("h.example", "/r");
+        // The added entry serves on tier-1; the removed one falls through
+        // to tier-2 where the fake AM rejects it.
+        assert!(h
+            .enforce(&net, "req", None, "r2", &Action::Read, Some("tok2"), &url)
+            .is_grant());
+        assert!(!h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
+        let stats = h.stats();
+        assert_eq!(stats.sieve_installs, 1);
+        assert_eq!(stats.sieve_delta_installs, 1);
+        assert_eq!(stats.sieve_resyncs, 0);
+        assert_eq!(stats.sieve_hits, 1);
+
+        // Re-adding an already-known fingerprint only moves its deadline:
+        // the indexes must not grow a duplicate.
+        let rebump = delta_of(5, 4, &[("tok2", "r2", "read", "req")], &[]);
+        assert_eq!(h.install_sieve_delta(&rebump), SieveDeltaOutcome::Installed);
+        let snap = h.sieve_snapshot();
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.owner_index.get("bob").map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn sieve_delta_base_mismatch_answers_resync() {
+        let net = SimNet::new();
+        net.register(FakeAm::new());
+        let h = delegated_host(&net);
+
+        // No sieve installed at all: nothing to base a delta on.
+        let orphan = delta_of(1, 0, &[("tok", "r1", "read", "req")], &[]);
+        assert_eq!(
+            h.install_sieve_delta(&orphan),
+            SieveDeltaOutcome::BaseMismatch
+        );
+
+        assert!(h.install_sieve(&sieve_of(5, 60_000, &[("tok", "r1", "read", "req")])));
+        // Stale base (4 ≠ 5), and a delta that would rewind the epoch.
+        let stale = delta_of(6, 4, &[], &[]);
+        assert_eq!(
+            h.install_sieve_delta(&stale),
+            SieveDeltaOutcome::BaseMismatch
+        );
+        let rewind = delta_of(3, 5, &[], &[]);
+        assert_eq!(
+            h.install_sieve_delta(&rewind),
+            SieveDeltaOutcome::BaseMismatch
+        );
+
+        // A policy-epoch advance purges the sieve: the next delta finds
+        // no base and must trigger a full reship.
+        h.note_policy_epoch("bob", 6);
+        let after_purge = delta_of(7, 5, &[], &[]);
+        assert_eq!(
+            h.install_sieve_delta(&after_purge),
+            SieveDeltaOutcome::BaseMismatch
+        );
+
+        let stats = h.stats();
+        assert_eq!(stats.sieve_resyncs, 4);
+        assert_eq!(stats.sieve_delta_installs, 0);
+        assert_eq!(stats.sieve_rejects, 0);
+    }
+
+    #[test]
+    fn sieve_delta_rejects_fail_closed() {
+        let net = SimNet::new();
+        net.register(FakeAm::new());
+        let h = delegated_host(&net);
+        h.put_resource("r2", "carol", "file", b"data".to_vec())
+            .unwrap();
+        assert!(h.install_sieve(&sieve_of(1, 60_000, &[("tok", "r1", "read", "req")])));
+
+        // Wrong signing key.
+        let bad_key = protocol::SieveDeltaBody::build("bob", 2, 1, Vec::new(), Vec::new(), b"no");
+        assert_eq!(h.install_sieve_delta(&bad_key), SieveDeltaOutcome::Rejected);
+
+        // Tampered after signing.
+        let mut tampered = delta_of(2, 1, &[], &[]);
+        tampered.epoch = 9;
+        assert_eq!(
+            h.install_sieve_delta(&tampered),
+            SieveDeltaOutcome::Rejected
+        );
+
+        // An added entry for a resource bob does not own, and one for a
+        // resource that does not exist: one bad entry rejects the body.
+        for resource in ["r2", "ghost"] {
+            let foreign = delta_of(2, 1, &[("tok", resource, "read", "req")], &[]);
+            assert_eq!(h.install_sieve_delta(&foreign), SieveDeltaOutcome::Rejected);
+        }
+
+        // Owner with no delegation here.
+        let no_owner = protocol::SieveDeltaBody::build("mallory", 2, 1, vec![], vec![], b"ht");
+        assert_eq!(
+            h.install_sieve_delta(&no_owner),
+            SieveDeltaOutcome::Rejected
+        );
+
+        let stats = h.stats();
+        assert_eq!(stats.sieve_rejects, 5);
+        assert_eq!(stats.sieve_delta_installs, 0);
+        // The installed sieve is untouched by every rejected delta.
+        let url = Url::new("h.example", "/r");
+        assert!(h
+            .enforce(&net, "req", None, "r1", &Action::Read, Some("tok"), &url)
+            .is_grant());
     }
 
     #[test]

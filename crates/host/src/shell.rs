@@ -12,7 +12,7 @@ use ucam_policy::{Action, Subject};
 use ucam_webenv::identity::IdentityVerifier;
 use ucam_webenv::{protocol, Request, Response, SimClock, SimNet, Status, Url};
 
-use crate::core::{DelegationConfig, Enforcement, HostCore};
+use crate::core::{DelegationConfig, Enforcement, HostCore, SieveDeltaOutcome};
 
 /// The common Host application shell.
 pub struct AppShell {
@@ -106,6 +106,28 @@ impl AppShell {
         let Some(epoch) = req.param("epoch").and_then(|e| e.parse::<u64>().ok()) else {
             return Response::bad_request("numeric epoch required");
         };
+        if !req.body.is_empty() {
+            // A delta must apply *before* the plain epoch note: noting
+            // first would purge the very base the delta builds on. The
+            // two body kinds have disjoint field sets, so parsing is
+            // unambiguous.
+            if let Ok(delta) = protocol::SieveDeltaBody::from_json(&req.body) {
+                let outcome = self.core.install_sieve_delta(&delta);
+                self.core.note_policy_epoch(owner, epoch);
+                return match outcome {
+                    SieveDeltaOutcome::BaseMismatch => {
+                        // Delivery confirmed, delta refused: ask the AM
+                        // for a full-body reship.
+                        Response::ok().with_body(protocol::SIEVE_RESYNC)
+                    }
+                    // A rejected delta is dropped fail-closed, exactly
+                    // like a rejected full body — silently.
+                    SieveDeltaOutcome::Installed | SieveDeltaOutcome::Rejected => {
+                        Response::ok().with_body("epoch noted")
+                    }
+                };
+            }
+        }
         self.core.note_policy_epoch(owner, epoch);
         if !req.body.is_empty() {
             if let Ok(sieve) = protocol::SieveBody::from_json(&req.body) {

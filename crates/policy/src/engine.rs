@@ -15,10 +15,10 @@
 //! individual resources. [`PolicyEngine::evaluate`] runs the two-stage
 //! pipeline with default-deny.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{obj_get, DeError, Deserialize, Serialize, Value};
 
 use crate::model::{DenyReason, EvalContext, Outcome, Policy, PolicyId, ResourceRef};
 
@@ -89,17 +89,77 @@ impl EngineDecision {
 /// assert!(decision.is_permit());
 /// # Ok::<(), ucam_policy::engine::PolicySetError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PolicySet {
-    policies: BTreeMap<PolicyId, Policy>,
+    policies: HashMap<PolicyId, Policy>,
     /// realm name -> general policy.
-    general: BTreeMap<String, PolicyId>,
+    general: HashMap<String, PolicyId>,
     /// resource -> specific policy (maps with structured keys serialize
     /// as sequences of `[key, value]` pairs — JSON objects only allow
     /// string keys).
-    specific: BTreeMap<ResourceRef, PolicyId>,
+    specific: HashMap<ResourceRef, PolicyId>,
     /// resource -> realm membership.
-    realm_of: BTreeMap<ResourceRef, String>,
+    realm_of: HashMap<ResourceRef, String>,
+    /// realm -> member resources, kept sorted: the reverse index of
+    /// `realm_of`, maintained in lock-step so [`PolicySet::realm_members`]
+    /// is O(members) instead of a scan over every assigned resource.
+    /// Derived state — rebuilt on deserialize, excluded from equality.
+    members: HashMap<String, Vec<ResourceRef>>,
+}
+
+/// Equality over the authoritative maps only; `members` is an index
+/// derived from `realm_of` and cannot disagree.
+impl PartialEq for PolicySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.policies == other.policies
+            && self.general == other.general
+            && self.specific == other.specific
+            && self.realm_of == other.realm_of
+    }
+}
+
+/// Hand-written (rather than derived) so the derived `members` index
+/// stays out of the wire form — the serialized shape is identical to the
+/// original four-field struct, and the vendored serde sorts map entries,
+/// so exports stay deterministic and old exports import cleanly.
+impl Serialize for PolicySet {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("policies".to_owned(), self.policies.to_value()),
+            ("general".to_owned(), self.general.to_value()),
+            ("specific".to_owned(), self.specific.to_value()),
+            ("realm_of".to_owned(), self.realm_of.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PolicySet {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_obj()
+            .ok_or_else(|| DeError::new("expected object"))?;
+        let mut set = PolicySet {
+            policies: Deserialize::from_value(obj_get(fields, "policies"))
+                .map_err(|e| e.in_field("policies"))?,
+            general: Deserialize::from_value(obj_get(fields, "general"))
+                .map_err(|e| e.in_field("general"))?,
+            specific: Deserialize::from_value(obj_get(fields, "specific"))
+                .map_err(|e| e.in_field("specific"))?,
+            realm_of: Deserialize::from_value(obj_get(fields, "realm_of"))
+                .map_err(|e| e.in_field("realm_of"))?,
+            members: HashMap::new(),
+        };
+        for (resource, realm) in &set.realm_of {
+            set.members
+                .entry(realm.clone())
+                .or_default()
+                .push(resource.clone());
+        }
+        for list in set.members.values_mut() {
+            list.sort();
+        }
+        Ok(set)
+    }
 }
 
 impl PolicySet {
@@ -148,9 +208,12 @@ impl PolicySet {
         self.policies.get(id)
     }
 
-    /// Iterates over all policies.
+    /// Iterates over all policies in id order (the storage map is
+    /// unordered; exports and listings must stay deterministic).
     pub fn iter(&self) -> impl Iterator<Item = &Policy> {
-        self.policies.values()
+        let mut all: Vec<&Policy> = self.policies.values().collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all.into_iter()
     }
 
     /// Number of stored policies.
@@ -168,12 +231,34 @@ impl PolicySet {
     /// Places `resource` in `realm` (a resource belongs to at most one
     /// realm; re-assignment moves it).
     pub fn assign_realm(&mut self, resource: ResourceRef, realm: &str) {
-        self.realm_of.insert(resource, realm.to_owned());
+        if let Some(prev) = self.realm_of.insert(resource.clone(), realm.to_owned()) {
+            if prev != realm {
+                self.index_remove(&prev, &resource);
+            }
+        }
+        let list = self.members.entry(realm.to_owned()).or_default();
+        if let Err(pos) = list.binary_search(&resource) {
+            list.insert(pos, resource);
+        }
     }
 
     /// Removes `resource` from its realm, returning the realm name.
     pub fn clear_realm(&mut self, resource: &ResourceRef) -> Option<String> {
-        self.realm_of.remove(resource)
+        let realm = self.realm_of.remove(resource)?;
+        self.index_remove(&realm, resource);
+        Some(realm)
+    }
+
+    /// Drops `resource` from `realm`'s member index.
+    fn index_remove(&mut self, realm: &str, resource: &ResourceRef) {
+        if let Some(list) = self.members.get_mut(realm) {
+            if let Ok(pos) = list.binary_search(resource) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.members.remove(realm);
+            }
+        }
     }
 
     /// Returns the realm `resource` belongs to.
@@ -182,14 +267,15 @@ impl PolicySet {
         self.realm_of.get(resource).map(String::as_str)
     }
 
-    /// Returns all resources assigned to `realm`.
+    /// Returns all resources assigned to `realm`, in sorted order —
+    /// served off the reverse index, O(members) rather than a scan over
+    /// every realm assignment in the account.
     #[must_use]
     pub fn realm_members(&self, realm: &str) -> Vec<&ResourceRef> {
-        self.realm_of
-            .iter()
-            .filter(|(_, r)| r.as_str() == realm)
-            .map(|(res, _)| res)
-            .collect()
+        self.members
+            .get(realm)
+            .map(|list| list.iter().collect())
+            .unwrap_or_default()
     }
 
     /// Binds `policy` as the general policy of `realm`.
@@ -611,8 +697,33 @@ mod tests {
         // Re-assignment moves.
         set.assign_realm(p1.clone(), "b");
         assert_eq!(set.realm_members("a").len(), 1);
+        assert_eq!(set.realm_members("b"), vec![&p1]);
         assert_eq!(set.clear_realm(&p1), Some("b".to_owned()));
         assert_eq!(set.realm_of(&p1), None);
+        assert!(set.realm_members("b").is_empty());
+        // Idempotent re-assignment does not duplicate the member.
+        set.assign_realm(p2.clone(), "a");
+        assert_eq!(set.realm_members("a"), vec![&p2]);
+    }
+
+    #[test]
+    fn realm_member_index_survives_serde_round_trip() {
+        let mut set = PolicySet::new();
+        // Insert out of order: members must come back sorted either way.
+        set.assign_realm(ResourceRef::new("h", "2"), "a");
+        set.assign_realm(ResourceRef::new("h", "1"), "a");
+        set.assign_realm(ResourceRef::new("h", "3"), "b");
+        let back = PolicySet::from_value(&set.to_value()).expect("round trip");
+        assert_eq!(back, set);
+        assert_eq!(back.realm_members("a"), set.realm_members("a"));
+        assert_eq!(
+            back.realm_members("a"),
+            vec![&ResourceRef::new("h", "1"), &ResourceRef::new("h", "2")]
+        );
+        // The derived index stays out of the wire form.
+        let obj = set.to_value();
+        let fields = obj.as_obj().expect("object");
+        assert!(fields.iter().all(|(k, _)| k != "members"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod chaos;
 pub mod churn;
 pub mod experiments;
 pub mod metrics;
+pub mod population;
 pub mod saturation;
 pub mod world;
 

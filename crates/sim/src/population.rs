@@ -1,0 +1,646 @@
+//! Million-entity population engine: seeded, streamed generators for
+//! users, resources and Zipf-shaped traffic, plus the `population_scale`
+//! load-curve driver behind `BENCH_PR2.json`.
+//!
+//! The paper argues the AM centralizes access management for *all* of a
+//! user's Web resources — which only holds up if one AM instance
+//! sustains realistic populations. This module generates those
+//! populations deterministically:
+//!
+//! * [`Population`] streams 10⁶ users and 10⁶ resources over a
+//!   configurable Host count (the bench range is 64–1024) in O(entities)
+//!   time and O(1) memory — entity names are formatted on demand and
+//!   never materialized as a whole;
+//! * [`Zipf`] shapes traffic: both the resource and the requester of
+//!   every [`AccessEvent`] are rank-skewed (s ≈ 1.0), so a small hot set
+//!   dominates — the distribution real sharing traffic follows;
+//! * [`run_population_scale`] assembles the full fabric (one AM, `hosts`
+//!   WebStorage Hosts, per-owner push subscriptions), registers the
+//!   population, drains the epoch-push backlog with the bounded fan-out
+//!   pump, and measures granted end-to-end accesses.
+//!
+//! Determinism: the same seed yields byte-identical streams (pinned by
+//! [`Population::digest`]), so load curves are reproducible run to run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ucam_am::AuthorizationManager;
+use ucam_host::{DelegationConfig, WebStorage};
+use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
+use ucam_requester::{AccessSpec, RequesterClient};
+use ucam_webenv::{SimNet, Url};
+
+/// SplitMix64 — the seed expander: tiny state, full 64-bit avalanche,
+/// and deterministic across platforms. Not cryptographic; this drives
+/// load shapes, not security decisions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A Zipf(s) rank sampler over `n` items via the inverse CDF of the
+/// continuous bounded power-law — O(1) per draw and O(1) state, where
+/// the textbook discrete sampler needs an O(n) harmonic table.
+///
+/// For s = 1 the CDF is `ln(x)/ln(n+1)` on `[1, n+1)`; for s ≠ 1 it is
+/// the bounded Pareto form. Rank 0 is the hottest item.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `ln(n+1)` — the s = 1 normalizer.
+    log_n1: f64,
+    /// `(n+1)^(1-s)` — the s ≠ 1 normalizer.
+    pow_n1: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or `s` is not positive.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let n1 = (n + 1) as f64;
+        Zipf {
+            n,
+            s,
+            log_n1: n1.ln(),
+            pow_n1: n1.powf(1.0 - s),
+        }
+    }
+
+    /// Draws one rank in `0..n` (0 = hottest).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_unit();
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            (u * self.log_n1).exp()
+        } else {
+            let e = 1.0 - self.s;
+            (1.0 + u * (self.pow_n1 - 1.0)).powf(1.0 / e)
+        };
+        (x.floor() as u64).saturating_sub(1).min(self.n - 1)
+    }
+}
+
+/// The shape of a generated population.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of resource-owner accounts at the AM.
+    pub users: usize,
+    /// Number of resources, spread over the owners round-robin.
+    pub resources: usize,
+    /// Number of Hosts; owner `u` lives on Host `u % hosts`. The bench
+    /// range is 64–1024.
+    pub hosts: usize,
+    /// Size of the requester pool traffic draws from.
+    pub requesters: usize,
+    /// Seed for every stream this population produces.
+    pub seed: u64,
+    /// Zipf exponent shaping resource and requester popularity.
+    pub zipf_s: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            users: 1_000,
+            resources: 1_000,
+            hosts: 64,
+            requesters: 256,
+            seed: 0x5EED_CAFE,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// One generated user: owner account `name` homed on Host `host`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserSpec {
+    /// Dense user index.
+    pub id: u64,
+    /// Account name at the AM (and owner name at the Host).
+    pub name: String,
+    /// Index of the Host this user's resources live on.
+    pub host: usize,
+}
+
+/// One generated resource: `path` at Host `host`, owned by user `owner`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSpec {
+    /// Dense resource index.
+    pub id: u64,
+    /// Resource id at the Host (`files/…`, the WebStorage namespace).
+    pub path: String,
+    /// Index of the owning user.
+    pub owner: u64,
+    /// Index of the Host the resource lives on.
+    pub host: usize,
+}
+
+/// One traffic event: requester rank `requester` reads resource rank
+/// `resource`; both are Zipf-skewed indexes into their pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Resource index in `0..resources`.
+    pub resource: u64,
+    /// Requester index in `0..requesters`.
+    pub requester: u64,
+}
+
+/// The deterministic generator: all streams derive from
+/// [`PopulationConfig::seed`] and nothing is materialized up front.
+#[derive(Debug, Clone)]
+pub struct Population {
+    cfg: PopulationConfig,
+}
+
+impl Population {
+    /// Wraps a validated config.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any pool is empty.
+    #[must_use]
+    pub fn new(cfg: PopulationConfig) -> Self {
+        assert!(cfg.users > 0, "population needs users");
+        assert!(cfg.resources > 0, "population needs resources");
+        assert!(cfg.hosts > 0, "population needs hosts");
+        assert!(cfg.requesters > 0, "population needs requesters");
+        Population { cfg }
+    }
+
+    /// The config this population was built from.
+    #[must_use]
+    pub fn config(&self) -> &PopulationConfig {
+        &self.cfg
+    }
+
+    /// Account name of user `u`.
+    #[must_use]
+    pub fn user_name(&self, u: u64) -> String {
+        format!("u{u}")
+    }
+
+    /// Authority of Host `h`.
+    #[must_use]
+    pub fn host_authority(&self, h: usize) -> String {
+        format!("host-{h}.example")
+    }
+
+    /// Resource id of resource `r` (the Host-side id, under the
+    /// WebStorage `files/` namespace).
+    #[must_use]
+    pub fn resource_id(&self, r: u64) -> String {
+        format!("files/pop/r{r}")
+    }
+
+    /// Requester (client) name of requester rank `q`.
+    #[must_use]
+    pub fn requester_name(&self, q: u64) -> String {
+        format!("requester:req-{q}")
+    }
+
+    /// The user owning resource `r` (round-robin).
+    #[must_use]
+    pub fn owner_of_resource(&self, r: u64) -> u64 {
+        r % self.cfg.users as u64
+    }
+
+    /// The Host user `u` lives on (round-robin).
+    #[must_use]
+    pub fn host_of_user(&self, u: u64) -> usize {
+        (u % self.cfg.hosts as u64) as usize
+    }
+
+    /// Streams every user, in index order. O(1) memory: each item is
+    /// built on demand.
+    pub fn users(&self) -> impl Iterator<Item = UserSpec> + '_ {
+        (0..self.cfg.users as u64).map(|id| UserSpec {
+            id,
+            name: self.user_name(id),
+            host: self.host_of_user(id),
+        })
+    }
+
+    /// Streams every resource, in index order. O(1) memory.
+    pub fn resources(&self) -> impl Iterator<Item = ResourceSpec> + '_ {
+        (0..self.cfg.resources as u64).map(|id| {
+            let owner = self.owner_of_resource(id);
+            ResourceSpec {
+                id,
+                path: self.resource_id(id),
+                owner,
+                host: self.host_of_user(owner),
+            }
+        })
+    }
+
+    /// Streams the (infinite) Zipf-shaped traffic for this population's
+    /// seed. Callers `take(n)` what they need; the stream holds O(1)
+    /// state and two draws per event.
+    #[must_use]
+    pub fn accesses(&self) -> AccessStream {
+        AccessStream {
+            rng: SplitMix64::new(self.cfg.seed ^ 0xACCE_55ED),
+            resources: Zipf::new(self.cfg.resources as u64, self.cfg.zipf_s),
+            requesters: Zipf::new(self.cfg.requesters as u64, self.cfg.zipf_s),
+        }
+    }
+
+    /// FNV-1a digest over the first `events` traffic events — the
+    /// determinism pin: equal seeds produce byte-identical streams.
+    #[must_use]
+    pub fn digest(&self, events: usize) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for event in self.accesses().take(events) {
+            fold(event.resource);
+            fold(event.requester);
+        }
+        hash
+    }
+}
+
+/// The infinite traffic stream behind [`Population::accesses`].
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    rng: SplitMix64,
+    resources: Zipf,
+    requesters: Zipf,
+}
+
+impl Iterator for AccessStream {
+    type Item = AccessEvent;
+
+    fn next(&mut self) -> Option<AccessEvent> {
+        Some(AccessEvent {
+            resource: self.resources.sample(&mut self.rng),
+            requester: self.requesters.sample(&mut self.rng),
+        })
+    }
+}
+
+// -- the population_scale load-curve driver ---------------------------------
+
+/// One `population_scale` run's shape.
+#[derive(Debug, Clone)]
+pub struct PopulationScaleConfig {
+    /// Entity count: this many users *and* this many resources.
+    pub population: usize,
+    /// Host count the population is spread over.
+    pub hosts: usize,
+    /// Requester-pool size traffic draws from.
+    pub requesters: usize,
+    /// Measured accesses (each asserted granted).
+    pub accesses: usize,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationScaleConfig {
+    fn default() -> Self {
+        PopulationScaleConfig {
+            population: 10_000,
+            hosts: 64,
+            requesters: 1_024,
+            accesses: 20_000,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// One measured `population_scale` row (the `BENCH_PR2.json` form).
+#[derive(Debug, Clone)]
+pub struct PopulationScaleRow {
+    /// Entity count (users = resources).
+    pub population: usize,
+    /// Host count.
+    pub hosts: usize,
+    /// Granted end-to-end accesses per wall-clock second.
+    pub reqs_per_sec: f64,
+    /// Median per-access wall latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-access wall latency in microseconds.
+    pub p99_us: f64,
+    /// Entities registered per second during setup (users + resources +
+    /// delegations + policies, streamed).
+    pub setup_eps: f64,
+    /// Epoch-push deliveries drained after setup — the multi-Host
+    /// fan-out the run exercised.
+    pub push_deliveries: u64,
+}
+
+impl PopulationScaleRow {
+    /// Renders the row as one JSON object (the `BENCH_PR2.json` row form).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"population_scale\",\"population\":{},\"hosts\":{},\
+             \"reqs_per_sec\":{:.1},\"p50_us\":{:.2},\"p99_us\":{:.2},\
+             \"setup_eps\":{:.0},\"push_deliveries\":{}}}",
+            self.population,
+            self.hosts,
+            self.reqs_per_sec,
+            self.p50_us,
+            self.p99_us,
+            self.setup_eps,
+            self.push_deliveries
+        )
+    }
+}
+
+/// Builds the full fabric for `cfg`, registers the population streamed
+/// (never materialized), drains the epoch-push backlog with the bounded
+/// pump, then measures `cfg.accesses` Zipf-shaped end-to-end accesses.
+///
+/// Every access runs the real protocol — requester → Host enforce →
+/// AM decision — and is asserted granted, so a run that degrades into
+/// denials cannot masquerade as a fast one.
+///
+/// # Panics
+///
+/// Panics when an access is denied or the push backlog fails to drain.
+#[must_use]
+pub fn run_population_scale(cfg: &PopulationScaleConfig) -> PopulationScaleRow {
+    let pop = Population::new(PopulationConfig {
+        users: cfg.population,
+        resources: cfg.population,
+        hosts: cfg.hosts,
+        requesters: cfg.requesters,
+        seed: cfg.seed,
+        zipf_s: 1.0,
+    });
+    let net = Arc::new(SimNet::new());
+    net.trace().set_enabled(false);
+    let clock = net.clock().clone();
+    let am = Arc::new(AuthorizationManager::new("am.example", clock.clone()));
+    // Audit is an O(1)-per-event ring here, not an unbounded log: a
+    // million-entity run would otherwise hold every setup event forever.
+    am.set_audit_cap(4_096);
+    net.register(am.clone());
+    let hosts: Vec<Arc<WebStorage>> = (0..cfg.hosts)
+        .map(|h| {
+            let host = WebStorage::new(&pop.host_authority(h), clock.clone());
+            net.register(host.clone());
+            host
+        })
+        .collect();
+
+    // Registration, streamed: users (account + delegation + per-owner
+    // push subscription), then resources, then one policy per owner.
+    let setup_started = Instant::now();
+    for user in pop.users() {
+        am.register_user(&user.name);
+        let authority = pop.host_authority(user.host);
+        am.subscribe_epoch_push(&authority, &user.name);
+        let (delegation, host_token) = am
+            .establish_delegation(&authority, &user.name)
+            .expect("delegation");
+        hosts[user.host].shell().core.set_user_delegation(
+            &user.name,
+            DelegationConfig {
+                am: "am.example".into(),
+                host_token,
+                delegation_id: delegation.id,
+            },
+        );
+    }
+    for resource in pop.resources() {
+        hosts[resource.host]
+            .shell()
+            .core
+            .put_resource(
+                &resource.path,
+                &pop.user_name(resource.owner),
+                "file",
+                Vec::new(),
+            )
+            .expect("resource registration");
+    }
+    let users = cfg.population as u64;
+    let resources = cfg.population as u64;
+    for user in pop.users() {
+        let authority = pop.host_authority(user.host);
+        am.pap(&user.name, |account| {
+            let policy = account.create_policy(
+                "open-read",
+                PolicyBody::Rules(
+                    RulePolicy::new().with_rule(
+                        Rule::permit()
+                            .for_subject(Subject::Public)
+                            .for_action(Action::Read),
+                    ),
+                ),
+            );
+            let mut r = user.id;
+            while r < resources {
+                account.assign_realm(ResourceRef::new(&authority, &pop.resource_id(r)), "shared");
+                r += users;
+            }
+            account.link_general("shared", &policy).unwrap();
+        })
+        .expect("policy composition");
+    }
+    let setup_eps = (2 * cfg.population) as f64 / setup_started.elapsed().as_secs_f64().max(1e-9);
+
+    // Drain the per-owner push backlog with the bounded pump: every
+    // registered owner queued an epoch push to their home Host, so this
+    // is the multi-Host fan-out edge at full width.
+    let mut push_deliveries = 0u64;
+    for _ in 0..(cfg.population / 512 + 1_000) {
+        push_deliveries += am.pump_epoch_pushes_bounded(&net, 4_096) as u64;
+        if am.pending_epoch_pushes() == 0 {
+            break;
+        }
+        clock.advance_ms(50);
+    }
+    assert_eq!(
+        am.pending_epoch_pushes(),
+        0,
+        "epoch pushes failed to drain on a healthy fabric"
+    );
+
+    // Measured phase: Zipf traffic through the full protocol. Clients
+    // are cached per requester rank, so hot requesters keep their token
+    // caches warm — the steady-state mix, not an all-cold artifact.
+    let mut clients: HashMap<u64, RequesterClient> = HashMap::new();
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(cfg.accesses);
+    let started = Instant::now();
+    for event in pop.accesses().take(cfg.accesses) {
+        let owner = pop.owner_of_resource(event.resource);
+        let host = pop.host_of_user(owner);
+        let spec = AccessSpec::read(Url::new(
+            &pop.host_authority(host),
+            &format!("/{}", pop.resource_id(event.resource)),
+        ));
+        let client = clients
+            .entry(event.requester)
+            .or_insert_with(|| RequesterClient::new(&pop.requester_name(event.requester)));
+        let begun = Instant::now();
+        let outcome = client.access(&net, &spec);
+        samples_ns.push(begun.elapsed().as_nanos() as u64);
+        assert!(
+            outcome.is_granted(),
+            "population access denied: {outcome:?}"
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    samples_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((samples_ns.len() as f64 - 1.0) * p).round() as usize;
+        samples_ns[idx] as f64 / 1_000.0
+    };
+    PopulationScaleRow {
+        population: cfg.population,
+        hosts: cfg.hosts,
+        reqs_per_sec: cfg.accesses as f64 / elapsed,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        setup_eps,
+        push_deliveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_means_byte_identical_streams() {
+        let cfg = PopulationConfig {
+            users: 100_000,
+            resources: 100_000,
+            requesters: 10_000,
+            ..PopulationConfig::default()
+        };
+        let a = Population::new(cfg.clone());
+        let b = Population::new(cfg.clone());
+        assert_eq!(a.digest(10_000), b.digest(10_000));
+        let events_a: Vec<AccessEvent> = a.accesses().take(1_000).collect();
+        let events_b: Vec<AccessEvent> = b.accesses().take(1_000).collect();
+        assert_eq!(events_a, events_b);
+
+        let reseeded = Population::new(PopulationConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        });
+        assert_ne!(a.digest(10_000), reseeded.digest(10_000));
+    }
+
+    #[test]
+    fn zipf_top_one_percent_takes_the_majority() {
+        // s = 1 over 10⁶ ranks: the analytic top-1% share is
+        // ln(10⁴+1)/ln(10⁶+1) ≈ 0.667. Assert the majority with slack on
+        // both sides so the test pins the shape, not the RNG.
+        let n: u64 = 1_000_000;
+        let zipf = Zipf::new(n, 1.0);
+        let mut rng = SplitMix64::new(42);
+        let draws = 200_000;
+        let hot = (0..draws)
+            .filter(|_| zipf.sample(&mut rng) < n / 100)
+            .count();
+        let share = hot as f64 / draws as f64;
+        assert!(
+            (0.55..0.80).contains(&share),
+            "top-1% share {share:.3} outside the Zipf(1.0) envelope"
+        );
+        // Rank 0 alone is the single hottest item.
+        let mut rng = SplitMix64::new(7);
+        let rank0 = (0..draws).filter(|_| zipf.sample(&mut rng) == 0).count();
+        assert!(rank0 > draws / 40, "rank 0 drew only {rank0}/{draws}");
+    }
+
+    #[test]
+    fn streams_hold_constant_state_at_a_million_entities() {
+        let pop = Population::new(PopulationConfig {
+            users: 1_000_000,
+            resources: 1_000_000,
+            hosts: 1_024,
+            requesters: 1_000_000,
+            ..PopulationConfig::default()
+        });
+        // The streams are generators, not collections: their entire
+        // state is a few counters and samplers.
+        let stream = pop.accesses();
+        assert!(std::mem::size_of_val(&stream) <= 128);
+        // Walking a million events and a million entities touches every
+        // index without materializing anything.
+        let mut checksum = 0u64;
+        for event in pop.accesses().take(1_000_000) {
+            checksum = checksum.wrapping_add(event.resource ^ event.requester);
+        }
+        assert_ne!(checksum, 0);
+        assert_eq!(pop.users().count(), 1_000_000);
+        assert_eq!(pop.resources().count(), 1_000_000);
+        let last = pop.resources().nth(999_999).unwrap();
+        assert_eq!(last.owner, 999_999);
+        assert_eq!(last.host, pop.host_of_user(last.owner));
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_bounds_for_every_exponent_branch() {
+        for s in [0.8, 1.0, 1.2] {
+            let zipf = Zipf::new(1_000, s);
+            let mut rng = SplitMix64::new(9);
+            for _ in 0..10_000 {
+                assert!(zipf.sample(&mut rng) < 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn small_population_runs_end_to_end() {
+        let row = run_population_scale(&PopulationScaleConfig {
+            population: 200,
+            hosts: 8,
+            requesters: 32,
+            accesses: 300,
+            seed: 1,
+        });
+        assert_eq!(row.population, 200);
+        assert_eq!(row.hosts, 8);
+        assert!(row.reqs_per_sec > 0.0);
+        assert!(row.p99_us >= row.p50_us);
+        // Every owner's registration queued (at least) one push to their
+        // home Host, and the drain delivered all of them.
+        assert!(row.push_deliveries >= 200);
+        let json = row.to_json();
+        assert!(json.contains("\"bench\":\"population_scale\""));
+        assert!(json.contains("\"population\":200"));
+        assert!(json.contains("\"hosts\":8"));
+    }
+}

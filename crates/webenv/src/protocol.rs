@@ -509,6 +509,220 @@ impl SieveBody {
     }
 }
 
+/// Response body a Host answers an epoch push with when it received a
+/// [`SieveDeltaBody`] whose base generation does not match what the Host
+/// has installed. The AM treats it as "delivery confirmed, delta refused"
+/// and reships a full [`SieveBody`] on the next pump (DESIGN.md §13).
+pub const SIEVE_RESYNC: &str = "sieve-resync";
+
+/// An incremental update to an installed [`SieveBody`]: the entries added
+/// and the fingerprints removed since the sieve the AM last shipped to
+/// this Host, compiled under `epoch` against the installed `base_epoch`.
+///
+/// A refresh over a million-resource owner would otherwise reship the
+/// full entry list every time; the delta is O(changes). Safety matches
+/// the full body: the delta is HMAC-signed under the same delegation
+/// `host_token` (with its own domain separator, so a delta can never be
+/// replayed as a full sieve or vice versa), and a Host applies it only
+/// when its installed sieve for the owner sits exactly at `base_epoch` —
+/// anything else answers [`SIEVE_RESYNC`] and the AM falls back to a
+/// full-body ship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SieveDeltaBody {
+    /// The resource owner whose sieve this delta updates.
+    pub owner: String,
+    /// The owner's policy epoch the delta was compiled under.
+    pub epoch: u64,
+    /// The epoch of the installed sieve this delta applies on top of.
+    pub base_epoch: u64,
+    /// Entries to insert (new grants, or moved expiries).
+    pub added: Vec<SieveEntry>,
+    /// Fingerprints to drop (expired or revoked grants).
+    pub removed: Vec<SieveFingerprint>,
+    /// Hex HMAC-SHA256 over the canonical payload.
+    pub sig: String,
+}
+
+impl SieveDeltaBody {
+    /// Assembles and signs a delta with the shared delegation
+    /// `host_token` bytes.
+    #[must_use]
+    pub fn build(
+        owner: &str,
+        epoch: u64,
+        base_epoch: u64,
+        added: Vec<SieveEntry>,
+        removed: Vec<SieveFingerprint>,
+        key: &[u8],
+    ) -> Self {
+        let mut body = Self {
+            owner: owner.to_owned(),
+            epoch,
+            base_epoch,
+            added,
+            removed,
+            sig: String::new(),
+        };
+        let mac = ucam_crypto::hmac_sha256(key, body.signing_payload().as_bytes());
+        let mut sig = String::with_capacity(64);
+        push_hex(&mut sig, &mac);
+        body.sig = sig;
+        body
+    }
+
+    /// Verifies the signature against the Host's copy of the delegation
+    /// `host_token`. Constant-time; any mismatch discards the delta whole.
+    #[must_use]
+    pub fn verify(&self, key: &[u8]) -> bool {
+        let Some(sig) = hex_decode::<32>(&self.sig) else {
+            return false;
+        };
+        let mac = ucam_crypto::hmac_sha256(key, self.signing_payload().as_bytes());
+        ucam_crypto::ct_eq(&mac, &sig)
+    }
+
+    /// The canonical byte string the signature covers; same
+    /// length-prefixing discipline as [`SieveBody`], under its own domain
+    /// separator.
+    fn signing_payload(&self) -> String {
+        let mut out = String::with_capacity(80 + self.added.len() * 64 + self.removed.len() * 33);
+        out.push_str("ucam-sieve-delta-v1\n");
+        out.push_str(&format!("{}:{}\n", self.owner.len(), self.owner));
+        out.push_str(&format!("{} {}\n", self.epoch, self.base_epoch));
+        for entry in &self.added {
+            out.push('+');
+            push_hex(&mut out, &entry.fingerprint);
+            out.push_str(&format!(
+                " {} {}:{}\n",
+                entry.expires_at_ms,
+                entry.resource.len(),
+                entry.resource
+            ));
+        }
+        for fp in &self.removed {
+            out.push('-');
+            push_hex(&mut out, fp);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to the canonical wire JSON. The field set (`added`,
+    /// `removed`, `base_epoch`) is disjoint from [`SieveBody`]'s
+    /// `entries`, so the two body kinds can never be confused on parse.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.added.len() * 72 + self.removed.len() * 36);
+        out.push_str("{\"owner\":");
+        push_json_string(&mut out, &self.owner);
+        out.push_str(",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"base_epoch\":");
+        out.push_str(&self.base_epoch.to_string());
+        out.push_str(",\"added\":[");
+        for (i, entry) in self.added.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("[\"");
+            push_hex(&mut out, &entry.fingerprint);
+            out.push_str("\",");
+            out.push_str(&entry.expires_at_ms.to_string());
+            out.push(',');
+            push_json_string(&mut out, &entry.resource);
+            out.push(']');
+        }
+        out.push_str("],\"removed\":[");
+        for (i, fp) in self.removed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            push_hex(&mut out, fp);
+            out.push('"');
+        }
+        out.push_str("],\"sig\":");
+        push_json_string(&mut out, &self.sig);
+        out.push('}');
+        out
+    }
+
+    /// Parses a delta body, fail-closed like [`SieveBody::from_json`].
+    /// Parsing alone never authorizes — the caller must still
+    /// [`verify`](Self::verify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON, missing or ill-typed
+    /// fields, or malformed fingerprints.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("sieve delta body is not a JSON object"));
+        };
+        let owner = match find(&fields, "owner") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("sieve delta owner missing or not a string")),
+        };
+        let epoch = opt_u64(&fields, "epoch")?
+            .ok_or_else(|| WireError::new("sieve delta epoch missing"))?;
+        let base_epoch = opt_u64(&fields, "base_epoch")?
+            .ok_or_else(|| WireError::new("sieve delta base_epoch missing"))?;
+        let sig = match find(&fields, "sig") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("sieve delta sig missing or not a string")),
+        };
+        let Some(Json::Array(raw_added)) = find(&fields, "added") else {
+            return Err(WireError::new("sieve delta added missing or not an array"));
+        };
+        let mut added = Vec::with_capacity(raw_added.len());
+        for raw in raw_added {
+            let Json::Array(triple) = raw else {
+                return Err(WireError::new("sieve delta added entry is not an array"));
+            };
+            let [Json::String(fp_hex), Json::Number(expires), Json::String(resource)] =
+                triple.as_slice()
+            else {
+                return Err(WireError::new(
+                    "sieve delta added entry is not a [fp, expires, resource] triple",
+                ));
+            };
+            let fingerprint = hex_decode::<16>(fp_hex)
+                .ok_or_else(|| WireError::new("sieve delta fingerprint is not 32 hex chars"))?;
+            let expires_at_ms = expires.parse::<u64>().map_err(|_| {
+                WireError::new("sieve delta entry expiry is not an unsigned integer")
+            })?;
+            added.push(SieveEntry {
+                fingerprint,
+                resource: resource.clone(),
+                expires_at_ms,
+            });
+        }
+        let Some(Json::Array(raw_removed)) = find(&fields, "removed") else {
+            return Err(WireError::new(
+                "sieve delta removed missing or not an array",
+            ));
+        };
+        let mut removed = Vec::with_capacity(raw_removed.len());
+        for raw in raw_removed {
+            let Json::String(fp_hex) = raw else {
+                return Err(WireError::new("sieve delta removed entry is not a string"));
+            };
+            removed
+                .push(hex_decode::<16>(fp_hex).ok_or_else(|| {
+                    WireError::new("sieve delta fingerprint is not 32 hex chars")
+                })?);
+        }
+        Ok(Self {
+            owner,
+            epoch,
+            base_epoch,
+            added,
+            removed,
+            sig,
+        })
+    }
+}
+
 fn push_hex(out: &mut String, bytes: &[u8]) {
     const HEX: &[u8; 16] = b"0123456789abcdef";
     for &b in bytes {
@@ -1000,6 +1214,87 @@ mod tests {
              \"00112233445566778899aabbccddeeff\",-2,\"r\"]],\"sig\":\"aa\"}",
         ] {
             assert!(SieveBody::from_json(body).is_err(), "{body}");
+        }
+    }
+
+    fn sample_delta(key: &[u8]) -> SieveDeltaBody {
+        SieveDeltaBody::build(
+            "bob",
+            9,
+            7,
+            vec![SieveEntry {
+                fingerprint: sieve_fingerprint("tok-3", "files/c.txt", "read", "requester:app"),
+                resource: "files/c.txt".into(),
+                expires_at_ms: 99_000,
+            }],
+            vec![sieve_fingerprint(
+                "tok-1",
+                "files/a.txt",
+                "read",
+                "requester:app",
+            )],
+            key,
+        )
+    }
+
+    #[test]
+    fn sieve_delta_round_trips_and_verifies() {
+        let key = b"host-token-secret";
+        let delta = sample_delta(key);
+        let parsed = SieveDeltaBody::from_json(&delta.to_json()).unwrap();
+        assert_eq!(parsed, delta);
+        assert!(parsed.verify(key));
+        assert!(!parsed.verify(b"some-other-token"));
+    }
+
+    #[test]
+    fn tampered_sieve_deltas_fail_verification() {
+        let key = b"host-token-secret";
+        let mut bumped_base = sample_delta(key);
+        bumped_base.base_epoch += 1;
+        assert!(!bumped_base.verify(key));
+
+        let mut dropped_removal = sample_delta(key);
+        dropped_removal.removed.pop();
+        assert!(!dropped_removal.verify(key));
+
+        let mut extended_expiry = sample_delta(key);
+        extended_expiry.added[0].expires_at_ms += 1;
+        assert!(!extended_expiry.verify(key));
+    }
+
+    #[test]
+    fn sieve_and_delta_bodies_never_cross_parse() {
+        let key = b"host-token-secret";
+        // Disjoint field sets keep the two body kinds unambiguous on the
+        // shared epoch-push route.
+        assert!(SieveBody::from_json(&sample_delta(key).to_json()).is_err());
+        assert!(SieveDeltaBody::from_json(&sample_sieve(key).to_json()).is_err());
+        // And the shared route's domain separators keep a delta from ever
+        // being replayed as a full sieve even if fields were grafted.
+        let delta = sample_delta(key);
+        let grafted = SieveBody {
+            owner: delta.owner.clone(),
+            epoch: delta.epoch,
+            entries: delta.added.clone(),
+            sig: delta.sig.clone(),
+        };
+        assert!(!grafted.verify(key));
+    }
+
+    #[test]
+    fn malformed_sieve_delta_bodies_fail_closed() {
+        for body in [
+            "not json",
+            "{}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"added\":[],\"removed\":[],\"sig\":42}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"added\":[],\"removed\":[],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"base_epoch\":1,\"added\":[[\"zz\",1,\"r\"]],\
+             \"removed\":[],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"base_epoch\":1,\"added\":[],\
+             \"removed\":[\"zz\"],\"sig\":\"aa\"}",
+        ] {
+            assert!(SieveDeltaBody::from_json(body).is_err(), "{body}");
         }
     }
 
