@@ -25,7 +25,7 @@ use ucam_policy::{
 };
 use ucam_webenv::identity::IdentityVerifier;
 use ucam_webenv::{
-    protocol, DecisionBody, Method, Request, Response, SimClock, SimNet, Status, Url, WebApp,
+    protocol, DecisionBody, Method, Request, Response, SimClock, Status, Transport, Url, WebApp,
 };
 
 use crate::audit::{AuditEntry, AuditEvent, AuditHub, AuditLog};
@@ -453,7 +453,7 @@ impl AuthorizationManager {
     /// many were delivered. Transport failures requeue the push with
     /// deterministic backoff; pushes retry until they land (epochs are
     /// monotonic, so redelivery is harmless and dropping is not).
-    pub fn pump_epoch_pushes(&self, net: &SimNet) -> usize {
+    pub fn pump_epoch_pushes(&self, net: &dyn Transport) -> usize {
         self.pump_epoch_pushes_bounded(net, usize::MAX)
     }
 
@@ -471,7 +471,7 @@ impl AuthorizationManager {
     /// state and requeues immediately, so the next pump ships a full body
     /// — the fallback that makes deltas safe against restarts and missed
     /// generations.
-    pub fn pump_epoch_pushes_bounded(&self, net: &SimNet, limit: usize) -> usize {
+    pub fn pump_epoch_pushes_bounded(&self, net: &dyn Transport, limit: usize) -> usize {
         let due = self.pushes.take_due(self.clock.now_ms(), limit);
         let sieve_enabled = self.sieve_push.load(Ordering::Relaxed);
         let mut delivered = 0;
@@ -1485,7 +1485,7 @@ impl WebApp for AuthorizationManager {
         &self.authority
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         match req.url.path() {
             // Fig. 3: the User (browser) confirms the delegation; the AM
             // issues the host access token and redirects back to the Host.

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use ucam_policy::{AccessRequest, Action, EvalContext, Outcome, RulePolicy};
-use ucam_webenv::{DecisionBody, Method, Request, Response, SimNet, Status, Url, WebApp};
+use ucam_webenv::{DecisionBody, Method, Request, Response, Status, Transport, Url, WebApp};
 
 use crate::FlowCosts;
 
@@ -69,7 +69,7 @@ impl WebApp for StateAm {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
         match req.url.path() {
             // The requester, redirected by the host, establishes state.
             "/state/register" => {
@@ -164,7 +164,7 @@ impl WebApp for StateHost {
         &self.authority
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         let Some(id) = req.url.path().strip_prefix("/resource/") else {
             return Response::not_found(req.url.path());
         };
@@ -213,7 +213,7 @@ impl WebApp for StateHost {
 /// Runs the state flow (host redirect → register at AM → back to host →
 /// host checks state) plus a subsequent access.
 #[must_use]
-pub fn measure(net: &SimNet, cache_enabled: bool) -> FlowCosts {
+pub fn measure(net: &dyn Transport, cache_enabled: bool) -> FlowCosts {
     use ucam_policy::{Rule, Subject};
 
     let am = StateAm::new("state-am.example");
@@ -278,6 +278,7 @@ pub fn measure(net: &SimNet, cache_enabled: bool) -> FlowCosts {
 mod tests {
     use super::*;
     use ucam_policy::{Rule, Subject};
+    use ucam_webenv::SimNet;
 
     #[test]
     fn flow_costs_with_cache() {

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use ucam_crypto::random_token;
-use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+use ucam_webenv::{Method, Request, Response, Status, Transport, WebApp};
 
 use crate::FlowCosts;
 
@@ -62,7 +62,7 @@ impl WebApp for OAuthServer {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
         match req.url.path() {
             // Leg 1: the Consumer obtains temporary credentials.
             "/oauth/request_token" => {
@@ -129,7 +129,7 @@ impl WebApp for OAuthServer {
 /// Runs the full three-legged flow plus one subsequent access and reports
 /// the measured costs.
 #[must_use]
-pub fn measure(net: &SimNet) -> FlowCosts {
+pub fn measure(net: &dyn Transport) -> FlowCosts {
     let server = OAuthServer::new("oauth-server.example");
     server.put_resource("photo-1", "pixels");
     net.register(server);
@@ -192,6 +192,7 @@ pub fn measure(net: &SimNet) -> FlowCosts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ucam_webenv::SimNet;
 
     #[test]
     fn full_flow_costs() {

@@ -20,7 +20,7 @@ use parking_lot::RwLock;
 
 use ucam_crypto::SigningKey;
 use ucam_policy::{AccessRequest, Action, EvalContext, Outcome, RulePolicy};
-use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+use ucam_webenv::{Method, Request, Response, Status, Transport, WebApp};
 
 use crate::FlowCosts;
 
@@ -69,7 +69,7 @@ impl WebApp for WrapAuthServer {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
         if req.url.path() != "/wrap/token" {
             return Response::not_found(req.url.path());
         }
@@ -134,7 +134,7 @@ impl WebApp for WrapHost {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
         let Some(id) = req.url.path().strip_prefix("/resource/") else {
             return Response::not_found(req.url.path());
         };
@@ -159,7 +159,7 @@ impl WebApp for WrapHost {
 /// Runs the WRAP flow (discover 401 → AS token → access) and a subsequent
 /// access, reporting measured costs.
 #[must_use]
-pub fn measure(net: &SimNet) -> FlowCosts {
+pub fn measure(net: &dyn Transport) -> FlowCosts {
     use ucam_policy::{Rule, Subject};
 
     let auth_server = WrapAuthServer::new("wrap-as.example");
@@ -220,6 +220,7 @@ pub fn measure(net: &SimNet) -> FlowCosts {
 mod tests {
     use super::*;
     use ucam_policy::{Rule, Subject};
+    use ucam_webenv::SimNet;
 
     #[test]
     fn flow_costs() {

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use ucam_sim::saturation::{run_saturation, SaturationConfig, SaturationMode};
+use ucam_sim::saturation::{run_saturation, SaturationConfig, SaturationMode, TransportKind};
 
 /// Accesses per thread per measured iteration — small enough that a
 /// Criterion sample finishes quickly, large enough to amortize rig setup.
@@ -23,10 +23,11 @@ fn bench_saturation(c: &mut Criterion) {
                 threads,
                 iters_per_thread: ITERS_PER_THREAD,
                 mode,
+                transport: TransportKind::Sim,
             };
             group.throughput(Throughput::Elements((threads * ITERS_PER_THREAD) as u64));
             group.bench_with_input(
-                BenchmarkId::new(mode.bench_name(), threads),
+                BenchmarkId::new(mode.bench_name(TransportKind::Sim), threads),
                 &config,
                 |b, config| {
                     b.iter(|| {

@@ -32,8 +32,8 @@ use parking_lot::{Mutex, RwLock};
 use ucam_crypto::sha256;
 use ucam_policy::{AccessRequest, AclMatrix, Action, EvalContext, Outcome, ResourceRef};
 use ucam_webenv::{
-    protocol, BatchItem, DecisionBody, Method, Request, Response, RetryPolicy, SimClock, SimNet,
-    Status, TransportError, Url,
+    protocol, BatchItem, DecisionBody, Method, Request, Response, RetryPolicy, SimClock, Status,
+    Transport, TransportError, Url,
 };
 
 /// A stored Web resource.
@@ -1363,7 +1363,7 @@ impl HostCore {
     /// Returns `false` (fall through to tier-2) on any doubt.
     fn sieve_probe(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         requester: &str,
         resource_id: &str,
         action: &Action,
@@ -1694,7 +1694,7 @@ impl HostCore {
     #[allow(clippy::too_many_arguments)] // the PEP consumes the full request tuple
     pub fn enforce(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         requester: &str,
         subject: Option<&str>,
         resource_id: &str,
@@ -1790,7 +1790,11 @@ impl HostCore {
     /// [`SimClock`] **once** per round, since partial batches against
     /// different AMs wait concurrently — before flushing. N misses
     /// against one AM thus cost ⌈N/B⌉ round trips (experiment E7b).
-    pub fn enforce_batch(&self, net: &SimNet, attempts: &[AccessAttempt]) -> Vec<Enforcement> {
+    pub fn enforce_batch(
+        &self,
+        net: &dyn Transport,
+        attempts: &[AccessAttempt],
+    ) -> Vec<Enforcement> {
         let batching = *self.batching.read();
         let Some(config) = batching else {
             return attempts
@@ -1937,7 +1941,7 @@ impl HostCore {
     /// owner) — and settles every member through the shared decision path.
     fn flush_batch(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         resilience: &ResilienceConfig,
         chunk: Vec<PendingQuery>,
         results: &mut [Option<Enforcement>],
@@ -2015,7 +2019,7 @@ impl HostCore {
     #[allow(clippy::too_many_arguments)]
     fn enforce_delegated(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         delegation: &DelegationConfig,
         resource: &Resource,
         requester: &str,
@@ -2129,7 +2133,7 @@ impl HostCore {
     #[allow(clippy::too_many_arguments)]
     fn settle_decision(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         outcome: DecisionOutcome,
         owner: &str,
         requester: &str,
@@ -2305,7 +2309,7 @@ impl HostCore {
     #[allow(clippy::too_many_arguments)]
     fn query_decision(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         resilience: &ResilienceConfig,
         delegation: &DelegationConfig,
         token: &str,
@@ -2333,7 +2337,7 @@ impl HostCore {
     /// dispatching.
     fn dispatch_protected(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         resilience: &ResilienceConfig,
         am: &str,
         build: &dyn Fn() -> Request,
@@ -2535,6 +2539,7 @@ mod tests {
     use std::sync::Arc;
     use ucam_policy::Subject;
     use ucam_webenv::protocol::SieveBody;
+    use ucam_webenv::SimNet;
     use ucam_webenv::WebApp;
 
     fn host() -> HostCore {
@@ -2577,7 +2582,7 @@ mod tests {
             &self.authority
         }
 
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             if req.url.path() == protocol::BATCH_DECISIONS_PATH {
                 let Ok(items) = protocol::parse_batch_request(&req.body) else {
                     return Response::bad_request("bad batch");
@@ -2607,7 +2612,7 @@ mod tests {
     }
 
     /// A host on `net` with `r1` owned by bob, delegated to the fake AM.
-    fn delegated_host(net: &SimNet) -> HostCore {
+    fn delegated_host(net: &dyn Transport) -> HostCore {
         let h = HostCore::new("h.example", net.clock().clone());
         h.put_resource("r1", "bob", "file", b"data".to_vec())
             .unwrap();

@@ -10,7 +10,7 @@ use parking_lot::RwLock;
 
 use ucam_policy::{Action, Subject};
 use ucam_webenv::identity::IdentityVerifier;
-use ucam_webenv::{protocol, Request, Response, SimClock, SimNet, Status, Url};
+use ucam_webenv::{protocol, Request, Response, SimClock, Status, Transport, Url};
 
 use crate::core::{DelegationConfig, Enforcement, HostCore, SieveDeltaOutcome};
 
@@ -74,7 +74,7 @@ impl AppShell {
     /// Handles the shared routes; returns `None` when `req` is not one of
     /// them (the app then tries its domain routes).
     #[must_use]
-    pub fn route_common(&self, net: &SimNet, req: &Request) -> Option<Response> {
+    pub fn route_common(&self, net: &dyn Transport, req: &Request) -> Option<Response> {
         match req.url.path() {
             "/delegate/setup" => Some(self.delegate_setup(req)),
             "/delegate/done" => Some(self.delegate_done(req)),
@@ -246,7 +246,7 @@ impl AppShell {
 
     /// The built-in sharing menu of the status quo (§III): the owner edits
     /// the host-local ACL for one resource.
-    fn edit_acl(&self, _net: &SimNet, req: &Request) -> Response {
+    fn edit_acl(&self, _net: &dyn Transport, req: &Request) -> Response {
         let subject_user = self.subject_of(req);
         let (resource_id, grantee, action) = match (
             req.param("resource"),
@@ -278,7 +278,7 @@ impl AppShell {
     /// Returns the blocking [`Response`] when access is not granted.
     pub fn enforce_web(
         &self,
-        net: &SimNet,
+        net: &dyn Transport,
         req: &Request,
         resource_id: &str,
         action: &Action,
@@ -349,6 +349,7 @@ mod tests {
     use super::*;
     use ucam_webenv::identity::IdentityProvider;
     use ucam_webenv::Method;
+    use ucam_webenv::SimNet;
 
     fn shell_with_idp() -> (AppShell, IdentityProvider) {
         let clock = SimClock::new();

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use ucam_policy::Action;
-use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, WebApp};
+use ucam_webenv::{Method, Request, Response, SimClock, Status, Transport, WebApp};
 
 use crate::shell::AppShell;
 
@@ -89,7 +89,7 @@ impl WebDocs {
         }
     }
 
-    fn doc_route(&self, net: &SimNet, req: &Request) -> Response {
+    fn doc_route(&self, net: &dyn Transport, req: &Request) -> Response {
         let rest = req.url.path().trim_start_matches("/docs/");
         let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
         let (folder, name, op) = match segments.as_slice() {
@@ -144,7 +144,7 @@ impl WebDocs {
         }
     }
 
-    fn list_folder(&self, net: &SimNet, req: &Request) -> Response {
+    fn list_folder(&self, net: &dyn Transport, req: &Request) -> Response {
         let folder = req.url.path().trim_start_matches("/folder/");
         let meta_id = format!("folder-meta/{folder}");
         if let Err(resp) = self.shell.enforce_web(net, req, &meta_id, &Action::List) {
@@ -160,7 +160,7 @@ impl WebApp for WebDocs {
         self.shell.core.authority()
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         if let Some(resp) = self.shell.route_common(net, req) {
             return resp;
         }
@@ -178,6 +178,7 @@ impl WebApp for WebDocs {
 mod tests {
     use super::*;
     use ucam_webenv::identity::IdentityProvider;
+    use ucam_webenv::SimNet;
 
     fn setup() -> (SimNet, Arc<WebDocs>, String) {
         let net = SimNet::new();

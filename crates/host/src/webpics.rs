@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use ucam_crypto::{base64url_decode, base64url_encode};
 use ucam_policy::Action;
 use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
-use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url, WebApp};
+use ucam_webenv::{Method, Request, Response, SimClock, Status, Transport, Url, WebApp};
 
 use crate::image::Image;
 use crate::shell::AppShell;
@@ -106,7 +106,7 @@ impl WebPics {
         }
     }
 
-    fn photo_route(&self, net: &SimNet, req: &Request) -> Response {
+    fn photo_route(&self, net: &dyn Transport, req: &Request) -> Response {
         // /photos/<album>/<photo>[/<op>]
         let rest = req.url.path().trim_start_matches("/photos/");
         let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
@@ -179,7 +179,7 @@ impl WebPics {
         }
     }
 
-    fn list_album(&self, net: &SimNet, req: &Request) -> Response {
+    fn list_album(&self, net: &dyn Transport, req: &Request) -> Response {
         let album = req.url.path().trim_start_matches("/album/");
         let meta_id = format!("album-meta/{album}");
         if let Err(resp) = self.shell.enforce_web(net, req, &meta_id, &Action::List) {
@@ -191,7 +191,7 @@ impl WebPics {
 
     /// Acting as a Requester (§VI): load a photo stored at another Host
     /// (e.g. WebStorage) through the full token flow.
-    fn import(&self, net: &SimNet, req: &Request) -> Response {
+    fn import(&self, net: &dyn Transport, req: &Request) -> Response {
         let owner = match self.shell.require_subject(req) {
             Ok(user) => user,
             Err(resp) => return resp,
@@ -245,7 +245,7 @@ impl WebApp for WebPics {
         self.shell.core.authority()
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         if let Some(resp) = self.shell.route_common(net, req) {
             return resp;
         }
@@ -264,6 +264,7 @@ impl WebApp for WebPics {
 mod tests {
     use super::*;
     use ucam_webenv::identity::IdentityProvider;
+    use ucam_webenv::SimNet;
 
     fn setup() -> (SimNet, Arc<WebPics>, String) {
         let net = SimNet::new();
@@ -276,7 +277,7 @@ mod tests {
         (net, pics, token)
     }
 
-    fn upload(net: &SimNet, token: &str, album: &str, id: &str, image: &Image) -> Response {
+    fn upload(net: &dyn Transport, token: &str, album: &str, id: &str, image: &Image) -> Response {
         net.dispatch(
             "browser:bob",
             Request::new(Method::Post, "https://webpics.example/photos")

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use ucam_policy::Action;
 use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
-use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, Url, WebApp};
+use ucam_webenv::{Method, Request, Response, SimClock, Status, Transport, Url, WebApp};
 
 use crate::shell::AppShell;
 
@@ -93,7 +93,7 @@ impl WebStorage {
         }
     }
 
-    fn file_route(&self, net: &SimNet, req: &Request) -> Response {
+    fn file_route(&self, net: &dyn Transport, req: &Request) -> Response {
         let path = req.url.path().trim_start_matches("/files/");
         let id = format!("files/{path}");
         let action = match req.method {
@@ -125,7 +125,7 @@ impl WebStorage {
         }
     }
 
-    fn list(&self, net: &SimNet, req: &Request) -> Response {
+    fn list(&self, net: &dyn Transport, req: &Request) -> Response {
         let Some(dir) = req.param("dir") else {
             return Response::bad_request("dir required");
         };
@@ -139,7 +139,7 @@ impl WebStorage {
 
     /// Acting as a Requester (§VI): fetch a resource from another Host via
     /// the full token flow and store it locally as a backup.
-    fn backup(&self, net: &SimNet, req: &Request) -> Response {
+    fn backup(&self, net: &dyn Transport, req: &Request) -> Response {
         let owner = match self.shell.require_subject(req) {
             Ok(user) => user,
             Err(resp) => return resp,
@@ -184,7 +184,7 @@ impl WebApp for WebStorage {
         self.shell.core.authority()
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         if let Some(resp) = self.shell.route_common(net, req) {
             return resp;
         }
@@ -203,6 +203,7 @@ impl WebApp for WebStorage {
 mod tests {
     use super::*;
     use ucam_webenv::identity::IdentityProvider;
+    use ucam_webenv::SimNet;
 
     fn setup() -> (SimNet, Arc<WebStorage>, String) {
         let net = SimNet::new();

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use ucam_crypto::{base64url_decode, base64url_encode};
 use ucam_policy::Action;
-use ucam_webenv::{Method, Request, Response, SimClock, SimNet, Status, WebApp};
+use ucam_webenv::{Method, Request, Response, SimClock, Status, Transport, WebApp};
 
 use crate::shell::AppShell;
 use crate::video::Video;
@@ -94,7 +94,7 @@ impl WebVideos {
         }
     }
 
-    fn video_route(&self, net: &SimNet, req: &Request) -> Response {
+    fn video_route(&self, net: &dyn Transport, req: &Request) -> Response {
         let rest = req.url.path().trim_start_matches("/videos/");
         let segments: Vec<&str> = rest.split('/').filter(|s| !s.is_empty()).collect();
         let (collection, video_id, op) = match segments.as_slice() {
@@ -176,7 +176,7 @@ impl WebVideos {
         }
     }
 
-    fn list_collection(&self, net: &SimNet, req: &Request) -> Response {
+    fn list_collection(&self, net: &dyn Transport, req: &Request) -> Response {
         let collection = req.url.path().trim_start_matches("/collection/");
         let meta_id = format!("collection-meta/{collection}");
         if let Err(resp) = self.shell.enforce_web(net, req, &meta_id, &Action::List) {
@@ -195,7 +195,7 @@ impl WebApp for WebVideos {
         self.shell.core.authority()
     }
 
-    fn handle(&self, net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response {
         if let Some(resp) = self.shell.route_common(net, req) {
             return resp;
         }
@@ -215,6 +215,7 @@ impl WebApp for WebVideos {
 mod tests {
     use super::*;
     use ucam_webenv::identity::IdentityProvider;
+    use ucam_webenv::SimNet;
 
     fn setup() -> (SimNet, Arc<WebVideos>, String) {
         let net = SimNet::new();
@@ -227,7 +228,13 @@ mod tests {
         (net, videos, token)
     }
 
-    fn upload(net: &SimNet, token: &str, collection: &str, id: &str, video: &Video) -> Response {
+    fn upload(
+        net: &dyn Transport,
+        token: &str,
+        collection: &str,
+        id: &str,
+        video: &Video,
+    ) -> Response {
         net.dispatch(
             "browser:bob",
             Request::new(Method::Post, "https://webvideos.example/videos")

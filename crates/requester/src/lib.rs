@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use ucam_webenv::{Method, Request, Response, RetryPolicy, SimNet, Status, Url};
+use ucam_webenv::{Method, Request, Response, RetryPolicy, Status, Transport, Url};
 
 /// Counters describing the requester's protocol work (experiment E7).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -286,7 +286,7 @@ impl RequesterClient {
     }
 
     /// Performs one access, transparently running the token flow.
-    pub fn access(&mut self, net: &SimNet, spec: &AccessSpec) -> AccessOutcome {
+    pub fn access(&mut self, net: &dyn Transport, spec: &AccessSpec) -> AccessOutcome {
         self.stats.accesses += 1;
         let cache_key = self.cache_key(spec);
         let cached = self.tokens.get(&cache_key).cloned();
@@ -330,7 +330,7 @@ impl RequesterClient {
         )
     }
 
-    fn send(&mut self, net: &SimNet, spec: &AccessSpec, bearer: Option<&str>) -> Response {
+    fn send(&mut self, net: &dyn Transport, spec: &AccessSpec, bearer: Option<&str>) -> Response {
         let label = self.label.clone();
         let build = move || {
             let mut req = Request::to_url(spec.method, spec.url.clone())
@@ -347,7 +347,7 @@ impl RequesterClient {
     /// Dispatches under the client's retry policy (if any). Only
     /// transport failures are retried; application responses return
     /// after the first attempt.
-    fn dispatch_retrying(&mut self, net: &SimNet, build: impl Fn() -> Request) -> Response {
+    fn dispatch_retrying(&mut self, net: &dyn Transport, build: impl Fn() -> Request) -> Response {
         match self.retry.clone() {
             Some(policy) => {
                 let (resp, report) =
@@ -359,7 +359,7 @@ impl RequesterClient {
         }
     }
 
-    fn classify(&mut self, net: &SimNet, spec: &AccessSpec, resp: Response) -> Classified {
+    fn classify(&mut self, net: &dyn Transport, spec: &AccessSpec, resp: Response) -> Classified {
         match resp.status {
             Status::Found => match resp.location() {
                 Some(location) if location.path() == "/authorize" => {
@@ -375,7 +375,12 @@ impl RequesterClient {
     }
 
     /// Follows the Host's redirect to the AM's `/authorize` (Fig. 5).
-    fn request_token(&mut self, net: &SimNet, _spec: &AccessSpec, authorize: &Url) -> Classified {
+    fn request_token(
+        &mut self,
+        net: &dyn Transport,
+        _spec: &AccessSpec,
+        authorize: &Url,
+    ) -> Classified {
         self.stats.token_requests += 1;
         let am = authorize.authority().to_owned();
         let mut url = authorize.clone();
@@ -432,7 +437,7 @@ impl RequesterClient {
     /// unreachable, the resource unknown, or no AM link is published.
     pub fn discover_am(
         &mut self,
-        net: &SimNet,
+        net: &dyn Transport,
         host: &str,
         resource_id: &str,
     ) -> Option<Discovered> {
@@ -453,7 +458,7 @@ impl RequesterClient {
     /// resource. Same number of round trips, different orchestrator.
     pub fn access_via_discovery(
         &mut self,
-        net: &SimNet,
+        net: &dyn Transport,
         spec: &AccessSpec,
         resource_id: &str,
     ) -> AccessOutcome {
@@ -498,7 +503,12 @@ impl RequesterClient {
     /// Polls the AM for the state of a pending consent request; returns
     /// `Some(true)` once granted, `Some(false)` once denied, `None` while
     /// pending or on error.
-    pub fn poll_consent(&mut self, net: &SimNet, am: &str, consent_id: &str) -> Option<bool> {
+    pub fn poll_consent(
+        &mut self,
+        net: &dyn Transport,
+        am: &str,
+        consent_id: &str,
+    ) -> Option<bool> {
         let url = Url::new(am, "/authorize/status").with_query("id", consent_id);
         let resp = net.dispatch(&self.label, Request::to_url(Method::Get, url));
         match (resp.status, resp.body.as_str()) {
@@ -547,6 +557,7 @@ fn extract_between(haystack: &str, start: &str, end: &str) -> Option<String> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use ucam_webenv::SimNet;
     use ucam_webenv::WebApp;
 
     /// A fake Host+AM pair exercising every branch of the client.
@@ -556,7 +567,7 @@ mod tests {
         fn authority(&self) -> &str {
             "host.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             match (req.url.path(), req.bearer_token()) {
                 ("/open", _) => Response::ok().with_body("open data"),
                 ("/protected", Some("good-token")) => Response::ok().with_body("secret"),
@@ -581,7 +592,7 @@ mod tests {
         fn authority(&self) -> &str {
             "am.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             match req.url.path() {
                 "/authorize" => match req.param("resource") {
                     Some("protected") => {
@@ -708,7 +719,7 @@ mod tests {
             fn authority(&self) -> &str {
                 "am.example"
             }
-            fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
                 let s = req.param("subject_token").unwrap_or("-");
                 let c = req.param("claims").unwrap_or("-");
                 Response::ok().with_body(format!("{s}/{c}"))
@@ -735,7 +746,7 @@ mod tests {
         fn authority(&self) -> &str {
             "meta-host.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             match req.url.path() {
                 "/.well-known/host-meta" => match req.param("resource") {
                     Some("known") => Response::ok().with_body(concat!(
@@ -767,7 +778,7 @@ mod tests {
         fn authority(&self) -> &str {
             "am.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             assert_eq!(req.url.path(), "/authorize");
             assert_eq!(req.param("owner"), Some("bob"));
             Response::ok().with_body("good-token")
@@ -847,7 +858,7 @@ mod tests {
             fn authority(&self) -> &str {
                 "am-b.example"
             }
-            fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+            fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
                 assert_eq!(req.url.path(), "/authorize");
                 let ret: Url = req.param("return").unwrap().parse().unwrap();
                 Response::redirect(&ret.with_query("authz_token", "good-token"))

@@ -52,7 +52,7 @@ pub fn e7_subsequent_access(per_hop_latency_ms: u64) -> Vec<CachingRow> {
         // so the measured loop is the zero-cost fabric path.
         world.net.trace().set_enabled(false);
         world
-            .net
+            .simnet()
             .set_latency(LatencyModel::constant(per_hop_latency_ms));
         world.upload_content(1);
         world.delegate_all_hosts("bob");

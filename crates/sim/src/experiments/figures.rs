@@ -88,7 +88,7 @@ pub fn e2_protocol_phases(per_hop_latency_ms: u64) -> (Vec<PhaseStat>, String) {
     // explicitly (cost experiments and soaks run trace-off).
     world.net.trace().set_enabled(true);
     world
-        .net
+        .simnet()
         .set_latency(ucam_webenv::LatencyModel::constant(per_hop_latency_ms));
     world.upload_content(1);
     let mut phases = Vec::new();

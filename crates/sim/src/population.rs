@@ -481,7 +481,7 @@ pub fn run_population_scale(cfg: &PopulationScaleConfig) -> PopulationScaleRow {
     // is the multi-Host fan-out edge at full width.
     let mut push_deliveries = 0u64;
     for _ in 0..(cfg.population / 512 + 1_000) {
-        push_deliveries += am.pump_epoch_pushes_bounded(&net, 4_096) as u64;
+        push_deliveries += am.pump_epoch_pushes_bounded(net.as_ref(), 4_096) as u64;
         if am.pending_epoch_pushes() == 0 {
             break;
         }
@@ -510,7 +510,7 @@ pub fn run_population_scale(cfg: &PopulationScaleConfig) -> PopulationScaleRow {
             .entry(event.requester)
             .or_insert_with(|| RequesterClient::new(&pop.requester_name(event.requester)));
         let begun = Instant::now();
-        let outcome = client.access(&net, &spec);
+        let outcome = client.access(net.as_ref(), &spec);
         samples_ns.push(begun.elapsed().as_nanos() as u64);
         assert!(
             outcome.is_granted(),

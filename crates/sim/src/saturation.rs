@@ -29,7 +29,7 @@ use ucam_host::{DelegationConfig, WebStorage};
 use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
 use ucam_requester::{AccessSpec, RequesterClient};
 use ucam_webenv::identity::IdentityProvider;
-use ucam_webenv::{Method, Request, SimNet, Url};
+use ucam_webenv::{HttpTransport, Method, Request, SimNet, Transport, Url};
 
 /// The two Host authorities of the saturation rig.
 pub const SAT_HOSTS: [&str; 2] = ["files-a.example", "files-b.example"];
@@ -38,6 +38,40 @@ pub const SAT_HOSTS: [&str; 2] = ["files-a.example", "files-b.example"];
 /// stride), so the percentile columns stay honest while the timed loop
 /// itself stays almost free of clock reads and sample-buffer traffic.
 const LATENCY_SAMPLE_EVERY: usize = 16;
+
+/// Which [`Transport`] backend the rig runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The deterministic in-process fabric ([`SimNet`]).
+    #[default]
+    Sim,
+    /// Real loopback TCP ([`HttpTransport`]): every dispatch crosses
+    /// actual sockets through the hand-rolled HTTP/1.1 codec.
+    Http,
+}
+
+impl TransportKind {
+    /// The suffix appended to the `bench` column for this backend
+    /// (`phase6_warm` stays bare for `Sim`; `Http` rows become
+    /// `phase6_warm_http` so the two families never collide in
+    /// `BENCH_PR2.json`).
+    #[must_use]
+    pub fn bench_suffix(self) -> &'static str {
+        match self {
+            TransportKind::Sim => "",
+            TransportKind::Http => "_http",
+        }
+    }
+
+    /// Builds a fresh, empty transport of this kind.
+    #[must_use]
+    pub fn build(self) -> Arc<dyn Transport> {
+        match self {
+            TransportKind::Sim => Arc::new(SimNet::new()),
+            TransportKind::Http => Arc::new(HttpTransport::new()),
+        }
+    }
+}
 
 /// Which part of the protocol the measured loop replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +83,14 @@ pub enum SaturationMode {
 }
 
 impl SaturationMode {
-    /// The `bench` column value for this mode.
+    /// The `bench` column value for this mode on a given backend.
     #[must_use]
-    pub fn bench_name(self) -> &'static str {
-        match self {
-            SaturationMode::Phase6Warm => "phase6_warm",
-            SaturationMode::FullFlow => "full_flow",
+    pub fn bench_name(self, transport: TransportKind) -> &'static str {
+        match (self, transport) {
+            (SaturationMode::Phase6Warm, TransportKind::Sim) => "phase6_warm",
+            (SaturationMode::Phase6Warm, TransportKind::Http) => "phase6_warm_http",
+            (SaturationMode::FullFlow, TransportKind::Sim) => "full_flow",
+            (SaturationMode::FullFlow, TransportKind::Http) => "full_flow_http",
         }
     }
 }
@@ -68,6 +104,8 @@ pub struct SaturationConfig {
     pub iters_per_thread: usize,
     /// Workload mode.
     pub mode: SaturationMode,
+    /// Which transport backend carries the messages.
+    pub transport: TransportKind,
 }
 
 /// One measured row, matching the `BENCH_PR2.json` schema.
@@ -90,6 +128,29 @@ pub struct SaturationRow {
     pub p95_us: f64,
     /// 99th-percentile per-access wall latency in microseconds.
     pub p99_us: f64,
+    /// Deterministic work counts for the timed window — the
+    /// machine-independent half of the row (see [`WorkCounts`]).
+    pub work: WorkCounts,
+}
+
+/// Exact protocol work performed during the timed window, read from the
+/// transport's message stats and the Hosts' PEP counters after the
+/// workers join. Every field is a deterministic function of
+/// `(bench, threads, iters)` — independent of the machine, the load and
+/// the transport backend — so CI gates on these values *exactly*
+/// instead of trusting a noise-prone req/s floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounts {
+    /// Granted accesses in the timed window (`threads x iters`).
+    pub accesses: u64,
+    /// Request/response round trips the transport carried.
+    pub wire_rts: u64,
+    /// Accesses decided by the tier-1 capability sieve.
+    pub sieve_hits: u64,
+    /// Permits served from the tier-2 decision cache.
+    pub cache_hits: u64,
+    /// Decision queries that reached the AM.
+    pub am_queries: u64,
 }
 
 impl SaturationRow {
@@ -98,8 +159,19 @@ impl SaturationRow {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"bench\":\"{}\",\"threads\":{},\"reqs_per_sec\":{:.1},\"p50_us\":{:.2},\
-             \"p95_us\":{:.2},\"p99_us\":{:.2}}}",
-            self.bench, self.threads, self.reqs_per_sec, self.p50_us, self.p95_us, self.p99_us
+             \"p95_us\":{:.2},\"p99_us\":{:.2},\"accesses\":{},\"wire_rts\":{},\
+             \"sieve_hits\":{},\"cache_hits\":{},\"am_queries\":{}}}",
+            self.bench,
+            self.threads,
+            self.reqs_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.work.accesses,
+            self.work.wire_rts,
+            self.work.sieve_hits,
+            self.work.cache_hits,
+            self.work.am_queries
         )
     }
 
@@ -110,9 +182,20 @@ impl SaturationRow {
     /// run down), so the per-field best over attempts is the tightest
     /// estimate of what the fabric can actually sustain — even when the
     /// best throughput and the best tail come from different windows.
+    /// # Panics
+    ///
+    /// Panics when the two attempts disagree on their work counts: the
+    /// counts are deterministic per configuration, so a mismatch means
+    /// the protocol did different work on identical runs — a bug, not
+    /// noise to be averaged away.
     pub fn merge_best(&mut self, other: &SaturationRow) {
         debug_assert_eq!(self.bench, other.bench);
         debug_assert_eq!(self.threads, other.threads);
+        assert_eq!(
+            self.work, other.work,
+            "work counts diverged between attempts of {}@{}",
+            self.bench, self.threads
+        );
         self.reqs_per_sec = self.reqs_per_sec.max(other.reqs_per_sec);
         self.p50_us = self.p50_us.min(other.p50_us);
         self.p95_us = self.p95_us.min(other.p95_us);
@@ -122,7 +205,7 @@ impl SaturationRow {
 
 /// The assembled rig: one AM, two Hosts, one reader account per thread.
 struct Rig {
-    net: Arc<SimNet>,
+    net: Arc<dyn Transport>,
     idp: Arc<IdentityProvider>,
     am: Arc<AuthorizationManager>,
     hosts: Vec<Arc<WebStorage>>,
@@ -131,8 +214,8 @@ struct Rig {
 /// Builds the rig for `threads` readers: bob delegates both Hosts to one
 /// AM, uploads one file per reader (spread across the Hosts), and links a
 /// policy permitting any authenticated subject to read.
-fn build_rig(threads: usize) -> Rig {
-    let net = Arc::new(SimNet::new());
+fn build_rig(transport: TransportKind, threads: usize) -> Rig {
+    let net: Arc<dyn Transport> = transport.build();
     let clock = net.clock().clone();
     let idp = Arc::new(IdentityProvider::new("idp.example", clock.clone()));
     let am = Arc::new(AuthorizationManager::new("am.example", clock.clone()));
@@ -217,7 +300,7 @@ fn build_rig(threads: usize) -> Rig {
 fn deliver_sieves(rig: &Rig) {
     rig.am.schedule_sieve_refresh();
     for _ in 0..1_000 {
-        rig.am.pump_epoch_pushes(&rig.net);
+        rig.am.pump_epoch_pushes(rig.net.as_ref());
         if rig.am.pending_epoch_pushes() == 0 {
             return;
         }
@@ -239,7 +322,7 @@ fn deliver_sieves(rig: &Rig) {
 pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
     assert!(config.threads > 0, "at least one thread");
     assert!(config.iters_per_thread > 0, "at least one iteration");
-    let rig = build_rig(config.threads);
+    let rig = build_rig(config.transport, config.threads);
     // Measured loops run trace-off: the point is the fabric's steady
     // state, not the recorder. The lazy-label API makes this one relaxed
     // atomic load per record call.
@@ -262,7 +345,7 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
             let spec = AccessSpec::read(Url::new(authority, &format!("/files/shared/f{t}.txt")));
             // Warm up: obtain the token and populate the decision cache.
             assert!(
-                client.access(&net, &spec).is_granted(),
+                client.access(net.as_ref(), &spec).is_granted(),
                 "warm-up access must succeed"
             );
             warmed.wait();
@@ -286,14 +369,14 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
                 // which would bias the multi-thread aggregate downward.
                 if i.is_multiple_of(LATENCY_SAMPLE_EVERY) {
                     let start = Instant::now();
-                    let outcome = client.access(&net, &spec);
+                    let outcome = client.access(net.as_ref(), &spec);
                     samples_ns.push(start.elapsed().as_nanos() as u64);
                     assert!(
                         outcome.is_granted(),
                         "saturation access denied: {outcome:?}"
                     );
                 } else {
-                    let outcome = client.access(&net, &spec);
+                    let outcome = client.access(net.as_ref(), &spec);
                     assert!(
                         outcome.is_granted(),
                         "saturation access denied: {outcome:?}"
@@ -310,6 +393,12 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
     // tier-1 lock-free edge, not the shared-lock decision cache.
     warmed.wait();
     deliver_sieves(&rig);
+    // Zero the message and PEP counters so the work counts cover exactly
+    // the timed window: nothing moves between here and the start line.
+    rig.net.reset_stats();
+    for host in &rig.hosts {
+        host.shell().core.reset_stats();
+    }
     start_line.wait();
     let mut samples: Vec<u64> =
         Vec::with_capacity(config.threads * (iters / LATENCY_SAMPLE_EVERY + 1));
@@ -326,38 +415,57 @@ pub fn run_saturation(config: &SaturationConfig) -> SaturationRow {
         .saturating_duration_since(wall_start.expect("at least one thread"))
         .as_secs_f64();
 
+    // Exact work accounting for the timed window, straight from the
+    // stat cells that were zeroed at the start line.
+    let mut pep = ucam_host::PepStats::default();
+    for host in &rig.hosts {
+        let hs = host.shell().core.stats();
+        pep.sieve_hits += hs.sieve_hits;
+        pep.cache_hits += hs.cache_hits;
+        pep.am_queries += hs.am_queries;
+    }
+    let work = WorkCounts {
+        accesses: (config.threads * iters) as u64,
+        wire_rts: rig.net.stats().round_trips,
+        sieve_hits: pep.sieve_hits,
+        cache_hits: pep.cache_hits,
+        am_queries: pep.am_queries,
+    };
+
     // Phase6Warm must have run on the tier-1 edge: every timed access on
     // every thread a sieve hit. A run that silently degraded to tier-2
     // (an empty sieve, a compile gap, an early expiry) would measure the
     // wrong path and must fail loudly instead.
     if mode == SaturationMode::Phase6Warm {
-        let sieve_hits: u64 = rig
-            .hosts
-            .iter()
-            .map(|h| h.shell().core.stats().sieve_hits)
-            .sum();
         assert!(
-            sieve_hits >= (config.threads * iters) as u64,
-            "phase6_warm ran off the sieve: {sieve_hits} tier-1 hits for {} accesses",
-            config.threads * iters
+            work.sieve_hits >= work.accesses,
+            "phase6_warm ran off the sieve: {} tier-1 hits for {} accesses",
+            work.sieve_hits,
+            work.accesses
         );
     }
 
     samples.sort_unstable();
     let total_ops = (config.threads * iters) as f64;
     SaturationRow {
-        bench: mode.bench_name(),
+        bench: mode.bench_name(config.transport),
         threads: config.threads,
         reqs_per_sec: total_ops / elapsed.max(f64::EPSILON),
         p50_us: percentile_us(&samples, 0.50),
         p95_us: percentile_us(&samples, 0.95),
         p99_us: percentile_us(&samples, 0.99),
+        work,
     }
 }
 
-/// Runs the standard sweep: both modes × the given thread counts.
+/// Runs the standard sweep: both modes × the given thread counts, on
+/// the chosen transport backend.
 #[must_use]
-pub fn saturation_sweep(thread_counts: &[usize], iters_per_thread: usize) -> Vec<SaturationRow> {
+pub fn saturation_sweep(
+    transport: TransportKind,
+    thread_counts: &[usize],
+    iters_per_thread: usize,
+) -> Vec<SaturationRow> {
     let mut rows = Vec::new();
     for mode in [SaturationMode::Phase6Warm, SaturationMode::FullFlow] {
         for &threads in thread_counts {
@@ -365,6 +473,7 @@ pub fn saturation_sweep(thread_counts: &[usize], iters_per_thread: usize) -> Vec
                 threads,
                 iters_per_thread,
                 mode,
+                transport,
             }));
         }
     }
@@ -403,6 +512,7 @@ mod tests {
             threads: 2,
             iters_per_thread: 20,
             mode: SaturationMode::Phase6Warm,
+            transport: TransportKind::Sim,
         });
         assert_eq!(row.bench, "phase6_warm");
         assert_eq!(row.threads, 2);
@@ -417,11 +527,22 @@ mod tests {
             threads: 2,
             iters_per_thread: 10,
             mode: SaturationMode::FullFlow,
+            transport: TransportKind::Sim,
         });
         assert_eq!(row.bench, "full_flow");
         // A cold access costs strictly more wire work than a warm one, so
         // the row must still be well-formed under the heavier flow.
         assert!(row.reqs_per_sec > 0.0);
+    }
+
+    fn demo_work() -> WorkCounts {
+        WorkCounts {
+            accesses: 800,
+            wire_rts: 800,
+            sieve_hits: 800,
+            cache_hits: 0,
+            am_queries: 0,
+        }
     }
 
     #[test]
@@ -433,6 +554,7 @@ mod tests {
             p50_us: 4.25,
             p95_us: 7.75,
             p99_us: 9.5,
+            work: demo_work(),
         }];
         let doc = rows_to_json(&rows);
         assert!(doc.starts_with("[\n"));
@@ -442,6 +564,8 @@ mod tests {
         assert!(doc.contains("\"p50_us\":4.25"));
         assert!(doc.contains("\"p95_us\":7.75"));
         assert!(doc.contains("\"p99_us\":9.50"));
+        assert!(doc.contains("\"accesses\":800"));
+        assert!(doc.contains("\"wire_rts\":800"));
         // The document must round-trip through a typed parse of the
         // published schema.
         #[derive(serde::Deserialize)]
@@ -452,6 +576,11 @@ mod tests {
             p50_us: f64,
             p95_us: f64,
             p99_us: f64,
+            accesses: u64,
+            wire_rts: u64,
+            sieve_hits: u64,
+            cache_hits: u64,
+            am_queries: u64,
         }
         let parsed: Vec<RowCheck> = serde_json::from_str(&doc).unwrap();
         assert_eq!(parsed.len(), 1);
@@ -461,6 +590,11 @@ mod tests {
         assert!((parsed[0].p50_us - 4.25).abs() < 1e-9);
         assert!((parsed[0].p95_us - 7.75).abs() < 1e-9);
         assert!((parsed[0].p99_us - 9.5).abs() < 1e-9);
+        assert_eq!(parsed[0].accesses, 800);
+        assert_eq!(parsed[0].wire_rts, 800);
+        assert_eq!(parsed[0].sieve_hits, 800);
+        assert_eq!(parsed[0].cache_hits, 0);
+        assert_eq!(parsed[0].am_queries, 0);
     }
 
     #[test]
@@ -472,6 +606,7 @@ mod tests {
             p50_us: 33.0,
             p95_us: 80.0,
             p99_us: 16_000.0,
+            work: demo_work(),
         };
         row.merge_best(&SaturationRow {
             bench: "full_flow",
@@ -480,10 +615,47 @@ mod tests {
             p50_us: 35.0,
             p95_us: 90.0,
             p99_us: 700.0,
+            work: demo_work(),
         });
         assert!((row.reqs_per_sec - 25_000.0).abs() < 1e-9);
         assert!((row.p50_us - 33.0).abs() < 1e-9);
         assert!((row.p95_us - 80.0).abs() < 1e-9);
         assert!((row.p99_us - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "work counts diverged")]
+    fn merge_best_rejects_diverging_work_counts() {
+        let mut row = SaturationRow {
+            bench: "full_flow",
+            threads: 8,
+            reqs_per_sec: 25_000.0,
+            p50_us: 33.0,
+            p95_us: 80.0,
+            p99_us: 90.0,
+            work: demo_work(),
+        };
+        let mut other = row.clone();
+        other.work.wire_rts += 1;
+        row.merge_best(&other);
+    }
+
+    #[test]
+    fn http_rig_matches_sim_work_counts() {
+        // The same configuration must do identical protocol work on both
+        // backends — the message edge is an implementation detail.
+        let config = |transport| SaturationConfig {
+            threads: 2,
+            iters_per_thread: 8,
+            mode: SaturationMode::Phase6Warm,
+            transport,
+        };
+        let sim = run_saturation(&config(TransportKind::Sim));
+        let http = run_saturation(&config(TransportKind::Http));
+        assert_eq!(sim.bench, "phase6_warm");
+        assert_eq!(http.bench, "phase6_warm_http");
+        assert_eq!(sim.work, http.work, "work diverged across transports");
+        assert_eq!(sim.work.accesses, 16);
+        assert_eq!(sim.work.sieve_hits, 16);
     }
 }

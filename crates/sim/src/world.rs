@@ -14,7 +14,7 @@ use ucam_host::{Video, WebDocs, WebPics, WebStorage, WebVideos};
 use ucam_policy::{Action, PolicyBody, PolicyId, ResourceRef, Rule, RulePolicy, Subject};
 use ucam_requester::{AccessOutcome, AccessSpec, RequesterClient};
 use ucam_webenv::identity::IdentityProvider;
-use ucam_webenv::{Browser, Method, Request, Response, SimNet, Url};
+use ucam_webenv::{Browser, Method, Request, Response, SimNet, Transport, Url};
 
 /// The AM's authority in the standard world.
 pub const AM: &str = "am.example";
@@ -27,8 +27,10 @@ pub const VIDEO_HOST: &str = "webvideos.example";
 
 /// The assembled scenario world.
 pub struct World {
-    /// The simulated network (owns clock, trace, counters).
-    pub net: SimNet,
+    /// The message transport (owns clock, trace, counters). `SimNet` by
+    /// default; [`World::bootstrap_on`] accepts any [`Transport`] backend,
+    /// so the same scenario runs over loopback HTTP unchanged.
+    pub net: Arc<dyn Transport>,
     /// Bob's chosen Authorization Manager.
     pub am: Arc<AuthorizationManager>,
     /// The identity provider everyone authenticates against.
@@ -65,7 +67,14 @@ impl World {
     /// users bob, alice and chris.
     #[must_use]
     pub fn bootstrap() -> Self {
-        let net = SimNet::new();
+        Self::bootstrap_on(Arc::new(SimNet::new()))
+    }
+
+    /// Builds the standard world on an explicit transport backend — the
+    /// transport-conformance suite runs the same scenario over `SimNet`
+    /// and `HttpTransport` through this.
+    #[must_use]
+    pub fn bootstrap_on(net: Arc<dyn Transport>) -> Self {
         let clock = net.clock().clone();
 
         let idp = Arc::new(IdentityProvider::new(IDP, clock.clone()));
@@ -105,6 +114,22 @@ impl World {
             browsers: HashMap::new(),
             uploaded: HashMap::new(),
         }
+    }
+
+    /// Returns the deterministic `SimNet` backend, for harnesses that
+    /// inject simulated faults (partitions, message loss). Fault
+    /// injection is backend-specific, so this panics when the world runs
+    /// on a different transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was bootstrapped on a non-`SimNet` backend.
+    #[must_use]
+    pub fn simnet(&self) -> &SimNet {
+        self.net
+            .as_any()
+            .downcast_ref::<SimNet>()
+            .expect("this world does not run on SimNet")
     }
 
     /// Logs `user` in at the IdP (cached) and returns their assertion.
@@ -273,12 +298,16 @@ impl World {
 
     /// Runs `f` with the user's browser and the network — the browser is
     /// temporarily taken out of the map so both can be borrowed at once.
-    fn with_browser<R>(&mut self, user: &str, f: impl FnOnce(&SimNet, &mut Browser) -> R) -> R {
+    fn with_browser<R>(
+        &mut self,
+        user: &str,
+        f: impl FnOnce(&dyn Transport, &mut Browser) -> R,
+    ) -> R {
         let mut browser = self
             .browsers
             .remove(user)
             .unwrap_or_else(|| Browser::new(&format!("browser:{user}")));
-        let result = f(&self.net, &mut browser);
+        let result = f(self.net.as_ref(), &mut browser);
         self.browsers.insert(user.to_owned(), browser);
         result
     }
@@ -287,12 +316,12 @@ impl World {
     fn with_client<R>(
         &mut self,
         friend: &str,
-        f: impl FnOnce(&SimNet, &mut RequesterClient) -> R,
+        f: impl FnOnce(&dyn Transport, &mut RequesterClient) -> R,
     ) -> R {
         // Ensure the client exists (needs &mut self for the assertion).
         self.client(friend);
         let mut client = self.clients.remove(friend).expect("just ensured");
-        let result = f(&self.net, &mut client);
+        let result = f(self.net.as_ref(), &mut client);
         self.clients.insert(friend.to_owned(), client);
         result
     }

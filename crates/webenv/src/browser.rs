@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use crate::http::{Method, Request, Response, Status};
-use crate::net::SimNet;
+use crate::transport::Transport;
 
 /// Maximum redirects followed before giving up — guards against loops.
 const MAX_REDIRECTS: usize = 16;
@@ -76,7 +76,7 @@ impl Browser {
     ///
     /// Panics if `url` does not parse (static test URLs); use
     /// [`Browser::request`] with a parsed [`Url`](crate::url::Url) for dynamic targets.
-    pub fn get(&mut self, net: &SimNet, url: &str) -> Response {
+    pub fn get(&mut self, net: &dyn Transport, url: &str) -> Response {
         self.request(net, Request::new(Method::Get, url))
     }
 
@@ -85,7 +85,7 @@ impl Browser {
     /// # Panics
     ///
     /// Panics if `url` does not parse.
-    pub fn post(&mut self, net: &SimNet, url: &str, form: &[(&str, &str)]) -> Response {
+    pub fn post(&mut self, net: &dyn Transport, url: &str, form: &[(&str, &str)]) -> Response {
         let mut req = Request::new(Method::Post, url);
         for (k, v) in form {
             req = req.with_param(k, v);
@@ -96,7 +96,7 @@ impl Browser {
     /// Sends `req`, attaching cookies for its authority, following up to
     /// [`MAX_REDIRECTS`](self) redirects (cookies are re-evaluated per hop, and
     /// redirected requests are GETs, as in real browsers).
-    pub fn request(&mut self, net: &SimNet, mut req: Request) -> Response {
+    pub fn request(&mut self, net: &dyn Transport, mut req: Request) -> Response {
         for _ in 0..=MAX_REDIRECTS {
             let authority = req.url.authority().to_owned();
             req = self.attach_cookies(req);
@@ -114,7 +114,7 @@ impl Browser {
 
     /// Sends a single request without following redirects (used where a
     /// protocol step must observe the redirect itself).
-    pub fn request_no_follow(&mut self, net: &SimNet, req: Request) -> Response {
+    pub fn request_no_follow(&mut self, net: &dyn Transport, req: Request) -> Response {
         let authority = req.url.authority().to_owned();
         let req = self.attach_cookies(req);
         let resp = net.dispatch(&self.label, req);
@@ -148,7 +148,7 @@ impl Browser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::net::WebApp;
+    use crate::net::{SimNet, WebApp};
     use crate::url::Url;
     use std::sync::Arc;
 
@@ -159,7 +159,7 @@ mod tests {
         fn authority(&self) -> &str {
             "session.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             match req.url.path() {
                 "/login" => Response::ok().with_cookie("sid", "s-123"),
                 "/whoami" => match req.cookie("sid") {
@@ -178,7 +178,7 @@ mod tests {
         fn authority(&self) -> &str {
             "redir.example"
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             match req.url.path() {
                 "/start" => Response::redirect(&Url::new("redir.example", "/end")),
                 "/end" => Response::ok().with_body("arrived"),

@@ -82,6 +82,46 @@ impl Status {
         }
     }
 
+    /// Parses a numeric status code back into the enum (inverse of
+    /// [`Status::code`]); `None` for codes the protocol never uses.
+    #[must_use]
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            200 => Status::Ok,
+            201 => Status::Created,
+            202 => Status::Accepted,
+            204 => Status::NoContent,
+            302 => Status::Found,
+            400 => Status::BadRequest,
+            401 => Status::Unauthorized,
+            402 => Status::PaymentRequired,
+            403 => Status::Forbidden,
+            404 => Status::NotFound,
+            409 => Status::Conflict,
+            503 => Status::Unavailable,
+            _ => return None,
+        })
+    }
+
+    /// The canonical reason phrase for the HTTP/1.1 status line.
+    #[must_use]
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::Accepted => "Accepted",
+            Status::NoContent => "No Content",
+            Status::Found => "Found",
+            Status::BadRequest => "Bad Request",
+            Status::Unauthorized => "Unauthorized",
+            Status::PaymentRequired => "Payment Required",
+            Status::Forbidden => "Forbidden",
+            Status::NotFound => "Not Found",
+            Status::Conflict => "Conflict",
+            Status::Unavailable => "Service Unavailable",
+        }
+    }
+
     /// Returns `true` for 2xx statuses.
     #[must_use]
     pub fn is_success(self) -> bool {
@@ -384,6 +424,29 @@ mod tests {
         assert!(Status::Created.is_success());
         assert!(!Status::Forbidden.is_success());
         assert!(Status::Found.is_redirect());
+    }
+
+    #[test]
+    fn status_from_code_roundtrips() {
+        for status in [
+            Status::Ok,
+            Status::Created,
+            Status::Accepted,
+            Status::NoContent,
+            Status::Found,
+            Status::BadRequest,
+            Status::Unauthorized,
+            Status::PaymentRequired,
+            Status::Forbidden,
+            Status::NotFound,
+            Status::Conflict,
+            Status::Unavailable,
+        ] {
+            assert_eq!(Status::from_code(status.code()), Some(status));
+            assert!(!status.reason().is_empty());
+        }
+        assert_eq!(Status::from_code(500), None);
+        assert_eq!(Status::from_code(0), None);
     }
 
     #[test]

@@ -1,0 +1,1014 @@
+//! A real-socket [`Transport`] backend: loopback TCP + HTTP/1.1.
+//!
+//! `HttpTransport` serves the same [`WebApp`] handlers that run on
+//! [`SimNet`](crate::net::SimNet), but over actual sockets: every
+//! registered authority gets its own `127.0.0.1:0` listener with an
+//! accept loop, each accepted connection is handled by its own thread
+//! (connections are bounded by the number of client threads — the
+//! client keeps one persistent connection per `(thread, authority)`
+//! pair), and a hand-rolled HTTP/1.1 codec carries [`Request`] and
+//! [`Response`] over the wire. No external HTTP stack, no async
+//! runtime, no new dependencies.
+//!
+//! # Codec bounds (DESIGN.md §14)
+//!
+//! The codec implements exactly the subset of HTTP/1.1 this protocol
+//! needs, and nothing more:
+//!
+//! * origin-form request targets (`/path?query`, query percent-encoded
+//!   by the shared [`Url`] escaper); no absolute-form, no `*`;
+//! * `content-length` framing only — no chunked transfer encoding, no
+//!   trailers, no `100-continue`;
+//! * single-valued headers (lower-case names), UTF-8 bodies (lossily
+//!   decoded on receipt), messages capped at [`MAX_MESSAGE_BYTES`];
+//! * persistent connections (keep-alive) with at most one in-flight
+//!   request per connection — no pipelining;
+//! * form parameters ride in an `x-ucam-form` header (percent-encoded
+//!   pairs) and the dispatching party's label in `x-ucam-from`, so the
+//!   server can rebuild the exact [`Request`] the client dispatched.
+//!
+//! # Failure classification
+//!
+//! The transport maps socket-level failures onto the same
+//! `x-error-kind` taxonomy the simulated fabric uses:
+//!
+//! * connection refused, connection reset, or any other immediate I/O
+//!   failure → `503` + [`TransportError::Unreachable`];
+//! * a read timeout waiting for the response (hung server) → `503` +
+//!   [`TransportError::Timeout`].
+//!
+//! [`kill_listener`](HttpTransport::kill_listener) and
+//! [`set_stall`](HttpTransport::set_stall) exist so tests can produce
+//! those two failures deliberately (a dead authority and a hung one)
+//! and prove the resilience layer behaves identically over both
+//! backends.
+//!
+//! # What stays deterministic, and what does not
+//!
+//! Protocol outcomes (decisions, status sequences, epoch visibility,
+//! sieve installs) and exact message counts are identical to `SimNet`
+//! for failure-free runs — the conformance suite diffs them. Wall-clock
+//! timing, thread interleavings and therefore req/s are **not**
+//! deterministic; the shared [`SimClock`] is never advanced by this
+//! transport, so virtual-time behaviour (token lifetimes, grace
+//! windows) stays harness-driven exactly as on `SimNet`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+use crate::http::{Method, Request, Response, Status, TransportError};
+use crate::net::{message_bytes, summarize_params, NetStats, WebApp};
+use crate::trace::{TraceKind, TraceRecorder};
+use crate::transport::Transport;
+use crate::url::{decode_component, encode_component, Url};
+
+/// Upper bound on one HTTP message (start line + headers + body). The
+/// protocol's largest real messages are epoch sieve pushes at a few
+/// hundred kilobytes; 16 MiB leaves headroom while bounding a
+/// misbehaving peer.
+pub const MAX_MESSAGE_BYTES: usize = 16 * 1024 * 1024;
+
+/// How long the client waits for a TCP connect to complete.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Server-side idle poll interval: how often a connection handler (and
+/// the accept loop) re-checks its shutdown flags while waiting.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Server-side patience for the *rest* of a request once its first byte
+/// has arrived (loopback peers send whole requests at once).
+const SERVER_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Most connections a single listener will serve concurrently. Client
+/// connections are persistent and bounded by `threads x authorities`,
+/// so this is a misbehaving-peer backstop, not a tuning knob.
+const MAX_CONNS_PER_LISTENER: usize = 256;
+
+/// Headers the codec itself owns; they carry envelope data and are
+/// stripped when the wire message is rebuilt into a [`Request`].
+const RESERVED_REQUEST_HEADERS: [&str; 5] = [
+    "host",
+    "x-ucam-from",
+    "x-ucam-form",
+    "content-length",
+    "connection",
+];
+
+/// Source of unique transport ids for the per-thread connection cache.
+static NEXT_HTTP_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's persistent client connections, keyed by
+    /// `(transport id, authority)`. One connection per key — the client
+    /// never pipelines, so a cached connection is always quiescent.
+    static CONN_CACHE: std::cell::RefCell<HashMap<(u64, String), TcpStream>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// One registered authority: its listener address, its accept loop, and
+/// the fault-injection flags the conformance tests flip.
+struct Route {
+    addr: SocketAddr,
+    /// When set, the accept loop exits (dropping the listener, so new
+    /// connects are refused) and connection handlers hang up.
+    dead: Arc<AtomicBool>,
+    /// When set, connection handlers hold every response until the flag
+    /// clears — the client observes a read timeout.
+    stall: Arc<AtomicBool>,
+    /// Live accepted connections, tracked so a kill can reset them.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Aggregate message statistics (a single cell — the HTTP path is
+/// socket-bound, so one short lock per dispatch is noise).
+#[derive(Default)]
+struct StatsCell {
+    round_trips: u64,
+    payload_bytes: u64,
+    /// Measured wall-clock dispatch time, in microseconds. Surfaced via
+    /// [`NetStats::modelled_latency_ms`] — on this backend the
+    /// "modelled" latency *is* the measured loopback latency.
+    wall_us: u64,
+    per_edge: BTreeMap<(String, String), u64>,
+}
+
+struct HttpInner {
+    id: u64,
+    clock: SimClock,
+    trace: TraceRecorder,
+    routes: Mutex<HashMap<String, Route>>,
+    stats: Mutex<StatsCell>,
+    /// How long the client waits for a response before classifying the
+    /// authority as hung ([`TransportError::Timeout`]).
+    client_timeout_ms: AtomicU64,
+}
+
+impl Drop for HttpInner {
+    fn drop(&mut self) {
+        let mut routes = std::mem::take(&mut *self.routes.lock());
+        for route in routes.values_mut() {
+            shut_down_route(route);
+        }
+    }
+}
+
+/// Signals a route's threads to exit and resets its live connections.
+fn shut_down_route(route: &mut Route) {
+    route.dead.store(true, Ordering::Release);
+    for conn in route.conns.lock().drain(..) {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    if let Some(handle) = route.accept_thread.take() {
+        let _ = handle.join();
+    }
+}
+
+/// The loopback-TCP transport. See the [module documentation](self).
+///
+/// Cloning is cheap and shares the listeners, clock, trace and stats —
+/// handler threads clone it to serve nested dispatches.
+#[derive(Clone)]
+pub struct HttpTransport {
+    inner: Arc<HttpInner>,
+}
+
+impl Default for HttpTransport {
+    fn default() -> Self {
+        HttpTransport::new()
+    }
+}
+
+impl std::fmt::Debug for HttpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpTransport")
+            .field(
+                "authorities",
+                &self.inner.routes.lock().keys().collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpTransport {
+    /// Creates an empty transport with a fresh clock and no listeners.
+    #[must_use]
+    pub fn new() -> Self {
+        HttpTransport {
+            inner: Arc::new(HttpInner {
+                id: NEXT_HTTP_ID.fetch_add(1, Ordering::Relaxed),
+                clock: SimClock::new(),
+                trace: TraceRecorder::new(),
+                routes: Mutex::new(HashMap::new()),
+                stats: Mutex::new(StatsCell::default()),
+                client_timeout_ms: AtomicU64::new(2000),
+            }),
+        }
+    }
+
+    /// Sets how long a dispatch waits for a response before giving up
+    /// with [`TransportError::Timeout`]. Tests that hang a listener
+    /// lower this so the failure is observed quickly.
+    pub fn set_client_timeout_ms(&self, ms: u64) {
+        self.inner
+            .client_timeout_ms
+            .store(ms.max(1), Ordering::Relaxed);
+    }
+
+    /// The socket address `authority`'s listener is bound to, if it is
+    /// registered (and not killed).
+    #[must_use]
+    pub fn listener_addr(&self, authority: &str) -> Option<SocketAddr> {
+        let routes = self.inner.routes.lock();
+        let route = routes.get(authority)?;
+        (!route.dead.load(Ordering::Acquire)).then_some(route.addr)
+    }
+
+    /// Kills `authority`'s listener *without* unregistering it: the
+    /// accept loop exits (so new connections are refused by the kernel)
+    /// and every live connection is reset. Subsequent dispatches fail
+    /// with [`TransportError::Unreachable`] — the real-socket
+    /// equivalent of [`SimNet::set_offline`](crate::net::SimNet::set_offline).
+    pub fn kill_listener(&self, authority: &str) {
+        let mut routes = self.inner.routes.lock();
+        if let Some(route) = routes.get_mut(authority) {
+            shut_down_route(route);
+        }
+    }
+
+    /// Makes `authority`'s handlers hold (`true`) or release (`false`)
+    /// their responses. While stalled, dispatches burn the full client
+    /// timeout and fail with [`TransportError::Timeout`] — the
+    /// real-socket equivalent of a lost message.
+    pub fn set_stall(&self, authority: &str, stalled: bool) {
+        let routes = self.inner.routes.lock();
+        if let Some(route) = routes.get(authority) {
+            route.stall.store(stalled, Ordering::Release);
+        }
+    }
+
+    fn client_timeout(&self) -> Duration {
+        Duration::from_millis(self.inner.client_timeout_ms.load(Ordering::Relaxed))
+    }
+
+    /// Sends one request to `to`, classifying socket failures. Reuses
+    /// this thread's cached connection when possible; a failure on a
+    /// cached (possibly idle-reaped) connection falls back to one fresh
+    /// connect before the failure is reported.
+    fn send(&self, from: &str, to: &str, req: &Request) -> Response {
+        let Some(addr) = self.listener_known_addr(to) else {
+            return transport_failure(
+                TransportError::Unreachable,
+                &format!("unreachable authority: {to}"),
+            );
+        };
+        let wire = encode_request(from, to, req);
+        let timeout = self.client_timeout();
+
+        let cached =
+            CONN_CACHE.with(|cache| cache.borrow_mut().remove(&(self.inner.id, to.to_owned())));
+        if let Some(stream) = cached {
+            if let Ok(resp) = roundtrip(&stream, &wire, timeout) {
+                self.cache_conn(to, stream);
+                return resp;
+            }
+        }
+
+        let stream = match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+            Ok(stream) => stream,
+            Err(_) => {
+                return transport_failure(
+                    TransportError::Unreachable,
+                    &format!("connection to {to} refused"),
+                );
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        match roundtrip(&stream, &wire, timeout) {
+            Ok(resp) => {
+                self.cache_conn(to, stream);
+                resp
+            }
+            Err(err) if is_timeout(&err) => transport_failure(
+                TransportError::Timeout,
+                &format!("timed out waiting for {to}"),
+            ),
+            Err(_) => transport_failure(
+                TransportError::Unreachable,
+                &format!("connection to {to} reset"),
+            ),
+        }
+    }
+
+    /// The registered address for `to`, dead or alive — a killed route
+    /// keeps its address so dispatches attempt a real connect and take
+    /// the kernel's refusal, exactly like contacting a crashed server.
+    fn listener_known_addr(&self, to: &str) -> Option<SocketAddr> {
+        self.inner.routes.lock().get(to).map(|r| r.addr)
+    }
+
+    fn cache_conn(&self, to: &str, stream: TcpStream) {
+        CONN_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.len() >= 64 {
+                cache.clear();
+            }
+            cache.insert((self.inner.id, to.to_owned()), stream);
+        });
+    }
+}
+
+impl Transport for HttpTransport {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn register(&self, app: Arc<dyn WebApp>) {
+        let authority = app.authority().to_owned();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let addr = listener.local_addr().expect("listener address");
+
+        let dead = Arc::new(AtomicBool::new(false));
+        let stall = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = spawn_accept_loop(
+            listener,
+            app,
+            Arc::downgrade(&self.inner),
+            Arc::clone(&dead),
+            Arc::clone(&stall),
+            Arc::clone(&conns),
+        );
+
+        let mut routes = self.inner.routes.lock();
+        if let Some(mut old) = routes.insert(
+            authority,
+            Route {
+                addr,
+                dead,
+                stall,
+                conns,
+                accept_thread: Some(accept_thread),
+            },
+        ) {
+            shut_down_route(&mut old);
+        }
+    }
+
+    fn unregister(&self, authority: &str) {
+        let removed = self.inner.routes.lock().remove(authority);
+        if let Some(mut route) = removed {
+            shut_down_route(&mut route);
+        }
+    }
+
+    fn dispatch(&self, from: &str, req: Request) -> Response {
+        let to = req.url.authority().to_owned();
+        self.inner
+            .trace
+            .record_with(from, &to, TraceKind::Request, || {
+                format!(
+                    "{} {}{}",
+                    req.method,
+                    req.url.path(),
+                    summarize_params(&req)
+                )
+            });
+        let request_bytes = message_bytes(&req.body, req.headers.values())
+            + req.form.values().map(String::len).sum::<usize>();
+
+        let started = Instant::now();
+        let resp = self.send(from, &to, &req);
+        let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+        self.inner
+            .trace
+            .record_with(from, &to, TraceKind::Response, || match resp.location() {
+                Some(loc) => format!("{} -> {}", resp.status, loc.authority()),
+                None => resp.status.to_string(),
+            });
+
+        let response_bytes = message_bytes(&resp.body, resp.headers.values());
+        let mut stats = self.inner.stats.lock();
+        stats.round_trips += 1;
+        stats.payload_bytes += (request_bytes + response_bytes) as u64;
+        stats.wall_us += wall_us;
+        *stats.per_edge.entry((from.to_owned(), to)).or_insert(0) += 1;
+
+        resp
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    fn trace(&self) -> &TraceRecorder {
+        &self.inner.trace
+    }
+
+    fn stats(&self) -> NetStats {
+        let cell = self.inner.stats.lock();
+        NetStats {
+            round_trips: cell.round_trips,
+            per_edge: cell.per_edge.clone(),
+            modelled_latency_ms: cell.wall_us / 1000,
+            payload_bytes: cell.payload_bytes,
+        }
+    }
+
+    fn reset_stats(&self) {
+        *self.inner.stats.lock() = StatsCell::default();
+    }
+}
+
+/// Builds the classified `503` for a transport-level failure.
+fn transport_failure(kind: TransportError, why: &str) -> Response {
+    Response::with_status(Status::Unavailable)
+        .with_body(why.to_owned())
+        .with_transport_error(kind)
+}
+
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Spawns the accept loop for one listener. The loop polls a
+/// non-blocking accept so it can observe its `dead` flag (and the
+/// transport being dropped) within [`POLL_INTERVAL`] without needing a
+/// wake-up connection.
+fn spawn_accept_loop(
+    listener: TcpListener,
+    app: Arc<dyn WebApp>,
+    inner: Weak<HttpInner>,
+    dead: Arc<AtomicBool>,
+    stall: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if dead.load(Ordering::Acquire) || inner.strong_count() == 0 {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                {
+                    let mut live = conns.lock();
+                    // Drop closed sockets from the kill list opportunistically.
+                    if live.len() >= MAX_CONNS_PER_LISTENER {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        live.push(clone);
+                    }
+                }
+                let app = Arc::clone(&app);
+                let inner = inner.clone();
+                let dead = Arc::clone(&dead);
+                let stall = Arc::clone(&stall);
+                std::thread::spawn(move || serve_connection(stream, &app, &inner, &dead, &stall));
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => return,
+        }
+    })
+}
+
+/// Serves one accepted connection: reads requests, runs the handler
+/// (with nested-dispatch access to the transport), writes responses.
+/// Exits on peer hang-up, malformed input, kill, or transport drop.
+fn serve_connection(
+    stream: TcpStream,
+    app: &Arc<dyn WebApp>,
+    inner: &Weak<HttpInner>,
+    dead: &AtomicBool,
+    stall: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut write_half = stream;
+
+    loop {
+        // Idle wait: peek (without consuming) until a request starts, a
+        // shutdown flag flips, or the peer hangs up. The read timeout on
+        // the socket bounds each peek, giving the poll cadence.
+        match write_half.peek(&mut [0u8; 1]) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(ref err) if is_timeout(err) => {
+                if dead.load(Ordering::Acquire) || inner.strong_count() == 0 {
+                    let _ = write_half.shutdown(Shutdown::Both);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+
+        // A request has started: give the rest of it a generous window.
+        let _ = write_half.set_read_timeout(Some(SERVER_READ_TIMEOUT));
+        let parsed = read_request(&mut reader);
+        let _ = write_half.set_read_timeout(Some(POLL_INTERVAL));
+        let Ok(Some((_from, req))) = parsed else {
+            return;
+        };
+
+        // Hold the response while stalled (hung-server fault injection).
+        while stall.load(Ordering::Acquire) {
+            if dead.load(Ordering::Acquire) || inner.strong_count() == 0 {
+                let _ = write_half.shutdown(Shutdown::Both);
+                return;
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        let Some(strong) = inner.upgrade() else {
+            return;
+        };
+        let transport = HttpTransport { inner: strong };
+        let resp = app.handle(&transport, &req);
+        drop(transport);
+        if write_response(&mut write_half, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serializes a [`Request`] into one HTTP/1.1 message. Form pairs ride
+/// in `x-ucam-form` (percent-encoded), the dispatcher's label in
+/// `x-ucam-from`.
+fn encode_request(from: &str, authority: &str, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 + req.body.len());
+    out.extend_from_slice(
+        format!("{} {} HTTP/1.1\r\n", req.method, req.url.path_and_query()).as_bytes(),
+    );
+    push_header(&mut out, "host", authority);
+    push_header(&mut out, "x-ucam-from", from);
+    if !req.form.is_empty() {
+        let encoded: Vec<String> = req
+            .form
+            .iter()
+            .map(|(k, v)| format!("{}={}", encode_component(k), encode_component(v)))
+            .collect();
+        push_header(&mut out, "x-ucam-form", &encoded.join("&"));
+    }
+    for (name, value) in &req.headers {
+        push_header(&mut out, name, value);
+    }
+    push_header(&mut out, "content-length", &req.body.len().to_string());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(req.body.as_bytes());
+    out
+}
+
+fn push_header(out: &mut Vec<u8>, name: &str, value: &str) {
+    out.extend_from_slice(sanitize(name).as_bytes());
+    out.extend_from_slice(b": ");
+    out.extend_from_slice(sanitize(value).as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Keeps header names/values from breaking HTTP framing.
+fn sanitize(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['\r', '\n']) {
+        std::borrow::Cow::Owned(s.replace(['\r', '\n'], " "))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
+/// Reads one request off the wire. `Ok(None)` is a clean hang-up before
+/// the next request; any framing violation is an error (the connection
+/// is dropped — the client will fail over to a fresh one).
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<(String, Request)>> {
+    let Some(start_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = start_line.split_whitespace();
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        Some("PUT") => Method::Put,
+        Some("DELETE") => Method::Delete,
+        _ => return Err(malformed("unsupported method")),
+    };
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    if parts.next() != Some("HTTP/1.1") {
+        return Err(malformed("not HTTP/1.1"));
+    }
+
+    let headers = read_headers(reader)?;
+    let host = headers
+        .get("host")
+        .ok_or_else(|| malformed("missing host header"))?
+        .clone();
+    let from = headers
+        .get("x-ucam-from")
+        .cloned()
+        .unwrap_or_else(|| "unknown".to_owned());
+    let body = read_body(reader, &headers)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !path.starts_with('/') {
+        return Err(malformed("target not origin-form"));
+    }
+    let mut url = Url::new(&host, path);
+    if let Some(qs) = query_str {
+        for pair in qs.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            url = url.with_query(&decode_component(k), &decode_component(v));
+        }
+    }
+
+    let mut req = Request::to_url(method, url).with_body(body);
+    if let Some(form) = headers.get("x-ucam-form") {
+        for pair in form.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            req.form.insert(decode_component(k), decode_component(v));
+        }
+    }
+    for (name, value) in headers {
+        if !RESERVED_REQUEST_HEADERS.contains(&name.as_str()) {
+            req.headers.insert(name, value);
+        }
+    }
+    Ok(Some((from, req)))
+}
+
+/// Serializes and writes a [`Response`].
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut out = Vec::with_capacity(128 + resp.body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\n",
+            resp.status.code(),
+            resp.status.reason()
+        )
+        .as_bytes(),
+    );
+    for (name, value) in &resp.headers {
+        push_header(&mut out, name, value);
+    }
+    push_header(&mut out, "content-length", &resp.body.len().to_string());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(resp.body.as_bytes());
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// Writes `wire` and reads one response, within `timeout` per read.
+fn roundtrip(stream: &TcpStream, wire: &[u8], timeout: Duration) -> io::Result<Response> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut write_half = stream;
+    write_half.write_all(wire)?;
+    write_half.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Reads one response off the wire.
+fn read_response(reader: &mut BufReader<&TcpStream>) -> io::Result<Response> {
+    let status_line = read_line(reader)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        )
+    })?;
+    let mut parts = status_line.split_whitespace();
+    if parts.next() != Some("HTTP/1.1") {
+        return Err(malformed("bad status line"));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| malformed("bad status code"))?;
+    let status = Status::from_code(code).ok_or_else(|| malformed("unknown status code"))?;
+
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+
+    let mut resp = Response::with_status(status).with_body(body);
+    for (name, value) in headers {
+        if name != "content-length" && name != "connection" {
+            resp.headers.insert(name, value);
+        }
+    }
+    Ok(resp)
+}
+
+/// Reads one CRLF-terminated line; `Ok(None)` on immediate EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let mut n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    // `read_line` can return a partial line if the read timeout fires
+    // mid-line; keep reading until the terminator (or EOF) arrives.
+    while !line.ends_with('\n') {
+        n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(malformed("truncated line"));
+        }
+        if line.len() > MAX_MESSAGE_BYTES {
+            return Err(malformed("line too long"));
+        }
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads headers up to the blank separator line.
+fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<BTreeMap<String, String>> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| malformed("truncated headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("bad header"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        if headers.len() > 512 {
+            return Err(malformed("too many headers"));
+        }
+    }
+}
+
+/// Reads a `content-length`-framed body (UTF-8, lossily decoded).
+fn read_body<R: BufRead>(reader: &mut R, headers: &BTreeMap<String, String>) -> io::Result<String> {
+    let len: usize = headers.get("content-length").map_or(Ok(0), |v| {
+        v.parse().map_err(|_| malformed("bad content-length"))
+    })?;
+    if len > MAX_MESSAGE_BYTES {
+        return Err(malformed("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(String::from_utf8_lossy(&body).into_owned())
+}
+
+fn malformed(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl WebApp for Echo {
+        fn authority(&self) -> &str {
+            "echo.example"
+        }
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
+            let mut resp = Response::ok().with_body(format!(
+                "{} {} body={} p={}",
+                req.method,
+                req.url.path(),
+                req.body,
+                req.param("p").unwrap_or("-"),
+            ));
+            if let Some(echo) = req.header("x-echo") {
+                resp = resp.with_header("x-echoed", echo);
+            }
+            resp
+        }
+    }
+
+    struct Proxy;
+
+    impl WebApp for Proxy {
+        fn authority(&self) -> &str {
+            "proxy.example"
+        }
+        fn handle(&self, net: &dyn Transport, _req: &Request) -> Response {
+            net.dispatch(
+                self.authority(),
+                Request::new(Method::Get, "https://echo.example/inner"),
+            )
+        }
+    }
+
+    fn echo_transport() -> HttpTransport {
+        let t = HttpTransport::new();
+        t.register(Arc::new(Echo));
+        t
+    }
+
+    #[test]
+    fn roundtrip_over_real_sockets() {
+        let t = echo_transport();
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Post, "https://echo.example/pics?p=1")
+                .with_body("hello")
+                .with_header("x-echo", "marco"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "POST /pics body=hello p=1");
+        assert_eq!(resp.header("x-echoed"), Some("marco"));
+        assert_eq!(resp.transport_error(), None);
+    }
+
+    #[test]
+    fn form_and_query_survive_the_wire() {
+        let t = echo_transport();
+        // Form beats query (Request::param semantics), special chars survive.
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Post, "https://echo.example/x?p=from%20query")
+                .with_param("p", "a&b=c d"),
+        );
+        assert_eq!(resp.body, "POST /x body= p=a&b=c d");
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let t = echo_transport();
+        for _ in 0..5 {
+            let resp = t.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/k"),
+            );
+            assert_eq!(resp.status, Status::Ok);
+        }
+        let stats = t.stats();
+        assert_eq!(stats.round_trips, 5);
+        assert_eq!(stats.edge("tester", "echo.example"), 5);
+        assert!(stats.payload_bytes > 0);
+    }
+
+    #[test]
+    fn nested_dispatch_over_sockets() {
+        let t = echo_transport();
+        t.register(Arc::new(Proxy));
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://proxy.example/"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, "GET /inner body= p=-");
+        assert_eq!(t.stats().round_trips, 2);
+        assert_eq!(t.stats().edge("proxy.example", "echo.example"), 1);
+    }
+
+    #[test]
+    fn unknown_authority_is_unreachable() {
+        let t = HttpTransport::new();
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://ghost.example/"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+    }
+
+    #[test]
+    fn killed_listener_is_unreachable_then_recovers() {
+        let t = echo_transport();
+        assert_eq!(
+            t.dispatch(
+                "tester",
+                Request::new(Method::Get, "https://echo.example/a")
+            )
+            .status,
+            Status::Ok
+        );
+        t.kill_listener("echo.example");
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/a"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+        // Re-registering restarts the authority on a fresh listener.
+        t.register(Arc::new(Echo));
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/a"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn stalled_listener_times_out() {
+        let t = echo_transport();
+        t.set_client_timeout_ms(100);
+        t.set_stall("echo.example", true);
+        let started = Instant::now();
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/s"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Timeout));
+        assert!(started.elapsed() >= Duration::from_millis(100));
+        t.set_stall("echo.example", false);
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/s"),
+        );
+        assert_eq!(resp.status, Status::Ok);
+    }
+
+    #[test]
+    fn unregistered_authority_is_unreachable() {
+        let t = echo_transport();
+        t.unregister("echo.example");
+        let resp = t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/a"),
+        );
+        assert_eq!(resp.status, Status::Unavailable);
+        assert_eq!(resp.transport_error(), Some(TransportError::Unreachable));
+    }
+
+    #[test]
+    fn concurrent_dispatches_are_counted_exactly() {
+        const THREADS: usize = 8;
+        const EACH: usize = 50;
+        let t = echo_transport();
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..EACH {
+                    let resp = t.dispatch(
+                        "tester",
+                        Request::new(Method::Post, "https://echo.example/c").with_body("xyz"),
+                    );
+                    assert_eq!(resp.status, Status::Ok);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = t.stats();
+        assert_eq!(stats.round_trips, (THREADS * EACH) as u64);
+        assert_eq!(
+            stats.edge("tester", "echo.example"),
+            (THREADS * EACH) as u64
+        );
+    }
+
+    #[test]
+    fn trace_matches_simnet_labels() {
+        let t = echo_transport();
+        t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p")
+                .with_param("realm", "r1")
+                .with_bearer("tok"),
+        );
+        let events = t.trace().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::Request);
+        assert!(events[0].label.contains("GET /p"), "{}", events[0].label);
+        assert!(events[0].label.contains("realm=r1"), "{}", events[0].label);
+        assert!(events[0].label.contains("bearer"), "{}", events[0].label);
+        assert_eq!(events[1].kind, TraceKind::Response);
+    }
+
+    #[test]
+    fn clock_is_never_advanced_by_dispatch() {
+        let t = echo_transport();
+        t.dispatch(
+            "tester",
+            Request::new(Method::Get, "https://echo.example/p"),
+        );
+        assert_eq!(t.clock().now_ms(), 0);
+    }
+}

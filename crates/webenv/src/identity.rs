@@ -15,7 +15,8 @@ use ucam_crypto::SigningKey;
 
 use crate::clock::SimClock;
 use crate::http::{Request, Response, Status};
-use crate::net::{SimNet, WebApp};
+use crate::net::WebApp;
+use crate::transport::Transport;
 
 /// Default assertion lifetime: one simulated hour.
 pub const ASSERTION_TTL_MS: u64 = 60 * 60 * 1000;
@@ -189,7 +190,7 @@ impl WebApp for IdentityProvider {
         &self.authority
     }
 
-    fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+    fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
         match req.url.path() {
             "/login" => {
                 let (user, password) = match (req.param("user"), req.param("password")) {
@@ -222,6 +223,7 @@ impl WebApp for IdentityProvider {
 mod tests {
     use super::*;
     use crate::http::Method;
+    use crate::net::SimNet;
     use std::sync::Arc;
 
     fn idp() -> IdentityProvider {

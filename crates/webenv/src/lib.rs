@@ -9,9 +9,13 @@
 //! * [`Request`] / [`Response`] / [`Method`] / [`Status`] — HTTP-like
 //!   messages,
 //! * [`WebApp`] — the trait every simulated application implements,
-//! * [`SimNet`] — the in-memory network: registers apps by authority,
-//!   dispatches messages, counts them, charges latency to a [`SimClock`],
-//!   and records a [`trace`] of every hop,
+//! * [`Transport`] — the message edge connecting the three parties, with
+//!   two backends behind one trait:
+//!   [`SimNet`] — the deterministic in-memory network: registers apps by
+//!   authority, dispatches messages, counts them, charges latency to a
+//!   [`SimClock`], and records a [`trace`] of every hop — and
+//!   [`HttpTransport`] — the same applications served over loopback TCP
+//!   with a hand-rolled HTTP/1.1 codec (DESIGN.md §14),
 //! * [`Browser`] — a user agent holding a cookie jar that follows redirects
 //!   (the glue for the paper's redirect-based protocol steps),
 //! * [`identity`] — an OpenID-like identity provider (authentication is out
@@ -29,12 +33,12 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+//! use ucam_webenv::{Method, Request, Response, SimNet, Status, Transport, WebApp};
 //!
 //! struct Echo;
 //! impl WebApp for Echo {
 //!     fn authority(&self) -> &str { "echo.example" }
-//!     fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+//!     fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
 //!         Response::ok().with_body(req.param("msg").unwrap_or("?"))
 //!     }
 //! }
@@ -53,20 +57,24 @@
 pub mod browser;
 pub mod clock;
 pub mod http;
+pub mod httpnet;
 pub mod identity;
 pub mod latency;
 pub mod net;
 pub mod protocol;
 pub mod retry;
 pub mod trace;
+pub mod transport;
 pub mod url;
 
 pub use browser::Browser;
 pub use clock::SimClock;
 pub use http::{Method, Request, Response, Status, TransportError};
+pub use httpnet::HttpTransport;
 pub use latency::LatencyModel;
 pub use net::{FlapSchedule, NetStats, SimNet, WebApp};
 pub use protocol::{BatchItem, DecisionBody, WireError};
 pub use retry::{RetryPolicy, RetryReport};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
+pub use transport::Transport;
 pub use url::{ParseUrlError, Url};

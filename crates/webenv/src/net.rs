@@ -52,16 +52,19 @@ use crate::clock::SimClock;
 use crate::http::{Request, Response, Status, TransportError};
 use crate::latency::{splitmix64, LatencyModel};
 use crate::trace::{TraceKind, TraceRecorder};
+use crate::transport::Transport;
 
-/// A simulated Web application addressable on the [`SimNet`].
+/// A Web application addressable on a [`Transport`] backend (the
+/// in-process [`SimNet`] or the loopback-TCP
+/// [`HttpTransport`](crate::httpnet::HttpTransport)).
 pub trait WebApp: Send + Sync {
     /// The authority (host name) this application is registered under,
     /// e.g. `"webpics.example"`.
     fn authority(&self) -> &str;
 
     /// Handles one request. Implementations may dispatch further requests
-    /// through `net` (nested calls are supported).
-    fn handle(&self, net: &SimNet, req: &Request) -> Response;
+    /// through `net` (nested calls are supported on both backends).
+    fn handle(&self, net: &dyn Transport, req: &Request) -> Response;
 }
 
 /// Aggregate message statistics collected by the network.
@@ -224,12 +227,12 @@ fn shard_index() -> usize {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use ucam_webenv::{Method, Request, Response, SimNet, Status, WebApp};
+/// use ucam_webenv::{Method, Request, Response, SimNet, Status, Transport, WebApp};
 ///
 /// struct Ping;
 /// impl WebApp for Ping {
 ///     fn authority(&self) -> &str { "ping.example" }
-///     fn handle(&self, _net: &SimNet, _req: &Request) -> Response {
+///     fn handle(&self, _net: &dyn Transport, _req: &Request) -> Response {
 ///         Response::ok().with_body("pong")
 ///     }
 /// }
@@ -592,15 +595,48 @@ impl SimNet {
     }
 }
 
+/// [`SimNet`] is the deterministic [`Transport`] backend: the trait
+/// methods forward to the inherent ones, so existing call sites keep
+/// their concrete types while protocol code takes `&dyn Transport`.
+impl Transport for SimNet {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn register(&self, app: Arc<dyn WebApp>) {
+        SimNet::register(self, app);
+    }
+    fn unregister(&self, authority: &str) {
+        SimNet::unregister(self, authority);
+    }
+    fn dispatch(&self, from: &str, req: Request) -> Response {
+        SimNet::dispatch(self, from, req)
+    }
+    fn clock(&self) -> &SimClock {
+        SimNet::clock(self)
+    }
+    fn trace(&self) -> &TraceRecorder {
+        SimNet::trace(self)
+    }
+    fn stats(&self) -> NetStats {
+        SimNet::stats(self)
+    }
+    fn reset_stats(&self) {
+        SimNet::reset_stats(self);
+    }
+}
+
 /// Sums the modelled size of a message: body plus header values.
-fn message_bytes<'a>(body: &str, headers: impl Iterator<Item = &'a String>) -> usize {
+pub(crate) fn message_bytes<'a>(body: &str, headers: impl Iterator<Item = &'a String>) -> usize {
     body.len() + headers.map(String::len).sum::<usize>()
 }
 
 /// Summarizes interesting request parameters for trace labels. Only ever
 /// called from inside a lazy trace label, so a trace-off dispatch never
 /// pays for these allocations.
-fn summarize_params(req: &Request) -> String {
+pub(crate) fn summarize_params(req: &Request) -> String {
     const INTERESTING: [&str; 6] = ["realm", "resource", "requester", "am", "action", "decision"];
     let mut parts = Vec::new();
     for key in INTERESTING {
@@ -631,7 +667,7 @@ mod tests {
         fn authority(&self) -> &str {
             &self.authority
         }
-        fn handle(&self, _net: &SimNet, req: &Request) -> Response {
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
             Response::ok().with_body(req.url.path().to_owned())
         }
     }
@@ -644,7 +680,7 @@ mod tests {
         fn authority(&self) -> &str {
             "proxy.example"
         }
-        fn handle(&self, net: &SimNet, _req: &Request) -> Response {
+        fn handle(&self, net: &dyn Transport, _req: &Request) -> Response {
             net.dispatch(
                 self.authority(),
                 Request::new(Method::Get, "https://echo.example/inner"),

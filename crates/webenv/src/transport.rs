@@ -1,0 +1,89 @@
+//! The transport abstraction: one message edge, two backends.
+//!
+//! The paper's architecture is three kinds of Web application — Hosts,
+//! Authorization Managers, Requesters — exchanging HTTP requests and
+//! responses. Everything above this module (the Host PEP, the Requester
+//! client, the AM shell, epoch/sieve pushes) speaks to the network through
+//! [`Transport`], so the same protocol code runs over either backend:
+//!
+//! * [`SimNet`](crate::net::SimNet) — the deterministic in-process fabric:
+//!   synchronous dispatch, modelled latency charged to the shared
+//!   [`SimClock`], seeded failure injection. Every experiment and the
+//!   chaos soak run here, bit-identically per seed.
+//! * [`HttpTransport`](crate::httpnet::HttpTransport) — real loopback TCP:
+//!   each registered application gets its own listener and accept loop, a
+//!   hand-rolled HTTP/1.1 codec carries the same [`Request`]/[`Response`]
+//!   shapes over the wire, and transport failures are classified from the
+//!   socket (connection refused/reset → `unreachable`, read timeout →
+//!   `timeout`) onto the same `x-error-kind` taxonomy the fabric uses.
+//!
+//! The contract both backends honour (DESIGN.md §14):
+//!
+//! * **Dispatch** is synchronous request/response; applications may
+//!   dispatch nested requests through the same transport while handling
+//!   one (Host → AM decision query, Fig. 6).
+//! * **Failure classification**: every transport-synthesized failure is a
+//!   `503` carrying an `x-error-kind` header — [`TransportError::Unreachable`]
+//!   when the failure was detected immediately, [`TransportError::Timeout`]
+//!   when the caller had to wait it out. Application responses (even
+//!   application 503s) never carry the header.
+//! * **Clock**: both backends expose one shared [`SimClock`]. `SimNet`
+//!   charges its modelled latency to it; `HttpTransport` never advances
+//!   it — virtual time stays harness-driven on both backends, so token
+//!   lifetimes and grace windows behave identically.
+//! * **Stats**: exact message accounting ([`NetStats`]) — round trips,
+//!   per-edge counts, payload bytes. These are the deterministic
+//!   work-count cells the CI bench gate checks exactly.
+//!
+//! [`TransportError::Unreachable`]: crate::http::TransportError::Unreachable
+//! [`TransportError::Timeout`]: crate::http::TransportError::Timeout
+
+use std::sync::Arc;
+
+use crate::clock::SimClock;
+use crate::http::{Request, Response};
+use crate::net::{NetStats, WebApp};
+use crate::trace::TraceRecorder;
+
+/// The message edge connecting Hosts, AMs and Requesters.
+///
+/// See the [module documentation](self) for the backend contract. All
+/// protocol-layer code takes `&dyn Transport`; harnesses pick the
+/// backend ([`SimNet`](crate::net::SimNet) for deterministic experiments,
+/// [`HttpTransport`](crate::httpnet::HttpTransport) for real sockets) and
+/// the call sites coerce.
+pub trait Transport: Send + Sync + 'static {
+    /// A short backend label (`"sim"`, `"http"`) for bench rows and logs.
+    fn name(&self) -> &'static str;
+
+    /// The concrete backend, for harness-level code that needs
+    /// backend-specific controls (e.g. downcasting to
+    /// [`SimNet`](crate::net::SimNet) to inject simulated partitions).
+    /// Protocol code must never use this.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Registers an application under its [`WebApp::authority`]. A second
+    /// registration for the same authority replaces the first.
+    fn register(&self, app: Arc<dyn WebApp>);
+
+    /// Removes the application registered under `authority`; subsequent
+    /// dispatches to it fail as unreachable.
+    fn unregister(&self, authority: &str);
+
+    /// Dispatches `req` from the party labelled `from` to the application
+    /// registered under the request URL's authority, synchronously
+    /// returning its response (or a classified transport failure).
+    fn dispatch(&self, from: &str, req: Request) -> Response;
+
+    /// The shared logical clock (token lifetimes, cache TTLs, backoff).
+    fn clock(&self) -> &SimClock;
+
+    /// The shared protocol trace recorder.
+    fn trace(&self) -> &TraceRecorder;
+
+    /// A snapshot of the exact message statistics.
+    fn stats(&self) -> NetStats;
+
+    /// Zeroes the message statistics (clock and trace untouched).
+    fn reset_stats(&self);
+}

@@ -111,11 +111,35 @@ impl Url {
         self.path = path.to_owned();
         self
     }
+
+    /// Returns the origin-form request target for an HTTP/1.1 request
+    /// line: the path plus the percent-encoded query string.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let url = ucam_webenv::Url::new("h.example", "/r").with_query("k", "a b");
+    /// assert_eq!(url.path_and_query(), "/r?k=a%20b");
+    /// ```
+    #[must_use]
+    pub fn path_and_query(&self) -> String {
+        let mut out = self.path.clone();
+        let mut sep = '?';
+        for (k, v) in &self.query {
+            out.push(sep);
+            out.push_str(&encode_component(k));
+            out.push('=');
+            out.push_str(&encode_component(v));
+            sep = '&';
+        }
+        out
+    }
 }
 
 /// Percent-encodes a query component (space, `&`, `=`, `%`, `?`, `#`, `/`
-/// and non-ASCII bytes).
-fn encode_component(s: &str) -> String {
+/// and non-ASCII bytes). Shared with the HTTP/1.1 codec, which uses the
+/// same escaping for form pairs on the wire.
+pub(crate) fn encode_component(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
@@ -129,7 +153,7 @@ fn encode_component(s: &str) -> String {
 }
 
 /// Decodes percent-encoding; invalid escapes are passed through literally.
-fn decode_component(s: &str) -> String {
+pub(crate) fn decode_component(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;

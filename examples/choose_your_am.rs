@@ -84,7 +84,7 @@ fn main() {
     // after logging in there.
     world.login_browser_at("bob", "bobs-own-am.example");
     let resp = world.browser("bob").clone().get(
-        &world.net,
+        world.net.as_ref(),
         &format!(
             "https://{}/delegate/setup?user=bob&am=bobs-own-am.example",
             HOSTS[0]

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Vendored-dependency drift gate.
+#
+# Every external crate this workspace compiles is a path crate under
+# vendor/ (CI runs with CARGO_NET_OFFLINE=true). This check fails when
+# Cargo.lock references a crate that is neither a workspace member nor
+# vendored — i.e. someone added a crates.io dependency without vendoring
+# it, which would build locally (warm registry cache) and then break
+# every offline CI job.
+#
+# It also warns (without failing) about vendor/ directories no lockfile
+# entry references anymore, so dead vendored trees get noticed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+locked="$(sed -n 's/^name = "\(.*\)"$/\1/p' Cargo.lock | sort -u)"
+
+for name in $locked; do
+  case "$name" in
+    ucam | ucam-*) continue ;; # workspace members
+  esac
+  if [ ! -d "vendor/$name" ]; then
+    echo "DRIFT: Cargo.lock references '$name' but vendor/$name does not exist" >&2
+    status=1
+  fi
+done
+
+for dir in vendor/*/; do
+  name="$(basename "$dir")"
+  if ! printf '%s\n' "$locked" | grep -qx "$name"; then
+    echo "note: vendor/$name is not referenced by Cargo.lock (dead vendored tree?)" >&2
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "vendor check: every locked crate is a workspace member or vendored"
+fi
+exit "$status"

@@ -88,7 +88,7 @@ fn bob_switches_authorization_managers() {
         "https://{}/delegate/setup?user=bob&am=new-am.example",
         HOSTS[0]
     );
-    let resp = world.browser("bob").clone().get(&world.net, &url);
+    let resp = world.browser("bob").clone().get(world.net.as_ref(), &url);
     assert!(resp.status.is_success(), "{}", resp.body);
 
     // Alice must re-authorize (her old token was minted by the old AM),

@@ -111,7 +111,7 @@ fn concurrent_readers_all_granted() {
             ));
             let mut granted = 0usize;
             for _ in 0..ACCESSES_PER_THREAD {
-                if client.access(&net, &spec).is_granted() {
+                if client.access(net.as_ref(), &spec).is_granted() {
                     granted += 1;
                 }
             }
@@ -145,7 +145,7 @@ fn concurrent_policy_edits_and_reads_do_not_deadlock() {
                 &format!("/files/shared/f{t}.txt"),
             ));
             for _ in 0..30 {
-                let _ = client.access(&net, &spec);
+                let _ = client.access(net.as_ref(), &spec);
             }
         }));
     }
@@ -207,7 +207,7 @@ fn epoch_churn_never_serves_stale_cached_permit() {
                 barrier.wait(); // owner has flipped the policy
                 let want = expect_grant.load(Ordering::SeqCst);
                 for _ in 0..HAMMER {
-                    let granted = client.access(&net, &spec).is_granted();
+                    let granted = client.access(net.as_ref(), &spec).is_granted();
                     if granted && !want {
                         stale_grants.fetch_add(1, Ordering::SeqCst);
                     }

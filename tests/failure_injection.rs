@@ -26,14 +26,14 @@ fn am_outage_fails_closed_but_recovers() {
         .is_granted());
     world.set_decision_caches(false);
 
-    world.net.set_offline(AM, true);
+    world.simnet().set_offline(AM, true);
     let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
     assert!(
         matches!(outcome, AccessOutcome::Failed(ref resp) if resp.status == Status::Unavailable),
         "must fail closed during AM outage: {outcome:?}"
     );
 
-    world.net.set_offline(AM, false);
+    world.simnet().set_offline(AM, false);
     assert!(world
         .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
         .is_granted());
@@ -48,7 +48,7 @@ fn fabric_failures_are_transport_classified_but_app_errors_are_not() {
     world.set_decision_caches(false);
 
     // Partition -> Unreachable.
-    world.net.set_offline(AM, true);
+    world.simnet().set_offline(AM, true);
     let resp = world.net.dispatch(
         "requester:alice-agent",
         Request::new(Method::Get, &format!("https://{AM}/authorize")),
@@ -58,10 +58,10 @@ fn fabric_failures_are_transport_classified_but_app_errors_are_not() {
         resp.transport_error(),
         Some(ucam::webenv::TransportError::Unreachable)
     );
-    world.net.set_offline(AM, false);
+    world.simnet().set_offline(AM, false);
 
     // Message loss -> Timeout.
-    world.net.set_loss_every(1, 0);
+    world.simnet().set_loss_every(1, 0);
     let resp = world.net.dispatch(
         "requester:alice-agent",
         Request::new(Method::Get, &format!("https://{AM}/authorize")),
@@ -71,7 +71,7 @@ fn fabric_failures_are_transport_classified_but_app_errors_are_not() {
         resp.transport_error(),
         Some(ucam::webenv::TransportError::Timeout)
     );
-    world.net.set_loss_every(0, 0);
+    world.simnet().set_loss_every(0, 0);
 
     // A healthy dispatch that the *application* answers — even with an
     // error status — carries no transport classification: it must never
@@ -87,7 +87,7 @@ fn fabric_failures_are_transport_classified_but_app_errors_are_not() {
 #[test]
 fn host_outage_reported_to_requester() {
     let mut world = shared_world();
-    world.net.set_offline(HOSTS[0], true);
+    world.simnet().set_offline(HOSTS[0], true);
     let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
     assert!(matches!(outcome, AccessOutcome::Failed(_)));
 }
@@ -281,7 +281,7 @@ fn lossy_network_never_grants_spuriously() {
     let mut world = shared_world();
     world.set_decision_caches(false); // force AM involvement per access
                                       // Drop every 5th message.
-    world.net.set_loss_every(5, 2);
+    world.simnet().set_loss_every(5, 2);
     let mut granted = 0;
     let mut failed = 0;
     for _ in 0..40 {
@@ -308,7 +308,7 @@ fn lossy_network_never_grants_spuriously() {
     );
 
     // Healing the network restores clean service.
-    world.net.set_loss_every(0, 0);
+    world.simnet().set_loss_every(0, 0);
     assert!(world
         .friend_reads("alice", HOSTS[0], "/photos/rome/photo-0")
         .is_granted());
@@ -399,7 +399,7 @@ fn pending_consent_flow_survives_partitions_and_loss() {
     // Phase 1: the AM is partitioned away. The consent gate cannot even be
     // discovered, and — judged against ground truth (consent not granted) —
     // nothing may be served.
-    world.net.set_offline(AM, true);
+    world.simnet().set_offline(AM, true);
     for _ in 0..5 {
         let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
         assert!(
@@ -407,12 +407,12 @@ fn pending_consent_flow_survives_partitions_and_loss() {
             "partitioned AM must fail the attempt, got {outcome:?}"
         );
     }
-    world.net.set_offline(AM, false);
+    world.simnet().set_offline(AM, false);
 
     // Phase 2: the partition heals into a lossy network. Attempts now reach
     // the AM often enough to open a pending-consent request, but loss may
     // still fail individual rounds. Ground truth stays "deny": no grant ever.
-    world.net.set_burst_loss(4, 35, 0xC0FF_EE01);
+    world.simnet().set_burst_loss(4, 35, 0xC0FF_EE01);
     let mut consent_id = None;
     let mut failed = 0u32;
     for _ in 0..30 {
@@ -452,7 +452,7 @@ fn pending_consent_flow_survives_partitions_and_loss() {
         world.net.clock().advance_ms(50);
         granted
     });
-    world.net.set_burst_loss(0, 0, 0);
+    world.simnet().set_burst_loss(0, 0, 0);
     assert!(
         granted_under_loss
             || world
@@ -501,7 +501,7 @@ fn claims_gate_under_burst_loss_never_grants_without_claim() {
     // Ground truth phase 1: no claim presented -> deny. Under burst loss the
     // requester sees either the terms (NeedsClaims) or a transport failure;
     // a grant would be a violation.
-    world.net.set_burst_loss(5, 40, 0xBEEF_0002);
+    world.simnet().set_burst_loss(5, 40, 0xBEEF_0002);
     let mut saw_terms = false;
     for _ in 0..30 {
         match world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0") {
@@ -542,7 +542,7 @@ fn claims_gate_under_burst_loss_never_grants_without_claim() {
         world.net.clock().advance_ms(50);
         granted
     });
-    world.net.set_burst_loss(0, 0, 0);
+    world.simnet().set_burst_loss(0, 0, 0);
     assert!(
         granted_under_loss
             || world

@@ -89,7 +89,7 @@ fn build_rig() -> Rig {
 /// Pumps the push channel to empty on the healthy fabric.
 fn drain_pushes(rig: &Rig) {
     for _ in 0..1_000 {
-        rig.am.pump_epoch_pushes(&rig.net);
+        rig.am.pump_epoch_pushes(rig.net.as_ref());
         if rig.am.pending_epoch_pushes() == 0 {
             return;
         }
@@ -115,7 +115,7 @@ fn full_ship_then_deltas_then_resync_recovery() {
     let mut client = RequesterClient::new("requester:alice");
     client.set_subject_token(Some(assertion));
     let spec = AccessSpec::read(Url::new(HOST, "/files/shared/f0.txt"));
-    assert!(client.access(&rig.net, &spec).is_granted());
+    assert!(client.access(rig.net.as_ref(), &spec).is_granted());
     rig.am.schedule_sieve_refresh();
     drain_pushes(&rig);
     let stats = rig.host.shell().core.stats();
@@ -126,7 +126,7 @@ fn full_ship_then_deltas_then_resync_recovery() {
 
     // With the delta installed, her access serves on the tier-1 sieve.
     let hits_before = rig.host.shell().core.stats().sieve_hits;
-    assert!(client.access(&rig.net, &spec).is_granted());
+    assert!(client.access(rig.net.as_ref(), &spec).is_granted());
     assert!(rig.host.shell().core.stats().sieve_hits > hits_before);
 
     // A policy edit advances bob's epoch at the AM. Before the push
@@ -154,6 +154,6 @@ fn full_ship_then_deltas_then_resync_recovery() {
 
     // The reshipped sieve serves tier-1 again.
     let hits_before = rig.host.shell().core.stats().sieve_hits;
-    assert!(client.access(&rig.net, &spec).is_granted());
+    assert!(client.access(rig.net.as_ref(), &spec).is_granted());
     assert!(rig.host.shell().core.stats().sieve_hits > hits_before);
 }

@@ -1,0 +1,752 @@
+//! Transport-conformance suite: every protocol scenario must produce
+//! identical outcomes over the deterministic in-process fabric
+//! (`SimNet`) and the loopback-HTTP backend (`HttpTransport`).
+//!
+//! The transport is an implementation detail of the message edge
+//! (DESIGN.md §14): decisions, 401/403 sequencing, epoch visibility,
+//! sieve install/reject, and failure classification are protocol
+//! properties and may not depend on whether a message crossed a function
+//! call or a TCP socket. Each test here runs one scenario over both
+//! backends and diffs the outcome logs line for line.
+//!
+//! Fault injection is backend-specific — `SimNet` flips a partition
+//! bit, `HttpTransport` kills or stalls a real listener — but the
+//! *observable classification* (`x-error-kind: unreachable` / `timeout`)
+//! must be the same, so the resilience layers above (retry, breaker,
+//! fallback AM, stale grace) behave identically on both.
+
+use std::sync::Arc;
+
+use ucam::am::AuthorizationManager;
+use ucam::crypto::SigningKey;
+use ucam::host::{
+    AccessAttempt, BreakerConfig, DelegationConfig, Enforcement, ResilienceConfig, WebPics,
+};
+use ucam::policy::prelude::*;
+use ucam::requester::{AccessOutcome, AccessSpec, RequesterClient};
+use ucam::sim::world::{World, AM, HOSTS};
+use ucam::webenv::identity::IdentityProvider;
+use ucam::webenv::{HttpTransport, Method, Request, SimNet, Status, Transport, Url, WebApp};
+
+/// Client-side socket timeout for the HTTP backend. Short, so
+/// hung-listener scenarios resolve in well under a second of real time;
+/// generous enough that a healthy loopback round trip never trips it.
+const HTTP_TIMEOUT_MS: u64 = 400;
+
+fn backends() -> [Arc<dyn Transport>; 2] {
+    let http = HttpTransport::new();
+    http.set_client_timeout_ms(HTTP_TIMEOUT_MS);
+    [Arc::new(SimNet::new()), Arc::new(http)]
+}
+
+/// Runs `scenario` over both backends, asserts the outcome logs are
+/// identical line for line, and returns the (shared) log so callers can
+/// pin it against a golden expectation — conformance alone would also
+/// pass if a scenario were equally broken on both backends.
+fn assert_conformance(scenario: impl Fn(Arc<dyn Transport>) -> Vec<String>) -> Vec<String> {
+    let [sim, http] = backends();
+    let sim_log = scenario(sim);
+    let http_log = scenario(http);
+    eprintln!("--- outcome log ---\n{}", sim_log.join("\n"));
+    assert!(!sim_log.is_empty(), "scenario produced no observations");
+    assert_eq!(
+        sim_log, http_log,
+        "protocol outcomes diverged between SimNet and HttpTransport"
+    );
+    sim_log
+}
+
+fn label(outcome: &AccessOutcome) -> String {
+    match outcome {
+        AccessOutcome::Granted(_) => "granted".into(),
+        AccessOutcome::Denied(_) => "denied".into(),
+        AccessOutcome::Failed(resp) => {
+            format!(
+                "failed({} {:?})",
+                resp.status.code(),
+                resp.transport_error()
+            )
+        }
+        AccessOutcome::PendingConsent { .. } => "pending-consent".into(),
+        AccessOutcome::NeedsClaims(_) => "needs-claims".into(),
+    }
+}
+
+fn enforcement_label(e: &Enforcement) -> String {
+    match e {
+        Enforcement::Grant => "grant".into(),
+        Enforcement::Block(resp) => format!("block({})", resp.status.code()),
+    }
+}
+
+/// Partitions `authority` away: a simulated outage on `SimNet`, a killed
+/// listener (the kernel then refuses connects) on `HttpTransport`.
+fn make_unreachable(net: &dyn Transport, authority: &str) {
+    if let Some(sim) = net.as_any().downcast_ref::<SimNet>() {
+        sim.set_offline(authority, true);
+    } else if let Some(http) = net.as_any().downcast_ref::<HttpTransport>() {
+        http.kill_listener(authority);
+    } else {
+        panic!("unknown transport backend {}", net.name());
+    }
+}
+
+/// Heals the partition. On HTTP the application is registered again,
+/// which binds a fresh listener on a new port — recovery must not
+/// depend on the old address coming back.
+fn heal(net: &dyn Transport, app: Arc<dyn WebApp>) {
+    if let Some(sim) = net.as_any().downcast_ref::<SimNet>() {
+        sim.set_offline(app.authority(), false);
+    } else {
+        net.register(app);
+    }
+}
+
+/// Makes the named authority accept messages but never answer them:
+/// total message loss on `SimNet`, stalled handlers on `HttpTransport`.
+/// Both must classify as a `timeout`.
+fn make_hang(net: &dyn Transport, authority: &str) {
+    if let Some(sim) = net.as_any().downcast_ref::<SimNet>() {
+        sim.set_loss_every(1, 0);
+    } else if let Some(http) = net.as_any().downcast_ref::<HttpTransport>() {
+        http.set_stall(authority, true);
+    } else {
+        panic!("unknown transport backend {}", net.name());
+    }
+}
+
+fn clear_hang(net: &dyn Transport, authority: &str) {
+    if let Some(sim) = net.as_any().downcast_ref::<SimNet>() {
+        sim.set_loss_every(0, 0);
+    } else if let Some(http) = net.as_any().downcast_ref::<HttpTransport>() {
+        http.set_stall(authority, false);
+    }
+}
+
+/// Drains the AM's pending epoch/sieve pushes over the transport under
+/// test, advancing the shared clock through retry backoff.
+fn drain_pushes(world: &World) -> bool {
+    for _ in 0..1_000 {
+        world.am.pump_epoch_pushes(world.net.as_ref());
+        if world.am.pending_epoch_pushes() == 0 {
+            return true;
+        }
+        world.net.clock().advance_ms(50);
+    }
+    false
+}
+
+fn shared_world(net: Arc<dyn Transport>) -> World {
+    let mut world = World::bootstrap_on(net);
+    world.upload_content(1);
+    world.delegate_all_hosts("bob");
+    world.share_with_friends("bob", &["alice"]);
+    world
+}
+
+#[test]
+fn full_protocol_flow_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let mut world = shared_world(net);
+        let mut log = Vec::new();
+        // Phases 1–6 end to end: alice reads from all three hosts.
+        for (host, path) in [
+            (HOSTS[0], "/photos/rome/photo-0"),
+            (HOSTS[1], "/files/trips/file-0.txt"),
+            (HOSTS[2], "/docs/trips/report-0"),
+        ] {
+            let outcome = world.friend_reads("alice", host, path);
+            log.push(format!("alice {host}{path}: {}", label(&outcome)));
+        }
+        // A stranger runs the same phases and is denied.
+        let outcome = world.friend_reads("chris", HOSTS[0], "/photos/rome/photo-0");
+        log.push(format!("stranger: {}", label(&outcome)));
+        // The policy grants read/list only; the write-mapped route denies.
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0/rotate");
+        log.push(format!("write: {}", label(&outcome)));
+        // The warm path costs exactly one wire round trip on either
+        // backend — the cross-transport work-count invariant.
+        world.net.reset_stats();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        log.push(format!(
+            "warm: {} in {} round trips",
+            label(&outcome),
+            world.net.stats().round_trips
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "alice webpics.example/photos/rome/photo-0: granted",
+            "alice webstorage.example/files/trips/file-0.txt: granted",
+            "alice webdocs.example/docs/trips/report-0: granted",
+            "stranger: denied",
+            "write: denied",
+            "warm: granted in 1 round trips",
+        ]
+    );
+}
+
+#[test]
+fn error_status_sequencing_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let mut world = shared_world(net);
+        let mut log = Vec::new();
+        let resource = "https://webpics.example/photos/rome/photo-0";
+        // Token-less access: the PEP challenges/redirects, never serves.
+        let resp = world.net.dispatch(
+            "requester:probe",
+            Request::new(Method::Get, resource).with_header("x-requester", "requester:probe"),
+        );
+        log.push(format!("bare: {}", resp.status.code()));
+        // A forged bearer token is a 401.
+        let forged = SigningKey::generate().seal(b"kind=authz;res=albums/rome/photo-0");
+        let resp = world.net.dispatch(
+            "requester:probe",
+            Request::new(Method::Get, resource)
+                .with_header("x-requester", "requester:probe")
+                .with_bearer(&forged),
+        );
+        log.push(format!("forged: {}", resp.status.code()));
+        // The legitimate sequence: authorize at the AM (Fig. 5), then
+        // access with the minted token (Fig. 6).
+        let subject_token = world.assertion("alice");
+        let authorize = Url::new(AM, "/authorize")
+            .with_query("host", HOSTS[0])
+            .with_query("owner", "bob")
+            .with_query("resource", "albums/rome/photo-0")
+            .with_query("requester", "requester:alice-agent")
+            .with_query("subject_token", &subject_token);
+        let resp = world.net.dispatch(
+            "requester:alice-agent",
+            Request::to_url(Method::Get, authorize),
+        );
+        log.push(format!("authorize: {}", resp.status.code()));
+        let token = resp.body.clone();
+        let resp = world.net.dispatch(
+            "requester:alice-agent",
+            Request::new(Method::Get, resource)
+                .with_header("x-requester", "requester:alice-agent")
+                .with_bearer(&token),
+        );
+        log.push(format!("authorized read: {}", resp.status.code()));
+        // The same token presented by a different requester violates the
+        // §V.B.3 binding: 401, on either wire.
+        let resp = world.net.dispatch(
+            "requester:mallory",
+            Request::new(Method::Get, resource)
+                .with_header("x-requester", "requester:mallory")
+                .with_bearer(&token),
+        );
+        log.push(format!("stolen token: {}", resp.status.code()));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "bare: 302",
+            "forged: 401",
+            "authorize: 200",
+            "authorized read: 200",
+            "stolen token: 401",
+        ]
+    );
+}
+
+#[test]
+fn batched_decisions_are_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let mut world = shared_world(net);
+        // Mint alice's token for photo-0 directly.
+        let subject_token = world.assertion("alice");
+        let authorize = Url::new(AM, "/authorize")
+            .with_query("host", HOSTS[0])
+            .with_query("owner", "bob")
+            .with_query("resource", "albums/rome/photo-0")
+            .with_query("requester", "requester:alice-agent")
+            .with_query("subject_token", &subject_token);
+        let resp = world.net.dispatch(
+            "requester:alice-agent",
+            Request::to_url(Method::Get, authorize),
+        );
+        assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+        let token = resp.body.clone();
+
+        let attempt = |resource: &str, action: Action, bearer: Option<&str>| AccessAttempt {
+            requester: "requester:alice-agent".into(),
+            subject: None,
+            resource_id: resource.into(),
+            action,
+            bearer: bearer.map(str::to_owned),
+            return_url: Url::new(HOSTS[0], "/photos/rome/photo-0"),
+        };
+        let attempts = vec![
+            attempt("albums/rome/photo-0", Action::Read, Some(&token)),
+            // Same token, write action: the policy only grants read/list.
+            attempt("albums/rome/photo-0", Action::Write, Some(&token)),
+            // Token bound to a different resource: the mismatched bearer
+            // is ignored and a fresh AM query decides (the sharing policy
+            // covers the whole album tree, so this is a grant).
+            attempt("album-meta/rome", Action::Read, Some(&token)),
+            // No token at all: redirected into the authorization flow.
+            attempt("albums/rome/photo-0", Action::Read, None),
+        ];
+        let core = &world.pics.shell().core;
+        core.set_decision_batching(Some(ucam::host::BatchConfig::default()));
+        core.reset_stats();
+        let batched: Vec<String> = core
+            .enforce_batch(world.net.as_ref(), &attempts)
+            .iter()
+            .map(enforcement_label)
+            .collect();
+        let stats = core.stats();
+        vec![
+            format!("batch: {}", batched.join(", ")),
+            format!(
+                "work: {} am queries, {} batch flushes",
+                stats.am_queries, stats.batch_flushes
+            ),
+        ]
+    });
+    assert_eq!(
+        log,
+        vec![
+            "batch: grant, block(403), grant, block(302)",
+            // Three of the four attempts need an AM decision; batching
+            // collapses them into one wire query, flushed once.
+            "work: 1 am queries, 1 batch flushes",
+        ]
+    );
+}
+
+#[test]
+fn epoch_push_revocation_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let mut world = shared_world(net);
+        // Harness wiring: the hosts subscribe to asynchronous epoch
+        // pushes over the transport under test.
+        for host in HOSTS {
+            world.am.set_epoch_push_target(host);
+        }
+        let mut log = Vec::new();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        log.push(format!("prime: {}", label(&outcome)));
+        // Bob deletes the sharing policy; the AM queues fresh epochs for
+        // every subscribed host.
+        world
+            .am
+            .pap("bob", |account| {
+                let ids: Vec<_> = account
+                    .list_policies()
+                    .iter()
+                    .map(|p| p.id.clone())
+                    .collect();
+                for id in ids {
+                    account.delete_policy(&id).unwrap();
+                }
+            })
+            .unwrap();
+        log.push(format!(
+            "pushes pending: {}, drained: {}",
+            world.am.pending_epoch_pushes(),
+            drain_pushes(&world)
+        ));
+        // The pushed epoch invalidated the cached permit: the next access
+        // re-queries the AM and is denied — no TTL wait, on either wire.
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        log.push(format!("after revocation: {}", label(&outcome)));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "prime: granted",
+            "pushes pending: 3, drained: true",
+            "after revocation: denied",
+        ]
+    );
+}
+
+#[test]
+fn sieve_install_and_reject_are_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        // Sieve push must be live *before* alice's token is minted: the
+        // compiler replays issued tokens, and tokens issued while the
+        // sieve is off stay on the tier-2 protocol path.
+        let mut world = World::bootstrap_on(net);
+        world.am.set_sieve_push(true);
+        for host in HOSTS {
+            world.am.set_epoch_push_target(host);
+        }
+        world.upload_content(1);
+        world.delegate_all_hosts("bob");
+        world.share_with_friends("bob", &["alice"]);
+        let mut log = Vec::new();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        log.push(format!("prime: {}", label(&outcome)));
+        // The AM compiles and pushes capability sieves to its hosts.
+        world.am.schedule_sieve_refresh();
+        log.push(format!("sieve pushed: {}", drain_pushes(&world)));
+        // With the sieve installed, the warm access is served by the
+        // tier-1 snapshot: no decision cache, no AM query.
+        let core = &world.pics.shell().core;
+        core.flush_decision_cache();
+        core.reset_stats();
+        let outcome = world.friend_reads("alice", HOSTS[0], "/photos/rome/photo-0");
+        let stats = world.pics.shell().core.stats();
+        log.push(format!(
+            "sieve-served: {} ({} sieve hits, {} am queries)",
+            label(&outcome),
+            stats.sieve_hits,
+            stats.am_queries
+        ));
+        // A foreign sieve — well-formed but signed under a key the host
+        // never shared — is dropped fail-closed over the wire.
+        let forged =
+            ucam::webenv::protocol::SieveBody::build("bob", 2, Vec::new(), b"not-the-host-token");
+        let resp = world.net.dispatch(
+            AM,
+            Request::new(
+                Method::Post,
+                &format!(
+                    "https://{}{}",
+                    HOSTS[0],
+                    ucam::webenv::protocol::EPOCH_PUSH_PATH
+                ),
+            )
+            .with_param("owner", "bob")
+            .with_param("epoch", "2")
+            .with_body(forged.to_json()),
+        );
+        let stats = world.pics.shell().core.stats();
+        log.push(format!(
+            "foreign sieve: {} ({} installed, {} rejected)",
+            resp.status.code(),
+            stats.sieve_installs,
+            stats.sieve_rejects
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "prime: granted",
+            "sieve pushed: true",
+            "sieve-served: granted (1 sieve hits, 0 am queries)",
+            "foreign sieve: 200 (0 installed, 1 rejected)",
+        ]
+    );
+}
+
+#[test]
+fn failure_classification_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let world = World::bootstrap_on(net.clone());
+        let mut log = Vec::new();
+        let probe = || Request::new(Method::Get, &format!("https://{AM}/authorize"));
+        let observe = |tag: &str, resp: ucam::webenv::Response| {
+            format!("{tag}: {} {:?}", resp.status.code(), resp.transport_error())
+        };
+        // Healthy: the application answers (an error status, but an
+        // *application* answer — no transport classification).
+        log.push(observe("healthy", world.net.dispatch("probe", probe())));
+        // Dead listener / partition: immediate, classified unreachable.
+        make_unreachable(net.as_ref(), AM);
+        log.push(observe("dead", world.net.dispatch("probe", probe())));
+        // Healing brings the authority back (on HTTP: a fresh listener
+        // on a fresh port).
+        heal(net.as_ref(), world.am.clone());
+        log.push(observe("healed", world.net.dispatch("probe", probe())));
+        // Hung listener / total loss: the caller waits it out — timeout.
+        make_hang(net.as_ref(), AM);
+        log.push(observe("hung", world.net.dispatch("probe", probe())));
+        clear_hang(net.as_ref(), AM);
+        log.push(observe("recovered", world.net.dispatch("probe", probe())));
+        // An authority nobody ever registered: unreachable.
+        log.push(observe(
+            "unknown",
+            world.net.dispatch(
+                "probe",
+                Request::new(Method::Get, "https://nowhere.example/x"),
+            ),
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "healthy: 400 None",
+            "dead: 503 Some(Unreachable)",
+            "healed: 400 None",
+            "hung: 503 Some(Timeout)",
+            "recovered: 400 None",
+            "unknown: 503 Some(Unreachable)",
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Resilience parity: the breaker, fallback-AM failover and stale-grace
+// layers consume the transport-failure classification. Against killed
+// and hung real listeners they must behave exactly as they do against
+// simulated partitions.
+// ---------------------------------------------------------------------
+
+/// A transport-generic two-AM rig (mirrors `tests/multi_am.rs`).
+struct TwoAmRig {
+    net: Arc<dyn Transport>,
+    pics: Arc<WebPics>,
+    am_a: Arc<AuthorizationManager>,
+    am_b: Arc<AuthorizationManager>,
+    idp: Arc<IdentityProvider>,
+}
+
+fn rig_on(net: Arc<dyn Transport>) -> TwoAmRig {
+    let clock = net.clock().clone();
+    let idp = Arc::new(IdentityProvider::new("idp.example", clock.clone()));
+    let am_a = Arc::new(AuthorizationManager::new("am-a.example", clock.clone()));
+    let am_b = Arc::new(AuthorizationManager::new("am-b.example", clock.clone()));
+    let pics = WebPics::new("pics.example", clock);
+    for user in ["bob", "alice"] {
+        idp.register_user(user, "pw");
+        am_a.register_user(user);
+        am_b.register_user(user);
+    }
+    am_a.set_identity_verifier(idp.verifier());
+    am_b.set_identity_verifier(idp.verifier());
+    pics.shell().set_identity_verifier(idp.verifier());
+    net.register(idp.clone());
+    net.register(am_a.clone());
+    net.register(am_b.clone());
+    net.register(pics.clone());
+
+    let token = idp.login("bob", "pw").unwrap().token;
+    net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://pics.example/albums")
+            .with_param("name", "rome")
+            .with_param("subject_token", &token),
+    );
+    let image = ucam::host::Image::gradient(4, 4);
+    let resp = net.dispatch(
+        "browser:bob",
+        Request::new(Method::Post, "https://pics.example/photos")
+            .with_param("album", "rome")
+            .with_param("id", "p1")
+            .with_param("subject_token", &token)
+            .with_body(ucam::crypto::base64url_encode(&image.to_bytes())),
+    );
+    assert_eq!(resp.status, Status::Created, "{}", resp.body);
+
+    let (delegation, host_token) = am_a.establish_delegation("pics.example", "bob").unwrap();
+    pics.shell().core.set_user_delegation(
+        "bob",
+        DelegationConfig {
+            am: "am-a.example".into(),
+            host_token,
+            delegation_id: delegation.id,
+        },
+    );
+    TwoAmRig {
+        net,
+        pics,
+        am_a,
+        am_b,
+        idp,
+    }
+}
+
+fn permit_alice(am: &AuthorizationManager, resource_id: &str) {
+    am.pap("bob", |account| {
+        let id = account.create_policy(
+            "alice-read",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::User("alice".into()))
+                        .for_action(Action::Read),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new("pics.example", resource_id), &id)
+            .unwrap();
+    })
+    .unwrap();
+}
+
+fn alice_client(rig: &TwoAmRig) -> RequesterClient {
+    let assertion = rig.idp.login("alice", "pw").unwrap().token;
+    let mut client = RequesterClient::new("requester:alice-agent");
+    client.set_subject_token(Some(assertion));
+    client
+}
+
+fn alice_reads(rig: &TwoAmRig, client: &mut RequesterClient) -> AccessOutcome {
+    client.access(
+        rig.net.as_ref(),
+        &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+    )
+}
+
+#[test]
+fn fallback_am_failover_works_against_dead_listeners() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        permit_alice(&rig.am_b, "albums/rome/p1");
+        let (delegation_b, token_b) = rig
+            .am_b
+            .establish_delegation("pics.example", "bob")
+            .unwrap();
+        rig.pics
+            .shell()
+            .core
+            .set_resilience(ResilienceConfig::new().with_fallback_am(
+                "am-a.example",
+                DelegationConfig {
+                    am: "am-b.example".into(),
+                    host_token: token_b,
+                    delegation_id: delegation_b.id,
+                },
+            ));
+
+        // The primary AM dies before alice ever authorizes.
+        make_unreachable(net.as_ref(), "am-a.example");
+        let mut client = alice_client(&rig);
+        client.set_resilience(
+            ucam::requester::ResilienceConfig::new()
+                .with_fallback_am("am-a.example", "am-b.example"),
+        );
+        let outcome = alice_reads(&rig, &mut client);
+        let mut log = vec![format!(
+            "failover: {} ({} requester failovers, {} host fallback queries)",
+            label(&outcome),
+            client.stats().failovers,
+            rig.pics.shell().core.stats().fallback_queries
+        )];
+
+        // Back online, the primary serves natively again.
+        heal(net.as_ref(), rig.am_a.clone());
+        let mut native = alice_client(&rig);
+        native.set_resilience(
+            ucam::requester::ResilienceConfig::new()
+                .with_fallback_am("am-a.example", "am-b.example"),
+        );
+        let outcome = alice_reads(&rig, &mut native);
+        log.push(format!(
+            "healed: {} ({} failovers)",
+            label(&outcome),
+            native.stats().failovers
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "failover: granted (1 requester failovers, 1 host fallback queries)",
+            "healed: granted (0 failovers)",
+        ]
+    );
+}
+
+#[test]
+fn breaker_trips_identically_against_dead_listeners() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        rig.pics.shell().core.set_cache_enabled(false);
+        rig.pics
+            .shell()
+            .core
+            .set_resilience(ResilienceConfig::new().with_breaker(BreakerConfig::default()));
+        let mut client = alice_client(&rig);
+        let mut log = vec![format!("prime: {}", label(&alice_reads(&rig, &mut client)))];
+
+        // The AM dies. Consecutive transport failures open the circuit;
+        // once open, the host answers 503 without dispatching.
+        make_unreachable(net.as_ref(), "am-a.example");
+        for i in 0..5 {
+            let outcome = alice_reads(&rig, &mut client);
+            log.push(format!("dark {i}: {}", label(&outcome)));
+        }
+        log.push(format!(
+            "breaker fast-fails: {}",
+            rig.pics.shell().core.stats().breaker_fast_fails
+        ));
+
+        // Heal and wait out the cooldown: the half-open probe closes the
+        // circuit and service resumes.
+        heal(net.as_ref(), rig.am_a.clone());
+        rig.net
+            .clock()
+            .advance_ms(BreakerConfig::default().cooldown_ms + 1);
+        log.push(format!(
+            "recovered: {}",
+            label(&alice_reads(&rig, &mut client))
+        ));
+        log
+    });
+    // 5 dark reads: 3 real transport failures trip the breaker
+    // (failure_threshold), the remaining 2 fast-fail without touching
+    // the wire — identically on both backends.
+    assert_eq!(
+        log,
+        vec![
+            "prime: granted",
+            "dark 0: failed(503 None)",
+            "dark 1: failed(503 None)",
+            "dark 2: failed(503 None)",
+            "dark 3: failed(503 None)",
+            "dark 4: failed(503 None)",
+            "breaker fast-fails: 2",
+            "recovered: granted",
+        ]
+    );
+}
+
+#[test]
+fn stale_grace_serves_identically_against_dead_listeners() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        rig.pics
+            .shell()
+            .core
+            .set_resilience(ResilienceConfig::new().with_stale_grace_ms(120_000));
+        let mut client = alice_client(&rig);
+        let mut log = vec![format!("prime: {}", label(&alice_reads(&rig, &mut client)))];
+
+        // The cached permit expires, then the AM dies. Within the grace
+        // window the expired permit still serves.
+        rig.net.clock().advance_ms(61_000);
+        make_unreachable(net.as_ref(), "am-a.example");
+        let outcome = alice_reads(&rig, &mut client);
+        log.push(format!(
+            "stale-grace: {} ({} stale served)",
+            label(&outcome),
+            rig.pics.shell().core.stats().stale_served
+        ));
+
+        // Past the window: fail closed.
+        rig.net.clock().advance_ms(150_000);
+        let outcome = alice_reads(&rig, &mut client);
+        log.push(format!("past window: {}", label(&outcome)));
+
+        // Healing restores normal service.
+        heal(net.as_ref(), rig.am_a.clone());
+        let outcome = alice_reads(&rig, &mut client);
+        log.push(format!("healed: {}", label(&outcome)));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "prime: granted",
+            "stale-grace: granted (1 stale served)",
+            "past window: failed(503 None)",
+            "healed: granted",
+        ]
+    );
+}
