@@ -473,8 +473,17 @@ impl AuthorizationManager {
     /// generations.
     pub fn pump_epoch_pushes_bounded(&self, net: &dyn Transport, limit: usize) -> usize {
         let due = self.pushes.take_due(self.clock.now_ms(), limit);
+        if due.is_empty() {
+            return 0;
+        }
         let sieve_enabled = self.sieve_push.load(Ordering::Relaxed);
-        let mut delivered = 0;
+
+        // Stage 1 — compile every due push into its wire request upfront.
+        // The queue coalesces per (host, owner), so no two requests in one
+        // drain touch the same shipped-sieve entry and the compiles are
+        // independent of each other's outcomes.
+        let mut reqs = Vec::with_capacity(due.len());
+        let mut plans = Vec::with_capacity(due.len());
         for push in due {
             let mut req = Request::new(
                 Method::Post,
@@ -539,7 +548,19 @@ impl AuthorizationManager {
                     sieved = true;
                 }
             }
-            let resp = net.dispatch(&self.authority, req);
+            reqs.push(req);
+            plans.push((push, pair, shipped_update, sieved));
+        }
+
+        // Stage 2 — one pipelined flush: over HTTP a drain of N pushes to
+        // one Host costs one buffered write and one read loop instead of
+        // N serialized round trips; `SimNet` runs the same requests
+        // sequentially with identical accounting.
+        let resps = net.dispatch_pipelined(&self.authority, reqs);
+
+        // Stage 3 — settle each delivery in input order.
+        let mut delivered = 0;
+        for ((push, pair, shipped_update, sieved), resp) in plans.into_iter().zip(resps) {
             let now = self.clock.now_ms();
             if resp.transport_error().is_some() {
                 self.pushes.requeue(push, now);

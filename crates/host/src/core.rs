@@ -1904,9 +1904,10 @@ impl HostCore {
             groups.entry(key).or_default().push(query);
         }
         let max_batch = config.max_batch.clamp(1, protocol::MAX_BATCH);
+        let mut full_chunks: Vec<Vec<PendingQuery>> = Vec::new();
         let mut partial_chunks: Vec<Vec<PendingQuery>> = Vec::new();
         for (_, queries) in groups {
-            // flush-on-size: full chunks go out immediately …
+            // flush-on-size: full chunks go out first …
             let mut queries = queries.into_iter();
             loop {
                 let chunk: Vec<PendingQuery> = queries.by_ref().take(max_batch).collect();
@@ -1914,27 +1915,94 @@ impl HostCore {
                     break;
                 }
                 if chunk.len() == max_batch {
-                    self.flush_batch(net, &resilience, chunk, &mut results);
+                    full_chunks.push(chunk);
                 } else {
                     partial_chunks.push(chunk);
                     break;
                 }
             }
         }
+        self.flush_batches(net, &resilience, full_chunks, &mut results);
         if !partial_chunks.is_empty() {
             // … and flush-on-deadline: the stragglers that would fill the
             // partial chunks never arrive, so they wait out the deadline
             // (all of them concurrently: one clock charge) and flush.
             self.clock.advance_ms(config.max_delay_ms);
-            for chunk in partial_chunks {
-                self.flush_batch(net, &resilience, chunk, &mut results);
-            }
+            self.flush_batches(net, &resilience, partial_chunks, &mut results);
         }
 
         results
             .into_iter()
             .map(|r| r.expect("every attempt in the round settles exactly once"))
             .collect()
+    }
+
+    /// Flushes a round's batch chunks. With plain resilience (no breaker,
+    /// no retry policy) the chunks are independent wire requests, so they
+    /// go out through [`Transport::dispatch_pipelined`]: over HTTP each
+    /// AM's chunks share one buffered write on its persistent connection,
+    /// over [`SimNet`](ucam_webenv::SimNet) the default implementation
+    /// dispatches them sequentially — identical responses, identical
+    /// accounting, on either backend. A breaker or retry policy makes
+    /// each dispatch outcome feed the next admission decision, so those
+    /// configurations keep the serialized per-chunk path.
+    fn flush_batches(
+        &self,
+        net: &dyn Transport,
+        resilience: &ResilienceConfig,
+        chunks: Vec<Vec<PendingQuery>>,
+        results: &mut [Option<Enforcement>],
+    ) {
+        if chunks.len() <= 1 || resilience.breaker.is_some() || resilience.am_retry.is_some() {
+            for chunk in chunks {
+                self.flush_batch(net, resilience, chunk, results);
+            }
+            return;
+        }
+        let mut reqs = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            let am = chunk[0].delegation.am.as_str();
+            let items = batch_items(chunk);
+            self.stats.batch_flushes.fetch_add(1, Ordering::Relaxed);
+            self.stats.am_queries.fetch_add(1, Ordering::Relaxed);
+            net.trace().note_with(&self.authority, || {
+                format!("batch flush: {} decision queries -> {am}", items.len())
+            });
+            reqs.push(
+                Request::new(
+                    Method::Post,
+                    &format!("https://{am}{}", protocol::BATCH_DECISIONS_PATH),
+                )
+                .with_param("host_token", &chunk[0].delegation.host_token)
+                .with_body(protocol::encode_batch_request(&items).as_str()),
+            );
+        }
+        let resps = net.dispatch_pipelined(&self.authority, reqs);
+        for (chunk, mut resp) in chunks.into_iter().zip(resps) {
+            if resp.transport_error().is_some() {
+                if let Some(fallback) =
+                    resilience.fallback_for(&chunk[0].delegation.am, &chunk[0].owner)
+                {
+                    self.stats.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                    let am = chunk[0].delegation.am.clone();
+                    net.trace().note_with(&self.authority, || {
+                        format!("failing over batch query: {am} -> {}", fallback.am)
+                    });
+                    let body = protocol::encode_batch_request(&batch_items(&chunk));
+                    let fallback_am = fallback.am.clone();
+                    let fallback_token = fallback.host_token.clone();
+                    resp = self.dispatch_protected(net, resilience, &fallback_am, &|| {
+                        Request::new(
+                            Method::Post,
+                            &format!("https://{fallback_am}{}", protocol::BATCH_DECISIONS_PATH),
+                        )
+                        .with_param("host_token", &fallback_token)
+                        .with_body(body.as_str())
+                    });
+                }
+            }
+            self.settle_batch_chunk(net, &resp, chunk, results);
+        }
     }
 
     /// Dispatches one batch chunk — all members share an (AM, host token,
@@ -1949,15 +2017,7 @@ impl HostCore {
         let am = chunk[0].delegation.am.clone();
         let host_token = chunk[0].delegation.host_token.clone();
         let owner = chunk[0].owner.clone();
-        let items: Vec<BatchItem> = chunk
-            .iter()
-            .map(|q| BatchItem {
-                token: q.token.clone(),
-                resource: q.cache_key.1.clone(),
-                action: q.cache_key.2.to_string(),
-                requester: q.cache_key.0.clone(),
-            })
-            .collect();
+        let items = batch_items(&chunk);
         self.stats.batch_flushes.fetch_add(1, Ordering::Relaxed);
         net.trace().note_with(&self.authority, || {
             format!("batch flush: {} decision queries -> {am}", items.len())
@@ -1989,8 +2049,21 @@ impl HostCore {
                 });
             }
         }
+        self.settle_batch_chunk(net, &resp, chunk, results);
+    }
+
+    /// Settles every member of one answered batch chunk through the
+    /// shared decision path — common tail of the serialized and
+    /// pipelined flush paths.
+    fn settle_batch_chunk(
+        &self,
+        net: &dyn Transport,
+        resp: &Response,
+        chunk: Vec<PendingQuery>,
+        results: &mut [Option<Enforcement>],
+    ) {
         let now = self.clock.now_ms();
-        let outcomes = classify_batch(&resp, chunk.len());
+        let outcomes = classify_batch(resp, chunk.len());
         for (query, outcome) in chunk.into_iter().zip(outcomes) {
             let PendingQuery {
                 index,
@@ -2522,6 +2595,20 @@ struct PendingQuery {
     token: String,
     cache_key: CacheKey,
     token_digest: [u8; 32],
+}
+
+/// Encodes one batch chunk's members as `/protection/v1/decisions`
+/// request items.
+fn batch_items(chunk: &[PendingQuery]) -> Vec<BatchItem> {
+    chunk
+        .iter()
+        .map(|q| BatchItem {
+            token: q.token.clone(),
+            resource: q.cache_key.1.clone(),
+            action: q.cache_key.2.to_string(),
+            requester: q.cache_key.0.clone(),
+        })
+        .collect()
 }
 
 /// Extracts `cacheable_ms` from a decision response body; 0 unless the

@@ -56,6 +56,7 @@
 
 pub mod browser;
 pub mod clock;
+pub mod codec;
 pub mod http;
 pub mod httpnet;
 pub mod identity;

@@ -79,6 +79,13 @@ pub struct NetStats {
     /// Total payload bytes carried (request bodies + response bodies +
     /// header values) — the modelled bandwidth cost.
     pub payload_bytes: u64,
+    /// Exact serialized size of every *successful* round trip, as the
+    /// canonical HTTP/1.1 codec frames it ([`crate::codec`]): request
+    /// head + body plus response head + body. Failed dispatches (the
+    /// fabric's synthesized 503s) contribute nothing, which is what
+    /// keeps this counter bit-identical across backends — failure
+    /// bodies are backend-specific, healthy messages are not.
+    pub bytes_on_wire: u64,
 }
 
 impl NetStats {
@@ -112,6 +119,7 @@ const CONFIG_CACHE_SLOTS: usize = 8;
 struct StatShard {
     round_trips: AtomicU64,
     payload_bytes: AtomicU64,
+    bytes_on_wire: AtomicU64,
     /// Committed *after* `round_trips` (Release) and read *before* it
     /// (Acquire), so a [`SimNet::stats`] snapshot can never observe
     /// latency charged for a round trip it has not counted yet.
@@ -436,6 +444,7 @@ impl SimNet {
             out.modelled_latency_ms += shard.modelled_latency_ms.load(Ordering::Acquire);
             out.round_trips += shard.round_trips.load(Ordering::Relaxed);
             out.payload_bytes += shard.payload_bytes.load(Ordering::Relaxed);
+            out.bytes_on_wire += shard.bytes_on_wire.load(Ordering::Relaxed);
             for (from, inner) in shard.per_edge.lock().iter() {
                 for (to, count) in inner {
                     *out.per_edge.entry((from.clone(), to.clone())).or_insert(0) += count;
@@ -451,6 +460,7 @@ impl SimNet {
             shard.per_edge.lock().clear();
             shard.round_trips.store(0, Ordering::Relaxed);
             shard.payload_bytes.store(0, Ordering::Relaxed);
+            shard.bytes_on_wire.store(0, Ordering::Relaxed);
             shard.modelled_latency_ms.store(0, Ordering::Release);
         }
     }
@@ -511,6 +521,16 @@ impl SimNet {
         shard
             .payload_bytes
             .fetch_add((request_bytes + response_bytes) as u64, Ordering::Relaxed);
+        if resp.transport_error().is_none() {
+            // Arithmetic twins of the codec encoders — the exact bytes
+            // this round trip would occupy (does occupy, on the HTTP
+            // backend) on the wire, without serializing anything.
+            let wire =
+                crate::codec::request_wire_len(from, &req) + crate::codec::response_wire_len(&resp);
+            shard
+                .bytes_on_wire
+                .fetch_add(wire as u64, Ordering::Relaxed);
+        }
         shard.round_trips.fetch_add(1, Ordering::Relaxed);
         if latency_ms > 0 {
             shard

@@ -75,6 +75,28 @@ pub trait Transport: Send + Sync + 'static {
     /// returning its response (or a classified transport failure).
     fn dispatch(&self, from: &str, req: Request) -> Response;
 
+    /// Dispatches a batch of independent requests, returning one response
+    /// per request in input order. Semantically identical to calling
+    /// [`Transport::dispatch`] once per request — same responses, same
+    /// message accounting — which is exactly what the default
+    /// implementation (and [`SimNet`](crate::net::SimNet)) does.
+    ///
+    /// Backends with real per-round-trip costs may override it to spend
+    /// less wall clock on the same work:
+    /// [`HttpTransport`](crate::httpnet::HttpTransport) pipelines each
+    /// per-authority group over its one persistent connection (one
+    /// buffered write carrying N requests, then N responses read back),
+    /// so a flush of N queued messages costs one syscall pair instead of
+    /// N serialized round trips. Callers must only batch requests that
+    /// are independent of each other (no request may depend on an earlier
+    /// one's effects *through a different authority's handler*) — batch
+    /// flushes and push fan-outs qualify; redirect chains do not.
+    fn dispatch_pipelined(&self, from: &str, reqs: Vec<Request>) -> Vec<Response> {
+        reqs.into_iter()
+            .map(|req| self.dispatch(from, req))
+            .collect()
+    }
+
     /// The shared logical clock (token lifetimes, cache TTLs, backoff).
     fn clock(&self) -> &SimClock;
 

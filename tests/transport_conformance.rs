@@ -43,15 +43,35 @@ fn backends() -> [Arc<dyn Transport>; 2] {
 /// identical line for line, and returns the (shared) log so callers can
 /// pin it against a golden expectation — conformance alone would also
 /// pass if a scenario were equally broken on both backends.
+///
+/// Beyond the outcome log, the two backends must agree bit-exactly on
+/// `bytes_on_wire`: `SimNet` computes the canonical HTTP/1.1 framing
+/// arithmetically (`webenv::codec`), `HttpTransport` moves those
+/// literal bytes over loopback TCP, and failed round trips contribute
+/// zero on both. Token material is random per run, but every token is
+/// length-deterministic, so the serialized byte count of a scenario is
+/// a protocol property — any divergence means one backend framed,
+/// retried, or counted a message the other did not.
 fn assert_conformance(scenario: impl Fn(Arc<dyn Transport>) -> Vec<String>) -> Vec<String> {
     let [sim, http] = backends();
-    let sim_log = scenario(sim);
-    let http_log = scenario(http);
+    let sim_log = scenario(sim.clone());
+    let http_log = scenario(http.clone());
     eprintln!("--- outcome log ---\n{}", sim_log.join("\n"));
     assert!(!sim_log.is_empty(), "scenario produced no observations");
     assert_eq!(
         sim_log, http_log,
         "protocol outcomes diverged between SimNet and HttpTransport"
+    );
+    let (sim_stats, http_stats) = (sim.stats(), http.stats());
+    assert!(
+        sim_stats.bytes_on_wire > 0,
+        "scenario moved no bytes over the wire"
+    );
+    assert_eq!(
+        sim_stats.bytes_on_wire, http_stats.bytes_on_wire,
+        "bytes_on_wire diverged between SimNet ({} round trips) and \
+         HttpTransport ({} round trips)",
+        sim_stats.round_trips, http_stats.round_trips
     );
     sim_log
 }
