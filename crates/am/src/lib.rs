@@ -24,9 +24,14 @@
 //! and as a simulated Web application (`ucam_webenv::WebApp`) with the
 //! protocol endpoints `/delegate`, `/compose`, `/authorize`, the versioned
 //! protection surface `/protection/v1/{decision,decisions}` (with the
-//! historical `/decision` alias), `/policies/{import,export}`, and
+//! historical `/decision` alias, parity-tested and hit-counted via
+//! [`manager::RouteHits`]), the v2 surface
+//! `/protection/v2/{decision,authorize,register,register/rotate,register/deregister,delegate}`
+//! (conditional decision queries, batch authorize, and dynamic
+//! registration — DESIGN.md §16), `/policies/{import,export}`, and
 //! `/consent/*` — plus an asynchronous AM→Host policy-epoch [`push`]
-//! channel delivered over the simulated network.
+//! channel delivered over the simulated network, optionally carrying
+//! capability-sieve or decision-level invalidation bodies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +48,7 @@ pub mod trust;
 pub use claims::ClaimIssuer;
 pub use manager::{
     AmError, AuthorizationManager, AuthorizeOutcome, AuthorizeRequest, Decision, DecisionQuery,
+    RouteHits,
 };
 pub use pap::{Account, ExportFormat};
 pub use push::EpochPushStats;

@@ -15,7 +15,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -233,6 +233,14 @@ const ISSUED_SHARDS: usize = 16;
 /// token falls back to the tier-2 protocol path, never a wrong grant.
 const ISSUED_GRANTS_CAP: usize = 4096;
 
+/// Per-owner cap on the outstanding-decisions registry the invalidation
+/// compiler re-evaluates (DESIGN.md §16). Unlike the issued-grants cap,
+/// overflow here cannot silently drop entries: an invalidation body
+/// claims *exactness* (the Host keeps everything not listed), so once
+/// the cap is hit the owner's registry is marked overflowed and pushes
+/// fall back to the always-safe plain epoch purge.
+const DECIDED_TUPLES_CAP: usize = 8192;
+
 /// FNV-1a over a name — the shard router every sharded structure here
 /// shares.
 fn fnv1a_str(s: &str) -> u64 {
@@ -297,6 +305,58 @@ struct ShippedSieve {
     entries: HashMap<protocol::SieveFingerprint, u64>,
 }
 
+/// One cacheable permit the AM has answered: exactly the tuple a Host
+/// may now hold in its decision cache, plus what `decide` needs to
+/// re-evaluate it later. The invalidation compiler replays these on an
+/// epoch advance to find which cached entries actually died.
+#[derive(Clone)]
+struct DecidedTuple {
+    host: String,
+    token: String,
+    resource_id: String,
+    action: Action,
+    requester: String,
+    /// When the Host's cached copy expires on its own — tuples past this
+    /// are pruned instead of re-evaluated.
+    expires_at_ms: u64,
+}
+
+/// One owner's slice of the outstanding-decisions registry, keyed by the
+/// same fingerprint the Host keys its cache entries with.
+#[derive(Default)]
+struct DecidedSet {
+    tuples: HashMap<protocol::SieveFingerprint, DecidedTuple>,
+    /// Set when [`DECIDED_TUPLES_CAP`] evicted coverage. An exact
+    /// invalidation list can no longer be claimed for this owner, so the
+    /// compiler refuses and pushes go out plain (owner-wide purge).
+    overflowed: bool,
+}
+
+type DecidedShard = HashMap<String, DecidedSet>;
+
+/// A dynamically registered Host or Requester (`/protection/v2/register`,
+/// in the spirit of OAuth dynamic client registration). The secret is
+/// the bearer credential for the rotate/deregister management endpoints
+/// and, for `kind == "host"`, for obtaining delegations over the wire.
+struct Registrant {
+    kind: String,
+    authority: String,
+    secret: String,
+}
+
+/// Per-decision-route hit counters (see [`AuthorizationManager::route_hits`]).
+/// The legacy `/decision` alias stays parity-tested but *counted*, so its
+/// retirement is a measurement, not a guess (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteHits {
+    /// Hits on the pre-versioning `/decision` alias.
+    pub legacy_decision: u64,
+    /// Hits on the canonical `/protection/v1/decision` route.
+    pub v1_decision: u64,
+    /// Hits on the conditional `/protection/v2/decision` route.
+    pub v2_decision: u64,
+}
+
 /// The Authorization Manager application. See the [module docs](self).
 ///
 /// # Example
@@ -358,6 +418,24 @@ pub struct AuthorizationManager {
     /// Last sieve state confirmed delivered per (host, owner) — the base
     /// the delta encoder diffs against (DESIGN.md §13).
     shipped: Mutex<HashMap<(String, String), ShippedSieve>>,
+    /// Whether epoch pushes carry a decision-level invalidation body
+    /// (DESIGN.md §16). Off by default. Subordinate to the sieve: when a
+    /// push already ships a sieve body, that body fully describes the
+    /// valid set and no invalidation list is attached.
+    invalidation_push: AtomicBool,
+    /// Outstanding cacheable permits (invalidation-compiler input),
+    /// sharded by owner hash like the issued registry. Cold-path readers
+    /// (push compiles), hot-path writers gated on `invalidation_push`.
+    decided: [Mutex<DecidedShard>; ISSUED_SHARDS],
+    /// Dynamically registered Hosts/Requesters, keyed by registrant id.
+    /// Management traffic only — never touched by `authorize`/`decide`.
+    registrants: Mutex<HashMap<String, Registrant>>,
+    /// Monotonic source for `reg-N` registrant ids.
+    registrant_seq: AtomicU64,
+    /// Per-decision-route hit counters, in [`RouteHits`] order.
+    legacy_decision_hits: AtomicU64,
+    v1_decision_hits: AtomicU64,
+    v2_decision_hits: AtomicU64,
 }
 
 impl fmt::Debug for AuthorizationManager {
@@ -388,6 +466,13 @@ impl AuthorizationManager {
             pushes: PushFanOut::default(),
             sieve_push: AtomicBool::new(false),
             shipped: Mutex::new(HashMap::default()),
+            invalidation_push: AtomicBool::new(false),
+            decided: std::array::from_fn(|_| Mutex::new(DecidedShard::default())),
+            registrants: Mutex::new(HashMap::default()),
+            registrant_seq: AtomicU64::new(0),
+            legacy_decision_hits: AtomicU64::new(0),
+            v1_decision_hits: AtomicU64::new(0),
+            v2_decision_hits: AtomicU64::new(0),
         }
     }
 
@@ -404,6 +489,11 @@ impl AuthorizationManager {
     /// The shard holding `owner`'s issued-grants registry.
     fn issued_for(&self, owner: &str) -> &Mutex<IssuedShard> {
         &self.issued[(fnv1a_str(owner) as usize) % ISSUED_SHARDS]
+    }
+
+    /// The shard holding `owner`'s outstanding-decisions registry.
+    fn decided_for(&self, owner: &str) -> &Mutex<DecidedShard> {
+        &self.decided[(fnv1a_str(owner) as usize) % ISSUED_SHARDS]
     }
 
     /// Advances `owner`'s policy epoch, invalidating every decision a
@@ -477,6 +567,7 @@ impl AuthorizationManager {
             return 0;
         }
         let sieve_enabled = self.sieve_push.load(Ordering::Relaxed);
+        let invalidation_enabled = self.invalidation_push.load(Ordering::Relaxed);
 
         // Stage 1 — compile every due push into its wire request upfront.
         // The queue coalesces per (host, owner), so no two requests in one
@@ -548,8 +639,29 @@ impl AuthorizationManager {
                     sieved = true;
                 }
             }
+            let mut invalidated = false;
+            if !sieved && invalidation_enabled {
+                // A sieve body already describes the complete valid set,
+                // so the invalidation list only rides pushes without one.
+                // `compile_invalidations` refuses (`None`) whenever the
+                // list cannot be exact; the push then goes out plain and
+                // the Host falls back to the owner-wide purge.
+                if let Some((dead, epoch, host_token)) =
+                    self.compile_invalidations(&push.host, &push.owner)
+                {
+                    let body = protocol::InvalidationBody::build(
+                        &push.owner,
+                        epoch,
+                        dead,
+                        host_token.as_bytes(),
+                    )
+                    .to_json();
+                    req = req.with_body(body);
+                    invalidated = true;
+                }
+            }
             reqs.push(req);
-            plans.push((push, pair, shipped_update, sieved));
+            plans.push((push, pair, shipped_update, sieved, invalidated));
         }
 
         // Stage 2 — one pipelined flush: over HTTP a drain of N pushes to
@@ -560,7 +672,9 @@ impl AuthorizationManager {
 
         // Stage 3 — settle each delivery in input order.
         let mut delivered = 0;
-        for ((push, pair, shipped_update, sieved), resp) in plans.into_iter().zip(resps) {
+        for ((push, pair, shipped_update, sieved, invalidated), resp) in
+            plans.into_iter().zip(resps)
+        {
             let now = self.clock.now_ms();
             if resp.transport_error().is_some() {
                 self.pushes.requeue(push, now);
@@ -579,6 +693,9 @@ impl AuthorizationManager {
                         self.shipped.lock().insert(pair, update);
                     }
                 }
+                if invalidated {
+                    self.pushes.record_invalidation();
+                }
                 delivered += 1;
             }
         }
@@ -592,6 +709,16 @@ impl AuthorizationManager {
     /// and keep using the tier-2 protocol path.
     pub fn set_sieve_push(&self, enabled: bool) {
         self.sieve_push.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Enables (or disables) decision-level invalidation push (protocol
+    /// v2, DESIGN.md §16). While enabled, the AM records every cacheable
+    /// permit it answers so that an epoch advance can push the *exact*
+    /// fingerprints that died instead of forcing an owner-wide purge.
+    /// Permits answered while disabled are simply not covered — the Host
+    /// purges them the classic epoch-bump way, which is always safe.
+    pub fn set_invalidation_push(&self, enabled: bool) {
+        self.invalidation_push.store(enabled, Ordering::Relaxed);
     }
 
     /// Schedules an epoch push for every registered owner at their
@@ -807,6 +934,208 @@ impl AuthorizationManager {
         Some((entries, epoch, host_token))
     }
 
+    /// Records one cacheable permit in the outstanding-decisions registry
+    /// — called from `decide`'s phase C while invalidation push is on.
+    /// Every Host cache entry is born from exactly one such permit, so
+    /// the registry is a superset of what any Host may still hold.
+    fn record_decided(&self, host: &str, query: &DecisionQuery, owner: &str, expires_at_ms: u64) {
+        let action_label = query.action.to_string();
+        let fp = protocol::sieve_fingerprint(
+            &query.authz_token,
+            &query.resource_id,
+            &action_label,
+            &query.requester,
+        );
+        let mut shard = self.decided_for(owner).lock();
+        let set = shard.entry(owner.to_owned()).or_default();
+        if let Some(existing) = set.tuples.get_mut(&fp) {
+            existing.expires_at_ms = existing.expires_at_ms.max(expires_at_ms);
+            return;
+        }
+        if set.tuples.len() >= DECIDED_TUPLES_CAP {
+            set.overflowed = true;
+            return;
+        }
+        set.tuples.insert(
+            fp,
+            DecidedTuple {
+                host: host.to_owned(),
+                token: query.authz_token.clone(),
+                resource_id: query.resource_id.clone(),
+                action: query.action.clone(),
+                requester: query.requester.clone(),
+                expires_at_ms,
+            },
+        );
+    }
+
+    /// Compiles the decision-level invalidation list for one (host,
+    /// owner) delegation: re-evaluates every outstanding cacheable permit
+    /// recorded for the pair (same phase-A/phase-B evaluation as
+    /// [`Self::decide`], minus its side effects) and returns the
+    /// fingerprints that no longer hold, plus the epoch and signing key.
+    /// An empty list is meaningful — signed proof that the epoch advance
+    /// killed none of this Host's entries.
+    ///
+    /// Returns `None` when the list cannot be *exact*: no host token was
+    /// ever retained for the pair, the owner is unknown, or the
+    /// outstanding registry overflowed its cap. The caller then sends the
+    /// push plain and the Host does the owner-wide purge — always safe.
+    ///
+    /// Same sequential-lock-scope discipline as [`Self::compile_sieve`];
+    /// skew between scopes is bounded by the epoch mechanism (a list
+    /// compiled against a half-updated account carries the epoch it read,
+    /// and the next bump re-pushes).
+    fn compile_invalidations(
+        &self,
+        host: &str,
+        owner: &str,
+    ) -> Option<(Vec<protocol::SieveFingerprint>, u64, String)> {
+        let now = self.clock.now_ms();
+
+        // Scope 1 — central read: signing key and trust status.
+        let (host_token, trusted) = {
+            let state = self.state.read();
+            let token = state
+                .host_tokens
+                .get(&(host.to_owned(), owner.to_owned()))?
+                .clone();
+            (token, state.trust.check(host, owner).is_ok())
+        };
+
+        // Scope 1b — outstanding registry: prune expired tuples (their
+        // cached copies died on their own) and take this host's slice.
+        let tuples: Vec<(protocol::SieveFingerprint, DecidedTuple)> = {
+            let mut shard = self.decided_for(owner).lock();
+            let Some(set) = shard.get_mut(owner) else {
+                // Nothing outstanding: the epoch advance invalidated
+                // nothing this AM ever answered for.
+                return Some((Vec::new(), self.policy_epoch(owner), host_token));
+            };
+            if set.overflowed {
+                return None;
+            }
+            set.tuples.retain(|_, t| t.expires_at_ms > now);
+            set.tuples
+                .iter()
+                .filter(|(_, t)| t.host == host)
+                .map(|(fp, t)| (*fp, t.clone()))
+                .collect()
+        };
+
+        // A revoked delegation kills every outstanding permit at once.
+        if !trusted {
+            let dead = tuples.into_iter().map(|(fp, _)| fp).collect();
+            return Some((dead, self.policy_epoch(owner), host_token));
+        }
+
+        // Scope 2 — sharded reads: the same consent/claims/use-count
+        // context `decide` gathers in its phase A, per tuple. Token
+        // validation happens here too: an expired or rebound token means
+        // the cached entry is dead regardless of policy.
+        struct TupleCtx {
+            grant: Option<AuthzGrant>,
+            consent_granted: bool,
+            claims: Vec<Claim>,
+            prior_uses: u32,
+        }
+        let contexts: Vec<TupleCtx> = tuples
+            .iter()
+            .map(|(_, t)| {
+                let grant = match self.tokens.validate_authz_token(
+                    &t.token,
+                    host,
+                    &t.resource_id,
+                    &t.requester,
+                ) {
+                    Ok(g) if g.owner == owner => Some(g),
+                    _ => None,
+                };
+                let Some(grant) = grant else {
+                    return TupleCtx {
+                        grant: None,
+                        consent_granted: false,
+                        claims: Vec::new(),
+                        prior_uses: 0,
+                    };
+                };
+                let resource = ResourceRef::new(host, &t.resource_id);
+                let consent_granted = self.consent.is_granted(
+                    owner,
+                    &t.requester,
+                    grant.subject.as_deref(),
+                    &resource,
+                    &t.action,
+                );
+                let ctx = self.ctx_for(&t.requester).read();
+                let claims = ctx
+                    .satisfied_claims
+                    .get(&(t.requester.clone(), resource.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                let prior_uses = ctx
+                    .use_counts
+                    .get(&(
+                        t.requester.clone(),
+                        grant.subject.clone(),
+                        resource,
+                        t.action.clone(),
+                    ))
+                    .copied()
+                    .unwrap_or(0);
+                TupleCtx {
+                    grant: Some(grant),
+                    consent_granted,
+                    claims,
+                    prior_uses,
+                }
+            })
+            .collect();
+
+        // Scope 3 — shard read: re-evaluate each tuple exactly as
+        // `decide`'s phase B would; whatever no longer yields a cacheable
+        // permit is the invalidation list. Stamped with the epoch read in
+        // the same scope.
+        let (dead, epoch) = {
+            let shard = self.shard_for(owner).read();
+            let slot = shard.get(owner)?;
+            let account = &slot.account;
+            let cache_ttl_ms = account.cache_ttl_ms();
+            let oracle = account.group_oracle();
+            let mut dead = Vec::new();
+            for ((fp, t), tc) in tuples.iter().zip(&contexts) {
+                let still_cacheable = match &tc.grant {
+                    None => false,
+                    Some(grant) => {
+                        let access = build_access_request(
+                            host,
+                            &t.resource_id,
+                            &t.action,
+                            grant.subject.as_deref(),
+                            &t.requester,
+                        );
+                        let mut ctx = EvalContext::new(&access, now)
+                            .with_groups(&oracle)
+                            .with_claims(&tc.claims)
+                            .with_prior_uses(tc.prior_uses);
+                        if tc.consent_granted {
+                            ctx = ctx.with_consent();
+                        }
+                        let decision = PolicyEngine::evaluate(account.policies(), &ctx);
+                        matches!(decision.outcome, Outcome::Permit)
+                            && cache_ttl_ms.min(grant.expires_at_ms.saturating_sub(now)) > 0
+                    }
+                };
+                if !still_cacheable {
+                    dead.push(*fp);
+                }
+            }
+            (dead, slot.epoch)
+        };
+
+        Some((dead, epoch, host_token))
+    }
+
     /// Undelivered epoch pushes (due or backing off).
     #[must_use]
     pub fn pending_epoch_pushes(&self) -> usize {
@@ -817,6 +1146,19 @@ impl AuthorizationManager {
     #[must_use]
     pub fn epoch_push_stats(&self) -> EpochPushStats {
         self.pushes.stats()
+    }
+
+    /// Per-decision-route hit counters. The legacy `/decision` alias is
+    /// kept parity-tested but counted — when this reads zero across a
+    /// deployment's observation window, the alias can be retired on data
+    /// instead of hope (DESIGN.md §16).
+    #[must_use]
+    pub fn route_hits(&self) -> RouteHits {
+        RouteHits {
+            legacy_decision: self.legacy_decision_hits.load(Ordering::Relaxed),
+            v1_decision: self.v1_decision_hits.load(Ordering::Relaxed),
+            v2_decision: self.v2_decision_hits.load(Ordering::Relaxed),
+        }
     }
 
     /// The owner's current policy epoch (0 when the owner is unknown).
@@ -1285,11 +1627,20 @@ impl AuthorizationManager {
         }
 
         match engine_decision.outcome {
-            Outcome::Permit => Ok(Decision::Permit {
+            Outcome::Permit => {
                 // A cached permit must not outlive the token it answers for.
-                cacheable_ms: cache_ttl_ms.min(grant.expires_at_ms.saturating_sub(now)),
-                policy_epoch,
-            }),
+                let cacheable_ms = cache_ttl_ms.min(grant.expires_at_ms.saturating_sub(now));
+                if cacheable_ms > 0 && self.invalidation_push.load(Ordering::Relaxed) {
+                    // The Host may cache this verdict; remember the exact
+                    // tuple so a later epoch advance can invalidate it
+                    // surgically instead of purging the whole owner.
+                    self.record_decided(&host_grant.host, query, &grant.owner, now + cacheable_ms);
+                }
+                Ok(Decision::Permit {
+                    cacheable_ms,
+                    policy_epoch,
+                })
+            }
             other => Ok(Decision::Deny {
                 reason: other.to_string(),
             }),
@@ -1518,8 +1869,14 @@ impl WebApp for AuthorizationManager {
             "/authorize/status" => self.web_authorize_status(req),
             // Fig. 6: a Host queries for a decision. The versioned
             // `/protection/v1/decision` route is canonical; the bare
-            // `/decision` path is the pre-versioning alias.
+            // `/decision` path is the pre-versioning alias, parity-tested
+            // and hit-counted so retirement is data-driven (§16).
             protocol::DECISION_PATH | protocol::LEGACY_DECISION_PATH => {
+                if req.url.path() == protocol::LEGACY_DECISION_PATH {
+                    self.legacy_decision_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.v1_decision_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 let resp = self.web_decision(req);
                 // Lazy label: while tracing is off (every hot loop) this
                 // is one atomic load and no formatting.
@@ -1552,6 +1909,17 @@ impl WebApp for AuthorizationManager {
                 });
                 resp
             }
+            // Protocol v2 (DESIGN.md §16): conditional decision queries,
+            // batch authorize, and dynamic registration.
+            protocol::DECISION_V2_PATH => {
+                self.v2_decision_hits.fetch_add(1, Ordering::Relaxed);
+                self.web_decision_v2(req)
+            }
+            protocol::BATCH_AUTHORIZE_PATH => self.web_authorize_batch(req),
+            protocol::REGISTER_PATH => self.web_register(req),
+            protocol::REGISTER_ROTATE_PATH => self.web_register_rotate(req),
+            protocol::REGISTER_DEREGISTER_PATH => self.web_register_deregister(req),
+            protocol::DELEGATE_V2_PATH => self.web_delegate_v2(req),
             // §VI REST policy interface.
             "/policies/export" => self.web_export(req),
             "/policies/import" => self.web_import(req),
@@ -1816,6 +2184,256 @@ impl AuthorizationManager {
             })
             .collect();
         Response::ok().with_body(protocol::encode_batch_response(&bodies))
+    }
+
+    /// Handles `/protection/v2/decision`: the v1 decision query plus an
+    /// optional `if_epoch` parameter carrying the epoch the Host's cached
+    /// entry was stamped with. The decision is evaluated in full either
+    /// way (audit records and use counts must not drift between v1 and
+    /// v2); only the *serialization* is conditional — a permit whose
+    /// epoch still matches collapses to the compact
+    /// [`protocol::UnchangedBody`] instead of re-shipping the verdict.
+    fn web_decision_v2(&self, req: &Request) -> Response {
+        let if_epoch = match req.param("if_epoch") {
+            None => None,
+            // Fail closed: an unparseable epoch is a malformed request,
+            // not an unconditional one.
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(epoch) => Some(epoch),
+                Err(_) => return Response::bad_request("if_epoch must be an unsigned integer"),
+            },
+        };
+        let query = match (
+            req.param("host_token"),
+            req.param("token"),
+            req.param("resource"),
+            req.param("requester"),
+        ) {
+            (Some(ht), Some(t), Some(r), Some(rq)) => DecisionQuery {
+                host_token: ht.to_owned(),
+                authz_token: t.to_owned(),
+                resource_id: r.to_owned(),
+                action: parse_action(req.param("action")),
+                requester: rq.to_owned(),
+            },
+            _ => return Response::bad_request("host_token, token, resource, requester required"),
+        };
+        match self.decide(&query) {
+            Ok(Decision::Permit {
+                cacheable_ms,
+                policy_epoch,
+            }) if if_epoch == Some(policy_epoch) => {
+                Response::ok().with_body(protocol::UnchangedBody { cacheable_ms }.to_json())
+            }
+            Ok(decision) => Response::ok().with_body(decision_wire(&decision).to_json()),
+            Err(e) => Response::with_status(Status::Unauthorized).with_body(e.to_string()),
+        }
+    }
+
+    /// Handles `/protection/v2/authorize`: the requester-side sibling of
+    /// the decision batch. The body is a JSON array of
+    /// [`protocol::AuthorizeItem`]s sharing one `host`/`requester` (and
+    /// optional `subject_token`/`claims`) from the params; the response
+    /// is a JSON array of [`protocol::AuthorizeReply`]s in request order.
+    /// Outcomes are per-item, so one denial cannot poison its neighbors.
+    fn web_authorize_batch(&self, req: &Request) -> Response {
+        let (host, requester) = match (req.param("host"), req.param("requester")) {
+            (Some(h), Some(r)) => (h.to_owned(), r.to_owned()),
+            _ => return Response::bad_request("host and requester required"),
+        };
+        let items = match protocol::parse_authorize_request(&req.body) {
+            Ok(items) => items,
+            Err(e) => return Response::bad_request(&e.to_string()),
+        };
+        let subject = match req.param("subject_token") {
+            Some(token) => match self.verify_subject(token) {
+                Some(subject) => Some(subject),
+                None => {
+                    return Response::with_status(Status::Unauthorized)
+                        .with_body("invalid identity assertion")
+                }
+            },
+            None => None,
+        };
+        let claim_tokens: Vec<String> = req
+            .param("claims")
+            .map(|c| c.split(',').map(str::to_owned).collect())
+            .unwrap_or_default();
+        let replies: Vec<protocol::AuthorizeReply> = items
+            .iter()
+            .map(|item| {
+                let mut authz = AuthorizeRequest::new(
+                    &host,
+                    &item.owner,
+                    &item.resource,
+                    parse_action(Some(item.action.as_str())),
+                    &requester,
+                );
+                authz.subject = subject.clone();
+                authz.claim_tokens = claim_tokens.clone();
+                match self.authorize(&authz) {
+                    AuthorizeOutcome::Token { token, .. } => protocol::AuthorizeReply::Token(token),
+                    AuthorizeOutcome::Denied(reason) => protocol::AuthorizeReply::Denied(reason),
+                    AuthorizeOutcome::PendingConsent { consent_id } => {
+                        protocol::AuthorizeReply::Pending(consent_id)
+                    }
+                    AuthorizeOutcome::NeedsClaims(requirements) => {
+                        protocol::AuthorizeReply::NeedsClaims(
+                            requirements.iter().map(|r| r.kind.clone()).collect(),
+                        )
+                    }
+                }
+            })
+            .collect();
+        Response::ok().with_body(protocol::encode_authorize_response(&replies))
+    }
+
+    /// Handles `POST /protection/v2/register`: dynamic Host/Requester
+    /// onboarding in the spirit of OAuth dynamic client registration.
+    /// The body is a [`protocol::RegisterBody`]; the reply carries the
+    /// issued registrant id and the management secret. Registration is
+    /// open (as in RFC 7591's open-registration mode) — it grants no
+    /// authority by itself; every privileged operation behind it is
+    /// separately gated (delegations still require the user, §16).
+    fn web_register(&self, req: &Request) -> Response {
+        let body = match protocol::RegisterBody::from_json(&req.body) {
+            Ok(body) => body,
+            Err(e) => return Response::bad_request(&e.to_string()),
+        };
+        let id = format!(
+            "reg-{}",
+            self.registrant_seq.fetch_add(1, Ordering::Relaxed) + 1
+        );
+        let secret = ucam_crypto::random_token(16);
+        self.registrants.lock().insert(
+            id.clone(),
+            Registrant {
+                kind: body.kind,
+                authority: body.authority,
+                secret: secret.clone(),
+            },
+        );
+        Response::with_status(Status::Created).with_body(
+            protocol::RegistrationReply {
+                registrant_id: id,
+                secret,
+            }
+            .to_json(),
+        )
+    }
+
+    /// Authenticates a registrant-management call (`registrant_id` +
+    /// `secret` params) against the registry. Secrets are compared as
+    /// SHA-256 digests in constant time, so neither content nor length
+    /// of a wrong guess leaks through timing.
+    fn authenticate_registrant(&self, req: &Request) -> Result<String, Response> {
+        let (id, secret) = match (req.param("registrant_id"), req.param("secret")) {
+            (Some(i), Some(s)) => (i.to_owned(), s.to_owned()),
+            _ => return Err(Response::bad_request("registrant_id and secret required")),
+        };
+        let authenticated = {
+            let registrants = self.registrants.lock();
+            registrants.get(&id).is_some_and(|r| {
+                ucam_crypto::ct_eq(
+                    &ucam_crypto::sha256(r.secret.as_bytes()),
+                    &ucam_crypto::sha256(secret.as_bytes()),
+                )
+            })
+        };
+        if authenticated {
+            Ok(id)
+        } else {
+            Err(Response::with_status(Status::Unauthorized)
+                .with_body("unknown registrant or bad secret"))
+        }
+    }
+
+    /// Handles `/protection/v2/register/rotate`: swaps the registrant's
+    /// management secret for a fresh one (RFC 7592-style credential
+    /// rotation). The old secret dies with this response.
+    fn web_register_rotate(&self, req: &Request) -> Response {
+        let id = match self.authenticate_registrant(req) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let secret = ucam_crypto::random_token(16);
+        match self.registrants.lock().get_mut(&id) {
+            Some(registrant) => {
+                registrant.secret = secret.clone();
+                Response::ok().with_body(
+                    protocol::RegistrationReply {
+                        registrant_id: id,
+                        secret,
+                    }
+                    .to_json(),
+                )
+            }
+            None => Response::with_status(Status::Unauthorized)
+                .with_body("unknown registrant or bad secret"),
+        }
+    }
+
+    /// Handles `/protection/v2/register/deregister`: removes the
+    /// registrant. Existing delegations are untouched — deregistration
+    /// revokes the ability to obtain *new* credentials, while revoking a
+    /// live delegation stays the owner's call (`revoke_delegation`).
+    fn web_register_deregister(&self, req: &Request) -> Response {
+        let id = match self.authenticate_registrant(req) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        self.registrants.lock().remove(&id);
+        Response::ok().with_body("deregistered")
+    }
+
+    /// Handles `/protection/v2/delegate`: a *registered* Host obtains a
+    /// delegation for `user` over the wire, replacing the hand-wired
+    /// bootstrap. The registrant credential authenticates the Host's
+    /// identity; it does not bypass the user — when an IdP is configured
+    /// the user (or a custodian) must still confirm via `subject_token`,
+    /// exactly as on the v1 `/delegate` route. With `subscribe=1` the
+    /// Host is also subscribed to the owner's epoch pushes in the same
+    /// round trip.
+    fn web_delegate_v2(&self, req: &Request) -> Response {
+        let id = match self.authenticate_registrant(req) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        let user = match req.param("user") {
+            Some(u) => u.to_owned(),
+            None => return Response::bad_request("user required"),
+        };
+        let (kind, authority) = {
+            let registrants = self.registrants.lock();
+            match registrants.get(&id) {
+                Some(r) => (r.kind.clone(), r.authority.clone()),
+                None => {
+                    return Response::with_status(Status::Unauthorized)
+                        .with_body("unknown registrant or bad secret")
+                }
+            }
+        };
+        if kind != "host" {
+            return Response::forbidden("only host registrants may receive delegations");
+        }
+        if let Err(resp) = self.require_user(req, &user, false) {
+            return resp;
+        }
+        match self.establish_delegation(&authority, &user) {
+            Ok((delegation, token)) => {
+                if req.param("subscribe") == Some("1") {
+                    self.subscribe_epoch_push(&authority, &user);
+                }
+                Response::with_status(Status::Created).with_body(
+                    protocol::DelegateReply {
+                        delegation_id: delegation.id,
+                        host_token: token,
+                    }
+                    .to_json(),
+                )
+            }
+            Err(e) => Response::bad_request(&e.to_string()),
+        }
     }
 
     fn web_export(&self, req: &Request) -> Response {

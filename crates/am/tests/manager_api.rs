@@ -947,3 +947,349 @@ fn legacy_decision_alias_is_byte_identical_to_v1() {
         assert!(!body.contains("\"permit\""), "{label} leaked a permit");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Protocol v2 (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// Issues alice an authorization token over the web surface (IdP-backed).
+fn issue_token(net: &SimNet, am: &AuthorizationManager) -> String {
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("alice", "pw");
+    let assertion = idp.login("alice", "pw").unwrap();
+    am.set_identity_verifier(idp.verifier());
+    let resp = net.dispatch(
+        "requester:editor",
+        Request::new(Method::Post, "https://am.example/authorize")
+            .with_param("host", HOST)
+            .with_param("owner", "bob")
+            .with_param("resource", PHOTO)
+            .with_param("action", "read")
+            .with_param("requester", "requester:editor")
+            .with_param("subject_token", &assertion.token),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    resp.body
+}
+
+#[test]
+fn v2_conditional_decision_collapses_to_unchanged() {
+    use ucam_webenv::protocol::{UnchangedBody, DECISION_V2_PATH};
+    let (net, am, host_token) = web_setup();
+    let token = issue_token(&net, &am);
+    let base: Vec<(&str, &str)> = vec![
+        ("host_token", host_token.as_str()),
+        ("token", token.as_str()),
+        ("resource", PHOTO),
+        ("action", "read"),
+        ("requester", "requester:editor"),
+    ];
+
+    // Unconditional v2 query: byte-identical to the v1 verdict.
+    let (status, full) = decision_at(&net, DECISION_V2_PATH, &base);
+    assert_eq!(status, Status::Ok);
+    assert!(full.contains("\"permit\""), "{full}");
+    let epoch = am.policy_epoch("bob");
+
+    // Conditional with the current epoch: the compact unchanged body.
+    let mut cond = base.clone();
+    let epoch_s = epoch.to_string();
+    cond.push(("if_epoch", epoch_s.as_str()));
+    let (status, body) = decision_at(&net, DECISION_V2_PATH, &cond);
+    assert_eq!(status, Status::Ok);
+    let unchanged = UnchangedBody::from_json(&body).expect("unchanged body parses");
+    assert!(unchanged.cacheable_ms > 0, "{body}");
+    assert!(
+        body.len() < full.len(),
+        "conditional reply ({}B) must undercut the full permit ({}B)",
+        body.len(),
+        full.len()
+    );
+
+    // A stale epoch gets the full verdict back — never a false "unchanged".
+    let stale = (epoch - 1).to_string();
+    let mut with_stale = base.clone();
+    with_stale.push(("if_epoch", stale.as_str()));
+    let (status, body) = decision_at(&net, DECISION_V2_PATH, &with_stale);
+    assert_eq!(status, Status::Ok);
+    assert_eq!(body, full, "stale if_epoch must re-ship the verdict");
+
+    // Malformed if_epoch fails closed, and a deny never collapses.
+    let mut bad = base.clone();
+    bad.push(("if_epoch", "not-a-number"));
+    let (status, body) = decision_at(&net, DECISION_V2_PATH, &bad);
+    assert_eq!(status, Status::BadRequest, "{body}");
+    let mut deny = base.clone();
+    deny[3] = ("action", "write");
+    deny.push(("if_epoch", epoch_s.as_str()));
+    let (status, body) = decision_at(&net, DECISION_V2_PATH, &deny);
+    assert_eq!(status, Status::Ok);
+    assert!(body.contains("\"deny\""), "deny must ship in full: {body}");
+}
+
+#[test]
+fn v2_conditional_decision_bumps_use_counts_like_v1() {
+    // The conditional path answers from a full evaluation — a use-limited
+    // policy must exhaust at the same rate whether replies collapse or not.
+    let (am, host_token) = am_with_bob();
+    am.pap("bob", |account| {
+        account.add_group_member("friends", "alice");
+        let id = account.create_policy(
+            "two-reads",
+            PolicyBody::Rules(
+                RulePolicy::new().with_rule(
+                    Rule::permit()
+                        .for_subject(Subject::Group("friends".into()))
+                        .for_action(Action::Read)
+                        .with_condition(Condition::MaxUses(2)),
+                ),
+            ),
+        );
+        account
+            .link_specific(ResourceRef::new(HOST, PHOTO), &id)
+            .unwrap();
+    })
+    .unwrap();
+    let AuthorizeOutcome::Token { token, .. } = am.authorize(&alice_request()) else {
+        panic!("expected token");
+    };
+
+    let net = SimNet::new();
+    let am = Arc::new(am);
+    net.register(am.clone());
+    let epoch = am.policy_epoch("bob").to_string();
+    let params: Vec<(&str, &str)> = vec![
+        ("host_token", host_token.as_str()),
+        ("token", token.as_str()),
+        ("resource", PHOTO),
+        ("action", "read"),
+        ("requester", "requester:editor"),
+        ("if_epoch", epoch.as_str()),
+    ];
+    use ucam_webenv::protocol::DECISION_V2_PATH;
+    let (_, first) = decision_at(&net, DECISION_V2_PATH, &params);
+    assert!(first.contains("\"unchanged\""), "{first}");
+    let (_, second) = decision_at(&net, DECISION_V2_PATH, &params);
+    assert!(second.contains("\"unchanged\""), "{second}");
+    let (_, third) = decision_at(&net, DECISION_V2_PATH, &params);
+    assert!(
+        third.contains("\"deny\""),
+        "third use must exceed max_uses(2) exactly as on v1: {third}"
+    );
+}
+
+#[test]
+fn v2_batch_authorize_mixed_outcomes() {
+    use ucam_webenv::protocol::{AuthorizeItem, AuthorizeReply, BATCH_AUTHORIZE_PATH};
+    let (net, am, host_token) = web_setup();
+    let idp = IdentityProvider::new("idp.example", net.clock().clone());
+    idp.register_user("alice", "pw");
+    let assertion = idp.login("alice", "pw").unwrap();
+    am.set_identity_verifier(idp.verifier());
+
+    let items = vec![
+        AuthorizeItem {
+            owner: "bob".into(),
+            resource: PHOTO.into(),
+            action: "read".into(),
+        },
+        AuthorizeItem {
+            owner: "bob".into(),
+            resource: "photo-unlinked".into(),
+            action: "read".into(),
+        },
+    ];
+    let resp = net.dispatch(
+        "requester:editor",
+        Request::new(
+            Method::Post,
+            &format!("https://am.example{BATCH_AUTHORIZE_PATH}"),
+        )
+        .with_param("host", HOST)
+        .with_param("requester", "requester:editor")
+        .with_param("subject_token", &assertion.token)
+        .with_body(ucam_webenv::protocol::encode_authorize_request(&items)),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    let replies = ucam_webenv::protocol::parse_authorize_response(&resp.body).unwrap();
+    assert_eq!(replies.len(), 2);
+    let AuthorizeReply::Token(token) = &replies[0] else {
+        panic!("item 0 should mint a token: {:?}", replies[0]);
+    };
+    assert!(matches!(&replies[1], AuthorizeReply::Denied(_)));
+
+    // The minted token is a real one: it answers a decision query.
+    let decision = am
+        .decide(&DecisionQuery {
+            host_token,
+            authz_token: token.clone(),
+            resource_id: PHOTO.into(),
+            action: Action::Read,
+            requester: "requester:editor".into(),
+        })
+        .unwrap();
+    assert!(decision.is_permit());
+
+    // Malformed bodies fail closed — no partial processing.
+    for bad in ["", "{", "[{\"owner\":1}]", "[{}]"] {
+        let resp = net.dispatch(
+            "requester:editor",
+            Request::new(
+                Method::Post,
+                &format!("https://am.example{BATCH_AUTHORIZE_PATH}"),
+            )
+            .with_param("host", HOST)
+            .with_param("requester", "requester:editor")
+            .with_body(bad),
+        );
+        assert_eq!(
+            resp.status,
+            Status::BadRequest,
+            "body {bad:?}: {}",
+            resp.body
+        );
+    }
+}
+
+#[test]
+fn v2_registration_lifecycle_register_rotate_delegate_deregister() {
+    use ucam_webenv::protocol::{
+        DelegateReply, RegisterBody, RegistrationReply, DELEGATE_V2_PATH, REGISTER_DEREGISTER_PATH,
+        REGISTER_PATH, REGISTER_ROTATE_PATH,
+    };
+    let (net, am, _) = web_setup();
+    let at = |path: &str| format!("https://am.example{path}");
+
+    // Register a new Host at runtime.
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(REGISTER_PATH)).with_body(
+            RegisterBody {
+                kind: "host".into(),
+                authority: "newhost.example".into(),
+            }
+            .to_json(),
+        ),
+    );
+    assert_eq!(resp.status, Status::Created, "{}", resp.body);
+    let reg = RegistrationReply::from_json(&resp.body).unwrap();
+
+    // Rotate: the old secret dies with the response.
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(REGISTER_ROTATE_PATH))
+            .with_param("registrant_id", &reg.registrant_id)
+            .with_param("secret", &reg.secret),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    let rotated = RegistrationReply::from_json(&resp.body).unwrap();
+    assert_ne!(rotated.secret, reg.secret);
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(DELEGATE_V2_PATH))
+            .with_param("registrant_id", &reg.registrant_id)
+            .with_param("secret", &reg.secret)
+            .with_param("user", "bob"),
+    );
+    assert_eq!(resp.status, Status::Unauthorized, "stale secret must die");
+
+    // Delegate with the fresh secret: a live host token comes back and
+    // the push subscription rides the same round trip.
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(DELEGATE_V2_PATH))
+            .with_param("registrant_id", &rotated.registrant_id)
+            .with_param("secret", &rotated.secret)
+            .with_param("user", "bob")
+            .with_param("subscribe", "1"),
+    );
+    assert_eq!(resp.status, Status::Created, "{}", resp.body);
+    let delegated = DelegateReply::from_json(&resp.body).unwrap();
+    let grant = am.check_host_token(&delegated.host_token).unwrap();
+    assert_eq!(grant.host, "newhost.example");
+    assert_eq!(grant.user, "bob");
+    assert_eq!(grant.delegation_id, delegated.delegation_id);
+
+    // Unknown users and non-host registrants are refused.
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(DELEGATE_V2_PATH))
+            .with_param("registrant_id", &rotated.registrant_id)
+            .with_param("secret", &rotated.secret)
+            .with_param("user", "nobody"),
+    );
+    assert_eq!(resp.status, Status::BadRequest, "{}", resp.body);
+    let resp = net.dispatch(
+        "req.example",
+        Request::new(Method::Post, &at(REGISTER_PATH)).with_body(
+            RegisterBody {
+                kind: "requester".into(),
+                authority: "req.example".into(),
+            }
+            .to_json(),
+        ),
+    );
+    let requester_reg = RegistrationReply::from_json(&resp.body).unwrap();
+    let resp = net.dispatch(
+        "req.example",
+        Request::new(Method::Post, &at(DELEGATE_V2_PATH))
+            .with_param("registrant_id", &requester_reg.registrant_id)
+            .with_param("secret", &requester_reg.secret)
+            .with_param("user", "bob"),
+    );
+    assert_eq!(resp.status, Status::Forbidden, "{}", resp.body);
+
+    // Deregister: management credentials die, existing delegations live.
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(REGISTER_DEREGISTER_PATH))
+            .with_param("registrant_id", &rotated.registrant_id)
+            .with_param("secret", &rotated.secret),
+    );
+    assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+    let resp = net.dispatch(
+        "newhost.example",
+        Request::new(Method::Post, &at(DELEGATE_V2_PATH))
+            .with_param("registrant_id", &rotated.registrant_id)
+            .with_param("secret", &rotated.secret)
+            .with_param("user", "bob"),
+    );
+    assert_eq!(resp.status, Status::Unauthorized);
+    assert!(
+        am.check_host_token(&delegated.host_token).is_ok(),
+        "deregistration must not revoke live delegations"
+    );
+
+    // Malformed registration bodies fail closed.
+    for bad in ["", "{}", "{\"kind\":\"other\",\"authority\":\"x\"}"] {
+        let resp = net.dispatch(
+            "x",
+            Request::new(Method::Post, &at(REGISTER_PATH)).with_body(bad),
+        );
+        assert_eq!(resp.status, Status::BadRequest, "body {bad:?}");
+    }
+}
+
+#[test]
+fn route_hits_count_every_decision_surface() {
+    use ucam_webenv::protocol::{DECISION_PATH, DECISION_V2_PATH, LEGACY_DECISION_PATH};
+    let (net, am, host_token) = web_setup();
+    let params: Vec<(&str, &str)> = vec![
+        ("host_token", host_token.as_str()),
+        ("token", "garbage"),
+        ("resource", PHOTO),
+        ("requester", "requester:editor"),
+    ];
+    assert_eq!(am.route_hits(), ucam_am::RouteHits::default());
+    for _ in 0..3 {
+        decision_at(&net, LEGACY_DECISION_PATH, &params);
+    }
+    for _ in 0..2 {
+        decision_at(&net, DECISION_PATH, &params);
+    }
+    decision_at(&net, DECISION_V2_PATH, &params);
+    let hits = am.route_hits();
+    assert_eq!(hits.legacy_decision, 3);
+    assert_eq!(hits.v1_decision, 2);
+    assert_eq!(hits.v2_decision, 1);
+}

@@ -67,7 +67,8 @@ pub const DEFAULT_DECISION_CACHE_CAPACITY: usize = 1024;
 
 /// Circuit breaker configuration for the Host→AM decision channel.
 ///
-/// The breaker is **opt-in** ([`HostCore::set_breaker`]): without one the
+/// The breaker is **opt-in** ([`ResilienceConfig::with_breaker`] applied
+/// through [`HostCore::set_resilience`]): without one the
 /// PEP dispatches every decision query and fails closed on transport
 /// errors, exactly as before. With one, `failure_threshold` consecutive
 /// transport failures against one AM authority open the circuit for
@@ -110,10 +111,10 @@ struct BreakerState {
 /// atomically with [`HostCore::set_resilience`]. All fields default to
 /// "off", preserving the seed behaviour bit for bit.
 ///
-/// This builder replaces the per-knob setters that accreted over three
+/// This builder replaced the per-knob setters that accreted over three
 /// revisions (`set_breaker`, `set_am_retry`, `set_fallback_am`,
-/// `set_stale_grace_ms`); those remain as deprecated wrappers with
-/// identical behaviour.
+/// `set_stale_grace_ms`); the deprecated wrappers have since been
+/// removed — the builder is the only way to configure resilience.
 ///
 /// ```
 /// use ucam_host::core::{BreakerConfig, HostCore, ResilienceConfig};
@@ -301,8 +302,17 @@ struct CachedDecision {
     token_digest: [u8; 32],
     /// Resource owner whose policies produced the decision.
     owner: String,
+    /// Authority of the AM whose evaluation this entry caches. A pushed
+    /// decision invalidation (DESIGN.md §16) can only vouch for entries
+    /// its signer decided — an entry learned from a *fallback* AM is
+    /// outside the signer's decided registry and must not be re-stamped
+    /// to the new epoch.
+    am: String,
     /// The owner's policy epoch at decision time.
     epoch: u64,
+    /// The access tuple's sieve fingerprint — the identity a pushed
+    /// decision invalidation names this entry by (DESIGN.md §16).
+    fingerprint: protocol::SieveFingerprint,
     /// Second-chance bit: set on every hit, cleared once by the evictor
     /// before the entry becomes an eviction victim.
     referenced: AtomicBool,
@@ -457,6 +467,102 @@ impl DecisionCache {
         });
     }
 
+    /// Applies a verified decision invalidation (DESIGN.md §16) signed
+    /// by AM `am`: records the new epoch, evicts exactly the entries
+    /// whose fingerprints the AM named, and re-stamps the owner's
+    /// surviving entries *decided by that AM* to the new epoch so they
+    /// keep serving — the surgical alternative to
+    /// [`DecisionCache::note_epoch`]'s owner-wide purge. Entries learned
+    /// from any other AM (a fallback) are outside the signer's decided
+    /// registry, so its list cannot name them; they keep their old epoch
+    /// and die against the advanced floor exactly as under a plain epoch
+    /// note. The same goes for **TTL-expired** entries: the AM prunes
+    /// expired tuples from its decided registry before compiling the
+    /// list, so its silence says nothing about them — re-stamping one
+    /// would let the stale-grace degraded path serve it past a
+    /// revocation the push just delivered. Returns how many entries the
+    /// fingerprints evicted. A push older than the known epoch is stale
+    /// and applies nothing.
+    fn apply_invalidation(
+        &mut self,
+        owner: &str,
+        am: &str,
+        epoch: u64,
+        dead: &[protocol::SieveFingerprint],
+        now: u64,
+    ) -> u64 {
+        let known = self.owner_epochs.entry(owner.to_owned()).or_insert(0);
+        if epoch < *known {
+            return 0;
+        }
+        *known = epoch;
+        let mut evicted = 0;
+        let entries = &mut self.entries;
+        self.order.retain(|key| {
+            let Some(entry) = entries.get_mut(key) else {
+                return false;
+            };
+            if entry.owner != owner {
+                return true;
+            }
+            if dead.contains(&entry.fingerprint) {
+                entries.remove(key);
+                evicted += 1;
+                return false;
+            }
+            if entry.am == am && entry.expires_at_ms > now {
+                // The signing AM vouched for its own survivors under the
+                // new epoch.
+                entry.epoch = epoch;
+            }
+            true
+        });
+        evicted
+    }
+
+    /// The epoch of an **expired** but otherwise valid entry — same
+    /// token, epoch-fresh — that a conditional `if_epoch` revalidation
+    /// query could cheaply re-arm. `None` when there is nothing worth
+    /// revalidating (no entry, live entry, different token, stale epoch).
+    fn revalidation_epoch(&self, key: &CacheKey, token_digest: &[u8; 32], now: u64) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let entry = self.entries.get(key)?;
+        if entry.expires_at_ms > now || &entry.token_digest != token_digest {
+            return None;
+        }
+        if entry.epoch < self.owner_epochs.get(&entry.owner).copied().unwrap_or(0) {
+            return None;
+        }
+        Some(entry.epoch)
+    }
+
+    /// Re-arms an expired entry after the AM confirmed it unchanged:
+    /// extends its TTL without re-learning the decision. Fail-closed on
+    /// any mismatch (entry gone, different token, epoch moved) — the
+    /// unchanged reply then re-arms nothing and the caller refuses.
+    fn rearm(
+        &mut self,
+        key: &CacheKey,
+        token_digest: &[u8; 32],
+        epoch: u64,
+        expires_at_ms: u64,
+    ) -> bool {
+        let Some(entry) = self.entries.get_mut(key) else {
+            return false;
+        };
+        if &entry.token_digest != token_digest || entry.epoch != epoch {
+            return false;
+        }
+        if entry.epoch < self.owner_epochs.get(&entry.owner).copied().unwrap_or(0) {
+            return false;
+        }
+        entry.expires_at_ms = expires_at_ms;
+        entry.referenced.store(true, Ordering::Relaxed);
+        true
+    }
+
     fn clear(&mut self) {
         self.entries.clear();
         self.order.clear();
@@ -545,6 +651,19 @@ pub struct PepStats {
     /// match; each answers [`protocol::SIEVE_RESYNC`] so the AM reships a
     /// full body. Not a trust failure — those count as `sieve_rejects`.
     pub sieve_resyncs: u64,
+    /// Pushed decision invalidations verified and applied surgically
+    /// (DESIGN.md §16) — each spared the owner's surviving cached
+    /// permits the owner-wide epoch purge.
+    pub invalidations_applied: u64,
+    /// Cached permits evicted by name through applied invalidations (the
+    /// exact fingerprints the AM said died).
+    pub invalidated_evictions: u64,
+    /// Conditional `/protection/v2/decision` revalidation queries sent
+    /// with an `if_epoch` precondition.
+    pub revalidations: u64,
+    /// Conditional queries the AM collapsed to an *unchanged* reply that
+    /// re-armed the expired cached permit.
+    pub revalidations_unchanged: u64,
 }
 
 /// What the PEP tells the application to do with a request.
@@ -662,6 +781,10 @@ struct AtomicPepStats {
     sieve_rejects: AtomicU64,
     sieve_delta_installs: AtomicU64,
     sieve_resyncs: AtomicU64,
+    invalidations_applied: AtomicU64,
+    invalidated_evictions: AtomicU64,
+    revalidations: AtomicU64,
+    revalidations_unchanged: AtomicU64,
     /// Striped tier-1 hit/miss counters (see [`SIEVE_STAT_SHARDS`]).
     /// Inside this struct so the seqlock covers them too.
     sieve_shards: [SieveStatShard; SIEVE_STAT_SHARDS],
@@ -684,6 +807,10 @@ impl Default for AtomicPepStats {
             sieve_rejects: AtomicU64::new(0),
             sieve_delta_installs: AtomicU64::new(0),
             sieve_resyncs: AtomicU64::new(0),
+            invalidations_applied: AtomicU64::new(0),
+            invalidated_evictions: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            revalidations_unchanged: AtomicU64::new(0),
             sieve_shards: std::array::from_fn(|_| SieveStatShard::default()),
         }
     }
@@ -732,6 +859,10 @@ impl AtomicPepStats {
                 sieve_rejects: self.sieve_rejects.load(Ordering::Relaxed),
                 sieve_delta_installs: self.sieve_delta_installs.load(Ordering::Relaxed),
                 sieve_resyncs: self.sieve_resyncs.load(Ordering::Relaxed),
+                invalidations_applied: self.invalidations_applied.load(Ordering::Relaxed),
+                invalidated_evictions: self.invalidated_evictions.load(Ordering::Relaxed),
+                revalidations: self.revalidations.load(Ordering::Relaxed),
+                revalidations_unchanged: self.revalidations_unchanged.load(Ordering::Relaxed),
             };
             if self.generation.load(Ordering::Acquire) == before {
                 return stats;
@@ -756,6 +887,10 @@ impl AtomicPepStats {
         self.sieve_rejects.store(0, Ordering::Relaxed);
         self.sieve_delta_installs.store(0, Ordering::Relaxed);
         self.sieve_resyncs.store(0, Ordering::Relaxed);
+        self.invalidations_applied.store(0, Ordering::Relaxed);
+        self.invalidated_evictions.store(0, Ordering::Relaxed);
+        self.revalidations.store(0, Ordering::Relaxed);
+        self.revalidations_unchanged.store(0, Ordering::Relaxed);
         for shard in &self.sieve_shards {
             shard.hits.store(0, Ordering::Relaxed);
             shard.misses.store(0, Ordering::Relaxed);
@@ -998,6 +1133,11 @@ pub struct HostCore {
     sieve_gen: AtomicU64,
     /// Process-unique id keying this core's thread-local snapshot slots.
     sieve_id: u64,
+    /// Opt-in conditional revalidation (DESIGN.md §16): when set, a
+    /// TTL-expired cached permit is revalidated with a v2 `if_epoch`
+    /// decision query instead of a full v1 query. Off by default — the
+    /// v1 wire traffic then stays byte-identical.
+    conditional_revalidation: AtomicBool,
 }
 
 impl fmt::Debug for HostCore {
@@ -1028,6 +1168,7 @@ impl HostCore {
             sieve: Mutex::new(Arc::new(SieveSnapshot::default())),
             sieve_gen: AtomicU64::new(0),
             sieve_id: NEXT_SIEVE_ID.fetch_add(1, Ordering::Relaxed),
+            conditional_revalidation: AtomicBool::new(false),
         }
     }
 
@@ -1099,6 +1240,103 @@ impl HostCore {
                 self.sieve_gen.fetch_add(1, Ordering::Release);
             }
         }
+    }
+
+    /// Applies a pushed decision invalidation (DESIGN.md §16),
+    /// fail-closed on any doubt. Returns `true` iff the body verified
+    /// and was applied — the caller (the web layer's epoch-push route)
+    /// must otherwise fall back to [`HostCore::note_policy_epoch`]'s
+    /// owner-wide purge, which is always safe.
+    ///
+    /// Trust chain mirrors [`HostCore::install_sieve`]: the body must
+    /// verify under the `host_token` of the user-level delegation this
+    /// Host holds for the claimed owner. That signer speaks for the
+    /// owner's policy epoch — the same authority the plain epoch push
+    /// rides on. Eviction by fingerprint only narrows access; the one
+    /// *widening* effect (surviving cached permits are re-stamped to the
+    /// new epoch instead of purged) is exactly what the signature vouches
+    /// for.
+    pub fn install_invalidation(&self, body: &protocol::InvalidationBody) -> bool {
+        let (key, signer) = {
+            let state = self.state.read();
+            let Some(delegation) = state.user_delegations.get(&body.owner) else {
+                return false;
+            };
+            (delegation.host_token.clone(), delegation.am.clone())
+        };
+        if !body.verify(key.as_bytes()) {
+            return false;
+        }
+        self.apply_invalidation(&body.owner, &signer, body.epoch, &body.invalidated);
+        true
+    }
+
+    /// The surgical counterpart of [`HostCore::note_policy_epoch`]:
+    /// advances `owner`'s epoch, evicts exactly the named fingerprints
+    /// from both tiers, and lets everything else keep serving. Trust is
+    /// the caller's problem — [`HostCore::install_invalidation`] is the
+    /// verified entry point.
+    ///
+    /// The decision cache gets the full treatment (evict the dead,
+    /// re-stamp the survivors). An installed tier-1 sieve only gets the
+    /// narrowing half: its dead fingerprints are removed, but entries
+    /// compiled under an older epoch are still purged wholesale, because
+    /// sieve grants never take the decision path the invalidation list
+    /// was compiled from — their survival cannot be vouched for here.
+    /// (In practice the AM only pushes invalidations where no sieve body
+    /// superseded them, so the purge is almost always a no-op.)
+    fn apply_invalidation(
+        &self,
+        owner: &str,
+        signer: &str,
+        epoch: u64,
+        dead: &[protocol::SieveFingerprint],
+    ) {
+        let now = self.clock.now_ms();
+        let evicted = self
+            .cache
+            .write()
+            .apply_invalidation(owner, signer, epoch, dead, now);
+        if evicted > 0 {
+            self.stats
+                .invalidated_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.stats
+            .invalidations_applied
+            .fetch_add(1, Ordering::Relaxed);
+        let sieve_work = {
+            let current = self.sieve.lock();
+            let has_dead = dead.iter().any(|fp| current.entries.contains_key(fp));
+            let stale = current
+                .owner_epochs
+                .get(owner)
+                .is_some_and(|&installed| installed < epoch);
+            has_dead || stale
+        };
+        if sieve_work {
+            self.update_sieve(|sieve| {
+                sieve.remove_fingerprints(dead);
+                if sieve
+                    .owner_epochs
+                    .get(owner)
+                    .is_some_and(|&installed| installed < epoch)
+                {
+                    sieve.purge_owner(owner);
+                    sieve.owner_epochs.insert(owner.to_owned(), epoch);
+                }
+            });
+        }
+    }
+
+    /// Enables conditional revalidation (DESIGN.md §16): TTL-expired
+    /// cached permits are refreshed with `/protection/v2/decision`
+    /// `if_epoch` queries, which the AM collapses to a tiny *unchanged*
+    /// reply when the owner's epoch has not moved. Off by default; the
+    /// v1 wire surface is untouched while off.
+    pub fn set_conditional_revalidation(&self, enabled: bool) {
+        self.conditional_revalidation
+            .store(enabled, Ordering::Relaxed);
     }
 
     // -- tier-1 capability sieve (DESIGN.md §12) ------------------------------
@@ -1395,8 +1633,8 @@ impl HostCore {
 
     /// Applies a full [`ResilienceConfig`] atomically: breaker, retry,
     /// fallback AMs and the stale-grace window all switch together, and
-    /// all circuit state resets. This is the one entry point the per-knob
-    /// setters below wrap.
+    /// all circuit state resets. This is the single entry point for
+    /// resilience configuration.
     pub fn set_resilience(&self, config: ResilienceConfig) {
         let grace = config.stale_grace_ms;
         *self.resilience.write() = config;
@@ -1414,61 +1652,6 @@ impl HostCore {
     #[must_use]
     pub fn resilience(&self) -> ResilienceConfig {
         self.resilience.read().clone()
-    }
-
-    /// Installs (or removes) the circuit breaker on the Host→AM decision
-    /// channel. Changing the configuration resets all circuit state.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_breaker(&self, config: Option<BreakerConfig>) {
-        self.resilience.write().breaker = config;
-        self.breaker_states.lock().clear();
-    }
-
-    /// Installs (or removes) a retry policy for decision-query
-    /// dispatches. Only transport failures are retried; application
-    /// answers (permit/deny/401) return after the first attempt, so a
-    /// healthy network sees identical message counts.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_am_retry(&self, policy: Option<RetryPolicy>) {
-        self.resilience.write().am_retry = policy;
-    }
-
-    /// Registers `fallback` as the delegation to query when the primary
-    /// AM at `primary_am` fails at the transport level (or its circuit is
-    /// open), for any owner. The fallback must hold a mirrored delegation
-    /// for the same owners — the Host trusts whichever AM answers. For
-    /// owner-specific mirrors use
-    /// [`ResilienceConfig::with_fallback_am_for_owner`].
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_fallback_am(&self, primary_am: &str, fallback: DelegationConfig) {
-        self.resilience
-            .write()
-            .fallback_ams
-            .insert((primary_am.to_owned(), None), fallback);
-    }
-
-    /// Removes the any-owner fallback AM for `primary_am`, if any.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn clear_fallback_am(&self, primary_am: &str) -> Option<DelegationConfig> {
-        self.resilience
-            .write()
-            .fallback_ams
-            .remove(&(primary_am.to_owned(), None))
-    }
-
-    /// Enables degraded mode: when every AM (primary and fallback) fails
-    /// at the **transport** level, an expired cached permit may still be
-    /// served for up to `ms` milliseconds past its TTL. Deny, unknown and
-    /// epoch-stale entries always fail closed; a permit past the window
-    /// fails closed too. `0` (the default) disables degraded mode.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_stale_grace_ms(&self, ms: u64) {
-        self.resilience.write().stale_grace_ms = ms;
-        let mut cache = self.cache.write();
-        cache.stale_grace_ms = ms;
-        // Shrinking the window may strand now-dead entries; sweep them.
-        let now = self.clock.now_ms();
-        cache.sweep_dead(now);
     }
 
     /// Enables (or disables, with `None`) decision-query batching for
@@ -1979,6 +2162,7 @@ impl HostCore {
         }
         let resps = net.dispatch_pipelined(&self.authority, reqs);
         for (chunk, mut resp) in chunks.into_iter().zip(resps) {
+            let mut answered_by = chunk[0].delegation.am.clone();
             if resp.transport_error().is_some() {
                 if let Some(fallback) =
                     resilience.fallback_for(&chunk[0].delegation.am, &chunk[0].owner)
@@ -1999,9 +2183,10 @@ impl HostCore {
                         .with_param("host_token", &fallback_token)
                         .with_body(body.as_str())
                     });
+                    answered_by = fallback_am;
                 }
             }
-            self.settle_batch_chunk(net, &resp, chunk, results);
+            self.settle_batch_chunk(net, &resp, chunk, &answered_by, results);
         }
     }
 
@@ -2031,6 +2216,7 @@ impl HostCore {
             .with_param("host_token", &host_token)
             .with_body(body.as_str())
         });
+        let mut answered_by = am.clone();
         if resp.transport_error().is_some() {
             if let Some(fallback) = resilience.fallback_for(&am, &owner) {
                 self.stats.fallback_queries.fetch_add(1, Ordering::Relaxed);
@@ -2047,9 +2233,10 @@ impl HostCore {
                     .with_param("host_token", &fallback_token)
                     .with_body(body.as_str())
                 });
+                answered_by = fallback_am;
             }
         }
-        self.settle_batch_chunk(net, &resp, chunk, results);
+        self.settle_batch_chunk(net, &resp, chunk, &answered_by, results);
     }
 
     /// Settles every member of one answered batch chunk through the
@@ -2060,6 +2247,7 @@ impl HostCore {
         net: &dyn Transport,
         resp: &Response,
         chunk: Vec<PendingQuery>,
+        decided_by: &str,
         results: &mut [Option<Enforcement>],
     ) {
         let now = self.clock.now_ms();
@@ -2068,6 +2256,7 @@ impl HostCore {
             let PendingQuery {
                 index,
                 owner,
+                token,
                 cache_key,
                 token_digest,
                 ..
@@ -2075,6 +2264,8 @@ impl HostCore {
             let requester = cache_key.0.clone();
             let resource_id = cache_key.1.clone();
             let action = cache_key.2.clone();
+            let fingerprint =
+                sieve_fingerprint_memo(&token, &resource_id, action_label(&action), &requester);
             results[index] = Some(self.settle_decision(
                 net,
                 outcome,
@@ -2084,6 +2275,11 @@ impl HostCore {
                 &action,
                 cache_key,
                 token_digest,
+                fingerprint,
+                // Batch queries never carry an `if_epoch` precondition,
+                // so a stray *unchanged* item fails closed.
+                None,
+                decided_by,
                 now,
             ));
         }
@@ -2149,6 +2345,21 @@ impl HostCore {
             return Enforcement::Grant;
         }
 
+        // DESIGN.md §16: with conditional revalidation on, a TTL-expired
+        // but epoch-fresh entry for this same token turns the full query
+        // into an `if_epoch` precondition the AM can collapse to a tiny
+        // *unchanged* reply.
+        let if_epoch = if self.conditional_revalidation.load(Ordering::Relaxed) {
+            self.cache
+                .read()
+                .revalidation_epoch(&cache_key, &token_digest, now)
+        } else {
+            None
+        };
+        if if_epoch.is_some() {
+            self.stats.revalidations.fetch_add(1, Ordering::Relaxed);
+        }
+
         // Fig. 6: decision query to the AM — hardened per DESIGN.md §10.
         // The primary is tried under the breaker and retry policy; a
         // transport failure falls over to the configured fallback AM. Only
@@ -2156,6 +2367,7 @@ impl HostCore {
         // *answers* (permit, deny, 401, even an application 5xx) is always
         // taken at its word.
         let resilience = self.resilience.read().clone();
+        let mut answered_by = delegation.am.clone();
         let mut resp = self.query_decision(
             net,
             &resilience,
@@ -2164,6 +2376,7 @@ impl HostCore {
             resource_id,
             action,
             requester,
+            if_epoch,
         );
         if resp.transport_error().is_some() {
             if let Some(fallback) = resilience.fallback_for(&delegation.am, &resource.owner) {
@@ -2174,6 +2387,11 @@ impl HostCore {
                         delegation.am, fallback.am
                     )
                 });
+                // Never conditional against the fallback: the cached
+                // entry's epoch lives in the *primary* AM's epoch space,
+                // and a numerically equal epoch at the mirror would
+                // falsely re-arm it.
+                answered_by = fallback.am.clone();
                 resp = self.query_decision(
                     net,
                     &resilience,
@@ -2182,10 +2400,13 @@ impl HostCore {
                     resource_id,
                     action,
                     requester,
+                    None,
                 );
             }
         }
 
+        let fingerprint =
+            sieve_fingerprint_memo(token, resource_id, action_label(action), requester);
         self.settle_decision(
             net,
             classify_decision(&resp),
@@ -2195,6 +2416,9 @@ impl HostCore {
             action,
             cache_key,
             token_digest,
+            fingerprint,
+            if_epoch,
+            &answered_by,
             now,
         )
     }
@@ -2203,6 +2427,10 @@ impl HostCore {
     /// [`DecisionOutcome`]: caches and grants permits, fails everything
     /// else closed, and gives transport failures — and only those — the
     /// degraded-mode chance at an expired-but-graceable permit.
+    /// `if_epoch` is the precondition the query carried, if any — an
+    /// *unchanged* reply re-arms the cached permit at exactly that epoch
+    /// (the reply does not echo it; the AM only says "unchanged" when
+    /// the epochs are equal).
     #[allow(clippy::too_many_arguments)]
     fn settle_decision(
         &self,
@@ -2214,9 +2442,64 @@ impl HostCore {
         action: &Action,
         cache_key: CacheKey,
         token_digest: [u8; 32],
+        fingerprint: protocol::SieveFingerprint,
+        if_epoch: Option<u64>,
+        decided_by: &str,
         now: u64,
     ) -> Enforcement {
         match outcome {
+            DecisionOutcome::Unchanged(body) => {
+                // DESIGN.md §16: the AM confirmed the expired permit is
+                // still good at the epoch we presented. Re-arm it in
+                // place; if the entry is gone or moved (evicted, token
+                // churn, epoch advance raced us), or the query never
+                // carried a precondition for the reply to confirm, the
+                // unchanged reply vouches for nothing we still hold —
+                // fail closed, per the wire contract.
+                let rearmed = match if_epoch {
+                    Some(epoch) => self.cache.write().rearm(
+                        &cache_key,
+                        &token_digest,
+                        epoch,
+                        now + body.cacheable_ms,
+                    ),
+                    None => false,
+                };
+                if rearmed {
+                    self.stats
+                        .revalidations_unchanged
+                        .fetch_add(1, Ordering::Relaxed);
+                    net.trace().note_with(&self.authority, || {
+                        format!(
+                            "revalidated unchanged: {requester} {action} {resource_id} \
+                             ({} ms)",
+                            body.cacheable_ms
+                        )
+                    });
+                    self.record(
+                        now,
+                        requester,
+                        resource_id,
+                        action,
+                        true,
+                        DecisionPath::AmQuery,
+                    );
+                    return Enforcement::Grant;
+                }
+                self.record(
+                    now,
+                    requester,
+                    resource_id,
+                    action,
+                    false,
+                    DecisionPath::Refused,
+                );
+                Enforcement::Block(
+                    Response::with_status(Status::Unavailable).with_body(
+                        "unchanged reply without a matching cached permit; access denied",
+                    ),
+                )
+            }
             DecisionOutcome::Body(body) if body.is_permit() => {
                 let cacheable_ms = body.cacheable_ms.unwrap_or(0);
                 if cacheable_ms > 0 {
@@ -2234,7 +2517,9 @@ impl HostCore {
                             expires_at_ms: now + cacheable_ms,
                             token_digest,
                             owner: owner.to_owned(),
+                            am: decided_by.to_owned(),
                             epoch,
+                            fingerprint,
                             referenced: AtomicBool::new(false),
                         },
                         now,
@@ -2379,6 +2664,9 @@ impl HostCore {
     /// Sends one decision query to `delegation`'s AM under the breaker
     /// and retry policy. Breaker fast-fails synthesize an
     /// [`TransportError::Unreachable`] response without dispatching.
+    /// With `if_epoch` set, the query goes to the v2 conditional route
+    /// carrying the precondition; without it, the v1 wire request is
+    /// byte-identical to what it always was.
     #[allow(clippy::too_many_arguments)]
     fn query_decision(
         &self,
@@ -2389,18 +2677,25 @@ impl HostCore {
         resource_id: &str,
         action: &Action,
         requester: &str,
+        if_epoch: Option<u64>,
     ) -> Response {
         let am = delegation.am.as_str();
+        let path = if if_epoch.is_some() {
+            protocol::DECISION_V2_PATH
+        } else {
+            protocol::DECISION_PATH
+        };
         self.dispatch_protected(net, resilience, am, &|| {
-            Request::new(
-                Method::Post,
-                &format!("https://{am}{}", protocol::DECISION_PATH),
-            )
-            .with_param("host_token", &delegation.host_token)
-            .with_param("token", token)
-            .with_param("resource", resource_id)
-            .with_param("action", &action.to_string())
-            .with_param("requester", requester)
+            let mut req = Request::new(Method::Post, &format!("https://{am}{path}"))
+                .with_param("host_token", &delegation.host_token)
+                .with_param("token", token)
+                .with_param("resource", resource_id)
+                .with_param("action", &action.to_string())
+                .with_param("requester", requester);
+            if let Some(epoch) = if_epoch {
+                req = req.with_param("if_epoch", &epoch.to_string());
+            }
+            req
         })
     }
 
@@ -2536,6 +2831,9 @@ impl HostCore {
 enum DecisionOutcome {
     /// A parsed 200 decision body (permit, deny, or per-item `error`).
     Body(DecisionBody),
+    /// A parsed 200 *unchanged* reply to a conditional v2 query — the
+    /// permit the Host already holds is still good (DESIGN.md §16).
+    Unchanged(protocol::UnchangedBody),
     /// A 200 whose body did not parse — a protocol error, failed closed.
     Malformed,
     /// 401: the AM rejected the authorization token.
@@ -2553,10 +2851,18 @@ enum DecisionOutcome {
 /// happens to *contain* the text `"permit"` must stay a deny.
 fn classify_decision(resp: &Response) -> DecisionOutcome {
     match resp.status {
-        Status::Ok => match DecisionBody::from_json(&resp.body) {
-            Ok(body) => DecisionOutcome::Body(body),
-            Err(_) => DecisionOutcome::Malformed,
-        },
+        Status::Ok => {
+            // The two reply kinds have disjoint required fields
+            // (`unchanged: true` vs a string `decision`), so trying the
+            // unchanged form first cannot misread a v1 body.
+            if let Ok(body) = protocol::UnchangedBody::from_json(&resp.body) {
+                return DecisionOutcome::Unchanged(body);
+            }
+            match DecisionBody::from_json(&resp.body) {
+                Ok(body) => DecisionOutcome::Body(body),
+                Err(_) => DecisionOutcome::Malformed,
+            }
+        }
         Status::Unauthorized => DecisionOutcome::TokenRejected,
         _ if resp.transport_error().is_some() => DecisionOutcome::Transport,
         _ => DecisionOutcome::Unavailable,
@@ -3239,27 +3545,11 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_setters_match_resilience_builder() {
-        // The thin wrappers must produce the exact same configuration as
-        // the builder they deprecate.
-        let a = HostCore::new("h.example", SimClock::new());
-        #[allow(deprecated)]
-        {
-            a.set_breaker(Some(BreakerConfig {
-                failure_threshold: 3,
-                cooldown_ms: 250,
-            }));
-            a.set_am_retry(Some(RetryPolicy::default()));
-            a.set_fallback_am(
-                "am.example",
-                DelegationConfig {
-                    am: "am-b.example".into(),
-                    host_token: "ht-b".into(),
-                    delegation_id: "d-b".into(),
-                },
-            );
-            a.set_stale_grace_ms(1_234);
-        }
+    fn resilience_builder_round_trips_every_knob() {
+        // The builder (the only resilience entry point since the
+        // deprecated per-knob setters were removed) must land every
+        // field exactly as written, and re-applying a config with a
+        // knob absent must clear it.
         let b = HostCore::new("h.example", SimClock::new());
         b.set_resilience(
             ResilienceConfig::new()
@@ -3278,16 +3568,35 @@ mod tests {
                 )
                 .with_stale_grace_ms(1_234),
         );
-        let (ra, rb) = (a.resilience(), b.resilience());
-        assert_eq!(ra.breaker, rb.breaker);
-        assert_eq!(ra.stale_grace_ms, rb.stale_grace_ms);
-        assert_eq!(ra.fallback_ams, rb.fallback_ams);
-        assert_eq!(ra.am_retry.is_some(), rb.am_retry.is_some());
-        // And clearing through the deprecated path matches the builder's
-        // absence of the entry.
-        #[allow(deprecated)]
-        a.clear_fallback_am("am.example");
-        assert!(a.resilience().fallback_ams.is_empty());
+        let rb = b.resilience();
+        assert_eq!(
+            rb.breaker,
+            Some(BreakerConfig {
+                failure_threshold: 3,
+                cooldown_ms: 250,
+            })
+        );
+        assert_eq!(rb.stale_grace_ms, 1_234);
+        assert!(rb.am_retry.is_some());
+        assert_eq!(
+            rb.fallback_ams.get(&("am.example".to_owned(), None)),
+            Some(&DelegationConfig {
+                am: "am-b.example".into(),
+                host_token: "ht-b".into(),
+                delegation_id: "d-b".into(),
+            })
+        );
+        assert_eq!(
+            rb.fallback_for("am.example", "anyone").map(|d| &d.am),
+            Some(&"am-b.example".to_owned())
+        );
+        // Dropping the fallback is just applying a config without it.
+        b.set_resilience(ResilienceConfig::new());
+        let cleared = b.resilience();
+        assert!(cleared.fallback_ams.is_empty());
+        assert_eq!(cleared.breaker, None);
+        assert!(cleared.am_retry.is_none());
+        assert_eq!(cleared.stale_grace_ms, 0);
     }
 
     #[test]

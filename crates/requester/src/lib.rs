@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use ucam_webenv::{Method, Request, Response, RetryPolicy, Status, Transport, Url};
+use ucam_webenv::{protocol, Method, Request, Response, RetryPolicy, Status, Transport, Url};
 
 /// Counters describing the requester's protocol work (experiment E7).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,7 +40,7 @@ pub struct RequesterStats {
     /// Re-authorizations after a token was rejected (expiry/revocation).
     pub reauthorizations: u64,
     /// Extra dispatch attempts spent retrying transport failures
-    /// (requires a [`RequesterClient::set_retry`] policy).
+    /// (requires a retry policy, [`ResilienceConfig::with_retry`]).
     pub retries: u64,
     /// Authorization attempts failed over to a configured secondary AM
     /// after the primary was unreachable at the transport level.
@@ -122,9 +122,9 @@ impl AccessSpec {
 /// Opt-in resilience configuration for a [`RequesterClient`], applied
 /// atomically with [`RequesterClient::set_resilience`]. The builder
 /// mirrors the Host-side `ResilienceConfig`: all fields default to
-/// "off", and the per-knob setters it replaces (`set_retry`,
-/// `set_fallback_am`) remain as deprecated wrappers with identical
-/// behaviour.
+/// "off". It replaced the per-knob setters (`set_retry`,
+/// `set_fallback_am`), whose deprecated wrappers have since been
+/// removed.
 #[derive(Debug, Clone, Default)]
 pub struct ResilienceConfig {
     /// Retry discipline for every dispatch.
@@ -157,6 +157,51 @@ impl ResilienceConfig {
         self.fallback_ams
             .insert(primary.to_owned(), secondary.to_owned());
         self
+    }
+}
+
+/// One pre-authorization request inside a
+/// [`RequesterClient::authorize_batch`] round: the access the token will
+/// be used for (its spec keys the client's token cache) plus the
+/// protocol coordinates the AM's batch-authorize endpoint needs.
+#[derive(Debug, Clone)]
+pub struct BatchAuthorize {
+    /// The access the minted token will serve (host URL + action).
+    pub spec: AccessSpec,
+    /// Resource owner whose policies apply at the AM.
+    pub owner: String,
+    /// Resource identifier at the Host (not necessarily the URL path).
+    pub resource: String,
+}
+
+/// The per-item outcome of a batch pre-authorization
+/// ([`RequesterClient::authorize_batch`]). `Authorized` means the token
+/// is already in the client's cache — a later [`RequesterClient::access`]
+/// with the same spec rides the warm path without a token dance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreAuthorization {
+    /// A token was minted and cached for the item's spec.
+    Authorized,
+    /// Policies deny, with the AM's reason.
+    Denied(String),
+    /// The owner's consent is pending at the AM; poll later with the id.
+    PendingConsent {
+        /// AM authority to poll.
+        am: String,
+        /// Consent request id.
+        consent_id: String,
+    },
+    /// The AM requires claims of these kinds first (comma-joined).
+    NeedsClaims(String),
+    /// Transport or protocol failure — no token for this item.
+    Failed(String),
+}
+
+impl PreAuthorization {
+    /// Returns `true` for [`PreAuthorization::Authorized`].
+    #[must_use]
+    pub fn is_authorized(&self) -> bool {
+        matches!(self, PreAuthorization::Authorized)
     }
 }
 
@@ -225,24 +270,6 @@ impl RequesterClient {
             retry: self.retry.clone(),
             fallback_ams: self.fallback_ams.clone(),
         }
-    }
-
-    /// Installs (or removes) a retry policy for this client's dispatches.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
-        self.retry = policy;
-    }
-
-    /// Registers `secondary` as the AM to authorize against when
-    /// `primary`'s authorize endpoint is unreachable at the transport
-    /// level. Both AMs must hold mirrored delegations for the Host; a
-    /// token minted by the secondary is presented to the Host like any
-    /// other and, if the primary later rejects it, the normal transparent
-    /// re-authorization path converges back.
-    #[deprecated(note = "build a ResilienceConfig and apply it with set_resilience")]
-    pub fn set_fallback_am(&mut self, primary: &str, secondary: &str) {
-        self.fallback_ams
-            .insert(primary.to_owned(), secondary.to_owned());
     }
 
     /// The label this requester uses on the network.
@@ -357,6 +384,118 @@ impl RequesterClient {
             .into_iter()
             .map(|o| o.expect("every access settled"))
             .collect()
+    }
+
+    /// Pre-authorizes many accesses against one AM in bulk over
+    /// `/protection/v2/authorize` (DESIGN.md §16) — the requester-side
+    /// sibling of the Host's batched decision queries. Items are chunked
+    /// at [`protocol::MAX_BATCH`] (the AM-side cap) and the chunks ride
+    /// one [`Transport::dispatch_pipelined`] round, so over HTTP the
+    /// whole fleet of token requests costs one buffered write per
+    /// connection instead of one serialized redirect dance per resource.
+    /// Minted tokens land in the client's token cache; later accesses
+    /// with the same specs take the warm bearer path.
+    ///
+    /// The client's `subject_token` and claim tokens ride the request
+    /// parameters once per chunk, exactly as they would ride a single
+    /// `/authorize` redirect. A chunk-level failure (transport error,
+    /// non-200, short or unparsable reply array) fails every item in
+    /// that chunk closed — a batch is one wire exchange, so its members
+    /// share its fate. A client with a retry policy dispatches chunks
+    /// sequentially under it.
+    pub fn authorize_batch(
+        &mut self,
+        net: &dyn Transport,
+        am: &str,
+        host: &str,
+        requests: &[BatchAuthorize],
+    ) -> Vec<PreAuthorization> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let chunks: Vec<&[BatchAuthorize]> = requests.chunks(protocol::MAX_BATCH).collect();
+        let build = |chunk: &[BatchAuthorize]| -> Request {
+            let items: Vec<protocol::AuthorizeItem> = chunk
+                .iter()
+                .map(|r| protocol::AuthorizeItem {
+                    owner: r.owner.clone(),
+                    resource: r.resource.clone(),
+                    action: r.spec.action.clone(),
+                })
+                .collect();
+            let mut url = Url::new(am, protocol::BATCH_AUTHORIZE_PATH)
+                .with_query("host", host)
+                .with_query("requester", &self.label);
+            if let Some(subject) = &self.subject_token {
+                url = url.with_query("subject_token", subject);
+            }
+            if !self.claim_tokens.is_empty() {
+                url = url.with_query("claims", &self.claim_tokens.join(","));
+            }
+            Request::to_url(Method::Post, url).with_body(protocol::encode_authorize_request(&items))
+        };
+        let reqs: Vec<Request> = chunks.iter().map(|chunk| build(chunk)).collect();
+        self.stats.token_requests += chunks.len() as u64;
+        let resps: Vec<Response> = if self.retry.is_some() || reqs.len() == 1 {
+            reqs.into_iter()
+                .map(|req| self.dispatch_retrying(net, || req.clone()))
+                .collect()
+        } else {
+            net.dispatch_pipelined(&self.label, reqs)
+        };
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (chunk, resp) in chunks.into_iter().zip(resps) {
+            let replies = if resp.status == Status::Ok {
+                protocol::parse_authorize_response(&resp.body)
+                    .ok()
+                    .filter(|r| r.len() == chunk.len())
+            } else {
+                None
+            };
+            match replies {
+                Some(replies) => {
+                    for (request, reply) in chunk.iter().zip(replies) {
+                        outcomes.push(self.settle_preauth(am, request, reply));
+                    }
+                }
+                None => {
+                    // Chunk-level failure: no token for any member.
+                    let reason = format!("batch authorize failed: {:?}", resp.status);
+                    outcomes.extend(
+                        chunk
+                            .iter()
+                            .map(|_| PreAuthorization::Failed(reason.clone())),
+                    );
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Settles one batch-authorize reply: caches a minted token under
+    /// the item's spec, maps everything else onto the same outcome
+    /// vocabulary the sequential flow uses.
+    fn settle_preauth(
+        &mut self,
+        am: &str,
+        request: &BatchAuthorize,
+        reply: protocol::AuthorizeReply,
+    ) -> PreAuthorization {
+        match reply {
+            protocol::AuthorizeReply::Token(token) => {
+                self.tokens.insert(self.cache_key(&request.spec), token);
+                PreAuthorization::Authorized
+            }
+            protocol::AuthorizeReply::Denied(reason) => PreAuthorization::Denied(reason),
+            protocol::AuthorizeReply::Pending(consent_id) => PreAuthorization::PendingConsent {
+                am: am.to_owned(),
+                consent_id,
+            },
+            protocol::AuthorizeReply::NeedsClaims(kinds) => {
+                PreAuthorization::NeedsClaims(kinds.join(","))
+            }
+            protocol::AuthorizeReply::Error(reason) => PreAuthorization::Failed(reason),
+        }
     }
 
     /// Drives one access to completion from its first Host response:
@@ -972,22 +1111,124 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_setters_match_resilience_builder() {
-        let mut a = RequesterClient::new("requester:test");
-        #[allow(deprecated)]
-        {
-            a.set_retry(Some(RetryPolicy::default()));
-            a.set_fallback_am("am.example", "am-b.example");
-        }
+    fn resilience_builder_round_trips_every_knob() {
+        // The builder (the only resilience entry point since the
+        // deprecated per-knob setters were removed) must land every
+        // field exactly as written, and re-applying an all-off config
+        // must clear them.
         let mut b = RequesterClient::new("requester:test");
         b.set_resilience(
             ResilienceConfig::new()
                 .with_retry(RetryPolicy::default())
                 .with_fallback_am("am.example", "am-b.example"),
         );
-        let (ra, rb) = (a.resilience(), b.resilience());
-        assert_eq!(ra.fallback_ams, rb.fallback_ams);
-        assert_eq!(ra.retry.is_some(), rb.retry.is_some());
+        let rb = b.resilience();
+        assert!(rb.retry.is_some());
+        assert_eq!(
+            rb.fallback_ams.get("am.example"),
+            Some(&"am-b.example".to_owned())
+        );
+        b.set_resilience(ResilienceConfig::new());
+        let cleared = b.resilience();
+        assert!(cleared.retry.is_none());
+        assert!(cleared.fallback_ams.is_empty());
+    }
+
+    /// An AM answering `/protection/v2/authorize` with one reply kind
+    /// per resource name, so a single batch exercises every outcome.
+    struct BatchAm;
+
+    impl WebApp for BatchAm {
+        fn authority(&self) -> &str {
+            "am.example"
+        }
+        fn handle(&self, _net: &dyn Transport, req: &Request) -> Response {
+            assert_eq!(req.url.path(), protocol::BATCH_AUTHORIZE_PATH);
+            assert_eq!(req.param("host"), Some("host.example"));
+            assert_eq!(req.param("requester"), Some("requester:test"));
+            let items = protocol::parse_authorize_request(&req.body).unwrap();
+            let replies: Vec<protocol::AuthorizeReply> = items
+                .iter()
+                .map(|item| match item.resource.as_str() {
+                    "granted" => protocol::AuthorizeReply::Token("good-token".into()),
+                    "denied" => protocol::AuthorizeReply::Denied("policy says no".into()),
+                    "consent" => protocol::AuthorizeReply::Pending("c-9".into()),
+                    "paid" => protocol::AuthorizeReply::NeedsClaims(vec!["payment".into()]),
+                    _ => protocol::AuthorizeReply::Error("unknown resource".into()),
+                })
+                .collect();
+            Response::ok().with_body(protocol::encode_authorize_response(&replies))
+        }
+    }
+
+    #[test]
+    fn authorize_batch_settles_every_outcome_and_fills_the_cache() {
+        let net = SimNet::new();
+        net.register(Arc::new(FakeHost));
+        net.register(Arc::new(BatchAm));
+        let mut client = RequesterClient::new("requester:test");
+        let item = |resource: &str| BatchAuthorize {
+            spec: AccessSpec::read(Url::new("host.example", "/protected")),
+            owner: "bob".to_owned(),
+            resource: resource.to_owned(),
+        };
+        let outcomes = client.authorize_batch(
+            &net,
+            "am.example",
+            "host.example",
+            &[
+                item("granted"),
+                item("denied"),
+                item("consent"),
+                item("paid"),
+                item("broken"),
+            ],
+        );
+        assert!(outcomes[0].is_authorized());
+        assert_eq!(
+            outcomes[1],
+            PreAuthorization::Denied("policy says no".into())
+        );
+        assert_eq!(
+            outcomes[2],
+            PreAuthorization::PendingConsent {
+                am: "am.example".into(),
+                consent_id: "c-9".into(),
+            }
+        );
+        assert_eq!(outcomes[3], PreAuthorization::NeedsClaims("payment".into()));
+        assert!(matches!(outcomes[4], PreAuthorization::Failed(_)));
+        // The whole batch cost one wire round trip …
+        assert_eq!(client.stats().token_requests, 1);
+        // … and the minted token is cached: the follow-up access takes
+        // the warm bearer path with zero further token requests.
+        net.reset_stats();
+        let spec = AccessSpec::read(Url::new("host.example", "/protected"));
+        assert!(client.access(&net, &spec).is_granted());
+        assert_eq!(client.stats().token_requests, 1);
+        assert_eq!(client.stats().cache_hits, 1);
+        assert_eq!(net.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn authorize_batch_chunk_failure_fails_every_member_closed() {
+        // No AM registered: the dispatch is a transport failure and every
+        // item in the chunk fails closed with no token cached.
+        let net = SimNet::new();
+        let mut client = RequesterClient::new("requester:test");
+        let outcomes = client.authorize_batch(
+            &net,
+            "ghost-am.example",
+            "host.example",
+            &[BatchAuthorize {
+                spec: AccessSpec::read(Url::new("host.example", "/protected")),
+                owner: "bob".to_owned(),
+                resource: "granted".to_owned(),
+            }],
+        );
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], PreAuthorization::Failed(_)));
+        assert_eq!(client.cached_tokens(), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod population;
 pub mod saturation;
+pub mod storm;
 pub mod world;
 
 pub use metrics::Table;

@@ -27,10 +27,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ucam_am::AuthorizationManager;
-use ucam_host::{DelegationConfig, WebStorage};
+use ucam_host::WebStorage;
 use ucam_policy::{Action, PolicyBody, ResourceRef, Rule, RulePolicy, Subject};
 use ucam_requester::{AccessSpec, RequesterClient};
-use ucam_webenv::{SimNet, Url};
+use ucam_webenv::{protocol, Method, Request, SimNet, Status, Url};
 
 /// SplitMix64 — the seed expander: tiny state, full 64-bit avalanche,
 /// and deterministic across platforms. Not cryptographic; this drives
@@ -361,6 +361,11 @@ pub struct PopulationScaleRow {
     /// Epoch-push deliveries drained after setup — the multi-Host
     /// fan-out the run exercised.
     pub push_deliveries: u64,
+    /// Hosts that onboarded through `POST /protection/v2/register`
+    /// (DESIGN.md §16) — always equal to `hosts`; the row carries it so
+    /// the CI registration smoke can assert dynamic onboarding actually
+    /// ran, with zero hand-wired trust entries.
+    pub hosts_registered: u64,
 }
 
 impl PopulationScaleRow {
@@ -370,14 +375,15 @@ impl PopulationScaleRow {
         format!(
             "{{\"bench\":\"population_scale\",\"population\":{},\"hosts\":{},\
              \"reqs_per_sec\":{:.1},\"p50_us\":{:.2},\"p99_us\":{:.2},\
-             \"setup_eps\":{:.0},\"push_deliveries\":{}}}",
+             \"setup_eps\":{:.0},\"push_deliveries\":{},\"hosts_registered\":{}}}",
             self.population,
             self.hosts,
             self.reqs_per_sec,
             self.p50_us,
             self.p99_us,
             self.setup_eps,
-            self.push_deliveries
+            self.push_deliveries,
+            self.hosts_registered
         )
     }
 }
@@ -419,24 +425,63 @@ pub fn run_population_scale(cfg: &PopulationScaleConfig) -> PopulationScaleRow {
         })
         .collect();
 
-    // Registration, streamed: users (account + delegation + per-owner
-    // push subscription), then resources, then one policy per owner.
+    // Registration, streamed — and fully dynamic (DESIGN.md §16): every
+    // Host onboards itself over the wire through
+    // `POST /protection/v2/register`, then obtains each of its owners'
+    // delegations through `/protection/v2/delegate` (with `subscribe=1`
+    // folding the per-owner push subscription into the same round trip)
+    // and installs them via its own `/delegate/done` route. Zero trust
+    // entries are hand-wired into either side.
     let setup_started = Instant::now();
+    let credentials: Vec<protocol::RegistrationReply> = (0..cfg.hosts)
+        .map(|h| {
+            let authority = pop.host_authority(h);
+            let resp = net.dispatch(
+                &authority,
+                Request::to_url(
+                    Method::Post,
+                    Url::new("am.example", protocol::REGISTER_PATH),
+                )
+                .with_body(
+                    protocol::RegisterBody {
+                        kind: "host".into(),
+                        authority: authority.clone(),
+                    }
+                    .to_json(),
+                ),
+            );
+            assert_eq!(resp.status, Status::Created, "registration: {}", resp.body);
+            protocol::RegistrationReply::from_json(&resp.body).expect("registration reply")
+        })
+        .collect();
     for user in pop.users() {
         am.register_user(&user.name);
         let authority = pop.host_authority(user.host);
-        am.subscribe_epoch_push(&authority, &user.name);
-        let (delegation, host_token) = am
-            .establish_delegation(&authority, &user.name)
-            .expect("delegation");
-        hosts[user.host].shell().core.set_user_delegation(
-            &user.name,
-            DelegationConfig {
-                am: "am.example".into(),
-                host_token,
-                delegation_id: delegation.id,
-            },
+        let cred = &credentials[user.host];
+        let resp = net.dispatch(
+            &authority,
+            Request::to_url(
+                Method::Post,
+                Url::new("am.example", protocol::DELEGATE_V2_PATH),
+            )
+            .with_param("registrant_id", &cred.registrant_id)
+            .with_param("secret", &cred.secret)
+            .with_param("user", &user.name)
+            .with_param("subscribe", "1"),
         );
+        assert_eq!(resp.status, Status::Created, "delegation: {}", resp.body);
+        let reply = protocol::DelegateReply::from_json(&resp.body).expect("delegate reply");
+        // Fig. 3 step 3, over the wire: the Host stores the delegation
+        // through its own route rather than a direct core call.
+        let done = net.dispatch(
+            "am.example",
+            Request::to_url(Method::Get, Url::new(&authority, "/delegate/done"))
+                .with_param("user", &user.name)
+                .with_param("am", "am.example")
+                .with_param("host_token", &reply.host_token)
+                .with_param("delegation_id", &reply.delegation_id),
+        );
+        assert!(done.status.is_success(), "delegate/done: {}", done.body);
     }
     for resource in pop.resources() {
         hosts[resource.host]
@@ -532,6 +577,7 @@ pub fn run_population_scale(cfg: &PopulationScaleConfig) -> PopulationScaleRow {
         p99_us: pct(0.99),
         setup_eps,
         push_deliveries,
+        hosts_registered: credentials.len() as u64,
     }
 }
 
@@ -638,9 +684,32 @@ mod tests {
         // Every owner's registration queued (at least) one push to their
         // home Host, and the drain delivered all of them.
         assert!(row.push_deliveries >= 200);
+        assert_eq!(row.hosts_registered, 8);
         let json = row.to_json();
         assert!(json.contains("\"bench\":\"population_scale\""));
         assert!(json.contains("\"population\":200"));
         assert!(json.contains("\"hosts\":8"));
+        assert!(json.contains("\"hosts_registered\":8"));
+    }
+
+    #[test]
+    fn population_registration_smoke_onboards_512_hosts_dynamically() {
+        // The CI registration smoke: 512 Hosts onboard against a live AM
+        // purely through `POST /protection/v2/register` +
+        // `/protection/v2/delegate` — no hand-wired trust entries exist
+        // anywhere in the population engine — and the fabric then serves
+        // real end-to-end accesses on every Host.
+        let row = run_population_scale(&PopulationScaleConfig {
+            population: 512,
+            hosts: 512,
+            requesters: 64,
+            accesses: 1_024,
+            seed: 3,
+        });
+        assert_eq!(row.hosts, 512);
+        assert_eq!(row.hosts_registered, 512);
+        // Every owner's subscribe=1 delegation queued at least one epoch
+        // push to their dynamically registered home Host.
+        assert!(row.push_deliveries >= 512);
     }
 }

@@ -21,13 +21,24 @@
 //! | [`BATCH_DECISIONS_PATH`] | `/protection/v1/decisions` | batched decision queries |
 //! | [`EPOCH_PUSH_PATH`] | `/protection/v1/epoch` | AM→Host async policy-epoch push |
 //! | [`LEGACY_DECISION_PATH`] | `/decision` | pre-versioning alias, kept for old Hosts |
+//! | [`DECISION_V2_PATH`] | `/protection/v2/decision` | conditional (`if_epoch`) decision query |
+//! | [`BATCH_AUTHORIZE_PATH`] | `/protection/v2/authorize` | batched authorization-token requests |
+//! | [`REGISTER_PATH`] | `/protection/v2/register` | dynamic Host/Requester registration |
+//! | [`REGISTER_ROTATE_PATH`] | `/protection/v2/register/rotate` | rotate a registrant secret |
+//! | [`REGISTER_DEREGISTER_PATH`] | `/protection/v2/register/deregister` | retire a registrant |
+//! | [`DELEGATE_V2_PATH`] | `/protection/v2/delegate` | credentialed delegation for registrants |
 //!
 //! An epoch push may additionally carry a [`SieveBody`] in its request
 //! body: a signed, epoch-stamped capability sieve the Host installs as
 //! its tier-1 enforcement table (DESIGN.md §12). The sieve is part of
 //! the same versioned surface — it rides [`EPOCH_PUSH_PATH`], and its
 //! parser is fail-closed exactly like the decision parser: a body that
-//! does not parse *and* verify grants nothing.
+//! does not parse *and* verify grants nothing. The v2 surface adds a
+//! third push body kind, [`InvalidationBody`]: the exact fingerprints a
+//! policy edit invalidated, so a Host evicts a handful of entries instead
+//! of cold-missing an entire owner (DESIGN.md §16). All three body kinds
+//! use disjoint JSON field sets and distinct signing domain separators,
+//! so none can ever be parsed — or replayed — as another.
 
 /// Versioned single-decision route (Fig. 6, phase 5/6).
 pub const DECISION_PATH: &str = "/protection/v1/decision";
@@ -39,6 +50,37 @@ pub const BATCH_DECISIONS_PATH: &str = "/protection/v1/decisions";
 pub const EPOCH_PUSH_PATH: &str = "/protection/v1/epoch";
 /// The unversioned decision route kept as a compatibility alias.
 pub const LEGACY_DECISION_PATH: &str = "/decision";
+
+/// v2 conditional single-decision route. Same query parameters as
+/// [`DECISION_PATH`] plus an optional `if_epoch`: the owner policy epoch
+/// the Host evaluated its cached permit under. When the epoch still
+/// matches and the verdict is still a permit, the AM answers with a
+/// compact [`UnchangedBody`] instead of re-serializing the full
+/// [`DecisionBody`] — the 304 of the protection API.
+pub const DECISION_V2_PATH: &str = "/protection/v2/decision";
+/// v2 batch-authorize route: the requester-side sibling of
+/// [`BATCH_DECISIONS_PATH`]. The body is a JSON array of
+/// [`AuthorizeItem`]s scoped to one `host`/`requester` (and optional
+/// shared `subject_token`/`claims` parameters); the response is a JSON
+/// array of [`AuthorizeReply`]s in request order.
+pub const BATCH_AUTHORIZE_PATH: &str = "/protection/v2/authorize";
+/// v2 dynamic-registration route (RFC 7591 in spirit): the body is a
+/// [`RegisterBody`], the response a [`RegistrationReply`] carrying the
+/// per-registrant credential every later management call presents.
+pub const REGISTER_PATH: &str = "/protection/v2/register";
+/// v2 registration-management route rotating a registrant's secret
+/// (params: `registrant_id`, `secret`); answers a fresh
+/// [`RegistrationReply`].
+pub const REGISTER_ROTATE_PATH: &str = "/protection/v2/register/rotate";
+/// v2 registration-management route retiring a registrant (params:
+/// `registrant_id`, `secret`). Deregistration revokes the credential;
+/// existing delegations are torn down separately by their owners.
+pub const REGISTER_DEREGISTER_PATH: &str = "/protection/v2/register/deregister";
+/// v2 credentialed delegation route: a registered Host presents its
+/// `registrant_id` + `secret` plus the `user` delegating to it (params),
+/// and receives a [`DelegateReply`] — the runtime replacement for the
+/// hand-wired `establish_delegation` bootstrap.
+pub const DELEGATE_V2_PATH: &str = "/protection/v2/delegate";
 
 /// Maximum number of queries an AM accepts in one batch request. Requests
 /// above the cap are rejected with a 400 rather than silently truncated.
@@ -181,6 +223,60 @@ impl DecisionBody {
     }
 }
 
+/// The compact v2 answer to a conditional decision query whose `if_epoch`
+/// still matches: "your cached permit is still good, re-arm it for
+/// `cacheable_ms`" — without re-serializing the permit body.
+///
+/// The field set is disjoint from [`DecisionBody`] (which requires a
+/// string `decision`), so the two reply kinds can never be confused on
+/// parse. Fail-closed discipline matches the rest of the module: a body
+/// that does not parse as `{"unchanged":true,...}` re-arms nothing, and
+/// an *unchanged* reply never grants an access the Host had not already
+/// cached — a Host with no matching cache entry treats it as a refusal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnchangedBody {
+    /// How long (ms) the Host may re-arm the cached permit for.
+    pub cacheable_ms: u64,
+}
+
+impl UnchangedBody {
+    /// Serializes to the canonical wire JSON; fixed field order keeps
+    /// byte counts deterministic. The policy epoch is deliberately *not*
+    /// echoed: the AM only answers "unchanged" when the current epoch
+    /// equals the query's `if_epoch`, so the Host already holds the
+    /// value and repeating it would cost the very bytes the conditional
+    /// query exists to save (like HTTP 304 omitting the entity).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(48);
+        out.push_str("{\"unchanged\":true,\"cacheable_ms\":");
+        out.push_str(&self.cacheable_ms.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Parses an unchanged reply, fail-closed: anything that is not a
+    /// JSON object with a literal-`true` `unchanged` field and an
+    /// integer `cacheable_ms` is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON or missing/ill-typed
+    /// fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("unchanged body is not a JSON object"));
+        };
+        match find(&fields, "unchanged") {
+            Some(Json::Bool(true)) => {}
+            _ => return Err(WireError::new("unchanged field missing or not true")),
+        }
+        let cacheable_ms = opt_u64(&fields, "cacheable_ms")?
+            .ok_or_else(|| WireError::new("unchanged cacheable_ms missing"))?;
+        Ok(Self { cacheable_ms })
+    }
+}
+
 /// One query inside a batch decision request: the per-item fields of the
 /// paper's Fig. 6 query (the `host_token` rides on the request itself,
 /// since a batch is scoped to one Host↔AM delegation).
@@ -289,6 +385,351 @@ fn encode_array(items: impl Iterator<Item = String>) -> String {
     }
     out.push(']');
     out
+}
+
+// ---------------------------------------------------------------------------
+// Batch authorize (v2: the requester-side sibling of batch decide)
+// ---------------------------------------------------------------------------
+
+/// One token request inside a [`BATCH_AUTHORIZE_PATH`] body: the
+/// per-item fields of the paper's Fig. 5 request. The `host`,
+/// `requester` and any shared `subject_token`/`claims` ride on the
+/// request parameters, since a batch is scoped to one Requester asking
+/// one Host's AM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthorizeItem {
+    /// Resource owner whose policies apply.
+    pub owner: String,
+    /// Resource identifier at the Host.
+    pub resource: String,
+    /// Action name (`read`, `write`, …).
+    pub action: String,
+}
+
+impl AuthorizeItem {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"owner\":");
+        push_json_string(&mut out, &self.owner);
+        out.push_str(",\"resource\":");
+        push_json_string(&mut out, &self.resource);
+        out.push_str(",\"action\":");
+        push_json_string(&mut out, &self.action);
+        out.push('}');
+        out
+    }
+
+    fn from_value(value: &Json) -> Result<Self, WireError> {
+        let Json::Object(fields) = value else {
+            return Err(WireError::new("authorize item is not a JSON object"));
+        };
+        let get = |key: &str| -> Result<String, WireError> {
+            match find(fields, key) {
+                Some(Json::String(s)) => Ok(s.clone()),
+                _ => Err(WireError::new(&format!(
+                    "authorize item field {key} missing or not a string"
+                ))),
+            }
+        };
+        Ok(Self {
+            owner: get("owner")?,
+            resource: get("resource")?,
+            action: get("action")?,
+        })
+    }
+}
+
+/// One per-item outcome inside a batch-authorize response — the wire
+/// projection of the AM's `AuthorizeOutcome`. Discriminated by which
+/// single field is present, so the parser is unambiguous and fail-closed:
+/// a body carrying none of the known fields (or two of them) is an error,
+/// and only an exact `token` field yields a credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthorizeReply {
+    /// Policies permit: the minted authorization token.
+    Token(String),
+    /// Policies deny, with the human-readable reason.
+    Denied(String),
+    /// The request opened a consent question; the id to poll.
+    Pending(String),
+    /// The requester must supply claims of these kinds first.
+    NeedsClaims(Vec<String>),
+    /// Protocol-level failure for this item (the query never reached
+    /// policy evaluation).
+    Error(String),
+}
+
+impl AuthorizeReply {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            AuthorizeReply::Token(token) => {
+                out.push_str("{\"token\":");
+                push_json_string(&mut out, token);
+            }
+            AuthorizeReply::Denied(reason) => {
+                out.push_str("{\"denied\":");
+                push_json_string(&mut out, reason);
+            }
+            AuthorizeReply::Pending(id) => {
+                out.push_str("{\"pending\":");
+                push_json_string(&mut out, id);
+            }
+            AuthorizeReply::NeedsClaims(kinds) => {
+                out.push_str("{\"claims\":[");
+                for (i, kind) in kinds.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(&mut out, kind);
+                }
+                out.push(']');
+            }
+            AuthorizeReply::Error(reason) => {
+                out.push_str("{\"error\":");
+                push_json_string(&mut out, reason);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    fn from_value(value: &Json) -> Result<Self, WireError> {
+        let Json::Object(fields) = value else {
+            return Err(WireError::new("authorize reply is not a JSON object"));
+        };
+        let mut reply = None;
+        for (key, value) in fields {
+            let parsed = match (key.as_str(), value) {
+                ("token", Json::String(s)) => AuthorizeReply::Token(s.clone()),
+                ("denied", Json::String(s)) => AuthorizeReply::Denied(s.clone()),
+                ("pending", Json::String(s)) => AuthorizeReply::Pending(s.clone()),
+                ("error", Json::String(s)) => AuthorizeReply::Error(s.clone()),
+                ("claims", Json::Array(values)) => {
+                    let mut kinds = Vec::with_capacity(values.len());
+                    for v in values {
+                        let Json::String(kind) = v else {
+                            return Err(WireError::new("authorize claims kind is not a string"));
+                        };
+                        kinds.push(kind.clone());
+                    }
+                    AuthorizeReply::NeedsClaims(kinds)
+                }
+                ("token" | "denied" | "pending" | "error" | "claims", _) => {
+                    return Err(WireError::new(&format!("authorize reply {key} ill-typed")))
+                }
+                _ => continue,
+            };
+            if reply.replace(parsed).is_some() {
+                return Err(WireError::new("authorize reply has multiple outcomes"));
+            }
+        }
+        reply.ok_or_else(|| WireError::new("authorize reply has no known outcome field"))
+    }
+}
+
+/// Encodes a batch-authorize request body: a JSON array of
+/// [`AuthorizeItem`]s.
+#[must_use]
+pub fn encode_authorize_request(items: &[AuthorizeItem]) -> String {
+    encode_array(items.iter().map(AuthorizeItem::to_json))
+}
+
+/// Parses a batch-authorize request body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, a non-array body, ill-typed
+/// items, or more than [`MAX_BATCH`] items.
+pub fn parse_authorize_request(body: &str) -> Result<Vec<AuthorizeItem>, WireError> {
+    let Json::Array(values) = parse_json(body)? else {
+        return Err(WireError::new("authorize request is not a JSON array"));
+    };
+    if values.len() > MAX_BATCH {
+        return Err(WireError::new(&format!(
+            "authorize batch of {} exceeds the cap of {MAX_BATCH}",
+            values.len()
+        )));
+    }
+    values.iter().map(AuthorizeItem::from_value).collect()
+}
+
+/// Encodes a batch-authorize response body: a JSON array of
+/// [`AuthorizeReply`]s in request order.
+#[must_use]
+pub fn encode_authorize_response(replies: &[AuthorizeReply]) -> String {
+    encode_array(replies.iter().map(AuthorizeReply::to_json))
+}
+
+/// Parses a batch-authorize response body, fail-closed per item (an
+/// unparseable array poisons the whole batch, which the Requester must
+/// treat as no token for any item).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed JSON, a non-array body, or any
+/// ill-typed reply element.
+pub fn parse_authorize_response(body: &str) -> Result<Vec<AuthorizeReply>, WireError> {
+    let Json::Array(values) = parse_json(body)? else {
+        return Err(WireError::new("authorize response is not a JSON array"));
+    };
+    values.iter().map(AuthorizeReply::from_value).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic registration (v2, RFC 7591/7592 in spirit)
+// ---------------------------------------------------------------------------
+
+/// A [`REGISTER_PATH`] request body: what a Host or Requester declares
+/// about itself when onboarding against an AM at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterBody {
+    /// Registrant role: `"host"` or `"requester"` — nothing else parses.
+    pub kind: String,
+    /// The registrant's authority (its address on the transport).
+    pub authority: String,
+}
+
+impl RegisterBody {
+    /// Serializes to the canonical wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"kind\":");
+        push_json_string(&mut out, &self.kind);
+        out.push_str(",\"authority\":");
+        push_json_string(&mut out, &self.authority);
+        out.push('}');
+        out
+    }
+
+    /// Parses a registration body, fail-closed: the `kind` must be
+    /// exactly `"host"` or `"requester"` and the authority non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON, missing or ill-typed
+    /// fields, an unknown kind, or an empty authority.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("register body is not a JSON object"));
+        };
+        let kind = match find(&fields, "kind") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("register kind missing or not a string")),
+        };
+        if kind != "host" && kind != "requester" {
+            return Err(WireError::new("register kind must be host or requester"));
+        }
+        let authority = match find(&fields, "authority") {
+            Some(Json::String(s)) if !s.is_empty() => s.clone(),
+            _ => {
+                return Err(WireError::new(
+                    "register authority missing, empty, or not a string",
+                ))
+            }
+        };
+        Ok(Self { kind, authority })
+    }
+}
+
+/// A [`REGISTER_PATH`] / [`REGISTER_ROTATE_PATH`] response body: the
+/// registrant's identity and the secret it must present on every later
+/// management call. The secret is the *registration* credential only —
+/// delegations still mint their own `host_token` per user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrationReply {
+    /// Stable registrant identity at this AM.
+    pub registrant_id: String,
+    /// The current per-registrant secret.
+    pub secret: String,
+}
+
+impl RegistrationReply {
+    /// Serializes to the canonical wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"registrant_id\":");
+        push_json_string(&mut out, &self.registrant_id);
+        out.push_str(",\"secret\":");
+        push_json_string(&mut out, &self.secret);
+        out.push('}');
+        out
+    }
+
+    /// Parses a registration reply, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON or missing/ill-typed
+    /// fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("registration reply is not a JSON object"));
+        };
+        let get = |key: &str| -> Result<String, WireError> {
+            match find(&fields, key) {
+                Some(Json::String(s)) if !s.is_empty() => Ok(s.clone()),
+                _ => Err(WireError::new(&format!(
+                    "registration reply {key} missing, empty, or not a string"
+                ))),
+            }
+        };
+        Ok(Self {
+            registrant_id: get("registrant_id")?,
+            secret: get("secret")?,
+        })
+    }
+}
+
+/// A [`DELEGATE_V2_PATH`] response body: the artifacts of a freshly
+/// established delegation (Fig. 3), returned to a credentialed
+/// registrant instead of riding a browser redirect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegateReply {
+    /// Unique id of the delegation, used for revocation.
+    pub delegation_id: String,
+    /// The host access token sealing the delegation.
+    pub host_token: String,
+}
+
+impl DelegateReply {
+    /// Serializes to the canonical wire JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"delegation_id\":");
+        push_json_string(&mut out, &self.delegation_id);
+        out.push_str(",\"host_token\":");
+        push_json_string(&mut out, &self.host_token);
+        out.push('}');
+        out
+    }
+
+    /// Parses a delegate reply, fail-closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON or missing/ill-typed
+    /// fields.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("delegate reply is not a JSON object"));
+        };
+        let get = |key: &str| -> Result<String, WireError> {
+            match find(&fields, key) {
+                Some(Json::String(s)) if !s.is_empty() => Ok(s.clone()),
+                _ => Err(WireError::new(&format!(
+                    "delegate reply {key} missing, empty, or not a string"
+                ))),
+            }
+        };
+        Ok(Self {
+            delegation_id: get("delegation_id")?,
+            host_token: get("host_token")?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -718,6 +1159,158 @@ impl SieveDeltaBody {
             base_epoch,
             added,
             removed,
+            sig,
+        })
+    }
+}
+
+/// The v2 decision-level invalidation push body: the exact
+/// [`SieveFingerprint`]s a policy edit invalidated, pushed alongside the
+/// owner's epoch advance on [`EPOCH_PUSH_PATH`] (DESIGN.md §16).
+///
+/// An epoch-only push tells the Host "something about this owner
+/// changed" and forces an owner-wide cache purge — a small policy edit
+/// against an owner with hundreds of cached permits triggers a cold-miss
+/// storm. This body narrows the signal to the affected tuples: the Host
+/// evicts exactly `invalidated` from its cache and sieve, re-stamps the
+/// survivors to `epoch`, and keeps serving them.
+///
+/// Authentication: like the sieve bodies, this one *raises* trust (it
+/// lets cached permits survive an epoch advance), so it is HMAC-signed
+/// under the delegation `host_token` with its own domain separator. A
+/// body that fails verification must be discarded whole — the Host then
+/// falls back to the plain epoch purge, which is always safe.
+///
+/// `invalidated` may be empty: a signed empty list is how the AM says
+/// "the epoch advanced but none of your entries died" (e.g. a policy
+/// edit that only widened access).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationBody {
+    /// The resource owner whose epoch advanced.
+    pub owner: String,
+    /// The owner's new policy epoch.
+    pub epoch: u64,
+    /// Fingerprints of the access tuples the edit invalidated.
+    pub invalidated: Vec<SieveFingerprint>,
+    /// Hex HMAC-SHA256 over the canonical payload.
+    pub sig: String,
+}
+
+impl InvalidationBody {
+    /// Assembles and signs an invalidation with the shared delegation
+    /// `host_token` bytes.
+    #[must_use]
+    pub fn build(owner: &str, epoch: u64, invalidated: Vec<SieveFingerprint>, key: &[u8]) -> Self {
+        let mut body = Self {
+            owner: owner.to_owned(),
+            epoch,
+            invalidated,
+            sig: String::new(),
+        };
+        let mac = ucam_crypto::hmac_sha256(key, body.signing_payload().as_bytes());
+        let mut sig = String::with_capacity(64);
+        push_hex(&mut sig, &mac);
+        body.sig = sig;
+        body
+    }
+
+    /// Verifies the signature against the Host's copy of the delegation
+    /// `host_token`. Constant-time; any mismatch discards the body whole.
+    #[must_use]
+    pub fn verify(&self, key: &[u8]) -> bool {
+        let Some(sig) = hex_decode::<32>(&self.sig) else {
+            return false;
+        };
+        let mac = ucam_crypto::hmac_sha256(key, self.signing_payload().as_bytes());
+        ucam_crypto::ct_eq(&mac, &sig)
+    }
+
+    /// The canonical byte string the signature covers; same
+    /// length-prefixing discipline as the sieve bodies, under its own
+    /// domain separator so an invalidation can never be replayed as a
+    /// sieve or a delta (or vice versa).
+    fn signing_payload(&self) -> String {
+        let mut out = String::with_capacity(48 + self.invalidated.len() * 34);
+        out.push_str("ucam-inval-v1\n");
+        out.push_str(&format!("{}:{}\n", self.owner.len(), self.owner));
+        out.push_str(&format!("{}\n", self.epoch));
+        for fp in &self.invalidated {
+            out.push('!');
+            push_hex(&mut out, fp);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to the canonical wire JSON. The `invalidated` field is
+    /// disjoint from [`SieveBody`]'s `entries` and [`SieveDeltaBody`]'s
+    /// `added`/`removed`/`base_epoch`, so the three push body kinds can
+    /// never be confused on the shared epoch-push route.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.invalidated.len() * 36);
+        out.push_str("{\"owner\":");
+        push_json_string(&mut out, &self.owner);
+        out.push_str(",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"invalidated\":[");
+        for (i, fp) in self.invalidated.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            push_hex(&mut out, fp);
+            out.push('"');
+        }
+        out.push_str("],\"sig\":");
+        push_json_string(&mut out, &self.sig);
+        out.push('}');
+        out
+    }
+
+    /// Parses an invalidation body, fail-closed like
+    /// [`SieveBody::from_json`]. Parsing alone never authorizes the
+    /// survivors — the caller must still [`verify`](Self::verify), and on
+    /// any failure fall back to the plain epoch purge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON, missing or ill-typed
+    /// fields, or malformed fingerprints.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let Json::Object(fields) = parse_json(body)? else {
+            return Err(WireError::new("invalidation body is not a JSON object"));
+        };
+        let owner = match find(&fields, "owner") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("invalidation owner missing or not a string")),
+        };
+        let epoch = opt_u64(&fields, "epoch")?
+            .ok_or_else(|| WireError::new("invalidation epoch missing"))?;
+        let sig = match find(&fields, "sig") {
+            Some(Json::String(s)) => s.clone(),
+            _ => return Err(WireError::new("invalidation sig missing or not a string")),
+        };
+        let Some(Json::Array(raw)) = find(&fields, "invalidated") else {
+            return Err(WireError::new(
+                "invalidation invalidated missing or not an array",
+            ));
+        };
+        let mut invalidated = Vec::with_capacity(raw.len());
+        for value in raw {
+            let Json::String(fp_hex) = value else {
+                return Err(WireError::new("invalidation fingerprint is not a string"));
+            };
+            invalidated.push(
+                hex_decode::<16>(fp_hex).ok_or_else(|| {
+                    WireError::new("invalidation fingerprint is not 32 hex chars")
+                })?,
+            );
+        }
+        Ok(Self {
+            owner,
+            epoch,
+            invalidated,
             sig,
         })
     }
@@ -1307,5 +1900,227 @@ mod tests {
         assert_ne!(a, sieve_fingerprint("tok", "res", "read", "req2"));
         assert_ne!(a, sieve_fingerprint("tokr", "es", "read", "req"));
         assert_ne!(a, sieve_fingerprint("tok", "res", "rea", "dreq"));
+    }
+
+    #[test]
+    fn unchanged_body_round_trips_exactly() {
+        let body = UnchangedBody { cacheable_ms: 400 };
+        let json = body.to_json();
+        assert_eq!(json, "{\"unchanged\":true,\"cacheable_ms\":400}");
+        assert_eq!(UnchangedBody::from_json(&json).unwrap(), body);
+        // An unchanged reply is strictly smaller than the permit it
+        // replaces — by more than the `if_epoch` query param costs the
+        // request (`&if_epoch=<e>` is 10 + digits(e) bytes, the dropped
+        // `,"policy_epoch":<e>` echo is 16 + digits(e)), so the
+        // conditional exchange saves wire bytes end to end for every
+        // epoch value. The CI work-count gate pins the measured level.
+        let epoch_param = "&if_epoch=7".len();
+        assert!(json.len() + epoch_param < DecisionBody::permit(400, 7).to_json().len());
+    }
+
+    #[test]
+    fn unchanged_and_decision_bodies_never_cross_parse() {
+        let unchanged = UnchangedBody { cacheable_ms: 400 }.to_json();
+        assert!(DecisionBody::from_json(&unchanged).is_err());
+        let permit = DecisionBody::permit(400, 7).to_json();
+        assert!(UnchangedBody::from_json(&permit).is_err());
+    }
+
+    #[test]
+    fn malformed_unchanged_bodies_fail_closed() {
+        for body in [
+            "not json",
+            "{}",
+            "{\"unchanged\":false,\"cacheable_ms\":1}",
+            "{\"unchanged\":\"true\",\"cacheable_ms\":1}",
+            "{\"unchanged\":true}",
+            "{\"unchanged\":true,\"cacheable_ms\":-1}",
+            "{\"cacheable_ms\":1}",
+        ] {
+            assert!(UnchangedBody::from_json(body).is_err(), "{body}");
+        }
+    }
+
+    fn sample_invalidation(key: &[u8]) -> InvalidationBody {
+        InvalidationBody::build(
+            "bob",
+            9,
+            vec![
+                sieve_fingerprint("tok-1", "files/a.txt", "read", "requester:app"),
+                sieve_fingerprint("tok-2", "files/b.txt", "write", "requester:app"),
+            ],
+            key,
+        )
+    }
+
+    #[test]
+    fn invalidation_round_trips_and_verifies() {
+        let key = b"host-token-secret";
+        let body = sample_invalidation(key);
+        let parsed = InvalidationBody::from_json(&body.to_json()).unwrap();
+        assert_eq!(parsed, body);
+        assert!(parsed.verify(key));
+        assert!(!parsed.verify(b"some-other-token"));
+    }
+
+    #[test]
+    fn empty_invalidation_is_legal_and_signed() {
+        let body = InvalidationBody::build("bob", 3, Vec::new(), b"k");
+        let parsed = InvalidationBody::from_json(&body.to_json()).unwrap();
+        assert!(parsed.invalidated.is_empty());
+        assert!(parsed.verify(b"k"));
+    }
+
+    #[test]
+    fn tampered_invalidations_fail_verification() {
+        let key = b"host-token-secret";
+        let mut bumped_epoch = sample_invalidation(key);
+        bumped_epoch.epoch += 1;
+        assert!(!bumped_epoch.verify(key));
+
+        let mut dropped_fp = sample_invalidation(key);
+        dropped_fp.invalidated.pop();
+        assert!(!dropped_fp.verify(key));
+
+        let mut swapped_owner = sample_invalidation(key);
+        swapped_owner.owner = "mallory".into();
+        assert!(!swapped_owner.verify(key));
+    }
+
+    #[test]
+    fn malformed_invalidation_bodies_fail_closed() {
+        for body in [
+            "not json",
+            "{}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"invalidated\":[],\"sig\":42}",
+            "{\"owner\":\"bob\",\"invalidated\":[],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"invalidated\":[42],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"invalidated\":[\"zz\"],\"sig\":\"aa\"}",
+            "{\"owner\":\"bob\",\"epoch\":1,\"invalidated\":\"aa\",\"sig\":\"aa\"}",
+        ] {
+            assert!(InvalidationBody::from_json(body).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn push_body_kinds_never_cross_parse() {
+        let key = b"host-token-secret";
+        // All three push body kinds share EPOCH_PUSH_PATH; disjoint field
+        // sets keep them unambiguous...
+        let inval = sample_invalidation(key).to_json();
+        assert!(SieveBody::from_json(&inval).is_err());
+        assert!(SieveDeltaBody::from_json(&inval).is_err());
+        assert!(InvalidationBody::from_json(&sample_sieve(key).to_json()).is_err());
+        assert!(InvalidationBody::from_json(&sample_delta(key).to_json()).is_err());
+        // ...and domain separators keep grafted fields from verifying: an
+        // invalidation's removals can never replay as a delta's.
+        let inval = sample_invalidation(key);
+        let grafted = SieveDeltaBody {
+            owner: inval.owner.clone(),
+            epoch: inval.epoch,
+            base_epoch: inval.epoch,
+            added: Vec::new(),
+            removed: inval.invalidated.clone(),
+            sig: inval.sig.clone(),
+        };
+        assert!(!grafted.verify(key));
+    }
+
+    #[test]
+    fn authorize_request_round_trips_and_caps() {
+        let items: Vec<AuthorizeItem> = (0..3)
+            .map(|i| AuthorizeItem {
+                owner: "bob".into(),
+                resource: format!("files/r{i}.txt"),
+                action: "read".into(),
+            })
+            .collect();
+        let body = encode_authorize_request(&items);
+        assert_eq!(parse_authorize_request(&body).unwrap(), items);
+
+        let oversized: Vec<AuthorizeItem> = (0..=MAX_BATCH)
+            .map(|i| AuthorizeItem {
+                owner: format!("u{i}"),
+                resource: "r".into(),
+                action: "read".into(),
+            })
+            .collect();
+        assert!(parse_authorize_request(&encode_authorize_request(&oversized)).is_err());
+        assert!(parse_authorize_request("{\"not\":\"array\"}").is_err());
+        assert!(parse_authorize_request("[{\"owner\":\"bob\"}]").is_err());
+    }
+
+    #[test]
+    fn authorize_replies_round_trip_every_variant() {
+        let replies = vec![
+            AuthorizeReply::Token("tok-1".into()),
+            AuthorizeReply::Denied("not in group".into()),
+            AuthorizeReply::Pending("consent-9".into()),
+            AuthorizeReply::NeedsClaims(vec!["age".into(), "email".into()]),
+            AuthorizeReply::Error("expired host token".into()),
+        ];
+        let body = encode_authorize_response(&replies);
+        assert_eq!(parse_authorize_response(&body).unwrap(), replies);
+    }
+
+    #[test]
+    fn malformed_authorize_replies_fail_closed() {
+        for body in [
+            "not json",
+            "{\"token\":\"t\"}",
+            "[{}]",
+            "[{\"token\":42}]",
+            "[{\"claims\":[42]}]",
+            "[{\"token\":\"t\",\"denied\":\"also\"}]",
+            "[{\"verdict\":\"token\"}]",
+        ] {
+            assert!(parse_authorize_response(body).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn register_body_round_trips_and_validates_kind() {
+        for kind in ["host", "requester"] {
+            let body = RegisterBody {
+                kind: kind.into(),
+                authority: "files.example".into(),
+            };
+            assert_eq!(RegisterBody::from_json(&body.to_json()).unwrap(), body);
+        }
+        for body in [
+            "not json",
+            "{}",
+            "{\"kind\":\"am\",\"authority\":\"x\"}",
+            "{\"kind\":\"host\",\"authority\":\"\"}",
+            "{\"kind\":\"host\"}",
+            "{\"kind\":42,\"authority\":\"x\"}",
+        ] {
+            assert!(RegisterBody::from_json(body).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn registration_and_delegate_replies_round_trip() {
+        let reg = RegistrationReply {
+            registrant_id: "reg-1".into(),
+            secret: "s3cr3t".into(),
+        };
+        assert_eq!(RegistrationReply::from_json(&reg.to_json()).unwrap(), reg);
+        let del = DelegateReply {
+            delegation_id: "d-1".into(),
+            host_token: "ht".into(),
+        };
+        assert_eq!(DelegateReply::from_json(&del.to_json()).unwrap(), del);
+        for body in [
+            "not json",
+            "{}",
+            "{\"registrant_id\":\"\",\"secret\":\"s\"}",
+            "{\"registrant_id\":\"r\",\"secret\":42}",
+        ] {
+            assert!(RegistrationReply::from_json(body).is_err(), "{body}");
+        }
+        for body in ["{}", "{\"delegation_id\":\"d\"}", "{\"host_token\":\"h\"}"] {
+            assert!(DelegateReply::from_json(body).is_err(), "{body}");
+        }
     }
 }

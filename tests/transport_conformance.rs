@@ -23,7 +23,9 @@ use ucam::host::{
     AccessAttempt, BreakerConfig, DelegationConfig, Enforcement, ResilienceConfig, WebPics,
 };
 use ucam::policy::prelude::*;
-use ucam::requester::{AccessOutcome, AccessSpec, RequesterClient};
+use ucam::requester::{
+    AccessOutcome, AccessSpec, BatchAuthorize, PreAuthorization, RequesterClient,
+};
 use ucam::sim::world::{World, AM, HOSTS};
 use ucam::webenv::identity::IdentityProvider;
 use ucam::webenv::{HttpTransport, Method, Request, SimNet, Status, Transport, Url, WebApp};
@@ -767,6 +769,440 @@ fn stale_grace_serves_identically_against_dead_listeners() {
             "stale-grace: granted (1 stale served)",
             "past window: failed(503 None)",
             "healed: granted",
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2 parity (DESIGN.md §16): conditional decision queries,
+// decision-level invalidation push, batch authorize, and the dynamic
+// registration lifecycle must produce identical outcomes on both
+// backends — including fail-closed handling of malformed v2 bodies.
+// ---------------------------------------------------------------------
+
+use ucam::webenv::protocol;
+
+/// Drains one AM's push channel over the transport under test.
+fn drain_am_pushes(net: &dyn Transport, am: &AuthorizationManager) -> bool {
+    for _ in 0..1_000 {
+        am.pump_epoch_pushes(net);
+        if am.pending_epoch_pushes() == 0 {
+            return true;
+        }
+        net.clock().advance_ms(50);
+    }
+    false
+}
+
+#[test]
+fn dynamic_registration_lifecycle_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        let bob = rig.idp.login("bob", "pw").unwrap().token;
+        let mut log = Vec::new();
+        // Open registration issues per-registrant credentials…
+        let resp = rig.net.dispatch(
+            "pics.example",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::REGISTER_PATH),
+            )
+            .with_body(
+                protocol::RegisterBody {
+                    kind: "host".into(),
+                    authority: "pics.example".into(),
+                }
+                .to_json(),
+            ),
+        );
+        log.push(format!("register: {}", resp.status.code()));
+        let creds = protocol::RegistrationReply::from_json(&resp.body).unwrap();
+        // …which authenticate the Host for a credentialed delegation —
+        // still gated on the user's own assertion.
+        let delegate = |id: &str, secret: &str| {
+            rig.net.dispatch(
+                "pics.example",
+                Request::new(
+                    Method::Post,
+                    &format!("https://am-a.example{}", protocol::DELEGATE_V2_PATH),
+                )
+                .with_param("registrant_id", id)
+                .with_param("secret", secret)
+                .with_param("user", "bob")
+                .with_param("subject_token", &bob)
+                .with_param("subscribe", "1"),
+            )
+        };
+        let resp = delegate(&creds.registrant_id, &creds.secret);
+        log.push(format!("delegate: {}", resp.status.code()));
+        let issued = protocol::DelegateReply::from_json(&resp.body).unwrap();
+        rig.pics.shell().core.set_user_delegation(
+            "bob",
+            DelegationConfig {
+                am: "am-a.example".into(),
+                host_token: issued.host_token,
+                delegation_id: issued.delegation_id,
+            },
+        );
+        let mut client = alice_client(&rig);
+        log.push(format!(
+            "read under dynamic delegation: {}",
+            label(&alice_reads(&rig, &mut client))
+        ));
+        // Rotation retires the old secret with the response.
+        let resp = rig.net.dispatch(
+            "pics.example",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::REGISTER_ROTATE_PATH),
+            )
+            .with_param("registrant_id", &creds.registrant_id)
+            .with_param("secret", &creds.secret),
+        );
+        log.push(format!("rotate: {}", resp.status.code()));
+        let rotated = protocol::RegistrationReply::from_json(&resp.body).unwrap();
+        log.push(format!(
+            "old secret: {}",
+            delegate(&creds.registrant_id, &creds.secret).status.code()
+        ));
+        // Deregistration revokes the ability to obtain *new* credentials;
+        // the live delegation stays owner-revocable, not registrant-bound.
+        let resp = rig.net.dispatch(
+            "pics.example",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::REGISTER_DEREGISTER_PATH),
+            )
+            .with_param("registrant_id", &rotated.registrant_id)
+            .with_param("secret", &rotated.secret),
+        );
+        log.push(format!("deregister: {}", resp.status.code()));
+        log.push(format!(
+            "after deregister: {}",
+            delegate(&rotated.registrant_id, &rotated.secret)
+                .status
+                .code()
+        ));
+        let mut survivor = alice_client(&rig);
+        log.push(format!(
+            "delegation survives: {}",
+            label(&alice_reads(&rig, &mut survivor))
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "register: 201",
+            "delegate: 201",
+            "read under dynamic delegation: granted",
+            "rotate: 200",
+            "old secret: 401",
+            "deregister: 200",
+            "after deregister: 401",
+            "delegation survives: granted",
+        ]
+    );
+}
+
+#[test]
+fn conditional_revalidation_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        rig.pics.shell().core.set_conditional_revalidation(true);
+        let mut client = alice_client(&rig);
+        let mut log = vec![format!("prime: {}", label(&alice_reads(&rig, &mut client)))];
+        // The cached permit ages past its TTL with no policy change: the
+        // expired entry turns the re-query conditional, and the AM
+        // collapses it to the tiny *unchanged* reply.
+        rig.net.clock().advance_ms(61_000);
+        rig.pics.shell().core.reset_stats();
+        rig.net.reset_stats();
+        let outcome = alice_reads(&rig, &mut client);
+        let stats = rig.pics.shell().core.stats();
+        log.push(format!(
+            "revalidated: {} ({} conditional, {} unchanged, {} round trips)",
+            label(&outcome),
+            stats.revalidations,
+            stats.revalidations_unchanged,
+            rig.net.stats().round_trips
+        ));
+        // Re-armed in place: the next access is a plain cache hit.
+        rig.net.reset_stats();
+        let outcome = alice_reads(&rig, &mut client);
+        log.push(format!(
+            "re-armed: {} in {} round trips",
+            label(&outcome),
+            rig.net.stats().round_trips
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "prime: granted",
+            "revalidated: granted (1 conditional, 1 unchanged, 2 round trips)",
+            "re-armed: granted in 1 round trips",
+        ]
+    );
+}
+
+#[test]
+fn invalidation_push_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        rig.am_a.set_invalidation_push(true);
+        rig.am_a.set_epoch_push_target("pics.example");
+        // A second photo so the push has a bystander to spare.
+        let bob = rig.idp.login("bob", "pw").unwrap().token;
+        let image = ucam::host::Image::gradient(4, 4);
+        let resp = rig.net.dispatch(
+            "browser:bob",
+            Request::new(Method::Post, "https://pics.example/photos")
+                .with_param("album", "rome")
+                .with_param("id", "p2")
+                .with_param("subject_token", &bob)
+                .with_body(ucam::crypto::base64url_encode(&image.to_bytes())),
+        );
+        assert_eq!(resp.status, Status::Created, "{}", resp.body);
+        // One policy per photo, so one deletion kills exactly one permit.
+        let mut p1_policy = None;
+        rig.am_a
+            .pap("bob", |account| {
+                for (name, resource) in [
+                    ("alice-p1", "albums/rome/p1"),
+                    ("alice-p2", "albums/rome/p2"),
+                ] {
+                    let id = account.create_policy(
+                        name,
+                        PolicyBody::Rules(
+                            RulePolicy::new().with_rule(
+                                Rule::permit()
+                                    .for_subject(Subject::User("alice".into()))
+                                    .for_action(Action::Read),
+                            ),
+                        ),
+                    );
+                    account
+                        .link_specific(ResourceRef::new("pics.example", resource), &id)
+                        .unwrap();
+                    if name == "alice-p1" {
+                        p1_policy = Some(id);
+                    }
+                }
+            })
+            .unwrap();
+        assert!(drain_am_pushes(rig.net.as_ref(), &rig.am_a));
+        let mut client = alice_client(&rig);
+        let mut log = Vec::new();
+        for path in ["/photos/rome/p1", "/photos/rome/p2"] {
+            let outcome = client.access(
+                rig.net.as_ref(),
+                &AccessSpec::read(Url::new("pics.example", path)),
+            );
+            log.push(format!("prime {path}: {}", label(&outcome)));
+        }
+        // Bob deletes p1's policy: one epoch bump; the push names only
+        // p1's fingerprint and the bystander's permit survives in place.
+        rig.pics.shell().core.reset_stats();
+        rig.am_a
+            .pap("bob", |account| {
+                account.delete_policy(&p1_policy.clone().unwrap()).unwrap();
+            })
+            .unwrap();
+        assert!(drain_am_pushes(rig.net.as_ref(), &rig.am_a));
+        let stats = rig.pics.shell().core.stats();
+        log.push(format!(
+            "push: {} applied, {} evicted by name",
+            stats.invalidations_applied, stats.invalidated_evictions
+        ));
+        rig.pics.shell().core.reset_stats();
+        rig.net.reset_stats();
+        let outcome = client.access(
+            rig.net.as_ref(),
+            &AccessSpec::read(Url::new("pics.example", "/photos/rome/p2")),
+        );
+        let stats = rig.pics.shell().core.stats();
+        log.push(format!(
+            "bystander: {} ({} cache hits, {} am queries, {} round trips)",
+            label(&outcome),
+            stats.cache_hits,
+            stats.am_queries,
+            rig.net.stats().round_trips
+        ));
+        let outcome = client.access(
+            rig.net.as_ref(),
+            &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+        );
+        log.push(format!("revoked: {}", label(&outcome)));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "prime /photos/rome/p1: granted",
+            "prime /photos/rome/p2: granted",
+            "push: 1 applied, 1 evicted by name",
+            "bystander: granted (1 cache hits, 0 am queries, 1 round trips)",
+            "revoked: denied",
+        ]
+    );
+}
+
+#[test]
+fn batch_authorize_is_transport_agnostic() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        let mut client = alice_client(&rig);
+        let items = vec![
+            BatchAuthorize {
+                spec: AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+                owner: "bob".into(),
+                resource: "albums/rome/p1".into(),
+            },
+            // No policy covers p9: a per-item denial that must not
+            // poison its granted neighbor.
+            BatchAuthorize {
+                spec: AccessSpec::read(Url::new("pics.example", "/photos/rome/p9")),
+                owner: "bob".into(),
+                resource: "albums/rome/p9".into(),
+            },
+        ];
+        let outcomes =
+            client.authorize_batch(rig.net.as_ref(), "am-a.example", "pics.example", &items);
+        let labels: Vec<&str> = outcomes
+            .iter()
+            .map(|o| match o {
+                PreAuthorization::Authorized => "authorized",
+                PreAuthorization::Denied(_) => "denied",
+                PreAuthorization::PendingConsent { .. } => "pending",
+                PreAuthorization::NeedsClaims(_) => "needs-claims",
+                PreAuthorization::Failed(_) => "failed",
+            })
+            .collect();
+        let mut log = vec![
+            format!("batch: {}", labels.join(", ")),
+            format!("work: {} token requests", client.stats().token_requests),
+        ];
+        // The pre-authorized token skips the token dance on first
+        // access: one wire hop to the Host plus the Host's first
+        // decision query — batch authorize fills the requester's token
+        // cache, not the Host's decision cache.
+        rig.net.reset_stats();
+        rig.pics.shell().core.reset_stats();
+        let outcome = client.access(
+            rig.net.as_ref(),
+            &AccessSpec::read(Url::new("pics.example", "/photos/rome/p1")),
+        );
+        let pep = rig.pics.shell().core.stats();
+        log.push(format!(
+            "warm: {} in {} round trips ({} token requests total, {} cache hits, {} am queries)",
+            label(&outcome),
+            rig.net.stats().round_trips,
+            client.stats().token_requests,
+            pep.cache_hits,
+            pep.am_queries
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "batch: authorized, denied",
+            "work: 1 token requests",
+            "warm: granted in 2 round trips (1 token requests total, 0 cache hits, 1 am queries)",
+        ]
+    );
+}
+
+#[test]
+fn malformed_v2_bodies_fail_closed_identically() {
+    let log = assert_conformance(|net| {
+        let rig = rig_on(net.clone());
+        permit_alice(&rig.am_a, "albums/rome/p1");
+        let mut client = alice_client(&rig);
+        assert!(alice_reads(&rig, &mut client).is_granted());
+        let mut log = Vec::new();
+        // Garbage registration body.
+        let resp = rig.net.dispatch(
+            "probe",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::REGISTER_PATH),
+            )
+            .with_body("not json"),
+        );
+        log.push(format!("garbage register: {}", resp.status.code()));
+        // Garbage batch-authorize body (params present, body broken).
+        let resp = rig.net.dispatch(
+            "probe",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::BATCH_AUTHORIZE_PATH),
+            )
+            .with_param("host", "pics.example")
+            .with_param("requester", "probe")
+            .with_body("{\"oops\":"),
+        );
+        log.push(format!("garbage batch: {}", resp.status.code()));
+        // Unparseable if_epoch: malformed, not unconditional.
+        let resp = rig.net.dispatch(
+            "pics.example",
+            Request::new(
+                Method::Post,
+                &format!("https://am-a.example{}", protocol::DECISION_V2_PATH),
+            )
+            .with_param("host_token", "whatever")
+            .with_param("token", "t")
+            .with_param("resource", "albums/rome/p1")
+            .with_param("requester", "probe")
+            .with_param("if_epoch", "yes"),
+        );
+        log.push(format!("bad if_epoch: {}", resp.status.code()));
+        // A forged invalidation body — well-formed, signed under a key
+        // the Host never shared — must be dropped fail-closed while the
+        // plain epoch note it rides still applies (the owner-wide purge
+        // keeps the push sound even when the surgical list is rejected).
+        let forged =
+            protocol::InvalidationBody::build("bob", 99, Vec::new(), b"not-the-host-token");
+        let resp = rig.net.dispatch(
+            "am-a.example",
+            Request::new(
+                Method::Post,
+                &format!("https://pics.example{}", protocol::EPOCH_PUSH_PATH),
+            )
+            .with_param("owner", "bob")
+            .with_param("epoch", "99")
+            .with_body(forged.to_json()),
+        );
+        let stats = rig.pics.shell().core.stats();
+        log.push(format!(
+            "forged invalidation: {} ({} applied)",
+            resp.status.code(),
+            stats.invalidations_applied
+        ));
+        // The rejected body fell through to the plain epoch note: the
+        // primed permit is gone and the next read re-queries the AM.
+        rig.pics.shell().core.reset_stats();
+        let outcome = alice_reads(&rig, &mut client);
+        log.push(format!(
+            "after purge: {} ({} am queries)",
+            label(&outcome),
+            rig.pics.shell().core.stats().am_queries
+        ));
+        log
+    });
+    assert_eq!(
+        log,
+        vec![
+            "garbage register: 400",
+            "garbage batch: 400",
+            "bad if_epoch: 400",
+            "forged invalidation: 200 (0 applied)",
+            "after purge: granted (1 am queries)",
         ]
     );
 }
